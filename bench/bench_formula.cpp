@@ -1,0 +1,116 @@
+// E9 — Formula-engine evaluation throughput (google-benchmark).
+// Formulas drive view selection, column values, selective replication and
+// agents; this measures evals/sec across formula complexity classes.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "formula/formula.h"
+
+namespace dominodb {
+namespace {
+
+Note BenchDoc() {
+  Note doc(NoteClass::kDocument);
+  doc.set_id(42);
+  doc.StampCreated(Unid{0xABCD, 0x1234}, 1'000'000);
+  doc.SetText("Form", "Invoice");
+  doc.SetText("Subject", "Quarterly sales target review for EMEA");
+  doc.SetText("Customer", "Acme Corporation");
+  doc.SetNumber("Amount", 1499.99);
+  doc.SetTextList("Tags", {"urgent", "q3", "emea", "sales"});
+  doc.SetNumber("Quantity", 12);
+  return doc;
+}
+
+void RunFormula(benchmark::State& state, const char* source) {
+  auto compiled = formula::Formula::Compile(source);
+  if (!compiled.ok()) {
+    state.SkipWithError("compile failed");
+    return;
+  }
+  Note doc = BenchDoc();
+  formula::EvalContext ctx;
+  ctx.note = &doc;
+  for (auto _ : state) {
+    auto v = compiled->Evaluate(ctx);
+    benchmark::DoNotOptimize(v);
+  }
+}
+
+void BM_Compile(benchmark::State& state) {
+  const char* src =
+      "SELECT Form = \"Invoice\" & Amount > 1000 & "
+      "@Contains(Subject; \"sales\")";
+  for (auto _ : state) {
+    auto f = formula::Formula::Compile(src);
+    benchmark::DoNotOptimize(f);
+  }
+}
+BENCHMARK(BM_Compile);
+
+void BM_FieldRef(benchmark::State& state) { RunFormula(state, "Amount"); }
+BENCHMARK(BM_FieldRef);
+
+void BM_Arithmetic(benchmark::State& state) {
+  RunFormula(state, "Amount * Quantity * 1.19 - 100");
+}
+BENCHMARK(BM_Arithmetic);
+
+void BM_SelectTypical(benchmark::State& state) {
+  RunFormula(state, "SELECT Form = \"Invoice\" & Amount > 1000");
+}
+BENCHMARK(BM_SelectTypical);
+
+void BM_TextHeavy(benchmark::State& state) {
+  RunFormula(state,
+             "@UpperCase(@Left(Subject; 20)) + \" / \" + "
+             "@ProperCase(Customer)");
+}
+BENCHMARK(BM_TextHeavy);
+
+void BM_ListOps(benchmark::State& state) {
+  RunFormula(state, "@Elements(@Unique(@Sort(Tags)))");
+}
+BENCHMARK(BM_ListOps);
+
+void BM_IfChain(benchmark::State& state) {
+  RunFormula(state,
+             "@If(Amount > 10000; \"platinum\"; Amount > 1000; \"gold\"; "
+             "Amount > 100; \"silver\"; \"bronze\")");
+}
+BENCHMARK(BM_IfChain);
+
+void BM_ContainsPredicate(benchmark::State& state) {
+  RunFormula(state, "@Contains(Subject; \"sales\" : \"marketing\")");
+}
+BENCHMARK(BM_ContainsPredicate);
+
+void BM_DateMath(benchmark::State& state) {
+  RunFormula(state, "@Year(@Adjust(@Created; 0; 3; 0; 0; 0; 0))");
+}
+BENCHMARK(BM_DateMath);
+
+void BM_FieldWrite(benchmark::State& state) {
+  auto compiled = formula::Formula::Compile("FIELD Total := Amount * 1.19");
+  Note doc = BenchDoc();
+  formula::EvalContext ctx;
+  ctx.note = &doc;
+  ctx.mutable_note = &doc;
+  for (auto _ : state) {
+    auto v = compiled->Evaluate(ctx);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_FieldWrite);
+
+}  // namespace
+}  // namespace dominodb
+
+int main(int argc, char** argv) {
+  printf("E9 — formula engine throughput (claim: formulas are cheap enough "
+         "to drive selection/columns over whole databases)\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// E5 — Full-text search: index build/maintenance cost and query latency
+// vs the formula-scan baseline (@Contains over every document).
+
+#include "bench/bench_util.h"
+#include "core/database.h"
+
+using namespace dominodb;
+using namespace dominodb::bench;
+
+int main() {
+  PrintHeader("E5 — full-text search vs formula scan",
+              "the inverted index answers word queries in sub-linear time; "
+              "formula @Contains scans pay O(corpus) every query");
+
+  printf("%-8s | %-11s %-12s | %-11s %-11s %-11s | %-12s %-8s\n", "docs",
+         "build (ms)", "add1 (us)", "term (us)", "AND (us)", "phrase(us)",
+         "scan (us)", "speedup");
+
+  for (int corpus : {1000, 5000, 20000}) {
+    BenchDir dir("ft_" + std::to_string(corpus));
+    SimClock clock;
+    DatabaseOptions options;
+    options.store.checkpoint_threshold_bytes = 1ull << 30;
+    auto db = *Database::Open(dir.Sub("db"), options, &clock);
+    Rng rng(5);
+    for (int i = 0; i < corpus; ++i) {
+      Note doc = SyntheticDoc(&rng, 400);
+      if (i % 97 == 0) {
+        doc.SetText("Subject", "quarterly sales target review");
+      }
+      db->CreateNote(std::move(doc)).ok();
+    }
+
+    Stopwatch build;
+    db->EnsureFullTextIndex().ok();
+    double build_ms = build.ElapsedMillis();
+
+    // Incremental add of one document.
+    Stopwatch add;
+    db->CreateNote(SyntheticDoc(&rng, 400)).ok();
+    double add_us = add.ElapsedMicros();
+
+    Principal who = Principal::User("bench");
+    auto time_query = [&](const std::string& q) {
+      // Warm once, then average 20 runs.
+      db->SearchAs(who, q).ok();
+      Stopwatch w;
+      for (int i = 0; i < 20; ++i) db->SearchAs(who, q).ok();
+      return w.ElapsedMicros() / 20;
+    };
+    double term_us = time_query("sales");
+    double and_us = time_query("sales AND quarterly");
+    double phrase_us = time_query("\"sales target\"");
+
+    // Baseline: formula full scan with @Contains.
+    auto scan_once = [&] {
+      return db->FormulaSearch(
+          "SELECT @Contains(Subject; \"sales\")");
+    };
+    scan_once().ok();
+    Stopwatch scan;
+    for (int i = 0; i < 5; ++i) scan_once().ok();
+    double scan_us = scan.ElapsedMicros() / 5;
+
+    printf("%-8d | %-11.1f %-12.1f | %-11.1f %-11.1f %-11.1f | %-12.1f "
+           "%.0fx\n",
+           corpus, build_ms, add_us, term_us, and_us, phrase_us, scan_us,
+           term_us > 0 ? scan_us / term_us : 0);
+  }
+  return 0;
+}

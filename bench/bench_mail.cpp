@@ -1,0 +1,99 @@
+// E10 — Mail routing throughput and latency: direct topology vs hub
+// routing, across message volume.
+
+#include "bench/bench_util.h"
+#include "server/server.h"
+
+using namespace dominodb;
+using namespace dominodb::bench;
+
+int main() {
+  PrintHeader("E10 — mail routing: direct vs hub topology",
+              "hub routing doubles hops and per-message simulated latency "
+              "but concentrates traffic on O(n) links");
+
+  printf("%-9s %-8s | %-10s %-10s %-10s | %-14s %-12s\n", "volume",
+         "route", "delivered", "avg hops", "passes", "sim ms/msg",
+         "bytes");
+
+  for (int volume : {100, 1000}) {
+    for (int hub_routing = 0; hub_routing < 2; ++hub_routing) {
+      BenchDir dir("mail_" + std::to_string(volume) + "_" +
+                   std::to_string(hub_routing));
+      SimClock clock(1'700'000'000'000'000);
+      Micros t0 = clock.Now();
+      SimNet net(&clock);
+      net.SetDefaultLink(/*latency=*/5'000, /*bytes_per_second=*/1'000'000);
+      MailDirectory directory;
+
+      std::vector<std::string> names = {"hub", "s1", "s2", "s3"};
+      std::vector<std::unique_ptr<Server>> servers;
+      std::vector<Server*> ptrs;
+      for (const std::string& name : names) {
+        servers.push_back(std::make_unique<Server>(
+            name, dir.Sub(name), &clock, &net, &directory));
+        ptrs.push_back(servers.back().get());
+        ptrs.back()->EnsureMailInfrastructure().ok();
+      }
+      // Four users per server.
+      std::vector<std::string> users;
+      for (Server* s : ptrs) {
+        for (int u = 0; u < 4; ++u) {
+          std::string user = s->name() + "_user" + std::to_string(u);
+          s->CreateMailFile(user).ok();
+          users.push_back(user);
+        }
+      }
+      if (hub_routing) {
+        for (Server* spoke : ptrs) {
+          if (spoke->name() == "hub") continue;
+          for (Server* dest : ptrs) {
+            if (dest != spoke && dest->name() != "hub") {
+              spoke->router()->SetNextHop(dest->name(), "hub");
+            }
+          }
+        }
+      }
+
+      Rng rng(volume + hub_routing);
+      for (int m = 0; m < volume; ++m) {
+        const std::string& from = users[rng.Uniform(users.size())];
+        const std::string& to = users[rng.Uniform(users.size())];
+        size_t origin = rng.Uniform(ptrs.size());
+        ptrs[origin]
+            ->SendMail(from, {to}, "msg " + std::to_string(m),
+                       rng.Word(20, 60))
+            .ok();
+      }
+
+      std::map<std::string, Router*> peers;
+      for (Server* s : ptrs) peers[s->name()] = s->router();
+      int passes = 0;
+      for (; passes < 10; ++passes) {
+        size_t processed = 0;
+        for (Server* s : ptrs) {
+          auto n = s->RunRouterOnce(peers);
+          if (n.ok()) processed += *n;
+        }
+        if (processed == 0) break;
+      }
+
+      uint64_t delivered = 0, hops = 0;
+      for (Server* s : ptrs) {
+        delivered += s->router()->stats().delivered;
+        hops += s->router()->stats().hops_total;
+      }
+      double sim_ms_per_msg =
+          delivered > 0
+              ? static_cast<double>(clock.Now() - t0) / 1000.0 / delivered
+              : 0;
+      printf("%-9d %-8s | %-10llu %-10.2f %-10d | %-14.2f %-12llu\n",
+             volume, hub_routing ? "hub" : "direct",
+             static_cast<unsigned long long>(delivered),
+             delivered > 0 ? static_cast<double>(hops) / delivered : 0,
+             passes, sim_ms_per_msg,
+             static_cast<unsigned long long>(net.total().bytes));
+    }
+  }
+  return 0;
+}

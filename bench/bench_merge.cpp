@@ -1,0 +1,120 @@
+// E11 (ablation) — field-level conflict merging on/off.
+// Design choice called out in DESIGN.md: Notes' "merge replication
+// conflicts" option resolves disjoint-field concurrent edits without a
+// conflict document. This ablation sweeps the probability that two
+// concurrent edits touch the same field and reports conflict-document
+// counts with merge enabled vs disabled.
+
+#include "bench/bench_util.h"
+#include "repl/replicator.h"
+#include "server/replication_scheduler.h"
+
+using namespace dominodb;
+using namespace dominodb::bench;
+
+namespace {
+
+struct RunResult {
+  size_t conflicts = 0;
+  size_t merges = 0;
+  size_t notes = 0;
+};
+
+RunResult RunWorkload(bool merge_enabled, double overlap_prob,
+                      const std::string& tag) {
+  BenchDir dir("merge_" + tag);
+  SimClock clock(1'700'000'000'000'000);
+  DatabaseOptions options;
+  options.store.checkpoint_threshold_bytes = 1ull << 30;
+  auto a = *Database::Open(dir.Sub("a"), options, &clock);
+  options.replica_id = a->replica_id();
+  auto b = *Database::Open(dir.Sub("b"), options, &clock);
+
+  Rng rng(777 + static_cast<uint64_t>(overlap_prob * 100) +
+          (merge_enabled ? 1 : 0));
+  std::vector<Unid> unids;
+  static const char* kFields[] = {"Phone", "City", "Email", "Title",
+                                  "Dept"};
+  for (int i = 0; i < 200; ++i) {
+    Note doc = SyntheticDoc(&rng, 100, "Contact");
+    for (const char* f : kFields) doc.SetText(f, "initial");
+    NoteId id = *a->CreateNote(std::move(doc));
+    unids.push_back(a->ReadNote(id)->unid());
+  }
+  Replicator replicator(nullptr);
+  ReplicationHistory ha, hb;
+  ReplicationOptions ropts;
+  ropts.merge_conflicts = merge_enabled;
+  replicator.Replicate(a.get(), "A", b.get(), "B", &ha, &hb, ropts).ok();
+  clock.Advance(1'000'000);
+
+  ReplicationReport total;
+  for (int round = 0; round < 10; ++round) {
+    // 40 concurrent edit pairs per round.
+    for (int k = 0; k < 40; ++k) {
+      const Unid& unid = unids[rng.Uniform(unids.size())];
+      size_t f1 = rng.Uniform(5);
+      // With probability overlap_prob the second replica edits the SAME
+      // field; otherwise a different one.
+      size_t f2 = rng.Bernoulli(overlap_prob)
+                      ? f1
+                      : (f1 + 1 + rng.Uniform(4)) % 5;
+      auto note_a = a->ReadNoteByUnid(unid);
+      if (note_a.ok()) {
+        note_a->SetText(kFields[f1], rng.Word(4, 10));
+        a->UpdateNote(std::move(*note_a)).ok();
+      }
+      auto note_b = b->ReadNoteByUnid(unid);
+      if (note_b.ok()) {
+        note_b->SetText(kFields[f2], rng.Word(4, 10));
+        b->UpdateNote(std::move(*note_b)).ok();
+      }
+      clock.Advance(1000);
+    }
+    auto report =
+        replicator.Replicate(a.get(), "A", b.get(), "B", &ha, &hb, ropts);
+    if (report.ok()) total.MergeFrom(*report);
+    clock.Advance(1'000'000);
+  }
+  // Settle.
+  for (int i = 0; i < 4; ++i) {
+    auto report =
+        replicator.Replicate(a.get(), "A", b.get(), "B", &ha, &hb, ropts);
+    if (report.ok()) total.MergeFrom(*report);
+    clock.Advance(1'000'000);
+  }
+
+  RunResult result;
+  result.conflicts =
+      a->FormulaSearch("SELECT @IsAvailable($Conflict)")->size();
+  result.merges = total.merges;
+  result.notes = a->note_count();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("E11 (ablation) — field-level conflict merging",
+              "merging disjoint-field concurrent edits eliminates most "
+              "conflict documents; only same-field collisions remain");
+
+  printf("%-14s | %-12s %-10s | %-12s %-10s | %s\n", "overlap P",
+         "OFF confl", "OFF notes", "ON confl", "ON merges",
+         "confl reduction");
+  for (double overlap : {0.0, 0.2, 0.5, 1.0}) {
+    std::string tag = std::to_string(static_cast<int>(overlap * 100));
+    RunResult off = RunWorkload(false, overlap, tag + "_off");
+    RunResult on = RunWorkload(true, overlap, tag + "_on");
+    double reduction =
+        off.conflicts > 0
+            ? 100.0 * (1.0 - static_cast<double>(on.conflicts) /
+                                 static_cast<double>(off.conflicts))
+            : 0.0;
+    printf("%-14.1f | %-12zu %-10zu | %-12zu %-10zu | %.0f%%\n", overlap,
+           off.conflicts, off.notes, on.conflicts, on.merges, reduction);
+  }
+  printf("\n(OFF notes grows with conflict documents; with merge ON the "
+         "database stays lean and both edits land in one version)\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// E1 — Note store CRUD throughput vs document size (google-benchmark).
+// The substrate claim: the note store sustains groupware CRUD on
+// semi-structured documents of widely varying size.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/database.h"
+
+namespace dominodb {
+namespace {
+
+using bench::BenchDir;
+using bench::SyntheticDoc;
+
+std::unique_ptr<Database> OpenBenchDb(const BenchDir& dir,
+                                      const Clock* clock) {
+  DatabaseOptions options;
+  options.title = "bench";
+  options.store.checkpoint_threshold_bytes = 256ull << 20;  // avoid mid-run
+  auto db = Database::Open(dir.Sub("db"), options, clock);
+  if (!db.ok()) std::abort();
+  return std::move(*db);
+}
+
+void BM_CreateNote(benchmark::State& state) {
+  BenchDir dir("create_" + std::to_string(state.range(0)));
+  SimClock clock;
+  auto db = OpenBenchDb(dir, &clock);
+  Rng rng(1);
+  size_t body = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto id = db->CreateNote(SyntheticDoc(&rng, body));
+    if (!id.ok()) state.SkipWithError("create failed");
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(body));
+  state.counters["docs"] = static_cast<double>(db->note_count());
+}
+BENCHMARK(BM_CreateNote)->Arg(128)->Arg(1024)->Arg(8192)->Arg(65536);
+
+void BM_ReadNote(benchmark::State& state) {
+  BenchDir dir("read");
+  SimClock clock;
+  auto db = OpenBenchDb(dir, &clock);
+  Rng rng(2);
+  std::vector<NoteId> ids;
+  for (int i = 0; i < 10000; ++i) {
+    ids.push_back(*db->CreateNote(SyntheticDoc(&rng, 512)));
+  }
+  for (auto _ : state) {
+    auto note = db->ReadNote(ids[rng.Uniform(ids.size())]);
+    benchmark::DoNotOptimize(note);
+  }
+}
+BENCHMARK(BM_ReadNote);
+
+void BM_UpdateNote(benchmark::State& state) {
+  BenchDir dir("update");
+  SimClock clock;
+  auto db = OpenBenchDb(dir, &clock);
+  Rng rng(3);
+  std::vector<NoteId> ids;
+  for (int i = 0; i < 2000; ++i) {
+    ids.push_back(*db->CreateNote(SyntheticDoc(&rng, 512)));
+  }
+  for (auto _ : state) {
+    auto note = db->ReadNote(ids[rng.Uniform(ids.size())]);
+    note->SetText("Subject", rng.Word(4, 12));
+    if (!db->UpdateNote(std::move(*note)).ok()) {
+      state.SkipWithError("update failed");
+    }
+  }
+}
+BENCHMARK(BM_UpdateNote);
+
+void BM_DeleteAndPurge(benchmark::State& state) {
+  BenchDir dir("delete");
+  SimClock clock;
+  auto db = OpenBenchDb(dir, &clock);
+  Rng rng(4);
+  for (auto _ : state) {
+    state.PauseTiming();
+    NoteId id = *db->CreateNote(SyntheticDoc(&rng, 512));
+    state.ResumeTiming();
+    if (!db->DeleteNote(id).ok()) state.SkipWithError("delete failed");
+  }
+  state.counters["stubs"] = static_cast<double>(db->stub_count());
+}
+BENCHMARK(BM_DeleteAndPurge);
+
+void BM_UnidLookup(benchmark::State& state) {
+  BenchDir dir("unid");
+  SimClock clock;
+  auto db = OpenBenchDb(dir, &clock);
+  Rng rng(5);
+  std::vector<Unid> unids;
+  for (int i = 0; i < 10000; ++i) {
+    NoteId id = *db->CreateNote(SyntheticDoc(&rng, 256));
+    unids.push_back(db->ReadNote(id)->unid());
+  }
+  for (auto _ : state) {
+    auto note = db->ReadNoteByUnid(unids[rng.Uniform(unids.size())]);
+    benchmark::DoNotOptimize(note);
+  }
+}
+BENCHMARK(BM_UnidLookup);
+
+}  // namespace
+}  // namespace dominodb
+
+int main(int argc, char** argv) {
+  printf("E1 — note store CRUD throughput (claim: the NSF-style note store "
+         "sustains groupware CRUD across document sizes)\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,75 @@
+#ifndef DOMINODB_BENCH_BENCH_UTIL_H_
+#define DOMINODB_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "base/env.h"
+#include "base/rng.h"
+#include "model/note.h"
+
+namespace dominodb::bench {
+
+/// Wall-clock stopwatch (microseconds).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+  double ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  double ElapsedMillis() const { return ElapsedMicros() / 1000.0; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Scratch directory removed on destruction.
+class BenchDir {
+ public:
+  explicit BenchDir(const std::string& name)
+      : path_("/tmp/dominodb_bench_" + name) {
+    RemoveDirRecursively(path_).ok();
+    CreateDirIfMissing(path_).ok();
+  }
+  ~BenchDir() { RemoveDirRecursively(path_).ok(); }
+  const std::string& path() const { return path_; }
+  std::string Sub(const std::string& s) const { return path_ + "/" + s; }
+
+ private:
+  std::string path_;
+};
+
+/// A synthetic groupware document: a handful of summary items plus a rich
+/// text body of roughly `body_bytes`.
+inline Note SyntheticDoc(Rng* rng, size_t body_bytes,
+                         const std::string& form = "Memo") {
+  Note doc(NoteClass::kDocument);
+  doc.SetText("Form", form);
+  doc.SetText("Subject", rng->Word(4, 12) + " " + rng->Word(4, 12));
+  doc.SetText("Category",
+              std::string(1, static_cast<char>('A' + rng->Uniform(8))));
+  doc.SetNumber("Amount", static_cast<double>(rng->Uniform(10000)));
+  doc.SetTextList("Tags", {rng->Word(3, 8), rng->Word(3, 8)});
+  std::string body;
+  while (body.size() < body_bytes) {
+    body += rng->Word(2, 10);
+    body.push_back(' ');
+  }
+  doc.SetItem("Body", Value::RichText({RichTextRun{std::move(body), 0, ""}}));
+  return doc;
+}
+
+inline void PrintHeader(const char* experiment, const char* claim) {
+  printf("\n================================================================\n");
+  printf("%s\n", experiment);
+  printf("Claim: %s\n", claim);
+  printf("================================================================\n");
+}
+
+}  // namespace dominodb::bench
+
+#endif  // DOMINODB_BENCH_BENCH_UTIL_H_

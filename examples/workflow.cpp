@@ -1,0 +1,166 @@
+// Workflow example: a structured expense-approval process built from
+// Notes primitives — documents, views, agents and mail — the groupware
+// application pattern the paper (and the Exotica work around it)
+// describes: the process state lives in replicated documents, automation
+// lives in agents, and notifications travel as mail.
+//
+//   ./workflow [workdir]
+
+#include <cstdio>
+
+#include "agent/agent.h"
+#include "base/env.h"
+#include "server/server.h"
+#include "view/view_design.h"
+
+using namespace dominodb;
+
+namespace {
+
+Note Expense(const std::string& who, const std::string& what, double amount) {
+  Note doc(NoteClass::kDocument);
+  doc.SetText("Form", "Expense");
+  doc.SetText("Requester", who);
+  doc.SetText("Subject", what);
+  doc.SetNumber("Amount", amount);
+  doc.SetText("Status", "Submitted");
+  return doc;
+}
+
+void ShowStatusView(Database* db) {
+  printf("\n--- Expenses by status ---\n");
+  db->TraverseViewAs(Principal::User("clerk"), "By Status",
+                     [](const ViewRow& row) {
+                       if (row.kind == ViewRow::Kind::kCategory) {
+                         printf("%s (%zu)\n", row.category.c_str(),
+                                row.descendant_count);
+                       } else {
+                         printf("   %-28s $%-8s by %s\n",
+                                row.entry->ColumnText(1).c_str(),
+                                row.entry->ColumnText(2).c_str(),
+                                row.entry->ColumnText(3).c_str());
+                       }
+                     })
+      .ok();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir = argc > 1 ? argv[1] : "/tmp/dominodb_workflow";
+  RemoveDirRecursively(dir).ok();
+
+  SimClock clock(1'700'000'000'000'000);
+  SimNet net(&clock);
+  MailDirectory directory;
+  Server server("apps", dir + "/apps", &clock, &net, &directory);
+  server.EnsureMailInfrastructure().ok();
+  server.CreateMailFile("Fiona Finance").ok();
+
+  DatabaseOptions options;
+  options.title = "Expense Approvals";
+  Database* db = *server.OpenDatabase("expenses.nsf", options);
+
+  // Status-categorized view (drives the workflow UI and the agents).
+  std::vector<ViewColumn> columns;
+  ViewColumn status;
+  status.title = "Status";
+  status.formula_source = "Status";
+  status.categorized = true;
+  columns.push_back(std::move(status));
+  ViewColumn subject;
+  subject.title = "Subject";
+  subject.formula_source = "Subject";
+  subject.sort = ColumnSort::kAscending;
+  columns.push_back(std::move(subject));
+  ViewColumn amount;
+  amount.title = "Amount";
+  amount.formula_source = "Amount";
+  columns.push_back(std::move(amount));
+  ViewColumn requester;
+  requester.title = "Requester";
+  requester.formula_source = "Requester";
+  columns.push_back(std::move(requester));
+  db->CreateView(*ViewDesign::Create("By Status", "SELECT Form = \"Expense\"",
+                                     std::move(columns)))
+      .ok();
+
+  // Workflow agents: small expenses auto-approve; large ones route to
+  // review and record who must approve.
+  AgentRunner agents(db);
+  agents
+      .AddAgent(*AgentDesign::Create(
+          "Auto-approve small", AgentTrigger::kOnNewAndChanged, 0,
+          "SELECT Form = \"Expense\" & Status = \"Submitted\" & Amount <= 100",
+          "FIELD Status := \"Approved\"; "
+          "FIELD ApprovedBy := \"auto-policy\"; "
+          "FIELD DecidedAt := @Text(@Now)"))
+      .ok();
+  agents
+      .AddAgent(*AgentDesign::Create(
+          "Route large to review", AgentTrigger::kOnNewAndChanged, 0,
+          "SELECT Form = \"Expense\" & Status = \"Submitted\" & Amount > 100",
+          "FIELD Status := \"Pending Review\"; "
+          "FIELD Approver := @If(Amount > 1000; \"VP Finance\"; "
+          "\"Fiona Finance\")"))
+      .ok();
+
+  // Employees file expenses.
+  db->CreateNote(Expense("Ada", "Team lunch", 84)).ok();
+  db->CreateNote(Expense("Grace", "Conference travel", 920)).ok();
+  db->CreateNote(Expense("Linus", "New workstation", 2600)).ok();
+  db->CreateNote(Expense("Ada", "Reference book", 45)).ok();
+
+  printf("Filed 4 expenses. Running workflow agents...\n");
+  clock.Advance(1'000'000);
+  auto reports = *agents.RunDue(clock.Now());
+  for (const AgentRunReport& r : reports) {
+    printf("  agent '%s': scanned=%zu selected=%zu modified=%zu\n",
+           r.agent.c_str(), r.docs_scanned, r.docs_selected,
+           r.docs_modified);
+  }
+  ShowStatusView(db);
+
+  // Notify the approver by mail for each pending expense.
+  auto pending = *db->FormulaSearch(
+      "SELECT Status = \"Pending Review\" & Approver = \"Fiona Finance\"");
+  for (const Note& doc : pending) {
+    server
+        .SendMail("workflow-bot", {"Fiona Finance"},
+                  "Approval needed: " + doc.GetText("Subject"),
+                  doc.GetText("Requester") + " requests $" +
+                      FormatNumber(doc.GetNumber("Amount")))
+        .ok();
+  }
+  std::map<std::string, Router*> peers{{"apps", server.router()}};
+  server.RunRouterOnce(peers).ok();
+  printf("\nFiona's inbox: %zu approval request(s)\n",
+         server.MailFileOf("Fiona Finance")->note_count());
+
+  // Fiona approves one via the normal checked-edit path.
+  Principal fiona = Principal::User("Fiona Finance");
+  auto mine = *db->FormulaSearch(
+      "SELECT Status = \"Pending Review\" & Approver = \"Fiona Finance\"");
+  if (!mine.empty()) {
+    Note doc = mine[0];
+    doc.SetText("Status", "Approved");
+    doc.SetText("ApprovedBy", fiona.name);
+    db->UpdateNote(std::move(doc)).ok();
+    printf("Fiona approved '%s'.\n", mine[0].GetText("Subject").c_str());
+  }
+
+  // A reminder agent escalates stale reviews using @DbLookup against the
+  // view (cross-document logic inside a formula).
+  agents
+      .AddAgent(*AgentDesign::Create(
+          "Escalate stale", AgentTrigger::kManual, 0,
+          "SELECT Status = \"Pending Review\"",
+          "FIELD Status := \"Escalated\"; FIELD Approver := \"VP Finance\""))
+      .ok();
+  clock.Advance(3'600'000'000);  // an hour later
+  auto escalate = *agents.RunAgent("Escalate stale");
+  printf("\nEscalation agent modified %zu document(s).\n",
+         escalate.docs_modified);
+  ShowStatusView(db);
+  return 0;
+}

@@ -1,0 +1,13 @@
+#include "base/clock.h"
+
+#include <chrono>
+
+namespace dominodb {
+
+Micros SystemClock::Now() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace dominodb

@@ -1,0 +1,50 @@
+#ifndef DOMINODB_BASE_CLOCK_H_
+#define DOMINODB_BASE_CLOCK_H_
+
+#include <cstdint>
+#include <memory>
+
+namespace dominodb {
+
+/// Microseconds since the Unix epoch. All Notes timestamps (note creation,
+/// sequence times, replication-history cutoffs) use this unit.
+using Micros = int64_t;
+
+/// Time source abstraction. Production code uses SystemClock; every test
+/// and simulation uses SimClock so that sequence times, replication
+/// cutoffs and mail latencies are deterministic.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual Micros Now() const = 0;
+};
+
+/// Wall-clock time.
+class SystemClock : public Clock {
+ public:
+  Micros Now() const override;
+};
+
+/// Manually advanced clock. Guarantees strictly monotonic reads so that
+/// two updates at the "same" instant still get distinct sequence times
+/// (Domino's replication tie-break needs distinguishable times).
+class SimClock : public Clock {
+ public:
+  explicit SimClock(Micros start = 1'000'000'000'000'000) : now_(start) {}
+
+  Micros Now() const override { return now_; }
+
+  void Advance(Micros delta) { now_ += delta; }
+  void Set(Micros t) { now_ = t; }
+
+  /// Returns the current time and advances by one microsecond, so
+  /// successive calls are strictly increasing.
+  Micros Tick() { return now_++; }
+
+ private:
+  mutable Micros now_;
+};
+
+}  // namespace dominodb
+
+#endif  // DOMINODB_BASE_CLOCK_H_

@@ -1,0 +1,160 @@
+#include "base/coding.h"
+
+#include <cstring>
+
+namespace dominodb {
+
+void PutFixed16(std::string* dst, uint16_t value) {
+  char buf[2];
+  buf[0] = static_cast<char>(value & 0xff);
+  buf[1] = static_cast<char>((value >> 8) & 0xff);
+  dst->append(buf, 2);
+}
+
+void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  dst->append(buf, 4);
+}
+
+void PutFixed64(std::string* dst, uint64_t value) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  dst->append(buf, 8);
+}
+
+bool GetFixed16(std::string_view* input, uint16_t* value) {
+  if (input->size() < 2) return false;
+  const auto* p = reinterpret_cast<const unsigned char*>(input->data());
+  *value = static_cast<uint16_t>(p[0]) | static_cast<uint16_t>(p[1]) << 8;
+  input->remove_prefix(2);
+  return true;
+}
+
+bool GetFixed32(std::string_view* input, uint32_t* value) {
+  if (input->size() < 4) return false;
+  const auto* p = reinterpret_cast<const unsigned char*>(input->data());
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  *value = v;
+  input->remove_prefix(4);
+  return true;
+}
+
+bool GetFixed64(std::string_view* input, uint64_t* value) {
+  if (input->size() < 8) return false;
+  const auto* p = reinterpret_cast<const unsigned char*>(input->data());
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  *value = v;
+  input->remove_prefix(8);
+  return true;
+}
+
+void PutVarint32(std::string* dst, uint32_t value) {
+  PutVarint64(dst, value);
+}
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  unsigned char buf[10];
+  int n = 0;
+  while (value >= 0x80) {
+    buf[n++] = static_cast<unsigned char>(value) | 0x80;
+    value >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(value);
+  dst->append(reinterpret_cast<const char*>(buf), n);
+}
+
+bool GetVarint64(std::string_view* input, uint64_t* value) {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63 && !input->empty(); shift += 7) {
+    auto byte = static_cast<unsigned char>(input->front());
+    input->remove_prefix(1);
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool GetVarint32(std::string_view* input, uint32_t* value) {
+  uint64_t v = 0;
+  if (!GetVarint64(input, &v) || v > UINT32_MAX) return false;
+  *value = static_cast<uint32_t>(v);
+  return true;
+}
+
+void PutLengthPrefixed(std::string* dst, std::string_view value) {
+  PutVarint64(dst, value.size());
+  dst->append(value.data(), value.size());
+}
+
+bool GetLengthPrefixed(std::string_view* input, std::string_view* value) {
+  uint64_t len = 0;
+  if (!GetVarint64(input, &len)) return false;
+  if (input->size() < len) return false;
+  *value = input->substr(0, len);
+  input->remove_prefix(len);
+  return true;
+}
+
+uint64_t ZigZagEncode(int64_t value) {
+  return (static_cast<uint64_t>(value) << 1) ^
+         static_cast<uint64_t>(value >> 63);
+}
+
+int64_t ZigZagDecode(uint64_t value) {
+  return static_cast<int64_t>(value >> 1) ^ -static_cast<int64_t>(value & 1);
+}
+
+void PutVarSigned64(std::string* dst, int64_t value) {
+  PutVarint64(dst, ZigZagEncode(value));
+}
+
+bool GetVarSigned64(std::string_view* input, int64_t* value) {
+  uint64_t v = 0;
+  if (!GetVarint64(input, &v)) return false;
+  *value = ZigZagDecode(v);
+  return true;
+}
+
+void PutOrderedDouble(std::string* dst, double value) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  // Flip so that lexicographic byte order equals numeric order: positives
+  // get the sign bit set; negatives are fully inverted.
+  if (bits >> 63) {
+    bits = ~bits;
+  } else {
+    bits |= 1ull << 63;
+  }
+  // Big-endian append so the most significant byte compares first.
+  char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<char>((bits >> (8 * (7 - i))) & 0xff);
+  }
+  dst->append(buf, 8);
+}
+
+bool GetOrderedDouble(std::string_view* input, double* value) {
+  if (input->size() < 8) return false;
+  const auto* p = reinterpret_cast<const unsigned char*>(input->data());
+  uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits = (bits << 8) | p[i];
+  }
+  if (bits >> 63) {
+    bits &= ~(1ull << 63);
+  } else {
+    bits = ~bits;
+  }
+  std::memcpy(value, &bits, sizeof(bits));
+  input->remove_prefix(8);
+  return true;
+}
+
+}  // namespace dominodb

@@ -1,0 +1,47 @@
+#ifndef DOMINODB_BASE_CODING_H_
+#define DOMINODB_BASE_CODING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dominodb {
+
+/// Little-endian fixed-width and varint encoders/decoders used by the WAL,
+/// the note store and the collation-key builder. Decoders take a
+/// `string_view*` cursor and consume bytes from its front, returning false
+/// on underflow or malformed input.
+
+void PutFixed16(std::string* dst, uint16_t value);
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+
+bool GetFixed16(std::string_view* input, uint16_t* value);
+bool GetFixed32(std::string_view* input, uint32_t* value);
+bool GetFixed64(std::string_view* input, uint64_t* value);
+
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+
+bool GetVarint32(std::string_view* input, uint32_t* value);
+bool GetVarint64(std::string_view* input, uint64_t* value);
+
+/// Appends a varint32 length followed by the bytes of `value`.
+void PutLengthPrefixed(std::string* dst, std::string_view value);
+bool GetLengthPrefixed(std::string_view* input, std::string_view* value);
+
+/// Zig-zag coding so small negative integers stay small on the wire.
+uint64_t ZigZagEncode(int64_t value);
+int64_t ZigZagDecode(uint64_t value);
+
+void PutVarSigned64(std::string* dst, int64_t value);
+bool GetVarSigned64(std::string_view* input, int64_t* value);
+
+/// Encodes a double so that the byte-wise lexicographic order of the
+/// encodings matches numeric order (used for collation keys).
+void PutOrderedDouble(std::string* dst, double value);
+bool GetOrderedDouble(std::string_view* input, double* value);
+
+}  // namespace dominodb
+
+#endif  // DOMINODB_BASE_CODING_H_

@@ -1,0 +1,51 @@
+#include "base/crc32c.h"
+
+#include <array>
+
+namespace dominodb::crc32c {
+
+namespace {
+
+// CRC-32C polynomial (reflected).
+constexpr uint32_t kPoly = 0x82f63b78u;
+
+std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int j = 0; j < 8; ++j) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = MakeTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Extend(uint32_t init_crc, std::string_view data) {
+  const auto& table = Table();
+  uint32_t crc = ~init_crc;
+  for (unsigned char c : data) {
+    crc = table[(crc ^ c) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t Mask(uint32_t crc) {
+  constexpr uint32_t kMaskDelta = 0xa282ead8u;
+  return ((crc >> 15) | (crc << 17)) + kMaskDelta;
+}
+
+uint32_t Unmask(uint32_t masked) {
+  constexpr uint32_t kMaskDelta = 0xa282ead8u;
+  uint32_t rot = masked - kMaskDelta;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace dominodb::crc32c

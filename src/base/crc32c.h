@@ -1,0 +1,22 @@
+#ifndef DOMINODB_BASE_CRC32C_H_
+#define DOMINODB_BASE_CRC32C_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace dominodb::crc32c {
+
+/// Returns the CRC-32C (Castagnoli) of `data` continuing from `init_crc`
+/// (pass 0 for a fresh checksum).
+uint32_t Extend(uint32_t init_crc, std::string_view data);
+
+inline uint32_t Value(std::string_view data) { return Extend(0, data); }
+
+/// CRC values stored on disk are masked so that computing the CRC of a
+/// string that already contains an embedded CRC does not degenerate.
+uint32_t Mask(uint32_t crc);
+uint32_t Unmask(uint32_t masked);
+
+}  // namespace dominodb::crc32c
+
+#endif  // DOMINODB_BASE_CRC32C_H_

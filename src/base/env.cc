@@ -1,0 +1,161 @@
+#include "base/env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "base/string_util.h"
+
+namespace dominodb {
+
+namespace {
+
+Status ErrnoStatus(const std::string& context) {
+  return Status::IOError(context + ": " + std::strerror(errno));
+}
+
+constexpr size_t kWriteBufferSize = 64 * 1024;
+
+}  // namespace
+
+WritableFile::~WritableFile() {
+  if (fd_ >= 0) {
+    Flush().ok();
+    ::close(fd_);
+  }
+}
+
+Result<std::unique_ptr<WritableFile>> WritableFile::Open(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return ErrnoStatus("open " + path);
+  return std::unique_ptr<WritableFile>(new WritableFile(fd));
+}
+
+Status WritableFile::Append(std::string_view data) {
+  buffer_.append(data);
+  bytes_written_ += data.size();
+  if (buffer_.size() >= kWriteBufferSize) return Flush();
+  return Status::Ok();
+}
+
+Status WritableFile::Flush() {
+  size_t off = 0;
+  while (off < buffer_.size()) {
+    ssize_t n = ::write(fd_, buffer_.data() + off, buffer_.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write");
+    }
+    off += static_cast<size_t>(n);
+  }
+  buffer_.clear();
+  return Status::Ok();
+}
+
+Status WritableFile::Sync() {
+  DOMINO_RETURN_IF_ERROR(Flush());
+  if (::fsync(fd_) != 0) return ErrnoStatus("fsync");
+  return Status::Ok();
+}
+
+Status WritableFile::Close() {
+  DOMINO_RETURN_IF_ERROR(Flush());
+  int fd = fd_;
+  fd_ = -1;
+  if (::close(fd) != 0) return ErrnoStatus("close");
+  return Status::Ok();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return ErrnoStatus("open " + path);
+  }
+  std::string out;
+  char buf[64 * 1024];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return ErrnoStatus("read " + path);
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view data) {
+  std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoStatus("open " + tmp);
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return ErrnoStatus("write " + tmp);
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return ErrnoStatus("fsync " + tmp);
+  }
+  if (::close(fd) != 0) return ErrnoStatus("close " + tmp);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return ErrnoStatus("rename " + tmp);
+  }
+  return Status::Ok();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return ErrnoStatus("unlink " + path);
+  }
+  return Status::Ok();
+}
+
+Status CreateDirIfMissing(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) return Status::IOError("mkdir " + path + ": " + ec.message());
+  return Status::Ok();
+}
+
+Status RemoveDirRecursively(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove_all(path, ec);
+  if (ec) return Status::IOError("rm -r " + path + ": " + ec.message());
+  return Status::Ok();
+}
+
+Result<uint64_t> FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return ErrnoStatus("stat " + path);
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Status TruncateFile(const std::string& path, uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return ErrnoStatus("truncate " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace dominodb

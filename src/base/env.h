@@ -1,0 +1,61 @@
+#ifndef DOMINODB_BASE_ENV_H_
+#define DOMINODB_BASE_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+
+namespace dominodb {
+
+/// Append-only file handle used by the WAL and checkpoint writer.
+/// Sync() issues fsync so commit durability is real (experiment E7
+/// compares sync modes).
+class WritableFile {
+ public:
+  ~WritableFile();
+
+  WritableFile(const WritableFile&) = delete;
+  WritableFile& operator=(const WritableFile&) = delete;
+
+  /// Opens `path` for appending, creating it if missing.
+  static Result<std::unique_ptr<WritableFile>> Open(const std::string& path);
+
+  Status Append(std::string_view data);
+  Status Flush();
+  Status Sync();
+  Status Close();
+
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  explicit WritableFile(int fd) : fd_(fd) {}
+
+  int fd_;
+  uint64_t bytes_written_ = 0;
+  std::string buffer_;
+};
+
+/// Reads the entire file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `data` to `path` atomically (tmp file + rename + dir fsync).
+Status WriteFileAtomic(const std::string& path, std::string_view data);
+
+bool FileExists(const std::string& path);
+Status RemoveFileIfExists(const std::string& path);
+Status CreateDirIfMissing(const std::string& path);
+/// Removes a directory tree (used by tests/benches for scratch dirs).
+Status RemoveDirRecursively(const std::string& path);
+Result<uint64_t> FileSize(const std::string& path);
+
+/// Truncates `path` to `size` bytes (crash-injection helper for tests).
+Status TruncateFile(const std::string& path, uint64_t size);
+
+}  // namespace dominodb
+
+#endif  // DOMINODB_BASE_ENV_H_

@@ -1,0 +1,30 @@
+#ifndef DOMINODB_BASE_HASH_H_
+#define DOMINODB_BASE_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace dominodb {
+
+/// FNV-1a 64-bit hash; used for UNID generation and hash tables where a
+/// stable, platform-independent hash is required.
+inline uint64_t Fnv1a64(std::string_view data, uint64_t seed = 0) {
+  uint64_t h = 14695981039346656037ull ^ seed;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Finalizer from SplitMix64; good for mixing counters into ids.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace dominodb
+
+#endif  // DOMINODB_BASE_HASH_H_

@@ -1,0 +1,82 @@
+#ifndef DOMINODB_BASE_RESULT_H_
+#define DOMINODB_BASE_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "base/status.h"
+
+namespace dominodb {
+
+/// A Status or a value of type T. The usual pattern:
+///
+///   Result<Note> r = db.ReadNote(id);
+///   if (!r.ok()) return r.status();
+///   Use(r.value());
+template <typename T>
+class Result {
+ public:
+  /// Constructs an OK result holding `value`. Intentionally implicit so
+  /// functions can `return value;`.
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+
+  /// Constructs an error result. `status` must not be OK. Intentionally
+  /// implicit so functions can `return Status::NotFound(...)`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace dominodb
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error
+/// status from the enclosing function.
+#define DOMINO_ASSIGN_OR_RETURN(lhs, rexpr)         \
+  DOMINO_ASSIGN_OR_RETURN_IMPL_(                    \
+      DOMINO_RESULT_CONCAT_(_result_, __LINE__), lhs, rexpr)
+
+#define DOMINO_RESULT_CONCAT_INNER_(a, b) a##b
+#define DOMINO_RESULT_CONCAT_(a, b) DOMINO_RESULT_CONCAT_INNER_(a, b)
+#define DOMINO_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+#endif  // DOMINODB_BASE_RESULT_H_

@@ -1,0 +1,65 @@
+#ifndef DOMINODB_BASE_RNG_H_
+#define DOMINODB_BASE_RNG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "base/hash.h"
+
+namespace dominodb {
+
+/// Deterministic xoshiro-style PRNG (SplitMix64-seeded xorshift128+).
+/// All experiments and property tests seed this explicitly so that runs
+/// are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    s0_ = Mix64(seed);
+    s1_ = Mix64(s0_);
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Returns true with probability `p`.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Random lowercase ASCII word of length in [min_len, max_len].
+  std::string Word(int min_len, int max_len) {
+    int len = static_cast<int>(Range(min_len, max_len));
+    std::string out;
+    out.reserve(len);
+    for (int i = 0; i < len; ++i) {
+      out.push_back(static_cast<char>('a' + Uniform(26)));
+    }
+    return out;
+  }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace dominodb
+
+#endif  // DOMINODB_BASE_RNG_H_

@@ -1,0 +1,109 @@
+#ifndef DOMINODB_BASE_STATUS_H_
+#define DOMINODB_BASE_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace dominodb {
+
+/// Error categories used throughout DominoDB. Modeled after the
+/// LevelDB/Arrow convention: a `Status` is cheap to construct for the OK
+/// case and carries a code + message otherwise. No exceptions cross API
+/// boundaries in this codebase.
+enum class StatusCode {
+  kOk = 0,
+  kNotFound = 1,
+  kInvalidArgument = 2,
+  kCorruption = 3,
+  kIOError = 4,
+  kPermissionDenied = 5,
+  kAlreadyExists = 6,
+  kFailedPrecondition = 7,
+  kUnavailable = 8,
+  kSyntaxError = 9,
+  kConflict = 10,
+  kNotSupported = 11,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "NotFound").
+std::string_view StatusCodeName(StatusCode code);
+
+/// A value describing the outcome of an operation. OK statuses allocate
+/// nothing; error statuses carry a message describing what failed.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status SyntaxError(std::string msg) {
+    return Status(StatusCode::kSyntaxError, std::move(msg));
+  }
+  static Status Conflict(std::string msg) {
+    return Status(StatusCode::kConflict, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsPermissionDenied() const {
+    return code_ == StatusCode::kPermissionDenied;
+  }
+  bool IsConflict() const { return code_ == StatusCode::kConflict; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace dominodb
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK.
+#define DOMINO_RETURN_IF_ERROR(expr)              \
+  do {                                            \
+    ::dominodb::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+#endif  // DOMINODB_BASE_STATUS_H_

@@ -1,0 +1,54 @@
+#ifndef DOMINODB_BASE_STRING_UTIL_H_
+#define DOMINODB_BASE_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dominodb {
+
+/// ASCII-only case folding. Notes text comparison is case- and
+/// accent-insensitive by default; we reproduce the case-insensitive part
+/// for the ASCII range (the supported character set of this build).
+char AsciiToLower(char c);
+char AsciiToUpper(char c);
+std::string ToLower(std::string_view s);
+std::string ToUpper(std::string_view s);
+
+/// First letter of each word upper-cased, the rest lower-cased
+/// (the @ProperCase semantics).
+std::string ToProperCase(std::string_view s);
+
+/// Case-insensitive comparison, returning <0, 0, >0.
+int CompareIgnoreCase(std::string_view a, std::string_view b);
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
+
+/// Splits on any single character in `separators`; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, std::string_view separators);
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+std::string TrimWhitespace(std::string_view s);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+/// printf-style formatting into a std::string.
+std::string StrPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Wildcard match supporting '?' (one char) and '*' (any run), the
+/// @Matches subset used by selective replication formulas.
+bool WildcardMatch(std::string_view pattern, std::string_view text);
+
+/// Hex encoding (lower case) used to print UNIDs.
+std::string HexEncode(std::string_view data);
+
+}  // namespace dominodb
+
+#endif  // DOMINODB_BASE_STRING_UTIL_H_

@@ -1,0 +1,687 @@
+#include "core/database.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "base/string_util.h"
+#include "formula/formula.h"
+
+namespace dominodb {
+
+namespace {
+
+std::atomic<uint64_t> g_open_counter{1};
+
+}  // namespace
+
+Result<std::unique_ptr<Database>> Database::Open(
+    const std::string& dir, const DatabaseOptions& options,
+    const Clock* clock) {
+  uint64_t seed = options.unid_seed != 0
+                      ? options.unid_seed
+                      : Fnv1a64(dir) ^
+                            Mix64(g_open_counter.fetch_add(1));
+  std::unique_ptr<Database> db(new Database(clock, seed));
+  DatabaseInfo default_info;
+  default_info.title = options.title;
+  default_info.purge_interval = options.purge_interval;
+  if (options.replica_id.IsNull()) {
+    default_info.replica_id = Unid{db->rng_.Next(), db->rng_.Next()};
+  } else {
+    default_info.replica_id = options.replica_id;
+  }
+  DOMINO_ASSIGN_OR_RETURN(db->store_,
+                          NoteStore::Open(dir, options.store, default_info));
+  db->LoadDesignState();
+  return db;
+}
+
+void Database::LoadDesignState() {
+  // Children index + design notes (ACL, views) from the store.
+  std::vector<const Note*> view_notes;
+  store_->ForEach([&](const Note& note) {
+    if (!note.deleted() && !note.parent_unid().IsNull()) {
+      children_[note.parent_unid()].insert(note.id());
+    }
+    if (note.deleted()) return;
+    if (note.note_class() == NoteClass::kAcl) {
+      auto acl = Acl::FromNote(note);
+      if (acl.ok()) {
+        acl_ = std::move(*acl);
+        acl_note_id_ = note.id();
+      }
+    }
+  });
+  // Views need a second pass so the children index is complete before
+  // the rebuild walks response hierarchies.
+  store_->ForEach([&](const Note& note) {
+    if (!note.deleted() && note.note_class() == NoteClass::kView) {
+      ApplyDesignNote(note).ok();
+    }
+  });
+}
+
+Unid Database::GenerateUnid() {
+  for (;;) {
+    Unid unid{rng_.Next(), rng_.Next()};
+    if (!unid.IsNull() && !store_->ContainsUnid(unid)) return unid;
+  }
+}
+
+Micros Database::StampTime() {
+  // Sequence times double as version identifiers during replication, so
+  // two replicas must never stamp the same microsecond. Real deployments
+  // rely on clock skew; under a shared SimClock we reproduce the skew by
+  // giving each database instance a distinct sub-millisecond residue.
+  Micros t = clock_ != nullptr ? clock_->Now() : 0;
+  t = t - (t % 1000) + stamp_salt_;
+  if (t <= last_stamp_) {
+    t = last_stamp_ + 1000;  // next millisecond tick, same residue
+  }
+  last_stamp_ = t;
+  return t;
+}
+
+
+Status Database::SetAcl(const Acl& acl) {
+  Note note = acl.ToNote();
+  if (acl_note_id_ != kInvalidNoteId) {
+    auto existing = store_->Get(acl_note_id_);
+    if (existing.ok()) {
+      note.set_id(acl_note_id_);
+      note.SetReplicationState(existing->oid(), existing->revisions(),
+                               existing->created(), false);
+      note.BumpSequence(StampTime());
+      note.set_modified_in_file(StampTime());
+  DOMINO_RETURN_IF_ERROR(store_->Put(&note));
+      return AfterChange(note);
+    }
+  }
+  note.StampCreated(GenerateUnid(), StampTime());
+  note.set_modified_in_file(StampTime());
+  DOMINO_RETURN_IF_ERROR(store_->Put(&note));
+  acl_note_id_ = note.id();
+  return AfterChange(note);
+}
+
+Status Database::SetAclAs(const Principal& who, const Acl& acl) {
+  if (!CanChangeAcl(acl_, who)) {
+    return Status::PermissionDenied(who.name + " lacks Manager access");
+  }
+  return SetAcl(acl);
+}
+
+Result<NoteId> Database::CreateNote(Note note) {
+  note.set_id(kInvalidNoteId);
+  note.StampCreated(GenerateUnid(), StampTime());
+  note.StampItemModifications(nullptr, note.sequence_time());
+  note.set_modified_in_file(StampTime());
+  DOMINO_RETURN_IF_ERROR(store_->Put(&note));
+  DOMINO_RETURN_IF_ERROR(AfterChange(note));
+  return note.id();
+}
+
+Status Database::UpdateNote(Note note) {
+  const Note* existing = store_->FindPtr(note.id());
+  if (existing == nullptr || existing->deleted()) {
+    return Status::NotFound(StrPrintf("note %u", note.id()));
+  }
+  if (existing->unid() != note.unid()) {
+    return Status::InvalidArgument("note UNID mismatch on update");
+  }
+  if (existing->sequence() != note.sequence()) {
+    // The caller's copy is stale: a local "save conflict" in Notes terms.
+    return Status::Conflict(
+        StrPrintf("note %u was updated concurrently (seq %u vs %u)",
+                  note.id(), existing->sequence(), note.sequence()));
+  }
+  note.BumpSequence(StampTime());
+  note.StampItemModifications(existing, note.sequence_time());
+  note.set_modified_in_file(StampTime());
+  DOMINO_RETURN_IF_ERROR(store_->Put(&note));
+  return AfterChange(note);
+}
+
+Status Database::DeleteNote(NoteId id) {
+  const Note* existing = store_->FindPtr(id);
+  if (existing == nullptr || existing->deleted()) {
+    return Status::NotFound(StrPrintf("note %u", id));
+  }
+  Note stub = *existing;
+  stub.MakeStub(StampTime());
+  stub.set_modified_in_file(StampTime());
+  DOMINO_RETURN_IF_ERROR(store_->Put(&stub));
+  return AfterChange(stub);
+}
+
+Result<Note> Database::ReadNote(NoteId id) const {
+  const Note* note = store_->FindPtr(id);
+  if (note == nullptr || note->deleted()) {
+    return Status::NotFound(StrPrintf("note %u", id));
+  }
+  return *note;
+}
+
+Result<Note> Database::ReadNoteByUnid(const Unid& unid) const {
+  const Note* note = store_->FindPtrByUnid(unid);
+  if (note == nullptr || note->deleted()) {
+    return Status::NotFound("unid " + unid.ToString());
+  }
+  return *note;
+}
+
+Result<NoteId> Database::CreateNoteAs(const Principal& who, Note note) {
+  if (note.note_class() == NoteClass::kDocument) {
+    if (!CanCreateDocuments(acl_, who)) {
+      return Status::PermissionDenied(who.name + " may not create documents");
+    }
+  } else if (!CanChangeDesign(acl_, who)) {
+    return Status::PermissionDenied(who.name + " may not change design");
+  }
+  note.SetText("$UpdatedBy", who.name);
+  return CreateNote(std::move(note));
+}
+
+Status Database::UpdateNoteAs(const Principal& who, Note note) {
+  const Note* existing = store_->FindPtr(note.id());
+  if (existing == nullptr || existing->deleted()) {
+    return Status::NotFound(StrPrintf("note %u", note.id()));
+  }
+  if (existing->note_class() == NoteClass::kDocument) {
+    if (!CanEditDocument(acl_, who, *existing)) {
+      return Status::PermissionDenied(who.name + " may not edit this note");
+    }
+  } else if (!CanChangeDesign(acl_, who)) {
+    return Status::PermissionDenied(who.name + " may not change design");
+  }
+  note.SetText("$UpdatedBy", who.name);
+  return UpdateNote(std::move(note));
+}
+
+Status Database::DeleteNoteAs(const Principal& who, NoteId id) {
+  const Note* existing = store_->FindPtr(id);
+  if (existing == nullptr || existing->deleted()) {
+    return Status::NotFound(StrPrintf("note %u", id));
+  }
+  if (existing->note_class() == NoteClass::kDocument) {
+    if (!CanEditDocument(acl_, who, *existing)) {
+      return Status::PermissionDenied(who.name + " may not delete this note");
+    }
+  } else if (!CanChangeDesign(acl_, who)) {
+    return Status::PermissionDenied(who.name + " may not change design");
+  }
+  return DeleteNote(id);
+}
+
+Result<Note> Database::ReadNoteAs(const Principal& who, NoteId id) const {
+  DOMINO_ASSIGN_OR_RETURN(Note note, ReadNote(id));
+  if (!CanReadDocument(acl_, who, note)) {
+    return Status::PermissionDenied(who.name + " may not read this note");
+  }
+  return note;
+}
+
+Result<NoteId> Database::CreateResponse(const Unid& parent, Note note) {
+  const Note* parent_note = store_->FindPtrByUnid(parent);
+  if (parent_note == nullptr || parent_note->deleted()) {
+    return Status::NotFound("parent " + parent.ToString());
+  }
+  note.set_parent_unid(parent);
+  return CreateNote(std::move(note));
+}
+
+Result<ViewIndex*> Database::CreateView(ViewDesign design) {
+  std::string key = ToLower(design.name());
+  Note design_note = design.ToNote();
+  auto it = view_note_ids_.find(key);
+  if (it != view_note_ids_.end()) {
+    auto existing = store_->Get(it->second);
+    if (existing.ok()) {
+      design_note.set_id(it->second);
+      design_note.SetReplicationState(existing->oid(), existing->revisions(),
+                                      existing->created(), false);
+      design_note.BumpSequence(StampTime());
+      design_note.set_modified_in_file(StampTime());
+  DOMINO_RETURN_IF_ERROR(store_->Put(&design_note));
+      DOMINO_RETURN_IF_ERROR(AfterChange(design_note));
+      return views_[key].get();
+    }
+  }
+  design_note.StampCreated(GenerateUnid(), StampTime());
+  design_note.set_modified_in_file(StampTime());
+  DOMINO_RETURN_IF_ERROR(store_->Put(&design_note));
+  DOMINO_RETURN_IF_ERROR(AfterChange(design_note));
+  return views_[key].get();
+}
+
+ViewIndex* Database::FindView(std::string_view name) {
+  auto it = views_.find(ToLower(name));
+  return it == views_.end() ? nullptr : it->second.get();
+}
+
+const ViewIndex* Database::FindView(std::string_view name) const {
+  auto it = views_.find(ToLower(name));
+  return it == views_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Database::ViewNames() const {
+  std::vector<std::string> names;
+  for (const auto& [key, view] : views_) {
+    names.push_back(view->design().name());
+  }
+  return names;
+}
+
+Status Database::TraverseViewAs(
+    const Principal& who, std::string_view view_name,
+    const std::function<void(const ViewRow&)>& visit) const {
+  if (acl_.LevelFor(who) < AccessLevel::kReader) {
+    return Status::PermissionDenied(who.name + " lacks Reader access");
+  }
+  const ViewIndex* view = FindView(view_name);
+  if (view == nullptr) {
+    return Status::NotFound("view " + std::string(view_name));
+  }
+  // Collect rows, drop unreadable documents, then prune category rows
+  // left without any visible descendants.
+  std::vector<ViewRow> rows;
+  view->Traverse([&](const ViewRow& row) {
+    if (row.kind == ViewRow::Kind::kDocument) {
+      const Note* note = FindById(row.entry->note_id);
+      if (note == nullptr || !CanReadDocument(acl_, who, *note)) return;
+    }
+    rows.push_back(row);
+  });
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].kind == ViewRow::Kind::kCategory) {
+      bool has_docs = false;
+      for (size_t j = i + 1; j < rows.size(); ++j) {
+        if (rows[j].kind == ViewRow::Kind::kCategory &&
+            rows[j].indent <= rows[i].indent) {
+          break;
+        }
+        if (rows[j].kind == ViewRow::Kind::kDocument) {
+          has_docs = true;
+          break;
+        }
+      }
+      if (!has_docs) continue;
+    }
+    visit(rows[i]);
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+constexpr char kFolderForm[] = "$Folder";
+
+}  // namespace
+
+Result<NoteId> Database::CreateFolder(const std::string& name) {
+  NoteId existing = kInvalidNoteId;
+  ForEachLiveNote([&](const Note& note) {
+    if (note.note_class() == NoteClass::kDesign &&
+        EqualsIgnoreCase(note.GetText("Form"), kFolderForm) &&
+        EqualsIgnoreCase(note.GetText("$Title"), name)) {
+      existing = note.id();
+    }
+  });
+  if (existing != kInvalidNoteId) {
+    return Status::AlreadyExists("folder " + name);
+  }
+  Note folder(NoteClass::kDesign);
+  folder.SetText("Form", kFolderForm);
+  folder.SetText("$Title", name);
+  folder.SetTextList("$FolderRefs", {});
+  return CreateNote(std::move(folder));
+}
+
+namespace {
+
+Result<Note> FindFolderNote(const Database& db, const std::string& name) {
+  Note found;
+  bool ok = false;
+  db.ForEachLiveNote([&](const Note& note) {
+    if (note.note_class() == NoteClass::kDesign &&
+        EqualsIgnoreCase(note.GetText("Form"), kFolderForm) &&
+        EqualsIgnoreCase(note.GetText("$Title"), name)) {
+      found = note;
+      ok = true;
+    }
+  });
+  if (!ok) return Status::NotFound("folder " + name);
+  return found;
+}
+
+}  // namespace
+
+Status Database::AddToFolder(const std::string& name, const Unid& unid) {
+  if (FindByUnid(unid) == nullptr) {
+    return Status::NotFound("document " + unid.ToString());
+  }
+  DOMINO_ASSIGN_OR_RETURN(Note folder, FindFolderNote(*this, name));
+  const Value* refs = folder.FindValue("$FolderRefs");
+  std::vector<std::string> list =
+      refs != nullptr ? refs->texts() : std::vector<std::string>();
+  std::string key = unid.ToString();
+  for (const std::string& ref : list) {
+    if (ref == key) return Status::Ok();  // already a member
+  }
+  list.push_back(key);
+  folder.SetTextList("$FolderRefs", std::move(list));
+  return UpdateNote(std::move(folder));
+}
+
+Status Database::RemoveFromFolder(const std::string& name,
+                                  const Unid& unid) {
+  DOMINO_ASSIGN_OR_RETURN(Note folder, FindFolderNote(*this, name));
+  const Value* refs = folder.FindValue("$FolderRefs");
+  std::vector<std::string> list =
+      refs != nullptr ? refs->texts() : std::vector<std::string>();
+  std::string key = unid.ToString();
+  auto it = std::find(list.begin(), list.end(), key);
+  if (it == list.end()) {
+    return Status::NotFound("document not in folder " + name);
+  }
+  list.erase(it);
+  folder.SetTextList("$FolderRefs", std::move(list));
+  return UpdateNote(std::move(folder));
+}
+
+Result<std::vector<Note>> Database::FolderContents(
+    const std::string& name) const {
+  DOMINO_ASSIGN_OR_RETURN(Note folder, FindFolderNote(*this, name));
+  std::vector<Note> out;
+  const Value* refs = folder.FindValue("$FolderRefs");
+  if (refs != nullptr) {
+    for (const std::string& ref : refs->texts()) {
+      const Note* note = FindByUnid(Unid::FromString(ref));
+      if (note != nullptr) out.push_back(*note);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Database::FolderNames() const {
+  std::vector<std::string> names;
+  ForEachLiveNote([&](const Note& note) {
+    if (note.note_class() == NoteClass::kDesign &&
+        EqualsIgnoreCase(note.GetText("Form"), kFolderForm)) {
+      names.push_back(note.GetText("$Title"));
+    }
+  });
+  return names;
+}
+
+Status Database::EnsureFullTextIndex() {
+  if (fulltext_ != nullptr) return Status::Ok();
+  fulltext_ = std::make_unique<FullTextIndex>();
+  store_->ForEach([this](const Note& note) { fulltext_->IndexNote(note); });
+  return Status::Ok();
+}
+
+Result<std::vector<Note>> Database::SearchAs(const Principal& who,
+                                             std::string_view query) const {
+  if (fulltext_ == nullptr) {
+    return Status::FailedPrecondition(
+        "no full-text index; call EnsureFullTextIndex first");
+  }
+  DOMINO_ASSIGN_OR_RETURN(auto hits, fulltext_->Search(query));
+  std::vector<Note> out;
+  for (const FtHit& hit : hits) {
+    const Note* note = store_->FindPtr(hit.note_id);
+    if (note != nullptr && !note->deleted() &&
+        CanReadDocument(acl_, who, *note)) {
+      out.push_back(*note);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Note>> Database::FormulaSearch(
+    std::string_view selection) const {
+  DOMINO_ASSIGN_OR_RETURN(auto f, formula::Formula::Compile(selection));
+  std::vector<Note> out;
+  formula::EvalContext ctx;
+  BindFormulaServices(&ctx);
+  store_->ForEach([&](const Note& note) {
+    if (note.deleted() || note.note_class() != NoteClass::kDocument) return;
+    ctx.note = &note;
+    auto matched = f.Matches(ctx);
+    if (matched.ok() && *matched) out.push_back(note);
+  });
+  return out;
+}
+
+namespace {
+
+/// Concatenates one column across view entries into a single list value,
+/// preserving the column type when uniform and falling back to text.
+Value ConcatColumn(const std::vector<const ViewEntry*>& entries,
+                   size_t column_1based) {
+  if (column_1based == 0) return Value::TextList({});
+  size_t col = column_1based - 1;
+  bool all_numbers = true;
+  bool all_times = true;
+  for (const ViewEntry* entry : entries) {
+    if (col >= entry->column_values.size()) continue;
+    const Value& v = entry->column_values[col];
+    all_numbers = all_numbers && v.is_number();
+    all_times = all_times && v.is_datetime();
+  }
+  if (all_numbers) {
+    std::vector<double> out;
+    for (const ViewEntry* entry : entries) {
+      if (col >= entry->column_values.size()) continue;
+      const auto& nums = entry->column_values[col].numbers();
+      out.insert(out.end(), nums.begin(), nums.end());
+    }
+    return Value::NumberList(std::move(out));
+  }
+  if (all_times) {
+    std::vector<Micros> out;
+    for (const ViewEntry* entry : entries) {
+      if (col >= entry->column_values.size()) continue;
+      const auto& times = entry->column_values[col].times();
+      out.insert(out.end(), times.begin(), times.end());
+    }
+    return Value::DateTimeList(std::move(out));
+  }
+  std::vector<std::string> out;
+  for (const ViewEntry* entry : entries) {
+    if (col >= entry->column_values.size()) continue;
+    const Value& v = entry->column_values[col];
+    for (size_t i = 0; i < v.size(); ++i) {
+      out.push_back(v.is_text() ? v.texts()[i] : v.ToDisplayString());
+    }
+  }
+  return Value::TextList(std::move(out));
+}
+
+}  // namespace
+
+void Database::BindFormulaServices(formula::EvalContext* ctx) const {
+  ctx->clock = clock_;
+  ctx->db_title = title();
+  ctx->replica_id = replica_id().ToString();
+  ctx->db_lookup = [this](const std::string& view_name,
+                          const std::optional<Value>& key,
+                          size_t column) -> Result<Value> {
+    const ViewIndex* view = FindView(view_name);
+    if (view == nullptr) {
+      return Status::NotFound("@DbLookup/@DbColumn: no view " + view_name);
+    }
+    std::vector<const ViewEntry*> entries =
+        key.has_value() ? view->FindByKey(*key) : view->Entries();
+    if (column == 0 || column > view->design().columns().size()) {
+      return Status::InvalidArgument(
+          "@DbLookup/@DbColumn: bad column index");
+    }
+    return ConcatColumn(entries, column);
+  };
+}
+
+void Database::MarkRead(const Principal& who, const Unid& unid) {
+  read_marks_[ToLower(who.name)].insert(unid);
+}
+
+bool Database::IsUnread(const Principal& who, const Unid& unid) const {
+  auto it = read_marks_.find(ToLower(who.name));
+  if (it == read_marks_.end()) return true;
+  return it->second.count(unid) == 0;
+}
+
+size_t Database::UnreadCount(const Principal& who) const {
+  size_t unread = 0;
+  store_->ForEach([&](const Note& note) {
+    if (!note.deleted() && note.note_class() == NoteClass::kDocument &&
+        IsUnread(who, note.unid())) {
+      ++unread;
+    }
+  });
+  return unread;
+}
+
+std::vector<Oid> Database::ChangesSince(Micros cutoff) const {
+  std::vector<Oid> changes;
+  store_->ForEach([&](const Note& note) {
+    if (note.modified_in_file() > cutoff) changes.push_back(note.oid());
+  });
+  return changes;
+}
+
+Result<Note> Database::GetAnyByUnid(const Unid& unid) const {
+  const Note* note = store_->FindPtrByUnid(unid);
+  if (note == nullptr) return Status::NotFound("unid " + unid.ToString());
+  return *note;
+}
+
+Status Database::InstallRemoteNote(Note note) {
+  const Note* local = store_->FindPtrByUnid(note.unid());
+  note.set_id(local != nullptr ? local->id() : kInvalidNoteId);
+  note.set_modified_in_file(StampTime());
+  DOMINO_RETURN_IF_ERROR(store_->Put(&note));
+  return AfterChange(note);
+}
+
+Result<size_t> Database::PurgeStubs() {
+  // Collect ids first: Erase mutates the map under ForEach otherwise.
+  std::vector<NoteId> purged;
+  Micros cutoff =
+      (clock_ != nullptr ? clock_->Now() : 0) - store_->info().purge_interval;
+  store_->ForEach([&](const Note& note) {
+    if (note.deleted() && note.sequence_time() < cutoff) {
+      purged.push_back(note.id());
+    }
+  });
+  for (NoteId id : purged) {
+    DOMINO_RETURN_IF_ERROR(store_->Erase(id));
+    for (auto& [parent, kids] : children_) kids.erase(id);
+    for (auto& [name, view] : views_) view->Remove(id);
+    if (fulltext_ != nullptr) fulltext_->RemoveNote(id);
+    for (DatabaseObserver* obs : observers_) obs->OnNoteErased(id);
+  }
+  return purged.size();
+}
+
+void Database::AddObserver(DatabaseObserver* observer) {
+  observers_.push_back(observer);
+}
+
+void Database::RemoveObserver(DatabaseObserver* observer) {
+  for (auto it = observers_.begin(); it != observers_.end(); ++it) {
+    if (*it == observer) {
+      observers_.erase(it);
+      return;
+    }
+  }
+}
+
+void Database::ForEachLiveNote(
+    const std::function<void(const Note&)>& fn) const {
+  store_->ForEach([&](const Note& note) {
+    if (!note.deleted()) fn(note);
+  });
+}
+
+void Database::ForEachNote(const std::function<void(const Note&)>& fn) const {
+  store_->ForEach(fn);
+}
+
+const Note* Database::FindByUnid(const Unid& unid) const {
+  const Note* note = store_->FindPtrByUnid(unid);
+  return (note != nullptr && !note->deleted()) ? note : nullptr;
+}
+
+const Note* Database::FindById(NoteId id) const {
+  const Note* note = store_->FindPtr(id);
+  return (note != nullptr && !note->deleted()) ? note : nullptr;
+}
+
+std::vector<NoteId> Database::ChildrenOf(const Unid& parent) const {
+  auto it = children_.find(parent);
+  if (it == children_.end()) return {};
+  return std::vector<NoteId>(it->second.begin(), it->second.end());
+}
+
+Status Database::ApplyDesignNote(const Note& note) {
+  if (note.note_class() == NoteClass::kAcl) {
+    DOMINO_ASSIGN_OR_RETURN(Acl acl, Acl::FromNote(note));
+    acl_ = std::move(acl);
+    acl_note_id_ = note.id();
+    return Status::Ok();
+  }
+  if (note.note_class() == NoteClass::kView) {
+    DOMINO_ASSIGN_OR_RETURN(ViewDesign design, ViewDesign::FromNote(note));
+    std::string key = ToLower(design.name());
+    auto index = std::make_unique<ViewIndex>(std::move(design), clock_);
+    DOMINO_RETURN_IF_ERROR(index->Rebuild(
+        [this](const std::function<void(const Note&)>& fn) {
+          store_->ForEach(fn);
+        },
+        this));
+    views_[key] = std::move(index);
+    view_note_ids_[key] = note.id();
+    return Status::Ok();
+  }
+  return Status::Ok();
+}
+
+Status Database::AfterChange(const Note& note) {
+  // Response-children index.
+  if (!note.parent_unid().IsNull()) {
+    if (note.deleted()) {
+      children_[note.parent_unid()].erase(note.id());
+    } else {
+      children_[note.parent_unid()].insert(note.id());
+    }
+  }
+  // Design changes take effect immediately — including ones that arrive
+  // via replication (a central point of the Notes architecture).
+  if (note.note_class() == NoteClass::kAcl ||
+      note.note_class() == NoteClass::kView) {
+    if (note.deleted()) {
+      if (note.note_class() == NoteClass::kView) {
+        for (auto it = view_note_ids_.begin(); it != view_note_ids_.end();
+             ++it) {
+          if (it->second == note.id()) {
+            views_.erase(it->first);
+            view_note_ids_.erase(it);
+            break;
+          }
+        }
+      }
+    } else {
+      DOMINO_RETURN_IF_ERROR(ApplyDesignNote(note));
+    }
+  }
+  for (auto& [name, view] : views_) {
+    DOMINO_RETURN_IF_ERROR(view->Update(note, this));
+  }
+  if (fulltext_ != nullptr) fulltext_->IndexNote(note);
+  for (DatabaseObserver* obs : observers_) obs->OnNoteChanged(note);
+  return Status::Ok();
+}
+
+}  // namespace dominodb

@@ -1,0 +1,212 @@
+#ifndef DOMINODB_CORE_DATABASE_H_
+#define DOMINODB_CORE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/clock.h"
+#include "base/result.h"
+#include "base/rng.h"
+#include "formula/formula.h"
+#include "fulltext/fulltext_index.h"
+#include "model/note.h"
+#include "security/acl.h"
+#include "storage/note_store.h"
+#include "view/view_index.h"
+
+namespace dominodb {
+
+/// Receives change events after every committed mutation. Used by the
+/// cluster (event-driven) replicator and by tests.
+class DatabaseObserver {
+ public:
+  virtual ~DatabaseObserver() = default;
+  /// Fired for creates, updates and logical deletes (note.deleted()).
+  virtual void OnNoteChanged(const Note& note) = 0;
+  /// Fired when a stub is physically purged.
+  virtual void OnNoteErased(NoteId id) { (void)id; }
+};
+
+struct DatabaseOptions {
+  StoreOptions store;
+  std::string title = "Untitled";
+  /// Shared across replicas; null generates a fresh one (new database).
+  Unid replica_id;
+  Micros purge_interval = 90ll * 24 * 3600 * 1'000'000;
+  /// Seed for UNID generation (distinct per server instance).
+  uint64_t unid_seed = 0;
+};
+
+/// The Notes database: the unit of storage, access control and
+/// replication. Ties together the note store, view indexes, the full-text
+/// index and the ACL, and maintains the response-hierarchy index.
+///
+/// Two API surfaces:
+///  - unchecked CRUD (`CreateNote`, ...) for server-internal tasks, and
+///  - principal-checked CRUD (`CreateNoteAs`, ...) enforcing the ACL and
+///    reader/author fields on every path, as Domino does.
+class Database : public NoteResolver {
+ public:
+  static Result<std::unique_ptr<Database>> Open(const std::string& dir,
+                                                const DatabaseOptions& options,
+                                                const Clock* clock);
+  ~Database() override = default;
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // -- Identity ---------------------------------------------------------
+  const Unid& replica_id() const { return store_->info().replica_id; }
+  const std::string& title() const { return store_->info().title; }
+  const DatabaseInfo& info() const { return store_->info(); }
+  const Clock* clock() const { return clock_; }
+
+  /// The last modified-in-file stamp issued by this database. Everything
+  /// written so far carries a stamp ≤ this value; the replicator records
+  /// it as the post-session cutoff.
+  Micros last_write_stamp() const { return last_stamp_; }
+
+  // -- Security ---------------------------------------------------------
+  const Acl& acl() const { return acl_; }
+  /// Replaces the ACL (persisted as the ACL note, so it replicates).
+  Status SetAcl(const Acl& acl);
+  /// Checked variant: `who` must hold Manager access.
+  Status SetAclAs(const Principal& who, const Acl& acl);
+
+  // -- Unchecked CRUD (server-internal) ----------------------------------
+  /// Stamps a fresh UNID/OID and stores the note. Returns the note id.
+  Result<NoteId> CreateNote(Note note);
+  /// Bumps the sequence number and stores. The note must carry the OID of
+  /// the version being updated (read-modify-write).
+  Status UpdateNote(Note note);
+  /// Replaces the note with a deletion stub.
+  Status DeleteNote(NoteId id);
+  /// Live notes only (NotFound for stubs).
+  Result<Note> ReadNote(NoteId id) const;
+  Result<Note> ReadNoteByUnid(const Unid& unid) const;
+
+  // -- Checked CRUD -------------------------------------------------------
+  Result<NoteId> CreateNoteAs(const Principal& who, Note note);
+  Status UpdateNoteAs(const Principal& who, Note note);
+  Status DeleteNoteAs(const Principal& who, NoteId id);
+  Result<Note> ReadNoteAs(const Principal& who, NoteId id) const;
+
+  /// Creates a response document under `parent`.
+  Result<NoteId> CreateResponse(const Unid& parent, Note note);
+
+  // -- Views --------------------------------------------------------------
+  /// Persists the design note and builds the index.
+  Result<ViewIndex*> CreateView(ViewDesign design);
+  /// nullptr if absent.
+  ViewIndex* FindView(std::string_view name);
+  const ViewIndex* FindView(std::string_view name) const;
+  std::vector<std::string> ViewNames() const;
+  /// Traverses a view, filtering rows the principal may not read
+  /// (document-level security applies to every access path).
+  Status TraverseViewAs(const Principal& who, std::string_view view_name,
+                        const std::function<void(const ViewRow&)>& visit) const;
+
+  // -- Folders ----------------------------------------------------------
+  // Notes R4 folders: manual document collections. Stored as design notes
+  // ($Folder), so membership replicates like any other note.
+  /// Creates an empty folder (error if the name is taken).
+  Result<NoteId> CreateFolder(const std::string& name);
+  Status AddToFolder(const std::string& name, const Unid& unid);
+  Status RemoveFromFolder(const std::string& name, const Unid& unid);
+  /// Live documents currently in the folder (dangling refs are skipped).
+  Result<std::vector<Note>> FolderContents(const std::string& name) const;
+  std::vector<std::string> FolderNames() const;
+
+  // -- Full-text ------------------------------------------------------------
+  /// Builds the index if needed; it is maintained incrementally afterward.
+  Status EnsureFullTextIndex();
+  bool HasFullTextIndex() const { return fulltext_ != nullptr; }
+  const FullTextIndex* fulltext() const { return fulltext_.get(); }
+  /// Scored search returning readable notes only.
+  Result<std::vector<Note>> SearchAs(const Principal& who,
+                                     std::string_view query) const;
+
+  // -- Formula search (db.Search) ------------------------------------------
+  /// Full-scan selection by formula; live documents only.
+  Result<std::vector<Note>> FormulaSearch(std::string_view selection) const;
+
+  /// Fills the formula context with this database's services: title,
+  /// replica id, clock, and the @DbLookup/@DbColumn hook over this
+  /// database's views.
+  void BindFormulaServices(formula::EvalContext* ctx) const;
+
+  // -- Unread marks -----------------------------------------------------------
+  void MarkRead(const Principal& who, const Unid& unid);
+  bool IsUnread(const Principal& who, const Unid& unid) const;
+  size_t UnreadCount(const Principal& who) const;
+
+  // -- Replication support ------------------------------------------------
+  /// OIDs of every note (stubs included) whose sequence time is newer
+  /// than `cutoff` — the change summary exchanged by the replicator.
+  std::vector<Oid> ChangesSince(Micros cutoff) const;
+  /// Includes stubs.
+  Result<Note> GetAnyByUnid(const Unid& unid) const;
+  /// Stores a note received from a remote replica verbatim (no local
+  /// re-stamping); reuses the local note id when the UNID exists.
+  Status InstallRemoteNote(Note note);
+  /// Purges expired deletion stubs. Returns the number removed.
+  Result<size_t> PurgeStubs();
+
+  // -- Observation / iteration ----------------------------------------------
+  void AddObserver(DatabaseObserver* observer);
+  void RemoveObserver(DatabaseObserver* observer);
+  void ForEachLiveNote(const std::function<void(const Note&)>& fn) const;
+  void ForEachNote(const std::function<void(const Note&)>& fn) const;
+
+  size_t note_count() const { return store_->note_count(); }
+  size_t stub_count() const { return store_->stub_count(); }
+  const StoreStats& store_stats() const { return store_->stats(); }
+  NoteStore* store() { return store_.get(); }
+
+  /// Writes a checkpoint snapshot (fast restart).
+  Status Checkpoint() { return store_->Checkpoint(); }
+
+  // -- NoteResolver (for view indexes) ---------------------------------------
+  const Note* FindByUnid(const Unid& unid) const override;
+  const Note* FindById(NoteId id) const override;
+  std::vector<NoteId> ChildrenOf(const Unid& parent) const override;
+
+ private:
+  Database(const Clock* clock, uint64_t unid_seed)
+      : clock_(clock),
+        rng_(unid_seed),
+        stamp_salt_(static_cast<Micros>(Mix64(unid_seed) % 1000)) {}
+
+  Unid GenerateUnid();
+  /// Monotonic, replica-distinct sequence/modified-in-file stamp.
+  Micros StampTime();
+  /// Post-commit bookkeeping: children index, views, full-text, observers.
+  Status AfterChange(const Note& note);
+  void LoadDesignState();
+  Status ApplyDesignNote(const Note& note);
+
+  const Clock* clock_;
+  Rng rng_;
+  /// Last issued sequence-time stamp; keeps OID times strictly monotonic
+  /// even under a frozen SimClock.
+  Micros last_stamp_ = 0;
+  /// Per-instance sub-millisecond residue (see StampTime).
+  Micros stamp_salt_ = 0;
+  std::unique_ptr<NoteStore> store_;
+  Acl acl_;
+  NoteId acl_note_id_ = kInvalidNoteId;
+  std::map<std::string, std::unique_ptr<ViewIndex>> views_;  // lower name
+  std::unordered_map<std::string, NoteId> view_note_ids_;    // lower name
+  std::unique_ptr<FullTextIndex> fulltext_;
+  std::unordered_map<Unid, std::set<NoteId>> children_;
+  std::map<std::string, std::set<Unid>> read_marks_;  // user → read unids
+  std::vector<DatabaseObserver*> observers_;
+};
+
+}  // namespace dominodb
+
+#endif  // DOMINODB_CORE_DATABASE_H_

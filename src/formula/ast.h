@@ -1,0 +1,54 @@
+#ifndef DOMINODB_FORMULA_AST_H_
+#define DOMINODB_FORMULA_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "formula/lexer.h"
+#include "model/value.h"
+
+namespace dominodb::formula {
+
+/// Formula AST. A formula is a sequence of statements; its value is the
+/// value of the last evaluated statement. SELECT records a selection
+/// value on the side; FIELD writes through to the document.
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind {
+  kLiteral,        // literal Value
+  kFieldRef,       // bare identifier: temp var, else document field
+  kUnary,          // op child[0]
+  kBinary,         // child[0] op child[1]
+  kCall,           // @Function(child...)
+  kAssignTemp,     // name := child[0]
+  kAssignField,    // FIELD name := child[0]
+  kAssignDefault,  // DEFAULT name := child[0]
+  kSelect,         // SELECT child[0]
+};
+
+struct Expr {
+  ExprKind kind;
+  Value literal;                 // kLiteral
+  std::string name;              // field/var/function name
+  TokenType op = TokenType::kEof;  // kUnary / kBinary operator
+  std::vector<ExprPtr> children;
+  size_t offset = 0;             // source offset for error messages
+
+  explicit Expr(ExprKind k) : kind(k) {}
+};
+
+/// A parsed formula: statement list, plus flags the evaluator and the view
+/// engine use without re-walking the AST.
+struct Program {
+  std::vector<ExprPtr> statements;
+  bool has_select = false;
+  /// Field names read by the formula (approximate; used for dependency
+  /// tracking by view designs).
+  std::vector<std::string> referenced_fields;
+};
+
+}  // namespace dominodb::formula
+
+#endif  // DOMINODB_FORMULA_AST_H_

@@ -1,0 +1,370 @@
+#include "formula/eval.h"
+
+#include <cmath>
+
+#include "base/string_util.h"
+#include "model/collation.h"
+
+namespace dominodb::formula {
+
+namespace {
+
+Status EvalError(const Expr& e, const std::string& what) {
+  return Status::InvalidArgument(
+      StrPrintf("formula eval: %s (offset %zu)", what.c_str(), e.offset));
+}
+
+constexpr int64_t kMicrosPerSecond = 1'000'000;
+
+}  // namespace
+
+size_t ListLength(const Value& v) { return v.empty() ? 1 : v.size(); }
+
+Value ElementAt(const Value& v, size_t i) {
+  switch (v.type()) {
+    case ValueType::kText:
+      if (v.texts().empty()) return Value::Text("");
+      return Value::Text(v.texts()[std::min(i, v.texts().size() - 1)]);
+    case ValueType::kNumber:
+      if (v.numbers().empty()) return Value::Number(0);
+      return Value::Number(v.numbers()[std::min(i, v.numbers().size() - 1)]);
+    case ValueType::kDateTime:
+      if (v.times().empty()) return Value::DateTime(0);
+      return Value::DateTime(v.times()[std::min(i, v.times().size() - 1)]);
+    case ValueType::kRichText:
+      return Value::Text(v.ToDisplayString());
+  }
+  return Value::Text("");
+}
+
+int CompareScalarValues(const Value& a, const Value& b) {
+  return CompareValues(a, b);
+}
+
+Value BoolValue(bool b) { return Value::Number(b ? 1 : 0); }
+
+Value ConcatLists(const Value& a, const Value& b) {
+  if (a.type() == b.type()) {
+    Value out = a;
+    switch (a.type()) {
+      case ValueType::kText:
+        for (const auto& s : b.texts()) out.mutable_texts().push_back(s);
+        return out;
+      case ValueType::kNumber:
+        for (double d : b.numbers()) out.mutable_numbers().push_back(d);
+        return out;
+      case ValueType::kDateTime:
+        for (Micros t : b.times()) out.mutable_times().push_back(t);
+        return out;
+      case ValueType::kRichText:
+        break;  // fall through to text coercion
+    }
+  }
+  // Mixed types: coerce both to text lists.
+  std::vector<std::string> texts;
+  for (size_t i = 0; i < a.size(); ++i) texts.push_back(ElementAt(a, i).AsText());
+  for (size_t i = 0; i < b.size(); ++i) texts.push_back(ElementAt(b, i).AsText());
+  return Value::TextList(std::move(texts));
+}
+
+Evaluator::Evaluator(const EvalContext& ctx)
+    : ctx_(ctx),
+      rng_(ctx.note != nullptr ? ctx.note->unid().lo ^ ctx.note->unid().hi
+                               : 0x5eed) {}
+
+Result<Value> Evaluator::Run(const Program& program) {
+  Value last;
+  for (const ExprPtr& stmt : program.statements) {
+    DOMINO_ASSIGN_OR_RETURN(last, EvalStatement(*stmt));
+    if (returned_) return return_value_;
+  }
+  return last;
+}
+
+Result<Value> Evaluator::EvalStatement(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kSelect: {
+      DOMINO_ASSIGN_OR_RETURN(Value v, Eval(*e.children[0]));
+      select_ = v.AsBool();
+      return BoolValue(*select_);
+    }
+    case ExprKind::kAssignTemp: {
+      DOMINO_ASSIGN_OR_RETURN(Value v, Eval(*e.children[0]));
+      SetTemp(e.name, v);
+      return v;
+    }
+    case ExprKind::kAssignDefault: {
+      DOMINO_ASSIGN_OR_RETURN(Value v, Eval(*e.children[0]));
+      defaults_[ToLower(e.name)] = v;
+      return v;
+    }
+    case ExprKind::kAssignField: {
+      DOMINO_ASSIGN_OR_RETURN(Value v, Eval(*e.children[0]));
+      DOMINO_RETURN_IF_ERROR(SetField(e.name, v));
+      return v;
+    }
+    default:
+      return Eval(e);
+  }
+}
+
+Result<Value> Evaluator::Eval(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return e.literal;
+    case ExprKind::kFieldRef:
+      return LookupName(e.name);
+    case ExprKind::kUnary:
+      return EvalUnary(e);
+    case ExprKind::kBinary:
+      return EvalBinary(e);
+    case ExprKind::kCall:
+      return EvalCall(e);
+    // Statement kinds can appear nested via @Do-like constructs.
+    case ExprKind::kSelect:
+    case ExprKind::kAssignTemp:
+    case ExprKind::kAssignDefault:
+    case ExprKind::kAssignField:
+      return EvalStatement(e);
+  }
+  return EvalError(e, "bad node");
+}
+
+Value Evaluator::LookupName(const std::string& name) const {
+  std::string key = ToLower(name);
+  if (auto it = temps_.find(key); it != temps_.end()) return it->second;
+  const Note* doc = ctx_.mutable_note ? ctx_.mutable_note : ctx_.note;
+  if (doc != nullptr) {
+    if (const Value* v = doc->FindValue(name)) return *v;
+  }
+  if (auto it = defaults_.find(key); it != defaults_.end()) return it->second;
+  return Value::Text("");
+}
+
+bool Evaluator::NameAvailable(const std::string& name) const {
+  if (temps_.count(ToLower(name))) return true;
+  const Note* doc = ctx_.mutable_note ? ctx_.mutable_note : ctx_.note;
+  return doc != nullptr && doc->HasItem(name);
+}
+
+void Evaluator::SetTemp(const std::string& name, Value v) {
+  temps_[ToLower(name)] = std::move(v);
+}
+
+Status Evaluator::SetField(const std::string& name, Value v) {
+  if (ctx_.mutable_note == nullptr) {
+    return Status::FailedPrecondition(
+        "FIELD assignment without a writable document: " + name);
+  }
+  ctx_.mutable_note->SetItem(name, std::move(v));
+  return Status::Ok();
+}
+
+Result<Value> Evaluator::EvalUnary(const Expr& e) {
+  DOMINO_ASSIGN_OR_RETURN(Value v, Eval(*e.children[0]));
+  if (e.op == TokenType::kBang) {
+    return BoolValue(!v.AsBool());
+  }
+  // Unary minus: negate element-wise; datetimes/text coerce to number.
+  std::vector<double> out;
+  out.reserve(ListLength(v));
+  for (size_t i = 0; i < ListLength(v); ++i) {
+    out.push_back(-ElementAt(v, i).AsNumber());
+  }
+  return Value::NumberList(std::move(out));
+}
+
+namespace {
+
+bool CompareSatisfied(TokenType op, int cmp) {
+  switch (op) {
+    case TokenType::kEqual:
+    case TokenType::kPermEqual:
+      return cmp == 0;
+    case TokenType::kNotEqual:
+    case TokenType::kPermNotEqual:
+      return cmp != 0;
+    case TokenType::kLess:
+    case TokenType::kPermLess:
+      return cmp < 0;
+    case TokenType::kGreater:
+    case TokenType::kPermGreater:
+      return cmp > 0;
+    case TokenType::kLessEq:
+    case TokenType::kPermLessEq:
+      return cmp <= 0;
+    case TokenType::kGreaterEq:
+    case TokenType::kPermGreaterEq:
+      return cmp >= 0;
+    default:
+      return false;
+  }
+}
+
+bool IsPermuted(TokenType op) {
+  switch (op) {
+    case TokenType::kPermEqual:
+    case TokenType::kPermNotEqual:
+    case TokenType::kPermLess:
+    case TokenType::kPermGreater:
+    case TokenType::kPermLessEq:
+    case TokenType::kPermGreaterEq:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsComparison(TokenType op) {
+  switch (op) {
+    case TokenType::kEqual:
+    case TokenType::kNotEqual:
+    case TokenType::kLess:
+    case TokenType::kGreater:
+    case TokenType::kLessEq:
+    case TokenType::kGreaterEq:
+      return true;
+    default:
+      return IsPermuted(op);
+  }
+}
+
+}  // namespace
+
+Result<Value> Evaluator::EvalBinary(const Expr& e) {
+  // Short-circuit logical operators.
+  if (e.op == TokenType::kAmp || e.op == TokenType::kPipe) {
+    DOMINO_ASSIGN_OR_RETURN(Value a, Eval(*e.children[0]));
+    bool lhs = a.AsBool();
+    if (e.op == TokenType::kAmp && !lhs) return BoolValue(false);
+    if (e.op == TokenType::kPipe && lhs) return BoolValue(true);
+    DOMINO_ASSIGN_OR_RETURN(Value b, Eval(*e.children[1]));
+    return BoolValue(b.AsBool());
+  }
+
+  DOMINO_ASSIGN_OR_RETURN(Value a, Eval(*e.children[0]));
+  DOMINO_ASSIGN_OR_RETURN(Value b, Eval(*e.children[1]));
+
+  if (e.op == TokenType::kColon) {
+    return ConcatLists(a, b);
+  }
+
+  if (IsComparison(e.op)) {
+    // Pairwise comparison: true if ANY pair satisfies. Permuted variants
+    // compare every combination instead of aligned pairs.
+    if (IsPermuted(e.op)) {
+      for (size_t i = 0; i < ListLength(a); ++i) {
+        Value ea = ElementAt(a, i);
+        for (size_t j = 0; j < ListLength(b); ++j) {
+          if (CompareSatisfied(e.op, CompareScalarValues(ea, ElementAt(b, j)))) {
+            return BoolValue(true);
+          }
+        }
+      }
+      return BoolValue(false);
+    }
+    size_t n = std::max(ListLength(a), ListLength(b));
+    for (size_t i = 0; i < n; ++i) {
+      if (CompareSatisfied(
+              e.op, CompareScalarValues(ElementAt(a, i), ElementAt(b, i)))) {
+        return BoolValue(true);
+      }
+    }
+    return BoolValue(false);
+  }
+
+  // Arithmetic, element-wise with last-element padding.
+  size_t n = std::max(ListLength(a), ListLength(b));
+
+  // Text concatenation for '+'.
+  if (e.op == TokenType::kPlus &&
+      (a.is_text() || b.is_text() || a.is_richtext() || b.is_richtext())) {
+    std::vector<std::string> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(ElementAt(a, i).AsText() + ElementAt(b, i).AsText());
+    }
+    return Value::TextList(std::move(out));
+  }
+
+  // DateTime arithmetic: datetime ± seconds, datetime - datetime.
+  if (a.is_datetime() &&
+      (e.op == TokenType::kPlus || e.op == TokenType::kMinus)) {
+    if (b.is_datetime() && e.op == TokenType::kMinus) {
+      std::vector<double> out;
+      for (size_t i = 0; i < n; ++i) {
+        out.push_back(static_cast<double>(ElementAt(a, i).AsTime() -
+                                          ElementAt(b, i).AsTime()) /
+                      kMicrosPerSecond);
+      }
+      return Value::NumberList(std::move(out));
+    }
+    std::vector<Micros> out;
+    for (size_t i = 0; i < n; ++i) {
+      Micros shift = static_cast<Micros>(ElementAt(b, i).AsNumber() *
+                                         kMicrosPerSecond);
+      out.push_back(ElementAt(a, i).AsTime() +
+                    (e.op == TokenType::kPlus ? shift : -shift));
+    }
+    return Value::DateTimeList(std::move(out));
+  }
+  if (b.is_datetime() && e.op == TokenType::kPlus) {
+    std::vector<Micros> out;
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(ElementAt(b, i).AsTime() +
+                    static_cast<Micros>(ElementAt(a, i).AsNumber() *
+                                        kMicrosPerSecond));
+    }
+    return Value::DateTimeList(std::move(out));
+  }
+
+  std::vector<double> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    double x = ElementAt(a, i).AsNumber();
+    double y = ElementAt(b, i).AsNumber();
+    switch (e.op) {
+      case TokenType::kPlus:
+        out.push_back(x + y);
+        break;
+      case TokenType::kMinus:
+        out.push_back(x - y);
+        break;
+      case TokenType::kStar:
+        out.push_back(x * y);
+        break;
+      case TokenType::kSlash:
+        if (y == 0) return EvalError(e, "division by zero");
+        out.push_back(x / y);
+        break;
+      default:
+        return EvalError(e, "unsupported operator");
+    }
+  }
+  return Value::NumberList(std::move(out));
+}
+
+Result<Value> Evaluator::EvalCall(const Expr& e) {
+  const FunctionDef* def = FindFunction(e.name);
+  if (def == nullptr) {
+    return EvalError(e, "unknown @function: @" + e.name);
+  }
+  int argc = static_cast<int>(e.children.size());
+  if (argc < def->min_args ||
+      (def->max_args >= 0 && argc > def->max_args)) {
+    return EvalError(
+        e, StrPrintf("@%s: wrong argument count %d", e.name.c_str(), argc));
+  }
+  if (def->lazy) {
+    return def->fn(*this, e, {});
+  }
+  std::vector<Value> args;
+  args.reserve(e.children.size());
+  for (const ExprPtr& child : e.children) {
+    DOMINO_ASSIGN_OR_RETURN(Value v, Eval(*child));
+    args.push_back(std::move(v));
+  }
+  return def->fn(*this, e, args);
+}
+
+}  // namespace dominodb::formula

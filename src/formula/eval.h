@@ -1,0 +1,104 @@
+#ifndef DOMINODB_FORMULA_EVAL_H_
+#define DOMINODB_FORMULA_EVAL_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "base/rng.h"
+#include "formula/ast.h"
+#include "formula/formula.h"
+
+namespace dominodb::formula {
+
+/// One formula evaluation over one document. Internal to the formula
+/// module; the public surface is Formula in formula.h.
+class Evaluator {
+ public:
+  explicit Evaluator(const EvalContext& ctx);
+
+  /// Evaluates every statement, honoring @Return, and yields the value of
+  /// the last statement executed.
+  Result<Value> Run(const Program& program);
+
+  /// Value of the SELECT statement, if one executed.
+  std::optional<bool> select_value() const { return select_; }
+
+  // -- Services for @function implementations --------------------------
+  const EvalContext& ctx() const { return ctx_; }
+  Rng& rng() { return rng_; }
+
+  Result<Value> Eval(const Expr& e);
+
+  /// Name resolution: temp variables, then the (possibly mutated)
+  /// document's fields, then DEFAULT declarations, then empty text.
+  Value LookupName(const std::string& name) const;
+
+  /// True if the name resolves to a temp variable or document field
+  /// (@IsAvailable semantics: DEFAULTs don't count as available fields).
+  bool NameAvailable(const std::string& name) const;
+
+  void SetTemp(const std::string& name, Value v);
+  /// Writes a document field; fails when no mutable note is bound.
+  Status SetField(const std::string& name, Value v);
+
+  void RequestReturn(Value v) {
+    returned_ = true;
+    return_value_ = std::move(v);
+  }
+  bool returned() const { return returned_; }
+
+ private:
+  Result<Value> EvalStatement(const Expr& e);
+  Result<Value> EvalBinary(const Expr& e);
+  Result<Value> EvalUnary(const Expr& e);
+  Result<Value> EvalCall(const Expr& e);
+
+  const EvalContext& ctx_;
+  std::map<std::string, Value> temps_;     // lower-cased names
+  std::map<std::string, Value> defaults_;  // lower-cased names
+  std::optional<bool> select_;
+  bool returned_ = false;
+  Value return_value_;
+  Rng rng_;
+};
+
+// -- Value helpers shared by eval.cc and functions.cc --------------------
+
+/// Number of elements, treating an empty value as one default element.
+size_t ListLength(const Value& v);
+
+/// Scalar element `i`; indexes past the end return the last element
+/// (Notes pairwise padding rule).
+Value ElementAt(const Value& v, size_t i);
+
+/// Compares two scalar values with Notes collation (type rank, then
+/// value; text case-insensitive).
+int CompareScalarValues(const Value& a, const Value& b);
+
+/// The Notes boolean values.
+Value BoolValue(bool b);
+
+/// Appends all elements of `v` onto `out` coerced to `out`'s type when
+/// needed (the ':' operator).
+Value ConcatLists(const Value& a, const Value& b);
+
+/// Registry lookup (functions.cc). Lazy functions receive the call node
+/// and evaluate arguments themselves (@If, @Do, ...).
+struct FunctionDef {
+  int min_args;
+  int max_args;  // -1 = unlimited
+  bool lazy;
+  Result<Value> (*fn)(Evaluator& ev, const Expr& call,
+                      const std::vector<Value>& args);
+};
+const FunctionDef* FindFunction(std::string_view name);
+
+/// Names of all registered @functions (documentation/tests).
+std::vector<std::string> RegisteredFunctionNames();
+
+}  // namespace dominodb::formula
+
+#endif  // DOMINODB_FORMULA_EVAL_H_

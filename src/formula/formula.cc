@@ -1,0 +1,69 @@
+#include "formula/formula.h"
+
+#include "base/string_util.h"
+#include "formula/eval.h"
+#include "formula/parser.h"
+
+namespace dominodb::formula {
+
+namespace {
+
+void ScanForResponseSelectors(const Expr& e, bool* children,
+                              bool* descendants) {
+  if (e.kind == ExprKind::kCall) {
+    if (EqualsIgnoreCase(e.name, "AllChildren")) *children = true;
+    if (EqualsIgnoreCase(e.name, "AllDescendants")) *descendants = true;
+  }
+  for (const ExprPtr& child : e.children) {
+    ScanForResponseSelectors(*child, children, descendants);
+  }
+}
+
+}  // namespace
+
+Result<Formula> Formula::Compile(std::string_view source) {
+  DOMINO_ASSIGN_OR_RETURN(auto program, Parse(source));
+  Formula f;
+  f.program_ = std::move(program);
+  f.source_ = std::string(source);
+  for (const ExprPtr& stmt : f.program_->statements) {
+    ScanForResponseSelectors(*stmt, &f.selects_all_children_,
+                             &f.selects_all_descendants_);
+  }
+  return f;
+}
+
+Result<Value> Formula::Evaluate(const EvalContext& ctx) const {
+  if (program_ == nullptr) {
+    return Status::FailedPrecondition("formula not compiled");
+  }
+  Evaluator ev(ctx);
+  return ev.Run(*program_);
+}
+
+Result<bool> Formula::Matches(const EvalContext& ctx) const {
+  if (program_ == nullptr) {
+    return Status::FailedPrecondition("formula not compiled");
+  }
+  Evaluator ev(ctx);
+  DOMINO_ASSIGN_OR_RETURN(Value last, ev.Run(*program_));
+  if (ev.select_value().has_value()) return *ev.select_value();
+  return last.AsBool();
+}
+
+bool Formula::has_select() const {
+  return program_ != nullptr && program_->has_select;
+}
+
+const std::vector<std::string>& Formula::referenced_fields() const {
+  static const std::vector<std::string> kEmpty;
+  return program_ != nullptr ? program_->referenced_fields : kEmpty;
+}
+
+Result<Value> EvaluateFormula(std::string_view source,
+                              const EvalContext& ctx) {
+  DOMINO_ASSIGN_OR_RETURN(Formula f, Formula::Compile(source));
+  return f.Evaluate(ctx);
+}
+
+}  // namespace dominodb::formula

@@ -1,0 +1,88 @@
+#ifndef DOMINODB_FORMULA_FORMULA_H_
+#define DOMINODB_FORMULA_FORMULA_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/clock.h"
+#include "base/result.h"
+#include "model/note.h"
+#include "model/value.h"
+
+namespace dominodb::formula {
+
+struct Program;
+
+/// Everything a formula evaluation may touch. All pointers are borrowed
+/// and may be null (the corresponding @functions then see defaults).
+struct EvalContext {
+  /// Document the formula runs against (field reads, @Created, ...).
+  const Note* note = nullptr;
+  /// Target of FIELD assignments / @SetField; null makes those no-ops
+  /// recorded as errors.
+  Note* mutable_note = nullptr;
+  /// Time source for @Now/@Today; null falls back to 0.
+  const Clock* clock = nullptr;
+  /// @UserName.
+  std::string username;
+  /// @DbTitle / @ReplicaID.
+  std::string db_title;
+  std::string replica_id;
+  /// Hook for @DbColumn / @DbLookup, bound by the database
+  /// (Database::BindFormulaServices). `key == nullopt` means @DbColumn
+  /// (the whole column); `column` is 1-based. Null → those functions fail.
+  std::function<Result<Value>(const std::string& view_name,
+                              const std::optional<Value>& key,
+                              size_t column)>
+      db_lookup;
+};
+
+/// A compiled, immutable, shareable formula. Compile once, evaluate on
+/// many documents — view indexing depends on this being cheap.
+class Formula {
+ public:
+  /// Compiles `source`; returns a SyntaxError status on bad input.
+  static Result<Formula> Compile(std::string_view source);
+
+  Formula() = default;
+
+  /// Runs the statement list, returning the final value. FIELD
+  /// assignments mutate ctx.mutable_note if provided.
+  Result<Value> Evaluate(const EvalContext& ctx) const;
+
+  /// Selection semantics: the value of the SELECT statement if present,
+  /// otherwise the truthiness of the final value. Used by view selection
+  /// and selective replication.
+  Result<bool> Matches(const EvalContext& ctx) const;
+
+  /// True if the formula source was compiled (non-default object).
+  bool valid() const { return program_ != nullptr; }
+
+  const std::string& source() const { return source_; }
+  bool has_select() const;
+  /// Lower-cased field names the formula references.
+  const std::vector<std::string>& referenced_fields() const;
+
+  /// SELECT ... | @AllChildren / @AllDescendants: the view engine includes
+  /// response documents of selected parents (one level / all levels).
+  bool selects_all_children() const { return selects_all_children_; }
+  bool selects_all_descendants() const { return selects_all_descendants_; }
+
+ private:
+  std::shared_ptr<const Program> program_;
+  std::string source_;
+  bool selects_all_children_ = false;
+  bool selects_all_descendants_ = false;
+};
+
+/// Convenience: compile + evaluate in one call (examples, tests).
+Result<Value> EvaluateFormula(std::string_view source,
+                              const EvalContext& ctx);
+
+}  // namespace dominodb::formula
+
+#endif  // DOMINODB_FORMULA_FORMULA_H_

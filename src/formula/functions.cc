@@ -1,0 +1,994 @@
+#include <cmath>
+
+#include "base/string_util.h"
+#include "formula/eval.h"
+#include "model/datetime.h"
+
+namespace dominodb::formula {
+
+namespace {
+
+using Args = std::vector<Value>;
+
+Status FnError(const Expr& e, const std::string& what) {
+  return Status::InvalidArgument(
+      StrPrintf("@%s: %s (offset %zu)", e.name.c_str(), what.c_str(),
+                e.offset));
+}
+
+// -- Coercion helpers -----------------------------------------------------
+
+std::vector<std::string> AsTextList(const Value& v) {
+  std::vector<std::string> out;
+  out.reserve(ListLength(v));
+  for (size_t i = 0; i < ListLength(v); ++i) {
+    out.push_back(ElementAt(v, i).AsText());
+  }
+  return out;
+}
+
+std::vector<double> AsNumberList(const Value& v) {
+  std::vector<double> out;
+  out.reserve(ListLength(v));
+  for (size_t i = 0; i < ListLength(v); ++i) {
+    out.push_back(ElementAt(v, i).AsNumber());
+  }
+  return out;
+}
+
+std::vector<Micros> AsTimeList(const Value& v) {
+  std::vector<Micros> out;
+  out.reserve(ListLength(v));
+  for (size_t i = 0; i < ListLength(v); ++i) {
+    out.push_back(ElementAt(v, i).AsTime());
+  }
+  return out;
+}
+
+/// Applies `fn` to every text element of args[0].
+template <typename Fn>
+Value MapText(const Value& v, Fn fn) {
+  std::vector<std::string> out;
+  out.reserve(ListLength(v));
+  for (size_t i = 0; i < ListLength(v); ++i) {
+    out.push_back(fn(ElementAt(v, i).AsText()));
+  }
+  return Value::TextList(std::move(out));
+}
+
+template <typename Fn>
+Value MapNumber(const Value& v, Fn fn) {
+  std::vector<double> out;
+  out.reserve(ListLength(v));
+  for (size_t i = 0; i < ListLength(v); ++i) {
+    out.push_back(fn(ElementAt(v, i).AsNumber()));
+  }
+  return Value::NumberList(std::move(out));
+}
+
+// -- Lazy control-flow functions ------------------------------------------
+
+Result<Value> FnIf(Evaluator& ev, const Expr& e, const Args&) {
+  // @If(cond1; val1; cond2; val2; ...; else)
+  if (e.children.size() % 2 == 0) {
+    return FnError(e, "requires an odd number of arguments");
+  }
+  size_t i = 0;
+  for (; i + 1 < e.children.size(); i += 2) {
+    DOMINO_ASSIGN_OR_RETURN(Value cond, ev.Eval(*e.children[i]));
+    if (cond.AsBool()) return ev.Eval(*e.children[i + 1]);
+  }
+  return ev.Eval(*e.children.back());
+}
+
+Result<Value> FnDo(Evaluator& ev, const Expr& e, const Args&) {
+  Value last = Value::Number(0);
+  for (const ExprPtr& child : e.children) {
+    DOMINO_ASSIGN_OR_RETURN(last, ev.Eval(*child));
+    if (ev.returned()) break;
+  }
+  return last;
+}
+
+Result<Value> FnReturn(Evaluator& ev, const Expr& e, const Args&) {
+  Value v = Value::Number(1);
+  if (!e.children.empty()) {
+    DOMINO_ASSIGN_OR_RETURN(v, ev.Eval(*e.children[0]));
+  }
+  ev.RequestReturn(v);
+  return v;
+}
+
+Result<Value> FnIsError(Evaluator& ev, const Expr& e, const Args&) {
+  Result<Value> r = ev.Eval(*e.children[0]);
+  return BoolValue(!r.ok());
+}
+
+std::string FieldNameOf(const Expr& arg) {
+  if (arg.kind == ExprKind::kFieldRef) return arg.name;
+  if (arg.kind == ExprKind::kLiteral && arg.literal.is_text()) {
+    return arg.literal.AsText();
+  }
+  return {};
+}
+
+Result<Value> FnIsAvailable(Evaluator& ev, const Expr& e, const Args&) {
+  std::string name = FieldNameOf(*e.children[0]);
+  if (name.empty()) return FnError(e, "expects a field name");
+  return BoolValue(ev.NameAvailable(name));
+}
+
+Result<Value> FnIsUnavailable(Evaluator& ev, const Expr& e, const Args&) {
+  std::string name = FieldNameOf(*e.children[0]);
+  if (name.empty()) return FnError(e, "expects a field name");
+  return BoolValue(!ev.NameAvailable(name));
+}
+
+// -- Text functions ---------------------------------------------------------
+
+Result<Value> FnText(Evaluator&, const Expr&, const Args& a) {
+  return MapText(a[0], [](std::string s) { return s; });
+}
+
+Result<Value> FnTextToNumber(Evaluator&, const Expr& e, const Args& a) {
+  std::vector<double> out;
+  for (const std::string& s : AsTextList(a[0])) {
+    char* end = nullptr;
+    std::string trimmed = TrimWhitespace(s);
+    double d = strtod(trimmed.c_str(), &end);
+    if (end == trimmed.c_str() || (end && *end != '\0')) {
+      return FnError(e, "not a number: \"" + s + "\"");
+    }
+    out.push_back(d);
+  }
+  return Value::NumberList(std::move(out));
+}
+
+Result<Value> FnTextToTime(Evaluator&, const Expr& e, const Args& a) {
+  std::vector<Micros> out;
+  for (const std::string& s : AsTextList(a[0])) {
+    auto t = ParseDateTime(s);
+    if (!t.has_value()) return FnError(e, "not a datetime: \"" + s + "\"");
+    out.push_back(*t);
+  }
+  return Value::DateTimeList(std::move(out));
+}
+
+Result<Value> FnLeft(Evaluator&, const Expr&, const Args& a) {
+  if (a[1].is_number()) {
+    auto n = static_cast<int64_t>(a[1].AsNumber());
+    return MapText(a[0], [n](std::string s) {
+      if (n <= 0) return std::string();
+      return s.substr(0, std::min<size_t>(s.size(), static_cast<size_t>(n)));
+    });
+  }
+  std::string sub = a[1].AsText();
+  return MapText(a[0], [&sub](std::string s) {
+    size_t pos = ToLower(s).find(ToLower(sub));
+    return pos == std::string::npos ? std::string() : s.substr(0, pos);
+  });
+}
+
+Result<Value> FnRight(Evaluator&, const Expr&, const Args& a) {
+  if (a[1].is_number()) {
+    auto n = static_cast<int64_t>(a[1].AsNumber());
+    return MapText(a[0], [n](std::string s) {
+      if (n <= 0) return std::string();
+      size_t take = std::min<size_t>(s.size(), static_cast<size_t>(n));
+      return s.substr(s.size() - take);
+    });
+  }
+  std::string sub = a[1].AsText();
+  return MapText(a[0], [&sub](std::string s) {
+    size_t pos = ToLower(s).find(ToLower(sub));
+    return pos == std::string::npos ? std::string()
+                                    : s.substr(pos + sub.size());
+  });
+}
+
+Result<Value> FnMiddle(Evaluator&, const Expr&, const Args& a) {
+  auto off = static_cast<int64_t>(a[1].AsNumber());
+  auto len = static_cast<int64_t>(a[2].AsNumber());
+  return MapText(a[0], [off, len](std::string s) {
+    if (off < 0 || len <= 0 || static_cast<size_t>(off) >= s.size()) {
+      return std::string();
+    }
+    return s.substr(static_cast<size_t>(off),
+                    static_cast<size_t>(len));
+  });
+}
+
+Result<Value> FnLength(Evaluator&, const Expr&, const Args& a) {
+  std::vector<double> out;
+  for (const std::string& s : AsTextList(a[0])) {
+    out.push_back(static_cast<double>(s.size()));
+  }
+  return Value::NumberList(std::move(out));
+}
+
+Result<Value> FnLowerCase(Evaluator&, const Expr&, const Args& a) {
+  return MapText(a[0], [](std::string s) { return ToLower(s); });
+}
+
+Result<Value> FnUpperCase(Evaluator&, const Expr&, const Args& a) {
+  return MapText(a[0], [](std::string s) { return ToUpper(s); });
+}
+
+Result<Value> FnProperCase(Evaluator&, const Expr&, const Args& a) {
+  return MapText(a[0], [](std::string s) { return ToProperCase(s); });
+}
+
+Result<Value> FnTrim(Evaluator&, const Expr&, const Args& a) {
+  // Trims each element and drops empty elements from lists.
+  std::vector<std::string> out;
+  for (const std::string& raw : AsTextList(a[0])) {
+    std::string s = TrimWhitespace(raw);
+    // Collapse runs of internal spaces.
+    std::string collapsed;
+    bool in_space = false;
+    for (char c : s) {
+      if (c == ' ') {
+        if (!in_space) collapsed.push_back(' ');
+        in_space = true;
+      } else {
+        collapsed.push_back(c);
+        in_space = false;
+      }
+    }
+    if (!collapsed.empty()) out.push_back(std::move(collapsed));
+  }
+  return Value::TextList(std::move(out));
+}
+
+Result<Value> FnContains(Evaluator&, const Expr&, const Args& a) {
+  for (const std::string& hay : AsTextList(a[0])) {
+    for (size_t k = 1; k < a.size(); ++k) {
+      for (const std::string& needle : AsTextList(a[k])) {
+        if (ContainsIgnoreCase(hay, needle)) return BoolValue(true);
+      }
+    }
+  }
+  return BoolValue(false);
+}
+
+Result<Value> FnBegins(Evaluator&, const Expr&, const Args& a) {
+  for (const std::string& hay : AsTextList(a[0])) {
+    std::string hay_lower = ToLower(hay);
+    for (size_t k = 1; k < a.size(); ++k) {
+      for (const std::string& p : AsTextList(a[k])) {
+        if (StartsWith(hay_lower, ToLower(p))) return BoolValue(true);
+      }
+    }
+  }
+  return BoolValue(false);
+}
+
+Result<Value> FnEnds(Evaluator&, const Expr&, const Args& a) {
+  for (const std::string& hay : AsTextList(a[0])) {
+    std::string hay_lower = ToLower(hay);
+    for (size_t k = 1; k < a.size(); ++k) {
+      for (const std::string& p : AsTextList(a[k])) {
+        if (EndsWith(hay_lower, ToLower(p))) return BoolValue(true);
+      }
+    }
+  }
+  return BoolValue(false);
+}
+
+Result<Value> FnMatches(Evaluator&, const Expr&, const Args& a) {
+  for (const std::string& s : AsTextList(a[0])) {
+    for (const std::string& pat : AsTextList(a[1])) {
+      if (WildcardMatch(pat, s)) return BoolValue(true);
+    }
+  }
+  return BoolValue(false);
+}
+
+Result<Value> FnReplaceSubstring(Evaluator&, const Expr&, const Args& a) {
+  std::vector<std::string> froms = AsTextList(a[1]);
+  std::vector<std::string> tos = AsTextList(a[2]);
+  return MapText(a[0], [&](std::string s) {
+    for (size_t i = 0; i < froms.size(); ++i) {
+      const std::string& to = tos.empty()
+                                  ? std::string()
+                                  : tos[std::min(i, tos.size() - 1)];
+      s = ReplaceAll(s, froms[i], to);
+    }
+    return s;
+  });
+}
+
+Result<Value> FnWord(Evaluator&, const Expr&, const Args& a) {
+  std::string sep = a[1].AsText();
+  auto n = static_cast<int64_t>(a[2].AsNumber());
+  return MapText(a[0], [&sep, n](std::string s) {
+    std::vector<std::string> words = Split(s, sep.empty() ? " " : sep);
+    if (n >= 1 && static_cast<size_t>(n) <= words.size()) {
+      return words[static_cast<size_t>(n - 1)];
+    }
+    if (n < 0 && static_cast<size_t>(-n) <= words.size()) {
+      return words[words.size() - static_cast<size_t>(-n)];
+    }
+    return std::string();
+  });
+}
+
+Result<Value> FnExplode(Evaluator&, const Expr&, const Args& a) {
+  std::string seps = a.size() > 1 ? a[1].AsText() : " ,;";
+  std::vector<std::string> out;
+  for (const std::string& s : AsTextList(a[0])) {
+    for (std::string& w : Split(s, seps)) {
+      if (!w.empty()) out.push_back(std::move(w));
+    }
+  }
+  return Value::TextList(std::move(out));
+}
+
+Result<Value> FnImplode(Evaluator&, const Expr&, const Args& a) {
+  std::string sep = a.size() > 1 ? a[1].AsText() : " ";
+  return Value::Text(Join(AsTextList(a[0]), sep));
+}
+
+Result<Value> FnRepeat(Evaluator&, const Expr&, const Args& a) {
+  auto n = static_cast<int64_t>(a[1].AsNumber());
+  return MapText(a[0], [n](std::string s) {
+    std::string out;
+    for (int64_t i = 0; i < n; ++i) out.append(s);
+    return out;
+  });
+}
+
+Result<Value> FnNewLine(Evaluator&, const Expr&, const Args&) {
+  return Value::Text("\n");
+}
+
+Result<Value> FnChar(Evaluator&, const Expr&, const Args& a) {
+  return MapText(a[0], [](std::string) { return std::string(); });
+}
+
+// -- List functions ---------------------------------------------------------
+
+Result<Value> FnElements(Evaluator&, const Expr&, const Args& a) {
+  return Value::Number(static_cast<double>(a[0].size()));
+}
+
+Result<Value> FnSubset(Evaluator&, const Expr& e, const Args& a) {
+  auto n = static_cast<int64_t>(a[1].AsNumber());
+  if (n == 0) return FnError(e, "count must be nonzero");
+  const Value& v = a[0];
+  size_t len = v.size();
+  size_t take = std::min<size_t>(len, static_cast<size_t>(std::llabs(n)));
+  size_t begin = n > 0 ? 0 : len - take;
+  switch (v.type()) {
+    case ValueType::kText: {
+      std::vector<std::string> out(v.texts().begin() + begin,
+                                   v.texts().begin() + begin + take);
+      return Value::TextList(std::move(out));
+    }
+    case ValueType::kNumber: {
+      std::vector<double> out(v.numbers().begin() + begin,
+                              v.numbers().begin() + begin + take);
+      return Value::NumberList(std::move(out));
+    }
+    case ValueType::kDateTime: {
+      std::vector<Micros> out(v.times().begin() + begin,
+                              v.times().begin() + begin + take);
+      return Value::DateTimeList(std::move(out));
+    }
+    case ValueType::kRichText:
+      return FnError(e, "rich text not supported");
+  }
+  return FnError(e, "bad type");
+}
+
+Result<Value> FnUnique(Evaluator&, const Expr&, const Args& a) {
+  const Value& v = a[0];
+  if (v.is_text()) {
+    std::vector<std::string> out;
+    for (const std::string& s : v.texts()) {
+      bool seen = false;
+      for (const std::string& o : out) {
+        if (EqualsIgnoreCase(o, s)) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) out.push_back(s);
+    }
+    return Value::TextList(std::move(out));
+  }
+  if (v.is_number()) {
+    std::vector<double> out;
+    for (double d : v.numbers()) {
+      if (std::find(out.begin(), out.end(), d) == out.end()) out.push_back(d);
+    }
+    return Value::NumberList(std::move(out));
+  }
+  if (v.is_datetime()) {
+    std::vector<Micros> out;
+    for (Micros t : v.times()) {
+      if (std::find(out.begin(), out.end(), t) == out.end()) out.push_back(t);
+    }
+    return Value::DateTimeList(std::move(out));
+  }
+  return v;
+}
+
+Result<Value> FnSort(Evaluator&, const Expr&, const Args& a) {
+  bool descending =
+      a.size() > 1 && EqualsIgnoreCase(a[1].AsText(), "Descending");
+  Value v = a[0];
+  if (v.is_text()) {
+    std::sort(v.mutable_texts().begin(), v.mutable_texts().end(),
+              [descending](const std::string& x, const std::string& y) {
+                int c = CompareIgnoreCase(x, y);
+                return descending ? c > 0 : c < 0;
+              });
+  } else if (v.is_number()) {
+    std::sort(v.mutable_numbers().begin(), v.mutable_numbers().end());
+    if (descending) {
+      std::reverse(v.mutable_numbers().begin(), v.mutable_numbers().end());
+    }
+  } else if (v.is_datetime()) {
+    std::sort(v.mutable_times().begin(), v.mutable_times().end());
+    if (descending) {
+      std::reverse(v.mutable_times().begin(), v.mutable_times().end());
+    }
+  }
+  return v;
+}
+
+Result<Value> FnMin(Evaluator&, const Expr&, const Args& a) {
+  if (a.size() == 1) {
+    std::vector<double> nums = AsNumberList(a[0]);
+    return Value::Number(*std::min_element(nums.begin(), nums.end()));
+  }
+  size_t n = std::max(ListLength(a[0]), ListLength(a[1]));
+  std::vector<double> out;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(std::min(ElementAt(a[0], i).AsNumber(),
+                           ElementAt(a[1], i).AsNumber()));
+  }
+  return Value::NumberList(std::move(out));
+}
+
+Result<Value> FnMax(Evaluator&, const Expr&, const Args& a) {
+  if (a.size() == 1) {
+    std::vector<double> nums = AsNumberList(a[0]);
+    return Value::Number(*std::max_element(nums.begin(), nums.end()));
+  }
+  size_t n = std::max(ListLength(a[0]), ListLength(a[1]));
+  std::vector<double> out;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(std::max(ElementAt(a[0], i).AsNumber(),
+                           ElementAt(a[1], i).AsNumber()));
+  }
+  return Value::NumberList(std::move(out));
+}
+
+Result<Value> FnSum(Evaluator&, const Expr&, const Args& a) {
+  double sum = 0;
+  for (const Value& v : a) {
+    for (double d : AsNumberList(v)) sum += d;
+  }
+  return Value::Number(sum);
+}
+
+Result<Value> FnAverage(Evaluator&, const Expr&, const Args& a) {
+  double sum = 0;
+  size_t count = 0;
+  for (const Value& v : a) {
+    for (double d : AsNumberList(v)) {
+      sum += d;
+      ++count;
+    }
+  }
+  return Value::Number(count == 0 ? 0 : sum / static_cast<double>(count));
+}
+
+Result<Value> FnMember(Evaluator&, const Expr&, const Args& a) {
+  std::string needle = a[0].AsText();
+  std::vector<std::string> list = AsTextList(a[1]);
+  for (size_t i = 0; i < list.size(); ++i) {
+    if (EqualsIgnoreCase(list[i], needle)) {
+      return Value::Number(static_cast<double>(i + 1));
+    }
+  }
+  return Value::Number(0);
+}
+
+Result<Value> FnIsMember(Evaluator&, const Expr&, const Args& a) {
+  std::vector<std::string> needles = AsTextList(a[0]);
+  std::vector<std::string> list = AsTextList(a[1]);
+  for (const std::string& needle : needles) {
+    bool found = false;
+    for (const std::string& s : list) {
+      if (EqualsIgnoreCase(s, needle)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return BoolValue(false);
+  }
+  return BoolValue(true);
+}
+
+Result<Value> FnKeywords(Evaluator&, const Expr&, const Args& a) {
+  // Elements of the keyword list (arg 1) that occur as words in arg 0.
+  std::string seps = a.size() > 2 ? a[2].AsText() : " ,;.?!";
+  std::vector<std::string> words;
+  for (const std::string& s : AsTextList(a[0])) {
+    for (std::string& w : Split(s, seps)) {
+      if (!w.empty()) words.push_back(std::move(w));
+    }
+  }
+  std::vector<std::string> out;
+  for (const std::string& kw : AsTextList(a[1])) {
+    for (const std::string& w : words) {
+      if (EqualsIgnoreCase(w, kw)) {
+        out.push_back(kw);
+        break;
+      }
+    }
+  }
+  return Value::TextList(std::move(out));
+}
+
+Result<Value> FnReplace(Evaluator&, const Expr&, const Args& a) {
+  std::vector<std::string> froms = AsTextList(a[1]);
+  std::vector<std::string> tos = AsTextList(a[2]);
+  return MapText(a[0], [&](std::string s) {
+    for (size_t i = 0; i < froms.size(); ++i) {
+      if (EqualsIgnoreCase(s, froms[i])) {
+        return tos.empty() ? std::string()
+                           : tos[std::min(i, tos.size() - 1)];
+      }
+    }
+    return s;
+  });
+}
+
+// -- Number functions --------------------------------------------------------
+
+Result<Value> FnAbs(Evaluator&, const Expr&, const Args& a) {
+  return MapNumber(a[0], [](double d) { return std::fabs(d); });
+}
+
+Result<Value> FnSign(Evaluator&, const Expr&, const Args& a) {
+  return MapNumber(a[0], [](double d) {
+    return d > 0 ? 1.0 : (d < 0 ? -1.0 : 0.0);
+  });
+}
+
+Result<Value> FnModulo(Evaluator&, const Expr& e, const Args& a) {
+  size_t n = std::max(ListLength(a[0]), ListLength(a[1]));
+  std::vector<double> out;
+  for (size_t i = 0; i < n; ++i) {
+    auto x = static_cast<int64_t>(ElementAt(a[0], i).AsNumber());
+    auto y = static_cast<int64_t>(ElementAt(a[1], i).AsNumber());
+    if (y == 0) return FnError(e, "modulo by zero");
+    out.push_back(static_cast<double>(x % y));
+  }
+  return Value::NumberList(std::move(out));
+}
+
+Result<Value> FnInteger(Evaluator&, const Expr&, const Args& a) {
+  return MapNumber(a[0], [](double d) { return std::trunc(d); });
+}
+
+Result<Value> FnRound(Evaluator&, const Expr&, const Args& a) {
+  double factor = a.size() > 1 ? a[1].AsNumber() : 1.0;
+  if (factor == 0) factor = 1.0;
+  return MapNumber(a[0], [factor](double d) {
+    return std::round(d / factor) * factor;
+  });
+}
+
+Result<Value> FnSqrt(Evaluator&, const Expr& e, const Args& a) {
+  for (double d : AsNumberList(a[0])) {
+    if (d < 0) return FnError(e, "negative argument");
+  }
+  return MapNumber(a[0], [](double d) { return std::sqrt(d); });
+}
+
+Result<Value> FnPower(Evaluator&, const Expr&, const Args& a) {
+  size_t n = std::max(ListLength(a[0]), ListLength(a[1]));
+  std::vector<double> out;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(std::pow(ElementAt(a[0], i).AsNumber(),
+                           ElementAt(a[1], i).AsNumber()));
+  }
+  return Value::NumberList(std::move(out));
+}
+
+Result<Value> FnExp(Evaluator&, const Expr&, const Args& a) {
+  return MapNumber(a[0], [](double d) { return std::exp(d); });
+}
+
+Result<Value> FnLn(Evaluator&, const Expr& e, const Args& a) {
+  for (double d : AsNumberList(a[0])) {
+    if (d <= 0) return FnError(e, "non-positive argument");
+  }
+  return MapNumber(a[0], [](double d) { return std::log(d); });
+}
+
+Result<Value> FnLog(Evaluator&, const Expr& e, const Args& a) {
+  for (double d : AsNumberList(a[0])) {
+    if (d <= 0) return FnError(e, "non-positive argument");
+  }
+  return MapNumber(a[0], [](double d) { return std::log10(d); });
+}
+
+Result<Value> FnRandom(Evaluator& ev, const Expr&, const Args&) {
+  return Value::Number(ev.rng().NextDouble());
+}
+
+Result<Value> FnPi(Evaluator&, const Expr&, const Args&) {
+  return Value::Number(3.14159265358979323846);
+}
+
+// -- DateTime functions -------------------------------------------------------
+
+Micros NowOf(Evaluator& ev) {
+  return ev.ctx().clock != nullptr ? ev.ctx().clock->Now() : 0;
+}
+
+Result<Value> FnNow(Evaluator& ev, const Expr&, const Args&) {
+  return Value::DateTime(NowOf(ev));
+}
+
+Micros StartOfDay(Micros t) {
+  CivilDateTime c = MicrosToCivil(t);
+  c.hour = c.minute = c.second = c.micros = 0;
+  return CivilToMicros(c);
+}
+
+Result<Value> FnToday(Evaluator& ev, const Expr&, const Args&) {
+  return Value::DateTime(StartOfDay(NowOf(ev)));
+}
+
+Result<Value> FnYesterday(Evaluator& ev, const Expr&, const Args&) {
+  return Value::DateTime(StartOfDay(NowOf(ev)) - 86'400ll * 1'000'000);
+}
+
+Result<Value> FnTomorrow(Evaluator& ev, const Expr&, const Args&) {
+  return Value::DateTime(StartOfDay(NowOf(ev)) + 86'400ll * 1'000'000);
+}
+
+template <int CivilDateTime::* Field>
+Result<Value> CivilField(const Args& a) {
+  std::vector<double> out;
+  for (Micros t : AsTimeList(a[0])) {
+    CivilDateTime c = MicrosToCivil(t);
+    out.push_back(static_cast<double>(c.*Field));
+  }
+  return Value::NumberList(std::move(out));
+}
+
+Result<Value> FnYear(Evaluator&, const Expr&, const Args& a) {
+  return CivilField<&CivilDateTime::year>(a);
+}
+Result<Value> FnMonth(Evaluator&, const Expr&, const Args& a) {
+  return CivilField<&CivilDateTime::month>(a);
+}
+Result<Value> FnDay(Evaluator&, const Expr&, const Args& a) {
+  return CivilField<&CivilDateTime::day>(a);
+}
+Result<Value> FnHour(Evaluator&, const Expr&, const Args& a) {
+  return CivilField<&CivilDateTime::hour>(a);
+}
+Result<Value> FnMinute(Evaluator&, const Expr&, const Args& a) {
+  return CivilField<&CivilDateTime::minute>(a);
+}
+Result<Value> FnSecond(Evaluator&, const Expr&, const Args& a) {
+  return CivilField<&CivilDateTime::second>(a);
+}
+
+Result<Value> FnWeekday(Evaluator&, const Expr&, const Args& a) {
+  std::vector<double> out;
+  for (Micros t : AsTimeList(a[0])) {
+    out.push_back(static_cast<double>(WeekdayOf(t)));
+  }
+  return Value::NumberList(std::move(out));
+}
+
+Result<Value> FnAdjust(Evaluator&, const Expr&, const Args& a) {
+  // @Adjust(time; years; months; days; hours; minutes; seconds)
+  auto delta = [&](size_t i) {
+    return i < a.size() ? static_cast<int>(a[i].AsNumber()) : 0;
+  };
+  std::vector<Micros> out;
+  for (Micros t : AsTimeList(a[0])) {
+    CivilDateTime c = MicrosToCivil(t);
+    c.year += delta(1);
+    c.month += delta(2);
+    // Clamp day into the (possibly shorter) target month before applying
+    // the day delta, like Notes does for month-end adjustments.
+    int norm_year = c.year;
+    int norm_month = c.month;
+    while (norm_month > 12) {
+      norm_month -= 12;
+      ++norm_year;
+    }
+    while (norm_month < 1) {
+      norm_month += 12;
+      --norm_year;
+    }
+    c.day = std::min(c.day, DaysInMonth(norm_year, norm_month));
+    Micros base = CivilToMicros(c);
+    base += delta(3) * 86'400ll * 1'000'000;
+    base += delta(4) * 3'600ll * 1'000'000;
+    base += delta(5) * 60ll * 1'000'000;
+    base += delta(6) * 1'000'000ll;
+    out.push_back(base);
+  }
+  return Value::DateTimeList(std::move(out));
+}
+
+Result<Value> FnDate(Evaluator&, const Expr& e, const Args& a) {
+  if (a.size() == 1) {
+    // @Date(datetime): strip the time component.
+    std::vector<Micros> out;
+    for (Micros t : AsTimeList(a[0])) out.push_back(StartOfDay(t));
+    return Value::DateTimeList(std::move(out));
+  }
+  if (a.size() < 3) return FnError(e, "expects (year; month; day[; h; m; s])");
+  CivilDateTime c;
+  c.year = static_cast<int>(a[0].AsNumber());
+  c.month = static_cast<int>(a[1].AsNumber());
+  c.day = static_cast<int>(a[2].AsNumber());
+  if (a.size() > 3) c.hour = static_cast<int>(a[3].AsNumber());
+  if (a.size() > 4) c.minute = static_cast<int>(a[4].AsNumber());
+  if (a.size() > 5) c.second = static_cast<int>(a[5].AsNumber());
+  return Value::DateTime(CivilToMicros(c));
+}
+
+Result<Value> FnTime(Evaluator&, const Expr& e, const Args& a) {
+  if (a.size() == 1) {
+    // @Time(datetime): strip the date component (1970-01-01 base).
+    std::vector<Micros> out;
+    for (Micros t : AsTimeList(a[0])) out.push_back(t - StartOfDay(t));
+    return Value::DateTimeList(std::move(out));
+  }
+  if (a.size() < 3) return FnError(e, "expects (hours; minutes; seconds)");
+  CivilDateTime c;
+  c.hour = static_cast<int>(a[0].AsNumber());
+  c.minute = static_cast<int>(a[1].AsNumber());
+  c.second = static_cast<int>(a[2].AsNumber());
+  return Value::DateTime(CivilToMicros(c));
+}
+
+// -- Logic / constants -------------------------------------------------------
+
+Result<Value> FnTrue(Evaluator&, const Expr&, const Args&) {
+  return BoolValue(true);
+}
+Result<Value> FnFalse(Evaluator&, const Expr&, const Args&) {
+  return BoolValue(false);
+}
+Result<Value> FnAll(Evaluator&, const Expr&, const Args&) {
+  return BoolValue(true);
+}
+Result<Value> FnNot(Evaluator&, const Expr&, const Args& a) {
+  return BoolValue(!a[0].AsBool());
+}
+Result<Value> FnSuccess(Evaluator&, const Expr&, const Args&) {
+  return BoolValue(true);
+}
+Result<Value> FnFailure(Evaluator&, const Expr&, const Args& a) {
+  return Status::FailedPrecondition(a.empty() ? "validation failed"
+                                              : a[0].AsText());
+}
+
+Result<Value> FnIsNumber(Evaluator&, const Expr&, const Args& a) {
+  return BoolValue(a[0].is_number());
+}
+Result<Value> FnIsText(Evaluator&, const Expr&, const Args& a) {
+  return BoolValue(a[0].is_text());
+}
+Result<Value> FnIsTime(Evaluator&, const Expr&, const Args& a) {
+  return BoolValue(a[0].is_datetime());
+}
+
+// -- Document functions --------------------------------------------------------
+
+Result<Value> FnGetField(Evaluator& ev, const Expr&, const Args& a) {
+  return ev.LookupName(a[0].AsText());
+}
+
+Result<Value> FnSetField(Evaluator& ev, const Expr&, const Args& a) {
+  DOMINO_RETURN_IF_ERROR(ev.SetField(a[0].AsText(), a[1]));
+  return a[1];
+}
+
+Result<Value> FnDocumentUniqueId(Evaluator& ev, const Expr&, const Args&) {
+  if (ev.ctx().note == nullptr) return Value::Text("");
+  return Value::Text(ev.ctx().note->unid().ToString());
+}
+
+Result<Value> FnNoteId(Evaluator& ev, const Expr&, const Args&) {
+  if (ev.ctx().note == nullptr) return Value::Number(0);
+  return Value::Number(static_cast<double>(ev.ctx().note->id()));
+}
+
+Result<Value> FnCreated(Evaluator& ev, const Expr&, const Args&) {
+  return Value::DateTime(ev.ctx().note ? ev.ctx().note->created() : 0);
+}
+
+Result<Value> FnModified(Evaluator& ev, const Expr&, const Args&) {
+  return Value::DateTime(ev.ctx().note ? ev.ctx().note->modified() : 0);
+}
+
+Result<Value> FnIsResponseDoc(Evaluator& ev, const Expr&, const Args&) {
+  return BoolValue(ev.ctx().note != nullptr && ev.ctx().note->IsResponse());
+}
+
+Result<Value> FnAllChildren(Evaluator&, const Expr&, const Args&) {
+  // Evaluates to FALSE per-document; the view engine honors the
+  // response-inclusion semantics via Formula::selects_all_children().
+  return BoolValue(false);
+}
+
+Result<Value> FnAllDescendants(Evaluator&, const Expr&, const Args&) {
+  return BoolValue(false);
+}
+
+Result<Value> FnUserName(Evaluator& ev, const Expr&, const Args&) {
+  return Value::Text(ev.ctx().username.empty() ? "Anonymous"
+                                               : ev.ctx().username);
+}
+
+Result<Value> FnDbTitle(Evaluator& ev, const Expr&, const Args&) {
+  return Value::Text(ev.ctx().db_title);
+}
+
+Result<Value> FnReplicaId(Evaluator& ev, const Expr&, const Args&) {
+  return Value::Text(ev.ctx().replica_id);
+}
+
+// @DbColumn(dbspec; view; column) — all values of a view column.
+// The dbspec argument is accepted for Notes compatibility but always
+// refers to the current database (the bound hook).
+Result<Value> FnDbColumn(Evaluator& ev, const Expr& e, const Args& a) {
+  if (!ev.ctx().db_lookup) {
+    return FnError(e, "no database bound for @DbColumn");
+  }
+  size_t column = static_cast<size_t>(a[2].AsNumber());
+  return ev.ctx().db_lookup(a[1].AsText(), std::nullopt, column);
+}
+
+// @DbLookup(dbspec; view; key; column) — column values of the view rows
+// whose first sorted column equals `key`.
+Result<Value> FnDbLookup(Evaluator& ev, const Expr& e, const Args& a) {
+  if (!ev.ctx().db_lookup) {
+    return FnError(e, "no database bound for @DbLookup");
+  }
+  size_t column = static_cast<size_t>(a[3].AsNumber());
+  return ev.ctx().db_lookup(a[1].AsText(), a[2], column);
+}
+
+// -- Registry -------------------------------------------------------------------
+
+struct NamedFunction {
+  const char* name;
+  FunctionDef def;
+};
+
+const NamedFunction kFunctions[] = {
+    // Control flow (lazy).
+    {"if", {3, -1, true, FnIf}},
+    {"do", {1, -1, true, FnDo}},
+    {"return", {0, 1, true, FnReturn}},
+    {"iserror", {1, 1, true, FnIsError}},
+    {"isavailable", {1, 1, true, FnIsAvailable}},
+    {"isunavailable", {1, 1, true, FnIsUnavailable}},
+    // Text.
+    {"text", {1, 2, false, FnText}},
+    {"texttonumber", {1, 1, false, FnTextToNumber}},
+    {"texttotime", {1, 1, false, FnTextToTime}},
+    {"left", {2, 2, false, FnLeft}},
+    {"right", {2, 2, false, FnRight}},
+    {"middle", {3, 3, false, FnMiddle}},
+    {"length", {1, 1, false, FnLength}},
+    {"lowercase", {1, 1, false, FnLowerCase}},
+    {"uppercase", {1, 1, false, FnUpperCase}},
+    {"propercase", {1, 1, false, FnProperCase}},
+    {"trim", {1, 1, false, FnTrim}},
+    {"contains", {2, -1, false, FnContains}},
+    {"begins", {2, -1, false, FnBegins}},
+    {"ends", {2, -1, false, FnEnds}},
+    {"matches", {2, 2, false, FnMatches}},
+    {"replacesubstring", {3, 3, false, FnReplaceSubstring}},
+    {"word", {3, 3, false, FnWord}},
+    {"explode", {1, 2, false, FnExplode}},
+    {"implode", {1, 2, false, FnImplode}},
+    {"repeat", {2, 2, false, FnRepeat}},
+    {"newline", {0, 0, false, FnNewLine}},
+    {"char", {1, 1, false, FnChar}},
+    // Lists.
+    {"elements", {1, 1, false, FnElements}},
+    {"subset", {2, 2, false, FnSubset}},
+    {"unique", {1, 1, false, FnUnique}},
+    {"sort", {1, 2, false, FnSort}},
+    {"min", {1, 2, false, FnMin}},
+    {"max", {1, 2, false, FnMax}},
+    {"sum", {1, -1, false, FnSum}},
+    {"average", {1, -1, false, FnAverage}},
+    {"member", {2, 2, false, FnMember}},
+    {"ismember", {2, 2, false, FnIsMember}},
+    {"keywords", {2, 3, false, FnKeywords}},
+    {"replace", {3, 3, false, FnReplace}},
+    // Numbers.
+    {"abs", {1, 1, false, FnAbs}},
+    {"sign", {1, 1, false, FnSign}},
+    {"modulo", {2, 2, false, FnModulo}},
+    {"integer", {1, 1, false, FnInteger}},
+    {"round", {1, 2, false, FnRound}},
+    {"sqrt", {1, 1, false, FnSqrt}},
+    {"power", {2, 2, false, FnPower}},
+    {"exp", {1, 1, false, FnExp}},
+    {"ln", {1, 1, false, FnLn}},
+    {"log", {1, 1, false, FnLog}},
+    {"random", {0, 0, false, FnRandom}},
+    {"pi", {0, 0, false, FnPi}},
+    // DateTime.
+    {"now", {0, 0, false, FnNow}},
+    {"today", {0, 0, false, FnToday}},
+    {"yesterday", {0, 0, false, FnYesterday}},
+    {"tomorrow", {0, 0, false, FnTomorrow}},
+    {"year", {1, 1, false, FnYear}},
+    {"month", {1, 1, false, FnMonth}},
+    {"day", {1, 1, false, FnDay}},
+    {"hour", {1, 1, false, FnHour}},
+    {"minute", {1, 1, false, FnMinute}},
+    {"second", {1, 1, false, FnSecond}},
+    {"weekday", {1, 1, false, FnWeekday}},
+    {"adjust", {2, 7, false, FnAdjust}},
+    {"date", {1, 6, false, FnDate}},
+    {"time", {1, 3, false, FnTime}},
+    // Logic / constants.
+    {"true", {0, 0, false, FnTrue}},
+    {"false", {0, 0, false, FnFalse}},
+    {"all", {0, 0, false, FnAll}},
+    {"no", {0, 0, false, FnFalse}},
+    {"yes", {0, 0, false, FnTrue}},
+    {"not", {1, 1, false, FnNot}},
+    {"success", {0, 0, false, FnSuccess}},
+    {"failure", {0, 1, false, FnFailure}},
+    {"isnumber", {1, 1, false, FnIsNumber}},
+    {"istext", {1, 1, false, FnIsText}},
+    {"istime", {1, 1, false, FnIsTime}},
+    // Document.
+    {"getfield", {1, 1, false, FnGetField}},
+    {"setfield", {2, 2, false, FnSetField}},
+    {"documentuniqueid", {0, 0, false, FnDocumentUniqueId}},
+    {"noteid", {0, 0, false, FnNoteId}},
+    {"created", {0, 0, false, FnCreated}},
+    {"modified", {0, 0, false, FnModified}},
+    {"isresponsedoc", {0, 0, false, FnIsResponseDoc}},
+    {"allchildren", {0, 0, false, FnAllChildren}},
+    {"alldescendants", {0, 0, false, FnAllDescendants}},
+    {"username", {0, 0, false, FnUserName}},
+    {"dbtitle", {0, 0, false, FnDbTitle}},
+    {"replicaid", {0, 0, false, FnReplicaId}},
+    {"dbcolumn", {3, 3, false, FnDbColumn}},
+    {"dblookup", {4, 4, false, FnDbLookup}},
+};
+
+}  // namespace
+
+const FunctionDef* FindFunction(std::string_view name) {
+  std::string key = ToLower(name);
+  for (const NamedFunction& f : kFunctions) {
+    if (key == f.name) return &f.def;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> RegisteredFunctionNames() {
+  std::vector<std::string> names;
+  for (const NamedFunction& f : kFunctions) names.emplace_back(f.name);
+  return names;
+}
+
+}  // namespace dominodb::formula

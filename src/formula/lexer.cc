@@ -1,0 +1,299 @@
+#include "formula/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "base/string_util.h"
+
+namespace dominodb::formula {
+
+std::string_view TokenTypeName(TokenType t) {
+  switch (t) {
+    case TokenType::kEof: return "end of formula";
+    case TokenType::kNumber: return "number";
+    case TokenType::kString: return "string";
+    case TokenType::kIdentifier: return "identifier";
+    case TokenType::kAtFunction: return "@function";
+    case TokenType::kSelect: return "SELECT";
+    case TokenType::kField: return "FIELD";
+    case TokenType::kDefault: return "DEFAULT";
+    case TokenType::kEnvironment: return "ENVIRONMENT";
+    case TokenType::kAssign: return ":=";
+    case TokenType::kSemicolon: return ";";
+    case TokenType::kColon: return ":";
+    case TokenType::kLParen: return "(";
+    case TokenType::kRParen: return ")";
+    case TokenType::kPlus: return "+";
+    case TokenType::kMinus: return "-";
+    case TokenType::kStar: return "*";
+    case TokenType::kSlash: return "/";
+    case TokenType::kEqual: return "=";
+    case TokenType::kNotEqual: return "<>";
+    case TokenType::kLess: return "<";
+    case TokenType::kGreater: return ">";
+    case TokenType::kLessEq: return "<=";
+    case TokenType::kGreaterEq: return ">=";
+    case TokenType::kPermEqual: return "*=";
+    case TokenType::kPermNotEqual: return "*<>";
+    case TokenType::kPermLess: return "*<";
+    case TokenType::kPermGreater: return "*>";
+    case TokenType::kPermLessEq: return "*<=";
+    case TokenType::kPermGreaterEq: return "*>=";
+    case TokenType::kAmp: return "&";
+    case TokenType::kPipe: return "|";
+    case TokenType::kBang: return "!";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+Status LexError(size_t offset, const std::string& what) {
+  return Status::SyntaxError(
+      StrPrintf("formula: %s at offset %zu", what.c_str(), offset));
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view src) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = src.size();
+
+  auto push = [&](TokenType type, size_t offset) {
+    Token t;
+    t.type = type;
+    t.offset = offset;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    char c = src[i];
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      size_t j = i;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(src[j])) ||
+                       src[j] == '.')) {
+        ++j;
+      }
+      if (j < n && (src[j] == 'e' || src[j] == 'E')) {
+        size_t k = j + 1;
+        if (k < n && (src[k] == '+' || src[k] == '-')) ++k;
+        if (k < n && std::isdigit(static_cast<unsigned char>(src[k]))) {
+          ++k;
+          while (k < n && std::isdigit(static_cast<unsigned char>(src[k]))) {
+            ++k;
+          }
+          j = k;
+        }
+      }
+      Token t;
+      t.type = TokenType::kNumber;
+      t.offset = start;
+      t.number = std::strtod(std::string(src.substr(i, j - i)).c_str(),
+                             nullptr);
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (c == '"') {
+      std::string body;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (src[j] == '\\' && j + 1 < n &&
+            (src[j + 1] == '"' || src[j + 1] == '\\')) {
+          body.push_back(src[j + 1]);
+          j += 2;
+        } else if (src[j] == '"') {
+          if (j + 1 < n && src[j + 1] == '"') {  // "" escape
+            body.push_back('"');
+            j += 2;
+          } else {
+            closed = true;
+            ++j;
+            break;
+          }
+        } else {
+          body.push_back(src[j]);
+          ++j;
+        }
+      }
+      if (!closed) return LexError(start, "unterminated string");
+      Token t;
+      t.type = TokenType::kString;
+      t.offset = start;
+      t.text = std::move(body);
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (c == '{') {
+      size_t j = i + 1;
+      while (j < n && src[j] != '}') ++j;
+      if (j == n) return LexError(start, "unterminated {string}");
+      Token t;
+      t.type = TokenType::kString;
+      t.offset = start;
+      t.text = std::string(src.substr(i + 1, j - i - 1));
+      tokens.push_back(std::move(t));
+      i = j + 1;
+      continue;
+    }
+    if (c == '@') {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(src[j])) ++j;
+      if (j == i + 1) return LexError(start, "bare '@'");
+      Token t;
+      t.type = TokenType::kAtFunction;
+      t.offset = start;
+      t.text = std::string(src.substr(i + 1, j - i - 1));
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(src[j])) ++j;
+      std::string word(src.substr(i, j - i));
+      Token t;
+      t.offset = start;
+      if (EqualsIgnoreCase(word, "SELECT")) {
+        t.type = TokenType::kSelect;
+      } else if (EqualsIgnoreCase(word, "FIELD")) {
+        t.type = TokenType::kField;
+      } else if (EqualsIgnoreCase(word, "DEFAULT")) {
+        t.type = TokenType::kDefault;
+      } else if (EqualsIgnoreCase(word, "ENVIRONMENT")) {
+        t.type = TokenType::kEnvironment;
+      } else {
+        t.type = TokenType::kIdentifier;
+        t.text = std::move(word);
+      }
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    switch (c) {
+      case ';':
+        push(TokenType::kSemicolon, start);
+        ++i;
+        break;
+      case ':':
+        if (i + 1 < n && src[i + 1] == '=') {
+          push(TokenType::kAssign, start);
+          i += 2;
+        } else {
+          push(TokenType::kColon, start);
+          ++i;
+        }
+        break;
+      case '(':
+        push(TokenType::kLParen, start);
+        ++i;
+        break;
+      case ')':
+        push(TokenType::kRParen, start);
+        ++i;
+        break;
+      case '+':
+        push(TokenType::kPlus, start);
+        ++i;
+        break;
+      case '-':
+        push(TokenType::kMinus, start);
+        ++i;
+        break;
+      case '*':
+        if (i + 2 < n && src[i + 1] == '<' && src[i + 2] == '>') {
+          push(TokenType::kPermNotEqual, start);
+          i += 3;
+        } else if (i + 2 < n && src[i + 1] == '<' && src[i + 2] == '=') {
+          push(TokenType::kPermLessEq, start);
+          i += 3;
+        } else if (i + 2 < n && src[i + 1] == '>' && src[i + 2] == '=') {
+          push(TokenType::kPermGreaterEq, start);
+          i += 3;
+        } else if (i + 1 < n && src[i + 1] == '=') {
+          push(TokenType::kPermEqual, start);
+          i += 2;
+        } else if (i + 1 < n && src[i + 1] == '<') {
+          push(TokenType::kPermLess, start);
+          i += 2;
+        } else if (i + 1 < n && src[i + 1] == '>') {
+          push(TokenType::kPermGreater, start);
+          i += 2;
+        } else {
+          push(TokenType::kStar, start);
+          ++i;
+        }
+        break;
+      case '/':
+        push(TokenType::kSlash, start);
+        ++i;
+        break;
+      case '=':
+        push(TokenType::kEqual, start);
+        ++i;
+        break;
+      case '<':
+        if (i + 1 < n && src[i + 1] == '>') {
+          push(TokenType::kNotEqual, start);
+          i += 2;
+        } else if (i + 1 < n && src[i + 1] == '=') {
+          push(TokenType::kLessEq, start);
+          i += 2;
+        } else {
+          push(TokenType::kLess, start);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && src[i + 1] == '=') {
+          push(TokenType::kGreaterEq, start);
+          i += 2;
+        } else {
+          push(TokenType::kGreater, start);
+          ++i;
+        }
+        break;
+      case '&':
+        push(TokenType::kAmp, start);
+        ++i;
+        break;
+      case '|':
+        push(TokenType::kPipe, start);
+        ++i;
+        break;
+      case '!':
+        if (i + 1 < n && src[i + 1] == '=') {
+          push(TokenType::kNotEqual, start);
+          i += 2;
+        } else {
+          push(TokenType::kBang, start);
+          ++i;
+        }
+        break;
+      default:
+        return LexError(start, StrPrintf("unexpected character '%c'", c));
+    }
+  }
+  push(TokenType::kEof, n);
+  return tokens;
+}
+
+}  // namespace dominodb::formula

@@ -1,0 +1,65 @@
+#ifndef DOMINODB_FORMULA_LEXER_H_
+#define DOMINODB_FORMULA_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+
+namespace dominodb::formula {
+
+enum class TokenType {
+  kEof,
+  kNumber,
+  kString,
+  kIdentifier,   // field / temp-variable names
+  kAtFunction,   // @Name
+  kSelect,       // SELECT keyword
+  kField,        // FIELD keyword
+  kDefault,      // DEFAULT keyword
+  kEnvironment,  // ENVIRONMENT keyword (parsed, evaluated as temp var)
+  kAssign,       // :=
+  kSemicolon,    // ;
+  kColon,        // :  (list concatenation)
+  kLParen,
+  kRParen,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kEqual,        // =
+  kNotEqual,     // <> or !=
+  kLess,
+  kGreater,
+  kLessEq,
+  kGreaterEq,
+  kPermEqual,    // *=
+  kPermNotEqual, // *<>
+  kPermLess,     // *<
+  kPermGreater,  // *>
+  kPermLessEq,   // *<=
+  kPermGreaterEq,// *>=
+  kAmp,          // & logical and
+  kPipe,         // | logical or
+  kBang,         // ! logical not
+};
+
+std::string_view TokenTypeName(TokenType t);
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;    // identifier/function name or string literal body
+  double number = 0;   // for kNumber
+  size_t offset = 0;   // byte offset in source, for error messages
+};
+
+/// Tokenizes formula source. `REM "comment";` statements are consumed by
+/// the parser (REM lexes as an identifier). String literals support both
+/// "double-quoted" (with "" escapes and \" / \\) and {brace} forms.
+Result<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace dominodb::formula
+
+#endif  // DOMINODB_FORMULA_LEXER_H_

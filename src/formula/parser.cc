@@ -1,0 +1,296 @@
+#include "formula/parser.h"
+
+#include <algorithm>
+
+#include "base/string_util.h"
+
+namespace dominodb::formula {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::shared_ptr<const Program>> Run() {
+    auto program = std::make_shared<Program>();
+    // Allow leading/duplicated semicolons.
+    while (!At(TokenType::kEof)) {
+      if (At(TokenType::kSemicolon)) {
+        Advance();
+        continue;
+      }
+      auto stmt = ParseStatement();
+      if (!stmt.ok()) return stmt.status();
+      if (*stmt != nullptr) {  // REM statements parse to null
+        if ((*stmt)->kind == ExprKind::kSelect) program->has_select = true;
+        program->statements.push_back(std::move(*stmt));
+      }
+      if (!At(TokenType::kEof)) {
+        if (!At(TokenType::kSemicolon)) {
+          return Error("expected ';' between statements");
+        }
+        Advance();
+      }
+    }
+    if (program->statements.empty()) {
+      return Error("empty formula");
+    }
+    program->referenced_fields = std::move(fields_);
+    std::sort(program->referenced_fields.begin(),
+              program->referenced_fields.end());
+    program->referenced_fields.erase(
+        std::unique(program->referenced_fields.begin(),
+                    program->referenced_fields.end()),
+        program->referenced_fields.end());
+    return std::shared_ptr<const Program>(std::move(program));
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool At(TokenType t) const { return Peek().type == t; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  Status Error(const std::string& what) const {
+    return Status::SyntaxError(StrPrintf(
+        "formula: %s near '%s' (offset %zu)", what.c_str(),
+        std::string(TokenTypeName(Peek().type)).c_str(), Peek().offset));
+  }
+
+  Result<ExprPtr> ParseStatement() {
+    if (At(TokenType::kSelect)) {
+      size_t off = Advance().offset;
+      DOMINO_ASSIGN_OR_RETURN(ExprPtr cond, ParseExpr());
+      auto node = std::make_unique<Expr>(ExprKind::kSelect);
+      node->offset = off;
+      node->children.push_back(std::move(cond));
+      return node;
+    }
+    if (At(TokenType::kField) || At(TokenType::kDefault) ||
+        At(TokenType::kEnvironment)) {
+      TokenType kw = Advance().type;
+      if (!At(TokenType::kIdentifier)) {
+        return Error("expected field name");
+      }
+      Token name = Advance();
+      if (!At(TokenType::kAssign)) return Error("expected ':='");
+      Advance();
+      DOMINO_ASSIGN_OR_RETURN(ExprPtr value, ParseExpr());
+      auto node = std::make_unique<Expr>(
+          kw == TokenType::kField ? ExprKind::kAssignField
+          : kw == TokenType::kDefault ? ExprKind::kAssignDefault
+                                      : ExprKind::kAssignTemp);
+      node->name = name.text;
+      node->offset = name.offset;
+      node->children.push_back(std::move(value));
+      return node;
+    }
+    // REM "comment" — a no-op statement.
+    if (At(TokenType::kIdentifier) && EqualsIgnoreCase(Peek().text, "REM")) {
+      Advance();
+      if (At(TokenType::kString)) Advance();
+      return ExprPtr(nullptr);
+    }
+    // Temp assignment: ident := expr
+    if (At(TokenType::kIdentifier) && Peek(1).type == TokenType::kAssign) {
+      Token name = Advance();
+      Advance();  // :=
+      DOMINO_ASSIGN_OR_RETURN(ExprPtr value, ParseExpr());
+      auto node = std::make_unique<Expr>(ExprKind::kAssignTemp);
+      node->name = name.text;
+      node->offset = name.offset;
+      node->children.push_back(std::move(value));
+      return node;
+    }
+    return ParseExpr();
+  }
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  /// @function arguments may be assignment statements (@Do(x := 1; ...)).
+  Result<ExprPtr> ParseArgument() {
+    if ((At(TokenType::kIdentifier) && Peek(1).type == TokenType::kAssign) ||
+        At(TokenType::kField) || At(TokenType::kDefault)) {
+      return ParseStatement();
+    }
+    return ParseExpr();
+  }
+
+  Result<ExprPtr> ParseOr() {
+    DOMINO_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (At(TokenType::kPipe)) {
+      size_t off = Advance().offset;
+      DOMINO_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = MakeBinary(TokenType::kPipe, std::move(lhs), std::move(rhs), off);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    DOMINO_ASSIGN_OR_RETURN(ExprPtr lhs, ParseCompare());
+    while (At(TokenType::kAmp)) {
+      size_t off = Advance().offset;
+      DOMINO_ASSIGN_OR_RETURN(ExprPtr rhs, ParseCompare());
+      lhs = MakeBinary(TokenType::kAmp, std::move(lhs), std::move(rhs), off);
+    }
+    return lhs;
+  }
+
+  static bool IsCompareOp(TokenType t) {
+    switch (t) {
+      case TokenType::kEqual:
+      case TokenType::kNotEqual:
+      case TokenType::kLess:
+      case TokenType::kGreater:
+      case TokenType::kLessEq:
+      case TokenType::kGreaterEq:
+      case TokenType::kPermEqual:
+      case TokenType::kPermNotEqual:
+      case TokenType::kPermLess:
+      case TokenType::kPermGreater:
+      case TokenType::kPermLessEq:
+      case TokenType::kPermGreaterEq:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  Result<ExprPtr> ParseCompare() {
+    DOMINO_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdd());
+    while (IsCompareOp(Peek().type)) {
+      Token op = Advance();
+      DOMINO_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdd());
+      lhs = MakeBinary(op.type, std::move(lhs), std::move(rhs), op.offset);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdd() {
+    DOMINO_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMul());
+    while (At(TokenType::kPlus) || At(TokenType::kMinus)) {
+      Token op = Advance();
+      DOMINO_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMul());
+      lhs = MakeBinary(op.type, std::move(lhs), std::move(rhs), op.offset);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseMul() {
+    DOMINO_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (At(TokenType::kStar) || At(TokenType::kSlash)) {
+      Token op = Advance();
+      DOMINO_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = MakeBinary(op.type, std::move(lhs), std::move(rhs), op.offset);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (At(TokenType::kMinus) || At(TokenType::kBang) ||
+        At(TokenType::kPlus)) {
+      Token op = Advance();
+      DOMINO_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      if (op.type == TokenType::kPlus) return operand;  // unary + is a no-op
+      auto node = std::make_unique<Expr>(ExprKind::kUnary);
+      node->op = op.type;
+      node->offset = op.offset;
+      node->children.push_back(std::move(operand));
+      return ExprPtr(std::move(node));
+    }
+    return ParseList();
+  }
+
+  Result<ExprPtr> ParseList() {
+    DOMINO_ASSIGN_OR_RETURN(ExprPtr lhs, ParsePrimary());
+    while (At(TokenType::kColon)) {
+      size_t off = Advance().offset;
+      DOMINO_ASSIGN_OR_RETURN(ExprPtr rhs, ParsePrimary());
+      lhs = MakeBinary(TokenType::kColon, std::move(lhs), std::move(rhs), off);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    if (At(TokenType::kNumber)) {
+      Token t = Advance();
+      auto node = std::make_unique<Expr>(ExprKind::kLiteral);
+      node->literal = Value::Number(t.number);
+      node->offset = t.offset;
+      return ExprPtr(std::move(node));
+    }
+    if (At(TokenType::kString)) {
+      Token t = Advance();
+      auto node = std::make_unique<Expr>(ExprKind::kLiteral);
+      node->literal = Value::Text(t.text);
+      node->offset = t.offset;
+      return ExprPtr(std::move(node));
+    }
+    if (At(TokenType::kIdentifier)) {
+      Token t = Advance();
+      auto node = std::make_unique<Expr>(ExprKind::kFieldRef);
+      node->name = t.text;
+      node->offset = t.offset;
+      fields_.push_back(ToLower(t.text));
+      return ExprPtr(std::move(node));
+    }
+    if (At(TokenType::kAtFunction)) {
+      Token t = Advance();
+      auto node = std::make_unique<Expr>(ExprKind::kCall);
+      node->name = t.text;
+      node->offset = t.offset;
+      if (At(TokenType::kLParen)) {
+        Advance();
+        if (!At(TokenType::kRParen)) {
+          for (;;) {
+            DOMINO_ASSIGN_OR_RETURN(ExprPtr arg, ParseArgument());
+            node->children.push_back(std::move(arg));
+            if (At(TokenType::kSemicolon)) {
+              Advance();
+              continue;
+            }
+            break;
+          }
+        }
+        if (!At(TokenType::kRParen)) return Error("expected ')'");
+        Advance();
+      }
+      return ExprPtr(std::move(node));
+    }
+    if (At(TokenType::kLParen)) {
+      Advance();
+      DOMINO_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+      if (!At(TokenType::kRParen)) return Error("expected ')'");
+      Advance();
+      return inner;
+    }
+    return Error("expected expression");
+  }
+
+  static ExprPtr MakeBinary(TokenType op, ExprPtr lhs, ExprPtr rhs,
+                            size_t offset) {
+    auto node = std::make_unique<Expr>(ExprKind::kBinary);
+    node->op = op;
+    node->offset = offset;
+    node->children.push_back(std::move(lhs));
+    node->children.push_back(std::move(rhs));
+    return node;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  std::vector<std::string> fields_;
+};
+
+}  // namespace
+
+Result<std::shared_ptr<const Program>> Parse(std::string_view source) {
+  DOMINO_ASSIGN_OR_RETURN(auto tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.Run();
+}
+
+}  // namespace dominodb::formula

@@ -1,0 +1,16 @@
+#ifndef DOMINODB_FORMULA_PARSER_H_
+#define DOMINODB_FORMULA_PARSER_H_
+
+#include <memory>
+
+#include "base/result.h"
+#include "formula/ast.h"
+
+namespace dominodb::formula {
+
+/// Parses formula source into a Program. Errors carry byte offsets.
+Result<std::shared_ptr<const Program>> Parse(std::string_view source);
+
+}  // namespace dominodb::formula
+
+#endif  // DOMINODB_FORMULA_PARSER_H_

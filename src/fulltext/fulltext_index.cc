@@ -1,0 +1,110 @@
+#include "fulltext/fulltext_index.h"
+
+#include <cmath>
+
+#include "base/string_util.h"
+#include "fulltext/tokenizer.h"
+
+namespace dominodb {
+
+namespace {
+
+// Separator making field-scoped keys collision-free with plain terms.
+std::string FieldTermKey(std::string_view field, std::string_view term) {
+  std::string key = ToLower(field);
+  key.push_back('\x1f');
+  key.append(term);
+  return key;
+}
+
+constexpr uint32_t kFieldPositionGap = 1000;
+
+}  // namespace
+
+void FullTextIndex::IndexNote(const Note& note) {
+  RemoveNote(note.id());
+  if (note.deleted() || note.note_class() != NoteClass::kDocument) return;
+
+  uint32_t position = 0;
+  uint32_t length = 0;
+  std::vector<std::string> doc_terms;
+  auto add = [&](const std::string& field, const std::string& token,
+                 uint32_t pos) {
+    postings_[token][note.id()].positions.push_back(pos);
+    doc_terms.push_back(token);
+    std::string fkey = FieldTermKey(field, token);
+    postings_[fkey][note.id()].positions.push_back(pos);
+    doc_terms.push_back(fkey);
+    ++length;
+    ++stats_.tokens_indexed;
+  };
+
+  for (const Item& item : note.items()) {
+    bool field_started = false;
+    auto index_text = [&](const std::string& text) {
+      for (const std::string& token : TokenizeText(text)) {
+        add(item.name, token, position++);
+        field_started = true;
+      }
+    };
+    if (item.value.is_text()) {
+      for (const std::string& s : item.value.texts()) index_text(s);
+    } else if (item.value.is_richtext()) {
+      for (const RichTextRun& run : item.value.runs()) {
+        index_text(run.text);
+        if (!run.attachment_name.empty()) index_text(run.attachment_name);
+      }
+    }
+    if (field_started) {
+      position += kFieldPositionGap;  // phrases never span fields
+    }
+  }
+  terms_of_doc_[note.id()] = std::move(doc_terms);
+  doc_lengths_[note.id()] = length;
+  docs_.insert(note.id());
+  ++stats_.notes_indexed;
+}
+
+void FullTextIndex::RemoveNote(NoteId id) {
+  auto it = terms_of_doc_.find(id);
+  if (it == terms_of_doc_.end()) return;
+  for (const std::string& term : it->second) {
+    auto pit = postings_.find(term);
+    if (pit != postings_.end()) {
+      pit->second.erase(id);
+      if (pit->second.empty()) postings_.erase(pit);
+    }
+  }
+  terms_of_doc_.erase(it);
+  doc_lengths_.erase(id);
+  docs_.erase(id);
+  ++stats_.notes_removed;
+}
+
+void FullTextIndex::Clear() {
+  postings_.clear();
+  terms_of_doc_.clear();
+  doc_lengths_.clear();
+  docs_.clear();
+}
+
+const FullTextIndex::PostingMap* FullTextIndex::FindTerm(
+    const std::string& term) const {
+  auto it = postings_.find(ToLower(term));
+  return it == postings_.end() ? nullptr : &it->second;
+}
+
+const FullTextIndex::PostingMap* FullTextIndex::FindFieldTerm(
+    const std::string& field, const std::string& term) const {
+  auto it = postings_.find(FieldTermKey(field, ToLower(term)));
+  return it == postings_.end() ? nullptr : &it->second;
+}
+
+double FullTextIndex::IdfOf(const std::string& term) const {
+  const PostingMap* pm = FindTerm(term);
+  size_t df = pm != nullptr ? pm->size() : 0;
+  return std::log(1.0 + static_cast<double>(docs_.size()) /
+                            static_cast<double>(df + 1));
+}
+
+}  // namespace dominodb

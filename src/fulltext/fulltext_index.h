@@ -1,0 +1,75 @@
+#ifndef DOMINODB_FULLTEXT_FULLTEXT_INDEX_H_
+#define DOMINODB_FULLTEXT_FULLTEXT_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/result.h"
+#include "model/note.h"
+
+namespace dominodb {
+
+/// A scored full-text hit.
+struct FtHit {
+  NoteId note_id = kInvalidNoteId;
+  double score = 0;
+};
+
+struct FtStats {
+  uint64_t notes_indexed = 0;
+  uint64_t notes_removed = 0;
+  uint64_t tokens_indexed = 0;
+  uint64_t queries = 0;
+};
+
+/// Per-database inverted index over text and rich-text items, maintained
+/// incrementally as documents change (the GTR-engine substitute). The
+/// query language supports terms, "phrases", AND/OR/NOT, parentheses and
+/// `FIELD name CONTAINS term`.
+class FullTextIndex {
+ public:
+  FullTextIndex() = default;
+
+  /// Adds or re-indexes a note (deletion stubs are removed). Only
+  /// kDocument notes are indexed.
+  void IndexNote(const Note& note);
+  void RemoveNote(NoteId id);
+  void Clear();
+
+  /// Runs a query; results are sorted by descending TF-IDF score.
+  Result<std::vector<FtHit>> Search(std::string_view query) const;
+
+  size_t doc_count() const { return doc_lengths_.size(); }
+  size_t term_count() const { return postings_.size(); }
+  const FtStats& stats() const { return stats_; }
+
+  // -- Internals shared with the query evaluator ------------------------
+  struct Posting {
+    // Positions of the term in the document (token offsets; fields are
+    // separated by position gaps so phrases never span fields).
+    std::vector<uint32_t> positions;
+  };
+  using PostingMap = std::map<NoteId, Posting>;
+
+  const PostingMap* FindTerm(const std::string& term) const;
+  const PostingMap* FindFieldTerm(const std::string& field,
+                                  const std::string& term) const;
+  const std::set<NoteId>& all_docs() const { return docs_; }
+  double IdfOf(const std::string& term) const;
+
+ private:
+  // term → postings; field-scoped copies under "field\x1f:term".
+  std::unordered_map<std::string, PostingMap> postings_;
+  std::unordered_map<NoteId, std::vector<std::string>> terms_of_doc_;
+  std::unordered_map<NoteId, uint32_t> doc_lengths_;
+  std::set<NoteId> docs_;
+  mutable FtStats stats_;
+};
+
+}  // namespace dominodb
+
+#endif  // DOMINODB_FULLTEXT_FULLTEXT_INDEX_H_

@@ -1,0 +1,329 @@
+// Full-text query parsing and evaluation (FullTextIndex::Search).
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <memory>
+
+#include "base/string_util.h"
+#include "fulltext/fulltext_index.h"
+#include "fulltext/tokenizer.h"
+
+namespace dominodb {
+
+namespace {
+
+// ---------------------------------------------------------------- lexer --
+
+enum class QTok { kWord, kPhrase, kLParen, kRParen, kAnd, kOr, kNot, kEnd };
+
+struct QToken {
+  QTok type = QTok::kEnd;
+  std::string text;
+};
+
+Result<std::vector<QToken>> LexQuery(std::string_view q) {
+  std::vector<QToken> out;
+  size_t i = 0;
+  while (i < q.size()) {
+    char c = q[i];
+    if (c == ' ' || c == '\t' || c == '\n') {
+      ++i;
+      continue;
+    }
+    if (c == '(') {
+      out.push_back({QTok::kLParen, "("});
+      ++i;
+    } else if (c == ')') {
+      out.push_back({QTok::kRParen, ")"});
+      ++i;
+    } else if (c == '&') {
+      out.push_back({QTok::kAnd, "&"});
+      ++i;
+    } else if (c == '|') {
+      out.push_back({QTok::kOr, "|"});
+      ++i;
+    } else if (c == '!') {
+      out.push_back({QTok::kNot, "!"});
+      ++i;
+    } else if (c == '"') {
+      size_t j = q.find('"', i + 1);
+      if (j == std::string_view::npos) {
+        return Status::SyntaxError("ft query: unterminated phrase");
+      }
+      out.push_back({QTok::kPhrase, std::string(q.substr(i + 1, j - i - 1))});
+      i = j + 1;
+    } else if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+               c == '$') {
+      size_t j = i;
+      while (j < q.size() &&
+             (std::isalnum(static_cast<unsigned char>(q[j])) || q[j] == '_' ||
+              q[j] == '$')) {
+        ++j;
+      }
+      std::string word(q.substr(i, j - i));
+      if (EqualsIgnoreCase(word, "AND")) {
+        out.push_back({QTok::kAnd, word});
+      } else if (EqualsIgnoreCase(word, "OR")) {
+        out.push_back({QTok::kOr, word});
+      } else if (EqualsIgnoreCase(word, "NOT")) {
+        out.push_back({QTok::kNot, word});
+      } else {
+        out.push_back({QTok::kWord, word});
+      }
+      i = j;
+    } else {
+      return Status::SyntaxError(
+          StrPrintf("ft query: unexpected character '%c'", c));
+    }
+  }
+  out.push_back({QTok::kEnd, ""});
+  return out;
+}
+
+// ----------------------------------------------------------------- AST --
+
+struct QNode;
+using QNodePtr = std::unique_ptr<QNode>;
+
+struct QNode {
+  enum class Kind { kTerm, kPhrase, kFieldContains, kAnd, kOr, kNot } kind;
+  std::string term;                 // kTerm
+  std::vector<std::string> phrase;  // kPhrase / kFieldContains value tokens
+  std::string field;                // kFieldContains
+  std::vector<QNodePtr> children;
+};
+
+class QParser {
+ public:
+  explicit QParser(std::vector<QToken> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<QNodePtr> Run() {
+    DOMINO_ASSIGN_OR_RETURN(QNodePtr root, ParseOr());
+    if (Peek().type != QTok::kEnd) {
+      return Status::SyntaxError("ft query: trailing tokens");
+    }
+    return root;
+  }
+
+ private:
+  const QToken& Peek() const { return tokens_[pos_]; }
+  QToken Advance() { return tokens_[pos_++]; }
+
+  Result<QNodePtr> ParseOr() {
+    DOMINO_ASSIGN_OR_RETURN(QNodePtr lhs, ParseAnd());
+    while (Peek().type == QTok::kOr) {
+      Advance();
+      DOMINO_ASSIGN_OR_RETURN(QNodePtr rhs, ParseAnd());
+      auto node = std::make_unique<QNode>();
+      node->kind = QNode::Kind::kOr;
+      node->children.push_back(std::move(lhs));
+      node->children.push_back(std::move(rhs));
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  static bool StartsPrimary(QTok t) {
+    return t == QTok::kWord || t == QTok::kPhrase || t == QTok::kLParen ||
+           t == QTok::kNot;
+  }
+
+  Result<QNodePtr> ParseAnd() {
+    DOMINO_ASSIGN_OR_RETURN(QNodePtr lhs, ParseNot());
+    while (Peek().type == QTok::kAnd || StartsPrimary(Peek().type)) {
+      if (Peek().type == QTok::kAnd) Advance();
+      DOMINO_ASSIGN_OR_RETURN(QNodePtr rhs, ParseNot());
+      auto node = std::make_unique<QNode>();
+      node->kind = QNode::Kind::kAnd;
+      node->children.push_back(std::move(lhs));
+      node->children.push_back(std::move(rhs));
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<QNodePtr> ParseNot() {
+    if (Peek().type == QTok::kNot) {
+      Advance();
+      DOMINO_ASSIGN_OR_RETURN(QNodePtr child, ParseNot());
+      auto node = std::make_unique<QNode>();
+      node->kind = QNode::Kind::kNot;
+      node->children.push_back(std::move(child));
+      return node;
+    }
+    return ParsePrimary();
+  }
+
+  Result<QNodePtr> ParsePrimary() {
+    if (Peek().type == QTok::kLParen) {
+      Advance();
+      DOMINO_ASSIGN_OR_RETURN(QNodePtr inner, ParseOr());
+      if (Peek().type != QTok::kRParen) {
+        return Status::SyntaxError("ft query: expected ')'");
+      }
+      Advance();
+      return inner;
+    }
+    if (Peek().type == QTok::kPhrase) {
+      auto node = std::make_unique<QNode>();
+      node->kind = QNode::Kind::kPhrase;
+      node->phrase = TokenizeText(Advance().text);
+      if (node->phrase.empty()) {
+        return Status::SyntaxError("ft query: empty phrase");
+      }
+      return node;
+    }
+    if (Peek().type == QTok::kWord) {
+      QToken word = Advance();
+      // FIELD name CONTAINS value
+      if (EqualsIgnoreCase(word.text, "FIELD") &&
+          Peek().type == QTok::kWord) {
+        QToken field = Advance();
+        if (Peek().type == QTok::kWord &&
+            EqualsIgnoreCase(Peek().text, "CONTAINS")) {
+          Advance();
+          auto node = std::make_unique<QNode>();
+          node->kind = QNode::Kind::kFieldContains;
+          node->field = field.text;
+          if (Peek().type == QTok::kPhrase || Peek().type == QTok::kWord) {
+            node->phrase = TokenizeText(Advance().text);
+          }
+          if (node->phrase.empty()) {
+            return Status::SyntaxError("ft query: CONTAINS needs a value");
+          }
+          return node;
+        }
+        return Status::SyntaxError("ft query: expected CONTAINS");
+      }
+      auto node = std::make_unique<QNode>();
+      std::vector<std::string> tokens = TokenizeText(word.text);
+      if (tokens.empty()) {
+        return Status::SyntaxError("ft query: term too short: " + word.text);
+      }
+      node->kind = QNode::Kind::kTerm;
+      node->term = tokens.front();
+      return node;
+    }
+    return Status::SyntaxError("ft query: expected term");
+  }
+
+  std::vector<QToken> tokens_;
+  size_t pos_ = 0;
+};
+
+// ------------------------------------------------------------- evaluator --
+
+using ScoreMap = std::map<NoteId, double>;
+
+/// Docs where `terms` occur consecutively, using `lookup` to fetch a
+/// posting map per term. Scores by match count × summed idf.
+ScoreMap EvalConsecutive(
+    const FullTextIndex& index, const std::vector<std::string>& terms,
+    const std::function<const FullTextIndex::PostingMap*(const std::string&)>&
+        lookup) {
+  ScoreMap out;
+  if (terms.empty()) return out;
+  const FullTextIndex::PostingMap* first = lookup(terms[0]);
+  if (first == nullptr) return out;
+  double idf_sum = 0;
+  for (const std::string& t : terms) idf_sum += index.IdfOf(t);
+  for (const auto& [doc, posting] : *first) {
+    size_t matches = 0;
+    for (uint32_t pos : posting.positions) {
+      bool all = true;
+      for (size_t k = 1; k < terms.size(); ++k) {
+        const FullTextIndex::PostingMap* pm = lookup(terms[k]);
+        if (pm == nullptr) {
+          all = false;
+          break;
+        }
+        auto dit = pm->find(doc);
+        if (dit == pm->end() ||
+            !std::binary_search(dit->second.positions.begin(),
+                                dit->second.positions.end(),
+                                pos + static_cast<uint32_t>(k))) {
+          all = false;
+          break;
+        }
+      }
+      if (all) ++matches;
+    }
+    if (matches > 0) out[doc] = static_cast<double>(matches) * idf_sum;
+  }
+  return out;
+}
+
+ScoreMap EvalNode(const FullTextIndex& index, const QNode& node) {
+  switch (node.kind) {
+    case QNode::Kind::kTerm: {
+      ScoreMap out;
+      const FullTextIndex::PostingMap* pm = index.FindTerm(node.term);
+      if (pm == nullptr) return out;
+      double idf = index.IdfOf(node.term);
+      for (const auto& [doc, posting] : *pm) {
+        out[doc] = static_cast<double>(posting.positions.size()) * idf;
+      }
+      return out;
+    }
+    case QNode::Kind::kPhrase:
+      return EvalConsecutive(index, node.phrase,
+                             [&](const std::string& t) {
+                               return index.FindTerm(t);
+                             });
+    case QNode::Kind::kFieldContains:
+      return EvalConsecutive(index, node.phrase,
+                             [&](const std::string& t) {
+                               return index.FindFieldTerm(node.field, t);
+                             });
+    case QNode::Kind::kAnd: {
+      ScoreMap a = EvalNode(index, *node.children[0]);
+      ScoreMap b = EvalNode(index, *node.children[1]);
+      ScoreMap out;
+      for (const auto& [doc, score] : a) {
+        auto it = b.find(doc);
+        if (it != b.end()) out[doc] = score + it->second;
+      }
+      return out;
+    }
+    case QNode::Kind::kOr: {
+      ScoreMap out = EvalNode(index, *node.children[0]);
+      for (const auto& [doc, score] : EvalNode(index, *node.children[1])) {
+        out[doc] += score;
+      }
+      return out;
+    }
+    case QNode::Kind::kNot: {
+      ScoreMap child = EvalNode(index, *node.children[0]);
+      ScoreMap out;
+      for (NoteId doc : index.all_docs()) {
+        if (child.find(doc) == child.end()) out[doc] = 0.1;
+      }
+      return out;
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+Result<std::vector<FtHit>> FullTextIndex::Search(
+    std::string_view query) const {
+  ++stats_.queries;
+  DOMINO_ASSIGN_OR_RETURN(auto tokens, LexQuery(query));
+  QParser parser(std::move(tokens));
+  DOMINO_ASSIGN_OR_RETURN(QNodePtr root, parser.Run());
+  ScoreMap scores = EvalNode(*this, *root);
+  std::vector<FtHit> hits;
+  hits.reserve(scores.size());
+  for (const auto& [doc, score] : scores) {
+    hits.push_back(FtHit{doc, score});
+  }
+  std::sort(hits.begin(), hits.end(), [](const FtHit& a, const FtHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.note_id < b.note_id;
+  });
+  return hits;
+}
+
+}  // namespace dominodb

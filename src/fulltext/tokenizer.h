@@ -1,0 +1,16 @@
+#ifndef DOMINODB_FULLTEXT_TOKENIZER_H_
+#define DOMINODB_FULLTEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dominodb {
+
+/// Splits text into lower-cased alphanumeric tokens. Tokens shorter than
+/// 2 characters are dropped (the classic minimum-word-length rule).
+std::vector<std::string> TokenizeText(std::string_view text);
+
+}  // namespace dominodb
+
+#endif  // DOMINODB_FULLTEXT_TOKENIZER_H_

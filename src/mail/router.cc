@@ -1,0 +1,134 @@
+#include "mail/router.h"
+
+#include "base/string_util.h"
+
+namespace dominodb {
+
+void MailDirectory::RegisterUser(const std::string& user,
+                                 const std::string& home_server) {
+  home_servers_[ToLower(user)] = home_server;
+}
+
+Result<std::string> MailDirectory::HomeServerOf(
+    const std::string& user) const {
+  auto it = home_servers_.find(ToLower(user));
+  if (it == home_servers_.end()) {
+    return Status::NotFound("no such user: " + user);
+  }
+  return it->second;
+}
+
+Note MakeMailMessage(const std::string& from,
+                     const std::vector<std::string>& to,
+                     const std::string& subject, const std::string& body) {
+  Note memo(NoteClass::kDocument);
+  memo.SetText("Form", "Memo");
+  memo.SetText("From", from);
+  memo.SetTextList("SendTo", to);
+  memo.SetText("Subject", subject);
+  memo.SetItem("Body", Value::RichText({RichTextRun{body, 0, ""}}));
+  memo.SetNumber("$Hops", 0);
+  return memo;
+}
+
+void Router::AttachMailFile(const std::string& user, Database* mail_file) {
+  mail_files_[ToLower(user)] = mail_file;
+}
+
+void Router::SetNextHop(const std::string& destination,
+                        const std::string& next_hop) {
+  next_hops_[destination] = next_hop;
+}
+
+std::string Router::NextHopFor(const std::string& destination) const {
+  auto it = next_hops_.find(destination);
+  return it == next_hops_.end() ? destination : it->second;
+}
+
+Status Router::Submit(Note message) {
+  if (!EqualsIgnoreCase(message.GetText("Form"), "Memo")) {
+    return Status::InvalidArgument("not a mail memo");
+  }
+  stats_.submitted += 1;
+  return mailbox_->CreateNote(std::move(message)).ok()
+             ? Status::Ok()
+             : Status::IOError("mail.box write failed");
+}
+
+Status Router::DeliverLocal(const std::string& user, const Note& message) {
+  auto it = mail_files_.find(ToLower(user));
+  if (it == mail_files_.end()) {
+    stats_.dead_lettered += 1;
+    return Status::Ok();  // dead letter; routing continues
+  }
+  Note copy = message;
+  copy.SetTime("DeliveredDate", mailbox_->clock() != nullptr
+                                    ? mailbox_->clock()->Now()
+                                    : 0);
+  copy.SetText("DeliveredBy", server_name_);
+  DOMINO_RETURN_IF_ERROR(it->second->CreateNote(std::move(copy)).status());
+  stats_.delivered += 1;
+  stats_.hops_total += static_cast<uint64_t>(message.GetNumber("$Hops"));
+  return Status::Ok();
+}
+
+Result<size_t> Router::RunOnce(const std::map<std::string, Router*>& peers) {
+  // Snapshot pending messages first; delivery mutates the mailbox.
+  std::vector<Note> pending;
+  mailbox_->ForEachLiveNote([&](const Note& note) {
+    if (EqualsIgnoreCase(note.GetText("Form"), "Memo")) {
+      pending.push_back(note);
+    }
+  });
+
+  for (const Note& message : pending) {
+    const Value* send_to = message.FindValue("SendTo");
+    std::vector<std::string> recipients =
+        send_to != nullptr ? send_to->texts() : std::vector<std::string>();
+
+    // Group recipients: local, per-remote-destination, unknown.
+    std::vector<std::string> local_users;
+    std::map<std::string, std::vector<std::string>> remote;  // dest → users
+    for (const std::string& user : recipients) {
+      auto home = directory_->HomeServerOf(user);
+      if (!home.ok()) {
+        stats_.dead_lettered += 1;
+        continue;
+      }
+      if (EqualsIgnoreCase(*home, server_name_)) {
+        local_users.push_back(user);
+      } else {
+        remote[*home].push_back(user);
+      }
+    }
+
+    for (const std::string& user : local_users) {
+      DOMINO_RETURN_IF_ERROR(DeliverLocal(user, message));
+    }
+
+    for (const auto& [destination, users] : remote) {
+      std::string hop = NextHopFor(destination);
+      auto peer_it = peers.find(hop);
+      if (peer_it == peers.end()) {
+        stats_.dead_lettered += users.size();
+        continue;
+      }
+      Note copy = message;
+      copy.SetTextList("SendTo", users);
+      copy.SetNumber("$Hops", message.GetNumber("$Hops") + 1);
+      std::string encoded = copy.EncodeToString();
+      if (net_ != nullptr) {
+        DOMINO_RETURN_IF_ERROR(
+            net_->Transfer(server_name_, hop, encoded.size() + 16));
+      }
+      DOMINO_RETURN_IF_ERROR(
+          peer_it->second->mailbox()->CreateNote(std::move(copy)).status());
+      stats_.forwarded += 1;
+    }
+
+    DOMINO_RETURN_IF_ERROR(mailbox_->DeleteNote(message.id()));
+  }
+  return pending.size();
+}
+
+}  // namespace dominodb

@@ -1,0 +1,88 @@
+#ifndef DOMINODB_MAIL_ROUTER_H_
+#define DOMINODB_MAIL_ROUTER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "core/database.h"
+#include "net/sim_net.h"
+
+namespace dominodb {
+
+/// The name-and-address book (Domino Directory) subset the router needs:
+/// which server hosts each user's mail file. Shared by all servers of a
+/// domain.
+class MailDirectory {
+ public:
+  void RegisterUser(const std::string& user, const std::string& home_server);
+  Result<std::string> HomeServerOf(const std::string& user) const;
+  size_t user_count() const { return home_servers_.size(); }
+
+ private:
+  std::map<std::string, std::string> home_servers_;  // lower(user) → server
+};
+
+/// Builds a memo document (Form = "Memo") ready for Router::Submit.
+Note MakeMailMessage(const std::string& from,
+                     const std::vector<std::string>& to,
+                     const std::string& subject, const std::string& body);
+
+struct MailStats {
+  uint64_t submitted = 0;
+  uint64_t delivered = 0;     // copies placed into mail files
+  uint64_t forwarded = 0;     // copies handed to another server
+  uint64_t dead_lettered = 0; // unknown recipients
+  uint64_t hops_total = 0;    // sum of per-message hop counts at delivery
+};
+
+/// The router task of one server: drains the server's mail.box, delivering
+/// local recipients into their mail files and forwarding remote
+/// recipients toward their home server via the next-hop table (multi-hop
+/// routing, as in Notes named networks).
+class Router {
+ public:
+  Router(std::string server_name, Database* mailbox,
+         const MailDirectory* directory, SimNet* net)
+      : server_name_(std::move(server_name)),
+        mailbox_(mailbox),
+        directory_(directory),
+        net_(net) {}
+
+  /// Registers a locally hosted mail file.
+  void AttachMailFile(const std::string& user, Database* mail_file);
+
+  /// Explicit route: traffic for `destination` goes via `next_hop`.
+  /// Without an entry the router sends directly.
+  void SetNextHop(const std::string& destination,
+                  const std::string& next_hop);
+
+  /// Client submission into this server's mail.box.
+  Status Submit(Note message);
+
+  /// Processes every pending message once. `peers` maps server names to
+  /// their routers (the transport is the shared SimNet). Returns the
+  /// number of messages processed.
+  Result<size_t> RunOnce(const std::map<std::string, Router*>& peers);
+
+  const MailStats& stats() const { return stats_; }
+  Database* mailbox() { return mailbox_; }
+  const std::string& server_name() const { return server_name_; }
+
+ private:
+  Status DeliverLocal(const std::string& user, const Note& message);
+  std::string NextHopFor(const std::string& destination) const;
+
+  std::string server_name_;
+  Database* mailbox_;
+  const MailDirectory* directory_;
+  SimNet* net_;
+  std::map<std::string, Database*> mail_files_;  // lower(user) → db
+  std::map<std::string, std::string> next_hops_;
+  MailStats stats_;
+};
+
+}  // namespace dominodb
+
+#endif  // DOMINODB_MAIL_ROUTER_H_

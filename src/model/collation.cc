@@ -1,0 +1,133 @@
+#include "model/collation.h"
+
+#include <algorithm>
+
+#include "base/coding.h"
+#include "base/string_util.h"
+
+namespace dominodb {
+
+namespace {
+
+// Type rank in collation order.
+int TypeRank(ValueType t) {
+  switch (t) {
+    case ValueType::kNumber:
+      return 0;
+    case ValueType::kDateTime:
+      return 1;
+    case ValueType::kText:
+      return 2;
+    case ValueType::kRichText:
+      return 3;
+  }
+  return 4;
+}
+
+int Sign(double d) { return d < 0 ? -1 : (d > 0 ? 1 : 0); }
+
+template <typename T>
+int CompareScalar(T a, T b) {
+  if (a < b) return -1;
+  if (b < a) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int CompareValues(const Value& a, const Value& b) {
+  int ra = TypeRank(a.type());
+  int rb = TypeRank(b.type());
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (a.type()) {
+    case ValueType::kNumber: {
+      size_t n = std::min(a.numbers().size(), b.numbers().size());
+      for (size_t i = 0; i < n; ++i) {
+        int c = Sign(a.numbers()[i] - b.numbers()[i]);
+        if (c != 0) return c;
+      }
+      return CompareScalar(a.numbers().size(), b.numbers().size());
+    }
+    case ValueType::kDateTime: {
+      size_t n = std::min(a.times().size(), b.times().size());
+      for (size_t i = 0; i < n; ++i) {
+        int c = CompareScalar(a.times()[i], b.times()[i]);
+        if (c != 0) return c;
+      }
+      return CompareScalar(a.times().size(), b.times().size());
+    }
+    case ValueType::kText: {
+      size_t n = std::min(a.texts().size(), b.texts().size());
+      for (size_t i = 0; i < n; ++i) {
+        int c = CompareIgnoreCase(a.texts()[i], b.texts()[i]);
+        if (c != 0) return c;
+      }
+      return CompareScalar(a.texts().size(), b.texts().size());
+    }
+    case ValueType::kRichText: {
+      // Rich text sorts by its concatenated plain text.
+      return CompareIgnoreCase(a.ToDisplayString(), b.ToDisplayString());
+    }
+  }
+  return 0;
+}
+
+namespace {
+
+void AppendTextKey(std::string_view s, std::string* dst) {
+  for (char c : s) {
+    char lower = AsciiToLower(c);
+    dst->push_back(lower == '\0' ? '\x01' : lower);
+  }
+  dst->push_back('\0');
+}
+
+}  // namespace
+
+void EncodeCollationElement(const Value& v, bool descending,
+                            std::string* dst) {
+  size_t start = dst->size();
+  dst->push_back(static_cast<char>(TypeRank(v.type()) + 1));
+  switch (v.type()) {
+    case ValueType::kNumber:
+      for (double d : v.numbers()) {
+        dst->push_back('\x01');  // element-present marker
+        PutOrderedDouble(dst, d);
+      }
+      break;
+    case ValueType::kDateTime:
+      for (Micros t : v.times()) {
+        dst->push_back('\x01');
+        PutOrderedDouble(dst, static_cast<double>(t));
+      }
+      break;
+    case ValueType::kText:
+      for (const auto& s : v.texts()) {
+        dst->push_back('\x01');
+        AppendTextKey(s, dst);
+      }
+      break;
+    case ValueType::kRichText:
+      dst->push_back('\x01');
+      AppendTextKey(v.ToDisplayString(), dst);
+      break;
+  }
+  dst->push_back('\0');  // list terminator: shorter list sorts first
+  if (descending) {
+    for (size_t i = start; i < dst->size(); ++i) {
+      (*dst)[i] = static_cast<char>(~(*dst)[i]);
+    }
+  }
+}
+
+std::string EncodeCollationKey(const std::vector<Value>& columns,
+                               const std::vector<bool>& descending) {
+  std::string key;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    bool desc = i < descending.size() && descending[i];
+    EncodeCollationElement(columns[i], desc, &key);
+  }
+  return key;
+}
+
+}  // namespace dominodb

@@ -1,0 +1,30 @@
+#ifndef DOMINODB_MODEL_COLLATION_H_
+#define DOMINODB_MODEL_COLLATION_H_
+
+#include <string>
+#include <vector>
+
+#include "model/value.h"
+
+namespace dominodb {
+
+/// Notes view collation. Mixed-type columns sort by type class first
+/// (numbers < datetimes < text < rich text), then within type; text
+/// comparison is case-insensitive. Multi-valued entries compare
+/// element-wise, shorter list first on ties.
+int CompareValues(const Value& a, const Value& b);
+
+/// Appends a byte string whose lexicographic order equals CompareValues
+/// order. `descending` inverts the encoding. Text values must not contain
+/// NUL bytes (enforced by replacing them with 0x01).
+void EncodeCollationElement(const Value& v, bool descending,
+                            std::string* dst);
+
+/// Builds a composite key for one view row from per-column values.
+/// `descending[i]` applies to column i; missing entries default ascending.
+std::string EncodeCollationKey(const std::vector<Value>& columns,
+                               const std::vector<bool>& descending);
+
+}  // namespace dominodb
+
+#endif  // DOMINODB_MODEL_COLLATION_H_

@@ -1,0 +1,134 @@
+#include "model/datetime.h"
+
+#include <cstdio>
+
+#include "base/string_util.h"
+
+namespace dominodb {
+
+namespace {
+
+constexpr int64_t kMicrosPerSecond = 1'000'000;
+constexpr int64_t kSecondsPerDay = 86'400;
+
+// Howard Hinnant's days-from-civil algorithm (public domain).
+int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153u * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int* y, int* m, int* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t yy = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  *d = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  *m = static_cast<int>(mp + (mp < 10 ? 3 : -9));
+  *y = static_cast<int>(yy + (*m <= 2));
+}
+
+}  // namespace
+
+bool IsLeapYear(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int DaysInMonth(int year, int month) {
+  static const int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (month < 1 || month > 12) return 30;
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kDays[month - 1];
+}
+
+CivilDateTime MicrosToCivil(Micros t) {
+  CivilDateTime c;
+  int64_t secs = t / kMicrosPerSecond;
+  int64_t us = t % kMicrosPerSecond;
+  if (us < 0) {
+    us += kMicrosPerSecond;
+    secs -= 1;
+  }
+  int64_t days = secs / kSecondsPerDay;
+  int64_t tod = secs % kSecondsPerDay;
+  if (tod < 0) {
+    tod += kSecondsPerDay;
+    days -= 1;
+  }
+  CivilFromDays(days, &c.year, &c.month, &c.day);
+  c.hour = static_cast<int>(tod / 3600);
+  c.minute = static_cast<int>((tod % 3600) / 60);
+  c.second = static_cast<int>(tod % 60);
+  c.micros = static_cast<int>(us);
+  return c;
+}
+
+Micros CivilToMicros(const CivilDateTime& c) {
+  // Normalize month overflow/underflow first so @Adjust(date; 0; 14; ...)
+  // lands in the right year.
+  int year = c.year;
+  int month = c.month;
+  while (month > 12) {
+    month -= 12;
+    ++year;
+  }
+  while (month < 1) {
+    month += 12;
+    --year;
+  }
+  int64_t days = DaysFromCivil(year, month, 1) + (c.day - 1);
+  int64_t secs = days * kSecondsPerDay + c.hour * 3600 + c.minute * 60 +
+                 c.second;
+  return secs * kMicrosPerSecond + c.micros;
+}
+
+std::string FormatDateTime(Micros t) {
+  CivilDateTime c = MicrosToCivil(t);
+  return StrPrintf("%04d-%02d-%02d %02d:%02d:%02d", c.year, c.month, c.day,
+                   c.hour, c.minute, c.second);
+}
+
+std::optional<Micros> ParseDateTime(std::string_view text) {
+  std::string s = TrimWhitespace(text);
+  CivilDateTime c;
+  int n = 0;
+  int scanned = sscanf(s.c_str(), "%d-%d-%d %d:%d:%d%n", &c.year, &c.month,
+                       &c.day, &c.hour, &c.minute, &c.second, &n);
+  if (scanned >= 3) {
+    if (scanned < 6) {
+      // Retry partial time forms.
+      c.hour = c.minute = c.second = 0;
+      scanned = sscanf(s.c_str(), "%d-%d-%d %d:%d", &c.year, &c.month, &c.day,
+                       &c.hour, &c.minute);
+      if (scanned != 5) {
+        c.hour = c.minute = 0;
+        scanned = sscanf(s.c_str(), "%d-%d-%d", &c.year, &c.month, &c.day);
+        if (scanned != 3) return std::nullopt;
+      }
+    }
+    if (c.month < 1 || c.month > 12 || c.day < 1 ||
+        c.day > DaysInMonth(c.year, c.month) || c.hour < 0 || c.hour > 23 ||
+        c.minute < 0 || c.minute > 59 || c.second < 0 || c.second > 59) {
+      return std::nullopt;
+    }
+    return CivilToMicros(c);
+  }
+  return std::nullopt;
+}
+
+int WeekdayOf(Micros t) {
+  int64_t days = t / (kMicrosPerSecond * kSecondsPerDay);
+  if (t < 0 && t % (kMicrosPerSecond * kSecondsPerDay) != 0) days -= 1;
+  // 1970-01-01 was a Thursday; Notes numbers Sunday = 1.
+  int64_t w = (days + 4) % 7;  // 0 = Sunday
+  if (w < 0) w += 7;
+  return static_cast<int>(w) + 1;
+}
+
+}  // namespace dominodb

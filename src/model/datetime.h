@@ -1,0 +1,52 @@
+#ifndef DOMINODB_MODEL_DATETIME_H_
+#define DOMINODB_MODEL_DATETIME_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "base/clock.h"
+
+namespace dominodb {
+
+/// Broken-down calendar time (proleptic Gregorian, UTC). Notes stores
+/// TIMEDATE values; we store Micros since epoch and convert through this
+/// struct for formula functions (@Year, @Month, @Adjust, @TextToTime, ...).
+struct CivilDateTime {
+  int year = 1970;
+  int month = 1;   // 1..12
+  int day = 1;     // 1..31
+  int hour = 0;    // 0..23
+  int minute = 0;  // 0..59
+  int second = 0;  // 0..59
+  int micros = 0;  // 0..999999
+};
+
+/// Converts micros-since-epoch to civil UTC time.
+CivilDateTime MicrosToCivil(Micros t);
+
+/// Converts civil UTC time to micros-since-epoch. Out-of-range fields are
+/// normalized (e.g. month 13 becomes January of the next year), which is
+/// what @Adjust relies on.
+Micros CivilToMicros(const CivilDateTime& c);
+
+/// Formats as "YYYY-MM-DD HH:MM:SS" (the canonical text form used by
+/// @Text on datetimes).
+std::string FormatDateTime(Micros t);
+
+/// Parses "YYYY-MM-DD", "YYYY-MM-DD HH:MM", or "YYYY-MM-DD HH:MM:SS".
+/// Returns nullopt on malformed input.
+std::optional<Micros> ParseDateTime(std::string_view text);
+
+/// True if `year` is a Gregorian leap year.
+bool IsLeapYear(int year);
+
+/// Number of days in `month` of `year`.
+int DaysInMonth(int year, int month);
+
+/// ISO weekday, 1 = Sunday .. 7 = Saturday (Notes @Weekday convention).
+int WeekdayOf(Micros t);
+
+}  // namespace dominodb
+
+#endif  // DOMINODB_MODEL_DATETIME_H_

@@ -1,0 +1,53 @@
+#include "model/unid.h"
+
+#include "base/string_util.h"
+
+namespace dominodb {
+
+namespace {
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string Unid::ToString() const {
+  return StrPrintf("%016llx%016llx", static_cast<unsigned long long>(hi),
+                   static_cast<unsigned long long>(lo));
+}
+
+Unid Unid::FromString(std::string_view s) {
+  if (s.size() != 32) return Unid{};
+  Unid u;
+  for (int i = 0; i < 16; ++i) {
+    int d = HexDigit(s[i]);
+    if (d < 0) return Unid{};
+    u.hi = (u.hi << 4) | static_cast<uint64_t>(d);
+  }
+  for (int i = 16; i < 32; ++i) {
+    int d = HexDigit(s[i]);
+    if (d < 0) return Unid{};
+    u.lo = (u.lo << 4) | static_cast<uint64_t>(d);
+  }
+  return u;
+}
+
+OidRelation CompareOids(const Oid& local, const Oid& remote) {
+  // Sequence-number dominance. Equal sequence numbers with different
+  // sequence times mean the same number of independent edits happened on
+  // both sides since the common ancestor — the classic Notes replication
+  // conflict. The replicator refines the unequal-sequence case with the
+  // $Revisions ancestry check (see repl/replicator.cc).
+  if (remote.sequence == local.sequence) {
+    if (remote.sequence_time == local.sequence_time) return OidRelation::kEqual;
+    return OidRelation::kConflict;
+  }
+  return remote.sequence > local.sequence ? OidRelation::kRemoteNewer
+                                          : OidRelation::kLocalNewer;
+}
+
+}  // namespace dominodb

@@ -1,0 +1,65 @@
+#ifndef DOMINODB_MODEL_UNID_H_
+#define DOMINODB_MODEL_UNID_H_
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "base/clock.h"
+
+namespace dominodb {
+
+/// Universal Note ID: identifies the same logical note across every
+/// replica of a database (and survives replication). 128 bits, like Notes.
+struct Unid {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  bool IsNull() const { return hi == 0 && lo == 0; }
+
+  /// 32 hex chars, upper nibble first, e.g. "00fa3c...".
+  std::string ToString() const;
+
+  /// Parses the ToString() form; returns the null UNID on bad input.
+  static Unid FromString(std::string_view s);
+
+  auto operator<=>(const Unid&) const = default;
+};
+
+/// Originator ID: the replication versioning triple. Every note carries
+/// one; an update bumps `sequence` and stamps `sequence_time`. Replication
+/// compares OIDs of the same UNID to classify remote changes as
+/// newer / older / conflicting.
+struct Oid {
+  Unid unid;
+  uint32_t sequence = 0;       // update count, starts at 1 on create
+  Micros sequence_time = 0;    // time of the last sequence bump
+
+  bool operator==(const Oid&) const = default;
+};
+
+/// How a remote OID relates to a local OID of the same UNID, as determined
+/// by the sequence-number dominance rule of Notes replication. Sequence
+/// numbers equal but times differing means the two replicas made the same
+/// *number* of independent updates — a conflict.
+enum class OidRelation {
+  kEqual,          // identical version
+  kRemoteNewer,    // remote strictly dominates: pull it
+  kLocalNewer,     // local strictly dominates: keep ours
+  kConflict,       // concurrent edits: conflict document needed
+};
+
+/// Classifies `remote` against `local` (both for the same UNID).
+OidRelation CompareOids(const Oid& local, const Oid& remote);
+
+}  // namespace dominodb
+
+template <>
+struct std::hash<dominodb::Unid> {
+  size_t operator()(const dominodb::Unid& u) const noexcept {
+    return static_cast<size_t>(u.hi * 0x9e3779b97f4a7c15ull ^ u.lo);
+  }
+};
+
+#endif  // DOMINODB_MODEL_UNID_H_

@@ -1,0 +1,303 @@
+#include "model/value.h"
+
+#include <cmath>
+
+#include "base/coding.h"
+#include "base/string_util.h"
+#include "model/datetime.h"
+
+namespace dominodb {
+
+std::string_view ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kText:
+      return "Text";
+    case ValueType::kNumber:
+      return "Number";
+    case ValueType::kDateTime:
+      return "DateTime";
+    case ValueType::kRichText:
+      return "RichText";
+  }
+  return "Unknown";
+}
+
+Value Value::Text(std::string s) {
+  Value v;
+  v.type_ = ValueType::kText;
+  v.texts_.push_back(std::move(s));
+  return v;
+}
+
+Value Value::TextList(std::vector<std::string> list) {
+  Value v;
+  v.type_ = ValueType::kText;
+  v.texts_ = std::move(list);
+  return v;
+}
+
+Value Value::Number(double d) {
+  Value v;
+  v.type_ = ValueType::kNumber;
+  v.numbers_.push_back(d);
+  return v;
+}
+
+Value Value::NumberList(std::vector<double> list) {
+  Value v;
+  v.type_ = ValueType::kNumber;
+  v.numbers_ = std::move(list);
+  return v;
+}
+
+Value Value::DateTime(Micros t) {
+  Value v;
+  v.type_ = ValueType::kDateTime;
+  v.times_.push_back(t);
+  return v;
+}
+
+Value Value::DateTimeList(std::vector<Micros> list) {
+  Value v;
+  v.type_ = ValueType::kDateTime;
+  v.times_ = std::move(list);
+  return v;
+}
+
+Value Value::RichText(std::vector<RichTextRun> runs) {
+  Value v;
+  v.type_ = ValueType::kRichText;
+  v.runs_ = std::move(runs);
+  return v;
+}
+
+size_t Value::size() const {
+  switch (type_) {
+    case ValueType::kText:
+      return texts_.size();
+    case ValueType::kNumber:
+      return numbers_.size();
+    case ValueType::kDateTime:
+      return times_.size();
+    case ValueType::kRichText:
+      return runs_.size();
+  }
+  return 0;
+}
+
+std::string Value::AsText() const {
+  switch (type_) {
+    case ValueType::kText:
+      return texts_.empty() ? std::string() : texts_.front();
+    case ValueType::kNumber:
+      return numbers_.empty() ? std::string() : FormatNumber(numbers_.front());
+    case ValueType::kDateTime:
+      return times_.empty() ? std::string() : FormatDateTime(times_.front());
+    case ValueType::kRichText:
+      return runs_.empty() ? std::string() : runs_.front().text;
+  }
+  return {};
+}
+
+double Value::AsNumber() const {
+  switch (type_) {
+    case ValueType::kNumber:
+      return numbers_.empty() ? 0.0 : numbers_.front();
+    case ValueType::kText: {
+      if (texts_.empty()) return 0.0;
+      char* end = nullptr;
+      double d = strtod(texts_.front().c_str(), &end);
+      return end == texts_.front().c_str() ? 0.0 : d;
+    }
+    case ValueType::kDateTime:
+      return times_.empty() ? 0.0 : static_cast<double>(times_.front());
+    case ValueType::kRichText:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+Micros Value::AsTime() const {
+  switch (type_) {
+    case ValueType::kDateTime:
+      return times_.empty() ? 0 : times_.front();
+    case ValueType::kNumber:
+      return numbers_.empty() ? 0 : static_cast<Micros>(numbers_.front());
+    case ValueType::kText: {
+      if (texts_.empty()) return 0;
+      auto t = ParseDateTime(texts_.front());
+      return t.value_or(0);
+    }
+    case ValueType::kRichText:
+      return 0;
+  }
+  return 0;
+}
+
+bool Value::AsBool() const {
+  if (type_ == ValueType::kNumber) {
+    return !numbers_.empty() && numbers_.front() != 0.0;
+  }
+  if (type_ == ValueType::kText) {
+    return !texts_.empty() && !texts_.front().empty();
+  }
+  return !empty();
+}
+
+std::string Value::ToDisplayString() const {
+  std::vector<std::string> parts;
+  switch (type_) {
+    case ValueType::kText:
+      parts = texts_;
+      break;
+    case ValueType::kNumber:
+      for (double d : numbers_) parts.push_back(FormatNumber(d));
+      break;
+    case ValueType::kDateTime:
+      for (Micros t : times_) parts.push_back(FormatDateTime(t));
+      break;
+    case ValueType::kRichText:
+      for (const auto& r : runs_) parts.push_back(r.text);
+      break;
+  }
+  return Join(parts, "; ");
+}
+
+size_t Value::ByteSize() const {
+  size_t n = 1;
+  switch (type_) {
+    case ValueType::kText:
+      for (const auto& s : texts_) n += s.size() + 2;
+      break;
+    case ValueType::kNumber:
+      n += numbers_.size() * 8;
+      break;
+    case ValueType::kDateTime:
+      n += times_.size() * 8;
+      break;
+    case ValueType::kRichText:
+      for (const auto& r : runs_) {
+        n += r.text.size() + r.attachment_name.size() + 4;
+      }
+      break;
+  }
+  return n;
+}
+
+void Value::EncodeTo(std::string* dst) const {
+  dst->push_back(static_cast<char>(type_));
+  switch (type_) {
+    case ValueType::kText:
+      PutVarint64(dst, texts_.size());
+      for (const auto& s : texts_) PutLengthPrefixed(dst, s);
+      break;
+    case ValueType::kNumber:
+      PutVarint64(dst, numbers_.size());
+      for (double d : numbers_) {
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(d));
+        __builtin_memcpy(&bits, &d, sizeof(bits));
+        PutFixed64(dst, bits);
+      }
+      break;
+    case ValueType::kDateTime:
+      PutVarint64(dst, times_.size());
+      for (Micros t : times_) PutVarSigned64(dst, t);
+      break;
+    case ValueType::kRichText:
+      PutVarint64(dst, runs_.size());
+      for (const auto& r : runs_) {
+        PutLengthPrefixed(dst, r.text);
+        dst->push_back(static_cast<char>(r.style));
+        PutLengthPrefixed(dst, r.attachment_name);
+      }
+      break;
+  }
+}
+
+Status Value::DecodeFrom(std::string_view* input, Value* out) {
+  if (input->empty()) return Status::Corruption("value: empty input");
+  auto type = static_cast<ValueType>(input->front());
+  input->remove_prefix(1);
+  if (type > ValueType::kRichText) {
+    return Status::Corruption("value: bad type tag");
+  }
+  uint64_t count = 0;
+  if (!GetVarint64(input, &count)) {
+    return Status::Corruption("value: bad count");
+  }
+  // Every element consumes at least one input byte; a larger count is a
+  // corrupt (or hostile) encoding — reject before reserving memory.
+  if (count > input->size()) {
+    return Status::Corruption("value: element count exceeds input");
+  }
+  Value v;
+  v.type_ = type;
+  switch (type) {
+    case ValueType::kText:
+      v.texts_.reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        std::string_view s;
+        if (!GetLengthPrefixed(input, &s)) {
+          return Status::Corruption("value: bad text element");
+        }
+        v.texts_.emplace_back(s);
+      }
+      break;
+    case ValueType::kNumber:
+      v.numbers_.reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        uint64_t bits = 0;
+        if (!GetFixed64(input, &bits)) {
+          return Status::Corruption("value: bad number element");
+        }
+        double d;
+        __builtin_memcpy(&d, &bits, sizeof(d));
+        v.numbers_.push_back(d);
+      }
+      break;
+    case ValueType::kDateTime:
+      v.times_.reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        int64_t t = 0;
+        if (!GetVarSigned64(input, &t)) {
+          return Status::Corruption("value: bad datetime element");
+        }
+        v.times_.push_back(t);
+      }
+      break;
+    case ValueType::kRichText:
+      v.runs_.reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        RichTextRun r;
+        std::string_view s;
+        if (!GetLengthPrefixed(input, &s)) {
+          return Status::Corruption("value: bad richtext text");
+        }
+        r.text = std::string(s);
+        if (input->empty()) return Status::Corruption("value: bad style");
+        r.style = static_cast<uint8_t>(input->front());
+        input->remove_prefix(1);
+        if (!GetLengthPrefixed(input, &s)) {
+          return Status::Corruption("value: bad attachment name");
+        }
+        r.attachment_name = std::string(s);
+        v.runs_.push_back(std::move(r));
+      }
+      break;
+  }
+  *out = std::move(v);
+  return Status::Ok();
+}
+
+std::string FormatNumber(double d) {
+  if (std::isnan(d)) return "NaN";
+  if (std::isinf(d)) return d > 0 ? "Inf" : "-Inf";
+  if (d == std::floor(d) && std::fabs(d) < 1e15) {
+    return StrPrintf("%lld", static_cast<long long>(d));
+  }
+  std::string s = StrPrintf("%.10g", d);
+  return s;
+}
+
+}  // namespace dominodb

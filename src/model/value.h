@@ -1,0 +1,106 @@
+#ifndef DOMINODB_MODEL_VALUE_H_
+#define DOMINODB_MODEL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/clock.h"
+#include "base/status.h"
+
+namespace dominodb {
+
+/// The Notes item data types. Every item value is inherently a *list*;
+/// a scalar is simply a list of length one. This is central to the formula
+/// language's multi-value semantics.
+enum class ValueType : uint8_t {
+  kText = 0,
+  kNumber = 1,
+  kDateTime = 2,
+  kRichText = 3,
+};
+
+std::string_view ValueTypeName(ValueType t);
+
+/// One run of rich text: styled text plus an optional attachment name.
+/// Real Notes rich text is a sequence of CD records; this structured
+/// substitute preserves what storage/replication/full-text need: sizable
+/// payloads with searchable text inside.
+struct RichTextRun {
+  std::string text;
+  uint8_t style = 0;  // bit 0 bold, bit 1 italic, bit 2 underline
+  std::string attachment_name;
+
+  bool operator==(const RichTextRun& other) const = default;
+};
+
+/// A typed, multi-valued item value.
+class Value {
+ public:
+  /// Default: empty text list (the "" value).
+  Value() : type_(ValueType::kText) {}
+
+  // -- Factories ------------------------------------------------------
+  static Value Text(std::string s);
+  static Value TextList(std::vector<std::string> v);
+  static Value Number(double d);
+  static Value NumberList(std::vector<double> v);
+  static Value DateTime(Micros t);
+  static Value DateTimeList(std::vector<Micros> v);
+  static Value RichText(std::vector<RichTextRun> runs);
+
+  ValueType type() const { return type_; }
+  bool is_text() const { return type_ == ValueType::kText; }
+  bool is_number() const { return type_ == ValueType::kNumber; }
+  bool is_datetime() const { return type_ == ValueType::kDateTime; }
+  bool is_richtext() const { return type_ == ValueType::kRichText; }
+
+  /// Number of list elements (rich text counts runs).
+  size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  const std::vector<std::string>& texts() const { return texts_; }
+  const std::vector<double>& numbers() const { return numbers_; }
+  const std::vector<Micros>& times() const { return times_; }
+  const std::vector<RichTextRun>& runs() const { return runs_; }
+
+  std::vector<std::string>& mutable_texts() { return texts_; }
+  std::vector<double>& mutable_numbers() { return numbers_; }
+  std::vector<Micros>& mutable_times() { return times_; }
+
+  /// First element accessors with type-appropriate defaults.
+  std::string AsText() const;
+  double AsNumber() const;
+  Micros AsTime() const;
+  bool AsBool() const;  // Notes truth: number != 0
+
+  /// Canonical display text: elements joined with "; " for lists,
+  /// formatted datetimes, numbers without trailing zeros.
+  std::string ToDisplayString() const;
+
+  /// Approximate in-memory/on-wire size in bytes, used by the replication
+  /// byte counters and store accounting.
+  size_t ByteSize() const;
+
+  /// Serialization (appends to *dst / consumes from *input).
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(std::string_view* input, Value* out);
+
+  bool operator==(const Value& other) const = default;
+
+ private:
+  ValueType type_;
+  std::vector<std::string> texts_;
+  std::vector<double> numbers_;
+  std::vector<Micros> times_;
+  std::vector<RichTextRun> runs_;
+};
+
+/// Formats a double the way @Text does: integers without a decimal point,
+/// otherwise up to 10 significant digits with trailing zeros trimmed.
+std::string FormatNumber(double d);
+
+}  // namespace dominodb
+
+#endif  // DOMINODB_MODEL_VALUE_H_

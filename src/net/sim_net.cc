@@ -1,0 +1,59 @@
+#include "net/sim_net.h"
+
+namespace dominodb {
+
+void SimNet::SetLink(const std::string& a, const std::string& b,
+                     Micros latency, uint64_t bytes_per_second) {
+  links_[Key(a, b)] = LinkParams{latency, bytes_per_second};
+}
+
+void SimNet::SetPartitioned(const std::string& a, const std::string& b,
+                            bool partitioned) {
+  if (partitioned) {
+    partitions_.insert(Key(a, b));
+  } else {
+    partitions_.erase(Key(a, b));
+  }
+}
+
+Status SimNet::Transfer(const std::string& from, const std::string& to,
+                        uint64_t bytes) {
+  auto key = Key(from, to);
+  if (partitions_.count(key) != 0) {
+    return Status::Unavailable("link " + from + " <-> " + to +
+                               " is partitioned");
+  }
+  LinkParams params;
+  if (auto it = links_.find(key); it != links_.end()) {
+    params = it->second;
+  } else {
+    params = LinkParams{default_latency_, default_bandwidth_};
+  }
+  if (clock_ != nullptr) {
+    Micros cost = params.latency;
+    if (params.bytes_per_second > 0) {
+      cost += static_cast<Micros>((bytes * 1'000'000) /
+                                  params.bytes_per_second);
+    }
+    clock_->Advance(cost);
+  }
+  LinkStats& link = stats_[key];
+  link.messages += 1;
+  link.bytes += bytes;
+  total_.messages += 1;
+  total_.bytes += bytes;
+  return Status::Ok();
+}
+
+LinkStats SimNet::StatsBetween(const std::string& a,
+                               const std::string& b) const {
+  auto it = stats_.find(Key(a, b));
+  return it == stats_.end() ? LinkStats{} : it->second;
+}
+
+void SimNet::ResetStats() {
+  stats_.clear();
+  total_ = LinkStats{};
+}
+
+}  // namespace dominodb

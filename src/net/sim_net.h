@@ -1,0 +1,76 @@
+#ifndef DOMINODB_NET_SIM_NET_H_
+#define DOMINODB_NET_SIM_NET_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "base/clock.h"
+#include "base/status.h"
+
+namespace dominodb {
+
+/// Byte/message accounting between two named endpoints.
+struct LinkStats {
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+};
+
+/// Deterministic network substitute for the LAN/WAN the paper's systems
+/// ran on. Endpoints are server names; every protocol message is charged
+/// latency + bytes/bandwidth against the shared SimClock, and per-link
+/// counters feed the replication/mail experiments (bytes moved, message
+/// counts). Partitions make links fail with Unavailable.
+class SimNet {
+ public:
+  explicit SimNet(SimClock* clock) : clock_(clock) {}
+
+  /// Default link parameters applied where no explicit link is set.
+  void SetDefaultLink(Micros latency, uint64_t bytes_per_second) {
+    default_latency_ = latency;
+    default_bandwidth_ = bytes_per_second;
+  }
+
+  /// Sets parameters for the (undirected) link between `a` and `b`.
+  void SetLink(const std::string& a, const std::string& b, Micros latency,
+               uint64_t bytes_per_second);
+
+  /// Blocks or unblocks the link (network partition injection).
+  void SetPartitioned(const std::string& a, const std::string& b,
+                      bool partitioned);
+
+  /// Accounts one protocol message of `bytes` from `from` to `to`,
+  /// advancing the simulated clock. Fails with Unavailable when the link
+  /// is partitioned.
+  Status Transfer(const std::string& from, const std::string& to,
+                  uint64_t bytes);
+
+  LinkStats StatsBetween(const std::string& a, const std::string& b) const;
+  const LinkStats& total() const { return total_; }
+  void ResetStats();
+
+ private:
+  struct LinkParams {
+    Micros latency = 1000;             // 1 ms
+    uint64_t bytes_per_second = 10'000'000;  // ~10 MB/s
+  };
+
+  static std::pair<std::string, std::string> Key(const std::string& a,
+                                                 const std::string& b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
+
+  SimClock* clock_;
+  Micros default_latency_ = 1000;
+  uint64_t default_bandwidth_ = 10'000'000;
+  std::map<std::pair<std::string, std::string>, LinkParams> links_;
+  std::set<std::pair<std::string, std::string>> partitions_;
+  std::map<std::pair<std::string, std::string>, LinkStats> stats_;
+  LinkStats total_;
+};
+
+}  // namespace dominodb
+
+#endif  // DOMINODB_NET_SIM_NET_H_

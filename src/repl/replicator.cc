@@ -1,0 +1,396 @@
+#include "repl/replicator.h"
+
+#include "base/hash.h"
+#include "base/string_util.h"
+
+namespace dominodb {
+
+namespace {
+
+/// Approximate wire size of one OID in the change summary.
+constexpr uint64_t kSummaryEntryBytes = 28;
+constexpr uint64_t kHandshakeBytes = 64;
+
+/// Deterministic conflict-document UNID derived from the losing version,
+/// so every replica that detects the same conflict materializes the same
+/// conflict note and the system still converges.
+Unid ConflictUnidFor(const Note& loser) {
+  std::string seed = loser.unid().ToString();
+  seed += ':';
+  seed += std::to_string(loser.sequence());
+  seed += ':';
+  seed += std::to_string(loser.sequence_time());
+  return Unid{Fnv1a64(seed, 0xC0FFEE), Fnv1a64(seed, 0xBEEF)};
+}
+
+/// Builds the conflict document: the losing version's items demoted to a
+/// response of the winner, flagged with $Conflict (the Notes
+/// "Replication or Save Conflict" document).
+Note MakeConflictNote(const Note& loser, const Unid& winner_unid,
+                      Micros stamp) {
+  Note conflict(NoteClass::kDocument);
+  for (const Item& item : loser.items()) {
+    conflict.SetItem(item.name, item.value, item.flags);
+  }
+  conflict.SetText("$Conflict", "Replication or Save Conflict");
+  conflict.set_parent_unid(winner_unid);
+  conflict.SetReplicationState(Oid{ConflictUnidFor(loser), 1, stamp}, {},
+                               loser.created(), false);
+  return conflict;
+}
+
+/// Winner of a true conflict: higher sequence number; ties break toward
+/// the later sequence time (Notes' rule).
+bool RemoteWins(const Note& local, const Note& remote) {
+  if (remote.sequence() != local.sequence()) {
+    return remote.sequence() > local.sequence();
+  }
+  return remote.sequence_time() > local.sequence_time();
+}
+
+}  // namespace
+
+Micros ReplicationHistory::CutoffFor(const std::string& peer) const {
+  auto it = cutoffs_.find(peer);
+  return it == cutoffs_.end() ? 0 : it->second;
+}
+
+void ReplicationHistory::Record(const std::string& peer, Micros cutoff) {
+  Micros& slot = cutoffs_[peer];
+  slot = std::max(slot, cutoff);
+}
+
+void ReplicationReport::MergeFrom(const ReplicationReport& other) {
+  summarized += other.summarized;
+  pulled += other.pulled;
+  pushed += other.pushed;
+  deletions_applied += other.deletions_applied;
+  conflicts += other.conflicts;
+  merges += other.merges;
+  skipped_unchanged += other.skipped_unchanged;
+  skipped_by_formula += other.skipped_by_formula;
+  bytes_transferred += other.bytes_transferred;
+  messages += other.messages;
+}
+
+std::optional<Note> TryMergeNotes(const Note& local, const Note& remote,
+                                  Micros stamp) {
+  Micros ancestor = Note::LatestCommonRevision(local, remote);
+  if (ancestor == 0) return std::nullopt;  // no common version in history
+  const Note& winner = RemoteWins(local, remote) ? remote : local;
+  const Note& loser = RemoteWins(local, remote) ? local : remote;
+
+  // Overlap check: an item both sides changed since the common ancestor,
+  // to different values, cannot be merged.
+  for (const Item& item : loser.items()) {
+    if (item.modified <= ancestor) continue;
+    const Item* w = winner.FindItem(item.name);
+    if (w != nullptr && w->modified > ancestor && !(*w == item)) {
+      return std::nullopt;
+    }
+  }
+
+  Note merged = winner;
+  merged.set_id(kInvalidNoteId);
+  for (const Item& item : loser.items()) {
+    if (item.modified <= ancestor) continue;
+    const Item* w = merged.FindItem(item.name);
+    if (w == nullptr || w->modified <= ancestor) {
+      // Take the loser's edit, preserving its per-item stamp so future
+      // merges still know who changed what.
+      merged.SetItem(item.name, item.value, item.flags);
+      for (Item& slot : merged.mutable_items()) {
+        if (EqualsIgnoreCase(slot.name, item.name)) {
+          slot.modified = item.modified;
+          break;
+        }
+      }
+    }
+  }
+
+  // The merged version descends from *both* inputs: union the revision
+  // histories (including both current sequence times) so either side
+  // accepts it as a clean successor.
+  std::vector<Micros> revisions = local.revisions();
+  revisions.push_back(local.sequence_time());
+  for (Micros t : remote.revisions()) revisions.push_back(t);
+  revisions.push_back(remote.sequence_time());
+  std::sort(revisions.begin(), revisions.end());
+  revisions.erase(std::unique(revisions.begin(), revisions.end()),
+                  revisions.end());
+  if (revisions.size() > Note::kMaxRevisions) {
+    revisions.erase(revisions.begin(),
+                    revisions.begin() +
+                        (revisions.size() - Note::kMaxRevisions));
+  }
+  uint32_t seq = std::max(local.sequence(), remote.sequence()) + 1;
+  if (stamp <= revisions.back()) stamp = revisions.back() + 1;
+  merged.SetReplicationState(Oid{winner.unid(), seq, stamp},
+                             std::move(revisions), winner.created(), false);
+  return merged;
+}
+
+Result<bool> ApplyRemoteChange(Database* db, const Note& remote,
+                               ReplicationReport* report,
+                               bool merge_fields) {
+  auto local_result = db->GetAnyByUnid(remote.unid());
+  if (!local_result.ok()) {
+    if (!local_result.status().IsNotFound()) return local_result.status();
+    // Never seen: install verbatim. Stubs are installed too, so a replica
+    // that never held the note still remembers the deletion.
+    DOMINO_RETURN_IF_ERROR(db->InstallRemoteNote(remote));
+    report->pulled += 1;
+    return true;
+  }
+  const Note local = std::move(*local_result);
+
+  OidRelation rel = CompareOids(local.oid(), remote.oid());
+  // Refine dominance with the $Revisions ancestry check: a higher
+  // sequence number only wins cleanly if that lineage includes the other
+  // side's current version.
+  if (rel == OidRelation::kRemoteNewer &&
+      !remote.HasRevision(local.sequence_time())) {
+    rel = OidRelation::kConflict;
+  }
+  if (rel == OidRelation::kLocalNewer &&
+      !local.HasRevision(remote.sequence_time())) {
+    rel = OidRelation::kConflict;
+  }
+
+  // Split-brain repair: identical OIDs should mean identical notes.
+  // Replica-distinct stamps make collisions (two replicas stamping the
+  // same version id for different edits) essentially impossible, but if
+  // one ever occurs, repair it deterministically instead of diverging
+  // silently: both sides keep the byte-wise greater content as the winner
+  // and preserve the other as a conflict document.
+  if (rel == OidRelation::kEqual && !local.EqualsContent(remote)) {
+    Note lc = local;
+    lc.set_id(0);
+    lc.set_modified_in_file(0);
+    Note rc = remote;
+    rc.set_id(0);
+    rc.set_modified_in_file(0);
+    bool remote_wins = rc.EncodeToString() > lc.EncodeToString();
+    const Note& loser = remote_wins ? local : remote;
+    Micros stamp = db->clock() != nullptr ? db->clock()->Now() : 0;
+    Note conflict = MakeConflictNote(loser, local.unid(), stamp);
+    bool changed = false;
+    if (!db->GetAnyByUnid(conflict.unid()).ok()) {
+      DOMINO_RETURN_IF_ERROR(db->InstallRemoteNote(conflict));
+      report->conflicts += 1;
+      changed = true;
+    }
+    if (remote_wins) {
+      DOMINO_RETURN_IF_ERROR(db->InstallRemoteNote(remote));
+      report->pulled += 1;
+      changed = true;
+    }
+    return changed;
+  }
+
+  switch (rel) {
+    case OidRelation::kEqual:
+      report->skipped_unchanged += 1;
+      return false;
+    case OidRelation::kLocalNewer:
+      report->skipped_unchanged += 1;
+      return false;
+    case OidRelation::kRemoteNewer:
+      if (remote.deleted() && !local.deleted()) {
+        report->deletions_applied += 1;
+      }
+      DOMINO_RETURN_IF_ERROR(db->InstallRemoteNote(remote));
+      report->pulled += 1;
+      return true;
+    case OidRelation::kConflict:
+      break;
+  }
+
+  // Identical independent writes (e.g. both replicas generated the same
+  // conflict document) converge without a new conflict: adopt the version
+  // with the smaller sequence time deterministically.
+  if (local.sequence() == remote.sequence() && local.EqualsContent(remote)) {
+    if (remote.sequence_time() < local.sequence_time()) {
+      DOMINO_RETURN_IF_ERROR(db->InstallRemoteNote(remote));
+      report->pulled += 1;
+      return true;
+    }
+    report->skipped_unchanged += 1;
+    return false;
+  }
+
+  // Deletion wins over concurrent edits (no conflict document is made
+  // from or for a deletion stub).
+  if (local.deleted() || remote.deleted()) {
+    if (remote.deleted() && !local.deleted()) {
+      DOMINO_RETURN_IF_ERROR(db->InstallRemoteNote(remote));
+      report->deletions_applied += 1;
+      report->pulled += 1;
+      return true;
+    }
+    report->skipped_unchanged += 1;
+    return false;
+  }
+
+  // Field-level merge, when enabled: disjoint concurrent edits combine
+  // into one version and no conflict document is needed.
+  if (merge_fields) {
+    Micros merge_stamp = db->clock() != nullptr ? db->clock()->Now() : 0;
+    std::optional<Note> merged = TryMergeNotes(local, remote, merge_stamp);
+    if (merged.has_value()) {
+      DOMINO_RETURN_IF_ERROR(db->InstallRemoteNote(std::move(*merged)));
+      report->merges += 1;
+      report->pulled += 1;
+      return true;
+    }
+  }
+
+  // True conflict: winner keeps the UNID, loser becomes a $Conflict
+  // response of the winner.
+  const Note& winner = RemoteWins(local, remote) ? remote : local;
+  const Note& loser = RemoteWins(local, remote) ? local : remote;
+  Micros stamp = db->clock() != nullptr ? db->clock()->Now() : 0;
+  Note conflict = MakeConflictNote(loser, winner.unid(), stamp);
+  bool changed = false;
+  if (!db->GetAnyByUnid(conflict.unid()).ok()) {
+    DOMINO_RETURN_IF_ERROR(db->InstallRemoteNote(conflict));
+    report->conflicts += 1;
+    changed = true;
+  }
+  if (&winner == &remote) {
+    DOMINO_RETURN_IF_ERROR(db->InstallRemoteNote(remote));
+    report->pulled += 1;
+    changed = true;
+  }
+  return changed;
+}
+
+Status Replicator::Charge(const std::string& from, const std::string& to,
+                          uint64_t bytes, ReplicationReport* report) {
+  report->messages += 1;
+  report->bytes_transferred += bytes;
+  if (net_ != nullptr) {
+    return net_->Transfer(from, to, bytes);
+  }
+  return Status::Ok();
+}
+
+Status Replicator::Pull(Database* dst, const std::string& dst_name,
+                        Database* src, const std::string& src_name,
+                        Micros cutoff, const ReplicationOptions& options,
+                        bool count_as_pull, ReplicationReport* report) {
+  formula::Formula selective;
+  if (!options.selective_formula.empty()) {
+    DOMINO_ASSIGN_OR_RETURN(selective,
+                            formula::Formula::Compile(
+                                options.selective_formula));
+  }
+
+  // 1. Request + receive the change summary (OIDs newer than the cutoff).
+  std::vector<Oid> summary = src->ChangesSince(cutoff);
+  ReplicationReport local;
+  DOMINO_RETURN_IF_ERROR(Charge(dst_name, src_name, 32, &local));
+  DOMINO_RETURN_IF_ERROR(Charge(src_name, dst_name,
+                                kSummaryEntryBytes * summary.size() + 16,
+                                &local));
+  local.summarized += summary.size();
+
+  // 2. Decide per note; fetch bodies only for versions we may need.
+  for (const Oid& oid : summary) {
+    const bool have_local = dst->GetAnyByUnid(oid.unid).ok();
+    if (have_local) {
+      auto mine = dst->GetAnyByUnid(oid.unid);
+      OidRelation rel = CompareOids(mine->oid(), oid);
+      if (rel == OidRelation::kEqual || rel == OidRelation::kLocalNewer) {
+        // Cheap dominance check on the summary alone; ancestry-uncertain
+        // kLocalNewer cases still need the body, so only skip when our
+        // lineage provably includes the remote version.
+        if (rel == OidRelation::kEqual ||
+            mine->HasRevision(oid.sequence_time)) {
+          local.skipped_unchanged += 1;
+          continue;
+        }
+      }
+    }
+    auto remote_note = src->GetAnyByUnid(oid.unid);
+    if (!remote_note.ok()) continue;  // purged mid-session
+    if (selective.valid() && !remote_note->deleted()) {
+      formula::EvalContext ctx;
+      ctx.note = &*remote_note;
+      ctx.clock = dst->clock();
+      auto matched = selective.Matches(ctx);
+      if (!matched.ok() || !*matched) {
+        local.skipped_by_formula += 1;
+        continue;
+      }
+    }
+    std::string encoded = remote_note->EncodeToString();
+    DOMINO_RETURN_IF_ERROR(
+        Charge(src_name, dst_name, encoded.size() + 8, &local));
+    auto applied = ApplyRemoteChange(dst, *remote_note, &local,
+                                     options.merge_conflicts);
+    if (!applied.ok()) return applied.status();
+  }
+
+  if (!count_as_pull) {
+    local.pushed = local.pulled;
+    local.pulled = 0;
+  }
+  report->MergeFrom(local);
+  return Status::Ok();
+}
+
+Result<ReplicationReport> Replicator::Replicate(
+    Database* local, const std::string& local_name, Database* remote,
+    const std::string& remote_name, ReplicationHistory* local_history,
+    ReplicationHistory* remote_history, const ReplicationOptions& options) {
+  if (local->replica_id() != remote->replica_id()) {
+    return Status::InvalidArgument(
+        "databases are not replicas (replica ids differ): " +
+        local->replica_id().ToString() + " vs " +
+        remote->replica_id().ToString());
+  }
+  ReplicationReport report;
+  DOMINO_RETURN_IF_ERROR(
+      Charge(local_name, remote_name, kHandshakeBytes, &report));
+
+  if (options.pull) {
+    Micros cutoff = options.use_history && local_history != nullptr
+                        ? local_history->CutoffFor(remote_name)
+                        : 0;
+    DOMINO_RETURN_IF_ERROR(Pull(local, local_name, remote, remote_name,
+                                cutoff, options, /*count_as_pull=*/true,
+                                &report));
+  }
+  if (options.push) {
+    Micros cutoff = options.use_history && remote_history != nullptr
+                        ? remote_history->CutoffFor(local_name)
+                        : 0;
+    DOMINO_RETURN_IF_ERROR(Pull(remote, remote_name, local, local_name,
+                                cutoff, options, /*count_as_pull=*/false,
+                                &report));
+  }
+  // Record post-session cutoffs: each side has now seen everything the
+  // other wrote up to its final stamp (including notes installed during
+  // this very session, which avoids re-summarizing them next time).
+  if (local_history != nullptr) {
+    local_history->Record(remote_name, remote->last_write_stamp());
+  }
+  if (remote_history != nullptr) {
+    remote_history->Record(local_name, local->last_write_stamp());
+  }
+  return report;
+}
+
+void ClusterReplicator::OnNoteChanged(const Note& note) {
+  if (applying_) return;
+  applying_ = true;
+  for (Database* peer : peers_) {
+    auto existing = peer->GetAnyByUnid(note.unid());
+    if (existing.ok() && existing->oid() == note.oid()) continue;
+    ApplyRemoteChange(peer, note, &report_).ok();
+  }
+  applying_ = false;
+}
+
+}  // namespace dominodb

@@ -1,0 +1,137 @@
+#ifndef DOMINODB_REPL_REPLICATOR_H_
+#define DOMINODB_REPL_REPLICATOR_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "base/result.h"
+#include "core/database.h"
+#include "formula/formula.h"
+#include "net/sim_net.h"
+
+namespace dominodb {
+
+/// Per-database replication history: for each peer, the cutoff timestamp
+/// of the last successful replication. The incremental-replication claim
+/// of the paper hangs on this: only notes modified after the cutoff are
+/// summarized and shipped.
+class ReplicationHistory {
+ public:
+  /// 0 when the pair never replicated (full scan).
+  Micros CutoffFor(const std::string& peer) const;
+  void Record(const std::string& peer, Micros cutoff);
+  void Clear() { cutoffs_.clear(); }
+
+ private:
+  std::map<std::string, Micros> cutoffs_;
+};
+
+struct ReplicationOptions {
+  /// Pull remote changes into the local replica.
+  bool pull = true;
+  /// Then let the remote pull local changes (the Notes pull-pull session).
+  bool push = true;
+  /// Selective replication: only notes matching this formula are pulled
+  /// (deletion stubs always propagate). Empty string = everything.
+  std::string selective_formula;
+  /// When false, the replication history is ignored and every note is
+  /// summarized (the "full replication" baseline of experiment E3).
+  bool use_history = true;
+  /// Field-level conflict merging (the Notes "merge replication
+  /// conflicts" form option): concurrent edits that touched disjoint
+  /// items are merged into one version instead of producing a conflict
+  /// document. Overlapping edits still conflict.
+  bool merge_conflicts = false;
+};
+
+struct ReplicationReport {
+  size_t summarized = 0;          // OIDs exchanged in the change summary
+  size_t pulled = 0;              // notes installed locally
+  size_t pushed = 0;              // notes installed remotely
+  size_t deletions_applied = 0;   // stubs that removed live notes
+  size_t conflicts = 0;           // conflict documents generated
+  size_t merges = 0;              // conflicts resolved by field merge
+  size_t skipped_unchanged = 0;   // dominated or equal versions
+  size_t skipped_by_formula = 0;  // filtered by selective replication
+  uint64_t bytes_transferred = 0;
+  uint64_t messages = 0;
+
+  void MergeFrom(const ReplicationReport& other);
+};
+
+/// Installs `remote_note` (a note image from another replica of the same
+/// database) into `db`, performing the Notes version resolution:
+/// sequence-number dominance refined by the $Revisions ancestry check;
+/// concurrent edits demote the loser to a conflict document (a response of
+/// the winner flagged "$Conflict"); deletion stubs win over edits.
+/// Shared by the scheduled replicator and the cluster (event-driven)
+/// replicator. Returns true if anything changed locally.
+Result<bool> ApplyRemoteChange(Database* db, const Note& remote_note,
+                               ReplicationReport* report,
+                               bool merge_fields = false);
+
+/// Attempts the field-level merge of two conflicting versions of the same
+/// note: succeeds when the items each side changed since their latest
+/// common revision are disjoint (or changed identically). The result is
+/// deterministic given the two inputs, so every replica converges on the
+/// same merged version. `stamp` becomes the merged OID's sequence time.
+std::optional<Note> TryMergeNotes(const Note& local, const Note& remote,
+                                  Micros stamp);
+
+/// The scheduled replicator task: one call = one replication session
+/// between two replicas, in the Notes pull-pull style (the callee pulls,
+/// then the caller pulls). `net` may be null (no latency/byte simulation).
+class Replicator {
+ public:
+  explicit Replicator(SimNet* net = nullptr) : net_(net) {}
+
+  /// Replicates `local` (named `local_name`) with `remote`. Histories are
+  /// each side's persistent replication history. Fails if the replica ids
+  /// differ (not replicas of the same database).
+  Result<ReplicationReport> Replicate(Database* local,
+                                      const std::string& local_name,
+                                      Database* remote,
+                                      const std::string& remote_name,
+                                      ReplicationHistory* local_history,
+                                      ReplicationHistory* remote_history,
+                                      const ReplicationOptions& options = {});
+
+ private:
+  /// One direction: dst pulls changes from src.
+  Status Pull(Database* dst, const std::string& dst_name, Database* src,
+              const std::string& src_name, Micros cutoff,
+              const ReplicationOptions& options, bool count_as_pull,
+              ReplicationReport* report);
+
+  Status Charge(const std::string& from, const std::string& to,
+                uint64_t bytes, ReplicationReport* report);
+
+  SimNet* net_;
+};
+
+/// Cluster replication: event-driven push among replicas on the same
+/// cluster, as introduced for Domino clustering. Attach one per source
+/// database; every committed change is immediately applied to the peers.
+class ClusterReplicator : public DatabaseObserver {
+ public:
+  ClusterReplicator(Database* source, std::vector<Database*> peers)
+      : source_(source), peers_(std::move(peers)) {
+    source_->AddObserver(this);
+  }
+  ~ClusterReplicator() override { source_->RemoveObserver(this); }
+
+  void OnNoteChanged(const Note& note) override;
+
+  const ReplicationReport& report() const { return report_; }
+
+ private:
+  Database* source_;
+  std::vector<Database*> peers_;
+  ReplicationReport report_;
+  bool applying_ = false;  // re-entrancy guard
+};
+
+}  // namespace dominodb
+
+#endif  // DOMINODB_REPL_REPLICATOR_H_

@@ -1,0 +1,64 @@
+#ifndef DOMINODB_SERVER_REPLICATION_SCHEDULER_H_
+#define DOMINODB_SERVER_REPLICATION_SCHEDULER_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "server/server.h"
+
+namespace dominodb {
+
+/// One scheduled connection: the pair of servers that replicate.
+struct TopologyLink {
+  std::string a;
+  std::string b;
+};
+
+/// Builders for the classic replication topologies the paper discusses
+/// for Domino deployments. `names[0]` is the hub for HubSpoke.
+std::vector<TopologyLink> HubSpokeTopology(
+    const std::vector<std::string>& names);
+std::vector<TopologyLink> RingTopology(const std::vector<std::string>& names);
+std::vector<TopologyLink> MeshTopology(const std::vector<std::string>& names);
+
+/// True if all replicas hold exactly the same set of notes (UNID, OID and
+/// content, stubs included).
+bool DatabasesConverged(const std::vector<Database*>& replicas);
+
+/// Drives scheduled replication of one database file across a server
+/// topology, like the Domino connection documents + replicator task.
+class ReplicationScheduler {
+ public:
+  ReplicationScheduler(std::vector<Server*> servers, std::string file)
+      : servers_(std::move(servers)), file_(std::move(file)) {}
+
+  void SetTopology(std::vector<TopologyLink> links) {
+    links_ = std::move(links);
+  }
+  const std::vector<TopologyLink>& topology() const { return links_; }
+
+  /// Replicates every link once (in order). Returns the merged report.
+  Result<ReplicationReport> RunRound(
+      const ReplicationOptions& options = ReplicationOptions());
+
+  /// Runs rounds until all replicas converge or `max_rounds` is hit.
+  /// Returns the number of rounds executed (error if not converged).
+  Result<int> RunUntilConverged(
+      int max_rounds,
+      const ReplicationOptions& options = ReplicationOptions());
+
+  bool Converged() const;
+  std::vector<Database*> Replicas() const;
+
+ private:
+  Server* FindServer(const std::string& name) const;
+
+  std::vector<Server*> servers_;
+  std::string file_;
+  std::vector<TopologyLink> links_;
+};
+
+}  // namespace dominodb
+
+#endif  // DOMINODB_SERVER_REPLICATION_SCHEDULER_H_

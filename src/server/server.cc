@@ -1,0 +1,117 @@
+#include "server/server.h"
+
+#include "base/hash.h"
+#include "base/string_util.h"
+
+namespace dominodb {
+
+Server::Server(std::string name, std::string base_dir, const Clock* clock,
+               SimNet* net, MailDirectory* directory)
+    : name_(std::move(name)),
+      base_dir_(std::move(base_dir)),
+      clock_(clock),
+      net_(net),
+      directory_(directory) {}
+
+std::string Server::DirFor(const std::string& file) const {
+  return base_dir_ + "/" + ReplaceAll(file, "/", "_");
+}
+
+Result<Database*> Server::OpenDatabase(const std::string& file,
+                                       DatabaseOptions options) {
+  auto it = databases_.find(file);
+  if (it != databases_.end()) return it->second.get();
+  if (options.unid_seed == 0) {
+    options.unid_seed =
+        Fnv1a64(name_ + "/" + file) ^ Mix64(unid_seed_counter_++);
+  }
+  DOMINO_ASSIGN_OR_RETURN(auto db,
+                          Database::Open(DirFor(file), options, clock_));
+  Database* ptr = db.get();
+  databases_[file] = std::move(db);
+  return ptr;
+}
+
+Database* Server::FindDatabase(const std::string& file) {
+  auto it = databases_.find(file);
+  return it == databases_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Server::DatabaseFiles() const {
+  std::vector<std::string> files;
+  for (const auto& [file, db] : databases_) files.push_back(file);
+  return files;
+}
+
+Result<Database*> Server::CreateReplicaOf(const Database& source,
+                                          const std::string& file) {
+  DatabaseOptions options;
+  options.title = source.title();
+  options.replica_id = source.replica_id();
+  options.purge_interval = source.info().purge_interval;
+  return OpenDatabase(file, options);
+}
+
+Result<ReplicationReport> Server::ReplicateWith(
+    Server* peer, const std::string& file,
+    const ReplicationOptions& options) {
+  Database* local = FindDatabase(file);
+  Database* remote = peer->FindDatabase(file);
+  if (local == nullptr || remote == nullptr) {
+    return Status::NotFound("database " + file + " missing on a side");
+  }
+  Replicator replicator(net_);
+  return replicator.Replicate(local, name_, remote, peer->name(),
+                              HistoryFor(file), peer->HistoryFor(file),
+                              options);
+}
+
+ReplicationHistory* Server::HistoryFor(const std::string& file) {
+  return &histories_[file];
+}
+
+Status Server::EnsureMailInfrastructure() {
+  if (router_ != nullptr) return Status::Ok();
+  DatabaseOptions options;
+  options.title = name_ + " mail.box";
+  DOMINO_ASSIGN_OR_RETURN(Database * mailbox,
+                          OpenDatabase("mail.box", options));
+  if (directory_ == nullptr) {
+    return Status::FailedPrecondition("server has no mail directory");
+  }
+  router_ = std::make_unique<Router>(name_, mailbox, directory_, net_);
+  return Status::Ok();
+}
+
+Result<Database*> Server::CreateMailFile(const std::string& user) {
+  DOMINO_RETURN_IF_ERROR(EnsureMailInfrastructure());
+  std::string file = "mail/" + ToLower(user) + ".nsf";
+  DatabaseOptions options;
+  options.title = user + "'s mail";
+  DOMINO_ASSIGN_OR_RETURN(Database * db, OpenDatabase(file, options));
+  router_->AttachMailFile(user, db);
+  directory_->RegisterUser(user, name_);
+  mail_file_of_user_[ToLower(user)] = file;
+  return db;
+}
+
+Database* Server::MailFileOf(const std::string& user) {
+  auto it = mail_file_of_user_.find(ToLower(user));
+  return it == mail_file_of_user_.end() ? nullptr
+                                        : FindDatabase(it->second);
+}
+
+Status Server::SendMail(const std::string& from,
+                        const std::vector<std::string>& to,
+                        const std::string& subject, const std::string& body) {
+  DOMINO_RETURN_IF_ERROR(EnsureMailInfrastructure());
+  return router_->Submit(MakeMailMessage(from, to, subject, body));
+}
+
+Result<size_t> Server::RunRouterOnce(
+    const std::map<std::string, Router*>& peers) {
+  DOMINO_RETURN_IF_ERROR(EnsureMailInfrastructure());
+  return router_->RunOnce(peers);
+}
+
+}  // namespace dominodb

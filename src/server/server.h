@@ -1,0 +1,92 @@
+#ifndef DOMINODB_SERVER_SERVER_H_
+#define DOMINODB_SERVER_SERVER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "core/database.h"
+#include "mail/router.h"
+#include "net/sim_net.h"
+#include "repl/replicator.h"
+
+namespace dominodb {
+
+/// A Domino server: a named host holding databases and running the
+/// classic server tasks — the replicator and the mail router. Servers in
+/// one process communicate over the SimNet substitute.
+class Server {
+ public:
+  /// `directory` (the shared Domino Directory) and `net` may be null for
+  /// single-server use.
+  Server(std::string name, std::string base_dir, const Clock* clock,
+         SimNet* net, MailDirectory* directory);
+  ~Server() = default;
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Clock* clock() const { return clock_; }
+
+  // -- Databases ----------------------------------------------------------
+  /// Creates (or opens, if present on disk) a database stored under
+  /// `<base_dir>/<file>`.
+  Result<Database*> OpenDatabase(const std::string& file,
+                                 DatabaseOptions options);
+  Database* FindDatabase(const std::string& file);
+  std::vector<std::string> DatabaseFiles() const;
+
+  /// Creates a new replica of `source` on this server (same replica id,
+  /// initially empty; the first replication populates it).
+  Result<Database*> CreateReplicaOf(const Database& source,
+                                    const std::string& file);
+
+  // -- Replication ----------------------------------------------------------
+  /// One replication session of database `file` with the same-named
+  /// database on `peer` (pull-pull). Histories are kept per (file, peer).
+  Result<ReplicationReport> ReplicateWith(Server* peer,
+                                          const std::string& file,
+                                          const ReplicationOptions& options =
+                                              ReplicationOptions());
+
+  ReplicationHistory* HistoryFor(const std::string& file);
+
+  // -- Mail ------------------------------------------------------------------
+  /// Creates mail.box and the router task.
+  Status EnsureMailInfrastructure();
+  Router* router() { return router_.get(); }
+
+  /// Creates `mail/<user>.nsf`, attaches it to the router, and registers
+  /// the user's home server in the directory.
+  Result<Database*> CreateMailFile(const std::string& user);
+  Database* MailFileOf(const std::string& user);
+
+  /// Convenience client API: submit a memo from a user on this server.
+  Status SendMail(const std::string& from,
+                  const std::vector<std::string>& to,
+                  const std::string& subject, const std::string& body);
+
+  /// Runs this server's router once against the given fleet.
+  Result<size_t> RunRouterOnce(const std::map<std::string, Router*>& peers);
+
+ private:
+  std::string DirFor(const std::string& file) const;
+
+  std::string name_;
+  std::string base_dir_;
+  const Clock* clock_;
+  SimNet* net_;
+  MailDirectory* directory_;
+  std::map<std::string, std::unique_ptr<Database>> databases_;
+  std::map<std::string, ReplicationHistory> histories_;  // file → history
+  std::unique_ptr<Router> router_;
+  std::map<std::string, std::string> mail_file_of_user_;  // lower(user) → file
+  uint64_t unid_seed_counter_ = 1;
+};
+
+}  // namespace dominodb
+
+#endif  // DOMINODB_SERVER_SERVER_H_

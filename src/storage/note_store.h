@@ -1,0 +1,149 @@
+#ifndef DOMINODB_STORAGE_NOTE_STORE_H_
+#define DOMINODB_STORAGE_NOTE_STORE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/clock.h"
+#include "base/result.h"
+#include "base/status.h"
+#include "model/note.h"
+#include "model/unid.h"
+#include "wal/log_writer.h"
+
+namespace dominodb {
+
+/// Database-wide metadata persisted with the store. The replica id is the
+/// key fact: two databases replicate iff their replica ids match (the NSF
+/// "replica ID" of Notes).
+struct DatabaseInfo {
+  Unid replica_id;
+  std::string title;
+  /// Deletion stubs older than this are eligible for purge. Notes default
+  /// is 90 days; experiments shrink it to provoke the resurrection anomaly.
+  Micros purge_interval = 90ll * 24 * 3600 * 1'000'000;
+
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(std::string_view* input, DatabaseInfo* out);
+};
+
+struct StoreOptions {
+  wal::SyncMode sync_mode = wal::SyncMode::kNone;
+  /// Checkpoint automatically once the WAL exceeds this size (0 disables).
+  uint64_t checkpoint_threshold_bytes = 16ull << 20;
+};
+
+struct StoreStats {
+  uint64_t wal_records_written = 0;
+  uint64_t wal_bytes_written = 0;
+  uint64_t checkpoints = 0;
+  uint64_t recovered_records = 0;
+  bool recovered_torn_tail = false;
+};
+
+/// The NSF-equivalent: the authoritative per-database note table with
+/// write-ahead-logged durability, a UNID index, deletion stubs and stub
+/// purging. Crash recovery = load last checkpoint snapshot + replay WAL;
+/// a torn WAL tail is ignored (committed-prefix semantics).
+///
+/// Not thread-safe; the owning Database serializes access (Notes serializes
+/// note updates per database too).
+class NoteStore {
+ public:
+  /// Opens (or creates) a store in directory `dir`. `default_info` seeds
+  /// the metadata when creating; an existing store keeps its own.
+  static Result<std::unique_ptr<NoteStore>> Open(
+      const std::string& dir, const StoreOptions& options,
+      const DatabaseInfo& default_info);
+
+  ~NoteStore() = default;
+  NoteStore(const NoteStore&) = delete;
+  NoteStore& operator=(const NoteStore&) = delete;
+
+  // -- Reads ------------------------------------------------------------
+  /// Fetches by local note id (stubs included).
+  Result<Note> Get(NoteId id) const;
+  /// Fetches by UNID (stubs included).
+  Result<Note> GetByUnid(const Unid& unid) const;
+  bool Contains(NoteId id) const { return notes_.count(id) != 0; }
+  bool ContainsUnid(const Unid& unid) const {
+    return unid_index_.count(unid) != 0;
+  }
+
+  /// Borrowed pointer to the stored note (stubs included); nullptr when
+  /// absent. Invalidated by the next write to the same id.
+  const Note* FindPtr(NoteId id) const;
+  const Note* FindPtrByUnid(const Unid& unid) const;
+
+  /// Visits every note (including deletion stubs) in note-id order.
+  void ForEach(const std::function<void(const Note&)>& fn) const;
+
+  size_t note_count() const { return notes_.size() - stub_count_; }
+  size_t stub_count() const { return stub_count_; }
+  size_t total_count() const { return notes_.size(); }
+
+  // -- Writes -----------------------------------------------------------
+  /// Inserts or replaces `note` (keyed by note id; assigns the next id if
+  /// the note has none). The caller is responsible for OID stamping.
+  /// Updates the UNID index and stub accounting, and commits to the WAL.
+  Status Put(Note* note);
+
+  /// Atomically commits several notes in one WAL record.
+  Status PutBatch(std::vector<Note>* notes);
+
+  /// Physically removes a note or stub (used by stub purging only —
+  /// logical deletion goes through Note::MakeStub + Put).
+  Status Erase(NoteId id);
+
+  /// Removes deletion stubs whose sequence time is older than
+  /// `now - purge_interval`. Returns the number purged.
+  Result<size_t> PurgeStubs(Micros now);
+
+  /// Allocates a fresh local note id without writing anything.
+  NoteId AllocateId() { return next_id_++; }
+
+  // -- Metadata / maintenance -------------------------------------------
+  const DatabaseInfo& info() const { return info_; }
+  Status UpdateInfo(const DatabaseInfo& info);
+
+  /// Writes a snapshot and truncates the WAL. Recovery cost then restarts
+  /// from zero (E7 measures the tradeoff).
+  Status Checkpoint();
+
+  const StoreStats& stats() const { return stats_; }
+  uint64_t wal_size_bytes() const;
+
+ private:
+  NoteStore(std::string dir, StoreOptions options)
+      : dir_(std::move(dir)), options_(options) {}
+
+  std::string WalPath() const { return dir_ + "/notes.wal"; }
+  std::string SnapshotPath() const { return dir_ + "/notes.snap"; }
+
+  Status Recover(const DatabaseInfo& default_info);
+  Status LoadSnapshot(std::string_view data);
+  std::string EncodeSnapshot() const;
+  Status ApplyBatchPayload(std::string_view payload, bool from_recovery);
+  Status CommitPayload(const std::string& payload);
+
+  void IndexNote(const Note& note);
+  void UnindexNote(const Note& note);
+
+  std::string dir_;
+  StoreOptions options_;
+  DatabaseInfo info_;
+  std::unique_ptr<wal::LogWriter> wal_;
+  std::map<NoteId, Note> notes_;
+  std::unordered_map<Unid, NoteId> unid_index_;
+  NoteId next_id_ = 1;
+  size_t stub_count_ = 0;
+  StoreStats stats_;
+};
+
+}  // namespace dominodb
+
+#endif  // DOMINODB_STORAGE_NOTE_STORE_H_

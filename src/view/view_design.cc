@@ -1,0 +1,96 @@
+#include "view/view_design.h"
+
+#include "base/string_util.h"
+
+namespace dominodb {
+
+Result<ViewDesign> ViewDesign::Create(std::string name,
+                                      std::string selection_source,
+                                      std::vector<ViewColumn> columns,
+                                      bool show_response_hierarchy) {
+  ViewDesign design;
+  design.name_ = std::move(name);
+  design.selection_source_ = std::move(selection_source);
+  auto selection = formula::Formula::Compile(design.selection_source_);
+  if (!selection.ok()) {
+    return Status::SyntaxError("view '" + design.name_ + "' selection: " +
+                               selection.status().message());
+  }
+  design.selection_ = std::move(*selection);
+  for (ViewColumn& col : columns) {
+    if (col.categorized && col.sort == ColumnSort::kNone) {
+      col.sort = ColumnSort::kAscending;  // categorization implies sorting
+    }
+    if (!col.formula_source.empty()) {
+      auto f = formula::Formula::Compile(col.formula_source);
+      if (!f.ok()) {
+        return Status::SyntaxError("view '" + design.name_ + "' column '" +
+                                   col.title + "': " + f.status().message());
+      }
+      col.formula = std::move(*f);
+    }
+    design.columns_.push_back(std::move(col));
+  }
+  design.show_response_hierarchy_ = show_response_hierarchy;
+  return design;
+}
+
+bool ViewDesign::categorized() const {
+  for (const ViewColumn& col : columns_) {
+    if (col.categorized) return true;
+  }
+  return false;
+}
+
+Note ViewDesign::ToNote() const {
+  Note note(NoteClass::kView);
+  note.SetText("$Title", name_);
+  note.SetText("$Formula", selection_source_);
+  note.SetNumber("$ShowResponses", show_response_hierarchy_ ? 1 : 0);
+  std::vector<std::string> titles, formulas, sorts;
+  for (const ViewColumn& col : columns_) {
+    titles.push_back(col.title);
+    formulas.push_back(col.formula_source);
+    std::string sort = col.sort == ColumnSort::kAscending    ? "asc"
+                       : col.sort == ColumnSort::kDescending ? "desc"
+                                                             : "none";
+    if (col.categorized) sort += "+cat";
+    sorts.push_back(std::move(sort));
+  }
+  note.SetTextList("$ColumnTitles", std::move(titles));
+  note.SetTextList("$ColumnFormulas", std::move(formulas));
+  note.SetTextList("$ColumnSorts", std::move(sorts));
+  return note;
+}
+
+Result<ViewDesign> ViewDesign::FromNote(const Note& note) {
+  if (note.note_class() != NoteClass::kView) {
+    return Status::InvalidArgument("not a view note");
+  }
+  std::vector<ViewColumn> columns;
+  const Value* titles = note.FindValue("$ColumnTitles");
+  const Value* formulas = note.FindValue("$ColumnFormulas");
+  const Value* sorts = note.FindValue("$ColumnSorts");
+  size_t n = titles != nullptr ? titles->texts().size() : 0;
+  for (size_t i = 0; i < n; ++i) {
+    ViewColumn col;
+    col.title = titles->texts()[i];
+    if (formulas != nullptr && i < formulas->texts().size()) {
+      col.formula_source = formulas->texts()[i];
+    }
+    std::string sort =
+        (sorts != nullptr && i < sorts->texts().size()) ? sorts->texts()[i]
+                                                        : "none";
+    col.categorized = EndsWith(sort, "+cat");
+    if (StartsWith(sort, "asc")) {
+      col.sort = ColumnSort::kAscending;
+    } else if (StartsWith(sort, "desc")) {
+      col.sort = ColumnSort::kDescending;
+    }
+    columns.push_back(std::move(col));
+  }
+  return Create(note.GetText("$Title"), note.GetText("$Formula"),
+                std::move(columns), note.GetNumber("$ShowResponses") != 0);
+}
+
+}  // namespace dominodb

@@ -1,0 +1,64 @@
+#ifndef DOMINODB_VIEW_VIEW_DESIGN_H_
+#define DOMINODB_VIEW_VIEW_DESIGN_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "formula/formula.h"
+#include "model/note.h"
+
+namespace dominodb {
+
+/// Column sort behavior.
+enum class ColumnSort { kNone, kAscending, kDescending };
+
+/// One view column: a title, a value formula evaluated per document, and
+/// sorting/categorization flags. Categorized columns group rows under
+/// category headers (and must be sorted; enforced at compile).
+struct ViewColumn {
+  std::string title;
+  std::string formula_source;
+  ColumnSort sort = ColumnSort::kNone;
+  bool categorized = false;
+
+  formula::Formula formula;  // compiled from formula_source
+};
+
+/// A view design: selection formula + columns, as stored in a Notes view
+/// design note. Designs are data — they replicate with the database like
+/// any document (see ViewDesign::ToNote / FromNote).
+class ViewDesign {
+ public:
+  /// Compiles the selection and every column formula.
+  static Result<ViewDesign> Create(std::string name,
+                                   std::string selection_source,
+                                   std::vector<ViewColumn> columns,
+                                   bool show_response_hierarchy = false);
+
+  ViewDesign() = default;
+
+  const std::string& name() const { return name_; }
+  const formula::Formula& selection() const { return selection_; }
+  const std::vector<ViewColumn>& columns() const { return columns_; }
+  bool show_response_hierarchy() const { return show_response_hierarchy_; }
+
+  /// True when any column is categorized.
+  bool categorized() const;
+
+  /// Persists the design as a view note (class kView) for replication.
+  Note ToNote() const;
+  /// Rebuilds a design from its note form.
+  static Result<ViewDesign> FromNote(const Note& note);
+
+ private:
+  std::string name_;
+  std::string selection_source_;
+  formula::Formula selection_;
+  std::vector<ViewColumn> columns_;
+  bool show_response_hierarchy_ = false;
+};
+
+}  // namespace dominodb
+
+#endif  // DOMINODB_VIEW_VIEW_DESIGN_H_

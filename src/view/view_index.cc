@@ -1,0 +1,321 @@
+#include "view/view_index.h"
+
+#include <algorithm>
+
+#include "base/string_util.h"
+
+namespace dominodb {
+
+namespace {
+
+constexpr int kMaxResponseDepth = 32;
+
+}  // namespace
+
+ViewIndex::ViewIndex(ViewDesign design, const Clock* clock)
+    : design_(std::move(design)), clock_(clock) {
+  for (const ViewColumn& col : design_.columns()) {
+    if (col.sort != ColumnSort::kNone) {
+      descending_.push_back(col.sort == ColumnSort::kDescending);
+    }
+  }
+  needs_response_walk_ = design_.show_response_hierarchy() ||
+                         design_.selection().selects_all_children() ||
+                         design_.selection().selects_all_descendants();
+}
+
+bool ViewIndex::IsSelected(const Note& note, const NoteResolver* resolver) {
+  formula::EvalContext ctx;
+  ctx.note = &note;
+  ctx.clock = clock_;
+  ++stats_.selection_evals;
+  auto matched = design_.selection().Matches(ctx);
+  if (!matched.ok()) {
+    ++stats_.formula_errors;
+    return false;
+  }
+  if (*matched) return true;
+
+  // SELECT ... | @AllChildren / @AllDescendants: responses ride along with
+  // a matching parent (one level) or any matching ancestor (all levels).
+  if (!note.IsResponse() || resolver == nullptr) return false;
+  bool children = design_.selection().selects_all_children();
+  bool descendants = design_.selection().selects_all_descendants();
+  if (!children && !descendants) return false;
+
+  const Note* ancestor = resolver->FindByUnid(note.parent_unid());
+  for (int depth = 0; ancestor != nullptr && depth < kMaxResponseDepth;
+       ++depth) {
+    formula::EvalContext actx;
+    actx.note = ancestor;
+    actx.clock = clock_;
+    ++stats_.selection_evals;
+    auto m = design_.selection().Matches(actx);
+    if (m.ok() && *m) return true;
+    if (!descendants) break;  // @AllChildren: direct parent only
+    if (!ancestor->IsResponse()) break;
+    ancestor = resolver->FindByUnid(ancestor->parent_unid());
+  }
+  return false;
+}
+
+Result<std::optional<ViewEntry>> ViewIndex::EvaluateNote(
+    const Note& note, const NoteResolver* resolver) {
+  if (note.deleted() || note.note_class() != NoteClass::kDocument) {
+    return std::optional<ViewEntry>();
+  }
+  if (!IsSelected(note, resolver)) {
+    return std::optional<ViewEntry>();
+  }
+  ViewEntry entry;
+  entry.note_id = note.id();
+  entry.unid = note.unid();
+  entry.parent_unid = note.parent_unid();
+  entry.is_response = note.IsResponse();
+  entry.created = note.created();
+  entry.column_values.reserve(design_.columns().size());
+  for (const ViewColumn& col : design_.columns()) {
+    if (!col.formula.valid()) {
+      entry.column_values.push_back(Value::Text(""));
+      continue;
+    }
+    formula::EvalContext ctx;
+    ctx.note = &note;
+    ctx.clock = clock_;
+    ++stats_.column_evals;
+    auto v = col.formula.Evaluate(ctx);
+    if (!v.ok()) {
+      ++stats_.formula_errors;
+      entry.column_values.push_back(Value::Text(""));
+    } else {
+      entry.column_values.push_back(std::move(*v));
+    }
+  }
+  return std::optional<ViewEntry>(std::move(entry));
+}
+
+ViewIndex::RowKey ViewIndex::BuildKey(const ViewEntry& entry) const {
+  RowKey key;
+  key.id = entry.note_id;
+  size_t sorted_idx = 0;
+  for (size_t i = 0; i < design_.columns().size(); ++i) {
+    if (design_.columns()[i].sort == ColumnSort::kNone) continue;
+    bool desc = sorted_idx < descending_.size() && descending_[sorted_idx];
+    EncodeCollationElement(entry.column_values[i], desc, &key.collation_key);
+    ++sorted_idx;
+  }
+  return key;
+}
+
+void ViewIndex::RemoveLocation(NoteId id) {
+  auto it = row_of_note_.find(id);
+  if (it == row_of_note_.end()) return;
+  const Location& loc = it->second;
+  if (loc.is_response_row) {
+    auto parent_it = responses_.find(loc.parent);
+    if (parent_it != responses_.end()) {
+      parent_it->second.erase(loc.resp_key);
+      if (parent_it->second.empty()) responses_.erase(parent_it);
+    }
+  } else {
+    rows_.erase(loc.main_key);
+  }
+  row_of_note_.erase(it);
+  ++stats_.removes;
+}
+
+Status ViewIndex::Update(const Note& note, const NoteResolver* resolver) {
+  return UpdateOne(note, resolver, 0);
+}
+
+Status ViewIndex::UpdateOne(const Note& note, const NoteResolver* resolver,
+                            int depth) {
+  RemoveLocation(note.id());
+  DOMINO_ASSIGN_OR_RETURN(auto entry_opt, EvaluateNote(note, resolver));
+  if (entry_opt.has_value()) {
+    ViewEntry entry = std::move(*entry_opt);
+    Location loc;
+    bool placed_as_response = false;
+    if (design_.show_response_hierarchy() && entry.is_response &&
+        resolver != nullptr) {
+      const Note* parent = resolver->FindByUnid(entry.parent_unid);
+      if (parent != nullptr && row_of_note_.count(parent->id()) != 0) {
+        loc.is_response_row = true;
+        loc.parent = entry.parent_unid;
+        loc.resp_key = ResponseKey{entry.created, entry.note_id};
+        responses_[entry.parent_unid][loc.resp_key] = std::move(entry);
+        placed_as_response = true;
+      }
+    }
+    if (!placed_as_response) {
+      loc.is_response_row = false;
+      loc.main_key = BuildKey(entry);
+      rows_[loc.main_key] = std::move(entry);
+    }
+    row_of_note_[note.id()] = loc;
+    ++stats_.inserts;
+  }
+  // Membership/placement of responses depends on this note; re-evaluate
+  // the known children (recursively through UpdateOne's own walk).
+  if (needs_response_walk_ && resolver != nullptr &&
+      depth < kMaxResponseDepth) {
+    for (NoteId child_id : resolver->ChildrenOf(note.unid())) {
+      const Note* child = resolver->FindById(child_id);
+      if (child != nullptr) {
+        DOMINO_RETURN_IF_ERROR(UpdateOne(*child, resolver, depth + 1));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+void ViewIndex::Remove(NoteId id) { RemoveLocation(id); }
+
+void ViewIndex::Clear() {
+  rows_.clear();
+  responses_.clear();
+  row_of_note_.clear();
+}
+
+Status ViewIndex::Rebuild(
+    const std::function<void(const std::function<void(const Note&)>&)>&
+        for_each_note,
+    const NoteResolver* resolver) {
+  Clear();
+  ++stats_.rebuilds;
+  // Parents must be indexed before their responses so placement works.
+  // Collect and order by response depth.
+  std::vector<Note> notes;
+  for_each_note([&notes](const Note& n) { notes.push_back(n); });
+  auto depth_of = [&](const Note& n) {
+    int depth = 0;
+    const Note* cursor = &n;
+    while (cursor->IsResponse() && resolver != nullptr &&
+           depth < kMaxResponseDepth) {
+      cursor = resolver->FindByUnid(cursor->parent_unid());
+      if (cursor == nullptr) break;
+      ++depth;
+    }
+    return depth;
+  };
+  std::stable_sort(notes.begin(), notes.end(),
+                   [&](const Note& a, const Note& b) {
+                     return depth_of(a) < depth_of(b);
+                   });
+  for (const Note& note : notes) {
+    // Depth 32 suppresses the response re-walk; ordering already
+    // guarantees parents were indexed first.
+    DOMINO_RETURN_IF_ERROR(UpdateOne(note, resolver, kMaxResponseDepth));
+  }
+  return Status::Ok();
+}
+
+std::vector<const ViewEntry*> ViewIndex::Entries() const {
+  std::vector<const ViewEntry*> out;
+  out.reserve(rows_.size());
+  for (const auto& [key, entry] : rows_) out.push_back(&entry);
+  return out;
+}
+
+void ViewIndex::EmitEntryAndResponses(
+    const ViewEntry& entry, int indent,
+    const std::function<void(const ViewRow&)>& visit) const {
+  ViewRow row;
+  row.kind = ViewRow::Kind::kDocument;
+  row.indent = indent;
+  row.entry = &entry;
+  visit(row);
+  auto it = responses_.find(entry.unid);
+  if (it == responses_.end()) return;
+  for (const auto& [key, resp] : it->second) {
+    EmitEntryAndResponses(resp, indent + 1, visit);
+  }
+}
+
+void ViewIndex::Traverse(
+    const std::function<void(const ViewRow&)>& visit) const {
+  // Category columns, in definition order.
+  std::vector<size_t> cat_cols;
+  for (size_t i = 0; i < design_.columns().size(); ++i) {
+    if (design_.columns()[i].categorized) cat_cols.push_back(i);
+  }
+  std::vector<const ViewEntry*> list = Entries();
+
+  // Count of documents under an entry including nested responses.
+  std::function<size_t(const ViewEntry&)> count_of =
+      [&](const ViewEntry& e) -> size_t {
+    size_t n = 1;
+    auto it = responses_.find(e.unid);
+    if (it != responses_.end()) {
+      for (const auto& [key, resp] : it->second) n += count_of(resp);
+    }
+    return n;
+  };
+
+  std::vector<std::string> open_categories(cat_cols.size());
+  bool first = true;
+  for (size_t i = 0; i < list.size(); ++i) {
+    // Determine the outermost category level whose value changed.
+    size_t changed_level = cat_cols.size();
+    for (size_t l = 0; l < cat_cols.size(); ++l) {
+      std::string value = list[i]->ColumnText(cat_cols[l]);
+      if (first || value != open_categories[l]) {
+        changed_level = l;
+        break;
+      }
+    }
+    // Emit category rows from the changed level down.
+    for (size_t l = changed_level; l < cat_cols.size(); ++l) {
+      std::string value = list[i]->ColumnText(cat_cols[l]);
+      open_categories[l] = value;
+      // Count the run of entries sharing categories up to level l.
+      size_t docs = 0;
+      for (size_t j = i; j < list.size(); ++j) {
+        bool same = true;
+        for (size_t k = 0; k <= l; ++k) {
+          if (list[j]->ColumnText(cat_cols[k]) != open_categories[k]) {
+            same = false;
+            break;
+          }
+        }
+        if (!same) break;
+        docs += count_of(*list[j]);
+      }
+      ViewRow row;
+      row.kind = ViewRow::Kind::kCategory;
+      row.indent = static_cast<int>(l);
+      row.category = value;
+      row.descendant_count = docs;
+      visit(row);
+    }
+    first = false;
+    EmitEntryAndResponses(*list[i], static_cast<int>(cat_cols.size()),
+                          visit);
+  }
+}
+
+std::vector<const ViewEntry*> ViewIndex::FindByKey(const Value& key) const {
+  std::vector<const ViewEntry*> out;
+  if (descending_.empty()) {
+    // No sorted column: fall back to comparing the first column's value.
+    for (const auto& [rk, entry] : rows_) {
+      if (!entry.column_values.empty() &&
+          CompareValues(entry.column_values[0], key) == 0) {
+        out.push_back(&entry);
+      }
+    }
+    return out;
+  }
+  std::string prefix;
+  EncodeCollationElement(key, descending_[0], &prefix);
+  RowKey probe;
+  probe.collation_key = prefix;
+  probe.id = 0;
+  for (auto it = rows_.lower_bound(probe); it != rows_.end(); ++it) {
+    if (!StartsWith(it->first.collation_key, prefix)) break;
+    out.push_back(&it->second);
+  }
+  return out;
+}
+
+}  // namespace dominodb

@@ -1,0 +1,165 @@
+#ifndef DOMINODB_VIEW_VIEW_INDEX_H_
+#define DOMINODB_VIEW_VIEW_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/clock.h"
+#include "base/result.h"
+#include "model/collation.h"
+#include "model/note.h"
+#include "view/view_design.h"
+
+namespace dominodb {
+
+/// Lookup services a view index needs from its database. The Database
+/// facade implements this over the note store plus a response-children
+/// index.
+class NoteResolver {
+ public:
+  virtual ~NoteResolver() = default;
+  /// Live note by UNID (nullptr when absent or a deletion stub).
+  virtual const Note* FindByUnid(const Unid& unid) const = 0;
+  /// Live note by id (nullptr when absent or a deletion stub).
+  virtual const Note* FindById(NoteId id) const = 0;
+  /// Note ids of direct responses of `parent`.
+  virtual std::vector<NoteId> ChildrenOf(const Unid& parent) const = 0;
+};
+
+/// One indexed document in a view.
+struct ViewEntry {
+  NoteId note_id = kInvalidNoteId;
+  Unid unid;
+  Unid parent_unid;
+  bool is_response = false;
+  Micros created = 0;
+  std::vector<Value> column_values;
+
+  /// Display text of column `i` ("" when out of range).
+  std::string ColumnText(size_t i) const {
+    return i < column_values.size() ? column_values[i].ToDisplayString()
+                                    : std::string();
+  }
+};
+
+/// A row produced by Traverse(): either a category header or a document.
+struct ViewRow {
+  enum class Kind { kCategory, kDocument };
+  Kind kind = Kind::kDocument;
+  int indent = 0;                  // category depth + response depth
+  std::string category;            // kCategory only
+  size_t descendant_count = 0;     // kCategory only: documents beneath
+  const ViewEntry* entry = nullptr;  // kDocument only
+};
+
+struct ViewStats {
+  uint64_t selection_evals = 0;
+  uint64_t column_evals = 0;
+  uint64_t formula_errors = 0;
+  uint64_t inserts = 0;
+  uint64_t removes = 0;
+  uint64_t rebuilds = 0;
+};
+
+/// The incrementally-maintained view collection: an ordered container of
+/// entries keyed by collation keys built from the sorted columns. This is
+/// the reproduction of the Notes view index; the paper's claim that views
+/// update incrementally (only touched documents are re-evaluated) is
+/// exactly ViewIndex::Update.
+///
+/// Response hierarchy: when the design shows responses, response documents
+/// nest under their parent entry ordered by creation time; orphans appear
+/// at top level. `SELECT ... | @AllChildren/@AllDescendants` includes
+/// responses whose (an)cestor matches the selection.
+class ViewIndex {
+ public:
+  ViewIndex(ViewDesign design, const Clock* clock);
+
+  const ViewDesign& design() const { return design_; }
+
+  /// Re-evaluates a single changed note (and, when response semantics are
+  /// in play, its known descendants). Deletion stubs remove the entry.
+  Status Update(const Note& note, const NoteResolver* resolver);
+
+  /// Removes a note by id (physical purge path).
+  void Remove(NoteId id);
+
+  /// Drops everything and re-indexes the whole database. `for_each_note`
+  /// must invoke its callback once per note. Used on view creation and by
+  /// the E2 rebuild-vs-incremental experiment.
+  Status Rebuild(
+      const std::function<void(const std::function<void(const Note&)>&)>&
+          for_each_note,
+      const NoteResolver* resolver);
+
+  void Clear();
+
+  size_t size() const { return row_of_note_.size(); }
+
+  /// Top-level entries in collation order (responses excluded when the
+  /// hierarchy is shown).
+  std::vector<const ViewEntry*> Entries() const;
+
+  /// Full traversal with category rows and response indenting.
+  void Traverse(const std::function<void(const ViewRow&)>& visit) const;
+
+  /// Entries whose first sorted column equals `key`.
+  std::vector<const ViewEntry*> FindByKey(const Value& key) const;
+
+  const ViewStats& stats() const { return stats_; }
+  ViewStats* mutable_stats() { return &stats_; }
+
+ private:
+  struct RowKey {
+    std::string collation_key;
+    NoteId id = kInvalidNoteId;
+
+    bool operator<(const RowKey& other) const {
+      if (int c = collation_key.compare(other.collation_key); c != 0) {
+        return c < 0;
+      }
+      return id < other.id;
+    }
+  };
+
+  // Responses sort by (created, id) under their parent.
+  using ResponseKey = std::pair<Micros, NoteId>;
+
+  struct Location {
+    bool is_response_row = false;
+    RowKey main_key;       // when !is_response_row
+    Unid parent;           // when is_response_row
+    ResponseKey resp_key;  // when is_response_row
+  };
+
+  /// nullopt = not selected.
+  Result<std::optional<ViewEntry>> EvaluateNote(const Note& note,
+                                                const NoteResolver* resolver);
+  bool IsSelected(const Note& note, const NoteResolver* resolver);
+  RowKey BuildKey(const ViewEntry& entry) const;
+  void RemoveLocation(NoteId id);
+  Status UpdateOne(const Note& note, const NoteResolver* resolver,
+                   int depth);
+  void EmitEntryAndResponses(const ViewEntry& entry, int indent,
+                             const std::function<void(const ViewRow&)>& visit)
+      const;
+
+  ViewDesign design_;
+  const Clock* clock_;
+  std::vector<bool> descending_;  // per sorted column, aligned to key build
+  bool needs_response_walk_ = false;
+
+  std::map<RowKey, ViewEntry> rows_;
+  std::map<Unid, std::map<ResponseKey, ViewEntry>> responses_;
+  std::unordered_map<NoteId, Location> row_of_note_;
+  ViewStats stats_;
+};
+
+}  // namespace dominodb
+
+#endif  // DOMINODB_VIEW_VIEW_INDEX_H_

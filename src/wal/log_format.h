@@ -1,0 +1,27 @@
+#ifndef DOMINODB_WAL_LOG_FORMAT_H_
+#define DOMINODB_WAL_LOG_FORMAT_H_
+
+#include <cstdint>
+
+namespace dominodb::wal {
+
+/// On-disk record framing:
+///
+///   [masked crc32c : fixed32]   over (type byte + payload)
+///   [payload length : varint32]
+///   [type : 1 byte]
+///   [payload : length bytes]
+///
+/// Records are written whole (no block fragmentation). A torn tail —
+/// partial frame or CRC mismatch at the end of the log — is treated as a
+/// clean end-of-log during recovery; committed records always precede it.
+enum class RecordType : uint8_t {
+  kData = 1,     // a committed batch (payload = batch encoding)
+  kCheckpoint = 2,  // marker: state up to here is captured in the snapshot
+};
+
+constexpr uint64_t kMaxRecordPayload = 1ull << 30;  // sanity bound, 1 GiB
+
+}  // namespace dominodb::wal
+
+#endif  // DOMINODB_WAL_LOG_FORMAT_H_

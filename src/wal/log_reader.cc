@@ -1,0 +1,40 @@
+#include "wal/log_reader.h"
+
+#include "base/coding.h"
+#include "base/crc32c.h"
+
+namespace dominodb::wal {
+
+bool LogReader::ReadRecord(RecordType* type, std::string_view* payload) {
+  if (cursor_.empty()) return false;
+  std::string_view probe = cursor_;
+  uint32_t masked_crc = 0;
+  uint32_t length = 0;
+  if (!GetFixed32(&probe, &masked_crc) || !GetVarint32(&probe, &length) ||
+      probe.empty()) {
+    tail_corrupted_ = true;
+    return false;
+  }
+  auto record_type = static_cast<RecordType>(probe.front());
+  if (record_type != RecordType::kData &&
+      record_type != RecordType::kCheckpoint) {
+    tail_corrupted_ = true;
+    return false;
+  }
+  if (probe.size() < 1 + static_cast<size_t>(length)) {
+    tail_corrupted_ = true;  // torn write
+    return false;
+  }
+  std::string_view body = probe.substr(0, 1 + length);
+  uint32_t crc = crc32c::Value(body);
+  if (crc32c::Unmask(masked_crc) != crc) {
+    tail_corrupted_ = true;
+    return false;
+  }
+  *type = record_type;
+  *payload = body.substr(1);
+  cursor_ = probe.substr(1 + length);
+  return true;
+}
+
+}  // namespace dominodb::wal

@@ -1,0 +1,47 @@
+#ifndef DOMINODB_WAL_LOG_READER_H_
+#define DOMINODB_WAL_LOG_READER_H_
+
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+#include "wal/log_format.h"
+
+namespace dominodb::wal {
+
+/// Sequentially decodes records from an in-memory log image. Recovery
+/// reads the whole log file, then iterates. A malformed tail ends the
+/// iteration (committed-prefix semantics); corruption in the *middle* of
+/// the log (valid records after the bad frame would be unreachable anyway
+/// with this framing) is likewise reported as end-of-log with
+/// `tail_corrupted()` set, so callers can log a warning.
+class LogReader {
+ public:
+  explicit LogReader(std::string contents)
+      : contents_(std::move(contents)), cursor_(contents_) {}
+
+  LogReader(const LogReader&) = delete;
+  LogReader& operator=(const LogReader&) = delete;
+
+  /// Returns true and fills type/payload for the next well-formed record;
+  /// false at end of log (clean or torn).
+  bool ReadRecord(RecordType* type, std::string_view* payload);
+
+  /// True if iteration stopped because of a bad frame rather than a clean
+  /// end of file.
+  bool tail_corrupted() const { return tail_corrupted_; }
+
+  /// Byte offset of the first unread (or corrupt) byte.
+  size_t offset() const {
+    return contents_.size() - cursor_.size();
+  }
+
+ private:
+  std::string contents_;
+  std::string_view cursor_;
+  bool tail_corrupted_ = false;
+};
+
+}  // namespace dominodb::wal
+
+#endif  // DOMINODB_WAL_LOG_READER_H_

@@ -1,0 +1,38 @@
+#include "wal/log_writer.h"
+
+#include "base/coding.h"
+#include "base/crc32c.h"
+
+namespace dominodb::wal {
+
+Result<std::unique_ptr<LogWriter>> LogWriter::Open(const std::string& path,
+                                                   SyncMode sync_mode) {
+  DOMINO_ASSIGN_OR_RETURN(auto file, WritableFile::Open(path));
+  return std::unique_ptr<LogWriter>(
+      new LogWriter(std::move(file), sync_mode));
+}
+
+Status LogWriter::AppendRecord(RecordType type, std::string_view payload) {
+  if (payload.size() > kMaxRecordPayload) {
+    return Status::InvalidArgument("wal record too large");
+  }
+  std::string frame;
+  frame.reserve(payload.size() + 16);
+  // CRC over type + payload.
+  uint32_t crc = crc32c::Extend(0, std::string_view(
+                                       reinterpret_cast<const char*>(&type), 1));
+  crc = crc32c::Extend(crc, payload);
+  PutFixed32(&frame, crc32c::Mask(crc));
+  PutVarint32(&frame, static_cast<uint32_t>(payload.size()));
+  frame.push_back(static_cast<char>(type));
+  frame.append(payload);
+  DOMINO_RETURN_IF_ERROR(file_->Append(frame));
+  if (sync_mode_ == SyncMode::kEveryCommit) {
+    return file_->Sync();
+  }
+  return file_->Flush();
+}
+
+Status LogWriter::Sync() { return file_->Sync(); }
+
+}  // namespace dominodb::wal

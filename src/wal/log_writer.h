@@ -1,0 +1,46 @@
+#ifndef DOMINODB_WAL_LOG_WRITER_H_
+#define DOMINODB_WAL_LOG_WRITER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "base/env.h"
+#include "base/status.h"
+#include "wal/log_format.h"
+
+namespace dominodb::wal {
+
+/// Durability policy for commits. Domino R5 offered similar knobs; E7
+/// benchmarks the cost of each.
+enum class SyncMode {
+  kNone,        // OS buffering only: fast, loses tail on crash
+  kEveryCommit  // fsync per AppendRecord: durable commits
+};
+
+/// Appends CRC-framed records to a log file.
+class LogWriter {
+ public:
+  static Result<std::unique_ptr<LogWriter>> Open(const std::string& path,
+                                                 SyncMode sync_mode);
+
+  /// Appends one record; with SyncMode::kEveryCommit the record is durable
+  /// when this returns OK.
+  Status AppendRecord(RecordType type, std::string_view payload);
+
+  /// Forces buffered data to disk regardless of sync mode.
+  Status Sync();
+
+  uint64_t bytes_written() const { return file_->bytes_written(); }
+
+ private:
+  LogWriter(std::unique_ptr<WritableFile> file, SyncMode sync_mode)
+      : file_(std::move(file)), sync_mode_(sync_mode) {}
+
+  std::unique_ptr<WritableFile> file_;
+  SyncMode sync_mode_;
+};
+
+}  // namespace dominodb::wal
+
+#endif  // DOMINODB_WAL_LOG_WRITER_H_

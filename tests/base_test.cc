@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include "base/clock.h"
+#include "base/coding.h"
+#include "base/result.h"
+#include "base/crc32c.h"
+#include "base/hash.h"
+#include "base/rng.h"
+#include "base/status.h"
+#include "base/string_util.h"
+
+namespace dominodb {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = []() -> Status { return Status::IOError("disk"); };
+  auto wrapper = [&]() -> Status {
+    DOMINO_RETURN_IF_ERROR(fails());
+    return Status::Ok();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kIOError);
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> ok = 42;
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  Result<int> err = Status::InvalidArgument("nope");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.value_or(-1), -1);
+}
+
+// ---------------------------------------------------------------- Coding --
+
+TEST(CodingTest, FixedRoundtrip) {
+  std::string buf;
+  PutFixed16(&buf, 0xbeef);
+  PutFixed32(&buf, 0xdeadbeef);
+  PutFixed64(&buf, 0x0123456789abcdefull);
+  std::string_view in = buf;
+  uint16_t a;
+  uint32_t b;
+  uint64_t c;
+  ASSERT_TRUE(GetFixed16(&in, &a));
+  ASSERT_TRUE(GetFixed32(&in, &b));
+  ASSERT_TRUE(GetFixed64(&in, &c));
+  EXPECT_EQ(a, 0xbeef);
+  EXPECT_EQ(b, 0xdeadbeefu);
+  EXPECT_EQ(c, 0x0123456789abcdefull);
+  EXPECT_TRUE(in.empty());
+}
+
+class VarintSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VarintSweep, Roundtrip) {
+  uint64_t value = GetParam();
+  std::string buf;
+  PutVarint64(&buf, value);
+  std::string_view in = buf;
+  uint64_t decoded = 0;
+  ASSERT_TRUE(GetVarint64(&in, &decoded));
+  EXPECT_EQ(decoded, value);
+  EXPECT_TRUE(in.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, VarintSweep,
+    ::testing::Values(0ull, 1ull, 127ull, 128ull, 16383ull, 16384ull,
+                      (1ull << 32) - 1, 1ull << 32, UINT64_MAX - 1,
+                      UINT64_MAX));
+
+TEST(CodingTest, VarintTruncatedFails) {
+  std::string buf;
+  PutVarint64(&buf, UINT64_MAX);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    std::string_view in(buf.data(), cut);
+    uint64_t v;
+    EXPECT_FALSE(GetVarint64(&in, &v)) << "cut=" << cut;
+  }
+}
+
+TEST(CodingTest, SignedZigZag) {
+  for (int64_t v : std::vector<int64_t>{0, 1, -1, 123456789, -987654321,
+                                        INT64_MAX, INT64_MIN}) {
+    std::string buf;
+    PutVarSigned64(&buf, v);
+    std::string_view in = buf;
+    int64_t decoded = 0;
+    ASSERT_TRUE(GetVarSigned64(&in, &decoded));
+    EXPECT_EQ(decoded, v);
+  }
+}
+
+TEST(CodingTest, LengthPrefixedRoundtrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string(1000, 'x'));
+  std::string_view in = buf;
+  std::string_view a, b, c;
+  ASSERT_TRUE(GetLengthPrefixed(&in, &a));
+  ASSERT_TRUE(GetLengthPrefixed(&in, &b));
+  ASSERT_TRUE(GetLengthPrefixed(&in, &c));
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b, "");
+  EXPECT_EQ(c.size(), 1000u);
+}
+
+TEST(CodingTest, OrderedDoublePreservesOrder) {
+  Rng rng(7);
+  std::vector<double> values = {0.0, -0.0, 1.5, -1.5, 1e300, -1e300,
+                                0.1, -0.1};
+  for (int i = 0; i < 200; ++i) {
+    values.push_back((rng.NextDouble() - 0.5) * 1e9);
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    for (size_t j = 0; j < values.size(); ++j) {
+      std::string a, b;
+      PutOrderedDouble(&a, values[i]);
+      PutOrderedDouble(&b, values[j]);
+      if (values[i] < values[j]) {
+        EXPECT_LT(a, b) << values[i] << " vs " << values[j];
+      } else if (values[j] < values[i]) {
+        EXPECT_LT(b, a) << values[i] << " vs " << values[j];
+      }
+    }
+  }
+}
+
+TEST(CodingTest, OrderedDoubleRoundtrip) {
+  for (double v : {3.25, -17.5, 0.0, 1e-12, -1e12}) {
+    std::string buf;
+    PutOrderedDouble(&buf, v);
+    std::string_view in = buf;
+    double decoded = 0;
+    ASSERT_TRUE(GetOrderedDouble(&in, &decoded));
+    EXPECT_EQ(decoded, v);
+  }
+}
+
+// ----------------------------------------------------------------- CRC32C --
+
+TEST(Crc32cTest, KnownVector) {
+  // Standard test vector: "123456789" → 0xE3069283.
+  EXPECT_EQ(crc32c::Value("123456789"), 0xE3069283u);
+}
+
+TEST(Crc32cTest, ExtendMatchesWhole) {
+  std::string data = "the quick brown fox";
+  uint32_t whole = crc32c::Value(data);
+  uint32_t split = crc32c::Extend(crc32c::Value(data.substr(0, 7)),
+                                  data.substr(7));
+  EXPECT_EQ(whole, split);
+}
+
+TEST(Crc32cTest, MaskRoundtrip) {
+  uint32_t crc = crc32c::Value("payload");
+  EXPECT_EQ(crc32c::Unmask(crc32c::Mask(crc)), crc);
+  EXPECT_NE(crc32c::Mask(crc), crc);
+}
+
+// ------------------------------------------------------------- StringUtil --
+
+TEST(StringUtilTest, CaseFolding) {
+  EXPECT_EQ(ToLower("HeLLo"), "hello");
+  EXPECT_EQ(ToUpper("HeLLo"), "HELLO");
+  EXPECT_EQ(ToProperCase("hello big WORLD"), "Hello Big World");
+  EXPECT_TRUE(EqualsIgnoreCase("ABC", "abc"));
+  EXPECT_FALSE(EqualsIgnoreCase("ABC", "abd"));
+  EXPECT_LT(CompareIgnoreCase("apple", "BANANA"), 0);
+}
+
+TEST(StringUtilTest, SplitJoinTrim) {
+  EXPECT_EQ(Split("a,b,,c", ","),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Join({"a", "b", "c"}, "; "), "a; b; c");
+  EXPECT_EQ(TrimWhitespace("  x y \n"), "x y");
+  EXPECT_EQ(ReplaceAll("aXbXc", "X", "--"), "a--b--c");
+}
+
+TEST(StringUtilTest, ContainsAndAffixes) {
+  EXPECT_TRUE(ContainsIgnoreCase("Hello World", "WORLD"));
+  EXPECT_FALSE(ContainsIgnoreCase("Hello", "Worlds"));
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+}
+
+TEST(StringUtilTest, WildcardMatch) {
+  EXPECT_TRUE(WildcardMatch("*", "anything"));
+  EXPECT_TRUE(WildcardMatch("a*c", "abc"));
+  EXPECT_TRUE(WildcardMatch("a*c", "ac"));
+  EXPECT_TRUE(WildcardMatch("a?c", "abc"));
+  EXPECT_FALSE(WildcardMatch("a?c", "ac"));
+  EXPECT_TRUE(WildcardMatch("*sales*", "EU Sales Report"));
+  EXPECT_FALSE(WildcardMatch("sales*", "EU Sales"));
+}
+
+TEST(StringUtilTest, StrPrintf) {
+  EXPECT_EQ(StrPrintf("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrPrintf("%s", std::string(500, 'a').c_str()).size(), 500u);
+}
+
+TEST(StringUtilTest, HexEncode) {
+  EXPECT_EQ(HexEncode(std::string("\x00\xff\x10", 3)), "00ff10");
+}
+
+// ------------------------------------------------------------------- Rng --
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Uniform(10);
+    EXPECT_LT(v, 10u);
+    int64_t r = rng.Range(-5, 5);
+    EXPECT_GE(r, -5);
+    EXPECT_LE(r, 5);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_GT(hits, 2500);
+  EXPECT_LT(hits, 3500);
+}
+
+// ------------------------------------------------------------------ Clock --
+
+TEST(ClockTest, SimClockAdvances) {
+  SimClock clock(1000);
+  EXPECT_EQ(clock.Now(), 1000);
+  clock.Advance(500);
+  EXPECT_EQ(clock.Now(), 1500);
+  EXPECT_EQ(clock.Tick(), 1500);
+  EXPECT_EQ(clock.Now(), 1501);
+}
+
+TEST(ClockTest, SystemClockPlausible) {
+  SystemClock clock;
+  Micros t = clock.Now();
+  // After 2020-01-01 in micros.
+  EXPECT_GT(t, 1'577'836'800'000'000ll);
+}
+
+TEST(HashTest, Fnv1aStable) {
+  EXPECT_EQ(Fnv1a64("abc"), Fnv1a64("abc"));
+  EXPECT_NE(Fnv1a64("abc"), Fnv1a64("abd"));
+  EXPECT_NE(Fnv1a64("abc", 1), Fnv1a64("abc", 2));
+}
+
+}  // namespace
+}  // namespace dominodb

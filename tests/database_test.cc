@@ -1,0 +1,369 @@
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "tests/test_util.h"
+#include "view/view_design.h"
+
+namespace dominodb {
+namespace {
+
+using testing_util::MakeDoc;
+using testing_util::ScratchDir;
+
+class DatabaseFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatabaseOptions options;
+    options.title = "Test DB";
+    auto db = Database::Open(dir_.Sub("db"), options, &clock_);
+    ASSERT_OK(db);
+    db_ = std::move(*db);
+  }
+
+  Result<NoteId> Create(const std::string& form, const std::string& subject,
+                        double amount = 0) {
+    return db_->CreateNote(MakeDoc(form, subject, amount));
+  }
+
+  ScratchDir dir_;
+  SimClock clock_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(DatabaseFixture, CreateReadUpdateDelete) {
+  ASSERT_OK_AND_ASSIGN(NoteId id, Create("Memo", "hello"));
+  ASSERT_OK_AND_ASSIGN(Note note, db_->ReadNote(id));
+  EXPECT_EQ(note.sequence(), 1u);
+  EXPECT_FALSE(note.unid().IsNull());
+
+  note.SetText("Subject", "updated");
+  ASSERT_OK(db_->UpdateNote(note));
+  ASSERT_OK_AND_ASSIGN(Note updated, db_->ReadNote(id));
+  EXPECT_EQ(updated.sequence(), 2u);
+  EXPECT_EQ(updated.GetText("Subject"), "updated");
+  EXPECT_GT(updated.sequence_time(), note.sequence_time());
+
+  ASSERT_OK(db_->DeleteNote(id));
+  EXPECT_FALSE(db_->ReadNote(id).ok());
+  EXPECT_EQ(db_->stub_count(), 1u);
+  // The stub retains identity for replication.
+  ASSERT_OK_AND_ASSIGN(Note stub, db_->GetAnyByUnid(updated.unid()));
+  EXPECT_TRUE(stub.deleted());
+  EXPECT_EQ(stub.sequence(), 3u);
+}
+
+TEST_F(DatabaseFixture, SaveConflictDetected) {
+  ASSERT_OK_AND_ASSIGN(NoteId id, Create("Memo", "v1"));
+  ASSERT_OK_AND_ASSIGN(Note copy_a, db_->ReadNote(id));
+  ASSERT_OK_AND_ASSIGN(Note copy_b, db_->ReadNote(id));
+  copy_a.SetText("Subject", "from A");
+  ASSERT_OK(db_->UpdateNote(copy_a));
+  copy_b.SetText("Subject", "from B");
+  Status st = db_->UpdateNote(copy_b);
+  EXPECT_TRUE(st.IsConflict()) << st.ToString();
+}
+
+TEST_F(DatabaseFixture, UnidsAreUniqueAndMonotonicStamps) {
+  std::set<Unid> unids;
+  Micros last = 0;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_OK_AND_ASSIGN(NoteId id, Create("Memo", "m"));
+    ASSERT_OK_AND_ASSIGN(Note note, db_->ReadNote(id));
+    EXPECT_TRUE(unids.insert(note.unid()).second);
+    EXPECT_GT(note.sequence_time(), last);
+    last = note.sequence_time();
+  }
+}
+
+TEST_F(DatabaseFixture, ResponsesAndChildrenIndex) {
+  ASSERT_OK_AND_ASSIGN(NoteId topic_id, Create("Topic", "thread root"));
+  ASSERT_OK_AND_ASSIGN(Note topic, db_->ReadNote(topic_id));
+  ASSERT_OK_AND_ASSIGN(
+      NoteId r1, db_->CreateResponse(topic.unid(), MakeDoc("Re", "reply 1")));
+  ASSERT_OK_AND_ASSIGN(
+      NoteId r2, db_->CreateResponse(topic.unid(), MakeDoc("Re", "reply 2")));
+  auto children = db_->ChildrenOf(topic.unid());
+  EXPECT_EQ(children.size(), 2u);
+  ASSERT_OK_AND_ASSIGN(Note reply, db_->ReadNote(r1));
+  EXPECT_TRUE(reply.IsResponse());
+  EXPECT_EQ(reply.parent_unid(), topic.unid());
+  // Deleting a response removes it from the children index.
+  ASSERT_OK(db_->DeleteNote(r2));
+  EXPECT_EQ(db_->ChildrenOf(topic.unid()).size(), 1u);
+  EXPECT_FALSE(
+      db_->CreateResponse(Unid{123, 456}, MakeDoc("Re", "orphan")).ok());
+}
+
+TEST_F(DatabaseFixture, ViewsAutoUpdate) {
+  std::vector<ViewColumn> columns;
+  ViewColumn subject;
+  subject.title = "Subject";
+  subject.formula_source = "Subject";
+  subject.sort = ColumnSort::kAscending;
+  columns.push_back(std::move(subject));
+  ASSERT_OK_AND_ASSIGN(
+      ViewDesign design,
+      ViewDesign::Create("invoices", "SELECT Form = \"Invoice\"",
+                         std::move(columns)));
+  ASSERT_OK_AND_ASSIGN(ViewIndex * view, db_->CreateView(design));
+  ASSERT_NE(view, nullptr);
+  EXPECT_EQ(view->size(), 0u);
+
+  ASSERT_OK_AND_ASSIGN(NoteId inv, Create("Invoice", "zeta"));
+  ASSERT_OK(Create("Memo", "not in view").status());
+  EXPECT_EQ(view->size(), 1u);
+
+  ASSERT_OK_AND_ASSIGN(Note note, db_->ReadNote(inv));
+  note.SetText("Subject", "alpha");
+  ASSERT_OK(db_->UpdateNote(note));
+  EXPECT_EQ(view->size(), 1u);
+  EXPECT_EQ(view->Entries()[0]->ColumnText(0), "alpha");
+
+  ASSERT_OK(db_->DeleteNote(inv));
+  EXPECT_EQ(view->size(), 0u);
+  EXPECT_EQ(db_->ViewNames(), (std::vector<std::string>{"invoices"}));
+}
+
+TEST_F(DatabaseFixture, PersistenceAcrossReopen) {
+  // Create content + design, close, reopen, and verify everything is
+  // rebuilt from the store (views from their design notes, the ACL from
+  // the ACL note).
+  std::vector<ViewColumn> columns;
+  ViewColumn subject;
+  subject.title = "Subject";
+  subject.formula_source = "Subject";
+  subject.sort = ColumnSort::kAscending;
+  columns.push_back(std::move(subject));
+  ASSERT_OK_AND_ASSIGN(ViewDesign design,
+                       ViewDesign::Create("all", "SELECT @All",
+                                          std::move(columns)));
+  ASSERT_OK(db_->CreateView(design).status());
+  ASSERT_OK(Create("Memo", "persisted").status());
+
+  Acl acl;
+  acl.set_default_level(AccessLevel::kNoAccess);
+  acl.SetEntry("Alice", AccessLevel::kManager);
+  ASSERT_OK(db_->SetAcl(acl));
+
+  Unid replica = db_->replica_id();
+  db_.reset();
+
+  DatabaseOptions options;
+  ASSERT_OK_AND_ASSIGN(db_, Database::Open(dir_.Sub("db"), options, &clock_));
+  EXPECT_EQ(db_->title(), "Test DB");
+  EXPECT_EQ(db_->replica_id(), replica);
+  EXPECT_EQ(db_->note_count(), 3u);  // memo + view note + acl note
+  ViewIndex* view = db_->FindView("all");
+  ASSERT_NE(view, nullptr);
+  EXPECT_EQ(view->size(), 1u);
+  EXPECT_EQ(db_->acl().LevelFor(Principal::User("Alice")),
+            AccessLevel::kManager);
+  EXPECT_EQ(db_->acl().LevelFor(Principal::User("Rando")),
+            AccessLevel::kNoAccess);
+}
+
+TEST_F(DatabaseFixture, CheckedCrudEnforcesAcl) {
+  Acl acl;
+  acl.set_default_level(AccessLevel::kNoAccess);
+  acl.SetEntry("Manager", AccessLevel::kManager);
+  acl.SetEntry("Author", AccessLevel::kAuthor);
+  acl.SetEntry("Reader", AccessLevel::kReader);
+  ASSERT_OK(db_->SetAcl(acl));
+
+  Principal manager = Principal::User("Manager");
+  Principal author = Principal::User("Author");
+  Principal reader = Principal::User("Reader");
+  Principal nobody = Principal::User("Nobody");
+
+  // Authors may create; readers may not.
+  Note doc = MakeDoc("Memo", "authored");
+  doc.SetItem("Authors", Value::TextList({"Author"}),
+              kItemAuthors | kItemNames);
+  ASSERT_OK_AND_ASSIGN(NoteId id, db_->CreateNoteAs(author, doc));
+  EXPECT_FALSE(db_->CreateNoteAs(reader, MakeDoc("Memo", "x")).ok());
+  EXPECT_FALSE(db_->CreateNoteAs(nobody, MakeDoc("Memo", "x")).ok());
+
+  // Reads.
+  ASSERT_OK(db_->ReadNoteAs(reader, id).status());
+  EXPECT_FALSE(db_->ReadNoteAs(nobody, id).ok());
+
+  // Author edits their own doc; reader cannot edit.
+  ASSERT_OK_AND_ASSIGN(Note mine, db_->ReadNoteAs(author, id));
+  mine.SetText("Subject", "edited");
+  ASSERT_OK(db_->UpdateNoteAs(author, mine));
+  ASSERT_OK_AND_ASSIGN(Note theirs, db_->ReadNoteAs(reader, id));
+  theirs.SetText("Subject", "hacked");
+  EXPECT_FALSE(db_->UpdateNoteAs(reader, theirs).ok());
+
+  // $UpdatedBy stamped.
+  ASSERT_OK_AND_ASSIGN(Note after, db_->ReadNote(id));
+  EXPECT_EQ(after.GetText("$UpdatedBy"), "Author");
+
+  // Deletion permission mirrors editing.
+  EXPECT_FALSE(db_->DeleteNoteAs(reader, id).ok());
+  ASSERT_OK(db_->DeleteNoteAs(author, id));
+
+  // ACL changes need Manager.
+  EXPECT_FALSE(db_->SetAclAs(reader, acl).ok());
+  ASSERT_OK(db_->SetAclAs(manager, acl));
+}
+
+TEST_F(DatabaseFixture, ReaderFieldsFilterViewsAndSearch) {
+  Acl acl;
+  acl.set_default_level(AccessLevel::kReader);
+  acl.SetEntry("Editor", AccessLevel::kEditor);
+  ASSERT_OK(db_->SetAcl(acl));
+
+  std::vector<ViewColumn> columns;
+  ViewColumn subject;
+  subject.title = "Subject";
+  subject.formula_source = "Subject";
+  subject.sort = ColumnSort::kAscending;
+  columns.push_back(std::move(subject));
+  ASSERT_OK_AND_ASSIGN(ViewDesign design,
+                       ViewDesign::Create("all", "SELECT @All",
+                                          std::move(columns)));
+  ASSERT_OK(db_->CreateView(design).status());
+
+  Note open_doc = MakeDoc("Memo", "public document");
+  ASSERT_OK(db_->CreateNote(open_doc).status());
+  Note secret = MakeDoc("Memo", "secret document");
+  secret.SetItem("DocReaders", Value::TextList({"Editor"}),
+                 kItemReaders | kItemNames);
+  ASSERT_OK(db_->CreateNote(secret).status());
+
+  auto rows_for = [&](const Principal& who) {
+    std::vector<std::string> subjects;
+    EXPECT_OK(db_->TraverseViewAs(who, "all", [&](const ViewRow& row) {
+      if (row.kind == ViewRow::Kind::kDocument) {
+        subjects.push_back(row.entry->ColumnText(0));
+      }
+    }));
+    return subjects;
+  };
+  EXPECT_EQ(rows_for(Principal::User("Editor")).size(), 2u);
+  EXPECT_EQ(rows_for(Principal::User("Guest")).size(), 1u);
+
+  ASSERT_OK(db_->EnsureFullTextIndex());
+  ASSERT_OK_AND_ASSIGN(auto editor_hits,
+                       db_->SearchAs(Principal::User("Editor"), "document"));
+  EXPECT_EQ(editor_hits.size(), 2u);
+  ASSERT_OK_AND_ASSIGN(auto guest_hits,
+                       db_->SearchAs(Principal::User("Guest"), "document"));
+  ASSERT_EQ(guest_hits.size(), 1u);
+  EXPECT_EQ(guest_hits[0].GetText("Subject"), "public document");
+}
+
+TEST_F(DatabaseFixture, FormulaSearch) {
+  ASSERT_OK(Create("Invoice", "big", 5000).status());
+  ASSERT_OK(Create("Invoice", "small", 10).status());
+  ASSERT_OK(Create("Memo", "other").status());
+  ASSERT_OK_AND_ASSIGN(
+      auto hits, db_->FormulaSearch("SELECT Form = \"Invoice\" & Amount > 100"));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].GetText("Subject"), "big");
+  EXPECT_FALSE(db_->FormulaSearch("SELECT ((").ok());
+}
+
+TEST_F(DatabaseFixture, FullTextStaysIncremental) {
+  ASSERT_OK(db_->EnsureFullTextIndex());
+  ASSERT_OK_AND_ASSIGN(NoteId id, Create("Memo", "searchable widget"));
+  ASSERT_OK_AND_ASSIGN(auto hits,
+                       db_->SearchAs(Principal::User("x"), "widget"));
+  EXPECT_EQ(hits.size(), 1u);
+  ASSERT_OK(db_->DeleteNote(id));
+  ASSERT_OK_AND_ASSIGN(auto gone,
+                       db_->SearchAs(Principal::User("x"), "widget"));
+  EXPECT_TRUE(gone.empty());
+}
+
+TEST_F(DatabaseFixture, UnreadMarks) {
+  Principal user = Principal::User("Reader Person");
+  ASSERT_OK_AND_ASSIGN(NoteId a, Create("Memo", "one"));
+  ASSERT_OK_AND_ASSIGN(NoteId b, Create("Memo", "two"));
+  (void)b;
+  EXPECT_EQ(db_->UnreadCount(user), 2u);
+  ASSERT_OK_AND_ASSIGN(Note note, db_->ReadNote(a));
+  db_->MarkRead(user, note.unid());
+  EXPECT_FALSE(db_->IsUnread(user, note.unid()));
+  EXPECT_EQ(db_->UnreadCount(user), 1u);
+}
+
+TEST_F(DatabaseFixture, ChangesSinceAndPurge) {
+  clock_.Set(1'000'000);
+  ASSERT_OK_AND_ASSIGN(NoteId a, Create("Memo", "early"));
+  clock_.Set(2'000'000);
+  Micros cutoff = clock_.Now();
+  clock_.Set(3'000'000);
+  ASSERT_OK(Create("Memo", "late").status());
+  ASSERT_OK(db_->DeleteNote(a));
+
+  auto changes = db_->ChangesSince(cutoff);
+  EXPECT_EQ(changes.size(), 2u);  // the late note and the stub
+
+  // Purge: stub removed once past the purge interval.
+  clock_.Set(clock_.Now() + db_->info().purge_interval + 10'000'000);
+  ASSERT_OK_AND_ASSIGN(size_t purged, db_->PurgeStubs());
+  EXPECT_EQ(purged, 1u);
+  EXPECT_EQ(db_->stub_count(), 0u);
+}
+
+TEST_F(DatabaseFixture, ObserverNotifications) {
+  struct Recorder : DatabaseObserver {
+    std::vector<std::string> events;
+    void OnNoteChanged(const Note& note) override {
+      events.push_back((note.deleted() ? "del:" : "put:") +
+                       std::to_string(note.id()));
+    }
+    void OnNoteErased(NoteId id) override {
+      events.push_back("erase:" + std::to_string(id));
+    }
+  } recorder;
+  db_->AddObserver(&recorder);
+  ASSERT_OK_AND_ASSIGN(NoteId id, Create("Memo", "watched"));
+  ASSERT_OK(db_->DeleteNote(id));
+  clock_.Set(clock_.Now() + db_->info().purge_interval + 10'000'000);
+  ASSERT_OK(db_->PurgeStubs().status());
+  db_->RemoveObserver(&recorder);
+  ASSERT_EQ(recorder.events.size(), 3u);
+  EXPECT_EQ(recorder.events[0], "put:" + std::to_string(id));
+  EXPECT_EQ(recorder.events[1], "del:" + std::to_string(id));
+  EXPECT_EQ(recorder.events[2], "erase:" + std::to_string(id));
+}
+
+TEST_F(DatabaseFixture, ViewDesignChangeViaNoteTakesEffect) {
+  // Simulate a replicated design change: install a view note remotely.
+  std::vector<ViewColumn> columns;
+  ViewColumn subject;
+  subject.title = "Subject";
+  subject.formula_source = "Subject";
+  subject.sort = ColumnSort::kAscending;
+  columns.push_back(std::move(subject));
+  ASSERT_OK_AND_ASSIGN(ViewDesign design,
+                       ViewDesign::Create("dyn", "SELECT Form = \"A\"",
+                                          std::move(columns)));
+  ASSERT_OK(db_->CreateView(design).status());
+  ASSERT_OK(Create("A", "doc-a").status());
+  ASSERT_OK(Create("B", "doc-b").status());
+  EXPECT_EQ(db_->FindView("dyn")->size(), 1u);
+
+  // New design note with the same name but a different selection, as a
+  // remote replica would deliver it.
+  std::vector<ViewColumn> columns2;
+  ViewColumn subject2;
+  subject2.title = "Subject";
+  subject2.formula_source = "Subject";
+  subject2.sort = ColumnSort::kAscending;
+  columns2.push_back(std::move(subject2));
+  ASSERT_OK_AND_ASSIGN(ViewDesign design2,
+                       ViewDesign::Create("dyn", "SELECT Form = \"B\"",
+                                          std::move(columns2)));
+  Note incoming = design2.ToNote();
+  incoming.StampCreated(Unid{0xD1, 0xD2}, clock_.Now() + 50);
+  ASSERT_OK(db_->InstallRemoteNote(incoming));
+  EXPECT_EQ(db_->FindView("dyn")->size(), 1u);
+  EXPECT_EQ(db_->FindView("dyn")->Entries()[0]->ColumnText(0), "doc-b");
+}
+
+}  // namespace
+}  // namespace dominodb

@@ -1,0 +1,113 @@
+// @DbColumn / @DbLookup: formulas reading other documents through views.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "tests/test_util.h"
+#include "view/view_design.h"
+
+namespace dominodb {
+namespace {
+
+using testing_util::ScratchDir;
+
+class DbLookupFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatabaseOptions options;
+    options.title = "Lookup DB";
+    db_ = *Database::Open(dir_.Sub("db"), options, &clock_);
+
+    // A keyword table: (Code, Rate) documents exposed via a sorted view.
+    std::vector<ViewColumn> columns;
+    ViewColumn code;
+    code.title = "Code";
+    code.formula_source = "Code";
+    code.sort = ColumnSort::kAscending;
+    columns.push_back(std::move(code));
+    ViewColumn rate;
+    rate.title = "Rate";
+    rate.formula_source = "Rate";
+    columns.push_back(std::move(rate));
+    ASSERT_OK(db_->CreateView(*ViewDesign::Create(
+                                  "Rates", "SELECT Form = \"Rate\"",
+                                  std::move(columns)))
+                  .status());
+
+    for (auto [code_text, rate_value] :
+         {std::pair{"EUR", 1.08}, {"GBP", 1.27}, {"JPY", 0.0062}}) {
+      Note doc(NoteClass::kDocument);
+      doc.SetText("Form", "Rate");
+      doc.SetText("Code", code_text);
+      doc.SetNumber("Rate", rate_value);
+      ASSERT_OK(db_->CreateNote(std::move(doc)).status());
+    }
+  }
+
+  Result<Value> Eval(const std::string& source, const Note* note = nullptr) {
+    formula::EvalContext ctx;
+    db_->BindFormulaServices(&ctx);
+    ctx.note = note;
+    return formula::EvaluateFormula(source, ctx);
+  }
+
+  ScratchDir dir_;
+  SimClock clock_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(DbLookupFixture, DbColumnReturnsWholeColumn) {
+  auto codes = Eval("@DbColumn(\"\"; \"Rates\"; 1)");
+  ASSERT_OK(codes);
+  EXPECT_EQ(codes->texts(),
+            (std::vector<std::string>{"EUR", "GBP", "JPY"}));
+  auto rates = Eval("@DbColumn(\"\"; \"Rates\"; 2)");
+  ASSERT_OK(rates);
+  ASSERT_TRUE(rates->is_number());
+  EXPECT_EQ(rates->numbers().size(), 3u);
+}
+
+TEST_F(DbLookupFixture, DbLookupByKey) {
+  auto rate = Eval("@DbLookup(\"\"; \"Rates\"; \"GBP\"; 2)");
+  ASSERT_OK(rate);
+  EXPECT_DOUBLE_EQ(rate->AsNumber(), 1.27);
+  // Unknown key → empty result, not an error.
+  auto missing = Eval("@DbLookup(\"\"; \"Rates\"; \"XXX\"; 2)");
+  ASSERT_OK(missing);
+  EXPECT_TRUE(missing->empty());
+}
+
+TEST_F(DbLookupFixture, LookupInsideDocumentFormula) {
+  Note invoice(NoteClass::kDocument);
+  invoice.SetText("Form", "Invoice");
+  invoice.SetText("Currency", "EUR");
+  invoice.SetNumber("Amount", 100);
+  auto usd = Eval("Amount * @DbLookup(\"\"; \"Rates\"; Currency; 2)",
+                  &invoice);
+  ASSERT_OK(usd);
+  EXPECT_DOUBLE_EQ(usd->AsNumber(), 108);
+}
+
+TEST_F(DbLookupFixture, LookupSeesLiveViewUpdates) {
+  auto before = Eval("@DbLookup(\"\"; \"Rates\"; \"EUR\"; 2)");
+  EXPECT_DOUBLE_EQ(before->AsNumber(), 1.08);
+  auto rate_docs = *db_->FormulaSearch("SELECT Code = \"EUR\"");
+  Note doc = rate_docs[0];
+  doc.SetNumber("Rate", 1.10);
+  ASSERT_OK(db_->UpdateNote(std::move(doc)));
+  auto after = Eval("@DbLookup(\"\"; \"Rates\"; \"EUR\"; 2)");
+  EXPECT_DOUBLE_EQ(after->AsNumber(), 1.10);
+}
+
+TEST_F(DbLookupFixture, Errors) {
+  EXPECT_FALSE(Eval("@DbLookup(\"\"; \"NoSuchView\"; \"k\"; 1)").ok());
+  EXPECT_FALSE(Eval("@DbColumn(\"\"; \"Rates\"; 0)").ok());
+  EXPECT_FALSE(Eval("@DbColumn(\"\"; \"Rates\"; 9)").ok());
+  // Without a bound database the functions fail cleanly.
+  formula::EvalContext bare;
+  EXPECT_FALSE(
+      formula::EvaluateFormula("@DbColumn(\"\"; \"Rates\"; 1)", bare).ok());
+}
+
+}  // namespace
+}  // namespace dominodb

@@ -1,0 +1,516 @@
+#include <gtest/gtest.h>
+
+#include "base/clock.h"
+#include "formula/formula.h"
+#include "model/datetime.h"
+#include "tests/test_util.h"
+
+namespace dominodb::formula {
+namespace {
+
+/// Evaluates `src` against an optional note; fails the test on error.
+Value Eval(const std::string& src, const Note* note = nullptr,
+           const Clock* clock = nullptr) {
+  EvalContext ctx;
+  ctx.note = note;
+  ctx.clock = clock;
+  auto result = EvaluateFormula(src, ctx);
+  EXPECT_TRUE(result.ok()) << src << " → " << result.status().ToString();
+  return result.ok() ? *result : Value();
+}
+
+double EvalNumber(const std::string& src, const Note* note = nullptr) {
+  return Eval(src, note).AsNumber();
+}
+
+std::string EvalText(const std::string& src, const Note* note = nullptr) {
+  return Eval(src, note).AsText();
+}
+
+bool EvalBool(const std::string& src, const Note* note = nullptr) {
+  return Eval(src, note).AsBool();
+}
+
+Status EvalError(const std::string& src, const Note* note = nullptr) {
+  EvalContext ctx;
+  ctx.note = note;
+  auto result = EvaluateFormula(src, ctx);
+  EXPECT_FALSE(result.ok()) << src << " unexpectedly evaluated";
+  return result.ok() ? Status::Ok() : result.status();
+}
+
+// ------------------------------------------------------------- arithmetic --
+
+TEST(FormulaArithmetic, Basics) {
+  EXPECT_EQ(EvalNumber("1 + 2 * 3"), 7);
+  EXPECT_EQ(EvalNumber("(1 + 2) * 3"), 9);
+  EXPECT_EQ(EvalNumber("10 / 4"), 2.5);
+  EXPECT_EQ(EvalNumber("-5 + 3"), -2);
+  EXPECT_EQ(EvalNumber("2 - -3"), 5);
+}
+
+TEST(FormulaArithmetic, DivisionByZeroFails) {
+  EXPECT_EQ(EvalError("1 / 0").code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FormulaArithmetic, TextConcatenation) {
+  EXPECT_EQ(EvalText("\"foo\" + \"bar\""), "foobar");
+  EXPECT_EQ(EvalText("\"n=\" + @Text(42)"), "n=42");
+}
+
+TEST(FormulaArithmetic, PairwiseListArithmetic) {
+  Value v = Eval("1 : 2 : 3 + 10");
+  ASSERT_EQ(v.numbers().size(), 3u);
+  EXPECT_EQ(v.numbers()[0], 11);
+  EXPECT_EQ(v.numbers()[1], 12);
+  EXPECT_EQ(v.numbers()[2], 13);
+}
+
+TEST(FormulaArithmetic, PairwisePadsWithLastElement) {
+  Value v = Eval("(1 : 2 : 3) * (10 : 100)");
+  ASSERT_EQ(v.numbers().size(), 3u);
+  EXPECT_EQ(v.numbers()[0], 10);
+  EXPECT_EQ(v.numbers()[1], 200);
+  EXPECT_EQ(v.numbers()[2], 300);  // 3 * padded 100
+}
+
+TEST(FormulaArithmetic, UnaryMinusOnList) {
+  Value v = Eval("-(1 : 2)");
+  ASSERT_EQ(v.numbers().size(), 2u);
+  EXPECT_EQ(v.numbers()[0], -1);
+  EXPECT_EQ(v.numbers()[1], -2);
+}
+
+// ------------------------------------------------------------ comparisons --
+
+TEST(FormulaCompare, Scalars) {
+  EXPECT_TRUE(EvalBool("1 < 2"));
+  EXPECT_FALSE(EvalBool("2 < 1"));
+  EXPECT_TRUE(EvalBool("2 >= 2"));
+  EXPECT_TRUE(EvalBool("\"abc\" = \"ABC\""));  // text is case-insensitive
+  EXPECT_TRUE(EvalBool("\"a\" < \"b\""));
+  EXPECT_TRUE(EvalBool("1 <> 2"));
+  EXPECT_TRUE(EvalBool("1 != 2"));
+}
+
+TEST(FormulaCompare, ListAnyPairSemantics) {
+  // Pairwise: true if any aligned pair satisfies.
+  EXPECT_TRUE(EvalBool("(1 : 5) = (2 : 5)"));
+  EXPECT_FALSE(EvalBool("(1 : 5) = (2 : 6)"));
+}
+
+TEST(FormulaCompare, PermutedComparesAllPairs) {
+  EXPECT_TRUE(EvalBool("(1 : 2) *= (9 : 2)"));
+  EXPECT_TRUE(EvalBool("(1 : 2) *= (2 : 9)"));  // cross pair hits
+  EXPECT_FALSE(EvalBool("(1 : 2) *= (8 : 9)"));
+  EXPECT_TRUE(EvalBool("(1 : 2) *< (0 : 2)"));  // 1 < 2 cross
+}
+
+TEST(FormulaCompare, LogicalOperators) {
+  EXPECT_TRUE(EvalBool("1 & 1"));
+  EXPECT_FALSE(EvalBool("1 & 0"));
+  EXPECT_TRUE(EvalBool("0 | 1"));
+  EXPECT_TRUE(EvalBool("!0"));
+  EXPECT_FALSE(EvalBool("!3"));
+  // Short-circuit: the divide-by-zero in the dead branch never runs.
+  EXPECT_FALSE(EvalBool("0 & (1 / 0)"));
+  EXPECT_TRUE(EvalBool("1 | (1 / 0)"));
+}
+
+// ---------------------------------------------------------------- fields --
+
+Note SampleDoc() {
+  Note note(NoteClass::kDocument);
+  note.SetText("Form", "Invoice");
+  note.SetText("Customer", "Acme Corp");
+  note.SetNumber("Amount", 1500);
+  note.SetTextList("Tags", {"urgent", "q3"});
+  return note;
+}
+
+TEST(FormulaFields, ReadsDocumentFields) {
+  Note doc = SampleDoc();
+  EXPECT_EQ(EvalText("Customer", &doc), "Acme Corp");
+  EXPECT_EQ(EvalNumber("Amount * 2", &doc), 3000);
+  EXPECT_EQ(EvalText("MissingField", &doc), "");
+}
+
+TEST(FormulaFields, TempVariablesShadow) {
+  Note doc = SampleDoc();
+  EXPECT_EQ(EvalNumber("Amount := 7; Amount + 1", &doc), 8);
+}
+
+TEST(FormulaFields, DefaultProvidesFallback) {
+  Note doc = SampleDoc();
+  EXPECT_EQ(EvalNumber("DEFAULT Amount := 99; Amount", &doc), 1500);
+  EXPECT_EQ(EvalNumber("DEFAULT Missing := 99; Missing", &doc), 99);
+}
+
+TEST(FormulaFields, FieldAssignmentWritesDocument) {
+  Note doc = SampleDoc();
+  EvalContext ctx;
+  ctx.note = &doc;
+  ctx.mutable_note = &doc;
+  auto result = EvaluateFormula("FIELD Total := Amount * 1.1; Total", ctx);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_DOUBLE_EQ(doc.GetNumber("Total"), 1650);
+}
+
+TEST(FormulaFields, FieldAssignmentWithoutWritableDocFails) {
+  Note doc = SampleDoc();
+  EXPECT_EQ(EvalError("FIELD X := 1", &doc).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(FormulaFields, SetFieldAndGetField) {
+  Note doc = SampleDoc();
+  EvalContext ctx;
+  ctx.note = &doc;
+  ctx.mutable_note = &doc;
+  auto result =
+      EvaluateFormula("@SetField(\"Status\"; \"Paid\"); @GetField(\"Status\")",
+                      ctx);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->AsText(), "Paid");
+  EXPECT_EQ(doc.GetText("Status"), "Paid");
+}
+
+// ----------------------------------------------------------------- select --
+
+TEST(FormulaSelect, MatchesUsesSelect) {
+  Note doc = SampleDoc();
+  EvalContext ctx;
+  ctx.note = &doc;
+  auto f = Formula::Compile("SELECT Form = \"Invoice\"");
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE(f->has_select());
+  auto m = f->Matches(ctx);
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(*m);
+
+  auto f2 = Formula::Compile("SELECT Form = \"Memo\"");
+  ASSERT_TRUE(f2.ok());
+  auto m2 = f2->Matches(ctx);
+  ASSERT_TRUE(m2.ok());
+  EXPECT_FALSE(*m2);
+}
+
+TEST(FormulaSelect, SelectAll) {
+  Note doc = SampleDoc();
+  EvalContext ctx;
+  ctx.note = &doc;
+  auto f = Formula::Compile("SELECT @All");
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE(*f->Matches(ctx));
+}
+
+TEST(FormulaSelect, ResponseSelectorsDetected) {
+  auto f = Formula::Compile("SELECT Form = \"Topic\" | @AllDescendants");
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE(f->selects_all_descendants());
+  EXPECT_FALSE(f->selects_all_children());
+  // Per-document evaluation treats the selector as false.
+  Note doc = SampleDoc();
+  EvalContext ctx;
+  ctx.note = &doc;
+  EXPECT_FALSE(*f->Matches(ctx));
+}
+
+TEST(FormulaSelect, MatchesFallsBackToLastValue) {
+  Note doc = SampleDoc();
+  EvalContext ctx;
+  ctx.note = &doc;
+  auto f = Formula::Compile("Amount > 1000");
+  ASSERT_TRUE(f.ok());
+  EXPECT_FALSE(f->has_select());
+  EXPECT_TRUE(*f->Matches(ctx));
+}
+
+// ------------------------------------------------------------ control flow --
+
+TEST(FormulaControl, IfPairsAndElse) {
+  EXPECT_EQ(EvalText("@If(1 > 2; \"a\"; 3 > 2; \"b\"; \"c\")"), "b");
+  EXPECT_EQ(EvalText("@If(1 > 2; \"a\"; \"else\")"), "else");
+  // Lazy: untaken branches are not evaluated.
+  EXPECT_EQ(EvalNumber("@If(@True; 5; 1 / 0)"), 5);
+}
+
+TEST(FormulaControl, IfRequiresOddArgs) {
+  EXPECT_FALSE(Formula::Compile("@If(1; 2)").ok() &&
+               EvaluateFormula("@If(1; 2)", {}).ok());
+}
+
+TEST(FormulaControl, DoEvaluatesInOrder) {
+  EXPECT_EQ(EvalNumber("@Do(1; 2; 3)"), 3);
+  EXPECT_EQ(EvalNumber("x := 0; @Do(x := x + 1; x := x + 1); x"), 2);
+}
+
+TEST(FormulaControl, ReturnStopsExecution) {
+  EXPECT_EQ(EvalNumber("@Return(42); 1 / 0"), 42);
+  EXPECT_EQ(EvalNumber("@If(@True; @Return(7); 0); 99"), 7);
+}
+
+TEST(FormulaControl, IsErrorCatches) {
+  EXPECT_TRUE(EvalBool("@IsError(1 / 0)"));
+  EXPECT_FALSE(EvalBool("@IsError(1 + 1)"));
+}
+
+TEST(FormulaControl, SuccessAndFailure) {
+  EXPECT_TRUE(EvalBool("@Success"));
+  Status failure = EvalError("@Failure(\"must enter a name\")");
+  EXPECT_EQ(failure.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(failure.message(), "must enter a name");
+  // Classic validation pattern.
+  Note doc = SampleDoc();
+  EXPECT_TRUE(EvalBool(
+      "@If(Amount > 0; @Success; @Failure(\"amount required\"))", &doc));
+}
+
+// ----------------------------------------------------------- text functions --
+
+TEST(FormulaText, CaseAndTrim) {
+  EXPECT_EQ(EvalText("@UpperCase(\"abc\")"), "ABC");
+  EXPECT_EQ(EvalText("@LowerCase(\"AbC\")"), "abc");
+  EXPECT_EQ(EvalText("@ProperCase(\"john q. public\")"), "John Q. Public");
+  EXPECT_EQ(EvalText("@Trim(\"  a   b  \")"), "a b");
+}
+
+TEST(FormulaText, TrimDropsEmptyListElements) {
+  Value v = Eval("@Trim(\"a\" : \"\" : \"b\")");
+  ASSERT_EQ(v.texts().size(), 2u);
+  EXPECT_EQ(v.texts()[0], "a");
+  EXPECT_EQ(v.texts()[1], "b");
+}
+
+TEST(FormulaText, SubstringFunctions) {
+  EXPECT_EQ(EvalText("@Left(\"notes\"; 2)"), "no");
+  EXPECT_EQ(EvalText("@Left(\"domino notes\"; \" \")"), "domino");
+  EXPECT_EQ(EvalText("@Right(\"notes\"; 3)"), "tes");
+  EXPECT_EQ(EvalText("@Right(\"a/b/c\"; \"/\")"), "b/c");
+  EXPECT_EQ(EvalText("@Middle(\"abcdef\"; 2; 3)"), "cde");
+  EXPECT_EQ(EvalNumber("@Length(\"hello\")"), 5);
+}
+
+TEST(FormulaText, SearchPredicates) {
+  EXPECT_TRUE(EvalBool("@Contains(\"Lotus Domino\"; \"domino\")"));
+  EXPECT_FALSE(EvalBool("@Contains(\"Lotus\"; \"Notes\")"));
+  EXPECT_TRUE(EvalBool("@Begins(\"workflow\"; \"work\")"));
+  EXPECT_TRUE(EvalBool("@Ends(\"workflow\"; \"flow\")"));
+  EXPECT_TRUE(EvalBool("@Matches(\"report-2024\"; \"report-*\")"));
+  EXPECT_FALSE(EvalBool("@Matches(\"report\"; \"r?t\")"));
+}
+
+TEST(FormulaText, WordsAndExplode) {
+  EXPECT_EQ(EvalText("@Word(\"a b c\"; \" \"; 2)"), "b");
+  EXPECT_EQ(EvalText("@Word(\"a b c\"; \" \"; -1)"), "c");
+  Value exploded = Eval("@Explode(\"a,b;c d\")");
+  EXPECT_EQ(exploded.texts().size(), 4u);
+  EXPECT_EQ(EvalText("@Implode(\"x\" : \"y\" : \"z\"; \"-\")"), "x-y-z");
+}
+
+TEST(FormulaText, ReplaceAndRepeat) {
+  EXPECT_EQ(EvalText("@ReplaceSubstring(\"a-b-c\"; \"-\"; \"+\")"), "a+b+c");
+  EXPECT_EQ(EvalText("@Repeat(\"ab\"; 3)"), "ababab");
+  EXPECT_EQ(EvalText("@NewLine"), "\n");
+}
+
+TEST(FormulaText, Conversions) {
+  EXPECT_EQ(EvalNumber("@TextToNumber(\"12.5\")"), 12.5);
+  EXPECT_FALSE(EvaluateFormula("@TextToNumber(\"abc\")", {}).ok());
+  EXPECT_EQ(EvalText("@Text(3.5)"), "3.5");
+  Value t = Eval("@TextToTime(\"2024-02-29 10:30\")");
+  EXPECT_TRUE(t.is_datetime());
+  EXPECT_FALSE(EvaluateFormula("@TextToTime(\"2023-02-29\")", {}).ok());
+}
+
+// ---------------------------------------------------------- list functions --
+
+TEST(FormulaLists, ElementsSubsetUnique) {
+  EXPECT_EQ(EvalNumber("@Elements(1 : 2 : 3)"), 3);
+  Value head = Eval("@Subset(\"a\" : \"b\" : \"c\"; 2)");
+  EXPECT_EQ(head.texts(), (std::vector<std::string>{"a", "b"}));
+  Value tail = Eval("@Subset(\"a\" : \"b\" : \"c\"; -1)");
+  EXPECT_EQ(tail.texts(), (std::vector<std::string>{"c"}));
+  Value unique = Eval("@Unique(\"x\" : \"X\" : \"y\")");
+  EXPECT_EQ(unique.texts().size(), 2u);
+}
+
+TEST(FormulaLists, SortMinMaxSum) {
+  Value sorted = Eval("@Sort(3 : 1 : 2)");
+  EXPECT_EQ(sorted.numbers(), (std::vector<double>{1, 2, 3}));
+  Value desc = Eval("@Sort(\"b\" : \"a\"; \"Descending\")");
+  EXPECT_EQ(desc.texts(), (std::vector<std::string>{"b", "a"}));
+  EXPECT_EQ(EvalNumber("@Min(4 : 2 : 9)"), 2);
+  EXPECT_EQ(EvalNumber("@Max(4 : 2 : 9)"), 9);
+  EXPECT_EQ(EvalNumber("@Sum(1 : 2; 3)"), 6);
+  EXPECT_EQ(EvalNumber("@Average(2 : 4)"), 3);
+}
+
+TEST(FormulaLists, MembershipAndReplace) {
+  EXPECT_EQ(EvalNumber("@Member(\"b\"; \"a\" : \"b\" : \"c\")"), 2);
+  EXPECT_EQ(EvalNumber("@Member(\"z\"; \"a\" : \"b\")"), 0);
+  EXPECT_TRUE(EvalBool("@IsMember(\"A\"; \"a\" : \"b\")"));
+  EXPECT_FALSE(EvalBool("@IsMember(\"a\" : \"z\"; \"a\" : \"b\")"));
+  Value replaced = Eval("@Replace(\"a\" : \"b\"; \"b\"; \"beta\")");
+  EXPECT_EQ(replaced.texts()[1], "beta");
+  Value keywords = Eval("@Keywords(\"the quick brown fox\"; \"fox\" : \"dog\")");
+  EXPECT_EQ(keywords.texts(), (std::vector<std::string>{"fox"}));
+}
+
+// --------------------------------------------------------- number functions --
+
+TEST(FormulaNumbers, MathFunctions) {
+  EXPECT_EQ(EvalNumber("@Abs(-4)"), 4);
+  EXPECT_EQ(EvalNumber("@Sign(-9)"), -1);
+  EXPECT_EQ(EvalNumber("@Modulo(10; 3)"), 1);
+  EXPECT_EQ(EvalNumber("@Integer(3.9)"), 3);
+  EXPECT_EQ(EvalNumber("@Round(2.5)"), 3);
+  EXPECT_EQ(EvalNumber("@Round(12.34; 0.1)"), 12.3);
+  EXPECT_EQ(EvalNumber("@Sqrt(16)"), 4);
+  EXPECT_EQ(EvalNumber("@Power(2; 10)"), 1024);
+  EXPECT_NEAR(EvalNumber("@Exp(1)"), 2.718281828, 1e-6);
+  EXPECT_NEAR(EvalNumber("@Ln(@Exp(2))"), 2, 1e-9);
+  EXPECT_EQ(EvalNumber("@Log(1000)"), 3);
+  EXPECT_NEAR(EvalNumber("@Pi"), 3.14159265, 1e-6);
+}
+
+TEST(FormulaNumbers, DomainErrors) {
+  EXPECT_FALSE(EvaluateFormula("@Sqrt(-1)", {}).ok());
+  EXPECT_FALSE(EvaluateFormula("@Ln(0)", {}).ok());
+  EXPECT_FALSE(EvaluateFormula("@Modulo(1; 0)", {}).ok());
+}
+
+// -------------------------------------------------------- datetime functions --
+
+TEST(FormulaDates, NowAndToday) {
+  SimClock clock(*ParseDateTime("2026-07-05 13:45:09"));
+  Value now = Eval("@Now", nullptr, &clock);
+  EXPECT_EQ(now.AsTime(), clock.Now());
+  Value today = Eval("@Today", nullptr, &clock);
+  EXPECT_EQ(FormatDateTime(today.AsTime()), "2026-07-05 00:00:00");
+  Value tomorrow = Eval("@Tomorrow", nullptr, &clock);
+  EXPECT_EQ(FormatDateTime(tomorrow.AsTime()), "2026-07-06 00:00:00");
+}
+
+TEST(FormulaDates, Parts) {
+  std::string d = "@TextToTime(\"2024-02-29 10:20:30\")";
+  EXPECT_EQ(EvalNumber("@Year(" + d + ")"), 2024);
+  EXPECT_EQ(EvalNumber("@Month(" + d + ")"), 2);
+  EXPECT_EQ(EvalNumber("@Day(" + d + ")"), 29);
+  EXPECT_EQ(EvalNumber("@Hour(" + d + ")"), 10);
+  EXPECT_EQ(EvalNumber("@Minute(" + d + ")"), 20);
+  EXPECT_EQ(EvalNumber("@Second(" + d + ")"), 30);
+  EXPECT_EQ(EvalNumber("@Weekday(@TextToTime(\"2026-07-05\"))"), 1);  // Sun
+}
+
+TEST(FormulaDates, AdjustHandlesMonthEnds) {
+  // Jan 31 + 1 month clamps to Feb 29 (leap 2024).
+  Value v = Eval("@Adjust(@TextToTime(\"2024-01-31\"); 0; 1; 0; 0; 0; 0)");
+  EXPECT_EQ(FormatDateTime(v.AsTime()), "2024-02-29 00:00:00");
+  Value plus_day = Eval("@Adjust(@TextToTime(\"2024-02-28\"); 0; 0; 2; 0; 0; 0)");
+  EXPECT_EQ(FormatDateTime(plus_day.AsTime()), "2024-03-01 00:00:00");
+}
+
+TEST(FormulaDates, DateTimeArithmetic) {
+  EXPECT_EQ(EvalNumber("@TextToTime(\"2020-01-02\") - "
+                       "@TextToTime(\"2020-01-01\")"),
+            86400);
+  Value shifted = Eval("@TextToTime(\"2020-01-01\") + 3600");
+  EXPECT_EQ(FormatDateTime(shifted.AsTime()), "2020-01-01 01:00:00");
+}
+
+TEST(FormulaDates, DateConstructor) {
+  Value v = Eval("@Date(1999; 12; 31)");
+  EXPECT_EQ(FormatDateTime(v.AsTime()), "1999-12-31 00:00:00");
+}
+
+// --------------------------------------------------------- doc functions --
+
+TEST(FormulaDoc, MetadataFunctions) {
+  Note doc = SampleDoc();
+  doc.set_id(77);
+  doc.StampCreated(Unid{0xAA, 0xBB}, 5'000'000);
+  doc.BumpSequence(9'000'000);
+  EXPECT_EQ(EvalText("@DocumentUniqueID", &doc), doc.unid().ToString());
+  EXPECT_EQ(EvalNumber("@NoteID", &doc), 77);
+  EXPECT_EQ(Eval("@Created", &doc).AsTime(), 5'000'000);
+  EXPECT_EQ(Eval("@Modified", &doc).AsTime(), 9'000'000);
+  EXPECT_FALSE(EvalBool("@IsResponseDoc", &doc));
+  doc.set_parent_unid(Unid{1, 2});
+  EXPECT_TRUE(EvalBool("@IsResponseDoc", &doc));
+}
+
+TEST(FormulaDoc, AvailabilityFunctions) {
+  Note doc = SampleDoc();
+  EXPECT_TRUE(EvalBool("@IsAvailable(Customer)", &doc));
+  EXPECT_FALSE(EvalBool("@IsAvailable(Nope)", &doc));
+  EXPECT_TRUE(EvalBool("@IsUnavailable(Nope)", &doc));
+  EXPECT_TRUE(EvalBool("x := 1; @IsAvailable(x)", &doc));
+}
+
+TEST(FormulaDoc, ContextFunctions) {
+  EvalContext ctx;
+  ctx.username = "Ada Lovelace";
+  ctx.db_title = "Sales";
+  ctx.replica_id = "cafebabe";
+  auto name = EvaluateFormula("@UserName", ctx);
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(name->AsText(), "Ada Lovelace");
+  EXPECT_EQ(EvaluateFormula("@DbTitle", ctx)->AsText(), "Sales");
+  EXPECT_EQ(EvaluateFormula("@ReplicaID", ctx)->AsText(), "cafebabe");
+  EXPECT_EQ(EvaluateFormula("@UserName", {})->AsText(), "Anonymous");
+}
+
+// ----------------------------------------------------------------- syntax --
+
+TEST(FormulaSyntax, Errors) {
+  EXPECT_FALSE(Formula::Compile("").ok());
+  EXPECT_FALSE(Formula::Compile("1 +").ok());
+  EXPECT_FALSE(Formula::Compile("(1").ok());
+  EXPECT_FALSE(Formula::Compile("\"unterminated").ok());
+  EXPECT_FALSE(Formula::Compile("@").ok());
+  EXPECT_FALSE(Formula::Compile("FIELD := 2").ok());
+  EXPECT_FALSE(EvaluateFormula("@NoSuchFunction(1)", {}).ok());
+}
+
+TEST(FormulaSyntax, RemAndBraceStrings) {
+  EXPECT_EQ(EvalNumber("REM \"a comment\"; 5"), 5);
+  EXPECT_EQ(EvalText("{brace string}"), "brace string");
+  EXPECT_EQ(EvalText("\"escaped \"\" quote\""), "escaped \" quote");
+  EXPECT_EQ(EvalText("\"back\\\\slash\""), "back\\slash");
+}
+
+TEST(FormulaSyntax, ReferencedFields) {
+  auto f = Formula::Compile("SELECT Form = \"X\" & Amount > 2");
+  ASSERT_TRUE(f.ok());
+  const auto& fields = f->referenced_fields();
+  EXPECT_EQ(fields.size(), 2u);
+  EXPECT_NE(std::find(fields.begin(), fields.end(), "form"), fields.end());
+  EXPECT_NE(std::find(fields.begin(), fields.end(), "amount"), fields.end());
+}
+
+TEST(FormulaSyntax, TypePredicates) {
+  EXPECT_TRUE(EvalBool("@IsNumber(1)"));
+  EXPECT_TRUE(EvalBool("@IsText(\"x\")"));
+  EXPECT_TRUE(EvalBool("@IsTime(@Date(2000; 1; 1))"));
+  EXPECT_FALSE(EvalBool("@IsNumber(\"x\")"));
+}
+
+TEST(FormulaSyntax, MixedTypeListConcatCoercesToText) {
+  Value v = Eval("\"a\" : 1");
+  ASSERT_TRUE(v.is_text());
+  EXPECT_EQ(v.texts(), (std::vector<std::string>{"a", "1"}));
+}
+
+TEST(FormulaSyntax, RandomIsDeterministicPerDocument) {
+  Note doc = SampleDoc();
+  doc.StampCreated(Unid{3, 4}, 0);
+  double a = EvalNumber("@Random", &doc);
+  double b = EvalNumber("@Random", &doc);
+  EXPECT_EQ(a, b);
+  EXPECT_GE(a, 0.0);
+  EXPECT_LT(a, 1.0);
+}
+
+}  // namespace
+}  // namespace dominodb::formula

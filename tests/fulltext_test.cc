@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "fulltext/fulltext_index.h"
+#include "fulltext/tokenizer.h"
+#include "tests/test_util.h"
+
+namespace dominodb {
+namespace {
+
+TEST(TokenizerTest, SplitsAndFolds) {
+  auto tokens = TokenizeText("Hello, World! C++20 rocks");
+  EXPECT_EQ(tokens,
+            (std::vector<std::string>{"hello", "world", "20", "rocks"}));
+  EXPECT_TRUE(TokenizeText("a . ! ?").empty());  // short tokens dropped
+  EXPECT_EQ(TokenizeText("x1y2"), (std::vector<std::string>{"x1y2"}));
+}
+
+Note Doc(NoteId id, const std::string& subject, const std::string& body,
+         const std::string& category = "") {
+  Note note(NoteClass::kDocument);
+  note.set_id(id);
+  note.StampCreated(Unid{0xF7, id}, 1000 + id);
+  note.SetText("Subject", subject);
+  note.SetItem("Body", Value::RichText({RichTextRun{body, 0, ""}}));
+  if (!category.empty()) note.SetText("Category", category);
+  return note;
+}
+
+class FullTextFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    index_.IndexNote(Doc(1, "Quarterly sales report",
+                         "Revenue grew in the east region", "finance"));
+    index_.IndexNote(Doc(2, "Meeting notes",
+                         "Discussed the sales pipeline and hiring",
+                         "minutes"));
+    index_.IndexNote(Doc(3, "Vacation policy",
+                         "Employees accrue vacation days monthly", "hr"));
+    index_.IndexNote(Doc(4, "Sales kickoff",
+                         "Sales sales sales: east and west targets",
+                         "finance"));
+  }
+
+  std::vector<NoteId> Ids(const std::string& query) {
+    auto hits = index_.Search(query);
+    EXPECT_TRUE(hits.ok()) << hits.status().ToString();
+    std::vector<NoteId> ids;
+    if (hits.ok()) {
+      for (const FtHit& h : *hits) ids.push_back(h.note_id);
+    }
+    return ids;
+  }
+
+  FullTextIndex index_;
+};
+
+TEST_F(FullTextFixture, SingleTerm) {
+  auto ids = Ids("sales");
+  ASSERT_EQ(ids.size(), 3u);
+  // Doc 4 mentions "sales" most → highest score first.
+  EXPECT_EQ(ids[0], 4u);
+}
+
+TEST_F(FullTextFixture, CaseInsensitive) {
+  EXPECT_EQ(Ids("SALES").size(), 3u);
+  EXPECT_EQ(Ids("Vacation").size(), 1u);
+}
+
+TEST_F(FullTextFixture, BooleanOperators) {
+  EXPECT_EQ(Ids("sales AND east"), (std::vector<NoteId>{4, 1}));
+  EXPECT_EQ(Ids("sales east").size(), 2u);  // implicit AND
+  EXPECT_EQ(Ids("vacation OR hiring").size(), 2u);
+  auto not_sales = Ids("NOT sales");
+  EXPECT_EQ(not_sales, (std::vector<NoteId>{3}));
+  EXPECT_EQ(Ids("sales AND NOT east"), (std::vector<NoteId>{2}));
+  EXPECT_EQ(Ids("(vacation OR hiring) AND monthly"),
+            (std::vector<NoteId>{3}));
+}
+
+TEST_F(FullTextFixture, PhraseSearch) {
+  EXPECT_EQ(Ids("\"sales pipeline\""), (std::vector<NoteId>{2}));
+  EXPECT_TRUE(Ids("\"pipeline sales\"").empty());
+  EXPECT_EQ(Ids("\"east region\""), (std::vector<NoteId>{1}));
+}
+
+TEST_F(FullTextFixture, FieldContains) {
+  EXPECT_EQ(Ids("FIELD Category CONTAINS finance").size(), 2u);
+  EXPECT_EQ(Ids("FIELD Subject CONTAINS vacation"),
+            (std::vector<NoteId>{3}));
+  // "east" appears in bodies, not subjects of doc 1.
+  EXPECT_TRUE(Ids("FIELD Subject CONTAINS east").empty());
+}
+
+TEST_F(FullTextFixture, IncrementalUpdateAndRemoval) {
+  EXPECT_EQ(index_.doc_count(), 4u);
+  // Update doc 3 to mention sales.
+  index_.IndexNote(Doc(3, "Vacation policy", "sales staff vacation"));
+  EXPECT_EQ(Ids("sales").size(), 4u);
+  // Remove doc 4.
+  index_.RemoveNote(4);
+  EXPECT_EQ(index_.doc_count(), 3u);
+  EXPECT_EQ(Ids("sales").size(), 3u);
+  // Deletion stubs un-index automatically.
+  Note stub = Doc(1, "", "");
+  stub.MakeStub(99999);
+  index_.IndexNote(stub);
+  EXPECT_EQ(index_.doc_count(), 2u);
+}
+
+TEST_F(FullTextFixture, QuerySyntaxErrors) {
+  EXPECT_FALSE(index_.Search("").ok());
+  EXPECT_FALSE(index_.Search("(sales").ok());
+  EXPECT_FALSE(index_.Search("\"open phrase").ok());
+  EXPECT_FALSE(index_.Search("FIELD Subject sales").ok());
+  EXPECT_FALSE(index_.Search("sales AND").ok());
+}
+
+TEST_F(FullTextFixture, MissingTermReturnsEmpty) {
+  EXPECT_TRUE(Ids("zebra").empty());
+  EXPECT_TRUE(Ids("sales AND zebra").empty());
+  EXPECT_EQ(Ids("sales OR zebra").size(), 3u);
+}
+
+TEST_F(FullTextFixture, AttachmentNamesSearchable) {
+  Note doc = Doc(9, "With attachment", "see file");
+  doc.SetItem("Body2",
+              Value::RichText({RichTextRun{"", 0, "budget_plan.xls"}}));
+  index_.IndexNote(doc);
+  EXPECT_EQ(Ids("budget"), (std::vector<NoteId>{9}));
+}
+
+TEST(FullTextIndexTest, StatsAndClear) {
+  FullTextIndex index;
+  index.IndexNote(Doc(1, "alpha beta", "gamma"));
+  EXPECT_EQ(index.stats().notes_indexed, 1u);
+  EXPECT_GT(index.stats().tokens_indexed, 0u);
+  EXPECT_GT(index.term_count(), 0u);
+  index.Clear();
+  EXPECT_EQ(index.doc_count(), 0u);
+  EXPECT_EQ(index.term_count(), 0u);
+}
+
+TEST(FullTextIndexTest, NonDocumentsNotIndexed) {
+  FullTextIndex index;
+  Note view_note(NoteClass::kView);
+  view_note.set_id(5);
+  view_note.StampCreated(Unid{1, 5}, 10);
+  view_note.SetText("$Title", "searchable view title");
+  index.IndexNote(view_note);
+  EXPECT_EQ(index.doc_count(), 0u);
+}
+
+TEST(FullTextIndexTest, PhraseDoesNotSpanFields) {
+  FullTextIndex index;
+  Note doc(NoteClass::kDocument);
+  doc.set_id(1);
+  doc.StampCreated(Unid{1, 1}, 10);
+  doc.SetText("A", "hello");
+  doc.SetText("B", "world");
+  index.IndexNote(doc);
+  auto hits = index.Search("\"hello world\"");
+  ASSERT_OK(hits);
+  EXPECT_TRUE(hits->empty());
+}
+
+}  // namespace
+}  // namespace dominodb

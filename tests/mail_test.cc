@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "mail/router.h"
+#include "server/server.h"
+#include "tests/test_util.h"
+
+namespace dominodb {
+namespace {
+
+using testing_util::ScratchDir;
+
+class MailFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    clock_.Set(1'000'000'000);
+    net_ = std::make_unique<SimNet>(&clock_);
+    for (const char* name : {"alpha", "beta", "gamma"}) {
+      servers_[name] = std::make_unique<Server>(
+          name, dir_.Sub(name), &clock_, net_.get(), &directory_);
+      ASSERT_OK(servers_[name]->EnsureMailInfrastructure());
+    }
+    ASSERT_OK(servers_["alpha"]->CreateMailFile("Ada").status());
+    ASSERT_OK(servers_["alpha"]->CreateMailFile("Al").status());
+    ASSERT_OK(servers_["beta"]->CreateMailFile("Bea").status());
+    ASSERT_OK(servers_["gamma"]->CreateMailFile("Gil").status());
+  }
+
+  std::map<std::string, Router*> Peers() {
+    std::map<std::string, Router*> peers;
+    for (auto& [name, server] : servers_) {
+      peers[name] = server->router();
+    }
+    return peers;
+  }
+
+  /// Runs every router until all mailboxes drain (or `max` passes).
+  void RunAllRouters(int max = 10) {
+    for (int i = 0; i < max; ++i) {
+      size_t processed = 0;
+      for (auto& [name, server] : servers_) {
+        auto n = server->RunRouterOnce(Peers());
+        ASSERT_OK(n);
+        processed += *n;
+      }
+      if (processed == 0) return;
+    }
+  }
+
+  size_t InboxCount(const std::string& server, const std::string& user) {
+    Database* mail_file = servers_[server]->MailFileOf(user);
+    EXPECT_NE(mail_file, nullptr);
+    return mail_file != nullptr ? mail_file->note_count() : 0;
+  }
+
+  ScratchDir dir_;
+  SimClock clock_;
+  std::unique_ptr<SimNet> net_;
+  MailDirectory directory_;
+  std::map<std::string, std::unique_ptr<Server>> servers_;
+};
+
+TEST_F(MailFixture, LocalDelivery) {
+  ASSERT_OK(servers_["alpha"]->SendMail("Al", {"Ada"}, "hi", "local note"));
+  RunAllRouters();
+  EXPECT_EQ(InboxCount("alpha", "Ada"), 1u);
+  Database* inbox = servers_["alpha"]->MailFileOf("Ada");
+  ASSERT_OK_AND_ASSIGN(auto memos, inbox->FormulaSearch("SELECT @All"));
+  ASSERT_EQ(memos.size(), 1u);
+  EXPECT_EQ(memos[0].GetText("Subject"), "hi");
+  EXPECT_EQ(memos[0].GetText("From"), "Al");
+  EXPECT_EQ(memos[0].GetText("DeliveredBy"), "alpha");
+  EXPECT_TRUE(memos[0].HasItem("DeliveredDate"));
+  // mail.box drained.
+  EXPECT_EQ(servers_["alpha"]->router()->mailbox()->note_count(), 0u);
+}
+
+TEST_F(MailFixture, CrossServerDelivery) {
+  ASSERT_OK(servers_["alpha"]->SendMail("Ada", {"Bea"}, "x-server", "body"));
+  RunAllRouters();
+  EXPECT_EQ(InboxCount("beta", "Bea"), 1u);
+  EXPECT_GT(net_->StatsBetween("alpha", "beta").messages, 0u);
+  const MailStats& stats = servers_["alpha"]->router()->stats();
+  EXPECT_EQ(stats.forwarded, 1u);
+}
+
+TEST_F(MailFixture, MultiRecipientFanout) {
+  ASSERT_OK(servers_["alpha"]->SendMail("Ada", {"Al", "Bea", "Gil"},
+                                        "to everyone", "body"));
+  RunAllRouters();
+  EXPECT_EQ(InboxCount("alpha", "Al"), 1u);
+  EXPECT_EQ(InboxCount("beta", "Bea"), 1u);
+  EXPECT_EQ(InboxCount("gamma", "Gil"), 1u);
+}
+
+TEST_F(MailFixture, MultiHopRouting) {
+  // alpha may not talk to gamma directly: route via beta.
+  servers_["alpha"]->router()->SetNextHop("gamma", "beta");
+  ASSERT_OK(servers_["alpha"]->SendMail("Ada", {"Gil"}, "via hub", "body"));
+  RunAllRouters();
+  EXPECT_EQ(InboxCount("gamma", "Gil"), 1u);
+  // Traffic flowed alpha→beta and beta→gamma, not alpha→gamma.
+  EXPECT_GT(net_->StatsBetween("alpha", "beta").messages, 0u);
+  EXPECT_GT(net_->StatsBetween("beta", "gamma").messages, 0u);
+  EXPECT_EQ(net_->StatsBetween("alpha", "gamma").messages, 0u);
+  // The delivered copy shows two hops.
+  Database* inbox = servers_["gamma"]->MailFileOf("Gil");
+  ASSERT_OK_AND_ASSIGN(auto memos, inbox->FormulaSearch("SELECT @All"));
+  ASSERT_EQ(memos.size(), 1u);
+  EXPECT_EQ(memos[0].GetNumber("$Hops"), 2);
+}
+
+TEST_F(MailFixture, UnknownRecipientDeadLetters) {
+  ASSERT_OK(servers_["alpha"]->SendMail("Ada", {"Nobody Real"}, "lost",
+                                        "body"));
+  RunAllRouters();
+  EXPECT_EQ(servers_["alpha"]->router()->stats().dead_lettered, 1u);
+  EXPECT_EQ(servers_["alpha"]->router()->stats().delivered, 0u);
+}
+
+TEST_F(MailFixture, MixedKnownAndUnknownRecipients) {
+  ASSERT_OK(servers_["alpha"]->SendMail("Ada", {"Bea", "Ghost"}, "partial",
+                                        "body"));
+  RunAllRouters();
+  EXPECT_EQ(InboxCount("beta", "Bea"), 1u);
+  EXPECT_EQ(servers_["alpha"]->router()->stats().dead_lettered, 1u);
+}
+
+TEST_F(MailFixture, SubmitValidatesForm) {
+  Note not_mail(NoteClass::kDocument);
+  not_mail.SetText("Form", "Invoice");
+  EXPECT_FALSE(servers_["alpha"]->router()->Submit(not_mail).ok());
+}
+
+TEST(MailDirectoryTest, Lookup) {
+  MailDirectory directory;
+  directory.RegisterUser("Jo", "srv1");
+  ASSERT_OK_AND_ASSIGN(std::string home, directory.HomeServerOf("JO"));
+  EXPECT_EQ(home, "srv1");
+  EXPECT_FALSE(directory.HomeServerOf("nobody").ok());
+  directory.RegisterUser("Jo", "srv2");  // move mail file
+  EXPECT_EQ(*directory.HomeServerOf("jo"), "srv2");
+}
+
+TEST(MailMessageTest, Shape) {
+  Note memo = MakeMailMessage("From Me", {"You", "Them"}, "subj", "hello");
+  EXPECT_EQ(memo.GetText("Form"), "Memo");
+  EXPECT_EQ(memo.FindValue("SendTo")->texts().size(), 2u);
+  EXPECT_EQ(memo.FindValue("Body")->runs()[0].text, "hello");
+}
+
+}  // namespace
+}  // namespace dominodb

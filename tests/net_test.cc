@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "net/sim_net.h"
+#include "tests/test_util.h"
+
+namespace dominodb {
+namespace {
+
+TEST(SimNetTest, TransferAdvancesClockByLatencyAndBandwidth) {
+  SimClock clock(0);
+  SimNet net(&clock);
+  net.SetLink("a", "b", /*latency=*/1000, /*bytes_per_second=*/1'000'000);
+  ASSERT_OK(net.Transfer("a", "b", 1'000'000));  // 1 MB at 1 MB/s = 1 s
+  EXPECT_EQ(clock.Now(), 1000 + 1'000'000);
+}
+
+TEST(SimNetTest, DefaultLinkUsedWhenUnconfigured) {
+  SimClock clock(0);
+  SimNet net(&clock);
+  net.SetDefaultLink(500, 2'000'000);
+  ASSERT_OK(net.Transfer("x", "y", 2'000'000));
+  EXPECT_EQ(clock.Now(), 500 + 1'000'000);
+}
+
+TEST(SimNetTest, StatsAreUndirectedAndCumulative) {
+  SimClock clock(0);
+  SimNet net(&clock);
+  ASSERT_OK(net.Transfer("a", "b", 100));
+  ASSERT_OK(net.Transfer("b", "a", 50));
+  ASSERT_OK(net.Transfer("a", "c", 10));
+  LinkStats ab = net.StatsBetween("a", "b");
+  EXPECT_EQ(ab.messages, 2u);
+  EXPECT_EQ(ab.bytes, 150u);
+  EXPECT_EQ(net.StatsBetween("b", "a").bytes, 150u);  // same link
+  EXPECT_EQ(net.total().messages, 3u);
+  EXPECT_EQ(net.total().bytes, 160u);
+  net.ResetStats();
+  EXPECT_EQ(net.total().messages, 0u);
+  EXPECT_EQ(net.StatsBetween("a", "b").bytes, 0u);
+}
+
+TEST(SimNetTest, PartitionBlocksBothDirections) {
+  SimClock clock(0);
+  SimNet net(&clock);
+  net.SetPartitioned("a", "b", true);
+  EXPECT_EQ(net.Transfer("a", "b", 1).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(net.Transfer("b", "a", 1).code(), StatusCode::kUnavailable);
+  ASSERT_OK(net.Transfer("a", "c", 1));  // other links unaffected
+  net.SetPartitioned("a", "b", false);
+  ASSERT_OK(net.Transfer("a", "b", 1));
+}
+
+TEST(SimNetTest, NullClockStillCounts) {
+  SimNet net(nullptr);
+  ASSERT_OK(net.Transfer("a", "b", 42));
+  EXPECT_EQ(net.total().bytes, 42u);
+}
+
+}  // namespace
+}  // namespace dominodb

@@ -1,0 +1,446 @@
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "repl/replicator.h"
+#include "server/replication_scheduler.h"
+#include "server/server.h"
+#include "tests/test_util.h"
+
+namespace dominodb {
+namespace {
+
+using testing_util::MakeDoc;
+using testing_util::ScratchDir;
+
+class ReplicationFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    clock_.Set(1'000'000'000);
+    net_ = std::make_unique<SimNet>(&clock_);
+    DatabaseOptions options;
+    options.title = "Shared DB";
+    auto a = Database::Open(dir_.Sub("a"), options, &clock_);
+    ASSERT_OK(a);
+    a_ = std::move(*a);
+    // Same replica id on the second copy.
+    options.replica_id = a_->replica_id();
+    auto b = Database::Open(dir_.Sub("b"), options, &clock_);
+    ASSERT_OK(b);
+    b_ = std::move(*b);
+  }
+
+  ReplicationReport Sync(const ReplicationOptions& options = {}) {
+    Replicator replicator(net_.get());
+    auto report = replicator.Replicate(a_.get(), "A", b_.get(), "B",
+                                       &history_a_, &history_b_, options);
+    EXPECT_OK(report);
+    return report.value_or(ReplicationReport{});
+  }
+
+  bool Converged() { return DatabasesConverged({a_.get(), b_.get()}); }
+
+  ScratchDir dir_;
+  SimClock clock_;
+  std::unique_ptr<SimNet> net_;
+  std::unique_ptr<Database> a_, b_;
+  ReplicationHistory history_a_, history_b_;
+};
+
+TEST_F(ReplicationFixture, MismatchedReplicaIdsRejected) {
+  DatabaseOptions options;
+  auto other = Database::Open(dir_.Sub("other"), options, &clock_);
+  ASSERT_OK(other);
+  Replicator replicator(nullptr);
+  ReplicationHistory h1, h2;
+  EXPECT_FALSE(replicator
+                   .Replicate(a_.get(), "A", other->get(), "O", &h1, &h2, {})
+                   .ok());
+}
+
+TEST_F(ReplicationFixture, BidirectionalSync) {
+  ASSERT_OK(a_->CreateNote(MakeDoc("Memo", "from A")).status());
+  ASSERT_OK(b_->CreateNote(MakeDoc("Memo", "from B")).status());
+  clock_.Advance(1000);
+  ReplicationReport report = Sync();
+  EXPECT_EQ(report.pulled, 1u);
+  EXPECT_EQ(report.pushed, 1u);
+  EXPECT_EQ(report.conflicts, 0u);
+  EXPECT_EQ(a_->note_count(), 2u);
+  EXPECT_EQ(b_->note_count(), 2u);
+  EXPECT_TRUE(Converged());
+}
+
+TEST_F(ReplicationFixture, IncrementalSecondPassMovesNothing) {
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_OK(a_->CreateNote(MakeDoc("Memo", "m" + std::to_string(i)))
+                  .status());
+  }
+  clock_.Advance(1000);
+  ReplicationReport first = Sync();
+  EXPECT_EQ(first.pulled, 0u);
+  EXPECT_EQ(first.pushed, 50u);
+  clock_.Advance(1000);
+  ReplicationReport second = Sync();
+  EXPECT_EQ(second.pushed, 0u);
+  EXPECT_EQ(second.pulled, 0u);
+  EXPECT_EQ(second.summarized, 0u);  // replication history prunes summary
+  EXPECT_LT(second.bytes_transferred, first.bytes_transferred / 10);
+}
+
+TEST_F(ReplicationFixture, UpdatePropagatesWithoutConflict) {
+  ASSERT_OK_AND_ASSIGN(NoteId id, a_->CreateNote(MakeDoc("Memo", "v1")));
+  clock_.Advance(1000);
+  Sync();
+  ASSERT_OK_AND_ASSIGN(Note note, a_->ReadNote(id));
+  note.SetText("Subject", "v2");
+  ASSERT_OK(a_->UpdateNote(note));
+  clock_.Advance(1000);
+  ReplicationReport report = Sync();
+  EXPECT_EQ(report.conflicts, 0u);
+  ASSERT_OK_AND_ASSIGN(Note remote, b_->ReadNoteByUnid(note.unid()));
+  EXPECT_EQ(remote.GetText("Subject"), "v2");
+  EXPECT_EQ(remote.sequence(), 2u);
+  EXPECT_TRUE(Converged());
+}
+
+TEST_F(ReplicationFixture, ConcurrentEditsMakeConflictDocument) {
+  ASSERT_OK_AND_ASSIGN(NoteId id, a_->CreateNote(MakeDoc("Memo", "base")));
+  clock_.Advance(1000);
+  Sync();
+  ASSERT_TRUE(Converged());
+
+  // Both replicas edit independently.
+  ASSERT_OK_AND_ASSIGN(Note on_a, a_->ReadNote(id));
+  on_a.SetText("Subject", "edit from A");
+  ASSERT_OK(a_->UpdateNote(on_a));
+  clock_.Advance(500);
+  ASSERT_OK_AND_ASSIGN(Note on_b, b_->ReadNoteByUnid(on_a.unid()));
+  on_b.SetText("Subject", "edit from B");
+  ASSERT_OK(b_->UpdateNote(on_b));
+
+  clock_.Advance(1000);
+  ReplicationReport report = Sync();
+  EXPECT_GE(report.conflicts, 1u);
+
+  // Both sides now hold the same winner + one conflict response. B's edit
+  // is later (same sequence, larger time) → B wins.
+  clock_.Advance(1000);
+  Sync();
+  EXPECT_TRUE(Converged());
+  ASSERT_OK_AND_ASSIGN(Note winner, a_->ReadNoteByUnid(on_a.unid()));
+  EXPECT_EQ(winner.GetText("Subject"), "edit from B");
+  auto conflicts = a_->FormulaSearch("SELECT @IsAvailable($Conflict)");
+  ASSERT_OK(conflicts);
+  ASSERT_EQ(conflicts->size(), 1u);
+  EXPECT_EQ((*conflicts)[0].GetText("Subject"), "edit from A");
+  EXPECT_EQ((*conflicts)[0].parent_unid(), winner.unid());
+  // No lost update: both texts exist somewhere.
+}
+
+TEST_F(ReplicationFixture, HigherSequenceWinsConflict) {
+  ASSERT_OK_AND_ASSIGN(NoteId id, a_->CreateNote(MakeDoc("Memo", "base")));
+  clock_.Advance(1000);
+  Sync();
+
+  // A edits twice, B once → A's version dominates by sequence count.
+  ASSERT_OK_AND_ASSIGN(Note on_a, a_->ReadNote(id));
+  on_a.SetText("Subject", "A1");
+  ASSERT_OK(a_->UpdateNote(on_a));
+  ASSERT_OK_AND_ASSIGN(on_a, a_->ReadNote(id));
+  on_a.SetText("Subject", "A2");
+  ASSERT_OK(a_->UpdateNote(on_a));
+
+  clock_.Advance(500);
+  ASSERT_OK_AND_ASSIGN(Note on_b, b_->ReadNoteByUnid(on_a.unid()));
+  on_b.SetText("Subject", "B1");
+  ASSERT_OK(b_->UpdateNote(on_b));
+
+  clock_.Advance(1000);
+  Sync();
+  clock_.Advance(1000);
+  Sync();
+  EXPECT_TRUE(Converged());
+  ASSERT_OK_AND_ASSIGN(Note winner, b_->ReadNoteByUnid(on_a.unid()));
+  EXPECT_EQ(winner.GetText("Subject"), "A2");
+}
+
+TEST_F(ReplicationFixture, DeletionPropagatesViaStub) {
+  ASSERT_OK_AND_ASSIGN(NoteId id, a_->CreateNote(MakeDoc("Memo", "doomed")));
+  clock_.Advance(1000);
+  Sync();
+  EXPECT_EQ(b_->note_count(), 1u);
+  ASSERT_OK(a_->DeleteNote(id));
+  clock_.Advance(1000);
+  ReplicationReport report = Sync();
+  EXPECT_EQ(report.deletions_applied, 1u);
+  EXPECT_EQ(b_->note_count(), 0u);
+  EXPECT_EQ(b_->stub_count(), 1u);
+  EXPECT_TRUE(Converged());
+}
+
+TEST_F(ReplicationFixture, DeletionWinsOverConcurrentEdit) {
+  ASSERT_OK_AND_ASSIGN(NoteId id, a_->CreateNote(MakeDoc("Memo", "target")));
+  clock_.Advance(1000);
+  Sync();
+
+  ASSERT_OK(a_->DeleteNote(id));
+  clock_.Advance(500);
+  ASSERT_OK_AND_ASSIGN(auto hits, b_->FormulaSearch("SELECT @All"));
+  ASSERT_EQ(hits.size(), 1u);
+  Note on_b = hits[0];
+  on_b.SetText("Subject", "still editing");
+  ASSERT_OK(b_->UpdateNote(on_b));
+  // B even edits again so its sequence dominates the stub's.
+  ASSERT_OK_AND_ASSIGN(auto hits2, b_->FormulaSearch("SELECT @All"));
+  Note again = hits2[0];
+  again.SetText("Subject", "more edits");
+  ASSERT_OK(b_->UpdateNote(again));
+
+  clock_.Advance(1000);
+  Sync();
+  clock_.Advance(1000);
+  Sync();
+  EXPECT_TRUE(Converged());
+  EXPECT_EQ(a_->note_count(), 0u);
+  EXPECT_EQ(b_->note_count(), 0u);
+  EXPECT_EQ(b_->stub_count(), 1u);
+}
+
+TEST_F(ReplicationFixture, SelectiveReplicationFilters) {
+  ASSERT_OK(a_->CreateNote(MakeDoc("Invoice", "wanted", 100)).status());
+  ASSERT_OK(a_->CreateNote(MakeDoc("Memo", "unwanted")).status());
+  clock_.Advance(1000);
+  ReplicationOptions options;
+  options.selective_formula = "SELECT Form = \"Invoice\"";
+  ReplicationReport report = Sync(options);
+  EXPECT_EQ(report.pushed, 1u);
+  EXPECT_EQ(report.skipped_by_formula, 1u);
+  EXPECT_EQ(b_->note_count(), 1u);
+  ASSERT_OK_AND_ASSIGN(auto docs, b_->FormulaSearch("SELECT @All"));
+  EXPECT_EQ(docs[0].GetText("Subject"), "wanted");
+}
+
+TEST_F(ReplicationFixture, PurgeBeforeReplicationResurrectsDeletes) {
+  // The classic anomaly the paper warns about: if the purge interval is
+  // shorter than the replication interval, a deletion's stub is purged
+  // before it propagates and the document comes back from the dead.
+  ASSERT_OK_AND_ASSIGN(NoteId id, a_->CreateNote(MakeDoc("Memo", "zombie")));
+  clock_.Advance(1000);
+  Sync();
+  ASSERT_OK(a_->DeleteNote(id));
+  // Purge the stub before the pair replicates again.
+  clock_.Advance(a_->info().purge_interval + 1'000'000);
+  ASSERT_OK_AND_ASSIGN(size_t purged, a_->PurgeStubs());
+  ASSERT_EQ(purged, 1u);
+  ASSERT_EQ(a_->stub_count(), 0u);
+
+  // B never saw the deletion and touches the document; with A's stub
+  // gone, replication brings the document *back from the dead*.
+  ASSERT_OK_AND_ASSIGN(auto on_b, b_->FormulaSearch("SELECT @All"));
+  ASSERT_EQ(on_b.size(), 1u);
+  Note edit = on_b[0];
+  edit.SetText("Subject", "zombie");
+  ASSERT_OK(b_->UpdateNote(edit));
+  clock_.Advance(1000);
+  Sync();
+  EXPECT_EQ(a_->note_count(), 1u);  // resurrected
+  ASSERT_OK_AND_ASSIGN(auto docs, a_->FormulaSearch("SELECT @All"));
+  ASSERT_EQ(docs.size(), 1u);
+  EXPECT_EQ(docs[0].GetText("Subject"), "zombie");
+}
+
+TEST_F(ReplicationFixture, StubInstalledEvenWithoutLocalCopy) {
+  // A deletes before B ever saw the note: B still records the stub so a
+  // later arrival of the old version cannot resurrect it.
+  ASSERT_OK_AND_ASSIGN(NoteId id, a_->CreateNote(MakeDoc("Memo", "flash")));
+  ASSERT_OK(a_->DeleteNote(id));
+  clock_.Advance(1000);
+  Sync();
+  EXPECT_EQ(b_->note_count(), 0u);
+  EXPECT_EQ(b_->stub_count(), 1u);
+}
+
+TEST_F(ReplicationFixture, DesignNotesReplicate) {
+  std::vector<ViewColumn> columns;
+  ViewColumn subject;
+  subject.title = "Subject";
+  subject.formula_source = "Subject";
+  subject.sort = ColumnSort::kAscending;
+  columns.push_back(std::move(subject));
+  ASSERT_OK_AND_ASSIGN(ViewDesign design,
+                       ViewDesign::Create("shared view", "SELECT @All",
+                                          std::move(columns)));
+  ASSERT_OK(a_->CreateView(design).status());
+  Acl acl;
+  acl.set_default_level(AccessLevel::kAuthor);
+  ASSERT_OK(a_->SetAcl(acl));
+  ASSERT_OK(a_->CreateNote(MakeDoc("Memo", "content")).status());
+
+  clock_.Advance(1000);
+  Sync();
+  // B received and *applied* the design: the view exists and is built,
+  // the ACL took effect.
+  ViewIndex* view = b_->FindView("shared view");
+  ASSERT_NE(view, nullptr);
+  EXPECT_EQ(view->size(), 1u);
+  EXPECT_EQ(b_->acl().default_level(), AccessLevel::kAuthor);
+  EXPECT_TRUE(Converged());
+}
+
+TEST_F(ReplicationFixture, PartitionFailsReplication) {
+  ASSERT_OK(a_->CreateNote(MakeDoc("Memo", "stuck")).status());
+  net_->SetPartitioned("A", "B", true);
+  Replicator replicator(net_.get());
+  auto report = replicator.Replicate(a_.get(), "A", b_.get(), "B",
+                                     &history_a_, &history_b_, {});
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kUnavailable);
+  net_->SetPartitioned("A", "B", false);
+  EXPECT_OK(replicator
+                .Replicate(a_.get(), "A", b_.get(), "B", &history_a_,
+                           &history_b_, {})
+                .status());
+  EXPECT_TRUE(Converged());
+}
+
+TEST_F(ReplicationFixture, ClusterReplicationIsImmediate) {
+  ClusterReplicator cluster(a_.get(), {b_.get()});
+  ASSERT_OK(a_->CreateNote(MakeDoc("Memo", "instant")).status());
+  // No replicator run needed: the event-driven push already delivered.
+  EXPECT_EQ(b_->note_count(), 1u);
+  ASSERT_OK_AND_ASSIGN(auto docs, b_->FormulaSearch("SELECT @All"));
+  EXPECT_EQ(docs[0].GetText("Subject"), "instant");
+  EXPECT_EQ(cluster.report().pulled, 1u);
+}
+
+TEST_F(ReplicationFixture, ClusterPairDoesNotEcho) {
+  ClusterReplicator ab(a_.get(), {b_.get()});
+  ClusterReplicator ba(b_.get(), {a_.get()});
+  ASSERT_OK(a_->CreateNote(MakeDoc("Memo", "ping")).status());
+  ASSERT_OK(b_->CreateNote(MakeDoc("Memo", "pong")).status());
+  EXPECT_EQ(a_->note_count(), 2u);
+  EXPECT_EQ(b_->note_count(), 2u);
+  EXPECT_TRUE(Converged());
+}
+
+// ------------------------------------------------------- multi-server sweeps --
+
+struct TopologyCase {
+  const char* name;
+  std::vector<TopologyLink> (*build)(const std::vector<std::string>&);
+};
+
+class TopologySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TopologySweep, RandomWorkloadConverges) {
+  int topology_kind = GetParam();
+  ScratchDir dir;
+  SimClock clock(1'000'000'000);
+  SimNet net(&clock);
+  MailDirectory directory;
+
+  std::vector<std::string> names = {"hub", "s1", "s2", "s3"};
+  std::vector<std::unique_ptr<Server>> servers;
+  std::vector<Server*> server_ptrs;
+  for (const std::string& name : names) {
+    servers.push_back(std::make_unique<Server>(
+        name, dir.Sub(name), &clock, &net, &directory));
+    server_ptrs.push_back(servers.back().get());
+  }
+
+  // Seed database on the hub, replicas elsewhere.
+  DatabaseOptions options;
+  options.title = "Discussion";
+  auto seed = servers[0]->OpenDatabase("disc.nsf", options);
+  ASSERT_OK(seed);
+  for (size_t i = 1; i < servers.size(); ++i) {
+    ASSERT_OK(servers[i]->CreateReplicaOf(**seed, "disc.nsf").status());
+  }
+
+  ReplicationScheduler scheduler(server_ptrs, "disc.nsf");
+  switch (topology_kind) {
+    case 0:
+      scheduler.SetTopology(HubSpokeTopology(names));
+      break;
+    case 1:
+      scheduler.SetTopology(RingTopology(names));
+      break;
+    default:
+      scheduler.SetTopology(MeshTopology(names));
+      break;
+  }
+
+  // Random workload on random replicas, interleaved with replication.
+  Rng rng(2026 + topology_kind);
+  std::vector<Unid> created;
+  for (int phase = 0; phase < 5; ++phase) {
+    for (int op = 0; op < 30; ++op) {
+      Database* db =
+          server_ptrs[rng.Uniform(server_ptrs.size())]->FindDatabase(
+              "disc.nsf");
+      double dice = rng.NextDouble();
+      if (dice < 0.6 || created.empty()) {
+        Note doc = MakeDoc("Topic", rng.Word(3, 10),
+                           static_cast<double>(rng.Uniform(100)));
+        auto id = db->CreateNote(std::move(doc));
+        ASSERT_OK(id);
+        auto note = db->ReadNote(*id);
+        created.push_back(note->unid());
+      } else if (dice < 0.85) {
+        const Unid& unid = created[rng.Uniform(created.size())];
+        auto note = db->ReadNoteByUnid(unid);
+        if (note.ok()) {
+          note->SetText("Subject", rng.Word(3, 10));
+          db->UpdateNote(*note).ok();  // may conflict-fail; fine
+        }
+      } else {
+        const Unid& unid = created[rng.Uniform(created.size())];
+        auto note = db->ReadNoteByUnid(unid);
+        if (note.ok()) db->DeleteNote(note->id()).ok();
+      }
+      clock.Advance(1000);
+    }
+    ASSERT_OK(scheduler.RunRound().status());
+    clock.Advance(10'000);
+  }
+  auto rounds = scheduler.RunUntilConverged(10);
+  ASSERT_OK(rounds);
+  EXPECT_LE(*rounds, 10);
+
+  // All replicas expose identical live content.
+  std::vector<Database*> replicas = scheduler.Replicas();
+  auto reference = replicas[0]->FormulaSearch("SELECT @All");
+  ASSERT_OK(reference);
+  for (Database* db : replicas) {
+    auto docs = db->FormulaSearch("SELECT @All");
+    ASSERT_OK(docs);
+    EXPECT_EQ(docs->size(), reference->size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, TopologySweep,
+                         ::testing::Values(0, 1, 2),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           switch (info.param) {
+                             case 0:
+                               return std::string("HubSpoke");
+                             case 1:
+                               return std::string("Ring");
+                             default:
+                               return std::string("Mesh");
+                           }
+                         });
+
+TEST(ReplicationHistoryTest, CutoffBookkeeping) {
+  ReplicationHistory history;
+  EXPECT_EQ(history.CutoffFor("peer"), 0);
+  history.Record("peer", 100);
+  EXPECT_EQ(history.CutoffFor("peer"), 100);
+  history.Record("peer", 50);  // never regresses
+  EXPECT_EQ(history.CutoffFor("peer"), 100);
+  history.Record("peer", 200);
+  EXPECT_EQ(history.CutoffFor("peer"), 200);
+}
+
+}  // namespace
+}  // namespace dominodb

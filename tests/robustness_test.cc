@@ -1,0 +1,162 @@
+// Adversarial-input robustness: random and mutated inputs must produce
+// clean Status errors, never crashes or hangs. These are deterministic
+// fuzz-lite sweeps (seeded RNG) over every parser/decoder in the system.
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "fulltext/fulltext_index.h"
+#include "formula/formula.h"
+#include "model/note.h"
+#include "model/value.h"
+#include "tests/test_util.h"
+#include "wal/log_reader.h"
+
+namespace dominodb {
+namespace {
+
+std::string RandomBytes(Rng* rng, size_t max_len) {
+  size_t len = rng->Uniform(max_len + 1);
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>(rng->Uniform(256)));
+  }
+  return out;
+}
+
+std::string RandomFormulaSoup(Rng* rng) {
+  static const char* kPieces[] = {
+      "@If",     "(",      ")",      ";",        "SELECT", "FIELD",
+      ":=",      "+",      "-",      "*",        "/",      "&",
+      "|",       "!",      "=",      "<",        ">",      "<=",
+      "\"txt\"", "123",    "4.5",    "Form",     "Amount", "@Sum",
+      "@Left",   "@Trim",  ":",      "@All",     "x",      "@Now",
+      "*=",      "<>",     "{abc}",  "@Unknown", "REM",    "@Return",
+  };
+  std::string out;
+  size_t n = rng->Uniform(24) + 1;
+  for (size_t i = 0; i < n; ++i) {
+    out += kPieces[rng->Uniform(std::size(kPieces))];
+    out.push_back(' ');
+  }
+  return out;
+}
+
+TEST(RobustnessTest, FormulaCompileNeverCrashesOnGarbage) {
+  Rng rng(0xF0F0);
+  for (int i = 0; i < 3000; ++i) {
+    std::string src =
+        i % 2 == 0 ? RandomBytes(&rng, 80) : RandomFormulaSoup(&rng);
+    auto compiled = formula::Formula::Compile(src);
+    if (compiled.ok()) {
+      // Whatever parsed must also evaluate without crashing.
+      Note doc = testing_util::MakeDoc("Form", "subject", 42);
+      formula::EvalContext ctx;
+      ctx.note = &doc;
+      ctx.mutable_note = &doc;
+      auto v = compiled->Evaluate(ctx);
+      (void)v;
+    }
+  }
+}
+
+TEST(RobustnessTest, NoteDecodeNeverCrashesOnGarbage) {
+  Rng rng(0xD00D);
+  for (int i = 0; i < 3000; ++i) {
+    Note note;
+    auto st = Note::DecodeFromString(RandomBytes(&rng, 200), &note);
+    (void)st;
+  }
+}
+
+TEST(RobustnessTest, NoteDecodeSurvivesMutatedValidEncodings) {
+  Rng rng(0xCAFE);
+  Note valid = testing_util::MakeDoc("Memo", "subject", 7);
+  valid.StampCreated(Unid{1, 2}, 1000);
+  valid.SetTextList("List", {"a", "b", "c"});
+  std::string encoded = valid.EncodeToString();
+  for (int i = 0; i < 3000; ++i) {
+    std::string mutated = encoded;
+    size_t flips = rng.Uniform(4) + 1;
+    for (size_t f = 0; f < flips; ++f) {
+      mutated[rng.Uniform(mutated.size())] ^=
+          static_cast<char>(1 << rng.Uniform(8));
+    }
+    Note note;
+    auto st = Note::DecodeFromString(mutated, &note);
+    (void)st;  // error or success, never a crash
+  }
+}
+
+TEST(RobustnessTest, ValueDecodeNeverCrashesOnGarbage) {
+  Rng rng(0xBEEF);
+  for (int i = 0; i < 3000; ++i) {
+    std::string bytes = RandomBytes(&rng, 120);
+    std::string_view input = bytes;
+    Value value;
+    auto st = Value::DecodeFrom(&input, &value);
+    (void)st;
+  }
+}
+
+TEST(RobustnessTest, WalReaderNeverCrashesOnGarbage) {
+  Rng rng(0x1234);
+  for (int i = 0; i < 1000; ++i) {
+    wal::LogReader reader(RandomBytes(&rng, 300));
+    wal::RecordType type;
+    std::string_view payload;
+    int guard = 0;
+    while (reader.ReadRecord(&type, &payload) && guard++ < 1000) {
+    }
+  }
+}
+
+TEST(RobustnessTest, FullTextQueryNeverCrashesOnGarbage) {
+  FullTextIndex index;
+  Note doc = testing_util::MakeDoc("Memo", "hello world searchable text");
+  doc.set_id(1);
+  doc.StampCreated(Unid{1, 1}, 10);
+  index.IndexNote(doc);
+  Rng rng(0x5151);
+  static const char* kPieces[] = {"hello", "AND", "OR",   "NOT", "(",
+                                  ")",     "\"",  "FIELD", "CONTAINS",
+                                  "world", "$x",  "zz"};
+  for (int i = 0; i < 2000; ++i) {
+    std::string q;
+    size_t n = rng.Uniform(10) + 1;
+    for (size_t k = 0; k < n; ++k) {
+      q += kPieces[rng.Uniform(std::size(kPieces))];
+      q.push_back(' ');
+    }
+    auto hits = index.Search(q);
+    (void)hits;
+  }
+}
+
+TEST(RobustnessTest, DeeplyNestedFormulaParses) {
+  // Deep nesting must not blow the stack unreasonably; 500 parens is far
+  // beyond real formulas.
+  std::string src(500, '(');
+  src += "1";
+  src += std::string(500, ')');
+  auto compiled = formula::Formula::Compile(src);
+  ASSERT_OK(compiled);
+  auto v = compiled->Evaluate({});
+  ASSERT_OK(v);
+  EXPECT_EQ(v->AsNumber(), 1);
+}
+
+TEST(RobustnessTest, HugeListFormula) {
+  std::string src = "1";
+  for (int i = 2; i <= 2000; ++i) {
+    src += " : " + std::to_string(i);
+  }
+  src = "@Sum(" + src + ")";
+  auto v = formula::EvaluateFormula(src, {});
+  ASSERT_OK(v);
+  EXPECT_EQ(v->AsNumber(), 2000.0 * 2001 / 2);
+}
+
+}  // namespace
+}  // namespace dominodb

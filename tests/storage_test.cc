@@ -1,0 +1,357 @@
+#include <gtest/gtest.h>
+
+#include "base/env.h"
+#include "base/rng.h"
+#include "storage/note_store.h"
+#include "tests/test_util.h"
+#include "wal/log_reader.h"
+#include "wal/log_writer.h"
+
+namespace dominodb {
+namespace {
+
+using testing_util::MakeDoc;
+using testing_util::ScratchDir;
+
+// -------------------------------------------------------------------- WAL --
+
+TEST(WalTest, WriteAndReadRecords) {
+  ScratchDir dir;
+  std::string path = dir.Sub("test.wal");
+  {
+    auto writer = wal::LogWriter::Open(path, wal::SyncMode::kNone);
+    ASSERT_OK(writer);
+    ASSERT_OK((*writer)->AppendRecord(wal::RecordType::kData, "one"));
+    ASSERT_OK((*writer)->AppendRecord(wal::RecordType::kCheckpoint, ""));
+    ASSERT_OK((*writer)->AppendRecord(wal::RecordType::kData,
+                                      std::string(100000, 'z')));
+    ASSERT_OK((*writer)->Sync());
+  }
+  ASSERT_OK_AND_ASSIGN(std::string contents, ReadFileToString(path));
+  wal::LogReader reader(contents);
+  wal::RecordType type;
+  std::string_view payload;
+  ASSERT_TRUE(reader.ReadRecord(&type, &payload));
+  EXPECT_EQ(type, wal::RecordType::kData);
+  EXPECT_EQ(payload, "one");
+  ASSERT_TRUE(reader.ReadRecord(&type, &payload));
+  EXPECT_EQ(type, wal::RecordType::kCheckpoint);
+  ASSERT_TRUE(reader.ReadRecord(&type, &payload));
+  EXPECT_EQ(payload.size(), 100000u);
+  EXPECT_FALSE(reader.ReadRecord(&type, &payload));
+  EXPECT_FALSE(reader.tail_corrupted());
+}
+
+class WalTornTailSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WalTornTailSweep, TruncationYieldsCommittedPrefix) {
+  ScratchDir dir;
+  std::string path = dir.Sub("torn.wal");
+  std::vector<std::string> payloads = {"alpha", "bravo", "charlie", "delta"};
+  {
+    auto writer = wal::LogWriter::Open(path, wal::SyncMode::kNone);
+    ASSERT_OK(writer);
+    for (const auto& p : payloads) {
+      ASSERT_OK((*writer)->AppendRecord(wal::RecordType::kData, p));
+    }
+    ASSERT_OK((*writer)->Sync());
+  }
+  ASSERT_OK_AND_ASSIGN(std::string full, ReadFileToString(path));
+  // Cut `cut` bytes off the tail.
+  size_t cut = static_cast<size_t>(GetParam());
+  ASSERT_LE(cut, full.size());
+  wal::LogReader reader(full.substr(0, full.size() - cut));
+  wal::RecordType type;
+  std::string_view payload;
+  size_t read = 0;
+  while (reader.ReadRecord(&type, &payload)) {
+    ASSERT_LT(read, payloads.size());
+    EXPECT_EQ(payload, payloads[read]);  // any record read must be intact
+    ++read;
+  }
+  if (cut == 0) {
+    EXPECT_EQ(read, payloads.size());
+  } else {
+    EXPECT_LT(read, payloads.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CutPoints, WalTornTailSweep,
+                         ::testing::Values(0, 1, 2, 3, 5, 8, 11, 12, 20));
+
+TEST(WalTest, CorruptedRecordStopsIteration) {
+  ScratchDir dir;
+  std::string path = dir.Sub("bad.wal");
+  {
+    auto writer = wal::LogWriter::Open(path, wal::SyncMode::kNone);
+    ASSERT_OK(writer);
+    ASSERT_OK((*writer)->AppendRecord(wal::RecordType::kData, "good"));
+    ASSERT_OK((*writer)->AppendRecord(wal::RecordType::kData, "soon bad"));
+    ASSERT_OK((*writer)->Sync());
+  }
+  ASSERT_OK_AND_ASSIGN(std::string contents, ReadFileToString(path));
+  contents[contents.size() - 2] ^= 0x40;  // flip a bit in the last payload
+  wal::LogReader reader(contents);
+  wal::RecordType type;
+  std::string_view payload;
+  ASSERT_TRUE(reader.ReadRecord(&type, &payload));
+  EXPECT_EQ(payload, "good");
+  EXPECT_FALSE(reader.ReadRecord(&type, &payload));
+  EXPECT_TRUE(reader.tail_corrupted());
+}
+
+// -------------------------------------------------------------- NoteStore --
+
+StoreOptions FastOptions() {
+  StoreOptions options;
+  options.sync_mode = wal::SyncMode::kNone;
+  options.checkpoint_threshold_bytes = 0;  // manual checkpoints in tests
+  return options;
+}
+
+DatabaseInfo TestInfo() {
+  DatabaseInfo info;
+  info.replica_id = Unid{0xabc, 0xdef};
+  info.title = "store test";
+  return info;
+}
+
+Note StampedDoc(const std::string& subject, uint64_t unid_lo, Micros t) {
+  Note note = MakeDoc("Memo", subject);
+  note.StampCreated(Unid{0x11, unid_lo}, t);
+  return note;
+}
+
+TEST(NoteStoreTest, PutGetAndUnidIndex) {
+  ScratchDir dir;
+  ASSERT_OK_AND_ASSIGN(auto store,
+                       NoteStore::Open(dir.Sub("db"), FastOptions(),
+                                       TestInfo()));
+  Note note = StampedDoc("hello", 1, 100);
+  ASSERT_OK(store->Put(&note));
+  EXPECT_NE(note.id(), kInvalidNoteId);
+  ASSERT_OK_AND_ASSIGN(Note by_id, store->Get(note.id()));
+  EXPECT_EQ(by_id.GetText("Subject"), "hello");
+  ASSERT_OK_AND_ASSIGN(Note by_unid, store->GetByUnid(note.unid()));
+  EXPECT_EQ(by_unid.id(), note.id());
+  EXPECT_EQ(store->note_count(), 1u);
+  EXPECT_FALSE(store->Get(9999).ok());
+}
+
+TEST(NoteStoreTest, PutRequiresUnid) {
+  ScratchDir dir;
+  ASSERT_OK_AND_ASSIGN(auto store,
+                       NoteStore::Open(dir.Sub("db"), FastOptions(),
+                                       TestInfo()));
+  Note note = MakeDoc("Memo", "unstamped");
+  EXPECT_FALSE(store->Put(&note).ok());
+}
+
+TEST(NoteStoreTest, RecoveryReplaysWal) {
+  ScratchDir dir;
+  {
+    ASSERT_OK_AND_ASSIGN(auto store,
+                         NoteStore::Open(dir.Sub("db"), FastOptions(),
+                                         TestInfo()));
+    for (int i = 0; i < 50; ++i) {
+      Note note = StampedDoc("n" + std::to_string(i),
+                             static_cast<uint64_t>(i + 1), 100 + i);
+      ASSERT_OK(store->Put(&note));
+    }
+  }
+  ASSERT_OK_AND_ASSIGN(auto store,
+                       NoteStore::Open(dir.Sub("db"), FastOptions(),
+                                       TestInfo()));
+  EXPECT_EQ(store->note_count(), 50u);
+  // 50 puts + the initial metadata record.
+  EXPECT_EQ(store->stats().recovered_records, 51u);
+  ASSERT_OK_AND_ASSIGN(Note n, store->GetByUnid(Unid{0x11, 7}));
+  EXPECT_EQ(n.GetText("Subject"), "n6");
+}
+
+TEST(NoteStoreTest, CheckpointThenReopen) {
+  ScratchDir dir;
+  {
+    ASSERT_OK_AND_ASSIGN(auto store,
+                         NoteStore::Open(dir.Sub("db"), FastOptions(),
+                                         TestInfo()));
+    for (int i = 0; i < 20; ++i) {
+      Note note = StampedDoc("pre" + std::to_string(i),
+                             static_cast<uint64_t>(i + 1), i);
+      ASSERT_OK(store->Put(&note));
+    }
+    ASSERT_OK(store->Checkpoint());
+    EXPECT_LT(store->wal_size_bytes(), 16u);  // truncated
+    Note extra = StampedDoc("post", 999, 1000);
+    ASSERT_OK(store->Put(&extra));
+  }
+  ASSERT_OK_AND_ASSIGN(auto store,
+                       NoteStore::Open(dir.Sub("db"), FastOptions(),
+                                       TestInfo()));
+  EXPECT_EQ(store->note_count(), 21u);
+  EXPECT_EQ(store->stats().recovered_records, 1u);  // only the post-ckpt put
+  EXPECT_EQ(store->info().title, "store test");
+}
+
+TEST(NoteStoreTest, CrashTruncationRecoversCommittedPrefix) {
+  ScratchDir dir;
+  std::string db_dir = dir.Sub("db");
+  {
+    ASSERT_OK_AND_ASSIGN(auto store,
+                         NoteStore::Open(db_dir, FastOptions(), TestInfo()));
+    for (int i = 0; i < 30; ++i) {
+      Note note = StampedDoc("c" + std::to_string(i),
+                             static_cast<uint64_t>(i + 1), i);
+      ASSERT_OK(store->Put(&note));
+    }
+  }
+  // Simulate a torn write: chop arbitrary byte counts off the WAL tail.
+  std::string wal_path = db_dir + "/notes.wal";
+  ASSERT_OK_AND_ASSIGN(uint64_t size, FileSize(wal_path));
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    uint64_t cut = rng.Uniform(size / 2) + 1;
+    ASSERT_OK(TruncateFile(wal_path, size - cut));
+    ASSERT_OK_AND_ASSIGN(auto store,
+                         NoteStore::Open(db_dir, FastOptions(), TestInfo()));
+    // Every recovered note must be fully intact.
+    size_t count = 0;
+    store->ForEach([&](const Note& note) {
+      EXPECT_TRUE(note.GetText("Subject").starts_with("c"));
+      ++count;
+    });
+    EXPECT_EQ(count, store->total_count());
+    EXPECT_LT(count, 30u);
+    size = size - cut;
+    if (size < 10) break;
+  }
+}
+
+TEST(NoteStoreTest, BatchIsAtomicUnderTruncation) {
+  ScratchDir dir;
+  std::string db_dir = dir.Sub("db");
+  {
+    ASSERT_OK_AND_ASSIGN(auto store,
+                         NoteStore::Open(db_dir, FastOptions(), TestInfo()));
+    std::vector<Note> batch;
+    for (int i = 0; i < 10; ++i) {
+      batch.push_back(StampedDoc("b" + std::to_string(i),
+                                 static_cast<uint64_t>(i + 1), i));
+    }
+    ASSERT_OK(store->PutBatch(&batch));
+  }
+  std::string wal_path = db_dir + "/notes.wal";
+  ASSERT_OK_AND_ASSIGN(uint64_t size, FileSize(wal_path));
+  ASSERT_OK(TruncateFile(wal_path, size - 1));
+  ASSERT_OK_AND_ASSIGN(auto store,
+                       NoteStore::Open(db_dir, FastOptions(), TestInfo()));
+  // The single batch record is torn → nothing survives (all-or-nothing).
+  EXPECT_EQ(store->total_count(), 0u);
+  EXPECT_TRUE(store->stats().recovered_torn_tail);
+}
+
+TEST(NoteStoreTest, StubsAndPurge) {
+  ScratchDir dir;
+  ASSERT_OK_AND_ASSIGN(auto store,
+                       NoteStore::Open(dir.Sub("db"), FastOptions(),
+                                       TestInfo()));
+  Note note = StampedDoc("to delete", 1, 1000);
+  ASSERT_OK(store->Put(&note));
+  note.MakeStub(2000);
+  ASSERT_OK(store->Put(&note));
+  EXPECT_EQ(store->note_count(), 0u);
+  EXPECT_EQ(store->stub_count(), 1u);
+  // Purge with `now` within the purge interval: stub stays.
+  ASSERT_OK_AND_ASSIGN(size_t purged0, store->PurgeStubs(3000));
+  EXPECT_EQ(purged0, 0u);
+  // Far in the future: stub goes.
+  Micros later = 2000 + store->info().purge_interval + 1'000'000;
+  ASSERT_OK_AND_ASSIGN(size_t purged1, store->PurgeStubs(later));
+  EXPECT_EQ(purged1, 1u);
+  EXPECT_EQ(store->stub_count(), 0u);
+  EXPECT_FALSE(store->GetByUnid(Unid{0x11, 1}).ok());
+}
+
+TEST(NoteStoreTest, EraseRemovesPhysically) {
+  ScratchDir dir;
+  ASSERT_OK_AND_ASSIGN(auto store,
+                       NoteStore::Open(dir.Sub("db"), FastOptions(),
+                                       TestInfo()));
+  Note note = StampedDoc("bye", 3, 10);
+  ASSERT_OK(store->Put(&note));
+  ASSERT_OK(store->Erase(note.id()));
+  EXPECT_EQ(store->total_count(), 0u);
+  EXPECT_FALSE(store->Erase(note.id()).ok());
+}
+
+TEST(NoteStoreTest, UpdateInfoPersists) {
+  ScratchDir dir;
+  {
+    ASSERT_OK_AND_ASSIGN(auto store,
+                         NoteStore::Open(dir.Sub("db"), FastOptions(),
+                                         TestInfo()));
+    DatabaseInfo info = store->info();
+    info.title = "renamed";
+    info.purge_interval = 12345;
+    ASSERT_OK(store->UpdateInfo(info));
+  }
+  ASSERT_OK_AND_ASSIGN(auto store,
+                       NoteStore::Open(dir.Sub("db"), FastOptions(),
+                                       TestInfo()));
+  EXPECT_EQ(store->info().title, "renamed");
+  EXPECT_EQ(store->info().purge_interval, 12345);
+}
+
+TEST(NoteStoreTest, AutoCheckpointTriggers) {
+  ScratchDir dir;
+  StoreOptions options = FastOptions();
+  options.checkpoint_threshold_bytes = 4096;
+  ASSERT_OK_AND_ASSIGN(auto store,
+                       NoteStore::Open(dir.Sub("db"), options, TestInfo()));
+  for (int i = 0; i < 200; ++i) {
+    Note note = StampedDoc(std::string(100, 'x'),
+                           static_cast<uint64_t>(i + 1), i);
+    ASSERT_OK(store->Put(&note));
+  }
+  EXPECT_GT(store->stats().checkpoints, 0u);
+  EXPECT_EQ(store->note_count(), 200u);
+}
+
+TEST(NoteStoreTest, RandomizedWorkloadMatchesModel) {
+  ScratchDir dir;
+  ASSERT_OK_AND_ASSIGN(auto store,
+                       NoteStore::Open(dir.Sub("db"), FastOptions(),
+                                       TestInfo()));
+  Rng rng(99);
+  std::map<NoteId, std::string> model;  // id → subject
+  Micros t = 1;
+  for (int op = 0; op < 800; ++op) {
+    double dice = rng.NextDouble();
+    if (dice < 0.6 || model.empty()) {
+      Note note = StampedDoc(rng.Word(3, 12), rng.Next(), t++);
+      ASSERT_OK(store->Put(&note));
+      model[note.id()] = note.GetText("Subject");
+    } else if (dice < 0.85) {
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(model.size()));
+      ASSERT_OK_AND_ASSIGN(Note note, store->Get(it->first));
+      note.SetText("Subject", rng.Word(3, 12));
+      note.BumpSequence(t++);
+      ASSERT_OK(store->Put(&note));
+      it->second = note.GetText("Subject");
+    } else {
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(model.size()));
+      ASSERT_OK(store->Erase(it->first));
+      model.erase(it);
+    }
+  }
+  EXPECT_EQ(store->total_count(), model.size());
+  for (const auto& [id, subject] : model) {
+    ASSERT_OK_AND_ASSIGN(Note note, store->Get(id));
+    EXPECT_EQ(note.GetText("Subject"), subject);
+  }
+}
+
+}  // namespace
+}  // namespace dominodb
