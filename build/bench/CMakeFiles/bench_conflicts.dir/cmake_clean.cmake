@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_conflicts.dir/bench_conflicts.cpp.o"
+  "CMakeFiles/bench_conflicts.dir/bench_conflicts.cpp.o.d"
+  "bench_conflicts"
+  "bench_conflicts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conflicts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

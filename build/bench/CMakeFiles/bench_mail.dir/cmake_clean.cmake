@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mail.dir/bench_mail.cpp.o"
+  "CMakeFiles/bench_mail.dir/bench_mail.cpp.o.d"
+  "bench_mail"
+  "bench_mail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_note_store.dir/bench_note_store.cpp.o"
+  "CMakeFiles/bench_note_store.dir/bench_note_store.cpp.o.d"
+  "bench_note_store"
+  "bench_note_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_note_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_view_index.dir/bench_view_index.cpp.o"
+  "CMakeFiles/bench_view_index.dir/bench_view_index.cpp.o.d"
+  "bench_view_index"
+  "bench_view_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_view_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discussion.dir/discussion.cpp.o"
+  "CMakeFiles/discussion.dir/discussion.cpp.o.d"
+  "discussion"
+  "discussion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discussion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/workflow.cpp" "examples/CMakeFiles/workflow.dir/workflow.cpp.o" "gcc" "examples/CMakeFiles/workflow.dir/workflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/server/CMakeFiles/domino_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/repl/CMakeFiles/domino_repl.dir/DependInfo.cmake"
+  "/root/repo/build/src/mail/CMakeFiles/domino_mail.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/domino_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/agent/CMakeFiles/domino_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/domino_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/view/CMakeFiles/domino_view.dir/DependInfo.cmake"
+  "/root/repo/build/src/formula/CMakeFiles/domino_formula.dir/DependInfo.cmake"
+  "/root/repo/build/src/fulltext/CMakeFiles/domino_fulltext.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/domino_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/domino_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/wal/CMakeFiles/domino_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/domino_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/domino_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

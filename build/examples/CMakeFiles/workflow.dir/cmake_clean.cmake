@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow.dir/workflow.cpp.o"
+  "CMakeFiles/workflow.dir/workflow.cpp.o.d"
+  "workflow"
+  "workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

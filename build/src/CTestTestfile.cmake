@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("model")
+subdirs("wal")
+subdirs("storage")
+subdirs("formula")
+subdirs("view")
+subdirs("security")
+subdirs("fulltext")
+subdirs("core")
+subdirs("agent")
+subdirs("net")
+subdirs("repl")
+subdirs("mail")
+subdirs("server")

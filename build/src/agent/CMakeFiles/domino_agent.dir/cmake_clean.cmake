@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domino_agent.dir/agent.cc.o"
+  "CMakeFiles/domino_agent.dir/agent.cc.o.d"
+  "libdomino_agent.a"
+  "libdomino_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domino_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domino_base.dir/clock.cc.o"
+  "CMakeFiles/domino_base.dir/clock.cc.o.d"
+  "CMakeFiles/domino_base.dir/coding.cc.o"
+  "CMakeFiles/domino_base.dir/coding.cc.o.d"
+  "CMakeFiles/domino_base.dir/crc32c.cc.o"
+  "CMakeFiles/domino_base.dir/crc32c.cc.o.d"
+  "CMakeFiles/domino_base.dir/env.cc.o"
+  "CMakeFiles/domino_base.dir/env.cc.o.d"
+  "CMakeFiles/domino_base.dir/status.cc.o"
+  "CMakeFiles/domino_base.dir/status.cc.o.d"
+  "CMakeFiles/domino_base.dir/string_util.cc.o"
+  "CMakeFiles/domino_base.dir/string_util.cc.o.d"
+  "libdomino_base.a"
+  "libdomino_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domino_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

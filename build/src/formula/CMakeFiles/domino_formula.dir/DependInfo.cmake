@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/formula/eval.cc" "src/formula/CMakeFiles/domino_formula.dir/eval.cc.o" "gcc" "src/formula/CMakeFiles/domino_formula.dir/eval.cc.o.d"
+  "/root/repo/src/formula/formula.cc" "src/formula/CMakeFiles/domino_formula.dir/formula.cc.o" "gcc" "src/formula/CMakeFiles/domino_formula.dir/formula.cc.o.d"
+  "/root/repo/src/formula/functions.cc" "src/formula/CMakeFiles/domino_formula.dir/functions.cc.o" "gcc" "src/formula/CMakeFiles/domino_formula.dir/functions.cc.o.d"
+  "/root/repo/src/formula/lexer.cc" "src/formula/CMakeFiles/domino_formula.dir/lexer.cc.o" "gcc" "src/formula/CMakeFiles/domino_formula.dir/lexer.cc.o.d"
+  "/root/repo/src/formula/parser.cc" "src/formula/CMakeFiles/domino_formula.dir/parser.cc.o" "gcc" "src/formula/CMakeFiles/domino_formula.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/domino_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/domino_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domino_formula.dir/eval.cc.o"
+  "CMakeFiles/domino_formula.dir/eval.cc.o.d"
+  "CMakeFiles/domino_formula.dir/formula.cc.o"
+  "CMakeFiles/domino_formula.dir/formula.cc.o.d"
+  "CMakeFiles/domino_formula.dir/functions.cc.o"
+  "CMakeFiles/domino_formula.dir/functions.cc.o.d"
+  "CMakeFiles/domino_formula.dir/lexer.cc.o"
+  "CMakeFiles/domino_formula.dir/lexer.cc.o.d"
+  "CMakeFiles/domino_formula.dir/parser.cc.o"
+  "CMakeFiles/domino_formula.dir/parser.cc.o.d"
+  "libdomino_formula.a"
+  "libdomino_formula.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domino_formula.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domino_fulltext.dir/fulltext_index.cc.o"
+  "CMakeFiles/domino_fulltext.dir/fulltext_index.cc.o.d"
+  "CMakeFiles/domino_fulltext.dir/query.cc.o"
+  "CMakeFiles/domino_fulltext.dir/query.cc.o.d"
+  "CMakeFiles/domino_fulltext.dir/tokenizer.cc.o"
+  "CMakeFiles/domino_fulltext.dir/tokenizer.cc.o.d"
+  "libdomino_fulltext.a"
+  "libdomino_fulltext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domino_fulltext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

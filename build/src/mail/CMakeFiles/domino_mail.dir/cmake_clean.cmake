@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domino_mail.dir/router.cc.o"
+  "CMakeFiles/domino_mail.dir/router.cc.o.d"
+  "libdomino_mail.a"
+  "libdomino_mail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domino_mail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

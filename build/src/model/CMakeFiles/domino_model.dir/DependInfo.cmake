@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/collation.cc" "src/model/CMakeFiles/domino_model.dir/collation.cc.o" "gcc" "src/model/CMakeFiles/domino_model.dir/collation.cc.o.d"
+  "/root/repo/src/model/datetime.cc" "src/model/CMakeFiles/domino_model.dir/datetime.cc.o" "gcc" "src/model/CMakeFiles/domino_model.dir/datetime.cc.o.d"
+  "/root/repo/src/model/note.cc" "src/model/CMakeFiles/domino_model.dir/note.cc.o" "gcc" "src/model/CMakeFiles/domino_model.dir/note.cc.o.d"
+  "/root/repo/src/model/unid.cc" "src/model/CMakeFiles/domino_model.dir/unid.cc.o" "gcc" "src/model/CMakeFiles/domino_model.dir/unid.cc.o.d"
+  "/root/repo/src/model/value.cc" "src/model/CMakeFiles/domino_model.dir/value.cc.o" "gcc" "src/model/CMakeFiles/domino_model.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/domino_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domino_model.dir/collation.cc.o"
+  "CMakeFiles/domino_model.dir/collation.cc.o.d"
+  "CMakeFiles/domino_model.dir/datetime.cc.o"
+  "CMakeFiles/domino_model.dir/datetime.cc.o.d"
+  "CMakeFiles/domino_model.dir/note.cc.o"
+  "CMakeFiles/domino_model.dir/note.cc.o.d"
+  "CMakeFiles/domino_model.dir/unid.cc.o"
+  "CMakeFiles/domino_model.dir/unid.cc.o.d"
+  "CMakeFiles/domino_model.dir/value.cc.o"
+  "CMakeFiles/domino_model.dir/value.cc.o.d"
+  "libdomino_model.a"
+  "libdomino_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domino_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

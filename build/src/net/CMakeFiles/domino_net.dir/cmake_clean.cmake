@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domino_net.dir/sim_net.cc.o"
+  "CMakeFiles/domino_net.dir/sim_net.cc.o.d"
+  "libdomino_net.a"
+  "libdomino_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domino_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

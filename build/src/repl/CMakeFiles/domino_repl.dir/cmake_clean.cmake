@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domino_repl.dir/replicator.cc.o"
+  "CMakeFiles/domino_repl.dir/replicator.cc.o.d"
+  "libdomino_repl.a"
+  "libdomino_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domino_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

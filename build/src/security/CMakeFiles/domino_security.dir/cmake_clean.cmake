@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domino_security.dir/acl.cc.o"
+  "CMakeFiles/domino_security.dir/acl.cc.o.d"
+  "libdomino_security.a"
+  "libdomino_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domino_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domino_server.dir/replication_scheduler.cc.o"
+  "CMakeFiles/domino_server.dir/replication_scheduler.cc.o.d"
+  "CMakeFiles/domino_server.dir/server.cc.o"
+  "CMakeFiles/domino_server.dir/server.cc.o.d"
+  "libdomino_server.a"
+  "libdomino_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domino_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for domino_server.
+# This may be replaced when dependencies are built.

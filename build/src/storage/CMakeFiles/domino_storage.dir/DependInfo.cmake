@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/note_store.cc" "src/storage/CMakeFiles/domino_storage.dir/note_store.cc.o" "gcc" "src/storage/CMakeFiles/domino_storage.dir/note_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/domino_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/wal/CMakeFiles/domino_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/domino_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

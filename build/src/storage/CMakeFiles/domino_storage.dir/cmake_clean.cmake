@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domino_storage.dir/note_store.cc.o"
+  "CMakeFiles/domino_storage.dir/note_store.cc.o.d"
+  "libdomino_storage.a"
+  "libdomino_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domino_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

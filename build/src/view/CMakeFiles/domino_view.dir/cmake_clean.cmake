@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domino_view.dir/view_design.cc.o"
+  "CMakeFiles/domino_view.dir/view_design.cc.o.d"
+  "CMakeFiles/domino_view.dir/view_index.cc.o"
+  "CMakeFiles/domino_view.dir/view_index.cc.o.d"
+  "libdomino_view.a"
+  "libdomino_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domino_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

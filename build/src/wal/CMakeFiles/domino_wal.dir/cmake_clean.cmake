@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domino_wal.dir/log_reader.cc.o"
+  "CMakeFiles/domino_wal.dir/log_reader.cc.o.d"
+  "CMakeFiles/domino_wal.dir/log_writer.cc.o"
+  "CMakeFiles/domino_wal.dir/log_writer.cc.o.d"
+  "libdomino_wal.a"
+  "libdomino_wal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domino_wal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

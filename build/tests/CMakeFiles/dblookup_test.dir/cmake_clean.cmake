@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dblookup_test.dir/dblookup_test.cc.o"
+  "CMakeFiles/dblookup_test.dir/dblookup_test.cc.o.d"
+  "dblookup_test"
+  "dblookup_test.pdb"
+  "dblookup_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dblookup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/folder_test.dir/folder_test.cc.o"
+  "CMakeFiles/folder_test.dir/folder_test.cc.o.d"
+  "folder_test"
+  "folder_test.pdb"
+  "folder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/folder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

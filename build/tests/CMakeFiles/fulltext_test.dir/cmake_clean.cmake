@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fulltext_test.dir/fulltext_test.cc.o"
+  "CMakeFiles/fulltext_test.dir/fulltext_test.cc.o.d"
+  "fulltext_test"
+  "fulltext_test.pdb"
+  "fulltext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fulltext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
