@@ -99,5 +99,6 @@ int main() {
   }
   printf("\n(P=0 rows show baseline: zero conflicts when edits never "
          "collide between replication rounds)\n");
+  dominodb::bench::EmitStatsSnapshot("bench_conflicts");
   return 0;
 }

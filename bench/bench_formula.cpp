@@ -112,5 +112,6 @@ int main(int argc, char** argv) {
          "to drive selection/columns over whole databases)\n");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  dominodb::bench::EmitStatsSnapshot("bench_formula");
   return 0;
 }

@@ -67,5 +67,6 @@ int main() {
            corpus, build_ms, add_us, term_us, and_us, phrase_us, scan_us,
            term_us > 0 ? scan_us / term_us : 0);
   }
+  dominodb::bench::EmitStatsSnapshot("bench_fulltext");
   return 0;
 }

@@ -95,5 +95,6 @@ int main() {
              static_cast<unsigned long long>(net.total().bytes));
     }
   }
+  dominodb::bench::EmitStatsSnapshot("bench_mail");
   return 0;
 }

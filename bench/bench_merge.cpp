@@ -116,5 +116,6 @@ int main() {
   }
   printf("\n(OFF notes grows with conflict documents; with merge ON the "
          "database stays lean and both edits land in one version)\n");
+  dominodb::bench::EmitStatsSnapshot("bench_merge");
   return 0;
 }

@@ -114,5 +114,6 @@ int main(int argc, char** argv) {
          "sustains groupware CRUD across document sizes)\n");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  dominodb::bench::EmitStatsSnapshot("bench_note_store");
   return 0;
 }

@@ -82,5 +82,6 @@ int main() {
              reopened->total_count());
     }
   }
+  dominodb::bench::EmitStatsSnapshot("bench_recovery");
   return 0;
 }

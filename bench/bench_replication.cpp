@@ -73,5 +73,6 @@ int main() {
   }
   printf("\n(the 'full' column still moves no note bodies — versions are "
          "identical — but pays the O(db) change summary every time)\n");
+  dominodb::bench::EmitStatsSnapshot("bench_replication");
   return 0;
 }

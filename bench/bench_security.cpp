@@ -82,5 +82,6 @@ int main() {
   }
   printf("\n(rows seen drops as restricted%% rises: the outsider simply "
          "cannot see those documents on any path)\n");
+  dominodb::bench::EmitStatsSnapshot("bench_security");
   return 0;
 }

@@ -81,5 +81,6 @@ int main() {
              static_cast<double>(clock.Now() - start_time) / 1e6);
     }
   }
+  dominodb::bench::EmitStatsSnapshot("bench_topology");
   return 0;
 }

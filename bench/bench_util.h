@@ -8,6 +8,7 @@
 #include "base/env.h"
 #include "base/rng.h"
 #include "model/note.h"
+#include "stats/stats.h"
 
 namespace dominodb::bench {
 
@@ -68,6 +69,14 @@ inline void PrintHeader(const char* experiment, const char* claim) {
   printf("%s\n", experiment);
   printf("Claim: %s\n", claim);
   printf("================================================================\n");
+}
+
+/// Dumps the process-wide StatRegistry as one machine-readable line:
+/// `STATS <bench_name> {json}`. Every bench calls this last, so runs can
+/// be post-processed for counters the human-readable report omits.
+inline void EmitStatsSnapshot(const char* bench_name) {
+  printf("\nSTATS %s %s\n", bench_name,
+         stats::StatRegistry::Global().Snapshot().ToJson().c_str());
 }
 
 }  // namespace dominodb::bench

@@ -118,5 +118,6 @@ int main() {
          static_cast<unsigned long long>(view->stats().inserts),
          static_cast<unsigned long long>(view->stats().removes),
          static_cast<unsigned long long>(view->stats().rebuilds));
+  dominodb::bench::EmitStatsSnapshot("bench_view_index");
   return 0;
 }

@@ -130,5 +130,10 @@ int main(int argc, char** argv) {
   printf("\nTotal simulated network traffic: %llu bytes in %llu messages.\n",
          static_cast<unsigned long long>(net.total().bytes),
          static_cast<unsigned long long>(net.total().messages));
+
+  // The servers share the process-wide registry, so `show stat` on any of
+  // them reports the whole run (Domino console: `show stat Replica`).
+  printf("\n> show stat Replica\n%s", hq.ShowStat("Replica").c_str());
+  printf("\n> show stat Net\n%s", hq.ShowStat("Net").c_str());
   return 0;
 }

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Sanitizer gate: builds the tree under AddressSanitizer and runs the full
+# test suite. Usage: scripts/check.sh [address|thread|undefined]
+set -euo pipefail
+
+SANITIZER="${1:-address}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="$ROOT/build-$SANITIZER"
+
+cmake -B "$BUILD_DIR" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDOMINO_SANITIZE="$SANITIZER"
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"

@@ -21,7 +21,10 @@ Result<std::unique_ptr<Database>> Database::Open(
                       ? options.unid_seed
                       : Fnv1a64(dir) ^
                             Mix64(g_open_counter.fetch_add(1));
-  std::unique_ptr<Database> db(new Database(clock, seed));
+  stats::StatRegistry* registry = options.stats != nullptr
+                                      ? options.stats
+                                      : &stats::StatRegistry::Global();
+  std::unique_ptr<Database> db(new Database(clock, seed, registry));
   DatabaseInfo default_info;
   default_info.title = options.title;
   default_info.purge_interval = options.purge_interval;
@@ -30,8 +33,10 @@ Result<std::unique_ptr<Database>> Database::Open(
   } else {
     default_info.replica_id = options.replica_id;
   }
+  StoreOptions store_options = options.store;
+  if (store_options.stats == nullptr) store_options.stats = registry;
   DOMINO_ASSIGN_OR_RETURN(db->store_,
-                          NoteStore::Open(dir, options.store, default_info));
+                          NoteStore::Open(dir, store_options, default_info));
   db->LoadDesignState();
   return db;
 }
@@ -416,7 +421,7 @@ std::vector<std::string> Database::FolderNames() const {
 
 Status Database::EnsureFullTextIndex() {
   if (fulltext_ != nullptr) return Status::Ok();
-  fulltext_ = std::make_unique<FullTextIndex>();
+  fulltext_ = std::make_unique<FullTextIndex>(registry_);
   store_->ForEach([this](const Note& note) { fulltext_->IndexNote(note); });
   return Status::Ok();
 }
@@ -582,6 +587,7 @@ Result<size_t> Database::PurgeStubs() {
     if (fulltext_ != nullptr) fulltext_->RemoveNote(id);
     for (DatabaseObserver* obs : observers_) obs->OnNoteErased(id);
   }
+  ctr_stubs_purged_->Add(purged.size());
   return purged.size();
 }
 
@@ -635,7 +641,8 @@ Status Database::ApplyDesignNote(const Note& note) {
   if (note.note_class() == NoteClass::kView) {
     DOMINO_ASSIGN_OR_RETURN(ViewDesign design, ViewDesign::FromNote(note));
     std::string key = ToLower(design.name());
-    auto index = std::make_unique<ViewIndex>(std::move(design), clock_);
+    auto index =
+        std::make_unique<ViewIndex>(std::move(design), clock_, registry_);
     DOMINO_RETURN_IF_ERROR(index->Rebuild(
         [this](const std::function<void(const Note&)>& fn) {
           store_->ForEach(fn);

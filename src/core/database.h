@@ -15,6 +15,7 @@
 #include "fulltext/fulltext_index.h"
 #include "model/note.h"
 #include "security/acl.h"
+#include "stats/stats.h"
 #include "storage/note_store.h"
 #include "view/view_index.h"
 
@@ -39,6 +40,9 @@ struct DatabaseOptions {
   Micros purge_interval = 90ll * 24 * 3600 * 1'000'000;
   /// Seed for UNID generation (distinct per server instance).
   uint64_t unid_seed = 0;
+  /// Stat registry for this database's store, views and full-text index
+  /// (nullable → the global registry). Overrides `store.stats` when set.
+  stats::StatRegistry* stats = nullptr;
 };
 
 /// The Notes database: the unit of storage, access control and
@@ -176,10 +180,13 @@ class Database : public NoteResolver {
   std::vector<NoteId> ChildrenOf(const Unid& parent) const override;
 
  private:
-  Database(const Clock* clock, uint64_t unid_seed)
+  Database(const Clock* clock, uint64_t unid_seed,
+           stats::StatRegistry* registry)
       : clock_(clock),
         rng_(unid_seed),
-        stamp_salt_(static_cast<Micros>(Mix64(unid_seed) % 1000)) {}
+        stamp_salt_(static_cast<Micros>(Mix64(unid_seed) % 1000)),
+        registry_(registry),
+        ctr_stubs_purged_(&registry->GetCounter("Database.Stubs.Purged")) {}
 
   Unid GenerateUnid();
   /// Monotonic, replica-distinct sequence/modified-in-file stamp.
@@ -205,6 +212,10 @@ class Database : public NoteResolver {
   std::unordered_map<Unid, std::set<NoteId>> children_;
   std::map<std::string, std::set<Unid>> read_marks_;  // user → read unids
   std::vector<DatabaseObserver*> observers_;
+
+  /// Registry handed down to the store, views and full-text index.
+  stats::StatRegistry* registry_;
+  stats::Counter* ctr_stubs_purged_;
 };
 
 }  // namespace dominodb

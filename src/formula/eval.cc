@@ -242,12 +242,27 @@ Result<Value> Evaluator::EvalBinary(const Expr& e) {
     return BoolValue(b.AsBool());
   }
 
+  if (e.op == TokenType::kColon) {
+    // ':' parses left-associative, so a long literal list is a deep
+    // left-leaning chain. Walk the spine iteratively instead of recursing
+    // once per element — big lists overflow the stack otherwise
+    // (tests/robustness_test.cc HugeListFormula under ASan).
+    std::vector<const Expr*> spine;
+    const Expr* node = &e;
+    while (node->kind == ExprKind::kBinary && node->op == TokenType::kColon) {
+      spine.push_back(node);
+      node = node->children[0].get();
+    }
+    DOMINO_ASSIGN_OR_RETURN(Value acc, Eval(*node));
+    for (auto it = spine.rbegin(); it != spine.rend(); ++it) {
+      DOMINO_ASSIGN_OR_RETURN(Value rhs, Eval(*(*it)->children[1]));
+      acc = ConcatLists(acc, rhs);
+    }
+    return acc;
+  }
+
   DOMINO_ASSIGN_OR_RETURN(Value a, Eval(*e.children[0]));
   DOMINO_ASSIGN_OR_RETURN(Value b, Eval(*e.children[1]));
-
-  if (e.op == TokenType::kColon) {
-    return ConcatLists(a, b);
-  }
 
   if (IsComparison(e.op)) {
     // Pairwise comparison: true if ANY pair satisfies. Permuted variants

@@ -3,10 +3,29 @@
 #include "base/string_util.h"
 #include "formula/eval.h"
 #include "formula/parser.h"
+#include "stats/stats.h"
 
 namespace dominodb::formula {
 
 namespace {
+
+/// Formula evaluations happen inside whatever registry-owning component
+/// invoked them (views, replication filters, searches), so the engine
+/// itself reports process-wide totals only.
+struct FormulaCounters {
+  stats::Counter* evals;
+  stats::Counter* errors;
+  FormulaCounters() {
+    stats::StatRegistry& reg = stats::StatRegistry::Global();
+    evals = &reg.GetCounter("Formula.Evals");
+    errors = &reg.GetCounter("Formula.Errors");
+  }
+};
+
+FormulaCounters& Counters() {
+  static FormulaCounters counters;
+  return counters;
+}
 
 void ScanForResponseSelectors(const Expr& e, bool* children,
                               bool* descendants) {
@@ -37,18 +56,26 @@ Result<Value> Formula::Evaluate(const EvalContext& ctx) const {
   if (program_ == nullptr) {
     return Status::FailedPrecondition("formula not compiled");
   }
+  Counters().evals->Add();
   Evaluator ev(ctx);
-  return ev.Run(*program_);
+  Result<Value> result = ev.Run(*program_);
+  if (!result.ok()) Counters().errors->Add();
+  return result;
 }
 
 Result<bool> Formula::Matches(const EvalContext& ctx) const {
   if (program_ == nullptr) {
     return Status::FailedPrecondition("formula not compiled");
   }
+  Counters().evals->Add();
   Evaluator ev(ctx);
-  DOMINO_ASSIGN_OR_RETURN(Value last, ev.Run(*program_));
+  auto last = ev.Run(*program_);
+  if (!last.ok()) {
+    Counters().errors->Add();
+    return last.status();
+  }
   if (ev.select_value().has_value()) return *ev.select_value();
-  return last.AsBool();
+  return last->AsBool();
 }
 
 bool Formula::has_select() const {

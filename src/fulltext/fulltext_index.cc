@@ -21,9 +21,23 @@ constexpr uint32_t kFieldPositionGap = 1000;
 
 }  // namespace
 
+FullTextIndex::FullTextIndex(stats::StatRegistry* stats) {
+  stats::StatRegistry& reg =
+      stats != nullptr ? *stats : stats::StatRegistry::Global();
+  ctr_docs_indexed_ = &reg.GetCounter("Database.FullText.Docs.Indexed");
+  ctr_docs_removed_ = &reg.GetCounter("Database.FullText.Docs.Removed");
+  ctr_merges_ = &reg.GetCounter("Database.FullText.Merges");
+  ctr_tokens_ = &reg.GetCounter("Database.FullText.Tokens");
+  ctr_queries_ = &reg.GetCounter("Database.FullText.Queries");
+}
+
 void FullTextIndex::IndexNote(const Note& note) {
+  // Re-indexing a known document is an incremental merge into the
+  // postings (the GTR-style "index merge").
+  const bool merge = terms_of_doc_.count(note.id()) != 0;
   RemoveNote(note.id());
   if (note.deleted() || note.note_class() != NoteClass::kDocument) return;
+  if (merge) ctr_merges_->Add();
 
   uint32_t position = 0;
   uint32_t length = 0;
@@ -63,6 +77,8 @@ void FullTextIndex::IndexNote(const Note& note) {
   doc_lengths_[note.id()] = length;
   docs_.insert(note.id());
   ++stats_.notes_indexed;
+  ctr_docs_indexed_->Add();
+  ctr_tokens_->Add(length);
 }
 
 void FullTextIndex::RemoveNote(NoteId id) {
@@ -79,6 +95,7 @@ void FullTextIndex::RemoveNote(NoteId id) {
   doc_lengths_.erase(id);
   docs_.erase(id);
   ++stats_.notes_removed;
+  ctr_docs_removed_->Add();
 }
 
 void FullTextIndex::Clear() {

@@ -10,6 +10,7 @@
 
 #include "base/result.h"
 #include "model/note.h"
+#include "stats/stats.h"
 
 namespace dominodb {
 
@@ -32,7 +33,9 @@ struct FtStats {
 /// `FIELD name CONTAINS term`.
 class FullTextIndex {
  public:
-  FullTextIndex() = default;
+  /// `stats` (nullable → the global registry) receives the server-wide
+  /// `Database.FullText.*` counters alongside the per-index FtStats.
+  explicit FullTextIndex(stats::StatRegistry* stats = nullptr);
 
   /// Adds or re-indexes a note (deletion stubs are removed). Only
   /// kDocument notes are indexed.
@@ -68,6 +71,13 @@ class FullTextIndex {
   std::unordered_map<NoteId, uint32_t> doc_lengths_;
   std::set<NoteId> docs_;
   mutable FtStats stats_;
+
+  // Server-wide mirrors of FtStats (dotted Domino stat names).
+  stats::Counter* ctr_docs_indexed_;
+  stats::Counter* ctr_docs_removed_;
+  stats::Counter* ctr_merges_;
+  stats::Counter* ctr_tokens_;
+  stats::Counter* ctr_queries_;
 };
 
 }  // namespace dominodb

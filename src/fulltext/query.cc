@@ -310,6 +310,7 @@ ScoreMap EvalNode(const FullTextIndex& index, const QNode& node) {
 Result<std::vector<FtHit>> FullTextIndex::Search(
     std::string_view query) const {
   ++stats_.queries;
+  ctr_queries_->Add();
   DOMINO_ASSIGN_OR_RETURN(auto tokens, LexQuery(query));
   QParser parser(std::move(tokens));
   DOMINO_ASSIGN_OR_RETURN(QNodePtr root, parser.Run());

@@ -31,6 +31,31 @@ Note MakeMailMessage(const std::string& from,
   return memo;
 }
 
+Router::Router(std::string server_name, Database* mailbox,
+               const MailDirectory* directory, SimNet* net,
+               stats::StatRegistry* stats)
+    : server_name_(std::move(server_name)),
+      mailbox_(mailbox),
+      directory_(directory),
+      net_(net),
+      registry_(stats != nullptr ? stats : &stats::StatRegistry::Global()) {
+  stats::StatRegistry& reg = *registry_;
+  ctr_submitted_ = &reg.GetCounter("Mail.Submitted");
+  ctr_delivered_ = &reg.GetCounter("Mail.Delivered");
+  ctr_forwarded_ = &reg.GetCounter("Mail.Forwarded");
+  ctr_dead_ = &reg.GetCounter("Mail.Dead");
+  ctr_hops_ = &reg.GetCounter("Mail.Hops.Total");
+}
+
+void Router::DeadLetter(const std::string& user, size_t copies) {
+  stats_.dead_lettered += copies;
+  ctr_dead_->Add(copies);
+  registry_->events().Log(
+      stats::Severity::kWarning, "Router",
+      "mail undeliverable on " + server_name_ + ": " + user,
+      mailbox_->clock() != nullptr ? mailbox_->clock()->Now() : 0);
+}
+
 void Router::AttachMailFile(const std::string& user, Database* mail_file) {
   mail_files_[ToLower(user)] = mail_file;
 }
@@ -50,6 +75,7 @@ Status Router::Submit(Note message) {
     return Status::InvalidArgument("not a mail memo");
   }
   stats_.submitted += 1;
+  ctr_submitted_->Add();
   return mailbox_->CreateNote(std::move(message)).ok()
              ? Status::Ok()
              : Status::IOError("mail.box write failed");
@@ -58,7 +84,7 @@ Status Router::Submit(Note message) {
 Status Router::DeliverLocal(const std::string& user, const Note& message) {
   auto it = mail_files_.find(ToLower(user));
   if (it == mail_files_.end()) {
-    stats_.dead_lettered += 1;
+    DeadLetter(user);
     return Status::Ok();  // dead letter; routing continues
   }
   Note copy = message;
@@ -69,6 +95,8 @@ Status Router::DeliverLocal(const std::string& user, const Note& message) {
   DOMINO_RETURN_IF_ERROR(it->second->CreateNote(std::move(copy)).status());
   stats_.delivered += 1;
   stats_.hops_total += static_cast<uint64_t>(message.GetNumber("$Hops"));
+  ctr_delivered_->Add();
+  ctr_hops_->Add(static_cast<uint64_t>(message.GetNumber("$Hops")));
   return Status::Ok();
 }
 
@@ -92,7 +120,7 @@ Result<size_t> Router::RunOnce(const std::map<std::string, Router*>& peers) {
     for (const std::string& user : recipients) {
       auto home = directory_->HomeServerOf(user);
       if (!home.ok()) {
-        stats_.dead_lettered += 1;
+        DeadLetter(user);
         continue;
       }
       if (EqualsIgnoreCase(*home, server_name_)) {
@@ -110,7 +138,7 @@ Result<size_t> Router::RunOnce(const std::map<std::string, Router*>& peers) {
       std::string hop = NextHopFor(destination);
       auto peer_it = peers.find(hop);
       if (peer_it == peers.end()) {
-        stats_.dead_lettered += users.size();
+        DeadLetter("(no route to " + destination + ")", users.size());
         continue;
       }
       Note copy = message;
@@ -124,6 +152,7 @@ Result<size_t> Router::RunOnce(const std::map<std::string, Router*>& peers) {
       DOMINO_RETURN_IF_ERROR(
           peer_it->second->mailbox()->CreateNote(std::move(copy)).status());
       stats_.forwarded += 1;
+      ctr_forwarded_->Add();
     }
 
     DOMINO_RETURN_IF_ERROR(mailbox_->DeleteNote(message.id()));

@@ -8,6 +8,7 @@
 #include "base/result.h"
 #include "core/database.h"
 #include "net/sim_net.h"
+#include "stats/stats.h"
 
 namespace dominodb {
 
@@ -43,12 +44,11 @@ struct MailStats {
 /// routing, as in Notes named networks).
 class Router {
  public:
+  /// `stats` (nullable → the global registry) receives the server-wide
+  /// `Mail.*` counters; dead letters also log a Warning event.
   Router(std::string server_name, Database* mailbox,
-         const MailDirectory* directory, SimNet* net)
-      : server_name_(std::move(server_name)),
-        mailbox_(mailbox),
-        directory_(directory),
-        net_(net) {}
+         const MailDirectory* directory, SimNet* net,
+         stats::StatRegistry* stats = nullptr);
 
   /// Registers a locally hosted mail file.
   void AttachMailFile(const std::string& user, Database* mail_file);
@@ -73,6 +73,7 @@ class Router {
  private:
   Status DeliverLocal(const std::string& user, const Note& message);
   std::string NextHopFor(const std::string& destination) const;
+  void DeadLetter(const std::string& user, size_t copies = 1);
 
   std::string server_name_;
   Database* mailbox_;
@@ -81,6 +82,14 @@ class Router {
   std::map<std::string, Database*> mail_files_;  // lower(user) → db
   std::map<std::string, std::string> next_hops_;
   MailStats stats_;
+
+  // Server-wide mirrors of MailStats (dotted Domino stat names).
+  stats::StatRegistry* registry_;
+  stats::Counter* ctr_submitted_;
+  stats::Counter* ctr_delivered_;
+  stats::Counter* ctr_forwarded_;
+  stats::Counter* ctr_dead_;
+  stats::Counter* ctr_hops_;
 };
 
 }  // namespace dominodb

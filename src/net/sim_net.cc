@@ -2,6 +2,14 @@
 
 namespace dominodb {
 
+SimNet::SimNet(SimClock* clock, stats::StatRegistry* stats) : clock_(clock) {
+  stats::StatRegistry& reg =
+      stats != nullptr ? *stats : stats::StatRegistry::Global();
+  ctr_messages_ = &reg.GetCounter("Net.Messages");
+  ctr_bytes_ = &reg.GetCounter("Net.Bytes");
+  ctr_dropped_ = &reg.GetCounter("Net.Dropped");
+}
+
 void SimNet::SetLink(const std::string& a, const std::string& b,
                      Micros latency, uint64_t bytes_per_second) {
   links_[Key(a, b)] = LinkParams{latency, bytes_per_second};
@@ -20,6 +28,11 @@ Status SimNet::Transfer(const std::string& from, const std::string& to,
                         uint64_t bytes) {
   auto key = Key(from, to);
   if (partitions_.count(key) != 0) {
+    // The attempt still counts: partition experiments want to know how
+    // much traffic the outage turned away, not just what got through.
+    stats_[key].dropped += 1;
+    total_.dropped += 1;
+    ctr_dropped_->Add();
     return Status::Unavailable("link " + from + " <-> " + to +
                                " is partitioned");
   }
@@ -42,6 +55,8 @@ Status SimNet::Transfer(const std::string& from, const std::string& to,
   link.bytes += bytes;
   total_.messages += 1;
   total_.bytes += bytes;
+  ctr_messages_->Add();
+  ctr_bytes_->Add(bytes);
   return Status::Ok();
 }
 

@@ -9,6 +9,7 @@
 
 #include "base/clock.h"
 #include "base/status.h"
+#include "stats/stats.h"
 
 namespace dominodb {
 
@@ -16,6 +17,10 @@ namespace dominodb {
 struct LinkStats {
   uint64_t messages = 0;
   uint64_t bytes = 0;
+  /// Transfers attempted while the link was partitioned. These consume no
+  /// bytes/latency but are still accounted so partition experiments can
+  /// see how much traffic the outage turned away.
+  uint64_t dropped = 0;
 };
 
 /// Deterministic network substitute for the LAN/WAN the paper's systems
@@ -25,7 +30,9 @@ struct LinkStats {
 /// counts). Partitions make links fail with Unavailable.
 class SimNet {
  public:
-  explicit SimNet(SimClock* clock) : clock_(clock) {}
+  /// `stats` (nullable → the global registry) receives the server-wide
+  /// `Net.*` counters alongside the per-link LinkStats.
+  explicit SimNet(SimClock* clock, stats::StatRegistry* stats = nullptr);
 
   /// Default link parameters applied where no explicit link is set.
   void SetDefaultLink(Micros latency, uint64_t bytes_per_second) {
@@ -69,6 +76,11 @@ class SimNet {
   std::set<std::pair<std::string, std::string>> partitions_;
   std::map<std::pair<std::string, std::string>, LinkStats> stats_;
   LinkStats total_;
+
+  // Server-wide mirrors of the totals (dotted Domino stat names).
+  stats::Counter* ctr_messages_;
+  stats::Counter* ctr_bytes_;
+  stats::Counter* ctr_dropped_;
 };
 
 }  // namespace dominodb

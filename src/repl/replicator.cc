@@ -265,6 +265,37 @@ Result<bool> ApplyRemoteChange(Database* db, const Note& remote,
   return changed;
 }
 
+Replicator::Replicator(SimNet* net, stats::StatRegistry* stats)
+    : net_(net),
+      registry_(stats != nullptr ? stats : &stats::StatRegistry::Global()) {
+  stats::StatRegistry& reg = *registry_;
+  ctr_sessions_completed_ = &reg.GetCounter("Replica.Sessions.Completed");
+  ctr_sessions_failed_ = &reg.GetCounter("Replica.Sessions.Failed");
+  ctr_docs_summarized_ = &reg.GetCounter("Replica.Docs.Summarized");
+  ctr_docs_received_ = &reg.GetCounter("Replica.Docs.Received");
+  ctr_docs_sent_ = &reg.GetCounter("Replica.Docs.Sent");
+  ctr_docs_deleted_ = &reg.GetCounter("Replica.Docs.Deleted");
+  ctr_docs_conflicts_ = &reg.GetCounter("Replica.Docs.Conflicts");
+  ctr_docs_merged_ = &reg.GetCounter("Replica.Docs.Merged");
+  ctr_docs_skipped_ = &reg.GetCounter("Replica.Docs.Skipped");
+  ctr_docs_filtered_ = &reg.GetCounter("Replica.Docs.Filtered");
+  ctr_bytes_ = &reg.GetCounter("Replica.Bytes.Transferred");
+  ctr_messages_ = &reg.GetCounter("Replica.Messages");
+}
+
+void Replicator::RecordSession(const ReplicationReport& report) {
+  ctr_docs_summarized_->Add(report.summarized);
+  ctr_docs_received_->Add(report.pulled);
+  ctr_docs_sent_->Add(report.pushed);
+  ctr_docs_deleted_->Add(report.deletions_applied);
+  ctr_docs_conflicts_->Add(report.conflicts);
+  ctr_docs_merged_->Add(report.merges);
+  ctr_docs_skipped_->Add(report.skipped_unchanged);
+  ctr_docs_filtered_->Add(report.skipped_by_formula);
+  ctr_bytes_->Add(report.bytes_transferred);
+  ctr_messages_->Add(report.messages);
+}
+
 Status Replicator::Charge(const std::string& from, const std::string& to,
                           uint64_t bytes, ReplicationReport* report) {
   report->messages += 1;
@@ -344,6 +375,28 @@ Result<ReplicationReport> Replicator::Replicate(
     Database* local, const std::string& local_name, Database* remote,
     const std::string& remote_name, ReplicationHistory* local_history,
     ReplicationHistory* remote_history, const ReplicationOptions& options) {
+  Result<ReplicationReport> result =
+      RunSession(local, local_name, remote, remote_name, local_history,
+                 remote_history, options);
+  if (result.ok()) {
+    ctr_sessions_completed_->Add();
+    RecordSession(*result);
+  } else {
+    ctr_sessions_failed_->Add();
+    Micros now = local->clock() != nullptr ? local->clock()->Now() : 0;
+    registry_->events().Log(stats::Severity::kFailure, "Replica",
+                            "replication " + local_name + " <-> " +
+                                remote_name + " failed: " +
+                                result.status().message(),
+                            now);
+  }
+  return result;
+}
+
+Result<ReplicationReport> Replicator::RunSession(
+    Database* local, const std::string& local_name, Database* remote,
+    const std::string& remote_name, ReplicationHistory* local_history,
+    ReplicationHistory* remote_history, const ReplicationOptions& options) {
   if (local->replica_id() != remote->replica_id()) {
     return Status::InvalidArgument(
         "databases are not replicas (replica ids differ): " +
@@ -388,7 +441,8 @@ void ClusterReplicator::OnNoteChanged(const Note& note) {
   for (Database* peer : peers_) {
     auto existing = peer->GetAnyByUnid(note.unid());
     if (existing.ok() && existing->oid() == note.oid()) continue;
-    ApplyRemoteChange(peer, note, &report_).ok();
+    auto applied = ApplyRemoteChange(peer, note, &report_);
+    if (applied.ok() && *applied) ctr_cluster_pushes_->Add();
   }
   applying_ = false;
 }

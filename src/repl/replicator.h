@@ -9,6 +9,7 @@
 #include "core/database.h"
 #include "formula/formula.h"
 #include "net/sim_net.h"
+#include "stats/stats.h"
 
 namespace dominodb {
 
@@ -84,7 +85,11 @@ std::optional<Note> TryMergeNotes(const Note& local, const Note& remote,
 /// then the caller pulls). `net` may be null (no latency/byte simulation).
 class Replicator {
  public:
-  explicit Replicator(SimNet* net = nullptr) : net_(net) {}
+  /// `stats` (nullable → the global registry) receives the server-wide
+  /// `Replica.*` counters; every completed session folds its
+  /// ReplicationReport into them, and failed sessions log a Failure event.
+  explicit Replicator(SimNet* net = nullptr,
+                      stats::StatRegistry* stats = nullptr);
 
   /// Replicates `local` (named `local_name`) with `remote`. Histories are
   /// each side's persistent replication history. Fails if the replica ids
@@ -98,6 +103,15 @@ class Replicator {
                                       const ReplicationOptions& options = {});
 
  private:
+  /// The session body; Replicate wraps it with session/event accounting.
+  Result<ReplicationReport> RunSession(Database* local,
+                                       const std::string& local_name,
+                                       Database* remote,
+                                       const std::string& remote_name,
+                                       ReplicationHistory* local_history,
+                                       ReplicationHistory* remote_history,
+                                       const ReplicationOptions& options);
+
   /// One direction: dst pulls changes from src.
   Status Pull(Database* dst, const std::string& dst_name, Database* src,
               const std::string& src_name, Micros cutoff,
@@ -107,7 +121,23 @@ class Replicator {
   Status Charge(const std::string& from, const std::string& to,
                 uint64_t bytes, ReplicationReport* report);
 
+  /// Folds a finished session's report into the Replica.* counters.
+  void RecordSession(const ReplicationReport& report);
+
   SimNet* net_;
+  stats::StatRegistry* registry_;
+  stats::Counter* ctr_sessions_completed_;
+  stats::Counter* ctr_sessions_failed_;
+  stats::Counter* ctr_docs_summarized_;
+  stats::Counter* ctr_docs_received_;
+  stats::Counter* ctr_docs_sent_;
+  stats::Counter* ctr_docs_deleted_;
+  stats::Counter* ctr_docs_conflicts_;
+  stats::Counter* ctr_docs_merged_;
+  stats::Counter* ctr_docs_skipped_;
+  stats::Counter* ctr_docs_filtered_;
+  stats::Counter* ctr_bytes_;
+  stats::Counter* ctr_messages_;
 };
 
 /// Cluster replication: event-driven push among replicas on the same
@@ -115,8 +145,12 @@ class Replicator {
 /// database; every committed change is immediately applied to the peers.
 class ClusterReplicator : public DatabaseObserver {
  public:
-  ClusterReplicator(Database* source, std::vector<Database*> peers)
+  ClusterReplicator(Database* source, std::vector<Database*> peers,
+                    stats::StatRegistry* stats = nullptr)
       : source_(source), peers_(std::move(peers)) {
+    stats::StatRegistry& reg =
+        stats != nullptr ? *stats : stats::StatRegistry::Global();
+    ctr_cluster_pushes_ = &reg.GetCounter("Replica.Cluster.Pushes");
     source_->AddObserver(this);
   }
   ~ClusterReplicator() override { source_->RemoveObserver(this); }
@@ -129,6 +163,7 @@ class ClusterReplicator : public DatabaseObserver {
   Database* source_;
   std::vector<Database*> peers_;
   ReplicationReport report_;
+  stats::Counter* ctr_cluster_pushes_;
   bool applying_ = false;  // re-entrancy guard
 };
 

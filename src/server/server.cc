@@ -6,12 +6,23 @@
 namespace dominodb {
 
 Server::Server(std::string name, std::string base_dir, const Clock* clock,
-               SimNet* net, MailDirectory* directory)
+               SimNet* net, MailDirectory* directory,
+               stats::StatRegistry* stats)
     : name_(std::move(name)),
       base_dir_(std::move(base_dir)),
       clock_(clock),
       net_(net),
-      directory_(directory) {}
+      directory_(directory),
+      stats_(stats != nullptr ? stats : &stats::StatRegistry::Global()) {
+  gauge_databases_ = &stats_->GetGauge("Server.Databases");
+  // Default event generators, after Domino's statistic events: dead mail
+  // and failed replication sessions are worth an operator's attention.
+  stats_->AddThreshold("Mail.Dead", 1, stats::Severity::kWarning,
+                       "dead mail on " + name_);
+  stats_->AddThreshold("Replica.Sessions.Failed", 1,
+                       stats::Severity::kFailure,
+                       "replication failures on " + name_);
+}
 
 std::string Server::DirFor(const std::string& file) const {
   return base_dir_ + "/" + ReplaceAll(file, "/", "_");
@@ -25,10 +36,12 @@ Result<Database*> Server::OpenDatabase(const std::string& file,
     options.unid_seed =
         Fnv1a64(name_ + "/" + file) ^ Mix64(unid_seed_counter_++);
   }
+  if (options.stats == nullptr) options.stats = stats_;
   DOMINO_ASSIGN_OR_RETURN(auto db,
                           Database::Open(DirFor(file), options, clock_));
   Database* ptr = db.get();
   databases_[file] = std::move(db);
+  gauge_databases_->Set(static_cast<int64_t>(databases_.size()));
   return ptr;
 }
 
@@ -60,7 +73,7 @@ Result<ReplicationReport> Server::ReplicateWith(
   if (local == nullptr || remote == nullptr) {
     return Status::NotFound("database " + file + " missing on a side");
   }
-  Replicator replicator(net_);
+  Replicator replicator(net_, stats_);
   return replicator.Replicate(local, name_, remote, peer->name(),
                               HistoryFor(file), peer->HistoryFor(file),
                               options);
@@ -79,7 +92,8 @@ Status Server::EnsureMailInfrastructure() {
   if (directory_ == nullptr) {
     return Status::FailedPrecondition("server has no mail directory");
   }
-  router_ = std::make_unique<Router>(name_, mailbox, directory_, net_);
+  router_ = std::make_unique<Router>(name_, mailbox, directory_, net_,
+                                     stats_);
   return Status::Ok();
 }
 

@@ -11,6 +11,7 @@
 #include "mail/router.h"
 #include "net/sim_net.h"
 #include "repl/replicator.h"
+#include "stats/stats.h"
 
 namespace dominodb {
 
@@ -20,9 +21,12 @@ namespace dominodb {
 class Server {
  public:
   /// `directory` (the shared Domino Directory) and `net` may be null for
-  /// single-server use.
+  /// single-server use. `stats` is this server's stat registry; null uses
+  /// the process-wide StatRegistry::Global() (all servers aggregate), while
+  /// a private registry gives per-server `show stat` output.
   Server(std::string name, std::string base_dir, const Clock* clock,
-         SimNet* net, MailDirectory* directory);
+         SimNet* net, MailDirectory* directory,
+         stats::StatRegistry* stats = nullptr);
   ~Server() = default;
 
   Server(const Server&) = delete;
@@ -72,6 +76,24 @@ class Server {
   /// Runs this server's router once against the given fleet.
   Result<size_t> RunRouterOnce(const std::map<std::string, Router*>& peers);
 
+  // -- Statistics & events (the Domino console surface) --------------------
+  stats::StatRegistry& stats() { return *stats_; }
+  const stats::StatRegistry& stats() const { return *stats_; }
+
+  /// The `show stat` console command for this server.
+  std::string ShowStat(const std::string& pattern = "") const {
+    return stats_->ShowStat(pattern);
+  }
+  std::string ShowStatJson(const std::string& pattern = "") const {
+    return stats_->ShowStatJson(pattern);
+  }
+  stats::StatSnapshot StatSnapshot() const { return stats_->Snapshot(); }
+
+  /// Evaluates the server's threshold event rules (the Collector poll).
+  size_t CheckThresholds() {
+    return stats_->CheckThresholds(clock_ != nullptr ? clock_->Now() : 0);
+  }
+
  private:
   std::string DirFor(const std::string& file) const;
 
@@ -80,6 +102,8 @@ class Server {
   const Clock* clock_;
   SimNet* net_;
   MailDirectory* directory_;
+  stats::StatRegistry* stats_;
+  stats::Gauge* gauge_databases_;
   std::map<std::string, std::unique_ptr<Database>> databases_;
   std::map<std::string, ReplicationHistory> histories_;  // file → history
   std::unique_ptr<Router> router_;

@@ -1,0 +1,389 @@
+#include "stats/stats.h"
+
+#include <algorithm>
+
+#include "base/string_util.h"
+
+namespace dominodb::stats {
+
+namespace {
+
+/// Case-insensitive prefix filter with an optional trailing '*'.
+bool MatchesPattern(const std::string& name, const std::string& pattern) {
+  if (pattern.empty()) return true;
+  std::string_view want(pattern);
+  if (!want.empty() && want.back() == '*') want.remove_suffix(1);
+  if (want.size() > name.size()) return false;
+  return EqualsIgnoreCase(std::string_view(name).substr(0, want.size()),
+                          want);
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StrPrintf("\\u%04x", c);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+HistogramSummary Summarize(const Histogram& h) {
+  HistogramSummary s;
+  s.count = h.count();
+  s.sum = h.sum();
+  s.p50 = h.Percentile(0.50);
+  s.p95 = h.Percentile(0.95);
+  s.max = h.max();
+  return s;
+}
+
+}  // namespace
+
+// -- Histogram --------------------------------------------------------------
+
+uint64_t Histogram::BucketUpperBound(size_t i) {
+  return i + 1 >= kNumBuckets ? ~0ull : 1ull << i;
+}
+
+size_t Histogram::BucketFor(uint64_t value) {
+  size_t i = 0;
+  while (i + 1 < kNumBuckets && value > BucketUpperBound(i)) ++i;
+  return i;
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::Mean() const {
+  uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  uint64_t n = count();
+  if (n == 0) return 0;
+  p = std::min(std::max(p, 0.0), 1.0);
+  uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(n));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += bucket_count(i);
+    if (seen >= rank) {
+      // The unbounded tail has no meaningful upper bound; report the max.
+      return i + 1 >= kNumBuckets ? max() : BucketUpperBound(i);
+    }
+  }
+  return max();
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+// -- EventLog ---------------------------------------------------------------
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kNormal:
+      return "Normal";
+    case Severity::kWarning:
+      return "Warning";
+    case Severity::kFailure:
+      return "Failure";
+    case Severity::kFatal:
+      return "Fatal";
+  }
+  return "Unknown";
+}
+
+void EventLog::Log(Severity severity, const std::string& source,
+                   const std::string& message, Micros when) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{when, severity, source, message});
+  if (events_.size() > capacity_) events_.pop_front();
+  ++total_;
+}
+
+std::vector<Event> EventLog::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<Event>(events_.begin(), events_.end());
+}
+
+uint64_t EventLog::total_logged() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+size_t EventLog::CountRetained(Severity severity) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const Event& e : events_) {
+    if (e.severity == severity) ++n;
+  }
+  return n;
+}
+
+void EventLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  total_ = 0;
+}
+
+// -- StatSnapshot -----------------------------------------------------------
+
+std::string StatSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, name);
+    out += StrPrintf(":%llu", static_cast<unsigned long long>(value));
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, name);
+    out += StrPrintf(":%lld", static_cast<long long>(value));
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, name);
+    out += StrPrintf(
+        ":{\"count\":%llu,\"sum\":%llu,\"p50\":%llu,\"p95\":%llu,"
+        "\"max\":%llu}",
+        static_cast<unsigned long long>(h.count),
+        static_cast<unsigned long long>(h.sum),
+        static_cast<unsigned long long>(h.p50),
+        static_cast<unsigned long long>(h.p95),
+        static_cast<unsigned long long>(h.max));
+  }
+  out += StrPrintf("},\"events\":%llu}",
+                   static_cast<unsigned long long>(events_logged));
+  return out;
+}
+
+StatSnapshot DiffSnapshots(const StatSnapshot& before,
+                           const StatSnapshot& after) {
+  StatSnapshot diff;
+  for (const auto& [name, value] : after.counters) {
+    auto it = before.counters.find(name);
+    uint64_t base = it == before.counters.end() ? 0 : it->second;
+    diff.counters[name] = value >= base ? value - base : 0;
+  }
+  diff.gauges = after.gauges;
+  for (const auto& [name, h] : after.histograms) {
+    HistogramSummary d = h;
+    auto it = before.histograms.find(name);
+    if (it != before.histograms.end()) {
+      d.count = h.count >= it->second.count ? h.count - it->second.count : 0;
+      d.sum = h.sum >= it->second.sum ? h.sum - it->second.sum : 0;
+    }
+    diff.histograms[name] = d;
+  }
+  diff.events_logged = after.events_logged >= before.events_logged
+                           ? after.events_logged - before.events_logged
+                           : 0;
+  return diff;
+}
+
+// -- StatRegistry -----------------------------------------------------------
+
+StatRegistry& StatRegistry::Global() {
+  static StatRegistry* global = new StatRegistry();
+  return *global;
+}
+
+template <typename T>
+T& StatRegistry::GetOrCreate(std::map<std::string, std::unique_ptr<T>>* table,
+                             const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<T>& slot = (*table)[name];
+  if (slot == nullptr) slot = std::make_unique<T>();
+  return *slot;
+}
+
+Counter& StatRegistry::GetCounter(const std::string& name) {
+  return GetOrCreate(&counters_, name);
+}
+
+Gauge& StatRegistry::GetGauge(const std::string& name) {
+  return GetOrCreate(&gauges_, name);
+}
+
+Histogram& StatRegistry::GetHistogram(const std::string& name) {
+  return GetOrCreate(&histograms_, name);
+}
+
+const Counter* StatRegistry::FindCounter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* StatRegistry::FindGauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* StatRegistry::FindHistogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+void StatRegistry::AddThreshold(const std::string& stat, uint64_t threshold,
+                                Severity severity,
+                                const std::string& message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const ThresholdRule& rule : rules_) {
+    if (rule.stat == stat && rule.threshold == threshold) return;
+  }
+  rules_.push_back(ThresholdRule{stat, threshold, severity, message, false});
+}
+
+size_t StatRegistry::CheckThresholds(Micros now) {
+  // Snapshot the rules under the lock, evaluate and log outside it (the
+  // event log has its own mutex).
+  std::vector<std::pair<size_t, ThresholdRule>> due;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < rules_.size(); ++i) {
+      if (rules_[i].fired) continue;
+      auto it = counters_.find(rules_[i].stat);
+      if (it == counters_.end()) continue;
+      if (it->second->value() >= rules_[i].threshold) {
+        rules_[i].fired = true;
+        due.emplace_back(i, rules_[i]);
+      }
+    }
+  }
+  for (const auto& [index, rule] : due) {
+    events_.Log(rule.severity, "Collector",
+                rule.message + " (" + rule.stat + " >= " +
+                    std::to_string(rule.threshold) + ")",
+                now);
+  }
+  return due.size();
+}
+
+std::vector<std::string> StatRegistry::StatNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) names.push_back(name);
+  for (const auto& [name, g] : gauges_) names.push_back(name);
+  for (const auto& [name, h] : histograms_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void StatRegistry::ForEachCounter(
+    const std::function<void(const std::string&, uint64_t)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) fn(name, counter->value());
+}
+
+StatSnapshot StatRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StatSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms[name] = Summarize(*histogram);
+  }
+  snap.events_logged = events_.total_logged();
+  return snap;
+}
+
+std::string StatRegistry::ShowStat(const std::string& pattern) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  // One merged, sorted listing — counters and gauges print as plain
+  // values, histograms as a summary line (Domino prints all stat types
+  // uniformly under `show stat`).
+  std::map<std::string, std::string> lines;
+  for (const auto& [name, counter] : counters_) {
+    lines[name] =
+        StrPrintf("%llu", static_cast<unsigned long long>(counter->value()));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    lines[name] = StrPrintf("%lld", static_cast<long long>(gauge->value()));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    lines[name] = StrPrintf(
+        "%llu samples, avg %.1f, p95 %llu, max %llu",
+        static_cast<unsigned long long>(histogram->count()),
+        histogram->Mean(),
+        static_cast<unsigned long long>(histogram->Percentile(0.95)),
+        static_cast<unsigned long long>(histogram->max()));
+  }
+  for (const auto& [name, value] : lines) {
+    if (!MatchesPattern(name, pattern)) continue;
+    out += "  " + name + " = " + value + "\n";
+  }
+  return out;
+}
+
+std::string StatRegistry::ShowStatJson(const std::string& pattern) const {
+  StatSnapshot snap = Snapshot();
+  if (!pattern.empty()) {
+    std::erase_if(snap.counters, [&](const auto& kv) {
+      return !MatchesPattern(kv.first, pattern);
+    });
+    std::erase_if(snap.gauges, [&](const auto& kv) {
+      return !MatchesPattern(kv.first, pattern);
+    });
+    std::erase_if(snap.histograms, [&](const auto& kv) {
+      return !MatchesPattern(kv.first, pattern);
+    });
+  }
+  return snap.ToJson();
+}
+
+void StatRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+  for (ThresholdRule& rule : rules_) rule.fired = false;
+  events_.Clear();
+}
+
+}  // namespace dominodb::stats

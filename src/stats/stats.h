@@ -1,0 +1,223 @@
+#ifndef DOMINODB_STATS_STATS_H_
+#define DOMINODB_STATS_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "base/clock.h"
+
+namespace dominodb::stats {
+
+/// Monotonic counter. Increments are relaxed atomics so hot paths
+/// (note writes, view evaluations, per-message accounting) pay one
+/// uncontended fetch_add and nothing else.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous level (open databases, pending mail, ...). Signed so
+/// Add(-1) works for teardown paths.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram for latency-ish values (microseconds by
+/// convention). Bucket i covers (2^(i-1), 2^i] so the range spans 1 µs to
+/// ~9 minutes; recording is two relaxed atomic adds plus a max update.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 30;
+
+  /// Upper bound of bucket `i` (inclusive). The last bucket is unbounded.
+  static uint64_t BucketUpperBound(size_t i);
+  /// Bucket index `value` falls into.
+  static size_t BucketFor(uint64_t value);
+
+  void Record(uint64_t value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  double Mean() const;
+  /// Smallest bucket upper bound covering fraction `p` (0..1) of samples;
+  /// 0 when empty. The unbounded tail bucket reports the recorded max.
+  uint64_t Percentile(double p) const;
+
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Event severities, after Domino's Statistics & Events facility.
+enum class Severity { kNormal = 0, kWarning = 1, kFailure = 2, kFatal = 3 };
+
+const char* SeverityName(Severity severity);
+
+struct Event {
+  Micros when = 0;
+  Severity severity = Severity::kNormal;
+  std::string source;   // originating task ("Replica", "Router", "Store")
+  std::string message;  // human-readable description
+};
+
+/// Bounded in-memory event log (the log.nsf substitute). Keeps the most
+/// recent `capacity` events; `total_logged()` keeps counting past that.
+class EventLog {
+ public:
+  explicit EventLog(size_t capacity = 512) : capacity_(capacity) {}
+
+  void Log(Severity severity, const std::string& source,
+           const std::string& message, Micros when = 0);
+
+  /// Copy of the retained events, oldest first.
+  std::vector<Event> Events() const;
+  uint64_t total_logged() const;
+  /// Events of exactly this severity among the retained window.
+  size_t CountRetained(Severity severity) const;
+
+  void Clear();
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<Event> events_;
+  uint64_t total_ = 0;
+};
+
+/// Summary of one histogram at snapshot time.
+struct HistogramSummary {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t p50 = 0;
+  uint64_t p95 = 0;
+  uint64_t max = 0;
+};
+
+/// Point-in-time copy of every stat in a registry. Cheap to diff, so
+/// experiments bracket a workload with two snapshots and report deltas.
+struct StatSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSummary> histograms;
+  uint64_t events_logged = 0;
+
+  std::string ToJson() const;
+};
+
+/// `after - before`: counters and histogram count/sum subtract, gauges and
+/// percentiles take the `after` value. Stats absent from `before` count
+/// from zero.
+StatSnapshot DiffSnapshots(const StatSnapshot& before,
+                           const StatSnapshot& after);
+
+/// The process- or server-wide stat table, named with Domino-style dotted
+/// paths (`Replica.Docs.Received`, `Mail.Dead`, `Database.View.Rebuilds`).
+/// `Global()` is the default process-wide instance; a Server may own a
+/// private registry so multi-server experiments can diff stats per host.
+///
+/// Get* registers on first use and returns a stable reference (never
+/// invalidated), so components resolve their counters once and increment
+/// lock-free afterwards.
+class StatRegistry {
+ public:
+  StatRegistry() = default;
+  StatRegistry(const StatRegistry&) = delete;
+  StatRegistry& operator=(const StatRegistry&) = delete;
+
+  static StatRegistry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  /// nullptr when the stat was never registered.
+  const Counter* FindCounter(const std::string& name) const;
+  const Gauge* FindGauge(const std::string& name) const;
+  const Histogram* FindHistogram(const std::string& name) const;
+
+  EventLog& events() { return events_; }
+  const EventLog& events() const { return events_; }
+
+  /// Threshold event generator (Domino "statistic event"): once the named
+  /// counter reaches `threshold`, CheckThresholds logs one event of the
+  /// given severity. Latched until ResetAll re-arms it. Duplicate
+  /// (stat, threshold) registrations are ignored.
+  void AddThreshold(const std::string& stat, uint64_t threshold,
+                    Severity severity, const std::string& message);
+  /// Evaluates all armed thresholds (the Collector poll); returns how many
+  /// fired this call.
+  size_t CheckThresholds(Micros now = 0);
+
+  /// Sorted names of all registered stats (counters, gauges, histograms).
+  std::vector<std::string> StatNames() const;
+  void ForEachCounter(
+      const std::function<void(const std::string&, uint64_t)>& fn) const;
+
+  StatSnapshot Snapshot() const;
+
+  /// The `show stat` console command: one "  Name = value" line per stat,
+  /// sorted. `pattern` is a case-insensitive prefix filter, with an
+  /// optional trailing '*' (e.g. "Replica.*", "mail").
+  std::string ShowStat(const std::string& pattern = "") const;
+  /// Same filter, one JSON object (counters/gauges/histograms/events).
+  std::string ShowStatJson(const std::string& pattern = "") const;
+
+  /// Zeroes every stat, clears the event log and re-arms thresholds.
+  void ResetAll();
+
+ private:
+  template <typename T>
+  T& GetOrCreate(std::map<std::string, std::unique_ptr<T>>* table,
+                 const std::string& name);
+
+  struct ThresholdRule {
+    std::string stat;
+    uint64_t threshold = 0;
+    Severity severity = Severity::kWarning;
+    std::string message;
+    bool fired = false;
+  };
+
+  mutable std::mutex mu_;  // guards the maps & rules; stat objects are
+                           // node-stable and internally atomic
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::vector<ThresholdRule> rules_;
+  EventLog events_;
+};
+
+}  // namespace dominodb::stats
+
+#endif  // DOMINODB_STATS_STATS_H_

@@ -1,5 +1,7 @@
 #include "storage/note_store.h"
 
+#include <chrono>
+
 #include "base/coding.h"
 #include "base/env.h"
 #include "wal/log_reader.h"
@@ -38,6 +40,23 @@ Status DatabaseInfo::DecodeFrom(std::string_view* input, DatabaseInfo* out) {
   return Status::Ok();
 }
 
+NoteStore::NoteStore(std::string dir, StoreOptions options)
+    : dir_(std::move(dir)), options_(options) {
+  registry_ = options_.stats != nullptr ? options_.stats
+                                        : &stats::StatRegistry::Global();
+  ctr_docs_added_ = &registry_->GetCounter("Database.Docs.Added");
+  ctr_docs_updated_ = &registry_->GetCounter("Database.Docs.Updated");
+  ctr_docs_deleted_ = &registry_->GetCounter("Database.Docs.Deleted");
+  ctr_docs_erased_ = &registry_->GetCounter("Database.Docs.Erased");
+  ctr_stubs_purged_ = &registry_->GetCounter("Database.Stubs.Purged");
+  ctr_checkpoints_ = &registry_->GetCounter("Database.Checkpoints");
+  ctr_wal_records_ = &registry_->GetCounter("Database.WAL.Records");
+  ctr_wal_bytes_ = &registry_->GetCounter("Database.WAL.Bytes");
+  gauge_notes_ = &registry_->GetGauge("Database.Docs.Current");
+  hist_commit_micros_ =
+      &registry_->GetHistogram("Database.WAL.CommitMicros");
+}
+
 Result<std::unique_ptr<NoteStore>> NoteStore::Open(
     const std::string& dir, const StoreOptions& options,
     const DatabaseInfo& default_info) {
@@ -46,9 +65,12 @@ Result<std::unique_ptr<NoteStore>> NoteStore::Open(
   const bool fresh = !FileExists(store->SnapshotPath()) &&
                      !FileExists(store->WalPath());
   DOMINO_RETURN_IF_ERROR(store->Recover(default_info));
+  store->registry_->GetCounter("Database.Opens").Add();
+  store->gauge_notes_->Add(static_cast<int64_t>(store->note_count()));
   DOMINO_ASSIGN_OR_RETURN(store->wal_,
                           wal::LogWriter::Open(store->WalPath(),
-                                               options.sync_mode));
+                                               options.sync_mode,
+                                               store->registry_));
   if (fresh) {
     // Persist the seed metadata so the replica id survives reopen.
     DOMINO_RETURN_IF_ERROR(store->UpdateInfo(store->info_));
@@ -78,6 +100,21 @@ Status NoteStore::Recover(const DatabaseInfo& default_info) {
     stats_.recovered_torn_tail = reader.tail_corrupted();
   } else if (!log.status().IsNotFound()) {
     return log.status();
+  }
+  if (stats_.recovered_records > 0 || stats_.recovered_torn_tail) {
+    registry_->GetCounter("Database.WAL.Recovery.Runs").Add();
+    registry_->GetCounter("Database.WAL.Recovery.Records")
+        .Add(stats_.recovered_records);
+    if (stats_.recovered_torn_tail) {
+      registry_->GetCounter("Database.WAL.Recovery.TornTails").Add();
+    }
+    registry_->events().Log(
+        stats_.recovered_torn_tail ? stats::Severity::kWarning
+                                   : stats::Severity::kNormal,
+        "Store",
+        "WAL recovery ran: replayed " +
+            std::to_string(stats_.recovered_records) + " record(s)" +
+            (stats_.recovered_torn_tail ? ", torn tail discarded" : ""));
   }
   return Status::Ok();
 }
@@ -216,10 +253,17 @@ Status NoteStore::ApplyBatchPayload(std::string_view payload,
 }
 
 Status NoteStore::CommitPayload(const std::string& payload) {
+  auto start = std::chrono::steady_clock::now();
   DOMINO_RETURN_IF_ERROR(
       wal_->AppendRecord(wal::RecordType::kData, payload));
+  hist_commit_micros_->Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count()));
   stats_.wal_records_written++;
   stats_.wal_bytes_written = wal_->bytes_written();
+  ctr_wal_records_->Add();
+  ctr_wal_bytes_->Add(payload.size());
   if (options_.checkpoint_threshold_bytes > 0 &&
       wal_->bytes_written() > options_.checkpoint_threshold_bytes) {
     return Checkpoint();
@@ -239,10 +283,28 @@ Status NoteStore::Put(Note* note) {
   PutLengthPrefixed(&payload, encoded);
   DOMINO_RETURN_IF_ERROR(CommitPayload(payload));
   auto it = notes_.find(note->id());
-  if (it != notes_.end()) UnindexNote(it->second);
+  const bool existed = it != notes_.end();
+  const bool was_live = existed && !it->second.deleted();
+  if (existed) UnindexNote(it->second);
   IndexNote(*note);
   notes_[note->id()] = *note;
+  CountPut(existed, was_live, note->deleted());
   return Status::Ok();
+}
+
+void NoteStore::CountPut(bool existed, bool was_live, bool now_deleted) {
+  if (now_deleted) {
+    ctr_docs_deleted_->Add();
+    if (was_live) gauge_notes_->Add(-1);
+  } else if (!existed) {
+    ctr_docs_added_->Add();
+    gauge_notes_->Add(1);
+  } else {
+    ctr_docs_updated_->Add();
+    // A live note replacing a stub (replication resurrect) re-enters the
+    // live population.
+    if (!was_live) gauge_notes_->Add(1);
+  }
 }
 
 Status NoteStore::PutBatch(std::vector<Note>* batch) {
@@ -261,9 +323,12 @@ Status NoteStore::PutBatch(std::vector<Note>* batch) {
   DOMINO_RETURN_IF_ERROR(CommitPayload(payload));
   for (const Note& note : *batch) {
     auto it = notes_.find(note.id());
-    if (it != notes_.end()) UnindexNote(it->second);
+    const bool existed = it != notes_.end();
+    const bool was_live = existed && !it->second.deleted();
+    if (existed) UnindexNote(it->second);
     IndexNote(note);
     notes_[note.id()] = note;
+    CountPut(existed, was_live, note.deleted());
   }
   return Status::Ok();
 }
@@ -282,6 +347,8 @@ Status NoteStore::Erase(NoteId id) {
   // be defensive about iterator stability anyway.
   it = notes_.find(id);
   if (it != notes_.end()) {
+    ctr_docs_erased_->Add();
+    if (!it->second.deleted()) gauge_notes_->Add(-1);
     UnindexNote(it->second);
     notes_.erase(it);
   }
@@ -299,6 +366,7 @@ Result<size_t> NoteStore::PurgeStubs(Micros now) {
   for (NoteId id : victims) {
     DOMINO_RETURN_IF_ERROR(Erase(id));
   }
+  ctr_stubs_purged_->Add(victims.size());
   return victims.size();
 }
 
@@ -320,8 +388,10 @@ Status NoteStore::Checkpoint() {
   wal_.reset();
   DOMINO_RETURN_IF_ERROR(RemoveFileIfExists(WalPath()));
   DOMINO_ASSIGN_OR_RETURN(wal_,
-                          wal::LogWriter::Open(WalPath(), options_.sync_mode));
+                          wal::LogWriter::Open(WalPath(), options_.sync_mode,
+                                               registry_));
   stats_.checkpoints++;
+  ctr_checkpoints_->Add();
   return Status::Ok();
 }
 

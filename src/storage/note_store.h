@@ -13,6 +13,7 @@
 #include "base/status.h"
 #include "model/note.h"
 #include "model/unid.h"
+#include "stats/stats.h"
 #include "wal/log_writer.h"
 
 namespace dominodb {
@@ -35,6 +36,9 @@ struct StoreOptions {
   wal::SyncMode sync_mode = wal::SyncMode::kNone;
   /// Checkpoint automatically once the WAL exceeds this size (0 disables).
   uint64_t checkpoint_threshold_bytes = 16ull << 20;
+  /// Registry receiving the `Database.*` and `WAL.*` stats of this store;
+  /// null → the process-wide StatRegistry::Global().
+  stats::StatRegistry* stats = nullptr;
 };
 
 struct StoreStats {
@@ -118,8 +122,7 @@ class NoteStore {
   uint64_t wal_size_bytes() const;
 
  private:
-  NoteStore(std::string dir, StoreOptions options)
-      : dir_(std::move(dir)), options_(options) {}
+  NoteStore(std::string dir, StoreOptions options);
 
   std::string WalPath() const { return dir_ + "/notes.wal"; }
   std::string SnapshotPath() const { return dir_ + "/notes.snap"; }
@@ -132,6 +135,8 @@ class NoteStore {
 
   void IndexNote(const Note& note);
   void UnindexNote(const Note& note);
+  /// Registry accounting for one committed Put.
+  void CountPut(bool existed, bool was_live, bool now_deleted);
 
   std::string dir_;
   StoreOptions options_;
@@ -142,6 +147,19 @@ class NoteStore {
   NoteId next_id_ = 1;
   size_t stub_count_ = 0;
   StoreStats stats_;
+
+  // Server-wide stat hooks (see StoreOptions::stats).
+  stats::StatRegistry* registry_;
+  stats::Counter* ctr_docs_added_;
+  stats::Counter* ctr_docs_updated_;
+  stats::Counter* ctr_docs_deleted_;
+  stats::Counter* ctr_docs_erased_;
+  stats::Counter* ctr_stubs_purged_;
+  stats::Counter* ctr_checkpoints_;
+  stats::Counter* ctr_wal_records_;
+  stats::Counter* ctr_wal_bytes_;
+  stats::Gauge* gauge_notes_;
+  stats::Histogram* hist_commit_micros_;
 };
 
 }  // namespace dominodb

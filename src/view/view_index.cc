@@ -1,6 +1,7 @@
 #include "view/view_index.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "base/string_util.h"
 
@@ -12,8 +13,19 @@ constexpr int kMaxResponseDepth = 32;
 
 }  // namespace
 
-ViewIndex::ViewIndex(ViewDesign design, const Clock* clock)
+ViewIndex::ViewIndex(ViewDesign design, const Clock* clock,
+                     stats::StatRegistry* stats)
     : design_(std::move(design)), clock_(clock) {
+  stats::StatRegistry& reg =
+      stats != nullptr ? *stats : stats::StatRegistry::Global();
+  ctr_selection_evals_ = &reg.GetCounter("Database.View.SelectionEvals");
+  ctr_column_evals_ = &reg.GetCounter("Database.View.ColumnEvals");
+  ctr_formula_errors_ = &reg.GetCounter("Database.View.FormulaErrors");
+  ctr_inserts_ = &reg.GetCounter("Database.View.Inserts");
+  ctr_removes_ = &reg.GetCounter("Database.View.Removes");
+  ctr_updates_ = &reg.GetCounter("Database.View.Updates");
+  ctr_rebuilds_ = &reg.GetCounter("Database.View.Rebuilds");
+  hist_rebuild_micros_ = &reg.GetHistogram("Database.View.RebuildMicros");
   for (const ViewColumn& col : design_.columns()) {
     if (col.sort != ColumnSort::kNone) {
       descending_.push_back(col.sort == ColumnSort::kDescending);
@@ -29,9 +41,11 @@ bool ViewIndex::IsSelected(const Note& note, const NoteResolver* resolver) {
   ctx.note = &note;
   ctx.clock = clock_;
   ++stats_.selection_evals;
+  ctr_selection_evals_->Add();
   auto matched = design_.selection().Matches(ctx);
   if (!matched.ok()) {
     ++stats_.formula_errors;
+    ctr_formula_errors_->Add();
     return false;
   }
   if (*matched) return true;
@@ -50,6 +64,7 @@ bool ViewIndex::IsSelected(const Note& note, const NoteResolver* resolver) {
     actx.note = ancestor;
     actx.clock = clock_;
     ++stats_.selection_evals;
+    ctr_selection_evals_->Add();
     auto m = design_.selection().Matches(actx);
     if (m.ok() && *m) return true;
     if (!descendants) break;  // @AllChildren: direct parent only
@@ -83,9 +98,11 @@ Result<std::optional<ViewEntry>> ViewIndex::EvaluateNote(
     ctx.note = &note;
     ctx.clock = clock_;
     ++stats_.column_evals;
+    ctr_column_evals_->Add();
     auto v = col.formula.Evaluate(ctx);
     if (!v.ok()) {
       ++stats_.formula_errors;
+      ctr_formula_errors_->Add();
       entry.column_values.push_back(Value::Text(""));
     } else {
       entry.column_values.push_back(std::move(*v));
@@ -122,9 +139,11 @@ void ViewIndex::RemoveLocation(NoteId id) {
   }
   row_of_note_.erase(it);
   ++stats_.removes;
+  ctr_removes_->Add();
 }
 
 Status ViewIndex::Update(const Note& note, const NoteResolver* resolver) {
+  ctr_updates_->Add();
   return UpdateOne(note, resolver, 0);
 }
 
@@ -154,6 +173,7 @@ Status ViewIndex::UpdateOne(const Note& note, const NoteResolver* resolver,
     }
     row_of_note_[note.id()] = loc;
     ++stats_.inserts;
+    ctr_inserts_->Add();
   }
   // Membership/placement of responses depends on this note; re-evaluate
   // the known children (recursively through UpdateOne's own walk).
@@ -181,8 +201,10 @@ Status ViewIndex::Rebuild(
     const std::function<void(const std::function<void(const Note&)>&)>&
         for_each_note,
     const NoteResolver* resolver) {
+  auto start = std::chrono::steady_clock::now();
   Clear();
   ++stats_.rebuilds;
+  ctr_rebuilds_->Add();
   // Parents must be indexed before their responses so placement works.
   // Collect and order by response depth.
   std::vector<Note> notes;
@@ -207,6 +229,10 @@ Status ViewIndex::Rebuild(
     // guarantees parents were indexed first.
     DOMINO_RETURN_IF_ERROR(UpdateOne(note, resolver, kMaxResponseDepth));
   }
+  hist_rebuild_micros_->Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count()));
   return Status::Ok();
 }
 

@@ -13,6 +13,7 @@
 #include "base/result.h"
 #include "model/collation.h"
 #include "model/note.h"
+#include "stats/stats.h"
 #include "view/view_design.h"
 
 namespace dominodb {
@@ -78,7 +79,10 @@ struct ViewStats {
 /// responses whose (an)cestor matches the selection.
 class ViewIndex {
  public:
-  ViewIndex(ViewDesign design, const Clock* clock);
+  /// `stats` (nullable → the global registry) receives the server-wide
+  /// `Database.View.*` counters alongside the per-index ViewStats.
+  ViewIndex(ViewDesign design, const Clock* clock,
+            stats::StatRegistry* stats = nullptr);
 
   const ViewDesign& design() const { return design_; }
 
@@ -158,6 +162,16 @@ class ViewIndex {
   std::map<Unid, std::map<ResponseKey, ViewEntry>> responses_;
   std::unordered_map<NoteId, Location> row_of_note_;
   ViewStats stats_;
+
+  // Server-wide mirrors of ViewStats (dotted Domino stat names).
+  stats::Counter* ctr_selection_evals_;
+  stats::Counter* ctr_column_evals_;
+  stats::Counter* ctr_formula_errors_;
+  stats::Counter* ctr_inserts_;
+  stats::Counter* ctr_removes_;
+  stats::Counter* ctr_updates_;
+  stats::Counter* ctr_rebuilds_;
+  stats::Histogram* hist_rebuild_micros_;
 };
 
 }  // namespace dominodb

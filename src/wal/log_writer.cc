@@ -5,11 +5,22 @@
 
 namespace dominodb::wal {
 
-Result<std::unique_ptr<LogWriter>> LogWriter::Open(const std::string& path,
-                                                   SyncMode sync_mode) {
+LogWriter::LogWriter(std::unique_ptr<WritableFile> file, SyncMode sync_mode,
+                     stats::StatRegistry* stats)
+    : file_(std::move(file)), sync_mode_(sync_mode) {
+  stats::StatRegistry& reg =
+      stats != nullptr ? *stats : stats::StatRegistry::Global();
+  appends_ = &reg.GetCounter("WAL.Appends");
+  appended_bytes_ = &reg.GetCounter("WAL.AppendedBytes");
+  syncs_ = &reg.GetCounter("WAL.Syncs");
+}
+
+Result<std::unique_ptr<LogWriter>> LogWriter::Open(
+    const std::string& path, SyncMode sync_mode,
+    stats::StatRegistry* stats) {
   DOMINO_ASSIGN_OR_RETURN(auto file, WritableFile::Open(path));
   return std::unique_ptr<LogWriter>(
-      new LogWriter(std::move(file), sync_mode));
+      new LogWriter(std::move(file), sync_mode, stats));
 }
 
 Status LogWriter::AppendRecord(RecordType type, std::string_view payload) {
@@ -27,12 +38,18 @@ Status LogWriter::AppendRecord(RecordType type, std::string_view payload) {
   frame.push_back(static_cast<char>(type));
   frame.append(payload);
   DOMINO_RETURN_IF_ERROR(file_->Append(frame));
+  appends_->Add();
+  appended_bytes_->Add(frame.size());
   if (sync_mode_ == SyncMode::kEveryCommit) {
+    syncs_->Add();
     return file_->Sync();
   }
   return file_->Flush();
 }
 
-Status LogWriter::Sync() { return file_->Sync(); }
+Status LogWriter::Sync() {
+  syncs_->Add();
+  return file_->Sync();
+}
 
 }  // namespace dominodb::wal

@@ -7,6 +7,7 @@
 
 #include "base/env.h"
 #include "base/status.h"
+#include "stats/stats.h"
 #include "wal/log_format.h"
 
 namespace dominodb::wal {
@@ -21,8 +22,11 @@ enum class SyncMode {
 /// Appends CRC-framed records to a log file.
 class LogWriter {
  public:
-  static Result<std::unique_ptr<LogWriter>> Open(const std::string& path,
-                                                 SyncMode sync_mode);
+  /// `stats` (nullable → the global registry) receives `WAL.Appends`,
+  /// `WAL.AppendedBytes` and `WAL.Syncs`.
+  static Result<std::unique_ptr<LogWriter>> Open(
+      const std::string& path, SyncMode sync_mode,
+      stats::StatRegistry* stats = nullptr);
 
   /// Appends one record; with SyncMode::kEveryCommit the record is durable
   /// when this returns OK.
@@ -34,11 +38,14 @@ class LogWriter {
   uint64_t bytes_written() const { return file_->bytes_written(); }
 
  private:
-  LogWriter(std::unique_ptr<WritableFile> file, SyncMode sync_mode)
-      : file_(std::move(file)), sync_mode_(sync_mode) {}
+  LogWriter(std::unique_ptr<WritableFile> file, SyncMode sync_mode,
+            stats::StatRegistry* stats);
 
   std::unique_ptr<WritableFile> file_;
   SyncMode sync_mode_;
+  stats::Counter* appends_;
+  stats::Counter* appended_bytes_;
+  stats::Counter* syncs_;
 };
 
 }  // namespace dominodb::wal

@@ -56,5 +56,27 @@ TEST(SimNetTest, NullClockStillCounts) {
   EXPECT_EQ(net.total().bytes, 42u);
 }
 
+TEST(SimNetTest, PartitionedTransfersCountAsDropped) {
+  SimClock clock(0);
+  stats::StatRegistry reg;
+  SimNet net(&clock, &reg);
+  net.SetPartitioned("a", "b", true);
+  EXPECT_FALSE(net.Transfer("a", "b", 100).ok());
+  EXPECT_FALSE(net.Transfer("b", "a", 100).ok());
+  // Attempts are accounted as drops — not as delivered traffic.
+  EXPECT_EQ(net.StatsBetween("a", "b").dropped, 2u);
+  EXPECT_EQ(net.StatsBetween("a", "b").messages, 0u);
+  EXPECT_EQ(net.total().dropped, 2u);
+  EXPECT_EQ(net.total().bytes, 0u);
+  EXPECT_EQ(clock.Now(), 0);  // no latency charged
+  EXPECT_EQ(reg.FindCounter("Net.Dropped")->value(), 2u);
+  net.SetPartitioned("a", "b", false);
+  ASSERT_OK(net.Transfer("a", "b", 100));
+  EXPECT_EQ(net.total().dropped, 2u);
+  EXPECT_EQ(net.total().messages, 1u);
+  net.ResetStats();
+  EXPECT_EQ(net.total().dropped, 0u);
+}
+
 }  // namespace
 }  // namespace dominodb

@@ -57,6 +57,50 @@ TEST_F(ReplicationFixture, MismatchedReplicaIdsRejected) {
                    .ok());
 }
 
+TEST_F(ReplicationFixture, StatCountersMatchReport) {
+  ASSERT_OK(a_->CreateNote(MakeDoc("Memo", "from A")).status());
+  ASSERT_OK(b_->CreateNote(MakeDoc("Memo", "from B")).status());
+  clock_.Advance(1000);
+  stats::StatRegistry reg;
+  Replicator replicator(net_.get(), &reg);
+  auto result = replicator.Replicate(a_.get(), "A", b_.get(), "B",
+                                     &history_a_, &history_b_, {});
+  ASSERT_OK(result);
+  const ReplicationReport& report = *result;
+  auto counter = [&reg](const std::string& name) {
+    const stats::Counter* c = reg.FindCounter(name);
+    return c != nullptr ? c->value() : 0u;
+  };
+  EXPECT_EQ(counter("Replica.Sessions.Completed"), 1u);
+  EXPECT_EQ(counter("Replica.Sessions.Failed"), 0u);
+  EXPECT_EQ(counter("Replica.Docs.Summarized"), report.summarized);
+  EXPECT_EQ(counter("Replica.Docs.Received"), report.pulled);
+  EXPECT_EQ(counter("Replica.Docs.Sent"), report.pushed);
+  EXPECT_EQ(counter("Replica.Docs.Deleted"), report.deletions_applied);
+  EXPECT_EQ(counter("Replica.Docs.Conflicts"), report.conflicts);
+  EXPECT_EQ(counter("Replica.Docs.Merged"), report.merges);
+  EXPECT_EQ(counter("Replica.Docs.Skipped"), report.skipped_unchanged);
+  EXPECT_EQ(counter("Replica.Docs.Filtered"), report.skipped_by_formula);
+  EXPECT_EQ(counter("Replica.Bytes.Transferred"), report.bytes_transferred);
+  EXPECT_EQ(counter("Replica.Messages"), report.messages);
+  EXPECT_EQ(report.pulled, 1u);
+  EXPECT_EQ(report.pushed, 1u);
+}
+
+TEST_F(ReplicationFixture, FailedSessionCountsAndLogsFailureEvent) {
+  DatabaseOptions options;
+  auto other = Database::Open(dir_.Sub("other"), options, &clock_);
+  ASSERT_OK(other);
+  stats::StatRegistry reg;
+  Replicator replicator(nullptr, &reg);
+  ReplicationHistory h1, h2;
+  EXPECT_FALSE(replicator
+                   .Replicate(a_.get(), "A", other->get(), "O", &h1, &h2, {})
+                   .ok());
+  EXPECT_EQ(reg.FindCounter("Replica.Sessions.Failed")->value(), 1u);
+  EXPECT_EQ(reg.events().CountRetained(stats::Severity::kFailure), 1u);
+}
+
 TEST_F(ReplicationFixture, BidirectionalSync) {
   ASSERT_OK(a_->CreateNote(MakeDoc("Memo", "from A")).status());
   ASSERT_OK(b_->CreateNote(MakeDoc("Memo", "from B")).status());

@@ -1,0 +1,339 @@
+#include "stats/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "server/server.h"
+#include "tests/test_util.h"
+
+namespace dominodb {
+namespace {
+
+using stats::DiffSnapshots;
+using stats::EventLog;
+using stats::Histogram;
+using stats::Severity;
+using stats::StatRegistry;
+using stats::StatSnapshot;
+using testing_util::MakeDoc;
+using testing_util::ScratchDir;
+
+// -- Primitives -----------------------------------------------------------
+
+TEST(CounterTest, AddAndReset) {
+  stats::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentAddsDontLoseIncrements) {
+  stats::Counter c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10'000; ++i) c.Add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), 40'000u);
+}
+
+TEST(GaugeTest, SetAddNegative) {
+  stats::Gauge g;
+  g.Set(5);
+  g.Add(-7);
+  EXPECT_EQ(g.value(), -2);
+}
+
+TEST(HistogramTest, BucketMath) {
+  // Bucket i covers (2^(i-1), 2^i]: value 1 → bucket 0, 2 → bucket 1,
+  // 3..4 → bucket 2, 5..8 → bucket 3, ...
+  EXPECT_EQ(Histogram::BucketFor(0), 0u);
+  EXPECT_EQ(Histogram::BucketFor(1), 0u);
+  EXPECT_EQ(Histogram::BucketFor(2), 1u);
+  EXPECT_EQ(Histogram::BucketFor(3), 2u);
+  EXPECT_EQ(Histogram::BucketFor(4), 2u);
+  EXPECT_EQ(Histogram::BucketFor(5), 3u);
+  EXPECT_EQ(Histogram::BucketFor(1'000'000), 20u);
+  // Values past the covered range land in the unbounded tail bucket.
+  EXPECT_EQ(Histogram::BucketFor(~0ull), Histogram::kNumBuckets - 1);
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(10), 1024u);
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::kNumBuckets - 1), ~0ull);
+}
+
+TEST(HistogramTest, CountSumMaxPercentile) {
+  Histogram h;
+  EXPECT_EQ(h.Percentile(0.5), 0u);  // empty
+  for (uint64_t v : {1, 2, 3, 100}) h.Record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 106u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 106.0 / 4.0);
+  // p50: 2 of 4 samples ≤ bucket of value 2 (upper bound 2).
+  EXPECT_EQ(h.Percentile(0.5), 2u);
+  // p100 lands in the bucket of 100 → upper bound 128.
+  EXPECT_EQ(h.Percentile(1.0), 128u);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(HistogramTest, TailBucketReportsRecordedMax) {
+  Histogram h;
+  uint64_t huge = ~0ull - 5;
+  h.Record(huge);
+  EXPECT_EQ(h.Percentile(0.99), huge);
+}
+
+// -- EventLog -------------------------------------------------------------
+
+TEST(EventLogTest, RingKeepsMostRecent) {
+  EventLog log(/*capacity=*/3);
+  for (int i = 0; i < 5; ++i) {
+    log.Log(Severity::kNormal, "Test", "event " + std::to_string(i), i);
+  }
+  EXPECT_EQ(log.total_logged(), 5u);
+  std::vector<stats::Event> events = log.Events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events.front().message, "event 2");  // oldest retained
+  EXPECT_EQ(events.back().message, "event 4");
+}
+
+TEST(EventLogTest, CountRetainedBySeverity) {
+  EventLog log;
+  log.Log(Severity::kNormal, "A", "fine");
+  log.Log(Severity::kWarning, "A", "hmm");
+  log.Log(Severity::kFailure, "B", "bad");
+  log.Log(Severity::kFailure, "B", "worse");
+  EXPECT_EQ(log.CountRetained(Severity::kNormal), 1u);
+  EXPECT_EQ(log.CountRetained(Severity::kWarning), 1u);
+  EXPECT_EQ(log.CountRetained(Severity::kFailure), 2u);
+  EXPECT_EQ(log.CountRetained(Severity::kFatal), 0u);
+}
+
+// -- Registry -------------------------------------------------------------
+
+TEST(StatRegistryTest, GetReturnsStableNamedStats) {
+  StatRegistry reg;
+  stats::Counter& c1 = reg.GetCounter("Replica.Docs.Received");
+  c1.Add(3);
+  // Same name → same counter; registering more stats must not move it.
+  for (int i = 0; i < 100; ++i) {
+    reg.GetCounter("Filler.Stat." + std::to_string(i));
+  }
+  EXPECT_EQ(&reg.GetCounter("Replica.Docs.Received"), &c1);
+  EXPECT_EQ(c1.value(), 3u);
+  EXPECT_EQ(reg.FindCounter("Replica.Docs.Received"), &c1);
+  EXPECT_EQ(reg.FindCounter("No.Such.Stat"), nullptr);
+}
+
+TEST(StatRegistryTest, NamesAreSortedAndSpanAllKinds) {
+  StatRegistry reg;
+  reg.GetCounter("Mail.Dead");
+  reg.GetGauge("Server.Databases");
+  reg.GetHistogram("Database.WAL.CommitMicros");
+  std::vector<std::string> names = reg.StatNames();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "Database.WAL.CommitMicros");
+  EXPECT_EQ(names[1], "Mail.Dead");
+  EXPECT_EQ(names[2], "Server.Databases");
+}
+
+TEST(StatRegistryTest, ShowStatFiltersByPrefixPattern) {
+  StatRegistry reg;
+  reg.GetCounter("Replica.Docs.Received").Add(7);
+  reg.GetCounter("Replica.Docs.Sent").Add(2);
+  reg.GetCounter("Mail.Delivered").Add(1);
+  std::string all = reg.ShowStat();
+  EXPECT_NE(all.find("Mail.Delivered = 1"), std::string::npos);
+  EXPECT_NE(all.find("Replica.Docs.Received = 7"), std::string::npos);
+  // Case-insensitive prefix with optional trailing '*'.
+  std::string replica = reg.ShowStat("replica.*");
+  EXPECT_NE(replica.find("Replica.Docs.Sent = 2"), std::string::npos);
+  EXPECT_EQ(replica.find("Mail.Delivered"), std::string::npos);
+}
+
+TEST(StatRegistryTest, ShowStatJsonFilters) {
+  StatRegistry reg;
+  reg.GetCounter("Replica.Docs.Received").Add(7);
+  reg.GetCounter("Mail.Delivered").Add(1);
+  std::string json = reg.ShowStatJson("Replica");
+  EXPECT_NE(json.find("\"Replica.Docs.Received\":7"), std::string::npos);
+  EXPECT_EQ(json.find("Mail.Delivered"), std::string::npos);
+}
+
+TEST(StatRegistryTest, ThresholdEventsLatchUntilReset) {
+  StatRegistry reg;
+  reg.AddThreshold("Mail.Dead", 2, Severity::kWarning, "dead mail piling up");
+  stats::Counter& dead = reg.GetCounter("Mail.Dead");
+  EXPECT_EQ(reg.CheckThresholds(), 0u);  // below threshold
+  dead.Add(2);
+  EXPECT_EQ(reg.CheckThresholds(100), 1u);
+  // Latched: still over threshold, but already fired.
+  EXPECT_EQ(reg.CheckThresholds(200), 0u);
+  std::vector<stats::Event> events = reg.events().Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].severity, Severity::kWarning);
+  EXPECT_EQ(events[0].when, 100);
+  EXPECT_NE(events[0].message.find("dead mail piling up"),
+            std::string::npos);
+  // ResetAll re-arms the rule (and zeroes the stat).
+  reg.ResetAll();
+  EXPECT_EQ(dead.value(), 0u);
+  dead.Add(5);
+  EXPECT_EQ(reg.CheckThresholds(), 1u);
+}
+
+TEST(StatRegistryTest, DuplicateThresholdRegistrationsIgnored) {
+  StatRegistry reg;
+  reg.AddThreshold("X", 1, Severity::kWarning, "first");
+  reg.AddThreshold("X", 1, Severity::kFailure, "duplicate");
+  reg.GetCounter("X").Add(1);
+  EXPECT_EQ(reg.CheckThresholds(), 1u);
+}
+
+// -- Snapshots ------------------------------------------------------------
+
+TEST(StatSnapshotTest, DiffSubtractsCountersAndTakesAfterGauges) {
+  StatRegistry reg;
+  stats::Counter& c = reg.GetCounter("Replica.Docs.Received");
+  stats::Gauge& g = reg.GetGauge("Server.Databases");
+  stats::Histogram& h = reg.GetHistogram("Database.WAL.CommitMicros");
+  c.Add(10);
+  g.Set(2);
+  h.Record(100);
+  StatSnapshot before = reg.Snapshot();
+  c.Add(5);
+  g.Set(3);
+  h.Record(200);
+  h.Record(300);
+  StatSnapshot after = reg.Snapshot();
+  StatSnapshot diff = DiffSnapshots(before, after);
+  EXPECT_EQ(diff.counters.at("Replica.Docs.Received"), 5u);
+  EXPECT_EQ(diff.gauges.at("Server.Databases"), 3);
+  EXPECT_EQ(diff.histograms.at("Database.WAL.CommitMicros").count, 2u);
+  EXPECT_EQ(diff.histograms.at("Database.WAL.CommitMicros").sum, 500u);
+}
+
+TEST(StatSnapshotTest, ToJsonEscapesAndStructures) {
+  StatRegistry reg;
+  reg.GetCounter("A.B").Add(1);
+  reg.GetGauge("G").Set(-4);
+  reg.GetHistogram("H").Record(7);
+  std::string json = reg.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"counters\":{\"A.B\":1}"), std::string::npos);
+  EXPECT_NE(json.find("\"G\":-4"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+}
+
+// -- Server integration ----------------------------------------------------
+
+class ServerStatsFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    clock_.Set(1'000'000'000);
+    net_ = std::make_unique<SimNet>(&clock_, &hub_stats_);
+    hub_ = std::make_unique<Server>("hub", dir_.Sub("hub"), &clock_,
+                                    net_.get(), &directory_, &hub_stats_);
+    spoke_ = std::make_unique<Server>("spoke", dir_.Sub("spoke"), &clock_,
+                                      net_.get(), &directory_, &spoke_stats_);
+  }
+
+  ScratchDir dir_;
+  SimClock clock_;
+  MailDirectory directory_;
+  stats::StatRegistry hub_stats_, spoke_stats_;
+  std::unique_ptr<SimNet> net_;
+  std::unique_ptr<Server> hub_, spoke_;
+};
+
+TEST_F(ServerStatsFixture, ReplicationAndMailShowUpInShowStat) {
+  // One replication session moving 3 documents hub → spoke.
+  DatabaseOptions options;
+  options.title = "App";
+  ASSERT_OK_AND_ASSIGN(Database * app, hub_->OpenDatabase("app.nsf", options));
+  ASSERT_OK(spoke_->CreateReplicaOf(*app, "app.nsf").status());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_OK(
+        app->CreateNote(MakeDoc("Memo", "m" + std::to_string(i))).status());
+  }
+  clock_.Advance(1000);
+  ASSERT_OK_AND_ASSIGN(ReplicationReport report,
+                       hub_->ReplicateWith(spoke_.get(), "app.nsf"));
+  EXPECT_EQ(report.pushed, 3u);
+
+  // The hub drove the session, so its registry holds the session counters
+  // and they equal the returned report field-for-field.
+  auto counter = [this](const std::string& name) {
+    const stats::Counter* c = hub_stats_.FindCounter(name);
+    return c != nullptr ? c->value() : 0u;
+  };
+  EXPECT_EQ(counter("Replica.Sessions.Completed"), 1u);
+  EXPECT_EQ(counter("Replica.Sessions.Failed"), 0u);
+  EXPECT_EQ(counter("Replica.Docs.Summarized"), report.summarized);
+  EXPECT_EQ(counter("Replica.Docs.Received"), report.pulled);
+  EXPECT_EQ(counter("Replica.Docs.Sent"), report.pushed);
+  EXPECT_EQ(counter("Replica.Docs.Conflicts"), report.conflicts);
+  EXPECT_EQ(counter("Replica.Docs.Skipped"), report.skipped_unchanged);
+  EXPECT_EQ(counter("Replica.Bytes.Transferred"), report.bytes_transferred);
+  EXPECT_EQ(counter("Replica.Messages"), report.messages);
+  EXPECT_GT(report.bytes_transferred, 0u);
+
+  // One mail delivery: alice (hub) → bob (hub).
+  ASSERT_OK(hub_->CreateMailFile("alice").status());
+  ASSERT_OK(hub_->CreateMailFile("bob").status());
+  ASSERT_OK(hub_->SendMail("alice", {"bob"}, "hi", "hello bob"));
+  std::map<std::string, Router*> peers = {{"hub", hub_->router()}};
+  ASSERT_OK(hub_->RunRouterOnce(peers).status());
+  EXPECT_EQ(counter("Mail.Submitted"), 1u);
+  EXPECT_EQ(counter("Mail.Delivered"), 1u);
+  EXPECT_EQ(counter("Mail.Dead"), 0u);
+
+  // `show stat` surfaces both subsystems with non-zero values.
+  std::string show = hub_->ShowStat();
+  EXPECT_NE(show.find("Replica.Docs.Sent = 3"), std::string::npos);
+  EXPECT_NE(show.find("Mail.Delivered = 1"), std::string::npos);
+  // The spoke served the session passively; its registry saw none of it.
+  EXPECT_EQ(spoke_stats_.FindCounter("Replica.Sessions.Completed"), nullptr);
+
+  // Store/WAL instrumentation fed the same registry.
+  EXPECT_GT(counter("Database.Docs.Added"), 0u);
+  EXPECT_GT(counter("WAL.Appends"), 0u);
+}
+
+TEST_F(ServerStatsFixture, DeadMailFiresThresholdEvent) {
+  ASSERT_OK(hub_->CreateMailFile("alice").status());
+  ASSERT_OK(hub_->SendMail("alice", {"nobody"}, "void", "hello?"));
+  std::map<std::string, Router*> peers = {{"hub", hub_->router()}};
+  ASSERT_OK(hub_->RunRouterOnce(peers).status());
+  const stats::Counter* dead = hub_stats_.FindCounter("Mail.Dead");
+  ASSERT_NE(dead, nullptr);
+  EXPECT_EQ(dead->value(), 1u);
+  // The router logged the warning immediately...
+  EXPECT_GE(hub_stats_.events().CountRetained(Severity::kWarning), 1u);
+  // ...and the Server's default Mail.Dead >= 1 statistic event fires on
+  // the next Collector poll.
+  EXPECT_EQ(hub_->CheckThresholds(), 1u);
+  EXPECT_EQ(hub_->CheckThresholds(), 0u);  // latched
+}
+
+TEST_F(ServerStatsFixture, SnapshotDiffBracketsAWorkload) {
+  DatabaseOptions options;
+  ASSERT_OK_AND_ASSIGN(Database * db, hub_->OpenDatabase("app.nsf", options));
+  ASSERT_OK(db->CreateNote(MakeDoc("Memo", "one")).status());
+  stats::StatSnapshot before = hub_->StatSnapshot();
+  ASSERT_OK(db->CreateNote(MakeDoc("Memo", "two")).status());
+  ASSERT_OK(db->CreateNote(MakeDoc("Memo", "three")).status());
+  stats::StatSnapshot diff = DiffSnapshots(before, hub_->StatSnapshot());
+  EXPECT_EQ(diff.counters.at("Database.Docs.Added"), 2u);
+}
+
+}  // namespace
+}  // namespace dominodb

@@ -340,6 +340,31 @@ TEST(ViewIndexTest, StatsCountEvals) {
   EXPECT_EQ(view.stats().inserts, 1u);
 }
 
+TEST(ViewIndexTest, RegistryCountersMirrorViewStats) {
+  MapResolver resolver;
+  SimClock clock;
+  stats::StatRegistry reg;
+  ViewIndex view(SimpleView("SELECT @All"), &clock, &reg);
+  Note* doc = resolver.Add(Doc(1, "Invoice", "x", 1, 100));
+  ASSERT_OK(view.Update(*doc, &resolver));
+  ASSERT_OK(view.Rebuild(
+      [&](const std::function<void(const Note&)>& fn) { resolver.ForEach(fn); },
+      &resolver));
+  auto counter = [&reg](const std::string& name) {
+    const stats::Counter* c = reg.FindCounter(name);
+    return c != nullptr ? c->value() : 0u;
+  };
+  EXPECT_EQ(counter("Database.View.SelectionEvals"),
+            view.stats().selection_evals);
+  EXPECT_EQ(counter("Database.View.ColumnEvals"), view.stats().column_evals);
+  EXPECT_EQ(counter("Database.View.Inserts"), view.stats().inserts);
+  EXPECT_EQ(counter("Database.View.Rebuilds"), 1u);
+  const stats::Histogram* rebuild_micros =
+      reg.FindHistogram("Database.View.RebuildMicros");
+  ASSERT_NE(rebuild_micros, nullptr);
+  EXPECT_EQ(rebuild_micros->count(), 1u);
+}
+
 TEST(ViewDesignTest, NoteRoundtrip) {
   std::vector<ViewColumn> columns;
   ViewColumn cat;
