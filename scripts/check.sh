@@ -1,14 +1,23 @@
 #!/usr/bin/env bash
-# Sanitizer gate: builds the tree under AddressSanitizer and runs the full
-# test suite. Usage: scripts/check.sh [address|thread|undefined]
+# Sanitizer gate: builds the tree and runs the full test suite under each
+# requested sanitizer. With no arguments both AddressSanitizer and
+# ThreadSanitizer run (the background indexer makes data-race coverage
+# mandatory). Usage: scripts/check.sh [address|thread|undefined ...]
 set -euo pipefail
 
-SANITIZER="${1:-address}"
+if [ $# -eq 0 ]; then
+  SANITIZERS=(address thread)
+else
+  SANITIZERS=("$@")
+fi
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD_DIR="$ROOT/build-$SANITIZER"
 
-cmake -B "$BUILD_DIR" -S "$ROOT" \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DDOMINO_SANITIZE="$SANITIZER"
-cmake --build "$BUILD_DIR" -j"$(nproc)"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+for SANITIZER in "${SANITIZERS[@]}"; do
+  echo "== check.sh: $SANITIZER =="
+  BUILD_DIR="$ROOT/build-$SANITIZER"
+  cmake -B "$BUILD_DIR" -S "$ROOT" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DDOMINO_SANITIZE="$SANITIZER"
+  cmake --build "$BUILD_DIR" -j"$(nproc)"
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+done

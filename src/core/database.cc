@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <mutex>
 
 #include "base/string_util.h"
 #include "formula/formula.h"
@@ -12,7 +13,161 @@ namespace {
 
 std::atomic<uint64_t> g_open_counter{1};
 
+using DbLock = std::lock_guard<std::recursive_mutex>;
+
 }  // namespace
+
+class Database::MutationGuard {
+ public:
+  explicit MutationGuard(Database* db) : db_(db), lock_(db->mu_) {
+    ++db_->mutation_depth_;
+  }
+  ~MutationGuard() {
+    const bool outermost = --db_->mutation_depth_ == 0;
+    lock_.unlock();
+    if (outermost) db_->DrainNotifications();
+  }
+  MutationGuard(const MutationGuard&) = delete;
+  MutationGuard& operator=(const MutationGuard&) = delete;
+
+ private:
+  Database* db_;
+  std::unique_lock<std::recursive_mutex> lock_;
+};
+
+void Database::DrainNotifications() {
+  // An observer's own writes re-enter here; the outer drain on this
+  // thread finishes the queue, so just return.
+  if (notify_drainer_.load(std::memory_order_relaxed) ==
+      std::this_thread::get_id()) {
+    return;
+  }
+  for (;;) {
+    {
+      DbLock lock(mu_);
+      if (pending_notify_.empty()) return;
+    }
+    if (!notify_drain_mu_.try_lock()) {
+      // Another thread is draining; wait for it to flush our events too
+      // (or to exit, in which case we take over).
+      std::this_thread::yield();
+      continue;
+    }
+    std::lock_guard<std::mutex> drain_guard(notify_drain_mu_,
+                                            std::adopt_lock);
+    notify_drainer_.store(std::this_thread::get_id(),
+                          std::memory_order_relaxed);
+    for (;;) {
+      std::vector<PendingNotify> batch;
+      std::vector<DatabaseObserver*> observers;
+      {
+        DbLock lock(mu_);
+        if (pending_notify_.empty()) break;
+        batch.swap(pending_notify_);
+        observers = observers_;
+      }
+      for (const PendingNotify& n : batch) {
+        for (DatabaseObserver* obs : observers) {
+          if (n.erased_id != kInvalidNoteId) {
+            obs->OnNoteErased(n.erased_id);
+          } else {
+            obs->OnNoteChanged(n.note);
+          }
+        }
+      }
+    }
+    notify_drainer_.store(std::thread::id(), std::memory_order_relaxed);
+  }
+}
+
+Database::~Database() {
+  // Stop the background drain before any member is torn down: Close
+  // waits for in-flight pool callbacks, which may still lock mu_ and
+  // touch views/full-text until it returns.
+  if (indexer_ != nullptr) indexer_->Close();
+}
+
+void Database::AttachIndexer(indexer::ThreadPool* pool) {
+  {
+    DbLock lock(mu_);
+    if (indexer_pool_ == pool) return;
+  }
+  // Detach the current task first: flush its events and wait out its
+  // in-flight callbacks so a stale drain never races the replacement.
+  std::unique_ptr<indexer::IndexerTask> old;
+  {
+    DbLock lock(mu_);
+    if (indexer_ != nullptr) {
+      FlushIndexesLocked().ok();
+      old = std::move(indexer_);
+    }
+    indexer_pool_ = nullptr;
+  }
+  if (old != nullptr) old->Close();
+  old.reset();
+  DbLock lock(mu_);
+  indexer_pool_ = pool;
+  if (pool != nullptr) {
+    indexer_ = std::make_unique<indexer::IndexerTask>(
+        pool,
+        [this](indexer::IndexerTask* task) { BackgroundIndexDrain(task); },
+        registry_);
+  }
+}
+
+Status Database::FlushIndexes() {
+  DbLock lock(mu_);
+  return FlushIndexesLocked();
+}
+
+Status Database::FlushIndexesLocked() {
+  if (indexer_ == nullptr) return Status::Ok();
+  Status status = Status::Ok();
+  indexer_->DrainInline([this, &status](const indexer::NoteChange& change) {
+    Status s = ApplyIndexEvent(change);
+    if (status.ok() && !s.ok()) status = s;
+  });
+  return status;
+}
+
+bool Database::HasPendingIndexWork() const {
+  DbLock lock(mu_);
+  return indexer_ != nullptr && indexer_->HasPending();
+}
+
+Status Database::ApplyIndexEvent(const indexer::NoteChange& change) {
+  const Note* note = change.kind == indexer::ChangeKind::kErased
+                         ? nullptr
+                         : store_->FindPtr(change.id);
+  if (note == nullptr) {
+    // Erased, or purged before the drain caught up.
+    for (auto& [name, view] : views_) view->Remove(change.id);
+    if (fulltext_ != nullptr) fulltext_->RemoveNote(change.id);
+    return Status::Ok();
+  }
+  for (auto& [name, view] : views_) {
+    DOMINO_RETURN_IF_ERROR(view->Update(*note, this));
+  }
+  if (fulltext_ != nullptr) fulltext_->IndexNote(*note);
+  return Status::Ok();
+}
+
+void Database::BackgroundIndexDrain(indexer::IndexerTask* task) {
+  std::unique_lock<std::recursive_mutex> lock(mu_, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    // The database is busy — possibly a rebuild coordinator waiting on
+    // the very pool this callback runs on. Re-arm instead of blocking a
+    // worker; the next enqueue or read-path catch-up drains the queue.
+    task->ClearScheduled();
+    return;
+  }
+  if (task != indexer_.get()) return;  // detached while queued
+  Status status = FlushIndexesLocked();
+  if (!status.ok()) {
+    registry_->events().Log(stats::Severity::kWarning, "Indexer",
+                            "background drain: " + status.message());
+  }
+}
 
 Result<std::unique_ptr<Database>> Database::Open(
     const std::string& dir, const DatabaseOptions& options,
@@ -89,6 +244,7 @@ Micros Database::StampTime() {
 
 
 Status Database::SetAcl(const Acl& acl) {
+  MutationGuard guard(this);
   Note note = acl.ToNote();
   if (acl_note_id_ != kInvalidNoteId) {
     auto existing = store_->Get(acl_note_id_);
@@ -110,6 +266,7 @@ Status Database::SetAcl(const Acl& acl) {
 }
 
 Status Database::SetAclAs(const Principal& who, const Acl& acl) {
+  MutationGuard guard(this);
   if (!CanChangeAcl(acl_, who)) {
     return Status::PermissionDenied(who.name + " lacks Manager access");
   }
@@ -117,6 +274,7 @@ Status Database::SetAclAs(const Principal& who, const Acl& acl) {
 }
 
 Result<NoteId> Database::CreateNote(Note note) {
+  MutationGuard guard(this);
   note.set_id(kInvalidNoteId);
   note.StampCreated(GenerateUnid(), StampTime());
   note.StampItemModifications(nullptr, note.sequence_time());
@@ -127,6 +285,7 @@ Result<NoteId> Database::CreateNote(Note note) {
 }
 
 Status Database::UpdateNote(Note note) {
+  MutationGuard guard(this);
   const Note* existing = store_->FindPtr(note.id());
   if (existing == nullptr || existing->deleted()) {
     return Status::NotFound(StrPrintf("note %u", note.id()));
@@ -148,6 +307,7 @@ Status Database::UpdateNote(Note note) {
 }
 
 Status Database::DeleteNote(NoteId id) {
+  MutationGuard guard(this);
   const Note* existing = store_->FindPtr(id);
   if (existing == nullptr || existing->deleted()) {
     return Status::NotFound(StrPrintf("note %u", id));
@@ -160,6 +320,7 @@ Status Database::DeleteNote(NoteId id) {
 }
 
 Result<Note> Database::ReadNote(NoteId id) const {
+  DbLock lock(mu_);
   const Note* note = store_->FindPtr(id);
   if (note == nullptr || note->deleted()) {
     return Status::NotFound(StrPrintf("note %u", id));
@@ -168,6 +329,7 @@ Result<Note> Database::ReadNote(NoteId id) const {
 }
 
 Result<Note> Database::ReadNoteByUnid(const Unid& unid) const {
+  DbLock lock(mu_);
   const Note* note = store_->FindPtrByUnid(unid);
   if (note == nullptr || note->deleted()) {
     return Status::NotFound("unid " + unid.ToString());
@@ -176,6 +338,7 @@ Result<Note> Database::ReadNoteByUnid(const Unid& unid) const {
 }
 
 Result<NoteId> Database::CreateNoteAs(const Principal& who, Note note) {
+  MutationGuard guard(this);
   if (note.note_class() == NoteClass::kDocument) {
     if (!CanCreateDocuments(acl_, who)) {
       return Status::PermissionDenied(who.name + " may not create documents");
@@ -188,6 +351,7 @@ Result<NoteId> Database::CreateNoteAs(const Principal& who, Note note) {
 }
 
 Status Database::UpdateNoteAs(const Principal& who, Note note) {
+  MutationGuard guard(this);
   const Note* existing = store_->FindPtr(note.id());
   if (existing == nullptr || existing->deleted()) {
     return Status::NotFound(StrPrintf("note %u", note.id()));
@@ -204,6 +368,7 @@ Status Database::UpdateNoteAs(const Principal& who, Note note) {
 }
 
 Status Database::DeleteNoteAs(const Principal& who, NoteId id) {
+  MutationGuard guard(this);
   const Note* existing = store_->FindPtr(id);
   if (existing == nullptr || existing->deleted()) {
     return Status::NotFound(StrPrintf("note %u", id));
@@ -219,6 +384,7 @@ Status Database::DeleteNoteAs(const Principal& who, NoteId id) {
 }
 
 Result<Note> Database::ReadNoteAs(const Principal& who, NoteId id) const {
+  DbLock lock(mu_);
   DOMINO_ASSIGN_OR_RETURN(Note note, ReadNote(id));
   if (!CanReadDocument(acl_, who, note)) {
     return Status::PermissionDenied(who.name + " may not read this note");
@@ -227,6 +393,7 @@ Result<Note> Database::ReadNoteAs(const Principal& who, NoteId id) const {
 }
 
 Result<NoteId> Database::CreateResponse(const Unid& parent, Note note) {
+  MutationGuard guard(this);
   const Note* parent_note = store_->FindPtrByUnid(parent);
   if (parent_note == nullptr || parent_note->deleted()) {
     return Status::NotFound("parent " + parent.ToString());
@@ -236,6 +403,7 @@ Result<NoteId> Database::CreateResponse(const Unid& parent, Note note) {
 }
 
 Result<ViewIndex*> Database::CreateView(ViewDesign design) {
+  MutationGuard guard(this);
   std::string key = ToLower(design.name());
   Note design_note = design.ToNote();
   auto it = view_note_ids_.find(key);
@@ -260,16 +428,20 @@ Result<ViewIndex*> Database::CreateView(ViewDesign design) {
 }
 
 ViewIndex* Database::FindView(std::string_view name) {
+  DbLock lock(mu_);
+  // Refresh on open: readers catch up on deferred index events so the
+  // view they get reflects every committed write.
+  FlushIndexesLocked().ok();
   auto it = views_.find(ToLower(name));
   return it == views_.end() ? nullptr : it->second.get();
 }
 
 const ViewIndex* Database::FindView(std::string_view name) const {
-  auto it = views_.find(ToLower(name));
-  return it == views_.end() ? nullptr : it->second.get();
+  return const_cast<Database*>(this)->FindView(name);
 }
 
 std::vector<std::string> Database::ViewNames() const {
+  DbLock lock(mu_);
   std::vector<std::string> names;
   for (const auto& [key, view] : views_) {
     names.push_back(view->design().name());
@@ -280,10 +452,14 @@ std::vector<std::string> Database::ViewNames() const {
 Status Database::TraverseViewAs(
     const Principal& who, std::string_view view_name,
     const std::function<void(const ViewRow&)>& visit) const {
-  if (acl_.LevelFor(who) < AccessLevel::kReader) {
+  DbLock lock(mu_);
+  // Resolve the principal's level and roles once for the whole pass;
+  // re-resolving per row is pure overhead (the E8 hot path).
+  const AccessContext access = ResolveAccess(acl_, who);
+  if (access.level < AccessLevel::kReader) {
     return Status::PermissionDenied(who.name + " lacks Reader access");
   }
-  const ViewIndex* view = FindView(view_name);
+  const ViewIndex* view = FindView(view_name);  // catches up on events
   if (view == nullptr) {
     return Status::NotFound("view " + std::string(view_name));
   }
@@ -293,7 +469,7 @@ Status Database::TraverseViewAs(
   view->Traverse([&](const ViewRow& row) {
     if (row.kind == ViewRow::Kind::kDocument) {
       const Note* note = FindById(row.entry->note_id);
-      if (note == nullptr || !CanReadDocument(acl_, who, *note)) return;
+      if (note == nullptr || !CanReadDocument(access, who, *note)) return;
     }
     rows.push_back(row);
   });
@@ -324,6 +500,7 @@ constexpr char kFolderForm[] = "$Folder";
 }  // namespace
 
 Result<NoteId> Database::CreateFolder(const std::string& name) {
+  MutationGuard guard(this);
   NoteId existing = kInvalidNoteId;
   ForEachLiveNote([&](const Note& note) {
     if (note.note_class() == NoteClass::kDesign &&
@@ -362,6 +539,7 @@ Result<Note> FindFolderNote(const Database& db, const std::string& name) {
 }  // namespace
 
 Status Database::AddToFolder(const std::string& name, const Unid& unid) {
+  MutationGuard guard(this);
   if (FindByUnid(unid) == nullptr) {
     return Status::NotFound("document " + unid.ToString());
   }
@@ -380,6 +558,7 @@ Status Database::AddToFolder(const std::string& name, const Unid& unid) {
 
 Status Database::RemoveFromFolder(const std::string& name,
                                   const Unid& unid) {
+  MutationGuard guard(this);
   DOMINO_ASSIGN_OR_RETURN(Note folder, FindFolderNote(*this, name));
   const Value* refs = folder.FindValue("$FolderRefs");
   std::vector<std::string> list =
@@ -396,6 +575,7 @@ Status Database::RemoveFromFolder(const std::string& name,
 
 Result<std::vector<Note>> Database::FolderContents(
     const std::string& name) const {
+  DbLock lock(mu_);
   DOMINO_ASSIGN_OR_RETURN(Note folder, FindFolderNote(*this, name));
   std::vector<Note> out;
   const Value* refs = folder.FindValue("$FolderRefs");
@@ -409,6 +589,7 @@ Result<std::vector<Note>> Database::FolderContents(
 }
 
 std::vector<std::string> Database::FolderNames() const {
+  DbLock lock(mu_);
   std::vector<std::string> names;
   ForEachLiveNote([&](const Note& note) {
     if (note.note_class() == NoteClass::kDesign &&
@@ -420,24 +601,34 @@ std::vector<std::string> Database::FolderNames() const {
 }
 
 Status Database::EnsureFullTextIndex() {
+  DbLock lock(mu_);
   if (fulltext_ != nullptr) return Status::Ok();
   fulltext_ = std::make_unique<FullTextIndex>(registry_);
-  store_->ForEach([this](const Note& note) { fulltext_->IndexNote(note); });
+  // The store is frozen while we hold the lock, so pointers into it stay
+  // valid for the duration of the build (notes_ is a node-stable map).
+  std::vector<const Note*> notes;
+  notes.reserve(store_->note_count());
+  store_->ForEach([&](const Note& note) { notes.push_back(&note); });
+  fulltext_->BuildFrom(notes, indexer_pool_);
   return Status::Ok();
 }
 
 Result<std::vector<Note>> Database::SearchAs(const Principal& who,
                                              std::string_view query) const {
+  DbLock lock(mu_);
   if (fulltext_ == nullptr) {
     return Status::FailedPrecondition(
         "no full-text index; call EnsureFullTextIndex first");
   }
+  // Catch up on deferred maintenance so results reflect every write.
+  DOMINO_RETURN_IF_ERROR(const_cast<Database*>(this)->FlushIndexesLocked());
+  const AccessContext access = ResolveAccess(acl_, who);
   DOMINO_ASSIGN_OR_RETURN(auto hits, fulltext_->Search(query));
   std::vector<Note> out;
   for (const FtHit& hit : hits) {
     const Note* note = store_->FindPtr(hit.note_id);
     if (note != nullptr && !note->deleted() &&
-        CanReadDocument(acl_, who, *note)) {
+        CanReadDocument(access, who, *note)) {
       out.push_back(*note);
     }
   }
@@ -446,6 +637,7 @@ Result<std::vector<Note>> Database::SearchAs(const Principal& who,
 
 Result<std::vector<Note>> Database::FormulaSearch(
     std::string_view selection) const {
+  DbLock lock(mu_);
   DOMINO_ASSIGN_OR_RETURN(auto f, formula::Formula::Compile(selection));
   std::vector<Note> out;
   formula::EvalContext ctx;
@@ -507,6 +699,7 @@ Value ConcatColumn(const std::vector<const ViewEntry*>& entries,
 }  // namespace
 
 void Database::BindFormulaServices(formula::EvalContext* ctx) const {
+  DbLock lock(mu_);
   ctx->clock = clock_;
   ctx->db_title = title();
   ctx->replica_id = replica_id().ToString();
@@ -528,16 +721,19 @@ void Database::BindFormulaServices(formula::EvalContext* ctx) const {
 }
 
 void Database::MarkRead(const Principal& who, const Unid& unid) {
+  DbLock lock(mu_);
   read_marks_[ToLower(who.name)].insert(unid);
 }
 
 bool Database::IsUnread(const Principal& who, const Unid& unid) const {
+  DbLock lock(mu_);
   auto it = read_marks_.find(ToLower(who.name));
   if (it == read_marks_.end()) return true;
   return it->second.count(unid) == 0;
 }
 
 size_t Database::UnreadCount(const Principal& who) const {
+  DbLock lock(mu_);
   size_t unread = 0;
   store_->ForEach([&](const Note& note) {
     if (!note.deleted() && note.note_class() == NoteClass::kDocument &&
@@ -549,6 +745,7 @@ size_t Database::UnreadCount(const Principal& who) const {
 }
 
 std::vector<Oid> Database::ChangesSince(Micros cutoff) const {
+  DbLock lock(mu_);
   std::vector<Oid> changes;
   store_->ForEach([&](const Note& note) {
     if (note.modified_in_file() > cutoff) changes.push_back(note.oid());
@@ -557,12 +754,14 @@ std::vector<Oid> Database::ChangesSince(Micros cutoff) const {
 }
 
 Result<Note> Database::GetAnyByUnid(const Unid& unid) const {
+  DbLock lock(mu_);
   const Note* note = store_->FindPtrByUnid(unid);
   if (note == nullptr) return Status::NotFound("unid " + unid.ToString());
   return *note;
 }
 
 Status Database::InstallRemoteNote(Note note) {
+  MutationGuard guard(this);
   const Note* local = store_->FindPtrByUnid(note.unid());
   note.set_id(local != nullptr ? local->id() : kInvalidNoteId);
   note.set_modified_in_file(StampTime());
@@ -571,6 +770,7 @@ Status Database::InstallRemoteNote(Note note) {
 }
 
 Result<size_t> Database::PurgeStubs() {
+  MutationGuard guard(this);
   // Collect ids first: Erase mutates the map under ForEach otherwise.
   std::vector<NoteId> purged;
   Micros cutoff =
@@ -585,17 +785,23 @@ Result<size_t> Database::PurgeStubs() {
     for (auto& [parent, kids] : children_) kids.erase(id);
     for (auto& [name, view] : views_) view->Remove(id);
     if (fulltext_ != nullptr) fulltext_->RemoveNote(id);
-    for (DatabaseObserver* obs : observers_) obs->OnNoteErased(id);
+    if (!observers_.empty()) {
+      PendingNotify n;
+      n.erased_id = id;
+      pending_notify_.push_back(std::move(n));
+    }
   }
   ctr_stubs_purged_->Add(purged.size());
   return purged.size();
 }
 
 void Database::AddObserver(DatabaseObserver* observer) {
+  DbLock lock(mu_);
   observers_.push_back(observer);
 }
 
 void Database::RemoveObserver(DatabaseObserver* observer) {
+  DbLock lock(mu_);
   for (auto it = observers_.begin(); it != observers_.end(); ++it) {
     if (*it == observer) {
       observers_.erase(it);
@@ -606,12 +812,14 @@ void Database::RemoveObserver(DatabaseObserver* observer) {
 
 void Database::ForEachLiveNote(
     const std::function<void(const Note&)>& fn) const {
+  DbLock lock(mu_);
   store_->ForEach([&](const Note& note) {
     if (!note.deleted()) fn(note);
   });
 }
 
 void Database::ForEachNote(const std::function<void(const Note&)>& fn) const {
+  DbLock lock(mu_);
   store_->ForEach(fn);
 }
 
@@ -647,7 +855,7 @@ Status Database::ApplyDesignNote(const Note& note) {
         [this](const std::function<void(const Note&)>& fn) {
           store_->ForEach(fn);
         },
-        this));
+        this, indexer_pool_));
     views_[key] = std::move(index);
     view_note_ids_[key] = note.id();
     return Status::Ok();
@@ -683,11 +891,25 @@ Status Database::AfterChange(const Note& note) {
       DOMINO_RETURN_IF_ERROR(ApplyDesignNote(note));
     }
   }
-  for (auto& [name, view] : views_) {
-    DOMINO_RETURN_IF_ERROR(view->Update(note, this));
+  // Document maintenance defers to the background indexer when attached:
+  // the writer returns as soon as the event is queued, and the pool (or a
+  // read-path catch-up) applies it. Design notes were handled above and
+  // observers stay synchronous — the replicator depends on ordering.
+  if (indexer_ != nullptr && note.note_class() == NoteClass::kDocument) {
+    indexer_->Enqueue(
+        indexer::NoteChange{note.id(), indexer::ChangeKind::kChanged});
+  } else {
+    for (auto& [name, view] : views_) {
+      DOMINO_RETURN_IF_ERROR(view->Update(note, this));
+    }
+    if (fulltext_ != nullptr) fulltext_->IndexNote(note);
   }
-  if (fulltext_ != nullptr) fulltext_->IndexNote(note);
-  for (DatabaseObserver* obs : observers_) obs->OnNoteChanged(note);
+  // Observers fire after the outermost mutator releases mu_ (see
+  // MutationGuard) — a cluster observer locks peer databases, which must
+  // never nest inside our own lock.
+  if (!observers_.empty()) {
+    pending_notify_.push_back(PendingNotify{note, kInvalidNoteId});
+  }
   return Status::Ok();
 }
 

@@ -1,10 +1,13 @@
 #ifndef DOMINODB_CORE_DATABASE_H_
 #define DOMINODB_CORE_DATABASE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -13,6 +16,7 @@
 #include "base/rng.h"
 #include "formula/formula.h"
 #include "fulltext/fulltext_index.h"
+#include "indexer/indexer_task.h"
 #include "model/note.h"
 #include "security/acl.h"
 #include "stats/stats.h"
@@ -53,12 +57,20 @@ struct DatabaseOptions {
 ///  - unchecked CRUD (`CreateNote`, ...) for server-internal tasks, and
 ///  - principal-checked CRUD (`CreateNoteAs`, ...) enforcing the ACL and
 ///    reader/author fields on every path, as Domino does.
+///
+/// Threading: every public entry point serializes on one recursive mutex
+/// (recursive because public methods call each other and formula services
+/// re-enter through @DbLookup). The NoteResolver overrides are the one
+/// exception — they stay lock-free so parallel rebuild workers can call
+/// them while the coordinator holds the lock; that is safe because every
+/// mutation path holds the lock for its whole duration, so the store is
+/// frozen whenever workers are running.
 class Database : public NoteResolver {
  public:
   static Result<std::unique_ptr<Database>> Open(const std::string& dir,
                                                 const DatabaseOptions& options,
                                                 const Clock* clock);
-  ~Database() override = default;
+  ~Database() override;
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
@@ -125,6 +137,23 @@ class Database : public NoteResolver {
   Result<std::vector<Note>> FolderContents(const std::string& name) const;
   std::vector<std::string> FolderNames() const;
 
+  // -- Background indexer -----------------------------------------------
+  /// Attaches the server's indexer pool (the UPDATE task). Once attached,
+  /// document writes enqueue note-change events and return before view /
+  /// full-text maintenance runs; a background drain scheduled on the pool
+  /// applies them. Full view / full-text rebuilds also use the pool for
+  /// data-parallel shard evaluation. Passing nullptr detaches (writes go
+  /// back to synchronous maintenance). Read paths (FindView,
+  /// TraverseViewAs, SearchAs) catch up on pending events first, so
+  /// deferral is semantically invisible: indexes always reflect every
+  /// committed write by the time anyone looks.
+  void AttachIndexer(indexer::ThreadPool* pool);
+  /// Deterministic barrier: applies every pending index event inline.
+  /// Afterwards views and the full-text index are byte-identical to what
+  /// synchronous maintenance would have produced.
+  Status FlushIndexes();
+  bool HasPendingIndexWork() const;
+
   // -- Full-text ------------------------------------------------------------
   /// Builds the index if needed; it is maintained incrementally afterward.
   Status EnsureFullTextIndex();
@@ -166,13 +195,22 @@ class Database : public NoteResolver {
   void ForEachLiveNote(const std::function<void(const Note&)>& fn) const;
   void ForEachNote(const std::function<void(const Note&)>& fn) const;
 
-  size_t note_count() const { return store_->note_count(); }
-  size_t stub_count() const { return store_->stub_count(); }
+  size_t note_count() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return store_->note_count();
+  }
+  size_t stub_count() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return store_->stub_count();
+  }
   const StoreStats& store_stats() const { return store_->stats(); }
   NoteStore* store() { return store_.get(); }
 
   /// Writes a checkpoint snapshot (fast restart).
-  Status Checkpoint() { return store_->Checkpoint(); }
+  Status Checkpoint() {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return store_->Checkpoint();
+  }
 
   // -- NoteResolver (for view indexes) ---------------------------------------
   const Note* FindByUnid(const Unid& unid) const override;
@@ -195,6 +233,37 @@ class Database : public NoteResolver {
   Status AfterChange(const Note& note);
   void LoadDesignState();
   Status ApplyDesignNote(const Note& note);
+  /// Applies one queued note-change event to views and full-text.
+  Status ApplyIndexEvent(const indexer::NoteChange& change);
+  /// Pool-side drain entry. Never blocks on the database lock: if it's
+  /// busy (a writer, or a rebuild coordinator waiting on this very pool),
+  /// it re-arms the task and leaves the events for the next enqueue or
+  /// read-path catch-up.
+  void BackgroundIndexDrain(indexer::IndexerTask* task);
+  /// FlushIndexes with mu_ already held.
+  Status FlushIndexesLocked();
+
+  /// Scope guard for public mutators: holds mu_ and, when the OUTERMOST
+  /// guard on this thread releases it, fires the observer notifications
+  /// AfterChange queued. Observers therefore never run under mu_, so a
+  /// cluster observer may lock a peer database without creating a lock
+  /// order between the two databases.
+  class MutationGuard;
+
+  /// One queued post-commit notification: a changed note, or (when
+  /// erased_id is set) a physical erase.
+  struct PendingNotify {
+    Note note;
+    NoteId erased_id = kInvalidNoteId;
+  };
+  /// Fires queued notifications outside mu_. Reentrant calls from an
+  /// observer's own writes return immediately (the outer drain finishes
+  /// the queue); concurrent callers wait until the queue is empty.
+  void DrainNotifications();
+
+  /// Serializes all public entry points; see the class comment. Mutable
+  /// so const read paths can lock (and catch up on index events).
+  mutable std::recursive_mutex mu_;
 
   const Clock* clock_;
   Rng rng_;
@@ -212,6 +281,17 @@ class Database : public NoteResolver {
   std::unordered_map<Unid, std::set<NoteId>> children_;
   std::map<std::string, std::set<Unid>> read_marks_;  // user → read unids
   std::vector<DatabaseObserver*> observers_;
+
+  // Post-commit notification queue (guarded by mu_) and its drain state.
+  std::vector<PendingNotify> pending_notify_;
+  std::mutex notify_drain_mu_;  // one active drainer at a time
+  std::atomic<std::thread::id> notify_drainer_{};
+  int mutation_depth_ = 0;  // nested MutationGuards; guarded by mu_
+
+  /// Shared worker pool (owned by the server) and this database's
+  /// background change queue. Null until AttachIndexer.
+  indexer::ThreadPool* indexer_pool_ = nullptr;
+  std::unique_ptr<indexer::IndexerTask> indexer_;
 
   /// Registry handed down to the store, views and full-text index.
   stats::StatRegistry* registry_;

@@ -1,5 +1,8 @@
 #include "formula/formula.h"
 
+#include <mutex>
+#include <unordered_map>
+
 #include "base/string_util.h"
 #include "formula/eval.h"
 #include "formula/parser.h"
@@ -15,10 +18,14 @@ namespace {
 struct FormulaCounters {
   stats::Counter* evals;
   stats::Counter* errors;
+  stats::Counter* cache_hits;
+  stats::Counter* cache_misses;
   FormulaCounters() {
     stats::StatRegistry& reg = stats::StatRegistry::Global();
     evals = &reg.GetCounter("Formula.Evals");
     errors = &reg.GetCounter("Formula.Errors");
+    cache_hits = &reg.GetCounter("Formula.CacheHits");
+    cache_misses = &reg.GetCounter("Formula.CacheMisses");
   }
 };
 
@@ -26,6 +33,45 @@ FormulaCounters& Counters() {
   static FormulaCounters counters;
   return counters;
 }
+
+/// Programs are immutable once parsed and evaluation is const, so one
+/// compiled Program can back any number of Formula objects across any
+/// number of threads. View rebuilds, background index maintenance and
+/// agents recompile the same selection/column sources over and over; the
+/// cache turns every repeat into a shared_ptr copy.
+class CompileCache {
+ public:
+  static constexpr size_t kMaxEntries = 4096;
+
+  struct Entry {
+    std::shared_ptr<const Program> program;
+    bool selects_all_children = false;
+    bool selects_all_descendants = false;
+  };
+
+  /// nullopt on miss; the caller compiles and calls Insert.
+  std::optional<Entry> Find(std::string_view source) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(std::string(source));
+    if (it == entries_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  void Insert(std::string_view source, Entry entry) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entries_.size() >= kMaxEntries) entries_.clear();  // crude but bounded
+    entries_.emplace(std::string(source), std::move(entry));
+  }
+
+  static CompileCache& Instance() {
+    static CompileCache cache;
+    return cache;
+  }
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+};
 
 void ScanForResponseSelectors(const Expr& e, bool* children,
                               bool* descendants) {
@@ -41,14 +87,25 @@ void ScanForResponseSelectors(const Expr& e, bool* children,
 }  // namespace
 
 Result<Formula> Formula::Compile(std::string_view source) {
-  DOMINO_ASSIGN_OR_RETURN(auto program, Parse(source));
   Formula f;
-  f.program_ = std::move(program);
   f.source_ = std::string(source);
+  if (auto cached = CompileCache::Instance().Find(source)) {
+    Counters().cache_hits->Add();
+    f.program_ = cached->program;
+    f.selects_all_children_ = cached->selects_all_children;
+    f.selects_all_descendants_ = cached->selects_all_descendants;
+    return f;
+  }
+  Counters().cache_misses->Add();
+  DOMINO_ASSIGN_OR_RETURN(auto program, Parse(source));
+  f.program_ = std::move(program);
   for (const ExprPtr& stmt : f.program_->statements) {
     ScanForResponseSelectors(*stmt, &f.selects_all_children_,
                              &f.selects_all_descendants_);
   }
+  CompileCache::Instance().Insert(
+      source, CompileCache::Entry{f.program_, f.selects_all_children_,
+                                  f.selects_all_descendants_});
   return f;
 }
 

@@ -1,9 +1,12 @@
 #include "fulltext/fulltext_index.h"
 
+#include <algorithm>
 #include <cmath>
+#include <functional>
 
 #include "base/string_util.h"
 #include "fulltext/tokenizer.h"
+#include "indexer/thread_pool.h"
 
 namespace dominodb {
 
@@ -31,34 +34,27 @@ FullTextIndex::FullTextIndex(stats::StatRegistry* stats) {
   ctr_queries_ = &reg.GetCounter("Database.FullText.Queries");
 }
 
-void FullTextIndex::IndexNote(const Note& note) {
-  // Re-indexing a known document is an incremental merge into the
-  // postings (the GTR-style "index merge").
-  const bool merge = terms_of_doc_.count(note.id()) != 0;
-  RemoveNote(note.id());
-  if (note.deleted() || note.note_class() != NoteClass::kDocument) return;
-  if (merge) ctr_merges_->Add();
-
+void FullTextIndex::TokenizeNoteInto(const Note& note, IndexShard* shard) {
+  const NoteId id = note.id();
   uint32_t position = 0;
   uint32_t length = 0;
-  std::vector<std::string> doc_terms;
-  auto add = [&](const std::string& field, const std::string& token,
-                 uint32_t pos) {
-    postings_[token][note.id()].positions.push_back(pos);
-    doc_terms.push_back(token);
-    std::string fkey = FieldTermKey(field, token);
-    postings_[fkey][note.id()].positions.push_back(pos);
-    doc_terms.push_back(fkey);
-    ++length;
-    ++stats_.tokens_indexed;
-  };
-
+  std::vector<std::string> doc_keys;
   for (const Item& item : note.items()) {
-    bool field_started = false;
+    // Occurrences of a term within one item are appended contiguously to
+    // the term's positions vector, so a [begin, end) slice per term is
+    // enough to recover the field-scoped posting later.
+    std::unordered_map<std::string, FieldSlice> field_ranges;
     auto index_text = [&](const std::string& text) {
       for (const std::string& token : TokenizeText(text)) {
-        add(item.name, token, position++);
-        field_started = true;
+        std::vector<uint32_t>& positions =
+            shard->postings[token][id].positions;
+        auto [rit, fresh] = field_ranges.try_emplace(
+            token, FieldSlice{static_cast<uint32_t>(positions.size()), 0});
+        (void)fresh;
+        positions.push_back(position++);
+        rit->second.end = static_cast<uint32_t>(positions.size());
+        ++length;
+        ++shard->tokens;
       }
     };
     if (item.value.is_text()) {
@@ -69,26 +65,125 @@ void FullTextIndex::IndexNote(const Note& note) {
         if (!run.attachment_name.empty()) index_text(run.attachment_name);
       }
     }
-    if (field_started) {
+    if (!field_ranges.empty()) {
       position += kFieldPositionGap;  // phrases never span fields
+      for (auto& [term, slice] : field_ranges) {
+        std::string fkey = FieldTermKey(item.name, term);
+        shard->field_postings[fkey][id].push_back(slice);
+        doc_keys.push_back(std::move(fkey));
+        doc_keys.push_back(term);
+      }
     }
   }
-  terms_of_doc_[note.id()] = std::move(doc_terms);
-  doc_lengths_[note.id()] = length;
-  docs_.insert(note.id());
+  shard->terms_of_doc[id] = std::move(doc_keys);
+  shard->doc_lengths[id] = length;
+  shard->docs.push_back(id);
+  ++shard->notes;
+}
+
+void FullTextIndex::MergeShard(IndexShard* shard) {
+  // First shard into an empty index: adopt the maps wholesale instead of
+  // merging key by key (the common case for a fresh BuildFrom).
+  if (postings_.empty() && field_postings_.empty() && terms_of_doc_.empty()) {
+    postings_ = std::move(shard->postings);
+    field_postings_ = std::move(shard->field_postings);
+    terms_of_doc_ = std::move(shard->terms_of_doc);
+    for (auto& [id, length] : shard->doc_lengths) doc_lengths_[id] = length;
+    for (NoteId id : shard->docs) docs_.insert(id);
+    return;
+  }
+  // Note ids are disjoint across shards (and RemoveNote precedes any
+  // re-index), so merging splices map nodes without key conflicts.
+  for (auto& [term, pm] : shard->postings) {
+    auto [it, inserted] = postings_.try_emplace(term, std::move(pm));
+    if (!inserted) it->second.merge(pm);
+  }
+  for (auto& [fkey, fpm] : shard->field_postings) {
+    auto [it, inserted] = field_postings_.try_emplace(fkey, std::move(fpm));
+    if (!inserted) it->second.merge(fpm);
+  }
+  for (auto& [id, keys] : shard->terms_of_doc) {
+    terms_of_doc_[id] = std::move(keys);
+  }
+  for (auto& [id, length] : shard->doc_lengths) doc_lengths_[id] = length;
+  for (NoteId id : shard->docs) docs_.insert(id);
+}
+
+void FullTextIndex::IndexNote(const Note& note) {
+  // Re-indexing a known document is an incremental merge into the
+  // postings (the GTR-style "index merge").
+  const bool merge = terms_of_doc_.count(note.id()) != 0;
+  RemoveNote(note.id());
+  if (note.deleted() || note.note_class() != NoteClass::kDocument) return;
+  if (merge) ctr_merges_->Add();
+
+  IndexShard shard;
+  TokenizeNoteInto(note, &shard);
+  const uint64_t tokens = shard.tokens;
+  MergeShard(&shard);
+  stats_.tokens_indexed += tokens;
   ++stats_.notes_indexed;
   ctr_docs_indexed_->Add();
-  ctr_tokens_->Add(length);
+  ctr_tokens_->Add(tokens);
+}
+
+void FullTextIndex::BuildFrom(const std::vector<const Note*>& notes,
+                              indexer::ThreadPool* pool) {
+  Clear();
+  if (pool == nullptr) {
+    for (const Note* note : notes) {
+      if (note != nullptr) IndexNote(*note);
+    }
+    return;
+  }
+  std::vector<const Note*> docs;
+  docs.reserve(notes.size());
+  for (const Note* note : notes) {
+    if (note != nullptr && !note->deleted() &&
+        note->note_class() == NoteClass::kDocument) {
+      docs.push_back(note);
+    }
+  }
+  const size_t shard_count =
+      std::max<size_t>(1, std::min(pool->num_threads(), docs.size()));
+  std::vector<IndexShard> shards(shard_count);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(shard_count);
+  for (size_t s = 0; s < shard_count; ++s) {
+    const size_t begin = docs.size() * s / shard_count;
+    const size_t end = docs.size() * (s + 1) / shard_count;
+    tasks.push_back([&docs, &shards, s, begin, end] {
+      for (size_t i = begin; i < end; ++i) {
+        TokenizeNoteInto(*docs[i], &shards[s]);
+      }
+    });
+  }
+  pool->RunAndWait(std::move(tasks));
+  for (IndexShard& shard : shards) {
+    stats_.notes_indexed += shard.notes;
+    stats_.tokens_indexed += shard.tokens;
+    ctr_docs_indexed_->Add(shard.notes);
+    ctr_tokens_->Add(shard.tokens);
+    MergeShard(&shard);
+  }
 }
 
 void FullTextIndex::RemoveNote(NoteId id) {
   auto it = terms_of_doc_.find(id);
   if (it == terms_of_doc_.end()) return;
-  for (const std::string& term : it->second) {
-    auto pit = postings_.find(term);
-    if (pit != postings_.end()) {
-      pit->second.erase(id);
-      if (pit->second.empty()) postings_.erase(pit);
+  for (const std::string& key : it->second) {
+    if (key.find('\x1f') != std::string::npos) {
+      auto fit = field_postings_.find(key);
+      if (fit != field_postings_.end()) {
+        fit->second.erase(id);
+        if (fit->second.empty()) field_postings_.erase(fit);
+      }
+    } else {
+      auto pit = postings_.find(key);
+      if (pit != postings_.end()) {
+        pit->second.erase(id);
+        if (pit->second.empty()) postings_.erase(pit);
+      }
     }
   }
   terms_of_doc_.erase(it);
@@ -100,6 +195,7 @@ void FullTextIndex::RemoveNote(NoteId id) {
 
 void FullTextIndex::Clear() {
   postings_.clear();
+  field_postings_.clear();
   terms_of_doc_.clear();
   doc_lengths_.clear();
   docs_.clear();
@@ -111,10 +207,26 @@ const FullTextIndex::PostingMap* FullTextIndex::FindTerm(
   return it == postings_.end() ? nullptr : &it->second;
 }
 
-const FullTextIndex::PostingMap* FullTextIndex::FindFieldTerm(
+FullTextIndex::PostingMap FullTextIndex::MaterializeFieldTerm(
     const std::string& field, const std::string& term) const {
-  auto it = postings_.find(FieldTermKey(field, ToLower(term)));
-  return it == postings_.end() ? nullptr : &it->second;
+  PostingMap out;
+  const std::string lowered = ToLower(term);
+  auto fit = field_postings_.find(FieldTermKey(field, lowered));
+  if (fit == field_postings_.end()) return out;
+  auto pit = postings_.find(lowered);
+  if (pit == postings_.end()) return out;
+  for (const auto& [doc, slices] : fit->second) {
+    auto dit = pit->second.find(doc);
+    if (dit == pit->second.end()) continue;
+    const std::vector<uint32_t>& all = dit->second.positions;
+    std::vector<uint32_t>& positions = out[doc].positions;
+    for (const FieldSlice& slice : slices) {
+      if (slice.end > all.size() || slice.begin > slice.end) continue;
+      positions.insert(positions.end(), all.begin() + slice.begin,
+                       all.begin() + slice.end);
+    }
+  }
+  return out;
 }
 
 double FullTextIndex::IdfOf(const std::string& term) const {

@@ -12,6 +12,10 @@
 #include "model/note.h"
 #include "stats/stats.h"
 
+namespace dominodb::indexer {
+class ThreadPool;
+}  // namespace dominodb::indexer
+
 namespace dominodb {
 
 /// A scored full-text hit.
@@ -43,6 +47,15 @@ class FullTextIndex {
   void RemoveNote(NoteId id);
   void Clear();
 
+  /// Full rebuild (UPDALL-style). With a pool, notes are partitioned into
+  /// contiguous shards, each worker tokenizes its shard into shard-local
+  /// posting maps, and the coordinator splices the shards together — note
+  /// ids are disjoint across shards so the merge moves nodes instead of
+  /// re-tokenizing. Without a pool this is a plain serial loop and
+  /// produces bit-identical state.
+  void BuildFrom(const std::vector<const Note*>& notes,
+                 indexer::ThreadPool* pool = nullptr);
+
   /// Runs a query; results are sorted by descending TF-IDF score.
   Result<std::vector<FtHit>> Search(std::string_view query) const;
 
@@ -58,15 +71,49 @@ class FullTextIndex {
   };
   using PostingMap = std::map<NoteId, Posting>;
 
+  /// Field-scoped occurrences are stored as index ranges into the
+  /// unscoped posting's positions vector instead of duplicating the
+  /// positions: a term's occurrences within one field are contiguous in
+  /// the (sorted, append-only) positions vector, so [begin, end) slices
+  /// recover them exactly. Multiple same-named items yield multiple
+  /// slices.
+  struct FieldSlice {
+    uint32_t begin = 0;
+    uint32_t end = 0;
+  };
+  using FieldPostingMap = std::map<NoteId, std::vector<FieldSlice>>;
+
   const PostingMap* FindTerm(const std::string& term) const;
-  const PostingMap* FindFieldTerm(const std::string& field,
+  /// Reconstitutes a `FIELD name CONTAINS term` posting map from the
+  /// slices; empty when the (field, term) pair never occurs.
+  PostingMap MaterializeFieldTerm(const std::string& field,
                                   const std::string& term) const;
   const std::set<NoteId>& all_docs() const { return docs_; }
   double IdfOf(const std::string& term) const;
 
  private:
-  // term → postings; field-scoped copies under "field\x1f:term".
+  /// Shard-local slice of the index a worker tokenizes into. Also used
+  /// (with a single note) by the incremental IndexNote path so the two
+  /// paths share one tokenizer.
+  struct IndexShard {
+    std::unordered_map<std::string, PostingMap> postings;
+    std::unordered_map<std::string, FieldPostingMap> field_postings;
+    std::unordered_map<NoteId, std::vector<std::string>> terms_of_doc;
+    std::unordered_map<NoteId, uint32_t> doc_lengths;
+    std::vector<NoteId> docs;
+    uint64_t tokens = 0;
+    uint64_t notes = 0;
+  };
+
+  static void TokenizeNoteInto(const Note& note, IndexShard* shard);
+  void MergeShard(IndexShard* shard);
+
+  // term → postings. Field-scoped slices live under "field\x1f" + term in
+  // field_postings_ and reference positions stored here exactly once.
   std::unordered_map<std::string, PostingMap> postings_;
+  std::unordered_map<std::string, FieldPostingMap> field_postings_;
+  // Keys this doc contributed to: plain terms and "field\x1fterm" keys
+  // (the latter marked by the embedded '\x1f').
   std::unordered_map<NoteId, std::vector<std::string>> terms_of_doc_;
   std::unordered_map<NoteId, uint32_t> doc_lengths_;
   std::set<NoteId> docs_;

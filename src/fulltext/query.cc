@@ -271,11 +271,26 @@ ScoreMap EvalNode(const FullTextIndex& index, const QNode& node) {
                              [&](const std::string& t) {
                                return index.FindTerm(t);
                              });
-    case QNode::Kind::kFieldContains:
+    case QNode::Kind::kFieldContains: {
+      // Field-scoped postings are stored as slices into the unscoped
+      // postings; materialize each distinct term once for this node.
+      std::map<std::string, FullTextIndex::PostingMap> field_maps;
+      for (const std::string& t : node.phrase) {
+        if (field_maps.find(t) == field_maps.end()) {
+          field_maps.emplace(t, index.MaterializeFieldTerm(node.field, t));
+        }
+      }
       return EvalConsecutive(index, node.phrase,
-                             [&](const std::string& t) {
-                               return index.FindFieldTerm(node.field, t);
+                             [&](const std::string& t)
+                                 -> const FullTextIndex::PostingMap* {
+                               auto it = field_maps.find(t);
+                               if (it == field_maps.end() ||
+                                   it->second.empty()) {
+                                 return nullptr;
+                               }
+                               return &it->second;
                              });
+    }
     case QNode::Kind::kAnd: {
       ScoreMap a = EvalNode(index, *node.children[0]);
       ScoreMap b = EvalNode(index, *node.children[1]);

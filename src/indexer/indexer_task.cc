@@ -1,0 +1,103 @@
+#include "indexer/indexer_task.h"
+
+namespace dominodb::indexer {
+
+IndexerTask::IndexerTask(ThreadPool* pool,
+                         std::function<void(IndexerTask*)> drain,
+                         stats::StatRegistry* stats)
+    : pool_(pool), drain_(std::move(drain)) {
+  stats::StatRegistry& reg =
+      stats != nullptr ? *stats : stats::StatRegistry::Global();
+  ctr_enqueued_ = &reg.GetCounter("Indexer.Queue.Enqueued");
+  ctr_drained_ = &reg.GetCounter("Indexer.Queue.Drained");
+  ctr_drains_ = &reg.GetCounter("Indexer.Queue.Drains");
+  gauge_depth_ = &reg.GetGauge("Indexer.Queue.Depth");
+}
+
+IndexerTask::~IndexerTask() { Close(); }
+
+void IndexerTask::Enqueue(const NoteChange& change) {
+  bool schedule = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;
+    queue_.push_back(change);
+    gauge_depth_->Set(static_cast<int64_t>(queue_.size()));
+    if (!drain_scheduled_) {
+      drain_scheduled_ = true;
+      ++inflight_;
+      schedule = true;
+    }
+  }
+  ctr_enqueued_->Add();
+  if (!schedule) return;
+  bool queued = pool_->Submit([this] {
+    bool run;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      run = !closed_;
+    }
+    if (run) drain_(this);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--inflight_ == 0) closed_cv_.notify_all();
+  });
+  if (!queued) {  // pool refused (shutting down); undo the bookkeeping
+    std::lock_guard<std::mutex> lock(mu_);
+    drain_scheduled_ = false;
+    if (--inflight_ == 0) closed_cv_.notify_all();
+  }
+}
+
+void IndexerTask::DrainInline(
+    const std::function<void(const NoteChange&)>& apply) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) return;  // reentrant catch-up; the outer drain finishes
+    draining_ = true;
+  }
+  size_t applied = 0;
+  for (;;) {
+    std::deque<NoteChange> batch;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queue_.empty()) {
+        draining_ = false;
+        drain_scheduled_ = false;
+        break;
+      }
+      batch.swap(queue_);
+      gauge_depth_->Set(0);
+    }
+    for (const NoteChange& change : batch) apply(change);
+    applied += batch.size();
+  }
+  if (applied > 0) {
+    ctr_drained_->Add(applied);
+    ctr_drains_->Add();
+  }
+}
+
+bool IndexerTask::HasPending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !queue_.empty();
+}
+
+size_t IndexerTask::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void IndexerTask::ClearScheduled() {
+  std::lock_guard<std::mutex> lock(mu_);
+  drain_scheduled_ = false;
+}
+
+void IndexerTask::Close() {
+  std::unique_lock<std::mutex> lock(mu_);
+  closed_ = true;
+  closed_cv_.wait(lock, [this] { return inflight_ == 0; });
+  queue_.clear();
+  gauge_depth_->Set(0);
+}
+
+}  // namespace dominodb::indexer

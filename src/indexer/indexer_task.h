@@ -1,0 +1,96 @@
+#ifndef DOMINODB_INDEXER_INDEXER_TASK_H_
+#define DOMINODB_INDEXER_INDEXER_TASK_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+#include "indexer/thread_pool.h"
+#include "model/note.h"
+#include "stats/stats.h"
+
+namespace dominodb::indexer {
+
+/// What happened to a note, from the index-maintenance point of view.
+enum class ChangeKind {
+  kChanged,  // created, updated, or replaced by a deletion stub
+  kErased,   // physically purged; no note body remains
+};
+
+struct NoteChange {
+  NoteId id = kInvalidNoteId;
+  ChangeKind kind = ChangeKind::kChanged;
+};
+
+/// The background UPDATE/UPDALL queue: writers enqueue note-change events
+/// and return immediately; a single drain task (scheduled on the pool, at
+/// most one outstanding) applies them in order. This reproduces Domino's
+/// indexer discipline — one background UPDATE task per server works the
+/// queue, so index maintenance is serialized and writers never pay it
+/// inline.
+///
+/// Threading contract: `drain` (the pool-side callback) must acquire
+/// whatever lock the owning database uses and then call DrainInline; all
+/// drains therefore serialize on the database lock, and the event queue
+/// itself only needs its own small mutex. `Close()` must be called before
+/// the owner is destroyed — it stops new drain scheduling and waits for
+/// any in-flight pool callback to finish.
+class IndexerTask {
+ public:
+  /// `drain` is invoked from a pool worker when events are pending, with
+  /// this task as argument (so an owner that detaches tasks can tell a
+  /// stale callback from the current one); it must end up calling
+  /// DrainInline (typically via the owning database's flush entry point).
+  /// `stats` nullable → the global registry.
+  IndexerTask(ThreadPool* pool, std::function<void(IndexerTask*)> drain,
+              stats::StatRegistry* stats = nullptr);
+  ~IndexerTask();
+
+  IndexerTask(const IndexerTask&) = delete;
+  IndexerTask& operator=(const IndexerTask&) = delete;
+
+  /// Records a change event; schedules a drain on the pool if none is
+  /// already outstanding. Cheap: one small-mutex push.
+  void Enqueue(const NoteChange& change);
+
+  /// Applies every pending event in order on the calling thread via
+  /// `apply`. The caller must hold the owner's lock. Reentrant calls
+  /// (e.g. @DbLookup during a view update triggering a catch-up) are
+  /// no-ops — the outer drain finishes the queue.
+  void DrainInline(const std::function<void(const NoteChange&)>& apply);
+
+  bool HasPending() const;
+  size_t pending() const;
+
+  /// Re-arms drain scheduling after a pool callback bailed out without
+  /// draining (owner lock busy — e.g. a rebuild holds the database while
+  /// waiting on this very pool). The next Enqueue or any explicit
+  /// DrainInline picks the events up; a pool worker is never pinned.
+  void ClearScheduled();
+
+  /// Stops scheduling and waits for in-flight pool callbacks. Remaining
+  /// events are dropped (the owner's indexes are going away with it).
+  void Close();
+
+ private:
+  ThreadPool* pool_;
+  std::function<void(IndexerTask*)> drain_;
+
+  mutable std::mutex mu_;
+  std::condition_variable closed_cv_;
+  std::deque<NoteChange> queue_;
+  bool drain_scheduled_ = false;  // a pool callback is queued or running
+  bool draining_ = false;         // DrainInline active (reentrancy guard)
+  bool closed_ = false;
+  size_t inflight_ = 0;  // pool callbacks not yet finished
+
+  stats::Counter* ctr_enqueued_;
+  stats::Counter* ctr_drained_;
+  stats::Counter* ctr_drains_;
+  stats::Gauge* gauge_depth_;
+};
+
+}  // namespace dominodb::indexer
+
+#endif  // DOMINODB_INDEXER_INDEXER_TASK_H_

@@ -186,29 +186,41 @@ std::vector<std::string> NamesWithFlag(const Note& note, uint8_t flag) {
 
 }  // namespace
 
-bool CanReadDocument(const Acl& acl, const Principal& who, const Note& note) {
-  AccessLevel level = acl.LevelFor(who);
-  if (level < AccessLevel::kReader) return false;
+AccessContext ResolveAccess(const Acl& acl, const Principal& who) {
+  return AccessContext{acl.LevelFor(who), acl.RolesFor(who)};
+}
+
+bool CanReadDocument(const AccessContext& access, const Principal& who,
+                     const Note& note) {
+  if (access.level < AccessLevel::kReader) return false;
   std::vector<std::string> readers = NamesWithFlag(note, kItemReaders);
   if (readers.empty()) return true;  // no reader restriction
   // Authors named on the document can always read it.
   std::vector<std::string> authors = NamesWithFlag(note, kItemAuthors);
   readers.insert(readers.end(), authors.begin(), authors.end());
-  return NameListMatches(readers, who, acl.RolesFor(who));
+  return NameListMatches(readers, who, access.roles);
+}
+
+bool CanEditDocument(const AccessContext& access, const Principal& who,
+                     const Note& note) {
+  if (access.level >= AccessLevel::kEditor) {
+    // Editors must still be able to *see* the document.
+    return CanReadDocument(access, who, note);
+  }
+  if (access.level == AccessLevel::kAuthor) {
+    if (!CanReadDocument(access, who, note)) return false;
+    std::vector<std::string> authors = NamesWithFlag(note, kItemAuthors);
+    return NameListMatches(authors, who, access.roles);
+  }
+  return false;
+}
+
+bool CanReadDocument(const Acl& acl, const Principal& who, const Note& note) {
+  return CanReadDocument(ResolveAccess(acl, who), who, note);
 }
 
 bool CanEditDocument(const Acl& acl, const Principal& who, const Note& note) {
-  AccessLevel level = acl.LevelFor(who);
-  if (level >= AccessLevel::kEditor) {
-    // Editors must still be able to *see* the document.
-    return CanReadDocument(acl, who, note);
-  }
-  if (level == AccessLevel::kAuthor) {
-    if (!CanReadDocument(acl, who, note)) return false;
-    std::vector<std::string> authors = NamesWithFlag(note, kItemAuthors);
-    return NameListMatches(authors, who, acl.RolesFor(who));
-  }
-  return false;
+  return CanEditDocument(ResolveAccess(acl, who), who, note);
 }
 
 bool CanCreateDocuments(const Acl& acl, const Principal& who) {

@@ -73,12 +73,32 @@ class Acl {
   AccessLevel default_level_ = AccessLevel::kReader;
 };
 
+/// A principal's access resolved against one ACL: effective level plus
+/// expanded role grants. Resolving walks every ACL entry against the
+/// principal's name and groups, which is pure overhead to repeat per
+/// document — secured view traversals and searches resolve once per pass
+/// and then run the per-document reader/author checks against the memo.
+struct AccessContext {
+  AccessLevel level = AccessLevel::kNoAccess;
+  std::vector<std::string> roles;
+};
+
+/// Resolves `who` once (level + roles) for repeated document checks.
+AccessContext ResolveAccess(const Acl& acl, const Principal& who);
+
 /// Document-level checks combining the ACL with reader/author items.
 /// Reader items (kItemReaders) restrict reading to the named principals,
 /// roles, or authors; author items (kItemAuthors) grant editing to
 /// Author-level principals.
 bool CanReadDocument(const Acl& acl, const Principal& who, const Note& note);
 bool CanEditDocument(const Acl& acl, const Principal& who, const Note& note);
+
+/// Memoized variants: same result as the Acl overloads, without the
+/// per-document level/role re-resolution.
+bool CanReadDocument(const AccessContext& access, const Principal& who,
+                     const Note& note);
+bool CanEditDocument(const AccessContext& access, const Principal& who,
+                     const Note& note);
 bool CanCreateDocuments(const Acl& acl, const Principal& who);
 bool CanChangeDesign(const Acl& acl, const Principal& who);
 bool CanChangeAcl(const Acl& acl, const Principal& who);

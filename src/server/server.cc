@@ -40,6 +40,7 @@ Result<Database*> Server::OpenDatabase(const std::string& file,
   DOMINO_ASSIGN_OR_RETURN(auto db,
                           Database::Open(DirFor(file), options, clock_));
   Database* ptr = db.get();
+  if (indexer_pool_ != nullptr) ptr->AttachIndexer(indexer_pool_.get());
   databases_[file] = std::move(db);
   gauge_databases_->Set(static_cast<int64_t>(databases_.size()));
   return ptr;
@@ -126,6 +127,13 @@ Result<size_t> Server::RunRouterOnce(
     const std::map<std::string, Router*>& peers) {
   DOMINO_RETURN_IF_ERROR(EnsureMailInfrastructure());
   return router_->RunOnce(peers);
+}
+
+Status Server::StartIndexer(size_t threads) {
+  if (indexer_pool_ != nullptr) return Status::Ok();
+  indexer_pool_ = std::make_unique<indexer::ThreadPool>(threads, stats_);
+  for (auto& [file, db] : databases_) db->AttachIndexer(indexer_pool_.get());
+  return Status::Ok();
 }
 
 }  // namespace dominodb

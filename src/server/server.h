@@ -8,6 +8,7 @@
 
 #include "base/result.h"
 #include "core/database.h"
+#include "indexer/thread_pool.h"
 #include "mail/router.h"
 #include "net/sim_net.h"
 #include "repl/replicator.h"
@@ -76,6 +77,14 @@ class Server {
   /// Runs this server's router once against the given fleet.
   Result<size_t> RunRouterOnce(const std::map<std::string, Router*>& peers);
 
+  // -- Background indexer (the UPDATE task) --------------------------------
+  /// Starts the server's indexer pool with `threads` workers and attaches
+  /// it to every open database (and to databases opened later). Document
+  /// writes then defer view/full-text maintenance to the pool, and full
+  /// rebuilds shard across it. Idempotent.
+  Status StartIndexer(size_t threads);
+  indexer::ThreadPool* indexer_pool() { return indexer_pool_.get(); }
+
   // -- Statistics & events (the Domino console surface) --------------------
   stats::StatRegistry& stats() { return *stats_; }
   const stats::StatRegistry& stats() const { return *stats_; }
@@ -104,6 +113,9 @@ class Server {
   MailDirectory* directory_;
   stats::StatRegistry* stats_;
   stats::Gauge* gauge_databases_;
+  /// Declared before databases_ so it outlives them: each ~Database waits
+  /// for its in-flight drain callbacks, which run on this pool.
+  std::unique_ptr<indexer::ThreadPool> indexer_pool_;
   std::map<std::string, std::unique_ptr<Database>> databases_;
   std::map<std::string, ReplicationHistory> histories_;  // file → history
   std::unique_ptr<Router> router_;

@@ -282,9 +282,19 @@ size_t StatRegistry::CheckThresholds(Micros now) {
     std::lock_guard<std::mutex> lock(mu_);
     for (size_t i = 0; i < rules_.size(); ++i) {
       if (rules_[i].fired) continue;
-      auto it = counters_.find(rules_[i].stat);
-      if (it == counters_.end()) continue;
-      if (it->second->value() >= rules_[i].threshold) {
+      // Counters first; gauges are also eligible so level-style stats
+      // (queue depths, pending mail) can arm threshold events.
+      uint64_t value = 0;
+      if (auto it = counters_.find(rules_[i].stat); it != counters_.end()) {
+        value = it->second->value();
+      } else if (auto git = gauges_.find(rules_[i].stat);
+                 git != gauges_.end()) {
+        int64_t v = git->second->value();
+        value = v > 0 ? static_cast<uint64_t>(v) : 0;
+      } else {
+        continue;
+      }
+      if (value >= rules_[i].threshold) {
         rules_[i].fired = true;
         due.emplace_back(i, rules_[i]);
       }

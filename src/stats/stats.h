@@ -170,7 +170,7 @@ class StatRegistry {
   const EventLog& events() const { return events_; }
 
   /// Threshold event generator (Domino "statistic event"): once the named
-  /// counter reaches `threshold`, CheckThresholds logs one event of the
+  /// counter (or gauge) reaches `threshold`, CheckThresholds logs one event of the
   /// given severity. Latched until ResetAll re-arms it. Duplicate
   /// (stat, threshold) registrations are ignored.
   void AddThreshold(const std::string& stat, uint64_t threshold,

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "base/string_util.h"
+#include "indexer/thread_pool.h"
 
 namespace dominodb {
 
@@ -34,54 +35,60 @@ ViewIndex::ViewIndex(ViewDesign design, const Clock* clock,
   needs_response_walk_ = design_.show_response_hierarchy() ||
                          design_.selection().selects_all_children() ||
                          design_.selection().selects_all_descendants();
+  column_formulas_.reserve(design_.columns().size());
+  for (const ViewColumn& col : design_.columns()) {
+    column_formulas_.push_back(col.formula.valid() ? &col.formula : nullptr);
+  }
 }
 
-bool ViewIndex::IsSelected(const Note& note, const NoteResolver* resolver) {
-  formula::EvalContext ctx;
-  ctx.note = &note;
-  ctx.clock = clock_;
-  ++stats_.selection_evals;
-  ctr_selection_evals_->Add();
-  auto matched = design_.selection().Matches(ctx);
-  if (!matched.ok()) {
-    ++stats_.formula_errors;
-    ctr_formula_errors_->Add();
-    return false;
-  }
-  if (*matched) return true;
-
-  // SELECT ... | @AllChildren / @AllDescendants: responses ride along with
-  // a matching parent (one level) or any matching ancestor (all levels).
-  if (!note.IsResponse() || resolver == nullptr) return false;
-  bool children = design_.selection().selects_all_children();
-  bool descendants = design_.selection().selects_all_descendants();
-  if (!children && !descendants) return false;
-
-  const Note* ancestor = resolver->FindByUnid(note.parent_unid());
-  for (int depth = 0; ancestor != nullptr && depth < kMaxResponseDepth;
-       ++depth) {
-    formula::EvalContext actx;
-    actx.note = ancestor;
-    actx.clock = clock_;
-    ++stats_.selection_evals;
-    ctr_selection_evals_->Add();
-    auto m = design_.selection().Matches(actx);
-    if (m.ok() && *m) return true;
-    if (!descendants) break;  // @AllChildren: direct parent only
-    if (!ancestor->IsResponse()) break;
-    ancestor = resolver->FindByUnid(ancestor->parent_unid());
-  }
-  return false;
-}
-
-Result<std::optional<ViewEntry>> ViewIndex::EvaluateNote(
-    const Note& note, const NoteResolver* resolver) {
+std::optional<ViewEntry> ViewIndex::EvalNoteAgainst(
+    const Note& note, const NoteResolver* resolver,
+    const formula::Formula& selection,
+    const std::vector<const formula::Formula*>& columns,
+    ViewStats* tally) const {
   if (note.deleted() || note.note_class() != NoteClass::kDocument) {
-    return std::optional<ViewEntry>();
+    return std::nullopt;
   }
-  if (!IsSelected(note, resolver)) {
-    return std::optional<ViewEntry>();
+  bool selected = false;
+  {
+    formula::EvalContext ctx;
+    ctx.note = &note;
+    ctx.clock = clock_;
+    ++tally->selection_evals;
+    auto matched = selection.Matches(ctx);
+    if (!matched.ok()) {
+      ++tally->formula_errors;
+      return std::nullopt;
+    }
+    if (*matched) {
+      selected = true;
+    } else if (note.IsResponse() && resolver != nullptr) {
+      // SELECT ... | @AllChildren / @AllDescendants: responses ride along
+      // with a matching parent (one level) or any matching ancestor.
+      bool children = selection.selects_all_children();
+      bool descendants = selection.selects_all_descendants();
+      if (children || descendants) {
+        const Note* ancestor = resolver->FindByUnid(note.parent_unid());
+        for (int depth = 0;
+             ancestor != nullptr && depth < kMaxResponseDepth; ++depth) {
+          formula::EvalContext actx;
+          actx.note = ancestor;
+          actx.clock = clock_;
+          ++tally->selection_evals;
+          auto m = selection.Matches(actx);
+          if (m.ok() && *m) {
+            selected = true;
+            break;
+          }
+          if (!descendants) break;  // @AllChildren: direct parent only
+          if (!ancestor->IsResponse()) break;
+          ancestor = resolver->FindByUnid(ancestor->parent_unid());
+        }
+      }
+    }
   }
+  if (!selected) return std::nullopt;
+
   ViewEntry entry;
   entry.note_id = note.id();
   entry.unid = note.unid();
@@ -89,26 +96,43 @@ Result<std::optional<ViewEntry>> ViewIndex::EvaluateNote(
   entry.is_response = note.IsResponse();
   entry.created = note.created();
   entry.column_values.reserve(design_.columns().size());
-  for (const ViewColumn& col : design_.columns()) {
-    if (!col.formula.valid()) {
+  for (size_t i = 0; i < design_.columns().size(); ++i) {
+    const formula::Formula* f = i < columns.size() ? columns[i] : nullptr;
+    if (f == nullptr || !f->valid()) {
       entry.column_values.push_back(Value::Text(""));
       continue;
     }
     formula::EvalContext ctx;
     ctx.note = &note;
     ctx.clock = clock_;
-    ++stats_.column_evals;
-    ctr_column_evals_->Add();
-    auto v = col.formula.Evaluate(ctx);
+    ++tally->column_evals;
+    auto v = f->Evaluate(ctx);
     if (!v.ok()) {
-      ++stats_.formula_errors;
-      ctr_formula_errors_->Add();
+      ++tally->formula_errors;
       entry.column_values.push_back(Value::Text(""));
     } else {
       entry.column_values.push_back(std::move(*v));
     }
   }
-  return std::optional<ViewEntry>(std::move(entry));
+  return entry;
+}
+
+void ViewIndex::MergeTally(const ViewStats& tally) {
+  stats_.selection_evals += tally.selection_evals;
+  stats_.column_evals += tally.column_evals;
+  stats_.formula_errors += tally.formula_errors;
+  if (tally.selection_evals > 0) ctr_selection_evals_->Add(tally.selection_evals);
+  if (tally.column_evals > 0) ctr_column_evals_->Add(tally.column_evals);
+  if (tally.formula_errors > 0) ctr_formula_errors_->Add(tally.formula_errors);
+}
+
+Result<std::optional<ViewEntry>> ViewIndex::EvaluateNote(
+    const Note& note, const NoteResolver* resolver) {
+  ViewStats tally;
+  std::optional<ViewEntry> entry = EvalNoteAgainst(
+      note, resolver, design_.selection(), column_formulas_, &tally);
+  MergeTally(tally);
+  return Result<std::optional<ViewEntry>>(std::move(entry));
 }
 
 ViewIndex::RowKey ViewIndex::BuildKey(const ViewEntry& entry) const {
@@ -122,6 +146,31 @@ ViewIndex::RowKey ViewIndex::BuildKey(const ViewEntry& entry) const {
     ++sorted_idx;
   }
   return key;
+}
+
+void ViewIndex::PlaceEntry(ViewEntry entry, const NoteResolver* resolver) {
+  const NoteId id = entry.note_id;
+  Location loc;
+  bool placed_as_response = false;
+  if (design_.show_response_hierarchy() && entry.is_response &&
+      resolver != nullptr) {
+    const Note* parent = resolver->FindByUnid(entry.parent_unid);
+    if (parent != nullptr && row_of_note_.count(parent->id()) != 0) {
+      loc.is_response_row = true;
+      loc.parent = entry.parent_unid;
+      loc.resp_key = ResponseKey{entry.created, entry.note_id};
+      responses_[entry.parent_unid][loc.resp_key] = std::move(entry);
+      placed_as_response = true;
+    }
+  }
+  if (!placed_as_response) {
+    loc.is_response_row = false;
+    loc.main_key = BuildKey(entry);
+    rows_[loc.main_key] = std::move(entry);
+  }
+  row_of_note_[id] = loc;
+  ++stats_.inserts;
+  ctr_inserts_->Add();
 }
 
 void ViewIndex::RemoveLocation(NoteId id) {
@@ -152,28 +201,7 @@ Status ViewIndex::UpdateOne(const Note& note, const NoteResolver* resolver,
   RemoveLocation(note.id());
   DOMINO_ASSIGN_OR_RETURN(auto entry_opt, EvaluateNote(note, resolver));
   if (entry_opt.has_value()) {
-    ViewEntry entry = std::move(*entry_opt);
-    Location loc;
-    bool placed_as_response = false;
-    if (design_.show_response_hierarchy() && entry.is_response &&
-        resolver != nullptr) {
-      const Note* parent = resolver->FindByUnid(entry.parent_unid);
-      if (parent != nullptr && row_of_note_.count(parent->id()) != 0) {
-        loc.is_response_row = true;
-        loc.parent = entry.parent_unid;
-        loc.resp_key = ResponseKey{entry.created, entry.note_id};
-        responses_[entry.parent_unid][loc.resp_key] = std::move(entry);
-        placed_as_response = true;
-      }
-    }
-    if (!placed_as_response) {
-      loc.is_response_row = false;
-      loc.main_key = BuildKey(entry);
-      rows_[loc.main_key] = std::move(entry);
-    }
-    row_of_note_[note.id()] = loc;
-    ++stats_.inserts;
-    ctr_inserts_->Add();
+    PlaceEntry(std::move(*entry_opt), resolver);
   }
   // Membership/placement of responses depends on this note; re-evaluate
   // the known children (recursively through UpdateOne's own walk).
@@ -200,7 +228,7 @@ void ViewIndex::Clear() {
 Status ViewIndex::Rebuild(
     const std::function<void(const std::function<void(const Note&)>&)>&
         for_each_note,
-    const NoteResolver* resolver) {
+    const NoteResolver* resolver, indexer::ThreadPool* pool) {
   auto start = std::chrono::steady_clock::now();
   Clear();
   ++stats_.rebuilds;
@@ -224,16 +252,130 @@ Status ViewIndex::Rebuild(
                    [&](const Note& a, const Note& b) {
                      return depth_of(a) < depth_of(b);
                    });
-  for (const Note& note : notes) {
-    // Depth 32 suppresses the response re-walk; ordering already
-    // guarantees parents were indexed first.
-    DOMINO_RETURN_IF_ERROR(UpdateOne(note, resolver, kMaxResponseDepth));
+  if (pool == nullptr) {
+    for (const Note& note : notes) {
+      // Depth 32 suppresses the response re-walk; ordering already
+      // guarantees parents were indexed first.
+      DOMINO_RETURN_IF_ERROR(UpdateOne(note, resolver, kMaxResponseDepth));
+    }
+  } else {
+    RebuildParallel(notes, resolver, pool);
   }
   hist_rebuild_micros_->Record(static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - start)
           .count()));
   return Status::Ok();
+}
+
+void ViewIndex::RebuildParallel(const std::vector<Note>& notes,
+                                const NoteResolver* resolver,
+                                indexer::ThreadPool* pool) {
+  // Flat views can merge pre-sorted shards; response-hierarchy views need
+  // serial placement in depth order so parents exist before children.
+  const bool flat = !design_.show_response_hierarchy();
+  struct ShardRow {
+    RowKey key;  // flat path only
+    ViewEntry entry;
+  };
+  struct Shard {
+    size_t begin = 0;
+    size_t end = 0;
+    std::vector<std::optional<ViewEntry>> entries;  // hierarchy path
+    std::vector<ShardRow> rows;                     // flat path, sorted
+    ViewStats tally;
+  };
+  const size_t shard_count = std::max<size_t>(
+      1, std::min(pool->num_threads(), std::max<size_t>(notes.size(), 1)));
+  std::vector<Shard> shards(shard_count);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(shard_count);
+  for (size_t s = 0; s < shard_count; ++s) {
+    Shard& shard = shards[s];
+    shard.begin = notes.size() * s / shard_count;
+    shard.end = notes.size() * (s + 1) / shard_count;
+    tasks.push_back([this, &notes, resolver, &shard, flat] {
+      // Per-worker formula clones. Compile goes through the process-wide
+      // compile cache, so workers share the immutable Program while
+      // owning their Formula wrappers.
+      formula::Formula selection = design_.selection();
+      if (auto compiled =
+              formula::Formula::Compile(design_.selection().source());
+          compiled.ok()) {
+        selection = std::move(*compiled);
+      }
+      std::vector<formula::Formula> col_storage(design_.columns().size());
+      std::vector<const formula::Formula*> columns(design_.columns().size(),
+                                                   nullptr);
+      for (size_t i = 0; i < design_.columns().size(); ++i) {
+        const formula::Formula& col = design_.columns()[i].formula;
+        if (!col.valid()) continue;
+        if (auto compiled = formula::Formula::Compile(col.source());
+            compiled.ok()) {
+          col_storage[i] = std::move(*compiled);
+          columns[i] = &col_storage[i];
+        } else {
+          columns[i] = &col;
+        }
+      }
+      for (size_t i = shard.begin; i < shard.end; ++i) {
+        std::optional<ViewEntry> entry = EvalNoteAgainst(
+            notes[i], resolver, selection, columns, &shard.tally);
+        if (flat) {
+          if (entry.has_value()) {
+            RowKey key = BuildKey(*entry);
+            shard.rows.push_back(ShardRow{std::move(key), std::move(*entry)});
+          }
+        } else {
+          shard.entries.push_back(std::move(entry));
+        }
+      }
+      if (flat) {
+        std::sort(shard.rows.begin(), shard.rows.end(),
+                  [](const ShardRow& a, const ShardRow& b) {
+                    return a.key < b.key;
+                  });
+      }
+    });
+  }
+  pool->RunAndWait(std::move(tasks));
+  for (const Shard& shard : shards) MergeTally(shard.tally);
+
+  if (!flat) {
+    // Serial placement in global depth order (shards are contiguous
+    // slices of the depth-sorted note list).
+    for (Shard& shard : shards) {
+      for (std::optional<ViewEntry>& entry : shard.entries) {
+        if (entry.has_value()) PlaceEntry(std::move(*entry), resolver);
+      }
+    }
+    return;
+  }
+  // K-way merge of the pre-sorted shards straight into the ordered map.
+  // Keys are globally unique (note id tiebreak) and appended in ascending
+  // order, so every emplace_hint at end() is O(1).
+  std::vector<size_t> heads(shards.size(), 0);
+  for (;;) {
+    size_t best = shards.size();
+    for (size_t s = 0; s < shards.size(); ++s) {
+      if (heads[s] >= shards[s].rows.size()) continue;
+      if (best == shards.size() ||
+          shards[s].rows[heads[s]].key < shards[best].rows[heads[best]].key) {
+        best = s;
+      }
+    }
+    if (best == shards.size()) break;
+    ShardRow& row = shards[best].rows[heads[best]++];
+    const NoteId id = row.entry.note_id;
+    Location loc;
+    loc.is_response_row = false;
+    loc.main_key = row.key;
+    rows_.emplace_hint(rows_.end(), std::move(row.key),
+                       std::move(row.entry));
+    row_of_note_[id] = std::move(loc);
+    ++stats_.inserts;
+    ctr_inserts_->Add();
+  }
 }
 
 std::vector<const ViewEntry*> ViewIndex::Entries() const {
@@ -267,6 +409,22 @@ void ViewIndex::Traverse(
   }
   std::vector<const ViewEntry*> list = Entries();
 
+  // Render each entry's category-column text exactly once up front; the
+  // category-break and run-count loops below otherwise re-render the same
+  // values O(levels × run length) times.
+  std::vector<std::vector<std::string>> cat_text(
+      cat_cols.empty() ? 0 : list.size());
+  if (!cat_cols.empty()) {
+    std::string scratch;
+    for (size_t i = 0; i < list.size(); ++i) {
+      cat_text[i].reserve(cat_cols.size());
+      for (size_t l = 0; l < cat_cols.size(); ++l) {
+        cat_text[i].emplace_back(
+            list[i]->ColumnTextView(cat_cols[l], &scratch));
+      }
+    }
+  }
+
   // Count of documents under an entry including nested responses.
   std::function<size_t(const ViewEntry&)> count_of =
       [&](const ViewEntry& e) -> size_t {
@@ -284,22 +442,20 @@ void ViewIndex::Traverse(
     // Determine the outermost category level whose value changed.
     size_t changed_level = cat_cols.size();
     for (size_t l = 0; l < cat_cols.size(); ++l) {
-      std::string value = list[i]->ColumnText(cat_cols[l]);
-      if (first || value != open_categories[l]) {
+      if (first || cat_text[i][l] != open_categories[l]) {
         changed_level = l;
         break;
       }
     }
     // Emit category rows from the changed level down.
     for (size_t l = changed_level; l < cat_cols.size(); ++l) {
-      std::string value = list[i]->ColumnText(cat_cols[l]);
-      open_categories[l] = value;
+      open_categories[l] = cat_text[i][l];
       // Count the run of entries sharing categories up to level l.
       size_t docs = 0;
       for (size_t j = i; j < list.size(); ++j) {
         bool same = true;
         for (size_t k = 0; k <= l; ++k) {
-          if (list[j]->ColumnText(cat_cols[k]) != open_categories[k]) {
+          if (cat_text[j][k] != open_categories[k]) {
             same = false;
             break;
           }
@@ -310,7 +466,7 @@ void ViewIndex::Traverse(
       ViewRow row;
       row.kind = ViewRow::Kind::kCategory;
       row.indent = static_cast<int>(l);
-      row.category = value;
+      row.category = open_categories[l];
       row.descendant_count = docs;
       visit(row);
     }

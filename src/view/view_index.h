@@ -6,6 +6,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -16,11 +17,20 @@
 #include "stats/stats.h"
 #include "view/view_design.h"
 
+namespace dominodb::indexer {
+class ThreadPool;
+}  // namespace dominodb::indexer
+
 namespace dominodb {
 
 /// Lookup services a view index needs from its database. The Database
 /// facade implements this over the note store plus a response-children
 /// index.
+///
+/// Implementations must be callable from parallel rebuild workers while
+/// the coordinator blocks inside Rebuild: every caller that mutates notes
+/// must be excluded for the duration of the rebuild (the Database facade
+/// guarantees this by holding its lock across Rebuild).
 class NoteResolver {
  public:
   virtual ~NoteResolver() = default;
@@ -45,6 +55,19 @@ struct ViewEntry {
   std::string ColumnText(size_t i) const {
     return i < column_values.size() ? column_values[i].ToDisplayString()
                                     : std::string();
+  }
+
+  /// Allocation-free ColumnText for hot paths: returns a view into the
+  /// stored value when column `i` is a single text item (the common
+  /// case), otherwise formats into `*scratch` and returns a view of it.
+  /// The view is invalidated by the next call sharing `scratch` or by
+  /// mutating the entry.
+  std::string_view ColumnTextView(size_t i, std::string* scratch) const {
+    if (i >= column_values.size()) return std::string_view();
+    const Value& v = column_values[i];
+    if (v.is_text() && v.texts().size() == 1) return v.texts()[0];
+    *scratch = v.ToDisplayString();
+    return *scratch;
   }
 };
 
@@ -96,10 +119,20 @@ class ViewIndex {
   /// Drops everything and re-indexes the whole database. `for_each_note`
   /// must invoke its callback once per note. Used on view creation and by
   /// the E2 rebuild-vs-incremental experiment.
+  ///
+  /// With a pool (UPDALL-style parallel rebuild) the collected notes are
+  /// partitioned into contiguous shards; each worker compiles its own
+  /// formula clones (sharing immutable programs through the compile
+  /// cache) and evaluates selection + columns into a private shard of
+  /// (RowKey, ViewEntry) pairs. Flat views then k-way merge the
+  /// pre-sorted shards straight into the ordered container (no post-merge
+  /// re-sort); response-hierarchy views place serially in depth order.
+  /// The result — rows, hierarchy, and ViewStats counters — is identical
+  /// to the serial path.
   Status Rebuild(
       const std::function<void(const std::function<void(const Note&)>&)>&
           for_each_note,
-      const NoteResolver* resolver);
+      const NoteResolver* resolver, indexer::ThreadPool* pool = nullptr);
 
   void Clear();
 
@@ -144,11 +177,27 @@ class ViewIndex {
   /// nullopt = not selected.
   Result<std::optional<ViewEntry>> EvaluateNote(const Note& note,
                                                 const NoteResolver* resolver);
-  bool IsSelected(const Note& note, const NoteResolver* resolver);
+  /// Thread-safe evaluation core shared by the serial path and parallel
+  /// rebuild shards: evaluates against caller-supplied formulas, tallies
+  /// into `tally`, and never touches the index containers or mirrors.
+  std::optional<ViewEntry> EvalNoteAgainst(
+      const Note& note, const NoteResolver* resolver,
+      const formula::Formula& selection,
+      const std::vector<const formula::Formula*>& columns,
+      ViewStats* tally) const;
+  /// Adds an eval tally to the per-index stats and server-wide mirrors.
+  void MergeTally(const ViewStats& tally);
   RowKey BuildKey(const ViewEntry& entry) const;
+  /// Inserts an evaluated entry (response placement or main row) and
+  /// records its location. Parents must already be placed for response
+  /// nesting to engage.
+  void PlaceEntry(ViewEntry entry, const NoteResolver* resolver);
   void RemoveLocation(NoteId id);
   Status UpdateOne(const Note& note, const NoteResolver* resolver,
                    int depth);
+  void RebuildParallel(const std::vector<Note>& notes,
+                       const NoteResolver* resolver,
+                       indexer::ThreadPool* pool);
   void EmitEntryAndResponses(const ViewEntry& entry, int indent,
                              const std::function<void(const ViewRow&)>& visit)
       const;
@@ -157,6 +206,9 @@ class ViewIndex {
   const Clock* clock_;
   std::vector<bool> descending_;  // per sorted column, aligned to key build
   bool needs_response_walk_ = false;
+  // design_.columns()[i].formula or nullptr when the column has none;
+  // the serial-path argument for EvalNoteAgainst.
+  std::vector<const formula::Formula*> column_formulas_;
 
   std::map<RowKey, ViewEntry> rows_;
   std::map<Unid, std::map<ResponseKey, ViewEntry>> responses_;

@@ -3,6 +3,7 @@
 #include "base/clock.h"
 #include "formula/formula.h"
 #include "model/datetime.h"
+#include "stats/stats.h"
 #include "tests/test_util.h"
 
 namespace dominodb::formula {
@@ -500,6 +501,31 @@ TEST(FormulaSyntax, MixedTypeListConcatCoercesToText) {
   Value v = Eval("\"a\" : 1");
   ASSERT_TRUE(v.is_text());
   EXPECT_EQ(v.texts(), (std::vector<std::string>{"a", "1"}));
+}
+
+TEST(FormulaCompile, CacheSharesProgramsAcrossCompiles) {
+  auto& hits = stats::StatRegistry::Global().GetCounter("Formula.CacheHits");
+  const std::string source =
+      "SELECT Form = \"CacheProbe\" & @Contains(Subject; \"x\")";
+  auto first = Formula::Compile(source);
+  ASSERT_TRUE(first.ok());
+  const uint64_t hits_before = hits.value();
+  auto second = Formula::Compile(source);
+  ASSERT_TRUE(second.ok());
+  EXPECT_GT(hits.value(), hits_before);
+
+  // The cached copy must behave identically.
+  Note doc = SampleDoc();
+  doc.SetText("Form", "CacheProbe");
+  doc.SetText("Subject", "xyz");
+  EvalContext ctx;
+  ctx.note = &doc;
+  auto a = first->Matches(ctx);
+  auto b = second->Matches(ctx);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+  EXPECT_TRUE(*a);
 }
 
 TEST(FormulaSyntax, RandomIsDeterministicPerDocument) {

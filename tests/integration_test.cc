@@ -219,5 +219,37 @@ TEST_F(DiscussionFixture, ReplicaRestartPreservesEverything) {
   EXPECT_EQ(view->size(), 1u);
 }
 
+TEST_F(DiscussionFixture, ServerIndexerDefersMaintenanceAcrossReplication) {
+  // Loading the UPDATE task attaches every already-open database...
+  ASSERT_OK(server_ptrs_[0]->StartIndexer(2));
+  ASSERT_NE(server_ptrs_[0]->indexer_pool(), nullptr);
+  // ...and databases opened afterwards attach automatically.
+  DatabaseOptions options;
+  auto extra = server_ptrs_[0]->OpenDatabase("extra.nsf", options);
+  ASSERT_OK(extra);
+
+  ASSERT_OK(scheduler_->RunRound().status());
+  ASSERT_OK(Post("hq", "Hank", "Bugs", "deferred but visible", "body")
+                .status());
+  // The traversal catches the queue up before answering, so the write is
+  // visible without an explicit FlushIndexes.
+  std::vector<std::string> subjects;
+  ASSERT_OK(hq_db_->TraverseViewAs(
+      Principal::User("Hank"), "Threads", [&](const ViewRow& row) {
+        if (row.kind == ViewRow::Kind::kDocument) {
+          subjects.push_back(row.entry->ColumnText(1));
+        }
+      }));
+  EXPECT_EQ(subjects, std::vector<std::string>{"deferred but visible"});
+
+  // Replication out of hq still sees the note, and the spokes (no
+  // indexer loaded) index inline as before.
+  clock_.Advance(1'000'000);
+  ASSERT_OK(scheduler_->RunUntilConverged(5).status());
+  ASSERT_OK(hq_db_->FlushIndexes());
+  EXPECT_EQ(DbOn("east")->FindView("Threads")->size(), 1u);
+  EXPECT_EQ(DbOn("west")->FindView("Threads")->size(), 1u);
+}
+
 }  // namespace
 }  // namespace dominodb

@@ -154,6 +154,40 @@ TEST(DocumentSecurityTest, NameListMatching) {
   EXPECT_FALSE(NameListMatches(names, Principal::User("Zed"), {"[dev]"}));
 }
 
+TEST(DocumentSecurityTest, AccessContextMatchesAclOverloads) {
+  // The memoized overloads power secured traversals/searches; they must
+  // agree with the per-call Acl overloads for every reader-field shape.
+  Acl acl;
+  acl.set_default_level(AccessLevel::kNoAccess);
+  acl.SetEntry("Alice", AccessLevel::kEditor, {"[Ops]"});
+  acl.SetEntry("Bob", AccessLevel::kReader);
+  acl.SetEntry("Sales Team", AccessLevel::kAuthor);
+
+  Note open = testing_util::MakeDoc("Memo", "open");
+  Note restricted = testing_util::MakeDoc("Memo", "restricted");
+  restricted.SetItem("DocReaders", Value::TextList({"Bob", "[Ops]"}),
+                     kItemReaders | kItemNames);
+  Note authored = testing_util::MakeDoc("Memo", "authored");
+  authored.SetItem("DocAuthors", Value::TextList({"Sales Team"}),
+                   kItemAuthors | kItemNames);
+
+  const Principal principals[] = {
+      Principal::User("Alice"), Principal::User("Bob"),
+      Principal{"Carol", {"Sales Team"}}, Principal::User("Mallory")};
+  for (const Principal& who : principals) {
+    const AccessContext access = ResolveAccess(acl, who);
+    EXPECT_EQ(access.level, acl.LevelFor(who)) << who.name;
+    for (const Note* note : {&open, &restricted, &authored}) {
+      EXPECT_EQ(CanReadDocument(access, who, *note),
+                CanReadDocument(acl, who, *note))
+          << who.name << "/" << note->GetText("Subject");
+      EXPECT_EQ(CanEditDocument(access, who, *note),
+                CanEditDocument(acl, who, *note))
+          << who.name << "/" << note->GetText("Subject");
+    }
+  }
+}
+
 TEST(AclTest, FromNoteRejectsGarbage) {
   Note not_acl = testing_util::MakeDoc("Memo", "x");
   EXPECT_FALSE(Acl::FromNote(not_acl).ok());
