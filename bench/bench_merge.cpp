@@ -42,10 +42,11 @@ RunResult RunWorkload(bool merge_enabled, double overlap_prob,
     unids.push_back(a->ReadNote(id)->unid());
   }
   Replicator replicator(nullptr);
-  ReplicationHistory ha, hb;
   ReplicationOptions ropts;
   ropts.merge_conflicts = merge_enabled;
-  replicator.Replicate(a.get(), "A", b.get(), "B", &ha, &hb, ropts).ok();
+  ReplicaEndpoint side_a{a.get(), "A", nullptr};
+  ReplicaEndpoint side_b{b.get(), "B", nullptr};
+  replicator.Replicate(side_a, side_b, ropts).ok();
   clock.Advance(1'000'000);
 
   ReplicationReport total;
@@ -71,15 +72,13 @@ RunResult RunWorkload(bool merge_enabled, double overlap_prob,
       }
       clock.Advance(1000);
     }
-    auto report =
-        replicator.Replicate(a.get(), "A", b.get(), "B", &ha, &hb, ropts);
+    auto report = replicator.Replicate(side_a, side_b, ropts);
     if (report.ok()) total.MergeFrom(*report);
     clock.Advance(1'000'000);
   }
   // Settle.
   for (int i = 0; i < 4; ++i) {
-    auto report =
-        replicator.Replicate(a.get(), "A", b.get(), "B", &ha, &hb, ropts);
+    auto report = replicator.Replicate(side_a, side_b, ropts);
     if (report.ok()) total.MergeFrom(*report);
     clock.Advance(1'000'000);
   }

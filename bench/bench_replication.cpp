@@ -39,7 +39,7 @@ int main() {
         ids.push_back(*da->CreateNote(SyntheticDoc(&rng, 300)));
       }
       // Baseline sync so both replicas are identical.
-      a.ReplicateWith(&b, "bench.nsf").status().ok();
+      a.ReplicateWith(b, "bench.nsf").status().ok();
       clock.Advance(1'000'000);
 
       // Apply `changed` updates on A.
@@ -50,13 +50,13 @@ int main() {
       }
       clock.Advance(1'000'000);
 
-      auto incr = a.ReplicateWith(&b, "bench.nsf");
+      auto incr = a.ReplicateWith(b, "bench.nsf");
       clock.Advance(1'000'000);
 
       // Full replication baseline: ignore histories.
       ReplicationOptions full;
       full.use_history = false;
-      auto full_report = a.ReplicateWith(&b, "bench.nsf", full);
+      auto full_report = a.ReplicateWith(b, "bench.nsf", full);
 
       double ratio =
           incr->bytes_transferred > 0

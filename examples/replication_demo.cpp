@@ -63,16 +63,17 @@ int main(int argc, char** argv) {
   printf("HQ starts with %zu invoices; spokes are empty.\n\n",
          hq_db->note_count());
 
-  // First replication: everything moves.
+  // First replication: everything moves. The servers own the replication
+  // histories, so a session is just "replicate file with peer".
   PrintReport("hq <-> east (initial)",
-              *hq.ReplicateWith(&east, "invoices.nsf"));
+              *hq.ReplicateWith(east, "invoices.nsf"));
   PrintReport("hq <-> west (initial)",
-              *hq.ReplicateWith(&west, "invoices.nsf"));
+              *hq.ReplicateWith(west, "invoices.nsf"));
 
   // Second replication: the histories make it incremental — nothing moves.
   clock.Advance(1'000'000);
   PrintReport("hq <-> east (no changes)",
-              *hq.ReplicateWith(&east, "invoices.nsf"));
+              *hq.ReplicateWith(east, "invoices.nsf"));
 
   // Concurrent edits of the same invoice on two replicas → conflict doc.
   Database* east_db = east.FindDatabase("invoices.nsf");
@@ -118,14 +119,53 @@ int main(int argc, char** argv) {
   ReplicationOptions selective;
   selective.selective_formula = "SELECT Region = \"east\"";
   selective.push = false;  // one-way pull into the branch
-  Replicator replicator(&net);
-  auto report = replicator.Replicate(
-      branch.FindDatabase("invoices.nsf"), "branch", hq_db, "hq",
-      branch.HistoryFor("invoices.nsf"), hq.HistoryFor("invoices.nsf"),
-      selective);
-  PrintReport("branch <- hq (selective)", *report);
+  PrintReport("branch <- hq (selective)",
+              *branch.ReplicateWith(hq, "invoices.nsf", selective));
   printf("branch holds %zu invoice(s), all Region=east.\n",
          branch.FindDatabase("invoices.nsf")->note_count());
+
+  // Replication over a lossy WAN: 10% of messages vanish, transfers can
+  // die halfway, and the hq<->east link takes a scheduled outage. The
+  // replicator task (connection documents + exponential backoff + circuit
+  // breaker) retries until the fleet converges anyway.
+  printf("\nLossy WAN: 10%% loss, mid-transfer failures, an hq<->east "
+         "outage.\n");
+  net.SeedFaults(42);
+  FaultProfile lossy;
+  lossy.drop_probability = 0.10;
+  lossy.mid_transfer_probability = 0.05;
+  lossy.jitter_max = 2'000;
+  net.SetDefaultFaultProfile(lossy);
+  net.AddFlapWindow("hq", "east", clock.Now(), clock.Now() + 3'000'000);
+
+  for (int i = 0; i < 20; ++i) {
+    hq_db->CreateNote(Invoice(i % 2 ? "east" : "west",
+                              "Late customer " + std::to_string(i),
+                              10.0 * (i + 1)))
+        .ok();
+  }
+  repl::RetryPolicy policy;
+  policy.base_backoff = 500'000;  // 0.5 s, doubling per failure
+  policy.max_backoff = 4'000'000;
+  policy.jitter_fraction = 0.25;
+  policy.circuit_open_after = 10;
+  policy.circuit_cooloff = 2'000'000;  // match the simulated timescale
+  hq.StartReplicator(policy, /*seed=*/7).ok();
+  hq.AddConnection(east, "invoices.nsf").ok();
+  hq.AddConnection(west, "invoices.nsf").ok();
+
+  int polls = 0;
+  while (polls < 400) {
+    ++polls;
+    hq.RunReplicatorDue().ok();
+    clock.Advance(250'000);
+    if (hq.replicator()->Quiescent() &&
+        DatabasesConverged({hq_db, east_db, west_db})) {
+      break;
+    }
+  }
+  printf("Converged after %d poll(s) despite the faults: %s\n", polls,
+         DatabasesConverged({hq_db, east_db, west_db}) ? "yes" : "no");
 
   printf("\nTotal simulated network traffic: %llu bytes in %llu messages.\n",
          static_cast<unsigned long long>(net.total().bytes),

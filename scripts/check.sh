@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # Sanitizer gate: builds the tree and runs the full test suite under each
-# requested sanitizer. With no arguments both AddressSanitizer and
-# ThreadSanitizer run (the background indexer makes data-race coverage
-# mandatory). Usage: scripts/check.sh [address|thread|undefined ...]
+# requested sanitizer. With no arguments AddressSanitizer, ThreadSanitizer
+# (the background indexer makes data-race coverage mandatory) and
+# UndefinedBehaviorSanitizer all run.
+# Usage: scripts/check.sh [address|thread|undefined ...]
 set -euo pipefail
 
 if [ $# -eq 0 ]; then
-  SANITIZERS=(address thread)
+  SANITIZERS=(address thread undefined)
 else
   SANITIZERS=("$@")
 fi

@@ -753,6 +753,23 @@ std::vector<Oid> Database::ChangesSince(Micros cutoff) const {
   return changes;
 }
 
+std::vector<Database::Change> Database::ChangeSummarySince(
+    Micros cutoff) const {
+  DbLock lock(mu_);
+  std::vector<Change> changes;
+  store_->ForEach([&](const Note& note) {
+    if (note.modified_in_file() > cutoff) {
+      changes.push_back(Change{note.oid(), note.modified_in_file()});
+    }
+  });
+  std::sort(changes.begin(), changes.end(),
+            [](const Change& a, const Change& b) {
+              if (a.stamp != b.stamp) return a.stamp < b.stamp;
+              return a.oid.unid < b.oid.unid;
+            });
+  return changes;
+}
+
 Result<Note> Database::GetAnyByUnid(const Unid& unid) const {
   DbLock lock(mu_);
   const Note* note = store_->FindPtrByUnid(unid);

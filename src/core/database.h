@@ -181,6 +181,17 @@ class Database : public NoteResolver {
   /// OIDs of every note (stubs included) whose sequence time is newer
   /// than `cutoff` — the change summary exchanged by the replicator.
   std::vector<Oid> ChangesSince(Micros cutoff) const;
+  /// One change-summary entry: the OID plus the modified-in-this-file
+  /// stamp that made it part of the summary.
+  struct Change {
+    Oid oid;
+    Micros stamp = 0;
+  };
+  /// Like ChangesSince, but ordered by ascending stamp (ties broken by
+  /// UNID) and carrying the stamps. A replication session that processes
+  /// entries in this order can record any prefix boundary as a resumable
+  /// low-water cutoff: everything stamped at or below it has been seen.
+  std::vector<Change> ChangeSummarySince(Micros cutoff) const;
   /// Includes stubs.
   Result<Note> GetAnyByUnid(const Unid& unid) const;
   /// Stores a note received from a remote replica verbatim (no local

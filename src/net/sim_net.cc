@@ -8,6 +8,15 @@ SimNet::SimNet(SimClock* clock, stats::StatRegistry* stats) : clock_(clock) {
   ctr_messages_ = &reg.GetCounter("Net.Messages");
   ctr_bytes_ = &reg.GetCounter("Net.Bytes");
   ctr_dropped_ = &reg.GetCounter("Net.Dropped");
+  ctr_fault_dropped_ = &reg.GetCounter("Net.Faults.Dropped");
+  ctr_fault_mid_transfer_ = &reg.GetCounter("Net.Faults.MidTransfer");
+  ctr_fault_wasted_bytes_ = &reg.GetCounter("Net.Faults.WastedBytes");
+  ctr_fault_flap_drops_ = &reg.GetCounter("Net.Faults.FlapDrops");
+  ctr_fault_jitter_micros_ = &reg.GetCounter("Net.Faults.JitterMicros");
+  // Sustained injected loss is operator-visible, like a flapping WAN line
+  // would be on a Domino console.
+  reg.AddThreshold("Net.Faults.Dropped", 100, stats::Severity::kWarning,
+                   "heavy injected message loss on the network");
 }
 
 void SimNet::SetLink(const std::string& a, const std::string& b,
@@ -24,6 +33,34 @@ void SimNet::SetPartitioned(const std::string& a, const std::string& b,
   }
 }
 
+void SimNet::SetFaultProfile(const std::string& a, const std::string& b,
+                             const FaultProfile& profile) {
+  fault_profiles_[Key(a, b)] = profile;
+}
+
+void SimNet::AddFlapWindow(const std::string& a, const std::string& b,
+                           Micros from, Micros until) {
+  flaps_[Key(a, b)].push_back(FlapWindow{from, until});
+}
+
+bool SimNet::InFlapWindow(
+    const std::pair<std::string, std::string>& key) const {
+  if (clock_ == nullptr) return false;
+  auto it = flaps_.find(key);
+  if (it == flaps_.end()) return false;
+  Micros now = clock_->Now();
+  for (const FlapWindow& window : it->second) {
+    if (now >= window.from && now < window.until) return true;
+  }
+  return false;
+}
+
+const FaultProfile& SimNet::ProfileFor(
+    const std::pair<std::string, std::string>& key) const {
+  auto it = fault_profiles_.find(key);
+  return it == fault_profiles_.end() ? default_faults_ : it->second;
+}
+
 Status SimNet::Transfer(const std::string& from, const std::string& to,
                         uint64_t bytes) {
   auto key = Key(from, to);
@@ -36,20 +73,69 @@ Status SimNet::Transfer(const std::string& from, const std::string& to,
     return Status::Unavailable("link " + from + " <-> " + to +
                                " is partitioned");
   }
+  if (InFlapWindow(key)) {
+    stats_[key].dropped += 1;
+    total_.dropped += 1;
+    ctr_dropped_->Add();
+    ctr_fault_flap_drops_->Add();
+    return Status::Unavailable("link " + from + " <-> " + to +
+                               " is down (scheduled flap)");
+  }
   LinkParams params;
   if (auto it = links_.find(key); it != links_.end()) {
     params = it->second;
   } else {
     params = LinkParams{default_latency_, default_bandwidth_};
   }
+  const FaultProfile& faults = ProfileFor(key);
+  if (faults.drop_probability > 0 &&
+      fault_rng_.Bernoulli(faults.drop_probability)) {
+    // Lost before the first byte arrived: no latency, no bytes.
+    stats_[key].faults += 1;
+    total_.faults += 1;
+    ctr_fault_dropped_->Add();
+    return Status::Unavailable("message " + from + " -> " + to +
+                               " lost in flight (injected fault)");
+  }
+  Micros jitter = 0;
+  if (faults.jitter_max > 0) {
+    jitter = static_cast<Micros>(
+        fault_rng_.Uniform(static_cast<uint64_t>(faults.jitter_max) + 1));
+  }
+  if (faults.mid_transfer_probability > 0 &&
+      fault_rng_.Bernoulli(faults.mid_transfer_probability)) {
+    // The link dies partway: a random fraction of the bytes is charged
+    // (they crossed the wire) but the message never completes.
+    uint64_t charged =
+        bytes > 0 ? 1 + fault_rng_.Uniform(bytes) : 0;  // in [1, bytes]
+    if (clock_ != nullptr) {
+      Micros cost = params.latency + jitter;
+      if (params.bytes_per_second > 0) {
+        cost += static_cast<Micros>((charged * 1'000'000) /
+                                    params.bytes_per_second);
+      }
+      clock_->Advance(cost);
+    }
+    LinkStats& link = stats_[key];
+    link.faults += 1;
+    link.wasted_bytes += charged;
+    total_.faults += 1;
+    total_.wasted_bytes += charged;
+    ctr_fault_mid_transfer_->Add();
+    ctr_fault_wasted_bytes_->Add(charged);
+    if (jitter > 0) ctr_fault_jitter_micros_->Add(jitter);
+    return Status::Unavailable("link " + from + " <-> " + to +
+                               " failed mid-transfer (injected fault)");
+  }
   if (clock_ != nullptr) {
-    Micros cost = params.latency;
+    Micros cost = params.latency + jitter;
     if (params.bytes_per_second > 0) {
       cost += static_cast<Micros>((bytes * 1'000'000) /
                                   params.bytes_per_second);
     }
     clock_->Advance(cost);
   }
+  if (jitter > 0) ctr_fault_jitter_micros_->Add(jitter);
   LinkStats& link = stats_[key];
   link.messages += 1;
   link.bytes += bytes;

@@ -6,8 +6,10 @@
 #include <set>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "base/clock.h"
+#include "base/rng.h"
 #include "base/status.h"
 #include "stats/stats.h"
 
@@ -17,17 +19,49 @@ namespace dominodb {
 struct LinkStats {
   uint64_t messages = 0;
   uint64_t bytes = 0;
-  /// Transfers attempted while the link was partitioned. These consume no
-  /// bytes/latency but are still accounted so partition experiments can
-  /// see how much traffic the outage turned away.
+  /// Transfers attempted while the link was partitioned (or inside a
+  /// scheduled flap window). These consume no bytes/latency but are still
+  /// accounted so partition experiments can see how much traffic the
+  /// outage turned away.
   uint64_t dropped = 0;
+  /// Transfers lost to injected faults (random message loss and
+  /// mid-transfer failures).
+  uint64_t faults = 0;
+  /// Bytes charged to the link (latency/bandwidth paid) for messages that
+  /// were nevertheless lost mid-transfer. The receiver saw none of them.
+  uint64_t wasted_bytes = 0;
+};
+
+/// Deterministic fault model for one link: the lossy-WAN behaviour the
+/// paper's epsilon-consistency story assumes replication survives. All
+/// randomness comes from the SimNet's seeded PRNG, so a run is exactly
+/// reproducible from (configuration, seed).
+struct FaultProfile {
+  /// Probability a message is lost in flight before any byte arrives
+  /// (no latency or bytes charged).
+  double drop_probability = 0.0;
+  /// Probability the link dies mid-transfer: a random fraction of the
+  /// bytes is charged (latency + bandwidth paid, accounted as
+  /// wasted_bytes) but the message never completes.
+  double mid_transfer_probability = 0.0;
+  /// Extra latency jitter: each successful transfer pays an additional
+  /// uniform delay in [0, jitter_max] microseconds.
+  Micros jitter_max = 0;
+
+  bool active() const {
+    return drop_probability > 0 || mid_transfer_probability > 0 ||
+           jitter_max > 0;
+  }
 };
 
 /// Deterministic network substitute for the LAN/WAN the paper's systems
 /// ran on. Endpoints are server names; every protocol message is charged
 /// latency + bytes/bandwidth against the shared SimClock, and per-link
 /// counters feed the replication/mail experiments (bytes moved, message
-/// counts). Partitions make links fail with Unavailable.
+/// counts). Partitions make links fail with Unavailable, and seeded
+/// fault injection (drop probability, latency jitter, mid-transfer
+/// failures, scheduled link flaps) models lossy links for the
+/// disruption-tolerance experiments.
 class SimNet {
  public:
   /// `stats` (nullable → the global registry) receives the server-wide
@@ -48,9 +82,28 @@ class SimNet {
   void SetPartitioned(const std::string& a, const std::string& b,
                       bool partitioned);
 
+  // -- Fault injection -----------------------------------------------------
+  /// Reseeds the fault PRNG. Identical configuration + seed + traffic
+  /// produce byte-for-byte identical outcomes.
+  void SeedFaults(uint64_t seed) { fault_rng_ = Rng(seed); }
+
+  /// Fault model applied to links without an explicit profile.
+  void SetDefaultFaultProfile(const FaultProfile& profile) {
+    default_faults_ = profile;
+  }
+
+  /// Fault model for the (undirected) link between `a` and `b`.
+  void SetFaultProfile(const std::string& a, const std::string& b,
+                       const FaultProfile& profile);
+
+  /// Schedules an outage on the link: while the SimClock reads a time in
+  /// [from, until) the link behaves as partitioned. Windows accumulate.
+  void AddFlapWindow(const std::string& a, const std::string& b, Micros from,
+                     Micros until);
+
   /// Accounts one protocol message of `bytes` from `from` to `to`,
   /// advancing the simulated clock. Fails with Unavailable when the link
-  /// is partitioned.
+  /// is partitioned, flapping, or an injected fault eats the message.
   Status Transfer(const std::string& from, const std::string& to,
                   uint64_t bytes);
 
@@ -63,17 +116,30 @@ class SimNet {
     Micros latency = 1000;             // 1 ms
     uint64_t bytes_per_second = 10'000'000;  // ~10 MB/s
   };
+  struct FlapWindow {
+    Micros from = 0;
+    Micros until = 0;
+  };
 
   static std::pair<std::string, std::string> Key(const std::string& a,
                                                  const std::string& b) {
     return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
   }
 
+  bool InFlapWindow(const std::pair<std::string, std::string>& key) const;
+  const FaultProfile& ProfileFor(
+      const std::pair<std::string, std::string>& key) const;
+
   SimClock* clock_;
   Micros default_latency_ = 1000;
   uint64_t default_bandwidth_ = 10'000'000;
   std::map<std::pair<std::string, std::string>, LinkParams> links_;
   std::set<std::pair<std::string, std::string>> partitions_;
+  std::map<std::pair<std::string, std::string>, FaultProfile> fault_profiles_;
+  std::map<std::pair<std::string, std::string>, std::vector<FlapWindow>>
+      flaps_;
+  FaultProfile default_faults_;
+  Rng fault_rng_{0};
   std::map<std::pair<std::string, std::string>, LinkStats> stats_;
   LinkStats total_;
 
@@ -81,6 +147,11 @@ class SimNet {
   stats::Counter* ctr_messages_;
   stats::Counter* ctr_bytes_;
   stats::Counter* ctr_dropped_;
+  stats::Counter* ctr_fault_dropped_;
+  stats::Counter* ctr_fault_mid_transfer_;
+  stats::Counter* ctr_fault_wasted_bytes_;
+  stats::Counter* ctr_fault_flap_drops_;
+  stats::Counter* ctr_fault_jitter_micros_;
 };
 
 }  // namespace dominodb

@@ -69,6 +69,7 @@ void ReplicationReport::MergeFrom(const ReplicationReport& other) {
   merges += other.merges;
   skipped_unchanged += other.skipped_unchanged;
   skipped_by_formula += other.skipped_by_formula;
+  apply_failures += other.apply_failures;
   bytes_transferred += other.bytes_transferred;
   messages += other.messages;
 }
@@ -306,9 +307,9 @@ Status Replicator::Charge(const std::string& from, const std::string& to,
   return Status::Ok();
 }
 
-Status Replicator::Pull(Database* dst, const std::string& dst_name,
-                        Database* src, const std::string& src_name,
-                        Micros cutoff, const ReplicationOptions& options,
+Status Replicator::Pull(const ReplicaEndpoint& dst,
+                        const ReplicaEndpoint& src,
+                        const ReplicationOptions& options,
                         bool count_as_pull, ReplicationReport* report) {
   formula::Formula selective;
   if (!options.selective_formula.empty()) {
@@ -316,21 +317,39 @@ Status Replicator::Pull(Database* dst, const std::string& dst_name,
                             formula::Formula::Compile(
                                 options.selective_formula));
   }
+  const bool track_progress = options.use_history && dst.history != nullptr;
+  Micros cutoff = track_progress ? dst.history->CutoffFor(src.name) : 0;
 
-  // 1. Request + receive the change summary (OIDs newer than the cutoff).
-  std::vector<Oid> summary = src->ChangesSince(cutoff);
+  // 1. Request + receive the change summary (OIDs newer than the cutoff),
+  //    ordered by the source's modified-in-file stamps so any processed
+  //    prefix is a valid resumption point.
+  std::vector<Database::Change> summary = src.db->ChangeSummarySince(cutoff);
   ReplicationReport local;
-  DOMINO_RETURN_IF_ERROR(Charge(dst_name, src_name, 32, &local));
-  DOMINO_RETURN_IF_ERROR(Charge(src_name, dst_name,
+  DOMINO_RETURN_IF_ERROR(Charge(dst.name, src.name, 32, &local));
+  DOMINO_RETURN_IF_ERROR(Charge(src.name, dst.name,
                                 kSummaryEntryBytes * summary.size() + 16,
                                 &local));
   local.summarized += summary.size();
 
-  // 2. Decide per note; fetch bodies only for versions we may need.
-  for (const Oid& oid : summary) {
-    const bool have_local = dst->GetAnyByUnid(oid.unid).ok();
+  // 2. Decide per note; fetch bodies only for versions we may need. After
+  //    every complete batch the low-water cutoff advances into the
+  //    history, so a mid-session link failure keeps the progress made and
+  //    a retry ships only the remainder.
+  const size_t batch_size =
+      options.batch_size == 0 ? summary.size() + 1 : options.batch_size;
+  size_t in_batch = 0;
+  Micros low_water = 0;
+  auto commit_progress = [&]() {
+    if (track_progress && low_water > 0) {
+      dst.history->Record(src.name, low_water);
+    }
+  };
+  for (const Database::Change& change : summary) {
+    const Oid& oid = change.oid;
+    bool skipped = false;
+    const bool have_local = dst.db->GetAnyByUnid(oid.unid).ok();
     if (have_local) {
-      auto mine = dst->GetAnyByUnid(oid.unid);
+      auto mine = dst.db->GetAnyByUnid(oid.unid);
       OidRelation rel = CompareOids(mine->oid(), oid);
       if (rel == OidRelation::kEqual || rel == OidRelation::kLocalNewer) {
         // Cheap dominance check on the summary alone; ancestry-uncertain
@@ -339,29 +358,51 @@ Status Replicator::Pull(Database* dst, const std::string& dst_name,
         if (rel == OidRelation::kEqual ||
             mine->HasRevision(oid.sequence_time)) {
           local.skipped_unchanged += 1;
-          continue;
+          skipped = true;
         }
       }
     }
-    auto remote_note = src->GetAnyByUnid(oid.unid);
-    if (!remote_note.ok()) continue;  // purged mid-session
-    if (selective.valid() && !remote_note->deleted()) {
-      formula::EvalContext ctx;
-      ctx.note = &*remote_note;
-      ctx.clock = dst->clock();
-      auto matched = selective.Matches(ctx);
-      if (!matched.ok() || !*matched) {
-        local.skipped_by_formula += 1;
-        continue;
+    if (!skipped) {
+      auto remote_note = src.db->GetAnyByUnid(oid.unid);
+      if (!remote_note.ok()) {
+        // Purged mid-session; nothing to move.
+      } else {
+        bool wanted = true;
+        if (selective.valid() && !remote_note->deleted()) {
+          formula::EvalContext ctx;
+          ctx.note = &*remote_note;
+          ctx.clock = dst.db->clock();
+          auto matched = selective.Matches(ctx);
+          if (!matched.ok() || !*matched) {
+            local.skipped_by_formula += 1;
+            wanted = false;
+          }
+        }
+        if (wanted) {
+          std::string encoded = remote_note->EncodeToString();
+          Status charged =
+              Charge(src.name, dst.name, encoded.size() + 8, &local);
+          if (!charged.ok()) {
+            // The link died mid-session: keep the progress made so far.
+            commit_progress();
+            return charged;
+          }
+          auto applied = ApplyRemoteChange(dst.db, *remote_note, &local,
+                                           options.merge_conflicts);
+          if (!applied.ok()) {
+            commit_progress();
+            return applied.status();
+          }
+        }
       }
     }
-    std::string encoded = remote_note->EncodeToString();
-    DOMINO_RETURN_IF_ERROR(
-        Charge(src_name, dst_name, encoded.size() + 8, &local));
-    auto applied = ApplyRemoteChange(dst, *remote_note, &local,
-                                     options.merge_conflicts);
-    if (!applied.ok()) return applied.status();
+    low_water = change.stamp;
+    if (++in_batch >= batch_size) {
+      commit_progress();
+      in_batch = 0;
+    }
   }
+  commit_progress();
 
   if (!count_as_pull) {
     local.pushed = local.pulled;
@@ -372,21 +413,21 @@ Status Replicator::Pull(Database* dst, const std::string& dst_name,
 }
 
 Result<ReplicationReport> Replicator::Replicate(
-    Database* local, const std::string& local_name, Database* remote,
-    const std::string& remote_name, ReplicationHistory* local_history,
-    ReplicationHistory* remote_history, const ReplicationOptions& options) {
-  Result<ReplicationReport> result =
-      RunSession(local, local_name, remote, remote_name, local_history,
-                 remote_history, options);
+    const ReplicaEndpoint& local, const ReplicaEndpoint& remote,
+    const ReplicationOptions& options) {
+  Result<ReplicationReport> result = RunSession(local, remote, options);
   if (result.ok()) {
     ctr_sessions_completed_->Add();
     RecordSession(*result);
   } else {
     ctr_sessions_failed_->Add();
-    Micros now = local->clock() != nullptr ? local->clock()->Now() : 0;
+    Micros now =
+        local.db != nullptr && local.db->clock() != nullptr
+            ? local.db->clock()->Now()
+            : 0;
     registry_->events().Log(stats::Severity::kFailure, "Replica",
-                            "replication " + local_name + " <-> " +
-                                remote_name + " failed: " +
+                            "replication " + local.name + " <-> " +
+                                remote.name + " failed: " +
                                 result.status().message(),
                             now);
   }
@@ -394,43 +435,37 @@ Result<ReplicationReport> Replicator::Replicate(
 }
 
 Result<ReplicationReport> Replicator::RunSession(
-    Database* local, const std::string& local_name, Database* remote,
-    const std::string& remote_name, ReplicationHistory* local_history,
-    ReplicationHistory* remote_history, const ReplicationOptions& options) {
-  if (local->replica_id() != remote->replica_id()) {
+    const ReplicaEndpoint& local, const ReplicaEndpoint& remote,
+    const ReplicationOptions& options) {
+  if (local.db == nullptr || remote.db == nullptr) {
+    return Status::InvalidArgument("replication endpoint has no database");
+  }
+  if (local.db->replica_id() != remote.db->replica_id()) {
     return Status::InvalidArgument(
         "databases are not replicas (replica ids differ): " +
-        local->replica_id().ToString() + " vs " +
-        remote->replica_id().ToString());
+        local.db->replica_id().ToString() + " vs " +
+        remote.db->replica_id().ToString());
   }
   ReplicationReport report;
   DOMINO_RETURN_IF_ERROR(
-      Charge(local_name, remote_name, kHandshakeBytes, &report));
+      Charge(local.name, remote.name, kHandshakeBytes, &report));
 
   if (options.pull) {
-    Micros cutoff = options.use_history && local_history != nullptr
-                        ? local_history->CutoffFor(remote_name)
-                        : 0;
-    DOMINO_RETURN_IF_ERROR(Pull(local, local_name, remote, remote_name,
-                                cutoff, options, /*count_as_pull=*/true,
-                                &report));
+    DOMINO_RETURN_IF_ERROR(
+        Pull(local, remote, options, /*count_as_pull=*/true, &report));
   }
   if (options.push) {
-    Micros cutoff = options.use_history && remote_history != nullptr
-                        ? remote_history->CutoffFor(local_name)
-                        : 0;
-    DOMINO_RETURN_IF_ERROR(Pull(remote, remote_name, local, local_name,
-                                cutoff, options, /*count_as_pull=*/false,
-                                &report));
+    DOMINO_RETURN_IF_ERROR(
+        Pull(remote, local, options, /*count_as_pull=*/false, &report));
   }
   // Record post-session cutoffs: each side has now seen everything the
   // other wrote up to its final stamp (including notes installed during
   // this very session, which avoids re-summarizing them next time).
-  if (local_history != nullptr) {
-    local_history->Record(remote_name, remote->last_write_stamp());
+  if (local.history != nullptr) {
+    local.history->Record(remote.name, remote.db->last_write_stamp());
   }
-  if (remote_history != nullptr) {
-    remote_history->Record(local_name, local->last_write_stamp());
+  if (remote.history != nullptr) {
+    remote.history->Record(local.name, local.db->last_write_stamp());
   }
   return report;
 }
@@ -439,12 +474,40 @@ void ClusterReplicator::OnNoteChanged(const Note& note) {
   if (applying_) return;
   applying_ = true;
   for (Database* peer : peers_) {
+    if (peer->replica_id() != source_->replica_id()) {
+      // A misconfigured cluster member (not a replica of the source) must
+      // not be contaminated with foreign notes; degrade loudly instead.
+      report_.apply_failures += 1;
+      ctr_cluster_failures_->Add();
+      RecordClusterFailure(
+          peer, Status::InvalidArgument("peer is not a replica of source"));
+      continue;
+    }
     auto existing = peer->GetAnyByUnid(note.unid());
     if (existing.ok() && existing->oid() == note.oid()) continue;
     auto applied = ApplyRemoteChange(peer, note, &report_);
-    if (applied.ok() && *applied) ctr_cluster_pushes_->Add();
+    if (!applied.ok()) {
+      // A partitioned or failing peer drops out of the event-driven push;
+      // the scheduled replicator catches it up once it heals. Record the
+      // failure so the degradation is loud, not silent.
+      report_.apply_failures += 1;
+      ctr_cluster_failures_->Add();
+      RecordClusterFailure(peer, applied.status());
+      continue;
+    }
+    if (*applied) ctr_cluster_pushes_->Add();
   }
   applying_ = false;
+}
+
+void ClusterReplicator::RecordClusterFailure(Database* peer,
+                                             const Status& status) {
+  Micros now =
+      source_->clock() != nullptr ? source_->clock()->Now() : 0;
+  registry_->events().Log(stats::Severity::kWarning, "Replica",
+                          "cluster push to replica of '" + peer->title() +
+                              "' failed: " + status.message(),
+                          now);
 }
 
 }  // namespace dominodb

@@ -44,6 +44,12 @@ struct ReplicationOptions {
   /// items are merged into one version instead of producing a conflict
   /// document. Overlapping edits still conflict.
   bool merge_conflicts = false;
+  /// Notes are installed in stamp order in batches of this size; after
+  /// each complete batch the receiving side's history cutoff advances to
+  /// the batch boundary, so a session that dies on a lossy link resumes
+  /// from the last committed batch instead of from scratch. 0 disables
+  /// intra-session checkpointing (single batch).
+  size_t batch_size = 32;
 };
 
 struct ReplicationReport {
@@ -55,10 +61,21 @@ struct ReplicationReport {
   size_t merges = 0;              // conflicts resolved by field merge
   size_t skipped_unchanged = 0;   // dominated or equal versions
   size_t skipped_by_formula = 0;  // filtered by selective replication
+  size_t apply_failures = 0;      // peers that rejected a pushed change
   uint64_t bytes_transferred = 0;
   uint64_t messages = 0;
 
   void MergeFrom(const ReplicationReport& other);
+};
+
+/// One side of a replication session: the database, the server name it is
+/// addressed by on the SimNet, and that side's persistent replication
+/// history (nullable — sessions then always run from a zero cutoff and
+/// record no progress, the stateless "replicate everything" mode).
+struct ReplicaEndpoint {
+  Database* db = nullptr;
+  std::string name;
+  ReplicationHistory* history = nullptr;
 };
 
 /// Installs `remote_note` (a note image from another replica of the same
@@ -91,30 +108,23 @@ class Replicator {
   explicit Replicator(SimNet* net = nullptr,
                       stats::StatRegistry* stats = nullptr);
 
-  /// Replicates `local` (named `local_name`) with `remote`. Histories are
-  /// each side's persistent replication history. Fails if the replica ids
-  /// differ (not replicas of the same database).
-  Result<ReplicationReport> Replicate(Database* local,
-                                      const std::string& local_name,
-                                      Database* remote,
-                                      const std::string& remote_name,
-                                      ReplicationHistory* local_history,
-                                      ReplicationHistory* remote_history,
+  /// One pull-pull session between two replicas. Fails if the replica
+  /// ids differ (not replicas of the same database). Sessions are
+  /// resumable: each side's history advances batch-by-batch as notes
+  /// install, so a session killed by a link failure preserves its partial
+  /// progress and the retry ships only the remainder.
+  Result<ReplicationReport> Replicate(const ReplicaEndpoint& local,
+                                      const ReplicaEndpoint& remote,
                                       const ReplicationOptions& options = {});
 
  private:
   /// The session body; Replicate wraps it with session/event accounting.
-  Result<ReplicationReport> RunSession(Database* local,
-                                       const std::string& local_name,
-                                       Database* remote,
-                                       const std::string& remote_name,
-                                       ReplicationHistory* local_history,
-                                       ReplicationHistory* remote_history,
+  Result<ReplicationReport> RunSession(const ReplicaEndpoint& local,
+                                       const ReplicaEndpoint& remote,
                                        const ReplicationOptions& options);
 
   /// One direction: dst pulls changes from src.
-  Status Pull(Database* dst, const std::string& dst_name, Database* src,
-              const std::string& src_name, Micros cutoff,
+  Status Pull(const ReplicaEndpoint& dst, const ReplicaEndpoint& src,
               const ReplicationOptions& options, bool count_as_pull,
               ReplicationReport* report);
 
@@ -147,10 +157,16 @@ class ClusterReplicator : public DatabaseObserver {
  public:
   ClusterReplicator(Database* source, std::vector<Database*> peers,
                     stats::StatRegistry* stats = nullptr)
-      : source_(source), peers_(std::move(peers)) {
-    stats::StatRegistry& reg =
-        stats != nullptr ? *stats : stats::StatRegistry::Global();
-    ctr_cluster_pushes_ = &reg.GetCounter("Replica.Cluster.Pushes");
+      : source_(source),
+        peers_(std::move(peers)),
+        registry_(stats != nullptr ? stats : &stats::StatRegistry::Global()) {
+    ctr_cluster_pushes_ = &registry_->GetCounter("Replica.Cluster.Pushes");
+    ctr_cluster_failures_ =
+        &registry_->GetCounter("Replica.Cluster.Failures");
+    // A peer that rejects pushes is a degraded cluster — worth an event.
+    registry_->AddThreshold("Replica.Cluster.Failures", 1,
+                            stats::Severity::kWarning,
+                            "cluster replication push failures");
     source_->AddObserver(this);
   }
   ~ClusterReplicator() override { source_->RemoveObserver(this); }
@@ -160,10 +176,14 @@ class ClusterReplicator : public DatabaseObserver {
   const ReplicationReport& report() const { return report_; }
 
  private:
+  void RecordClusterFailure(Database* peer, const Status& status);
+
   Database* source_;
   std::vector<Database*> peers_;
   ReplicationReport report_;
+  stats::StatRegistry* registry_;
   stats::Counter* ctr_cluster_pushes_;
+  stats::Counter* ctr_cluster_failures_;
   bool applying_ = false;  // re-entrancy guard
 };
 

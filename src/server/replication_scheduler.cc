@@ -87,10 +87,44 @@ Result<ReplicationReport> ReplicationScheduler::RunRound(
                               " / " + link.b);
     }
     DOMINO_ASSIGN_OR_RETURN(ReplicationReport report,
-                            a->ReplicateWith(b, file_, options));
+                            a->ReplicateWith(*b, file_, options));
     total.MergeFrom(report);
   }
   return total;
+}
+
+Status ReplicationScheduler::InstallConnections(
+    Micros interval, const ReplicationOptions& options,
+    repl::RetryPolicy policy, uint64_t seed) {
+  for (const TopologyLink& link : links_) {
+    Server* a = FindServer(link.a);
+    Server* b = FindServer(link.b);
+    if (a == nullptr || b == nullptr) {
+      return Status::NotFound("unknown server in topology: " + link.a +
+                              " / " + link.b);
+    }
+    DOMINO_RETURN_IF_ERROR(a->StartReplicator(policy, seed));
+    DOMINO_RETURN_IF_ERROR(
+        a->AddConnection(*b, file_, interval, options).status());
+  }
+  return Status::Ok();
+}
+
+repl::SchedulerRunReport ReplicationScheduler::RunAllDue(Micros now) {
+  repl::SchedulerRunReport merged;
+  for (Server* server : servers_) {
+    if (server->replicator() == nullptr) continue;
+    repl::SchedulerRunReport report = server->replicator()->RunDue(now);
+    merged.attempted += report.attempted;
+    merged.succeeded += report.succeeded;
+    merged.transient_failures += report.transient_failures;
+    merged.permanent_failures += report.permanent_failures;
+    merged.skipped_waiting += report.skipped_waiting;
+    merged.skipped_open += report.skipped_open;
+    merged.skipped_dead += report.skipped_dead;
+    merged.merged.MergeFrom(report.merged);
+  }
+  return merged;
 }
 
 Result<int> ReplicationScheduler::RunUntilConverged(

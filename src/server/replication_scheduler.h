@@ -39,8 +39,25 @@ class ReplicationScheduler {
   const std::vector<TopologyLink>& topology() const { return links_; }
 
   /// Replicates every link once (in order). Returns the merged report.
+  /// Fail-fast: the first failing session aborts the round — use the
+  /// resilient path (InstallConnections + RunAllDue) when links are lossy.
   Result<ReplicationReport> RunRound(
       const ReplicationOptions& options = ReplicationOptions());
+
+  /// Bridges the static topology into the resilient replicator tasks:
+  /// starts each link's first server's replicator (with `policy`) and
+  /// registers the link as a connection document there. Backoff, circuit
+  /// breaking and permanent-failure quarantine then apply per pair.
+  Status InstallConnections(Micros interval = 0,
+                            const ReplicationOptions& options =
+                                ReplicationOptions(),
+                            repl::RetryPolicy policy = repl::RetryPolicy(),
+                            uint64_t seed = 0);
+
+  /// Polls every server's replicator task once at time `now`; merges the
+  /// per-server run reports. Unlike RunRound, a failing pair only backs
+  /// itself off — healthy pairs still replicate.
+  repl::SchedulerRunReport RunAllDue(Micros now);
 
   /// Runs rounds until all replicas converge or `max_rounds` is hit.
   /// Returns the number of rounds executed (error if not converged).

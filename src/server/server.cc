@@ -67,21 +67,57 @@ Result<Database*> Server::CreateReplicaOf(const Database& source,
 }
 
 Result<ReplicationReport> Server::ReplicateWith(
-    Server* peer, const std::string& file,
+    Server& peer, const std::string& file,
     const ReplicationOptions& options) {
   Database* local = FindDatabase(file);
-  Database* remote = peer->FindDatabase(file);
+  Database* remote = peer.FindDatabase(file);
   if (local == nullptr || remote == nullptr) {
     return Status::NotFound("database " + file + " missing on a side");
   }
   Replicator replicator(net_, stats_);
-  return replicator.Replicate(local, name_, remote, peer->name(),
-                              HistoryFor(file), peer->HistoryFor(file),
-                              options);
+  return replicator.Replicate(
+      ReplicaEndpoint{local, name_, HistoryFor(file)},
+      ReplicaEndpoint{remote, peer.name(), peer.HistoryFor(file)}, options);
 }
 
 ReplicationHistory* Server::HistoryFor(const std::string& file) {
   return &histories_[file];
+}
+
+Status Server::StartReplicator(repl::RetryPolicy policy, uint64_t seed) {
+  if (repl_scheduler_ != nullptr) return Status::Ok();
+  repl_scheduler_ = std::make_unique<repl::ReplicationScheduler>(
+      [this](const repl::ConnectionDoc& doc) -> Result<ReplicationReport> {
+        auto it = known_peers_.find(doc.remote);
+        if (it == known_peers_.end()) {
+          return Status::NotFound("unknown peer server: " + doc.remote);
+        }
+        return ReplicateWith(*it->second, doc.file, doc.options);
+      },
+      policy, seed != 0 ? seed : Fnv1a64(name_), stats_);
+  return Status::Ok();
+}
+
+Result<size_t> Server::AddConnection(Server& peer, const std::string& file,
+                                     Micros interval,
+                                     const ReplicationOptions& options) {
+  DOMINO_RETURN_IF_ERROR(StartReplicator());
+  known_peers_[peer.name()] = &peer;
+  repl::ConnectionDoc doc;
+  doc.local = name_;
+  doc.remote = peer.name();
+  doc.file = file;
+  doc.interval = interval;
+  doc.options = options;
+  return repl_scheduler_->AddConnection(std::move(doc));
+}
+
+Result<repl::SchedulerRunReport> Server::RunReplicatorDue() {
+  if (repl_scheduler_ == nullptr) {
+    return Status::FailedPrecondition("replicator task not started on " +
+                                      name_);
+  }
+  return repl_scheduler_->RunDue(clock_ != nullptr ? clock_->Now() : 0);
 }
 
 Status Server::EnsureMailInfrastructure() {

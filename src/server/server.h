@@ -11,6 +11,7 @@
 #include "indexer/thread_pool.h"
 #include "mail/router.h"
 #include "net/sim_net.h"
+#include "repl/repl_scheduler.h"
 #include "repl/replicator.h"
 #include "stats/stats.h"
 
@@ -51,13 +52,38 @@ class Server {
 
   // -- Replication ----------------------------------------------------------
   /// One replication session of database `file` with the same-named
-  /// database on `peer` (pull-pull). Histories are kept per (file, peer).
-  Result<ReplicationReport> ReplicateWith(Server* peer,
+  /// database on `peer` (pull-pull). The Server owns and persists the
+  /// per-(file, peer) replication histories on both sides, so callers
+  /// never thread history objects by hand.
+  Result<ReplicationReport> ReplicateWith(Server& peer,
                                           const std::string& file,
                                           const ReplicationOptions& options =
                                               ReplicationOptions());
 
   ReplicationHistory* HistoryFor(const std::string& file);
+
+  // -- Replicator task (connection documents + resilient scheduling) -------
+  /// Starts this server's scheduled replicator task (next to the indexer
+  /// and router): connection documents registered via AddConnection are
+  /// polled by RunReplicatorDue, with exponential backoff + jitter on
+  /// transient failure, a per-pair circuit breaker, and permanent-failure
+  /// quarantine. Idempotent; `seed` feeds the jitter PRNG.
+  Status StartReplicator(repl::RetryPolicy policy = repl::RetryPolicy(),
+                         uint64_t seed = 0);
+
+  /// Registers a connection document replicating `file` with `peer` every
+  /// `interval` microseconds (0 = every poll). Returns the connection
+  /// index for state inspection. `peer` must outlive this server's
+  /// replicator task.
+  Result<size_t> AddConnection(Server& peer, const std::string& file,
+                               Micros interval = 0,
+                               const ReplicationOptions& options =
+                                   ReplicationOptions());
+
+  /// One poll of the replicator task at the server clock's current time.
+  Result<repl::SchedulerRunReport> RunReplicatorDue();
+
+  repl::ReplicationScheduler* replicator() { return repl_scheduler_.get(); }
 
   // -- Mail ------------------------------------------------------------------
   /// Creates mail.box and the router task.
@@ -118,6 +144,8 @@ class Server {
   std::unique_ptr<indexer::ThreadPool> indexer_pool_;
   std::map<std::string, std::unique_ptr<Database>> databases_;
   std::map<std::string, ReplicationHistory> histories_;  // file → history
+  std::unique_ptr<repl::ReplicationScheduler> repl_scheduler_;
+  std::map<std::string, Server*> known_peers_;  // name → peer (connections)
   std::unique_ptr<Router> router_;
   std::map<std::string, std::string> mail_file_of_user_;  // lower(user) → file
   uint64_t unid_seed_counter_ = 1;

@@ -126,9 +126,9 @@ TEST_F(AgentFixture, AgentsReplicateAsDesignNotes) {
   options.replica_id = db_->replica_id();
   auto replica = *Database::Open(dir_.Sub("replica"), options, &clock_);
   Replicator replicator(nullptr);
-  ReplicationHistory ha, hb;
   ASSERT_OK(replicator
-                .Replicate(db_.get(), "A", replica.get(), "B", &ha, &hb, {})
+                .Replicate(ReplicaEndpoint{db_.get(), "A", nullptr},
+                           ReplicaEndpoint{replica.get(), "B", nullptr}, {})
                 .status());
 
   AgentRunner remote_runner(replica.get());

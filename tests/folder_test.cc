@@ -70,9 +70,9 @@ TEST_F(FolderFixture, FoldersReplicate) {
   options.replica_id = db_->replica_id();
   auto replica = *Database::Open(dir_.Sub("replica"), options, &clock_);
   Replicator replicator(nullptr);
-  ReplicationHistory ha, hb;
   ASSERT_OK(replicator
-                .Replicate(db_.get(), "A", replica.get(), "B", &ha, &hb, {})
+                .Replicate(ReplicaEndpoint{db_.get(), "A", nullptr},
+                           ReplicaEndpoint{replica.get(), "B", nullptr}, {})
                 .status());
   EXPECT_EQ(replica->FolderNames(), (std::vector<std::string>{"Inbox"}));
   ASSERT_OK_AND_ASSIGN(auto contents, replica->FolderContents("Inbox"));

@@ -35,8 +35,9 @@ class MergeFixture : public ::testing::Test {
     Replicator replicator(nullptr);
     ReplicationOptions options;
     options.merge_conflicts = merge;
-    auto report = replicator.Replicate(a_.get(), "A", b_.get(), "B",
-                                       &ha_, &hb_, options);
+    auto report = replicator.Replicate(ReplicaEndpoint{a_.get(), "A", nullptr},
+                                       ReplicaEndpoint{b_.get(), "B", nullptr},
+                                       options);
     EXPECT_OK(report);
     clock_.Advance(1000);
     return report.value_or(ReplicationReport{});
@@ -59,7 +60,6 @@ class MergeFixture : public ::testing::Test {
   ScratchDir dir_;
   SimClock clock_;
   std::unique_ptr<Database> a_, b_;
-  ReplicationHistory ha_, hb_;
   Unid unid_;
 };
 

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <tuple>
+#include <vector>
+
 #include "net/sim_net.h"
 #include "tests/test_util.h"
 
@@ -76,6 +79,117 @@ TEST(SimNetTest, PartitionedTransfersCountAsDropped) {
   EXPECT_EQ(net.total().messages, 1u);
   net.ResetStats();
   EXPECT_EQ(net.total().dropped, 0u);
+}
+
+// -- Fault injection --------------------------------------------------------
+
+TEST(SimNetFaultTest, DropProbabilityLosesMessagesWithoutCharging) {
+  SimClock clock(0);
+  SimNet net(&clock);
+  net.SeedFaults(1);
+  FaultProfile profile;
+  profile.drop_probability = 1.0;  // every message dies
+  net.SetFaultProfile("a", "b", profile);
+  EXPECT_EQ(net.Transfer("a", "b", 1000).code(), StatusCode::kUnavailable);
+  // Lost before the first byte: no latency, no bytes, but accounted.
+  EXPECT_EQ(clock.Now(), 0);
+  LinkStats ab = net.StatsBetween("a", "b");
+  EXPECT_EQ(ab.faults, 1u);
+  EXPECT_EQ(ab.bytes, 0u);
+  EXPECT_EQ(ab.messages, 0u);
+  // Other links are unaffected by the per-link profile.
+  ASSERT_OK(net.Transfer("a", "c", 1000));
+}
+
+TEST(SimNetFaultTest, MidTransferFailureChargesPartialBytes) {
+  SimClock clock(0);
+  stats::StatRegistry reg;
+  SimNet net(&clock, &reg);
+  net.SetLink("a", "b", /*latency=*/1000, /*bytes_per_second=*/1'000'000);
+  net.SeedFaults(2);
+  FaultProfile profile;
+  profile.mid_transfer_probability = 1.0;
+  net.SetFaultProfile("a", "b", profile);
+  Status status = net.Transfer("a", "b", 1'000'000);
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  LinkStats ab = net.StatsBetween("a", "b");
+  EXPECT_EQ(ab.faults, 1u);
+  EXPECT_EQ(ab.messages, 0u);  // never completed
+  // Some prefix of the message crossed the wire and was paid for.
+  EXPECT_GE(ab.wasted_bytes, 1u);
+  EXPECT_LE(ab.wasted_bytes, 1'000'000u);
+  EXPECT_EQ(ab.bytes, 0u);
+  // Latency plus the charged fraction at 1 MB/s.
+  EXPECT_EQ(static_cast<uint64_t>(clock.Now()), 1000 + ab.wasted_bytes);
+  EXPECT_EQ(reg.FindCounter("Net.Faults.MidTransfer")->value(), 1u);
+  EXPECT_EQ(reg.FindCounter("Net.Faults.WastedBytes")->value(),
+            ab.wasted_bytes);
+}
+
+TEST(SimNetFaultTest, FlapWindowDownsLinkOnlyWhileClockInside) {
+  SimClock clock(0);
+  stats::StatRegistry reg;
+  SimNet net(&clock, &reg);
+  net.SetLink("a", "b", /*latency=*/100, /*bytes_per_second=*/0);
+  net.AddFlapWindow("a", "b", /*from=*/500, /*until=*/1000);
+  ASSERT_OK(net.Transfer("a", "b", 1));  // before the window
+  clock.Set(500);
+  EXPECT_EQ(net.Transfer("a", "b", 1).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(net.Transfer("b", "a", 1).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(reg.FindCounter("Net.Faults.FlapDrops")->value(), 2u);
+  clock.Set(1000);
+  ASSERT_OK(net.Transfer("a", "b", 1));  // window is half-open [from, until)
+  EXPECT_EQ(net.StatsBetween("a", "b").dropped, 2u);
+}
+
+TEST(SimNetFaultTest, SameSeedProducesIdenticalTrace) {
+  // Determinism is the whole point of seeded fault injection: identical
+  // configuration + seed + traffic must give a byte-for-byte identical
+  // outcome trace (status codes, clock, per-link accounting).
+  auto run = [] {
+    SimClock clock(0);
+    SimNet net(&clock);
+    net.SetLink("a", "b", 500, 1'000'000);
+    net.SeedFaults(77);
+    FaultProfile profile;
+    profile.drop_probability = 0.3;
+    profile.mid_transfer_probability = 0.2;
+    profile.jitter_max = 400;
+    net.SetDefaultFaultProfile(profile);
+    std::vector<int> codes;
+    for (int i = 0; i < 200; ++i) {
+      codes.push_back(
+          static_cast<int>(net.Transfer("a", "b", 100 + i * 7).code()));
+    }
+    LinkStats ab = net.StatsBetween("a", "b");
+    return std::make_tuple(codes, clock.Now(), ab.bytes, ab.faults,
+                           ab.wasted_bytes);
+  };
+  auto first = run();
+  auto second = run();
+  EXPECT_EQ(first, second);
+  // And the profile actually bit: some messages were lost, some survived.
+  EXPECT_GT(std::get<3>(first), 0u);
+  EXPECT_GT(std::get<2>(first), 0u);
+}
+
+TEST(SimNetFaultTest, DifferentSeedsDiverge) {
+  auto run = [](uint64_t seed) {
+    SimClock clock(0);
+    SimNet net(&clock);
+    net.SeedFaults(seed);
+    FaultProfile profile;
+    profile.drop_probability = 0.5;
+    net.SetDefaultFaultProfile(profile);
+    uint64_t delivered = 0;
+    for (int i = 0; i < 64; ++i) {
+      if (net.Transfer("a", "b", 10).ok()) ++delivered;
+    }
+    return delivered;
+  };
+  // 64 coin flips agreeing across two seeds is vanishingly unlikely; a
+  // collision here means the seed is being ignored.
+  EXPECT_NE(run(3), run(4));
 }
 
 }  // namespace

@@ -17,33 +17,36 @@ class ReplicationFixture : public ::testing::Test {
   void SetUp() override {
     clock_.Set(1'000'000'000);
     net_ = std::make_unique<SimNet>(&clock_);
+    server_a_ = std::make_unique<Server>("A", dir_.Sub("a"), &clock_,
+                                         net_.get(), &directory_);
+    server_b_ = std::make_unique<Server>("B", dir_.Sub("b"), &clock_,
+                                         net_.get(), &directory_);
     DatabaseOptions options;
     options.title = "Shared DB";
-    auto a = Database::Open(dir_.Sub("a"), options, &clock_);
+    auto a = server_a_->OpenDatabase("shared.nsf", options);
     ASSERT_OK(a);
-    a_ = std::move(*a);
-    // Same replica id on the second copy.
-    options.replica_id = a_->replica_id();
-    auto b = Database::Open(dir_.Sub("b"), options, &clock_);
+    a_ = *a;
+    auto b = server_b_->CreateReplicaOf(*a_, "shared.nsf");
     ASSERT_OK(b);
-    b_ = std::move(*b);
+    b_ = *b;
   }
 
+  /// The Servers own the replication histories; tests never thread them.
   ReplicationReport Sync(const ReplicationOptions& options = {}) {
-    Replicator replicator(net_.get());
-    auto report = replicator.Replicate(a_.get(), "A", b_.get(), "B",
-                                       &history_a_, &history_b_, options);
+    auto report = server_a_->ReplicateWith(*server_b_, "shared.nsf", options);
     EXPECT_OK(report);
     return report.value_or(ReplicationReport{});
   }
 
-  bool Converged() { return DatabasesConverged({a_.get(), b_.get()}); }
+  bool Converged() { return DatabasesConverged({a_, b_}); }
 
   ScratchDir dir_;
   SimClock clock_;
+  MailDirectory directory_;
   std::unique_ptr<SimNet> net_;
-  std::unique_ptr<Database> a_, b_;
-  ReplicationHistory history_a_, history_b_;
+  std::unique_ptr<Server> server_a_, server_b_;
+  Database* a_ = nullptr;
+  Database* b_ = nullptr;
 };
 
 TEST_F(ReplicationFixture, MismatchedReplicaIdsRejected) {
@@ -51,9 +54,9 @@ TEST_F(ReplicationFixture, MismatchedReplicaIdsRejected) {
   auto other = Database::Open(dir_.Sub("other"), options, &clock_);
   ASSERT_OK(other);
   Replicator replicator(nullptr);
-  ReplicationHistory h1, h2;
   EXPECT_FALSE(replicator
-                   .Replicate(a_.get(), "A", other->get(), "O", &h1, &h2, {})
+                   .Replicate(ReplicaEndpoint{a_, "A", nullptr},
+                              ReplicaEndpoint{other->get(), "O", nullptr}, {})
                    .ok());
 }
 
@@ -63,8 +66,8 @@ TEST_F(ReplicationFixture, StatCountersMatchReport) {
   clock_.Advance(1000);
   stats::StatRegistry reg;
   Replicator replicator(net_.get(), &reg);
-  auto result = replicator.Replicate(a_.get(), "A", b_.get(), "B",
-                                     &history_a_, &history_b_, {});
+  auto result = replicator.Replicate(ReplicaEndpoint{a_, "A", nullptr},
+                                     ReplicaEndpoint{b_, "B", nullptr}, {});
   ASSERT_OK(result);
   const ReplicationReport& report = *result;
   auto counter = [&reg](const std::string& name) {
@@ -93,9 +96,9 @@ TEST_F(ReplicationFixture, FailedSessionCountsAndLogsFailureEvent) {
   ASSERT_OK(other);
   stats::StatRegistry reg;
   Replicator replicator(nullptr, &reg);
-  ReplicationHistory h1, h2;
   EXPECT_FALSE(replicator
-                   .Replicate(a_.get(), "A", other->get(), "O", &h1, &h2, {})
+                   .Replicate(ReplicaEndpoint{a_, "A", nullptr},
+                              ReplicaEndpoint{other->get(), "O", nullptr}, {})
                    .ok());
   EXPECT_EQ(reg.FindCounter("Replica.Sessions.Failed")->value(), 1u);
   EXPECT_EQ(reg.events().CountRetained(stats::Severity::kFailure), 1u);
@@ -334,21 +337,16 @@ TEST_F(ReplicationFixture, DesignNotesReplicate) {
 TEST_F(ReplicationFixture, PartitionFailsReplication) {
   ASSERT_OK(a_->CreateNote(MakeDoc("Memo", "stuck")).status());
   net_->SetPartitioned("A", "B", true);
-  Replicator replicator(net_.get());
-  auto report = replicator.Replicate(a_.get(), "A", b_.get(), "B",
-                                     &history_a_, &history_b_, {});
+  auto report = server_a_->ReplicateWith(*server_b_, "shared.nsf", {});
   EXPECT_FALSE(report.ok());
   EXPECT_EQ(report.status().code(), StatusCode::kUnavailable);
   net_->SetPartitioned("A", "B", false);
-  EXPECT_OK(replicator
-                .Replicate(a_.get(), "A", b_.get(), "B", &history_a_,
-                           &history_b_, {})
-                .status());
+  EXPECT_OK(server_a_->ReplicateWith(*server_b_, "shared.nsf", {}).status());
   EXPECT_TRUE(Converged());
 }
 
 TEST_F(ReplicationFixture, ClusterReplicationIsImmediate) {
-  ClusterReplicator cluster(a_.get(), {b_.get()});
+  ClusterReplicator cluster(a_, {b_});
   ASSERT_OK(a_->CreateNote(MakeDoc("Memo", "instant")).status());
   // No replicator run needed: the event-driven push already delivered.
   EXPECT_EQ(b_->note_count(), 1u);
@@ -358,13 +356,31 @@ TEST_F(ReplicationFixture, ClusterReplicationIsImmediate) {
 }
 
 TEST_F(ReplicationFixture, ClusterPairDoesNotEcho) {
-  ClusterReplicator ab(a_.get(), {b_.get()});
-  ClusterReplicator ba(b_.get(), {a_.get()});
+  ClusterReplicator ab(a_, {b_});
+  ClusterReplicator ba(b_, {a_});
   ASSERT_OK(a_->CreateNote(MakeDoc("Memo", "ping")).status());
   ASSERT_OK(b_->CreateNote(MakeDoc("Memo", "pong")).status());
   EXPECT_EQ(a_->note_count(), 2u);
   EXPECT_EQ(b_->note_count(), 2u);
   EXPECT_TRUE(Converged());
+}
+
+TEST_F(ReplicationFixture, ClusterPushFailureIsRecordedNotSwallowed) {
+  // A peer that is not a replica of the source cannot accept pushes.
+  // The failure must surface in the report, the Replica.Cluster.Failures
+  // counter, and the event log — not vanish.
+  DatabaseOptions options;
+  auto stranger = Database::Open(dir_.Sub("stranger"), options, &clock_);
+  ASSERT_OK(stranger);
+  stats::StatRegistry reg;
+  ClusterReplicator cluster(a_, {stranger->get()}, &reg);
+  ASSERT_OK(a_->CreateNote(MakeDoc("Memo", "doomed push")).status());
+  EXPECT_EQ(cluster.report().apply_failures, 1u);
+  EXPECT_EQ(cluster.report().pulled, 0u);
+  EXPECT_EQ(reg.FindCounter("Replica.Cluster.Failures")->value(), 1u);
+  EXPECT_GE(reg.events().CountRetained(stats::Severity::kWarning), 1u);
+  // The foreign database was not contaminated.
+  EXPECT_EQ(stranger->get()->note_count(), 0u);
 }
 
 // ------------------------------------------------------- multi-server sweeps --

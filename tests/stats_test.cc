@@ -266,7 +266,7 @@ TEST_F(ServerStatsFixture, ReplicationAndMailShowUpInShowStat) {
   }
   clock_.Advance(1000);
   ASSERT_OK_AND_ASSIGN(ReplicationReport report,
-                       hub_->ReplicateWith(spoke_.get(), "app.nsf"));
+                       hub_->ReplicateWith(*spoke_, "app.nsf"));
   EXPECT_EQ(report.pushed, 3u);
 
   // The hub drove the session, so its registry holds the session counters
