@@ -17,7 +17,7 @@ int main() {
          "docs", "build (ms)", "par4 (ms)", "add1 (us)", "term (us)",
          "AND (us)", "phrase(us)", "scan (us)", "speedup");
 
-  for (int corpus : {1000, 5000, 20000}) {
+  for (int corpus : {ScaleN(1000, 100), ScaleN(5000, 200), ScaleN(20000, 300)}) {
     BenchDir dir("ft_" + std::to_string(corpus));
     SimClock clock;
     DatabaseOptions options;

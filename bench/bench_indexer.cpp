@@ -47,7 +47,7 @@ int main() {
               "UPDALL-style rebuilds shard across a worker pool; the UPDATE "
               "task takes index maintenance off the writer's critical path");
 
-  constexpr int kDocs = 20000;
+  const int kDocs = ScaleN(20000, 300);
   BenchDir dir("indexer");
   SimClock clock;
   DatabaseOptions options;

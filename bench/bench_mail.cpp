@@ -16,7 +16,7 @@ int main() {
          "route", "delivered", "avg hops", "passes", "sim ms/msg",
          "bytes");
 
-  for (int volume : {100, 1000}) {
+  for (int volume : {ScaleN(100, 20), ScaleN(1000, 50)}) {
     for (int hub_routing = 0; hub_routing < 2; ++hub_routing) {
       BenchDir dir("mail_" + std::to_string(volume) + "_" +
                    std::to_string(hub_routing));

@@ -11,6 +11,7 @@ namespace dominodb {
 namespace {
 
 using bench::BenchDir;
+using bench::ScaleN;
 using bench::SyntheticDoc;
 
 std::unique_ptr<Database> OpenBenchDb(const BenchDir& dir,
@@ -45,7 +46,7 @@ void BM_ReadNote(benchmark::State& state) {
   auto db = OpenBenchDb(dir, &clock);
   Rng rng(2);
   std::vector<NoteId> ids;
-  for (int i = 0; i < 10000; ++i) {
+  for (int i = 0; i < ScaleN(10000, 300); ++i) {
     ids.push_back(*db->CreateNote(SyntheticDoc(&rng, 512)));
   }
   for (auto _ : state) {
@@ -61,7 +62,7 @@ void BM_UpdateNote(benchmark::State& state) {
   auto db = OpenBenchDb(dir, &clock);
   Rng rng(3);
   std::vector<NoteId> ids;
-  for (int i = 0; i < 2000; ++i) {
+  for (int i = 0; i < ScaleN(2000, 200); ++i) {
     ids.push_back(*db->CreateNote(SyntheticDoc(&rng, 512)));
   }
   for (auto _ : state) {
@@ -95,7 +96,7 @@ void BM_UnidLookup(benchmark::State& state) {
   auto db = OpenBenchDb(dir, &clock);
   Rng rng(5);
   std::vector<Unid> unids;
-  for (int i = 0; i < 10000; ++i) {
+  for (int i = 0; i < ScaleN(10000, 300); ++i) {
     NoteId id = *db->CreateNote(SyntheticDoc(&rng, 256));
     unids.push_back(db->ReadNote(id)->unid());
   }

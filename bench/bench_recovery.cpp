@@ -1,9 +1,20 @@
 // E7 — Transaction logging: commit throughput per sync mode, and restart
 // recovery time vs WAL length (with/without checkpointing), reproducing
 // the Domino R5 transaction-logging story.
+//
+// E14 — Group commit on the server-wide shared log: commits/sec vs writer
+// thread count for fsync-per-commit (private logs, shared log) against
+// leader/follower group commit, showing the fsync count staying near-flat
+// as writers scale.
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "storage/note_store.h"
+#include "wal/shared_log.h"
 
 using namespace dominodb;
 using namespace dominodb::bench;
@@ -14,6 +25,107 @@ Note Doc(Rng* rng, int i) {
   Note note = SyntheticDoc(rng, 300);
   note.StampCreated(Unid{0xBE, static_cast<uint64_t>(i + 1)}, i + 1);
   return note;
+}
+
+// --- E14 ------------------------------------------------------------------
+
+struct E14Result {
+  double commits_per_sec = 0;
+  uint64_t syncs = 0;
+  uint64_t commits = 0;
+};
+
+// `writers` threads, each committing `per_writer` docs into its own store.
+// kPrivate: one private log per store (fsync/commit; the kernel may merge
+// flushes of DIFFERENT files). kSharedSerialized / kSharedGrouped: all
+// stores multiplex one SharedLog, fsync-per-commit vs group commit.
+enum class E14Mode {
+  kPrivate,
+  kSharedSerialized,
+  kSharedGrouped,
+  kSharedGroupedWait,  // leader lingers max_wait_micros for company
+};
+
+E14Result RunE14(E14Mode mode, int writers, int per_writer) {
+  BenchDir dir("e14_" + std::to_string(static_cast<int>(mode)) + "_" +
+               std::to_string(writers));
+  stats::StatRegistry stats;  // private registry: per-run counters
+  std::unique_ptr<wal::SharedLog> log;
+  if (mode != E14Mode::kPrivate) {
+    wal::SharedLogOptions options;
+    options.sync_mode = mode == E14Mode::kSharedSerialized
+                            ? wal::SyncMode::kEveryCommit
+                            : wal::SyncMode::kGroupCommit;
+    if (mode == E14Mode::kSharedGroupedWait) options.max_wait_micros = 300;
+    options.stats = &stats;
+    log = *wal::SharedLog::Open(dir.Sub("txnlog"), options);
+  }
+  std::vector<std::unique_ptr<NoteStore>> stores;
+  for (int w = 0; w < writers; ++w) {
+    StoreOptions options;
+    options.checkpoint_threshold_bytes = 0;
+    options.stats = &stats;
+    if (log != nullptr) {
+      options.shared_log = log.get();
+      options.shared_stream =
+          *log->RegisterStream("db" + std::to_string(w) + ".nsf");
+    } else {
+      options.sync_mode = wal::SyncMode::kEveryCommit;
+    }
+    DatabaseInfo info;
+    info.replica_id = Unid{0xE14, static_cast<uint64_t>(w + 1)};
+    stores.push_back(*NoteStore::Open(dir.Sub("db" + std::to_string(w)),
+                                      options, info));
+  }
+  std::atomic<int> failures{0};
+  Stopwatch watch;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < writers; ++w) {
+    threads.emplace_back([&, w] {
+      // NoteStore is single-threaded by contract; each thread owns one.
+      Rng rng(static_cast<uint64_t>(w) + 7);
+      for (int i = 0; i < per_writer; ++i) {
+        Note note = Doc(&rng, i);
+        if (!stores[w]->Put(&note).ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  double secs = watch.ElapsedMicros() / 1e6;
+  if (failures.load() != 0) {
+    printf("!! %d commit failures\n", failures.load());
+  }
+  E14Result result;
+  result.commits = static_cast<uint64_t>(writers) * per_writer;
+  result.commits_per_sec = result.commits / secs;
+  result.syncs = log != nullptr
+                     ? stats.GetCounter("Server.WAL.Syncs").value()
+                     : stats.GetCounter("WAL.Syncs").value();
+  return result;
+}
+
+void RunE14Sweep() {
+  PrintHeader("E14 — server-wide shared log with group commit",
+              "one shared log + leader/follower group commit amortizes the "
+              "commit fsync across concurrent writers: syncs stay near-flat "
+              "as writers scale, where fsync-per-commit grows linearly");
+  const int per_writer = ScaleN(400, 10);
+  printf("%-18s %-8s %-10s %-12s %-10s %-12s\n", "mode", "writers",
+         "commits", "commits/sec", "fsyncs", "commits/sync");
+  for (E14Mode mode : {E14Mode::kPrivate, E14Mode::kSharedSerialized,
+                       E14Mode::kSharedGrouped, E14Mode::kSharedGroupedWait}) {
+    const char* name = mode == E14Mode::kPrivate          ? "fsync/private"
+                       : mode == E14Mode::kSharedSerialized ? "fsync/shared"
+                       : mode == E14Mode::kSharedGrouped    ? "group/shared"
+                                                            : "group/wait300";
+    for (int writers : {1, 2, 4, 8}) {
+      E14Result r = RunE14(mode, writers, per_writer);
+      printf("%-18s %-8d %-10llu %-12.0f %-10llu %-12.1f\n", name, writers,
+             static_cast<unsigned long long>(r.commits), r.commits_per_sec,
+             static_cast<unsigned long long>(r.syncs),
+             r.syncs > 0 ? static_cast<double>(r.commits) / r.syncs : 0.0);
+    }
+  }
 }
 
 }  // namespace
@@ -35,7 +147,8 @@ int main() {
     info.replica_id = Unid{1, 2};
     auto store = *NoteStore::Open(dir.Sub("db"), options, info);
     Rng rng(1);
-    int commits = mode == wal::SyncMode::kNone ? 20000 : 500;
+    int commits = mode == wal::SyncMode::kNone ? ScaleN(20000, 200)
+                                               : ScaleN(500, 20);
     Stopwatch watch;
     for (int i = 0; i < commits; ++i) {
       Note note = Doc(&rng, i);
@@ -50,7 +163,8 @@ int main() {
   // --- Recovery time vs WAL length. -------------------------------------
   printf("\n%-12s %-12s | %-14s %-16s\n", "records", "ckpt?",
          "wal bytes", "recovery (ms)");
-  for (int records : {1000, 10000, 50000}) {
+  for (int records : {ScaleN(1000, 100), ScaleN(10000, 200),
+                      ScaleN(50000, 400)}) {
     for (bool checkpoint : {false, true}) {
       BenchDir dir("recovery_" + std::to_string(records) +
                    (checkpoint ? "_ckpt" : "_nockpt"));
@@ -82,6 +196,8 @@ int main() {
              reopened->total_count());
     }
   }
+  RunE14Sweep();
+
   dominodb::bench::EmitStatsSnapshot("bench_recovery");
   return 0;
 }

@@ -17,7 +17,7 @@ int main() {
          "changed", "incr bytes", "incr msgs", "full bytes", "full msgs",
          "bytes ratio");
 
-  for (int db_size : {1000, 5000, 20000}) {
+  for (int db_size : {ScaleN(1000, 50), ScaleN(5000, 100), ScaleN(20000, 200)}) {
     for (int changed : {1, 10, 100, 1000}) {
       if (changed > db_size) continue;
       BenchDir dir("repl_" + std::to_string(db_size) + "_" +

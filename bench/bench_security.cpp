@@ -14,7 +14,7 @@ int main() {
               "document-level security filters every view/search read; the "
               "overhead grows mildly with the fraction of restricted docs");
 
-  constexpr int kDocs = 10000;
+  const int kDocs = ScaleN(10000, 300);
   printf("%-16s | %-12s %-14s %-12s | %-12s\n", "restricted(%)",
          "rows seen", "traverse (ms)", "unfiltered", "overhead");
 

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "base/env.h"
@@ -63,6 +64,17 @@ inline Note SyntheticDoc(Rng* rng, size_t body_bytes,
   doc.SetItem("Body", Value::RichText({RichTextRun{std::move(body), 0, ""}}));
   return doc;
 }
+
+/// True when the bench runs as a CI smoke test (DOMINO_BENCH_SMOKE=1):
+/// the sanitizer gate executes every bench end-to-end with tiny workloads
+/// to catch races and UB on the bench paths without paying full-run time.
+inline bool SmokeMode() {
+  const char* env = std::getenv("DOMINO_BENCH_SMOKE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+/// Workload size: `full` normally, `smoke` under DOMINO_BENCH_SMOKE=1.
+inline int ScaleN(int full, int smoke) { return SmokeMode() ? smoke : full; }
 
 inline void PrintHeader(const char* experiment, const char* claim) {
   printf("\n================================================================\n");

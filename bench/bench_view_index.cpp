@@ -41,7 +41,7 @@ int main() {
               "view indexes re-evaluate only changed notes; rebuild only "
               "wins when nearly everything changed");
 
-  constexpr int kDocs = 20000;
+  const int kDocs = ScaleN(20000, 300);
   BenchDir dir("view_index");
   SimClock clock;
   DatabaseOptions options;

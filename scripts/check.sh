@@ -3,13 +3,24 @@
 # requested sanitizer. With no arguments AddressSanitizer, ThreadSanitizer
 # (the background indexer makes data-race coverage mandatory) and
 # UndefinedBehaviorSanitizer all run.
-# Usage: scripts/check.sh [address|thread|undefined ...]
+#
+# --bench-smoke additionally executes every bench binary with a tiny
+# workload (DOMINO_BENCH_SMOKE=1) inside each sanitizer build, so the
+# bench-only code paths (notably the E14 multi-threaded group-commit
+# driver) get race/UB coverage without full-run cost.
+# Usage: scripts/check.sh [--bench-smoke] [address|thread|undefined ...]
 set -euo pipefail
 
-if [ $# -eq 0 ]; then
+BENCH_SMOKE=0
+SANITIZERS=()
+for arg in "$@"; do
+  case "$arg" in
+    --bench-smoke) BENCH_SMOKE=1 ;;
+    *) SANITIZERS+=("$arg") ;;
+  esac
+done
+if [ ${#SANITIZERS[@]} -eq 0 ]; then
   SANITIZERS=(address thread undefined)
-else
-  SANITIZERS=("$@")
 fi
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
@@ -21,4 +32,12 @@ for SANITIZER in "${SANITIZERS[@]}"; do
     -DDOMINO_SANITIZE="$SANITIZER"
   cmake --build "$BUILD_DIR" -j"$(nproc)"
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+  if [ "$BENCH_SMOKE" -eq 1 ]; then
+    for BENCH in "$BUILD_DIR"/bench/bench_*; do
+      [ -x "$BENCH" ] || continue
+      echo "== check.sh: $SANITIZER bench-smoke $(basename "$BENCH") =="
+      DOMINO_BENCH_SMOKE=1 "$BENCH" --benchmark_min_time=0.01s \
+        >/dev/null
+    done
+  fi
 done

@@ -167,6 +167,13 @@ void Database::BackgroundIndexDrain(indexer::IndexerTask* task) {
     registry_->events().Log(stats::Severity::kWarning, "Indexer",
                             "background drain: " + status.message());
   }
+  // Idle-time threshold checkpointing: the pool worker pays for the
+  // snapshot, not a foreground writer.
+  Status ckpt = store_->MaybeCheckpoint();
+  if (!ckpt.ok()) {
+    registry_->events().Log(stats::Severity::kWarning, "Store",
+                            "background checkpoint: " + ckpt.message());
+  }
 }
 
 Result<std::unique_ptr<Database>> Database::Open(
@@ -926,6 +933,12 @@ Status Database::AfterChange(const Note& note) {
   // never nest inside our own lock.
   if (!observers_.empty()) {
     pending_notify_.push_back(PendingNotify{note, kInvalidNoteId});
+  }
+  // Threshold checkpointing runs here — after the commit and the index
+  // maintenance, never inside the store's commit path. With an indexer
+  // attached the background drain is the (idler) checkpoint hook instead.
+  if (indexer_ == nullptr) {
+    DOMINO_RETURN_IF_ERROR(store_->MaybeCheckpoint());
   }
   return Status::Ok();
 }

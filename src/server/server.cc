@@ -37,6 +37,12 @@ Result<Database*> Server::OpenDatabase(const std::string& file,
         Fnv1a64(name_ + "/" + file) ^ Mix64(unid_seed_counter_++);
   }
   if (options.stats == nullptr) options.stats = stats_;
+  if (shared_log_ != nullptr && options.store.shared_log == nullptr) {
+    DOMINO_ASSIGN_OR_RETURN(uint32_t stream,
+                            shared_log_->RegisterStream(file));
+    options.store.shared_log = shared_log_.get();
+    options.store.shared_stream = stream;
+  }
   DOMINO_ASSIGN_OR_RETURN(auto db,
                           Database::Open(DirFor(file), options, clock_));
   Database* ptr = db.get();
@@ -163,6 +169,16 @@ Result<size_t> Server::RunRouterOnce(
     const std::map<std::string, Router*>& peers) {
   DOMINO_RETURN_IF_ERROR(EnsureMailInfrastructure());
   return router_->RunOnce(peers);
+}
+
+Status Server::EnableSharedLog(wal::SharedLogOptions options) {
+  if (shared_log_ != nullptr) return Status::Ok();
+  if (options.stats == nullptr) options.stats = stats_;
+  DOMINO_RETURN_IF_ERROR(CreateDirIfMissing(base_dir_));
+  DOMINO_ASSIGN_OR_RETURN(shared_log_,
+                          wal::SharedLog::Open(base_dir_ + "/txnlog",
+                                               options));
+  return Status::Ok();
 }
 
 Status Server::StartIndexer(size_t threads) {

@@ -14,6 +14,7 @@
 #include "repl/repl_scheduler.h"
 #include "repl/replicator.h"
 #include "stats/stats.h"
+#include "wal/shared_log.h"
 
 namespace dominodb {
 
@@ -103,6 +104,17 @@ class Server {
   /// Runs this server's router once against the given fleet.
   Result<size_t> RunRouterOnce(const std::map<std::string, Router*>& peers);
 
+  // -- Shared transaction log (Domino R5 transaction logging) --------------
+  /// Switches this server to ONE shared, sequentially-written transaction
+  /// log (under `<base_dir>/txnlog`) that every database opened AFTERWARDS
+  /// appends to, with leader/follower group commit amortizing the fsync
+  /// across concurrent committers (`Server.WAL.*` stats: batch size
+  /// histogram, syncs saved, leader/follower counts). Databases already
+  /// open keep their private logs. Idempotent; options are fixed by the
+  /// first call.
+  Status EnableSharedLog(wal::SharedLogOptions options = {});
+  wal::SharedLog* shared_log() { return shared_log_.get(); }
+
   // -- Background indexer (the UPDATE task) --------------------------------
   /// Starts the server's indexer pool with `threads` workers and attaches
   /// it to every open database (and to databases opened later). Document
@@ -142,6 +154,9 @@ class Server {
   /// Declared before databases_ so it outlives them: each ~Database waits
   /// for its in-flight drain callbacks, which run on this pool.
   std::unique_ptr<indexer::ThreadPool> indexer_pool_;
+  /// Likewise declared before databases_: stores flush through the shared
+  /// log until destruction.
+  std::unique_ptr<wal::SharedLog> shared_log_;
   std::map<std::string, std::unique_ptr<Database>> databases_;
   std::map<std::string, ReplicationHistory> histories_;  // file → history
   std::unique_ptr<repl::ReplicationScheduler> repl_scheduler_;

@@ -62,15 +62,20 @@ Result<std::unique_ptr<NoteStore>> NoteStore::Open(
     const DatabaseInfo& default_info) {
   DOMINO_RETURN_IF_ERROR(CreateDirIfMissing(dir));
   std::unique_ptr<NoteStore> store(new NoteStore(dir, options));
-  const bool fresh = !FileExists(store->SnapshotPath()) &&
-                     !FileExists(store->WalPath());
   DOMINO_RETURN_IF_ERROR(store->Recover(default_info));
+  // Fresh = nothing on disk and nothing replayed from the shared log; the
+  // seed metadata is then persisted below so the replica id survives.
+  const bool fresh = !FileExists(store->SnapshotPath()) &&
+                     !FileExists(store->WalPath()) &&
+                     store->stats_.recovered_records == 0;
   store->registry_->GetCounter("Database.Opens").Add();
   store->gauge_notes_->Add(static_cast<int64_t>(store->note_count()));
-  DOMINO_ASSIGN_OR_RETURN(store->wal_,
-                          wal::LogWriter::Open(store->WalPath(),
-                                               options.sync_mode,
-                                               store->registry_));
+  if (!store->uses_shared_log()) {
+    DOMINO_ASSIGN_OR_RETURN(store->wal_,
+                            wal::LogWriter::Open(store->WalPath(),
+                                                 options.sync_mode,
+                                                 store->registry_));
+  }
   if (fresh) {
     // Persist the seed metadata so the replica id survives reopen.
     DOMINO_RETURN_IF_ERROR(store->UpdateInfo(store->info_));
@@ -86,20 +91,24 @@ Status NoteStore::Recover(const DatabaseInfo& default_info) {
   } else if (!snapshot.status().IsNotFound()) {
     return snapshot.status();
   }
-  auto log = ReadFileToString(WalPath());
-  if (log.ok()) {
-    wal::LogReader reader(std::move(*log));
-    wal::RecordType type;
-    std::string_view payload;
-    while (reader.ReadRecord(&type, &payload)) {
-      if (type == wal::RecordType::kData) {
-        DOMINO_RETURN_IF_ERROR(ApplyBatchPayload(payload, true));
-        stats_.recovered_records++;
+  if (uses_shared_log()) {
+    DOMINO_RETURN_IF_ERROR(RecoverFromSharedLog());
+  } else {
+    auto log = ReadFileToString(WalPath());
+    if (log.ok()) {
+      wal::LogReader reader(std::move(*log));
+      wal::RecordType type;
+      std::string_view payload;
+      while (reader.ReadRecord(&type, &payload)) {
+        if (type == wal::RecordType::kData) {
+          DOMINO_RETURN_IF_ERROR(ApplyBatchPayload(payload, true));
+          stats_.recovered_records++;
+        }
       }
+      stats_.recovered_torn_tail = reader.tail_corrupted();
+    } else if (!log.status().IsNotFound()) {
+      return log.status();
     }
-    stats_.recovered_torn_tail = reader.tail_corrupted();
-  } else if (!log.status().IsNotFound()) {
-    return log.status();
   }
   if (stats_.recovered_records > 0 || stats_.recovered_torn_tail) {
     registry_->GetCounter("Database.WAL.Recovery.Runs").Add();
@@ -116,6 +125,39 @@ Status NoteStore::Recover(const DatabaseInfo& default_info) {
             std::to_string(stats_.recovered_records) + " record(s)" +
             (stats_.recovered_torn_tail ? ", torn tail discarded" : ""));
   }
+  return Status::Ok();
+}
+
+Status NoteStore::RecoverFromSharedLog() {
+  // Collect this stream's records, then apply only the suffix after its
+  // last checkpoint marker: everything at or before the marker is already
+  // captured in the snapshot loaded above. (The marker is committed right
+  // after its snapshot, so if a crash separates the two, replaying from
+  // the previous marker is still correct — records are whole note states,
+  // and an ordered replay converges on the newest version.)
+  struct Rec {
+    wal::RecordType type;
+    std::string payload;
+  };
+  std::vector<Rec> records;
+  bool torn = false;
+  DOMINO_RETURN_IF_ERROR(options_.shared_log->ReplayStream(
+      options_.shared_stream,
+      [&records](wal::RecordType type, std::string_view payload) {
+        records.push_back(Rec{type, std::string(payload)});
+        return Status::Ok();
+      },
+      &torn));
+  size_t start = 0;
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (records[i].type == wal::RecordType::kCheckpoint) start = i + 1;
+  }
+  for (size_t i = start; i < records.size(); ++i) {
+    if (records[i].type != wal::RecordType::kData) continue;
+    DOMINO_RETURN_IF_ERROR(ApplyBatchPayload(records[i].payload, true));
+    stats_.recovered_records++;
+  }
+  stats_.recovered_torn_tail = torn;
   return Status::Ok();
 }
 
@@ -254,21 +296,34 @@ Status NoteStore::ApplyBatchPayload(std::string_view payload,
 
 Status NoteStore::CommitPayload(const std::string& payload) {
   auto start = std::chrono::steady_clock::now();
-  DOMINO_RETURN_IF_ERROR(
-      wal_->AppendRecord(wal::RecordType::kData, payload));
+  if (uses_shared_log()) {
+    DOMINO_RETURN_IF_ERROR(options_.shared_log->Commit(
+        options_.shared_stream, wal::RecordType::kData, payload));
+    shared_bytes_since_checkpoint_ += payload.size();
+    stats_.wal_bytes_written = shared_bytes_since_checkpoint_;
+  } else {
+    DOMINO_RETURN_IF_ERROR(
+        wal_->AppendRecord(wal::RecordType::kData, payload));
+    stats_.wal_bytes_written = wal_->bytes_written();
+  }
   hist_commit_micros_->Record(static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - start)
           .count()));
   stats_.wal_records_written++;
-  stats_.wal_bytes_written = wal_->bytes_written();
   ctr_wal_records_->Add();
   ctr_wal_bytes_->Add(payload.size());
-  if (options_.checkpoint_threshold_bytes > 0 &&
-      wal_->bytes_written() > options_.checkpoint_threshold_bytes) {
-    return Checkpoint();
-  }
   return Status::Ok();
+}
+
+Status NoteStore::MaybeCheckpoint() {
+  if (options_.checkpoint_threshold_bytes == 0) return Status::Ok();
+  const uint64_t obligation = uses_shared_log()
+                                  ? shared_bytes_since_checkpoint_
+                                  : (wal_ != nullptr ? wal_->bytes_written()
+                                                     : 0);
+  if (obligation <= options_.checkpoint_threshold_bytes) return Status::Ok();
+  return Checkpoint();
 }
 
 Status NoteStore::Put(Note* note) {
@@ -343,15 +398,10 @@ Status NoteStore::Erase(NoteId id) {
   payload.push_back(static_cast<char>(kOpErase));
   PutFixed32(&payload, id);
   DOMINO_RETURN_IF_ERROR(CommitPayload(payload));
-  // Re-find: Checkpoint inside CommitPayload does not mutate notes_, but
-  // be defensive about iterator stability anyway.
-  it = notes_.find(id);
-  if (it != notes_.end()) {
-    ctr_docs_erased_->Add();
-    if (!it->second.deleted()) gauge_notes_->Add(-1);
-    UnindexNote(it->second);
-    notes_.erase(it);
-  }
+  ctr_docs_erased_->Add();
+  if (!it->second.deleted()) gauge_notes_->Add(-1);
+  UnindexNote(it->second);
+  notes_.erase(it);
   return Status::Ok();
 }
 
@@ -384,18 +434,31 @@ Status NoteStore::UpdateInfo(const DatabaseInfo& info) {
 
 Status NoteStore::Checkpoint() {
   DOMINO_RETURN_IF_ERROR(WriteFileAtomic(SnapshotPath(), EncodeSnapshot()));
-  // Start a fresh WAL; the snapshot now carries all state.
-  wal_.reset();
-  DOMINO_RETURN_IF_ERROR(RemoveFileIfExists(WalPath()));
-  DOMINO_ASSIGN_OR_RETURN(wal_,
-                          wal::LogWriter::Open(WalPath(), options_.sync_mode,
-                                               registry_));
+  if (uses_shared_log()) {
+    // Marker first (recovery skips everything at or before it), then
+    // advance this stream's low-water mark so segments every stream has
+    // checkpointed past can be physically dropped.
+    DOMINO_RETURN_IF_ERROR(options_.shared_log->Commit(
+        options_.shared_stream, wal::RecordType::kCheckpoint, ""));
+    DOMINO_RETURN_IF_ERROR(
+        options_.shared_log->AdvanceCheckpoint(options_.shared_stream));
+    shared_bytes_since_checkpoint_ = 0;
+  } else {
+    // Start a fresh WAL; the snapshot now carries all state.
+    wal_.reset();
+    DOMINO_RETURN_IF_ERROR(RemoveFileIfExists(WalPath()));
+    DOMINO_ASSIGN_OR_RETURN(wal_,
+                            wal::LogWriter::Open(WalPath(),
+                                                 options_.sync_mode,
+                                                 registry_));
+  }
   stats_.checkpoints++;
   ctr_checkpoints_->Add();
   return Status::Ok();
 }
 
 uint64_t NoteStore::wal_size_bytes() const {
+  if (uses_shared_log()) return shared_bytes_since_checkpoint_;
   auto size = FileSize(WalPath());
   return size.ok() ? *size : 0;
 }

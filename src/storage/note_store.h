@@ -15,6 +15,7 @@
 #include "model/unid.h"
 #include "stats/stats.h"
 #include "wal/log_writer.h"
+#include "wal/shared_log.h"
 
 namespace dominodb {
 
@@ -33,9 +34,20 @@ struct DatabaseInfo {
 };
 
 struct StoreOptions {
+  /// Durability policy of the private per-database log. Ignored when
+  /// `shared_log` is set — the SharedLog's own sync mode governs then.
   wal::SyncMode sync_mode = wal::SyncMode::kNone;
-  /// Checkpoint automatically once the WAL exceeds this size (0 disables).
+  /// MaybeCheckpoint() snapshots once the WAL obligation exceeds this
+  /// size (0 disables). Checkpointing is never triggered from inside the
+  /// commit path; the owning Database (or an idle hook) calls
+  /// MaybeCheckpoint explicitly.
   uint64_t checkpoint_threshold_bytes = 16ull << 20;
+  /// When set, this store logs through the server-wide shared transaction
+  /// log instead of a private `notes.wal`: commits are tagged with
+  /// `shared_stream` (obtained from SharedLog::RegisterStream) and ride
+  /// the group-commit protocol. The SharedLog must outlive the store.
+  wal::SharedLog* shared_log = nullptr;
+  uint32_t shared_stream = 0;
   /// Registry receiving the `Database.*` and `WAL.*` stats of this store;
   /// null → the process-wide StatRegistry::Global().
   stats::StatRegistry* stats = nullptr;
@@ -114,9 +126,18 @@ class NoteStore {
   const DatabaseInfo& info() const { return info_; }
   Status UpdateInfo(const DatabaseInfo& info);
 
-  /// Writes a snapshot and truncates the WAL. Recovery cost then restarts
-  /// from zero (E7 measures the tradeoff).
+  /// Writes a snapshot and truncates this store's WAL obligation: a
+  /// private log is deleted outright; on a shared log the store commits a
+  /// checkpoint marker and advances its low-water mark (segments below
+  /// every stream's mark are physically dropped). Recovery cost then
+  /// restarts from zero (E7 measures the tradeoff).
   Status Checkpoint();
+
+  /// Checkpoints iff the WAL obligation exceeds
+  /// `checkpoint_threshold_bytes`. Called by the owner at a convenient
+  /// moment (post-maintenance, indexer idle) — never from inside the
+  /// commit path, so a single Put cannot stall on a full snapshot.
+  Status MaybeCheckpoint();
 
   const StoreStats& stats() const { return stats_; }
   uint64_t wal_size_bytes() const;
@@ -127,7 +148,12 @@ class NoteStore {
   std::string WalPath() const { return dir_ + "/notes.wal"; }
   std::string SnapshotPath() const { return dir_ + "/notes.snap"; }
 
+  bool uses_shared_log() const { return options_.shared_log != nullptr; }
+
   Status Recover(const DatabaseInfo& default_info);
+  /// Shared-log recovery: demultiplexes this store's stream and replays
+  /// the records after its last checkpoint marker.
+  Status RecoverFromSharedLog();
   Status LoadSnapshot(std::string_view data);
   std::string EncodeSnapshot() const;
   Status ApplyBatchPayload(std::string_view payload, bool from_recovery);
@@ -141,7 +167,11 @@ class NoteStore {
   std::string dir_;
   StoreOptions options_;
   DatabaseInfo info_;
+  /// Private log; null when the store runs on the shared log.
   std::unique_ptr<wal::LogWriter> wal_;
+  /// Shared-log mode: payload bytes committed since the last checkpoint
+  /// (the store's WAL obligation, driving MaybeCheckpoint).
+  uint64_t shared_bytes_since_checkpoint_ = 0;
   std::map<NoteId, Note> notes_;
   std::unordered_map<Unid, NoteId> unid_index_;
   NoteId next_id_ = 1;

@@ -1,0 +1,19 @@
+#include "wal/log_format.h"
+
+#include "base/coding.h"
+#include "base/crc32c.h"
+
+namespace dominodb::wal {
+
+void AppendFrameTo(std::string* dst, RecordType type,
+                   std::string_view payload) {
+  uint32_t crc = crc32c::Extend(
+      0, std::string_view(reinterpret_cast<const char*>(&type), 1));
+  crc = crc32c::Extend(crc, payload);
+  PutFixed32(dst, crc32c::Mask(crc));
+  PutVarint32(dst, static_cast<uint32_t>(payload.size()));
+  dst->push_back(static_cast<char>(type));
+  dst->append(payload);
+}
+
+}  // namespace dominodb::wal

@@ -2,6 +2,8 @@
 #define DOMINODB_WAL_LOG_FORMAT_H_
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 
 namespace dominodb::wal {
 
@@ -21,6 +23,12 @@ enum class RecordType : uint8_t {
 };
 
 constexpr uint64_t kMaxRecordPayload = 1ull << 30;  // sanity bound, 1 GiB
+
+/// Encodes one CRC-framed record onto the end of `dst`. Shared by the
+/// private LogWriter and the server-wide SharedLog so both speak the same
+/// on-disk dialect (LogReader decodes either).
+void AppendFrameTo(std::string* dst, RecordType type,
+                   std::string_view payload);
 
 }  // namespace dominodb::wal
 

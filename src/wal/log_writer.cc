@@ -1,7 +1,6 @@
 #include "wal/log_writer.h"
 
-#include "base/coding.h"
-#include "base/crc32c.h"
+#include <chrono>
 
 namespace dominodb::wal {
 
@@ -13,6 +12,7 @@ LogWriter::LogWriter(std::unique_ptr<WritableFile> file, SyncMode sync_mode,
   appends_ = &reg.GetCounter("WAL.Appends");
   appended_bytes_ = &reg.GetCounter("WAL.AppendedBytes");
   syncs_ = &reg.GetCounter("WAL.Syncs");
+  sync_micros_ = &reg.GetHistogram("WAL.SyncMicros");
 }
 
 Result<std::unique_ptr<LogWriter>> LogWriter::Open(
@@ -27,29 +27,26 @@ Status LogWriter::AppendRecord(RecordType type, std::string_view payload) {
   if (payload.size() > kMaxRecordPayload) {
     return Status::InvalidArgument("wal record too large");
   }
-  std::string frame;
-  frame.reserve(payload.size() + 16);
-  // CRC over type + payload.
-  uint32_t crc = crc32c::Extend(0, std::string_view(
-                                       reinterpret_cast<const char*>(&type), 1));
-  crc = crc32c::Extend(crc, payload);
-  PutFixed32(&frame, crc32c::Mask(crc));
-  PutVarint32(&frame, static_cast<uint32_t>(payload.size()));
-  frame.push_back(static_cast<char>(type));
-  frame.append(payload);
-  DOMINO_RETURN_IF_ERROR(file_->Append(frame));
+  frame_.clear();
+  AppendFrameTo(&frame_, type, payload);
+  DOMINO_RETURN_IF_ERROR(file_->Append(frame_));
   appends_->Add();
-  appended_bytes_->Add(frame.size());
-  if (sync_mode_ == SyncMode::kEveryCommit) {
-    syncs_->Add();
-    return file_->Sync();
-  }
+  appended_bytes_->Add(frame_.size());
+  if (sync_mode_ != SyncMode::kNone) return TimedSync();
   return file_->Flush();
 }
 
-Status LogWriter::Sync() {
+Status LogWriter::TimedSync() {
+  auto start = std::chrono::steady_clock::now();
+  Status status = file_->Sync();
   syncs_->Add();
-  return file_->Sync();
+  sync_micros_->Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count()));
+  return status;
 }
+
+Status LogWriter::Sync() { return TimedSync(); }
 
 }  // namespace dominodb::wal

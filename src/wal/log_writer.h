@@ -12,24 +12,31 @@
 
 namespace dominodb::wal {
 
-/// Durability policy for commits. Domino R5 offered similar knobs; E7
-/// benchmarks the cost of each.
+/// Durability policy for commits. Domino R5 offered similar knobs; E7/E14
+/// benchmark the cost of each.
 enum class SyncMode {
-  kNone,        // OS buffering only: fast, loses tail on crash
-  kEveryCommit  // fsync per AppendRecord: durable commits
+  kNone,         // OS buffering only: fast, loses tail on crash
+  kEveryCommit,  // fsync per commit: durable, one device flush per record
+  /// Leader/follower group commit on a SharedLog: concurrent committers
+  /// share one fsync (durable, amortized). On a private LogWriter — which
+  /// has no co-committers to share with — this degenerates to
+  /// kEveryCommit.
+  kGroupCommit
 };
 
-/// Appends CRC-framed records to a log file.
+/// Appends CRC-framed records to a log file. Not thread-safe; the
+/// server-wide thread-safe variant is SharedLog.
 class LogWriter {
  public:
   /// `stats` (nullable → the global registry) receives `WAL.Appends`,
-  /// `WAL.AppendedBytes` and `WAL.Syncs`.
+  /// `WAL.AppendedBytes`, `WAL.Syncs` and the `WAL.SyncMicros` latency
+  /// histogram.
   static Result<std::unique_ptr<LogWriter>> Open(
       const std::string& path, SyncMode sync_mode,
       stats::StatRegistry* stats = nullptr);
 
-  /// Appends one record; with SyncMode::kEveryCommit the record is durable
-  /// when this returns OK.
+  /// Appends one record; with SyncMode::kEveryCommit (or kGroupCommit —
+  /// see above) the record is durable when this returns OK.
   Status AppendRecord(RecordType type, std::string_view payload);
 
   /// Forces buffered data to disk regardless of sync mode.
@@ -41,11 +48,18 @@ class LogWriter {
   LogWriter(std::unique_ptr<WritableFile> file, SyncMode sync_mode,
             stats::StatRegistry* stats);
 
+  /// Timed fsync recording into WAL.Syncs / WAL.SyncMicros.
+  Status TimedSync();
+
   std::unique_ptr<WritableFile> file_;
   SyncMode sync_mode_;
+  /// Scratch frame buffer reused across AppendRecord calls so the hot
+  /// commit path does not allocate per record.
+  std::string frame_;
   stats::Counter* appends_;
   stats::Counter* appended_bytes_;
   stats::Counter* syncs_;
+  stats::Histogram* sync_micros_;
 };
 
 }  // namespace dominodb::wal

@@ -1,0 +1,162 @@
+#ifndef DOMINODB_WAL_SHARED_LOG_H_
+#define DOMINODB_WAL_SHARED_LOG_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "base/env.h"
+#include "base/result.h"
+#include "base/status.h"
+#include "stats/stats.h"
+#include "wal/log_writer.h"
+
+namespace dominodb::wal {
+
+struct SharedLogOptions {
+  SyncMode sync_mode = SyncMode::kGroupCommit;
+  /// Roll to a fresh segment file once the current one exceeds this.
+  /// Segments are the unit of physical truncation: a segment is deleted
+  /// once every registered stream's checkpoint low-water mark has moved
+  /// past it.
+  uint64_t segment_bytes = 64ull << 20;
+  /// A group-commit leader flushes as soon as the pending batch reaches
+  /// this many bytes, window or no window.
+  uint64_t max_batch_bytes = 1ull << 20;
+  /// How long a group-commit leader lingers for company before flushing
+  /// (0 = flush whatever queued behind the previous leader's fsync — the
+  /// classic no-added-latency group commit).
+  uint64_t max_wait_micros = 0;
+  /// Registry receiving the `Server.WAL.*` stats; null → the process-wide
+  /// StatRegistry::Global().
+  stats::StatRegistry* stats = nullptr;
+};
+
+/// The Domino R5 server-wide transaction log: ONE sequentially-written,
+/// CRC-framed log shared by every database on the server. Each record is
+/// tagged with the log-stream id of the database that committed it, so one
+/// physical append stream multiplexes many logical logs.
+///
+/// Durability is leader/follower **group commit**: concurrent committers
+/// enqueue their frames under the log mutex; whichever committer finds no
+/// flush in progress becomes the leader, writes the whole pending batch
+/// with one Append and one Sync, then wakes the followers whose sequence
+/// numbers the sync covered. N concurrent commits therefore cost one
+/// device flush, not N (E14 measures the amortization).
+///
+/// The log is a sequence of numbered segment files plus a manifest
+/// recording the stream table and per-stream checkpoint low-water marks.
+/// A database checkpoint advances only its own mark; segments below every
+/// stream's mark are physically deleted. Thread-safe throughout.
+class SharedLog {
+ public:
+  static Result<std::unique_ptr<SharedLog>> Open(
+      const std::string& dir, const SharedLogOptions& options);
+
+  ~SharedLog();
+  SharedLog(const SharedLog&) = delete;
+  SharedLog& operator=(const SharedLog&) = delete;
+
+  /// Returns the stable stream id for `name` (assigning and persisting a
+  /// fresh one on first registration). A new stream's low-water mark
+  /// starts at the current segment, so it never pins history it was not
+  /// there to write.
+  Result<uint32_t> RegisterStream(const std::string& name);
+
+  /// Appends one record for `stream` and returns once it is durable under
+  /// the configured sync mode (kGroupCommit: after the covering group
+  /// sync; kEveryCommit: after a private sync; kNone: after the buffered
+  /// write). Safe to call from any thread.
+  Status Commit(uint32_t stream, RecordType type, std::string_view payload);
+
+  /// Replays the committed records of `stream`, in commit order, across
+  /// all retained segments. A torn tail on the final segment ends the
+  /// replay (committed-prefix semantics) and sets `*torn_tail`; torn
+  /// middles of non-final segments are logged and skipped the same way.
+  Status ReplayStream(
+      uint32_t stream,
+      const std::function<Status(RecordType type, std::string_view payload)>&
+          fn,
+      bool* torn_tail = nullptr) const;
+
+  /// Records that `stream` needs nothing logged before now (its state is
+  /// captured in a snapshot), then deletes every segment all streams have
+  /// moved past.
+  Status AdvanceCheckpoint(uint32_t stream);
+
+  /// Forces any pending group batch to disk (shutdown convenience).
+  Status SyncAll();
+
+  const SharedLogOptions& options() const { return options_; }
+  std::string SegmentPath(uint64_t index) const;
+
+  // Introspection (tests, `show stat`).
+  uint64_t first_segment() const;
+  uint64_t current_segment() const;
+  uint64_t committed_records() const;
+
+ private:
+  struct StreamInfo {
+    std::string name;
+    uint64_t low_segment = 1;  // needs nothing below this segment
+  };
+
+  SharedLog(std::string dir, const SharedLogOptions& options);
+
+  std::string ManifestPath() const { return dir_ + "/streams.manifest"; }
+  Status LoadManifest();
+  Status PersistManifestLocked();
+  Status OpenCurrentSegmentLocked();
+  /// Rolls to a fresh segment once the current one is over budget. Called
+  /// with mu_ held and no flush in progress.
+  Status MaybeRollSegmentLocked();
+  /// Serialized append (+ optional sync) for the non-group modes.
+  Status CommitSerialized(RecordType type, std::string_view mux_payload);
+  /// Leader/follower protocol for kGroupCommit.
+  Status CommitGrouped(RecordType type, std::string_view mux_payload);
+  /// fsync with WAL.SyncMicros accounting; mu_ must NOT be held.
+  Status TimedSync();
+
+  const std::string dir_;
+  const SharedLogOptions options_;
+  stats::StatRegistry* registry_;
+  stats::Counter* ctr_commits_;
+  stats::Counter* ctr_bytes_;
+  stats::Counter* ctr_batches_;
+  stats::Counter* ctr_syncs_;
+  stats::Counter* ctr_syncs_saved_;
+  stats::Counter* ctr_leaders_;
+  stats::Counter* ctr_followers_;
+  stats::Counter* ctr_segments_deleted_;
+  stats::Gauge* gauge_segments_;
+  stats::Histogram* hist_batch_records_;
+  stats::Histogram* hist_batch_bytes_;
+  stats::Histogram* hist_sync_micros_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<uint32_t, StreamInfo> streams_;
+  std::map<std::string, uint32_t> stream_ids_;
+  uint32_t next_stream_id_ = 1;
+
+  std::unique_ptr<WritableFile> file_;  // current segment, append-only
+  uint64_t first_segment_ = 1;          // lowest retained segment
+  uint64_t current_segment_ = 1;
+  uint64_t segment_base_bytes_ = 0;  // size of current segment at open
+
+  uint64_t next_seq_ = 0;     // last assigned commit sequence number
+  uint64_t durable_seq_ = 0;  // every seq <= this is durable
+  bool writing_ = false;      // a leader is appending/syncing
+  std::string pending_;       // framed records awaiting the next batch
+  uint64_t pending_records_ = 0;
+  Status io_error_;  // sticky: after a failed flush the log is fail-stop
+};
+
+}  // namespace dominodb::wal
+
+#endif  // DOMINODB_WAL_SHARED_LOG_H_

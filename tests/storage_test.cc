@@ -302,18 +302,26 @@ TEST(NoteStoreTest, UpdateInfoPersists) {
   EXPECT_EQ(store->info().purge_interval, 12345);
 }
 
-TEST(NoteStoreTest, AutoCheckpointTriggers) {
+TEST(NoteStoreTest, MaybeCheckpointHonorsThreshold) {
   ScratchDir dir;
   StoreOptions options = FastOptions();
   options.checkpoint_threshold_bytes = 4096;
   ASSERT_OK_AND_ASSIGN(auto store,
                        NoteStore::Open(dir.Sub("db"), options, TestInfo()));
+  // Commits never checkpoint inline — a Put cannot stall on a snapshot.
   for (int i = 0; i < 200; ++i) {
     Note note = StampedDoc(std::string(100, 'x'),
                            static_cast<uint64_t>(i + 1), i);
     ASSERT_OK(store->Put(&note));
   }
-  EXPECT_GT(store->stats().checkpoints, 0u);
+  EXPECT_EQ(store->stats().checkpoints, 0u);
+  EXPECT_GT(store->wal_size_bytes(), options.checkpoint_threshold_bytes);
+  // The explicit maintenance hook snapshots once over threshold, and is a
+  // no-op right after.
+  ASSERT_OK(store->MaybeCheckpoint());
+  EXPECT_EQ(store->stats().checkpoints, 1u);
+  ASSERT_OK(store->MaybeCheckpoint());
+  EXPECT_EQ(store->stats().checkpoints, 1u);
   EXPECT_EQ(store->note_count(), 200u);
 }
 
