@@ -1,0 +1,187 @@
+// E15 — concurrent readers on the Database hot path.
+// Claim: replacing the facade's single recursive mutex with a
+// reader/writer lock lets independent read transactions (view traversal,
+// full-text search, note reads) proceed in parallel; the seed design
+// serialized every operation, so read throughput was flat in the number
+// of reader threads.
+//
+// Method: the same mixed read workload runs under two disciplines —
+//   serialized  every operation wrapped in one global exclusive mutex,
+//               emulating the seed's recursive-mutex facade;
+//   shared      the real Database, readers under the shared lock.
+// Each cell runs readers x writers for a fixed wall-clock slice and
+// reports aggregate reader ops/sec.
+//
+// NOTE on speedups: this container may expose a single CPU. Reader
+// scaling requires physical cores — on one core both disciplines
+// time-slice and the 2/4/8-reader rows show scheduling overhead, not
+// parallelism. The lock-discipline difference is still visible in the
+// 1-writer columns (writers starve readers far less under the shared
+// lock than under the global mutex on multi-core hosts). EXPERIMENTS.md
+// records the numbers with that caveat.
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/database.h"
+#include "view/view_design.h"
+
+using namespace dominodb;
+using namespace dominodb::bench;
+
+namespace {
+
+ViewDesign BenchView() {
+  std::vector<ViewColumn> columns;
+  ViewColumn subject;
+  subject.title = "Subject";
+  subject.formula_source = "Subject";
+  subject.sort = ColumnSort::kAscending;
+  columns.push_back(std::move(subject));
+  return *ViewDesign::Create("all", "SELECT @All", std::move(columns));
+}
+
+struct CellResult {
+  double reader_ops_per_sec = 0;
+  uint64_t write_ops = 0;
+};
+
+/// Runs `readers` reader threads (+ `writers` writer threads) for
+/// `slice_ms`. When `serialize` is set, every operation first takes the
+/// global mutex — the seed's one-big-lock discipline.
+CellResult RunCell(Database* db, const std::vector<NoteId>& ids, int readers,
+                   int writers, double slice_ms, bool serialize,
+                   std::mutex* big_lock, Rng* seed_rng) {
+  const Principal reader = Principal::User("bench reader");
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> read_ops{0};
+  std::atomic<uint64_t> write_ops{0};
+  std::vector<std::thread> threads;
+
+  for (int r = 0; r < readers; ++r) {
+    threads.emplace_back([&, r] {
+      Rng rng(1000 + r);
+      uint64_t local = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::unique_lock<std::mutex> serial_lock;
+        if (serialize) {
+          serial_lock = std::unique_lock<std::mutex>(*big_lock);
+        }
+        switch (local % 3) {
+          case 0: {
+            size_t rows = 0;
+            db->TraverseViewAs(reader, "all",
+                               [&](const ViewRow&) { ++rows; })
+                .ok();
+            break;
+          }
+          case 1:
+            db->SearchAs(reader, "lotus OR domino").ok();
+            break;
+          default:
+            db->ReadNote(ids[rng.Uniform(ids.size())]).ok();
+            break;
+        }
+        ++local;
+      }
+      read_ops.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  for (int w = 0; w < writers; ++w) {
+    const uint64_t writer_seed = seed_rng->Next();
+    threads.emplace_back([&, writer_seed] {
+      Rng rng(writer_seed);
+      uint64_t local = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::unique_lock<std::mutex> serial_lock;
+        if (serialize) {
+          serial_lock = std::unique_lock<std::mutex>(*big_lock);
+        }
+        if (local % 2 == 0) {
+          db->CreateNote(SyntheticDoc(&rng, 120)).ok();
+        } else {
+          auto note = db->ReadNote(ids[rng.Uniform(ids.size())]);
+          if (note.ok()) {
+            note->SetText("Subject", note->GetText("Subject") + "+");
+            db->UpdateNote(std::move(*note)).ok();
+          }
+        }
+        ++local;
+      }
+      write_ops.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+
+  Stopwatch clock;
+  while (clock.ElapsedMillis() < slice_ms) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true);
+  for (auto& t : threads) t.join();
+
+  CellResult out;
+  out.reader_ops_per_sec =
+      static_cast<double>(read_ops.load()) / (clock.ElapsedMillis() / 1000.0);
+  out.write_ops = write_ops.load();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader(
+      "E15 — concurrent readers vs the seed's one-big-lock facade",
+      "reader/writer locking lets view traversals, searches and note "
+      "reads run in parallel; a global mutex serializes them");
+
+  const int kDocs = ScaleN(1500, 80);
+  const double kSliceMs = ScaleN(400, 40);
+  BenchDir dir("concurrency");
+  SimClock clock;
+  clock.Set(1'000'000'000);
+  DatabaseOptions options;
+  options.store.checkpoint_threshold_bytes = 1ull << 30;
+  auto db = *Database::Open(dir.Sub("db"), options, &clock);
+  Rng rng(11);
+
+  db->CreateView(BenchView()).ok();
+  db->EnsureFullTextIndex().ok();
+  std::vector<NoteId> ids;
+  for (int i = 0; i < kDocs; ++i) {
+    auto id = db->CreateNote(SyntheticDoc(&rng, 200));
+    if (id.ok()) ids.push_back(*id);
+  }
+  printf("loaded %d docs; slice %.0f ms/cell (hw threads: %u)\n\n", kDocs,
+         kSliceMs, std::thread::hardware_concurrency());
+
+  std::mutex big_lock;
+  printf("%-9s %-8s %-22s %-22s %-8s\n", "readers", "writers",
+         "serialized (ops/s)", "shared lock (ops/s)", "ratio");
+  double shared_1r_0w = 0;
+  double shared_8r_0w = 0;
+  for (int writers : {0, 1}) {
+    for (int readers : {1, 2, 4, 8}) {
+      CellResult serial = RunCell(db.get(), ids, readers, writers, kSliceMs,
+                                  /*serialize=*/true, &big_lock, &rng);
+      CellResult shared = RunCell(db.get(), ids, readers, writers, kSliceMs,
+                                  /*serialize=*/false, &big_lock, &rng);
+      if (writers == 0 && readers == 1) shared_1r_0w = shared.reader_ops_per_sec;
+      if (writers == 0 && readers == 8) shared_8r_0w = shared.reader_ops_per_sec;
+      printf("%-9d %-8d %-22.0f %-22.0f %.2fx\n", readers, writers,
+             serial.reader_ops_per_sec, shared.reader_ops_per_sec,
+             serial.reader_ops_per_sec > 0
+                 ? shared.reader_ops_per_sec / serial.reader_ops_per_sec
+                 : 0);
+    }
+  }
+  if (shared_1r_0w > 0) {
+    printf("\nshared-lock read scaling, 8 readers vs 1 (no writer): %.2fx\n",
+           shared_8r_0w / shared_1r_0w);
+  }
+
+  EmitStatsSnapshot("bench_concurrency");
+  return 0;
+}

@@ -8,6 +8,12 @@
 # workload (DOMINO_BENCH_SMOKE=1) inside each sanitizer build, so the
 # bench-only code paths (notably the E14 multi-threaded group-commit
 # driver) get race/UB coverage without full-run cost.
+#
+# When clang++ is on PATH, a static thread-safety pass also runs first:
+# a Clang build of src/ with -Wthread-safety promoted to an error, which
+# checks the GUARDED_BY/REQUIRES annotations on Database, ViewIndex,
+# FullTextIndex and IndexerTask. On GCC-only machines the pass is
+# skipped with a notice (the annotations compile away under GCC).
 # Usage: scripts/check.sh [--bench-smoke] [address|thread|undefined ...]
 set -euo pipefail
 
@@ -23,6 +29,18 @@ if [ ${#SANITIZERS[@]} -eq 0 ]; then
   SANITIZERS=(address thread undefined)
 fi
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+if command -v clang++ >/dev/null 2>&1; then
+  echo "== check.sh: clang thread-safety analysis =="
+  TSA_DIR="$ROOT/build-tsa"
+  cmake -B "$TSA_DIR" -S "$ROOT" \
+    -DCMAKE_CXX_COMPILER=clang++ \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DDOMINO_THREAD_SAFETY=ON
+  cmake --build "$TSA_DIR" -j"$(nproc)"
+else
+  echo "== check.sh: clang++ not found; skipping thread-safety analysis =="
+fi
 
 for SANITIZER in "${SANITIZERS[@]}"; do
   echo "== check.sh: $SANITIZER =="

@@ -1,0 +1,82 @@
+#ifndef DOMINODB_BASE_SHARED_MUTEX_H_
+#define DOMINODB_BASE_SHARED_MUTEX_H_
+
+#include <mutex>
+#include <shared_mutex>
+
+#include "base/thread_annotations.h"
+
+namespace dominodb {
+
+/// std::mutex with thread-safety-analysis annotations, so members can be
+/// GUARDED_BY it and functions can REQUIRES it.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII guard for Mutex.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// std::shared_mutex with thread-safety-analysis annotations. Non-recursive:
+/// callers that may re-enter (the Database) layer their own ownership
+/// tracking on top.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool TryLockShared() TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// A virtual capability ("lock role") for structures that are externally
+/// synchronized by a lock they cannot name. The owner's guard acquires the
+/// role together with the real mutex; the owned structure annotates its
+/// entry points with REQUIRES(role) / REQUIRES_SHARED(role), giving static
+/// checking of the "caller synchronizes" contract across module boundaries.
+class CAPABILITY("role") LockRole {
+ public:
+  constexpr LockRole() = default;
+  LockRole(const LockRole&) = delete;
+  LockRole& operator=(const LockRole&) = delete;
+};
+
+/// The role standing for "the owning Database's reader/writer lock". View
+/// indexes, the full-text index and the indexer queue have no mutex of
+/// their own; they require this role instead, and the Database's lock
+/// guards acquire it alongside the real SharedMutex.
+inline constexpr LockRole db_index_lock;
+
+}  // namespace dominodb
+
+#endif  // DOMINODB_BASE_SHARED_MUTEX_H_

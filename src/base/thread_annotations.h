@@ -1,0 +1,80 @@
+#ifndef DOMINODB_BASE_THREAD_ANNOTATIONS_H_
+#define DOMINODB_BASE_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety-analysis attributes (-Wthread-safety). Under GCC (or
+// any compiler without the attribute) every macro expands to nothing, so
+// annotated code builds everywhere while clang builds get static checking.
+// scripts/check.sh runs a clang build with -Werror=thread-safety when a
+// clang toolchain is available.
+//
+// Vocabulary (the standard capability spelling):
+//  - CAPABILITY marks a lock-like class; SCOPED_CAPABILITY marks its RAII
+//    guard.
+//  - GUARDED_BY(mu) on a member: accesses require mu (shared for reads,
+//    exclusive for writes).
+//  - REQUIRES/REQUIRES_SHARED on a function: the caller must already hold
+//    the capability.
+//  - ACQUIRE/RELEASE (and _SHARED) on a function: it takes / drops the
+//    capability itself.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define DOMINO_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DOMINO_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+#define CAPABILITY(x) DOMINO_THREAD_ANNOTATION(capability(x))
+
+#define SCOPED_CAPABILITY DOMINO_THREAD_ANNOTATION(scoped_lockable)
+
+#define GUARDED_BY(x) DOMINO_THREAD_ANNOTATION(guarded_by(x))
+
+#define PT_GUARDED_BY(x) DOMINO_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  DOMINO_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  DOMINO_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  DOMINO_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  DOMINO_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) \
+  DOMINO_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  DOMINO_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) \
+  DOMINO_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  DOMINO_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+#define RELEASE_GENERIC(...) \
+  DOMINO_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  DOMINO_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE_SHARED(...) \
+  DOMINO_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) DOMINO_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) \
+  DOMINO_THREAD_ANNOTATION(assert_capability(x))
+
+#define ASSERT_SHARED_CAPABILITY(x) \
+  DOMINO_THREAD_ANNOTATION(assert_shared_capability(x))
+
+#define RETURN_CAPABILITY(x) DOMINO_THREAD_ANNOTATION(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  DOMINO_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // DOMINODB_BASE_THREAD_ANNOTATIONS_H_

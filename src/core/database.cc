@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
 #include <mutex>
 
 #include "base/string_util.h"
+#include "core/replication_history.h"
 #include "formula/formula.h"
 
 namespace dominodb {
@@ -13,18 +17,197 @@ namespace {
 
 std::atomic<uint64_t> g_open_counter{1};
 
-using DbLock = std::lock_guard<std::recursive_mutex>;
+/// Thread-local lock-ownership token: one entry per database this thread
+/// currently holds. `depth` counts nested guard acquisitions; `exclusive`
+/// is the mode of the outermost (real) acquisition. The vector is tiny —
+/// a thread rarely holds more than one database (a cluster observer
+/// applying to a peer holds zero: notifications fire outside the lock).
+struct LockToken {
+  const void* db;
+  int depth;
+  bool exclusive;
+};
+
+thread_local std::vector<LockToken> t_lock_tokens;
+
+LockToken* FindToken(const void* db) {
+  for (LockToken& token : t_lock_tokens) {
+    if (token.db == db) return &token;
+  }
+  return nullptr;
+}
+
+void PopToken(const void* db) {
+  for (auto it = t_lock_tokens.begin(); it != t_lock_tokens.end(); ++it) {
+    if (it->db == db) {
+      t_lock_tokens.erase(it);
+      return;
+    }
+  }
+}
 
 }  // namespace
 
-class Database::MutationGuard {
+// ---------------------------------------------------------------------------
+// Locking primitives
+// ---------------------------------------------------------------------------
+
+void Database::AcquireWrite() const {
+  LockToken* token = FindToken(this);
+  if (token != nullptr) {
+    if (!token->exclusive) {
+      // A shared→exclusive upgrade on the same thread would self-deadlock
+      // (shared_mutex cannot upgrade in place). Read paths must not call
+      // mutators; fail loudly instead of hanging.
+      std::fprintf(stderr,
+                   "dominodb: forbidden lock upgrade (shared -> exclusive) "
+                   "on database %p\n",
+                   static_cast<const void*>(this));
+      std::abort();
+    }
+    ++token->depth;
+    return;
+  }
+  mu_.Lock();
+  t_lock_tokens.push_back({this, 1, true});
+}
+
+bool Database::TryAcquireWrite() const {
+  LockToken* token = FindToken(this);
+  if (token != nullptr) {
+    if (!token->exclusive) return false;  // never upgrade
+    ++token->depth;
+    return true;
+  }
+  if (!mu_.TryLock()) return false;
+  t_lock_tokens.push_back({this, 1, true});
+  return true;
+}
+
+void Database::ReleaseWrite() const {
+  LockToken* token = FindToken(this);
+  if (--token->depth == 0) {
+    PopToken(this);
+    mu_.Unlock();
+  }
+}
+
+void Database::AcquireRead(bool catch_up) const {
+  LockToken* token = FindToken(this);
+  if (token != nullptr) {
+    ++token->depth;
+    if (catch_up && token->exclusive) {
+      // Re-entrant read under this thread's own mutator: the exclusive
+      // hold already lets us drain, so catch up inline to preserve
+      // read-your-writes for views and full-text.
+      Status status = const_cast<Database*>(this)->FlushIndexesLocked();
+      if (!status.ok()) {
+        registry_->events().Log(stats::Severity::kWarning, "Indexer",
+                                "read catch-up: " + status.message());
+      }
+    }
+    return;
+  }
+  for (;;) {
+    mu_.LockShared();
+    const bool pending =
+        catch_up && indexer_ != nullptr && indexer_->HasPending();
+    if (!pending) break;
+    // Readers may not apply index events under a shared hold, and
+    // upgrading in place deadlocks — so drop the shared hold, drain under
+    // a real exclusive hold, and retry. Once a shared hold observes an
+    // empty queue it stays empty: only writers enqueue, and the shared
+    // hold excludes them.
+    mu_.UnlockShared();
+    mu_.Lock();
+    t_lock_tokens.push_back({this, 1, true});
+    Status status = const_cast<Database*>(this)->FlushIndexesLocked();
+    if (!status.ok()) {
+      registry_->events().Log(stats::Severity::kWarning, "Indexer",
+                              "read catch-up: " + status.message());
+    }
+    PopToken(this);
+    mu_.Unlock();
+  }
+  t_lock_tokens.push_back({this, 1, false});
+}
+
+void Database::ReleaseRead() const {
+  LockToken* token = FindToken(this);
+  if (--token->depth == 0) {
+    // Guards unwind LIFO, so a token reaching depth 0 here was taken
+    // shared (an exclusive outer frame would still hold depth > 0).
+    PopToken(this);
+    mu_.UnlockShared();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lock guards
+// ---------------------------------------------------------------------------
+
+/// Shared hold that first catches up on deferred indexer events — the
+/// guard for every read that consults views or the full-text index.
+class SCOPED_CAPABILITY Database::ReadTxn {
  public:
-  explicit MutationGuard(Database* db) : db_(db), lock_(db->mu_) {
+  explicit ReadTxn(const Database* db) ACQUIRE_SHARED(db->mu_, db_index_lock)
+      : db_(db) {
+    db_->AcquireRead(/*catch_up=*/true);
+  }
+  ~ReadTxn() RELEASE() { db_->ReleaseRead(); }
+  ReadTxn(const ReadTxn&) = delete;
+  ReadTxn& operator=(const ReadTxn&) = delete;
+
+ private:
+  const Database* db_;
+};
+
+/// Plain shared hold for reads that never touch views or full-text.
+class SCOPED_CAPABILITY Database::ReadGuard {
+ public:
+  explicit ReadGuard(const Database* db) ACQUIRE_SHARED(db->mu_, db_index_lock)
+      : db_(db) {
+    db_->AcquireRead(/*catch_up=*/false);
+  }
+  ~ReadGuard() RELEASE() { db_->ReleaseRead(); }
+  ReadGuard(const ReadGuard&) = delete;
+  ReadGuard& operator=(const ReadGuard&) = delete;
+
+ private:
+  const Database* db_;
+};
+
+/// Exclusive hold for internal state changes that produce no observer
+/// notifications (index attach, unread marks, checkpoints, ...).
+class SCOPED_CAPABILITY Database::WriteGuard {
+ public:
+  explicit WriteGuard(const Database* db) ACQUIRE(db->mu_, db_index_lock)
+      : db_(db) {
+    db_->AcquireWrite();
+  }
+  ~WriteGuard() RELEASE() { db_->ReleaseWrite(); }
+  WriteGuard(const WriteGuard&) = delete;
+  WriteGuard& operator=(const WriteGuard&) = delete;
+
+ private:
+  const Database* db_;
+};
+
+/// Scope guard for public mutators: holds the exclusive lock and, when
+/// the OUTERMOST guard on this thread releases it, fires the observer
+/// notifications AfterChange queued. Observers therefore never run under
+/// mu_, so a cluster observer may lock a peer database without creating a
+/// lock order between the two databases.
+class SCOPED_CAPABILITY Database::MutationGuard {
+ public:
+  explicit MutationGuard(Database* db) ACQUIRE(db->mu_, db_index_lock)
+      : db_(db) {
+    db_->AcquireWrite();
     ++db_->mutation_depth_;
   }
-  ~MutationGuard() {
+  ~MutationGuard() RELEASE() {
     const bool outermost = --db_->mutation_depth_ == 0;
-    lock_.unlock();
+    db_->ReleaseWrite();
     if (outermost) db_->DrainNotifications();
   }
   MutationGuard(const MutationGuard&) = delete;
@@ -32,7 +215,6 @@ class Database::MutationGuard {
 
  private:
   Database* db_;
-  std::unique_lock<std::recursive_mutex> lock_;
 };
 
 void Database::DrainNotifications() {
@@ -44,7 +226,7 @@ void Database::DrainNotifications() {
   }
   for (;;) {
     {
-      DbLock lock(mu_);
+      WriteGuard lock(this);
       if (pending_notify_.empty()) return;
     }
     if (!notify_drain_mu_.try_lock()) {
@@ -61,7 +243,7 @@ void Database::DrainNotifications() {
       std::vector<PendingNotify> batch;
       std::vector<DatabaseObserver*> observers;
       {
-        DbLock lock(mu_);
+        WriteGuard lock(this);
         if (pending_notify_.empty()) break;
         batch.swap(pending_notify_);
         observers = observers_;
@@ -83,20 +265,26 @@ void Database::DrainNotifications() {
 Database::~Database() {
   // Stop the background drain before any member is torn down: Close
   // waits for in-flight pool callbacks, which may still lock mu_ and
-  // touch views/full-text until it returns.
-  if (indexer_ != nullptr) indexer_->Close();
+  // touch views/full-text until it returns. Close must run outside the
+  // lock for the same reason.
+  indexer::IndexerTask* task = nullptr;
+  {
+    WriteGuard lock(this);
+    task = indexer_.get();
+  }
+  if (task != nullptr) task->Close();
 }
 
 void Database::AttachIndexer(indexer::ThreadPool* pool) {
   {
-    DbLock lock(mu_);
+    ReadGuard lock(this);
     if (indexer_pool_ == pool) return;
   }
   // Detach the current task first: flush its events and wait out its
   // in-flight callbacks so a stale drain never races the replacement.
   std::unique_ptr<indexer::IndexerTask> old;
   {
-    DbLock lock(mu_);
+    WriteGuard lock(this);
     if (indexer_ != nullptr) {
       FlushIndexesLocked().ok();
       old = std::move(indexer_);
@@ -105,7 +293,7 @@ void Database::AttachIndexer(indexer::ThreadPool* pool) {
   }
   if (old != nullptr) old->Close();
   old.reset();
-  DbLock lock(mu_);
+  WriteGuard lock(this);
   indexer_pool_ = pool;
   if (pool != nullptr) {
     indexer_ = std::make_unique<indexer::IndexerTask>(
@@ -116,7 +304,7 @@ void Database::AttachIndexer(indexer::ThreadPool* pool) {
 }
 
 Status Database::FlushIndexes() {
-  DbLock lock(mu_);
+  WriteGuard lock(this);
   return FlushIndexesLocked();
 }
 
@@ -131,7 +319,7 @@ Status Database::FlushIndexesLocked() {
 }
 
 bool Database::HasPendingIndexWork() const {
-  DbLock lock(mu_);
+  ReadGuard lock(this);
   return indexer_ != nullptr && indexer_->HasPending();
 }
 
@@ -153,27 +341,28 @@ Status Database::ApplyIndexEvent(const indexer::NoteChange& change) {
 }
 
 void Database::BackgroundIndexDrain(indexer::IndexerTask* task) {
-  std::unique_lock<std::recursive_mutex> lock(mu_, std::try_to_lock);
-  if (!lock.owns_lock()) {
+  if (!TryAcquireWrite()) {
     // The database is busy — possibly a rebuild coordinator waiting on
     // the very pool this callback runs on. Re-arm instead of blocking a
     // worker; the next enqueue or read-path catch-up drains the queue.
     task->ClearScheduled();
     return;
   }
-  if (task != indexer_.get()) return;  // detached while queued
-  Status status = FlushIndexesLocked();
-  if (!status.ok()) {
-    registry_->events().Log(stats::Severity::kWarning, "Indexer",
-                            "background drain: " + status.message());
+  if (task == indexer_.get()) {  // else: detached while queued
+    Status status = FlushIndexesLocked();
+    if (!status.ok()) {
+      registry_->events().Log(stats::Severity::kWarning, "Indexer",
+                              "background drain: " + status.message());
+    }
+    // Idle-time threshold checkpointing: the pool worker pays for the
+    // snapshot, not a foreground writer.
+    Status ckpt = store_->MaybeCheckpoint();
+    if (!ckpt.ok()) {
+      registry_->events().Log(stats::Severity::kWarning, "Store",
+                              "background checkpoint: " + ckpt.message());
+    }
   }
-  // Idle-time threshold checkpointing: the pool worker pays for the
-  // snapshot, not a foreground writer.
-  Status ckpt = store_->MaybeCheckpoint();
-  if (!ckpt.ok()) {
-    registry_->events().Log(stats::Severity::kWarning, "Store",
-                            "background checkpoint: " + ckpt.message());
-  }
+  ReleaseWrite();
 }
 
 Result<std::unique_ptr<Database>> Database::Open(
@@ -187,6 +376,9 @@ Result<std::unique_ptr<Database>> Database::Open(
                                       ? options.stats
                                       : &stats::StatRegistry::Global();
   std::unique_ptr<Database> db(new Database(clock, seed, registry));
+  // Still single-threaded; the guard exists for the static analysis and
+  // costs one uncontended lock.
+  WriteGuard setup(db.get());
   DatabaseInfo default_info;
   default_info.title = options.title;
   default_info.purge_interval = options.purge_interval;
@@ -242,13 +434,18 @@ Micros Database::StampTime() {
   // giving each database instance a distinct sub-millisecond residue.
   Micros t = clock_ != nullptr ? clock_->Now() : 0;
   t = t - (t % 1000) + stamp_salt_;
-  if (t <= last_stamp_) {
-    t = last_stamp_ + 1000;  // next millisecond tick, same residue
+  const Micros last = last_stamp_.load(std::memory_order_relaxed);
+  if (t <= last) {
+    t = last + 1000;  // next millisecond tick, same residue
   }
-  last_stamp_ = t;
+  last_stamp_.store(t, std::memory_order_release);
   return t;
 }
 
+const Acl& Database::acl() const {
+  ReadGuard lock(this);
+  return acl_;
+}
 
 Status Database::SetAcl(const Acl& acl) {
   MutationGuard guard(this);
@@ -261,7 +458,7 @@ Status Database::SetAcl(const Acl& acl) {
                                existing->created(), false);
       note.BumpSequence(StampTime());
       note.set_modified_in_file(StampTime());
-  DOMINO_RETURN_IF_ERROR(store_->Put(&note));
+      DOMINO_RETURN_IF_ERROR(store_->Put(&note));
       return AfterChange(note);
     }
   }
@@ -327,7 +524,7 @@ Status Database::DeleteNote(NoteId id) {
 }
 
 Result<Note> Database::ReadNote(NoteId id) const {
-  DbLock lock(mu_);
+  ReadGuard lock(this);
   const Note* note = store_->FindPtr(id);
   if (note == nullptr || note->deleted()) {
     return Status::NotFound(StrPrintf("note %u", id));
@@ -336,7 +533,7 @@ Result<Note> Database::ReadNote(NoteId id) const {
 }
 
 Result<Note> Database::ReadNoteByUnid(const Unid& unid) const {
-  DbLock lock(mu_);
+  ReadGuard lock(this);
   const Note* note = store_->FindPtrByUnid(unid);
   if (note == nullptr || note->deleted()) {
     return Status::NotFound("unid " + unid.ToString());
@@ -391,7 +588,7 @@ Status Database::DeleteNoteAs(const Principal& who, NoteId id) {
 }
 
 Result<Note> Database::ReadNoteAs(const Principal& who, NoteId id) const {
-  DbLock lock(mu_);
+  ReadGuard lock(this);
   DOMINO_ASSIGN_OR_RETURN(Note note, ReadNote(id));
   if (!CanReadDocument(acl_, who, note)) {
     return Status::PermissionDenied(who.name + " may not read this note");
@@ -434,21 +631,25 @@ Result<ViewIndex*> Database::CreateView(ViewDesign design) {
   return views_[key].get();
 }
 
-ViewIndex* Database::FindView(std::string_view name) {
-  DbLock lock(mu_);
-  // Refresh on open: readers catch up on deferred index events so the
-  // view they get reflects every committed write.
-  FlushIndexesLocked().ok();
+ViewIndex* Database::FindViewLocked(std::string_view name) const {
   auto it = views_.find(ToLower(name));
   return it == views_.end() ? nullptr : it->second.get();
 }
 
+ViewIndex* Database::FindView(std::string_view name) {
+  // ReadTxn catches up on deferred index events, so the view callers get
+  // reflects every committed write.
+  ReadTxn txn(this);
+  return FindViewLocked(name);
+}
+
 const ViewIndex* Database::FindView(std::string_view name) const {
-  return const_cast<Database*>(this)->FindView(name);
+  ReadTxn txn(this);
+  return FindViewLocked(name);
 }
 
 std::vector<std::string> Database::ViewNames() const {
-  DbLock lock(mu_);
+  ReadGuard lock(this);
   std::vector<std::string> names;
   for (const auto& [key, view] : views_) {
     names.push_back(view->design().name());
@@ -459,14 +660,14 @@ std::vector<std::string> Database::ViewNames() const {
 Status Database::TraverseViewAs(
     const Principal& who, std::string_view view_name,
     const std::function<void(const ViewRow&)>& visit) const {
-  DbLock lock(mu_);
+  ReadTxn txn(this);  // catches up on deferred index events
   // Resolve the principal's level and roles once for the whole pass;
   // re-resolving per row is pure overhead (the E8 hot path).
   const AccessContext access = ResolveAccess(acl_, who);
   if (access.level < AccessLevel::kReader) {
     return Status::PermissionDenied(who.name + " lacks Reader access");
   }
-  const ViewIndex* view = FindView(view_name);  // catches up on events
+  const ViewIndex* view = FindViewLocked(view_name);
   if (view == nullptr) {
     return Status::NotFound("view " + std::string(view_name));
   }
@@ -582,7 +783,7 @@ Status Database::RemoveFromFolder(const std::string& name,
 
 Result<std::vector<Note>> Database::FolderContents(
     const std::string& name) const {
-  DbLock lock(mu_);
+  ReadGuard lock(this);
   DOMINO_ASSIGN_OR_RETURN(Note folder, FindFolderNote(*this, name));
   std::vector<Note> out;
   const Value* refs = folder.FindValue("$FolderRefs");
@@ -596,7 +797,7 @@ Result<std::vector<Note>> Database::FolderContents(
 }
 
 std::vector<std::string> Database::FolderNames() const {
-  DbLock lock(mu_);
+  ReadGuard lock(this);
   std::vector<std::string> names;
   ForEachLiveNote([&](const Note& note) {
     if (note.note_class() == NoteClass::kDesign &&
@@ -608,7 +809,7 @@ std::vector<std::string> Database::FolderNames() const {
 }
 
 Status Database::EnsureFullTextIndex() {
-  DbLock lock(mu_);
+  WriteGuard lock(this);
   if (fulltext_ != nullptr) return Status::Ok();
   fulltext_ = std::make_unique<FullTextIndex>(registry_);
   // The store is frozen while we hold the lock, so pointers into it stay
@@ -620,15 +821,23 @@ Status Database::EnsureFullTextIndex() {
   return Status::Ok();
 }
 
+bool Database::HasFullTextIndex() const {
+  ReadGuard lock(this);
+  return fulltext_ != nullptr;
+}
+
+const FullTextIndex* Database::fulltext() const {
+  ReadGuard lock(this);
+  return fulltext_.get();
+}
+
 Result<std::vector<Note>> Database::SearchAs(const Principal& who,
                                              std::string_view query) const {
-  DbLock lock(mu_);
+  ReadTxn txn(this);  // catches up, so results reflect every write
   if (fulltext_ == nullptr) {
     return Status::FailedPrecondition(
         "no full-text index; call EnsureFullTextIndex first");
   }
-  // Catch up on deferred maintenance so results reflect every write.
-  DOMINO_RETURN_IF_ERROR(const_cast<Database*>(this)->FlushIndexesLocked());
   const AccessContext access = ResolveAccess(acl_, who);
   DOMINO_ASSIGN_OR_RETURN(auto hits, fulltext_->Search(query));
   std::vector<Note> out;
@@ -644,7 +853,7 @@ Result<std::vector<Note>> Database::SearchAs(const Principal& who,
 
 Result<std::vector<Note>> Database::FormulaSearch(
     std::string_view selection) const {
-  DbLock lock(mu_);
+  ReadTxn txn(this);  // the selection may @DbLookup into views
   DOMINO_ASSIGN_OR_RETURN(auto f, formula::Formula::Compile(selection));
   std::vector<Note> out;
   formula::EvalContext ctx;
@@ -706,14 +915,17 @@ Value ConcatColumn(const std::vector<const ViewEntry*>& entries,
 }  // namespace
 
 void Database::BindFormulaServices(formula::EvalContext* ctx) const {
-  DbLock lock(mu_);
+  // Title, replica id and clock are immutable after Open — no lock. The
+  // lookup hook locks per call: a fresh shared acquisition from pool or
+  // agent threads, a re-entrant one under FormulaSearch's own ReadTxn.
   ctx->clock = clock_;
   ctx->db_title = title();
   ctx->replica_id = replica_id().ToString();
   ctx->db_lookup = [this](const std::string& view_name,
                           const std::optional<Value>& key,
                           size_t column) -> Result<Value> {
-    const ViewIndex* view = FindView(view_name);
+    ReadTxn txn(this);
+    const ViewIndex* view = FindViewLocked(view_name);
     if (view == nullptr) {
       return Status::NotFound("@DbLookup/@DbColumn: no view " + view_name);
     }
@@ -728,23 +940,27 @@ void Database::BindFormulaServices(formula::EvalContext* ctx) const {
 }
 
 void Database::MarkRead(const Principal& who, const Unid& unid) {
-  DbLock lock(mu_);
+  WriteGuard lock(this);
   read_marks_[ToLower(who.name)].insert(unid);
 }
 
-bool Database::IsUnread(const Principal& who, const Unid& unid) const {
-  DbLock lock(mu_);
+bool Database::IsUnreadLocked(const Principal& who, const Unid& unid) const {
   auto it = read_marks_.find(ToLower(who.name));
   if (it == read_marks_.end()) return true;
   return it->second.count(unid) == 0;
 }
 
+bool Database::IsUnread(const Principal& who, const Unid& unid) const {
+  ReadGuard lock(this);
+  return IsUnreadLocked(who, unid);
+}
+
 size_t Database::UnreadCount(const Principal& who) const {
-  DbLock lock(mu_);
+  ReadGuard lock(this);
   size_t unread = 0;
   store_->ForEach([&](const Note& note) {
     if (!note.deleted() && note.note_class() == NoteClass::kDocument &&
-        IsUnread(who, note.unid())) {
+        IsUnreadLocked(who, note.unid())) {
       ++unread;
     }
   });
@@ -752,7 +968,7 @@ size_t Database::UnreadCount(const Principal& who) const {
 }
 
 std::vector<Oid> Database::ChangesSince(Micros cutoff) const {
-  DbLock lock(mu_);
+  ReadGuard lock(this);
   std::vector<Oid> changes;
   store_->ForEach([&](const Note& note) {
     if (note.modified_in_file() > cutoff) changes.push_back(note.oid());
@@ -762,7 +978,7 @@ std::vector<Oid> Database::ChangesSince(Micros cutoff) const {
 
 std::vector<Database::Change> Database::ChangeSummarySince(
     Micros cutoff) const {
-  DbLock lock(mu_);
+  ReadGuard lock(this);
   std::vector<Change> changes;
   store_->ForEach([&](const Note& note) {
     if (note.modified_in_file() > cutoff) {
@@ -778,7 +994,7 @@ std::vector<Database::Change> Database::ChangeSummarySince(
 }
 
 Result<Note> Database::GetAnyByUnid(const Unid& unid) const {
-  DbLock lock(mu_);
+  ReadGuard lock(this);
   const Note* note = store_->FindPtrByUnid(unid);
   if (note == nullptr) return Status::NotFound("unid " + unid.ToString());
   return *note;
@@ -793,22 +1009,59 @@ Status Database::InstallRemoteNote(Note note) {
   return AfterChange(note);
 }
 
+void Database::AttachReplicationHistory(const ReplicationHistory* history) {
+  WriteGuard lock(this);
+  repl_history_ = history;
+}
+
 Result<size_t> Database::PurgeStubs() {
   MutationGuard guard(this);
+  // Logical "now": the clock when present. A clockless database used to
+  // compute a negative cutoff here and silently purge nothing; instead,
+  // age stubs against the newest stamp the store has seen.
+  Micros now = 0;
+  if (clock_ != nullptr) {
+    now = clock_->Now();
+  } else {
+    now = last_stamp_.load(std::memory_order_relaxed);
+    store_->ForEach([&](const Note& note) {
+      now = std::max({now, note.modified_in_file(), note.sequence_time()});
+    });
+  }
+  const Micros age_cutoff = now - store_->info().purge_interval;
+  // Deletion-resurrection guard: a stub some recorded replication peer
+  // has not yet seen must survive the age cutoff — otherwise that peer's
+  // live copy replicates back and the delete silently undoes. A peer has
+  // seen everything stamped at or below its recorded history cutoff.
+  // Databases with no attached history (never replicate) purge by age
+  // alone.
+  Micros seen_by_all_peers = std::numeric_limits<Micros>::max();
+  if (repl_history_ != nullptr) {
+    seen_by_all_peers =
+        repl_history_->MinCutoff().value_or(seen_by_all_peers);
+  }
   // Collect ids first: Erase mutates the map under ForEach otherwise.
   std::vector<NoteId> purged;
-  Micros cutoff =
-      (clock_ != nullptr ? clock_->Now() : 0) - store_->info().purge_interval;
   store_->ForEach([&](const Note& note) {
-    if (note.deleted() && note.sequence_time() < cutoff) {
+    if (note.deleted() && note.sequence_time() < age_cutoff &&
+        note.modified_in_file() <= seen_by_all_peers) {
       purged.push_back(note.id());
     }
   });
   for (NoteId id : purged) {
     DOMINO_RETURN_IF_ERROR(store_->Erase(id));
     for (auto& [parent, kids] : children_) kids.erase(id);
-    for (auto& [name, view] : views_) view->Remove(id);
-    if (fulltext_ != nullptr) fulltext_->RemoveNote(id);
+    if (indexer_ != nullptr) {
+      // Route the erase through the indexer queue so it stays ordered
+      // behind any still-pending kChanged for the same note; removing
+      // from the indexes synchronously would let such a queued update
+      // resurrect the purged note there.
+      indexer_->Enqueue(
+          indexer::NoteChange{id, indexer::ChangeKind::kErased});
+    } else {
+      for (auto& [name, view] : views_) view->Remove(id);
+      if (fulltext_ != nullptr) fulltext_->RemoveNote(id);
+    }
     if (!observers_.empty()) {
       PendingNotify n;
       n.erased_id = id;
@@ -820,12 +1073,12 @@ Result<size_t> Database::PurgeStubs() {
 }
 
 void Database::AddObserver(DatabaseObserver* observer) {
-  DbLock lock(mu_);
+  WriteGuard lock(this);
   observers_.push_back(observer);
 }
 
 void Database::RemoveObserver(DatabaseObserver* observer) {
-  DbLock lock(mu_);
+  WriteGuard lock(this);
   for (auto it = observers_.begin(); it != observers_.end(); ++it) {
     if (*it == observer) {
       observers_.erase(it);
@@ -836,28 +1089,58 @@ void Database::RemoveObserver(DatabaseObserver* observer) {
 
 void Database::ForEachLiveNote(
     const std::function<void(const Note&)>& fn) const {
-  DbLock lock(mu_);
+  ReadGuard lock(this);
   store_->ForEach([&](const Note& note) {
     if (!note.deleted()) fn(note);
   });
 }
 
 void Database::ForEachNote(const std::function<void(const Note&)>& fn) const {
-  DbLock lock(mu_);
+  ReadGuard lock(this);
   store_->ForEach(fn);
 }
 
-const Note* Database::FindByUnid(const Unid& unid) const {
+size_t Database::note_count() const {
+  ReadGuard lock(this);
+  return store_->note_count();
+}
+
+size_t Database::stub_count() const {
+  ReadGuard lock(this);
+  return store_->stub_count();
+}
+
+StoreStats Database::store_stats() const {
+  ReadGuard lock(this);
+  return store_->stats();
+}
+
+Status Database::Checkpoint() {
+  WriteGuard lock(this);
+  return store_->Checkpoint();
+}
+
+// The NoteResolver overrides stay lock-free: parallel rebuild workers
+// call them while the rebuild coordinator holds the exclusive lock, and
+// locked entry points call them re-entrantly. Safe because every mutation
+// holds the exclusive lock for its whole duration (see the class
+// comment), so the store and children index are frozen whenever a caller
+// can legitimately be here. Opted out of the static analysis for exactly
+// that reason.
+
+const Note* Database::FindByUnid(const Unid& unid) const
+    NO_THREAD_SAFETY_ANALYSIS {
   const Note* note = store_->FindPtrByUnid(unid);
   return (note != nullptr && !note->deleted()) ? note : nullptr;
 }
 
-const Note* Database::FindById(NoteId id) const {
+const Note* Database::FindById(NoteId id) const NO_THREAD_SAFETY_ANALYSIS {
   const Note* note = store_->FindPtr(id);
   return (note != nullptr && !note->deleted()) ? note : nullptr;
 }
 
-std::vector<NoteId> Database::ChildrenOf(const Unid& parent) const {
+std::vector<NoteId> Database::ChildrenOf(const Unid& parent) const
+    NO_THREAD_SAFETY_ANALYSIS {
   auto it = children_.find(parent);
   if (it == children_.end()) return {};
   return std::vector<NoteId>(it->second.begin(), it->second.end());

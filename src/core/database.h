@@ -14,6 +14,8 @@
 #include "base/clock.h"
 #include "base/result.h"
 #include "base/rng.h"
+#include "base/shared_mutex.h"
+#include "base/thread_annotations.h"
 #include "formula/formula.h"
 #include "fulltext/fulltext_index.h"
 #include "indexer/indexer_task.h"
@@ -24,6 +26,8 @@
 #include "view/view_index.h"
 
 namespace dominodb {
+
+class ReplicationHistory;
 
 /// Receives change events after every committed mutation. Used by the
 /// cluster (event-driven) replicator and by tests.
@@ -58,13 +62,31 @@ struct DatabaseOptions {
 ///  - principal-checked CRUD (`CreateNoteAs`, ...) enforcing the ACL and
 ///    reader/author fields on every path, as Domino does.
 ///
-/// Threading: every public entry point serializes on one recursive mutex
-/// (recursive because public methods call each other and formula services
-/// re-enter through @DbLookup). The NoteResolver overrides are the one
-/// exception — they stay lock-free so parallel rebuild workers can call
-/// them while the coordinator holds the lock; that is safe because every
-/// mutation path holds the lock for its whole duration, so the store is
-/// frozen whenever workers are running.
+/// Threading: a reader/writer lock (std::shared_mutex). Read-only entry
+/// points — note opens, view traversals, full-text and formula search,
+/// change summaries, unread counts — take the lock shared and run
+/// concurrently; mutators (CRUD, replication apply, purge, index flush)
+/// take it exclusive. The mutex is not recursive; re-entrancy (public
+/// methods call each other, and formula services re-enter through
+/// @DbLookup) is handled by a thread-local lock-ownership token: a nested
+/// acquisition on the owning thread only bumps a depth count. Acquiring
+/// shared under this thread's exclusive hold is permitted (a read inside a
+/// mutator); upgrading — requesting exclusive while holding only shared —
+/// is a programming error and aborts rather than deadlocking.
+///
+/// Read paths that consult views or the full-text index catch up on
+/// deferred indexer events at lock acquisition: ReadTxn briefly takes the
+/// exclusive lock to drain the queue, then downgrades to shared. Once
+/// shared is held the queue stays empty (events are only enqueued by
+/// writers, which the shared hold excludes), so deferral remains
+/// semantically invisible to readers.
+///
+/// The NoteResolver overrides are the one lock-free exception: parallel
+/// rebuild workers call them while the rebuild coordinator holds the
+/// exclusive lock. That is safe because every mutation holds the exclusive
+/// lock for its whole duration, so the store is frozen both for workers
+/// (coordinator holds exclusive) and for ordinary readers (shared hold
+/// excludes writers).
 class Database : public NoteResolver {
  public:
   static Result<std::unique_ptr<Database>> Open(const std::string& dir,
@@ -76,6 +98,7 @@ class Database : public NoteResolver {
   Database& operator=(const Database&) = delete;
 
   // -- Identity ---------------------------------------------------------
+  // DatabaseInfo is immutable after Open, so these need no lock.
   const Unid& replica_id() const { return store_->info().replica_id; }
   const std::string& title() const { return store_->info().title; }
   const DatabaseInfo& info() const { return store_->info(); }
@@ -84,10 +107,15 @@ class Database : public NoteResolver {
   /// The last modified-in-file stamp issued by this database. Everything
   /// written so far carries a stamp ≤ this value; the replicator records
   /// it as the post-session cutoff.
-  Micros last_write_stamp() const { return last_stamp_; }
+  Micros last_write_stamp() const {
+    return last_stamp_.load(std::memory_order_acquire);
+  }
 
   // -- Security ---------------------------------------------------------
-  const Acl& acl() const { return acl_; }
+  /// Reference into the live ACL. The referent is replaced only under the
+  /// exclusive lock (SetAcl); concurrent use is limited to administrative
+  /// single-threaded contexts.
+  const Acl& acl() const;
   /// Replaces the ACL (persisted as the ACL note, so it replicates).
   Status SetAcl(const Acl& acl);
   /// Checked variant: `who` must hold Manager access.
@@ -117,7 +145,9 @@ class Database : public NoteResolver {
   // -- Views --------------------------------------------------------------
   /// Persists the design note and builds the index.
   Result<ViewIndex*> CreateView(ViewDesign design);
-  /// nullptr if absent.
+  /// nullptr if absent. The returned index is synchronized by this
+  /// database's lock; using it concurrently with writers requires staying
+  /// inside a locked entry point (TraverseViewAs) instead.
   ViewIndex* FindView(std::string_view name);
   const ViewIndex* FindView(std::string_view name) const;
   std::vector<std::string> ViewNames() const;
@@ -157,8 +187,8 @@ class Database : public NoteResolver {
   // -- Full-text ------------------------------------------------------------
   /// Builds the index if needed; it is maintained incrementally afterward.
   Status EnsureFullTextIndex();
-  bool HasFullTextIndex() const { return fulltext_ != nullptr; }
-  const FullTextIndex* fulltext() const { return fulltext_.get(); }
+  bool HasFullTextIndex() const;
+  const FullTextIndex* fulltext() const;
   /// Scored search returning readable notes only.
   Result<std::vector<Note>> SearchAs(const Principal& who,
                                      std::string_view query) const;
@@ -169,7 +199,9 @@ class Database : public NoteResolver {
 
   /// Fills the formula context with this database's services: title,
   /// replica id, clock, and the @DbLookup/@DbColumn hook over this
-  /// database's views.
+  /// database's views. The hook takes its own shared lock per call (or
+  /// re-enters the caller's), so bound contexts may be evaluated from any
+  /// thread.
   void BindFormulaServices(formula::EvalContext* ctx) const;
 
   // -- Unread marks -----------------------------------------------------------
@@ -197,7 +229,18 @@ class Database : public NoteResolver {
   /// Stores a note received from a remote replica verbatim (no local
   /// re-stamping); reuses the local note id when the UNID exists.
   Status InstallRemoteNote(Note note);
-  /// Purges expired deletion stubs. Returns the number removed.
+
+  /// Attaches this database's replication history (owned by the Server,
+  /// which must keep it alive for the database's lifetime). PurgeStubs
+  /// then clamps its cutoff by the least-caught-up peer so deletions can
+  /// never resurrect through a stale replica. Pass nullptr to detach —
+  /// the opt-out for databases that never replicate, which purge purely
+  /// by age.
+  void AttachReplicationHistory(const ReplicationHistory* history);
+
+  /// Purges expired deletion stubs: stubs older than `purge_interval`
+  /// AND (when a replication history is attached) already seen by every
+  /// recorded peer. Returns the number removed.
   Result<size_t> PurgeStubs();
 
   // -- Observation / iteration ----------------------------------------------
@@ -206,24 +249,16 @@ class Database : public NoteResolver {
   void ForEachLiveNote(const std::function<void(const Note&)>& fn) const;
   void ForEachNote(const std::function<void(const Note&)>& fn) const;
 
-  size_t note_count() const {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
-    return store_->note_count();
-  }
-  size_t stub_count() const {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
-    return store_->stub_count();
-  }
-  const StoreStats& store_stats() const { return store_->stats(); }
+  size_t note_count() const;
+  size_t stub_count() const;
+  StoreStats store_stats() const;
   NoteStore* store() { return store_.get(); }
 
   /// Writes a checkpoint snapshot (fast restart).
-  Status Checkpoint() {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
-    return store_->Checkpoint();
-  }
+  Status Checkpoint();
 
   // -- NoteResolver (for view indexes) ---------------------------------------
+  // Lock-free; see the class comment for why this is safe.
   const Note* FindByUnid(const Unid& unid) const override;
   const Note* FindById(NoteId id) const override;
   std::vector<NoteId> ChildrenOf(const Unid& parent) const override;
@@ -237,29 +272,53 @@ class Database : public NoteResolver {
         registry_(registry),
         ctr_stubs_purged_(&registry->GetCounter("Database.Stubs.Purged")) {}
 
-  Unid GenerateUnid();
+  // -- Locking ----------------------------------------------------------
+  // The raw acquire/release primitives behind the guards. Each maintains
+  // the thread-local ownership token that makes the non-recursive
+  // shared_mutex safely re-entrant (see the class comment). Their bodies
+  // juggle lock states the static analysis cannot follow, so they opt out
+  // and carry the net effect in their ACQUIRE/RELEASE annotations.
+  void AcquireWrite() const ACQUIRE(mu_, db_index_lock)
+      NO_THREAD_SAFETY_ANALYSIS;
+  bool TryAcquireWrite() const TRY_ACQUIRE(true, mu_, db_index_lock)
+      NO_THREAD_SAFETY_ANALYSIS;
+  void ReleaseWrite() const RELEASE(mu_, db_index_lock)
+      NO_THREAD_SAFETY_ANALYSIS;
+  /// `catch_up` additionally drains pending indexer events before the
+  /// shared hold is established (briefly taking the exclusive lock when
+  /// the queue is non-empty).
+  void AcquireRead(bool catch_up) const ACQUIRE_SHARED(mu_, db_index_lock)
+      NO_THREAD_SAFETY_ANALYSIS;
+  void ReleaseRead() const RELEASE_SHARED(mu_, db_index_lock)
+      NO_THREAD_SAFETY_ANALYSIS;
+
+  class ReadTxn;        // shared + indexer catch-up (view/full-text reads)
+  class ReadGuard;      // shared, no catch-up (store-only reads)
+  class WriteGuard;     // exclusive, no observer notifications
+  class MutationGuard;  // exclusive + deferred observer notifications
+
+  Unid GenerateUnid() REQUIRES(mu_);
   /// Monotonic, replica-distinct sequence/modified-in-file stamp.
-  Micros StampTime();
+  Micros StampTime() REQUIRES(mu_);
   /// Post-commit bookkeeping: children index, views, full-text, observers.
-  Status AfterChange(const Note& note);
-  void LoadDesignState();
-  Status ApplyDesignNote(const Note& note);
+  Status AfterChange(const Note& note) REQUIRES(mu_, db_index_lock);
+  void LoadDesignState() REQUIRES(mu_, db_index_lock);
+  Status ApplyDesignNote(const Note& note) REQUIRES(mu_, db_index_lock);
   /// Applies one queued note-change event to views and full-text.
-  Status ApplyIndexEvent(const indexer::NoteChange& change);
+  Status ApplyIndexEvent(const indexer::NoteChange& change)
+      REQUIRES(mu_, db_index_lock);
   /// Pool-side drain entry. Never blocks on the database lock: if it's
   /// busy (a writer, or a rebuild coordinator waiting on this very pool),
   /// it re-arms the task and leaves the events for the next enqueue or
   /// read-path catch-up.
   void BackgroundIndexDrain(indexer::IndexerTask* task);
-  /// FlushIndexes with mu_ already held.
-  Status FlushIndexesLocked();
-
-  /// Scope guard for public mutators: holds mu_ and, when the OUTERMOST
-  /// guard on this thread releases it, fires the observer notifications
-  /// AfterChange queued. Observers therefore never run under mu_, so a
-  /// cluster observer may lock a peer database without creating a lock
-  /// order between the two databases.
-  class MutationGuard;
+  /// FlushIndexes with the exclusive lock already held.
+  Status FlushIndexesLocked() REQUIRES(mu_, db_index_lock);
+  /// FindView minus locking and catch-up (ReadTxn already caught up).
+  ViewIndex* FindViewLocked(std::string_view name) const
+      REQUIRES_SHARED(mu_, db_index_lock);
+  bool IsUnreadLocked(const Principal& who, const Unid& unid) const
+      REQUIRES_SHARED(mu_);
 
   /// One queued post-commit notification: a changed note, or (when
   /// erased_id is set) a physical erase.
@@ -272,37 +331,46 @@ class Database : public NoteResolver {
   /// the queue); concurrent callers wait until the queue is empty.
   void DrainNotifications();
 
-  /// Serializes all public entry points; see the class comment. Mutable
-  /// so const read paths can lock (and catch up on index events).
-  mutable std::recursive_mutex mu_;
+  /// The database reader/writer lock; see the class comment. Mutable so
+  /// const read paths can lock shared (and catch up on index events).
+  mutable SharedMutex mu_;
 
   const Clock* clock_;
-  Rng rng_;
+  Rng rng_ GUARDED_BY(mu_);
   /// Last issued sequence-time stamp; keeps OID times strictly monotonic
-  /// even under a frozen SimClock.
-  Micros last_stamp_ = 0;
+  /// even under a frozen SimClock. Written under the exclusive lock;
+  /// atomic so last_write_stamp() stays lock-free for the replicator.
+  std::atomic<Micros> last_stamp_{0};
   /// Per-instance sub-millisecond residue (see StampTime).
   Micros stamp_salt_ = 0;
+  /// Set once in Open (before any concurrency); the pointee's note data
+  /// is mutated only under mu_, which the REQUIRES annotations on every
+  /// mutating helper enforce. DatabaseInfo is immutable after Open.
   std::unique_ptr<NoteStore> store_;
-  Acl acl_;
-  NoteId acl_note_id_ = kInvalidNoteId;
-  std::map<std::string, std::unique_ptr<ViewIndex>> views_;  // lower name
-  std::unordered_map<std::string, NoteId> view_note_ids_;    // lower name
-  std::unique_ptr<FullTextIndex> fulltext_;
-  std::unordered_map<Unid, std::set<NoteId>> children_;
-  std::map<std::string, std::set<Unid>> read_marks_;  // user → read unids
-  std::vector<DatabaseObserver*> observers_;
+  Acl acl_ GUARDED_BY(mu_);
+  NoteId acl_note_id_ GUARDED_BY(mu_) = kInvalidNoteId;
+  std::map<std::string, std::unique_ptr<ViewIndex>> views_
+      GUARDED_BY(mu_);  // lower name
+  std::unordered_map<std::string, NoteId> view_note_ids_
+      GUARDED_BY(mu_);  // lower name
+  std::unique_ptr<FullTextIndex> fulltext_ GUARDED_BY(mu_);
+  std::unordered_map<Unid, std::set<NoteId>> children_ GUARDED_BY(mu_);
+  std::map<std::string, std::set<Unid>> read_marks_
+      GUARDED_BY(mu_);  // user → read unids
+  std::vector<DatabaseObserver*> observers_ GUARDED_BY(mu_);
+  /// Server-owned purge clamp; null when the database never replicates.
+  const ReplicationHistory* repl_history_ GUARDED_BY(mu_) = nullptr;
 
-  // Post-commit notification queue (guarded by mu_) and its drain state.
-  std::vector<PendingNotify> pending_notify_;
+  // Post-commit notification queue and its drain state.
+  std::vector<PendingNotify> pending_notify_ GUARDED_BY(mu_);
   std::mutex notify_drain_mu_;  // one active drainer at a time
   std::atomic<std::thread::id> notify_drainer_{};
-  int mutation_depth_ = 0;  // nested MutationGuards; guarded by mu_
+  int mutation_depth_ GUARDED_BY(mu_) = 0;  // nested MutationGuards
 
   /// Shared worker pool (owned by the server) and this database's
   /// background change queue. Null until AttachIndexer.
-  indexer::ThreadPool* indexer_pool_ = nullptr;
-  std::unique_ptr<indexer::IndexerTask> indexer_;
+  indexer::ThreadPool* indexer_pool_ GUARDED_BY(mu_) = nullptr;
+  std::unique_ptr<indexer::IndexerTask> indexer_ GUARDED_BY(mu_);
 
   /// Registry handed down to the store, views and full-text index.
   stats::StatRegistry* registry_;

@@ -35,6 +35,14 @@ struct EvalContext {
   /// Hook for @DbColumn / @DbLookup, bound by the database
   /// (Database::BindFormulaServices). `key == nullopt` means @DbColumn
   /// (the whole column); `column` is 1-based. Null → those functions fail.
+  ///
+  /// Threading: evaluation may run on many threads at once, so the hook
+  /// must tolerate concurrent invocation. It is also re-entered from
+  /// inside database read transactions — the caller of Evaluate may
+  /// already hold the database's reader/writer lock in shared mode, so
+  /// implementations must not take that lock exclusively.
+  /// Database::BindFormulaServices satisfies both by opening a nested
+  /// ReadTxn, which the thread-local lock token makes re-entrant.
   std::function<Result<Value>(const std::string& view_name,
                               const std::optional<Value>& key,
                               size_t column)>
@@ -43,6 +51,11 @@ struct EvalContext {
 
 /// A compiled, immutable, shareable formula. Compile once, evaluate on
 /// many documents — view indexing depends on this being cheap.
+///
+/// Evaluate/Matches are const and keep all per-run state in a private
+/// Evaluator, so one Formula may be evaluated concurrently from many
+/// threads. Parallel view rebuild workers and shared-lock readers
+/// (Database::FormulaSearch) rely on this.
 class Formula {
  public:
   /// Compiles `source`; returns a SyntaxError status on bad input.

@@ -1,6 +1,7 @@
 #ifndef DOMINODB_FULLTEXT_FULLTEXT_INDEX_H_
 #define DOMINODB_FULLTEXT_FULLTEXT_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <set>
@@ -9,6 +10,8 @@
 #include <vector>
 
 #include "base/result.h"
+#include "base/shared_mutex.h"
+#include "base/thread_annotations.h"
 #include "model/note.h"
 #include "stats/stats.h"
 
@@ -28,13 +31,21 @@ struct FtStats {
   uint64_t notes_indexed = 0;
   uint64_t notes_removed = 0;
   uint64_t tokens_indexed = 0;
-  uint64_t queries = 0;
+  /// Atomic: Search is const and runs under the owning database's SHARED
+  /// lock, so concurrent queries bump this from multiple threads. The
+  /// other fields mutate only under the exclusive lock.
+  std::atomic<uint64_t> queries{0};
 };
 
 /// Per-database inverted index over text and rich-text items, maintained
 /// incrementally as documents change (the GTR-engine substitute). The
 /// query language supports terms, "phrases", AND/OR/NOT, parentheses and
 /// `FIELD name CONTAINS term`.
+///
+/// Threading: no internal lock. The owning Database synchronizes access
+/// with its reader/writer lock, expressed here through the `db_index_lock`
+/// role: index maintenance requires it exclusive, Search shared (which is
+/// why FtStats::queries is atomic). Standalone use needs no locking.
 class FullTextIndex {
  public:
   /// `stats` (nullable → the global registry) receives the server-wide
@@ -43,9 +54,9 @@ class FullTextIndex {
 
   /// Adds or re-indexes a note (deletion stubs are removed). Only
   /// kDocument notes are indexed.
-  void IndexNote(const Note& note);
-  void RemoveNote(NoteId id);
-  void Clear();
+  void IndexNote(const Note& note) REQUIRES(db_index_lock);
+  void RemoveNote(NoteId id) REQUIRES(db_index_lock);
+  void Clear() REQUIRES(db_index_lock);
 
   /// Full rebuild (UPDALL-style). With a pool, notes are partitioned into
   /// contiguous shards, each worker tokenizes its shard into shard-local
@@ -54,10 +65,12 @@ class FullTextIndex {
   /// re-tokenizing. Without a pool this is a plain serial loop and
   /// produces bit-identical state.
   void BuildFrom(const std::vector<const Note*>& notes,
-                 indexer::ThreadPool* pool = nullptr);
+                 indexer::ThreadPool* pool = nullptr)
+      REQUIRES(db_index_lock);
 
   /// Runs a query; results are sorted by descending TF-IDF score.
-  Result<std::vector<FtHit>> Search(std::string_view query) const;
+  Result<std::vector<FtHit>> Search(std::string_view query) const
+      REQUIRES_SHARED(db_index_lock);
 
   size_t doc_count() const { return doc_lengths_.size(); }
   size_t term_count() const { return postings_.size(); }

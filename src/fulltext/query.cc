@@ -324,7 +324,7 @@ ScoreMap EvalNode(const FullTextIndex& index, const QNode& node) {
 
 Result<std::vector<FtHit>> FullTextIndex::Search(
     std::string_view query) const {
-  ++stats_.queries;
+  stats_.queries.fetch_add(1, std::memory_order_relaxed);
   ctr_queries_->Add();
   DOMINO_ASSIGN_OR_RETURN(auto tokens, LexQuery(query));
   QParser parser(std::move(tokens));

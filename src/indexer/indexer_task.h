@@ -6,6 +6,8 @@
 #include <functional>
 #include <mutex>
 
+#include "base/shared_mutex.h"
+#include "base/thread_annotations.h"
 #include "indexer/thread_pool.h"
 #include "model/note.h"
 #include "stats/stats.h"
@@ -58,7 +60,8 @@ class IndexerTask {
   /// `apply`. The caller must hold the owner's lock. Reentrant calls
   /// (e.g. @DbLookup during a view update triggering a catch-up) are
   /// no-ops — the outer drain finishes the queue.
-  void DrainInline(const std::function<void(const NoteChange&)>& apply);
+  void DrainInline(const std::function<void(const NoteChange&)>& apply)
+      REQUIRES(db_index_lock);
 
   bool HasPending() const;
   size_t pending() const;

@@ -50,16 +50,6 @@ bool RemoteWins(const Note& local, const Note& remote) {
 
 }  // namespace
 
-Micros ReplicationHistory::CutoffFor(const std::string& peer) const {
-  auto it = cutoffs_.find(peer);
-  return it == cutoffs_.end() ? 0 : it->second;
-}
-
-void ReplicationHistory::Record(const std::string& peer, Micros cutoff) {
-  Micros& slot = cutoffs_[peer];
-  slot = std::max(slot, cutoff);
-}
-
 void ReplicationReport::MergeFrom(const ReplicationReport& other) {
   summarized += other.summarized;
   pulled += other.pulled;

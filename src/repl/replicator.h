@@ -7,26 +7,12 @@
 
 #include "base/result.h"
 #include "core/database.h"
+#include "core/replication_history.h"
 #include "formula/formula.h"
 #include "net/sim_net.h"
 #include "stats/stats.h"
 
 namespace dominodb {
-
-/// Per-database replication history: for each peer, the cutoff timestamp
-/// of the last successful replication. The incremental-replication claim
-/// of the paper hangs on this: only notes modified after the cutoff are
-/// summarized and shipped.
-class ReplicationHistory {
- public:
-  /// 0 when the pair never replicated (full scan).
-  Micros CutoffFor(const std::string& peer) const;
-  void Record(const std::string& peer, Micros cutoff);
-  void Clear() { cutoffs_.clear(); }
-
- private:
-  std::map<std::string, Micros> cutoffs_;
-};
 
 struct ReplicationOptions {
   /// Pull remote changes into the local replica.

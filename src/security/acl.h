@@ -43,6 +43,12 @@ struct AclEntry {
 /// The database access control list. Stored as an ACL note so it
 /// replicates with the database (replicating ACL changes is how Notes
 /// administers distributed access control — a point the paper makes).
+///
+/// Not internally synchronized: the owning Database guards its Acl with
+/// the facade's reader/writer lock — shared for the const checks
+/// (LevelFor, RolesFor, CanReadDocument, ...), exclusive for SetEntry /
+/// RemoveEntry / set_default_level. The const surface is safe to call
+/// from any number of reader threads at once.
 class Acl {
  public:
   Acl() = default;

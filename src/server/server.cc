@@ -47,6 +47,10 @@ Result<Database*> Server::OpenDatabase(const std::string& file,
                           Database::Open(DirFor(file), options, clock_));
   Database* ptr = db.get();
   if (indexer_pool_ != nullptr) ptr->AttachIndexer(indexer_pool_.get());
+  // Server-managed databases replicate; hand the purge path its history
+  // so deletion stubs survive until every recorded peer has seen them
+  // (histories_ is a node-stable map, so the pointer stays valid).
+  ptr->AttachReplicationHistory(HistoryFor(file));
   databases_[file] = std::move(db);
   gauge_databases_->Set(static_cast<int64_t>(databases_.size()));
   return ptr;

@@ -12,6 +12,8 @@
 
 #include "base/clock.h"
 #include "base/result.h"
+#include "base/shared_mutex.h"
+#include "base/thread_annotations.h"
 #include "model/collation.h"
 #include "model/note.h"
 #include "stats/stats.h"
@@ -100,6 +102,11 @@ struct ViewStats {
 /// nest under their parent entry ordered by creation time; orphans appear
 /// at top level. `SELECT ... | @AllChildren/@AllDescendants` includes
 /// responses whose (an)cestor matches the selection.
+///
+/// Threading: no internal lock. The owning Database synchronizes access
+/// with its reader/writer lock, expressed here through the `db_index_lock`
+/// role: mutators require it exclusive, read paths shared. Standalone use
+/// (tests, benches, a single-threaded tool) needs no locking at all.
 class ViewIndex {
  public:
   /// `stats` (nullable → the global registry) receives the server-wide
@@ -111,10 +118,11 @@ class ViewIndex {
 
   /// Re-evaluates a single changed note (and, when response semantics are
   /// in play, its known descendants). Deletion stubs remove the entry.
-  Status Update(const Note& note, const NoteResolver* resolver);
+  Status Update(const Note& note, const NoteResolver* resolver)
+      REQUIRES(db_index_lock);
 
   /// Removes a note by id (physical purge path).
-  void Remove(NoteId id);
+  void Remove(NoteId id) REQUIRES(db_index_lock);
 
   /// Drops everything and re-indexes the whole database. `for_each_note`
   /// must invoke its callback once per note. Used on view creation and by
@@ -132,21 +140,25 @@ class ViewIndex {
   Status Rebuild(
       const std::function<void(const std::function<void(const Note&)>&)>&
           for_each_note,
-      const NoteResolver* resolver, indexer::ThreadPool* pool = nullptr);
+      const NoteResolver* resolver, indexer::ThreadPool* pool = nullptr)
+      REQUIRES(db_index_lock);
 
-  void Clear();
+  void Clear() REQUIRES(db_index_lock);
 
   size_t size() const { return row_of_note_.size(); }
 
   /// Top-level entries in collation order (responses excluded when the
   /// hierarchy is shown).
-  std::vector<const ViewEntry*> Entries() const;
+  std::vector<const ViewEntry*> Entries() const
+      REQUIRES_SHARED(db_index_lock);
 
   /// Full traversal with category rows and response indenting.
-  void Traverse(const std::function<void(const ViewRow&)>& visit) const;
+  void Traverse(const std::function<void(const ViewRow&)>& visit) const
+      REQUIRES_SHARED(db_index_lock);
 
   /// Entries whose first sorted column equals `key`.
-  std::vector<const ViewEntry*> FindByKey(const Value& key) const;
+  std::vector<const ViewEntry*> FindByKey(const Value& key) const
+      REQUIRES_SHARED(db_index_lock);
 
   const ViewStats& stats() const { return stats_; }
   ViewStats* mutable_stats() { return &stats_; }

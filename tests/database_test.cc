@@ -308,6 +308,31 @@ TEST_F(DatabaseFixture, ChangesSinceAndPurge) {
   EXPECT_EQ(db_->stub_count(), 0u);
 }
 
+TEST(DatabaseClockless, PurgeAgesAgainstNewestStampWhenNoClock) {
+  // A database opened without a clock stamps notes from a logical
+  // counter. PurgeStubs used to compute `0 - purge_interval` as the
+  // cutoff and silently purge nothing, forever; it now ages stubs
+  // against the newest stamp the store has seen.
+  ScratchDir dir;
+  DatabaseOptions options;
+  options.title = "clockless";
+  options.purge_interval = 10'000;  // ten logical milliseconds
+  auto db_or = Database::Open(dir.Sub("db"), options, nullptr);
+  ASSERT_OK(db_or);
+  Database* db = db_or->get();
+
+  ASSERT_OK_AND_ASSIGN(NoteId id, db->CreateNote(MakeDoc("Memo", "old")));
+  ASSERT_OK(db->DeleteNote(id));
+  // Later writes advance the logical time well past the stub's age.
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_OK(db->CreateNote(MakeDoc("Memo", "filler")).status());
+  }
+  EXPECT_EQ(db->stub_count(), 1u);
+  ASSERT_OK_AND_ASSIGN(size_t purged, db->PurgeStubs());
+  EXPECT_EQ(purged, 1u);
+  EXPECT_EQ(db->stub_count(), 0u);
+}
+
 TEST_F(DatabaseFixture, ObserverNotifications) {
   struct Recorder : DatabaseObserver {
     std::vector<std::string> events;

@@ -379,6 +379,52 @@ TEST_F(IndexerTwinFixture, WritesDeferUntilBarrierWhenWorkerIsBusy) {
   db->AttachIndexer(nullptr);  // detach before `pool` goes out of scope
 }
 
+TEST_F(IndexerTwinFixture, PurgeOrdersErasureBehindPendingChanges) {
+  indexer::ThreadPool pool(1);
+  auto db = OpenDb("purge_order");
+  ASSERT_OK_AND_ASSIGN(ViewIndex * view,
+                       db->CreateView(SubjectView("all", "SELECT @All")));
+  ASSERT_OK(db->EnsureFullTextIndex());
+  db->AttachIndexer(&pool);
+
+  // Park the only worker: everything below stays queued until the
+  // explicit flush, so the purge's erasure must line up as a kErased
+  // event behind the note's still-pending kChanged instead of touching
+  // the indexes synchronously (which would let the queued update
+  // resurrect the purged note in the view).
+  std::mutex mu;
+  std::condition_variable cv;
+  bool parked = true;
+  pool.Submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return !parked; });
+  });
+
+  ASSERT_OK_AND_ASSIGN(NoteId id,
+                       db->CreateNote(MakeDoc("Memo", "ephemeral")));
+  ASSERT_OK(db->DeleteNote(id));
+  clock_.Advance(db->info().purge_interval + 1'000'000);
+  ASSERT_OK_AND_ASSIGN(size_t purged, db->PurgeStubs());
+  EXPECT_EQ(purged, 1u);
+  EXPECT_TRUE(db->HasPendingIndexWork());
+
+  ASSERT_OK(db->FlushIndexes());
+  EXPECT_FALSE(db->HasPendingIndexWork());
+  EXPECT_EQ(view->size(), 0u);
+  EXPECT_EQ(db->fulltext()->doc_count(), 0u);
+  ASSERT_OK_AND_ASSIGN(auto hits,
+                       db->SearchAs(Principal::User("x"), "ephemeral"));
+  EXPECT_TRUE(hits.empty());
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    parked = false;
+  }
+  cv.notify_all();
+  pool.WaitIdle();
+  db->AttachIndexer(nullptr);  // detach before `pool` goes out of scope
+}
+
 TEST_F(IndexerTwinFixture, ReadPathsCatchUpWithoutExplicitFlush) {
   auto db = OpenDb("catchup");
   ASSERT_OK(db->CreateView(SubjectView("all", "SELECT @All")).status());

@@ -267,22 +267,26 @@ TEST_F(ReplicationFixture, SelectiveReplicationFilters) {
   EXPECT_EQ(docs[0].GetText("Subject"), "wanted");
 }
 
-TEST_F(ReplicationFixture, PurgeBeforeReplicationResurrectsDeletes) {
+TEST_F(ReplicationFixture, PurgeWaitsForPeersSoDeletesCannotResurrect) {
   // The classic anomaly the paper warns about: if the purge interval is
-  // shorter than the replication interval, a deletion's stub is purged
-  // before it propagates and the document comes back from the dead.
+  // shorter than the replication interval, a deletion's stub used to be
+  // purged before it propagated and the document came back from the
+  // dead. PurgeStubs now clamps eligibility by the minimum peer cutoff
+  // in the server's replication history, so the stub outlives the purge
+  // interval until every recorded peer has seen the deletion.
   ASSERT_OK_AND_ASSIGN(NoteId id, a_->CreateNote(MakeDoc("Memo", "zombie")));
   clock_.Advance(1000);
   Sync();
   ASSERT_OK(a_->DeleteNote(id));
-  // Purge the stub before the pair replicates again.
+  // Try to purge the stub before the pair replicates again: B has not
+  // seen the deletion, so the stub must survive despite its age.
   clock_.Advance(a_->info().purge_interval + 1'000'000);
   ASSERT_OK_AND_ASSIGN(size_t purged, a_->PurgeStubs());
-  ASSERT_EQ(purged, 1u);
-  ASSERT_EQ(a_->stub_count(), 0u);
+  EXPECT_EQ(purged, 0u);
+  EXPECT_EQ(a_->stub_count(), 1u);
 
-  // B never saw the deletion and touches the document; with A's stub
-  // gone, replication brings the document *back from the dead*.
+  // B touches the document in the meantime; on the next sync the stub
+  // still propagates and the deletion wins — no resurrection.
   ASSERT_OK_AND_ASSIGN(auto on_b, b_->FormulaSearch("SELECT @All"));
   ASSERT_EQ(on_b.size(), 1u);
   Note edit = on_b[0];
@@ -290,10 +294,59 @@ TEST_F(ReplicationFixture, PurgeBeforeReplicationResurrectsDeletes) {
   ASSERT_OK(b_->UpdateNote(edit));
   clock_.Advance(1000);
   Sync();
-  EXPECT_EQ(a_->note_count(), 1u);  // resurrected
-  ASSERT_OK_AND_ASSIGN(auto docs, a_->FormulaSearch("SELECT @All"));
-  ASSERT_EQ(docs.size(), 1u);
-  EXPECT_EQ(docs[0].GetText("Subject"), "zombie");
+  EXPECT_EQ(a_->note_count(), 0u);
+  EXPECT_EQ(b_->note_count(), 0u);
+  EXPECT_EQ(b_->stub_count(), 1u);
+
+  // Once B has recorded the deletion, age-based purge proceeds again.
+  clock_.Advance(a_->info().purge_interval + 1'000'000);
+  ASSERT_OK_AND_ASSIGN(purged, a_->PurgeStubs());
+  EXPECT_EQ(purged, 1u);
+  EXPECT_EQ(a_->stub_count(), 0u);
+}
+
+TEST_F(ReplicationFixture, PurgeWithoutHistoryIsAgeOnlyAndCanResurrect) {
+  // Databases that never replicate through a Server have no replication
+  // history attached; purge falls back to the age-only rule and the
+  // paper's resurrection anomaly remains demonstrable. This pins down
+  // the opt-out: the peer clamp only engages when a history is attached.
+  DatabaseOptions options;
+  options.title = "raw pair";
+  auto a_or = Database::Open(dir_.Sub("raw_a"), options, &clock_);
+  ASSERT_OK(a_or);
+  Database* a = a_or->get();
+  options.replica_id = a->replica_id();
+  options.unid_seed = 77;
+  auto b_or = Database::Open(dir_.Sub("raw_b"), options, &clock_);
+  ASSERT_OK(b_or);
+  Database* b = b_or->get();
+
+  Replicator replicator(net_.get());
+  ASSERT_OK_AND_ASSIGN(NoteId id, a->CreateNote(MakeDoc("Memo", "zombie")));
+  clock_.Advance(1000);
+  ASSERT_OK(replicator
+                .Replicate(ReplicaEndpoint{a, "A", nullptr},
+                           ReplicaEndpoint{b, "B", nullptr}, {})
+                .status());
+  ASSERT_OK(a->DeleteNote(id));
+  clock_.Advance(a->info().purge_interval + 1'000'000);
+  ASSERT_OK_AND_ASSIGN(size_t purged, a->PurgeStubs());
+  EXPECT_EQ(purged, 1u);
+  EXPECT_EQ(a->stub_count(), 0u);
+
+  // B never saw the deletion and touches the document; with A's stub
+  // gone, replication brings the document *back from the dead*.
+  ASSERT_OK_AND_ASSIGN(auto on_b, b->FormulaSearch("SELECT @All"));
+  ASSERT_EQ(on_b.size(), 1u);
+  Note edit = on_b[0];
+  edit.SetText("Subject", "zombie");
+  ASSERT_OK(b->UpdateNote(edit));
+  clock_.Advance(1000);
+  ASSERT_OK(replicator
+                .Replicate(ReplicaEndpoint{a, "A", nullptr},
+                           ReplicaEndpoint{b, "B", nullptr}, {})
+                .status());
+  EXPECT_EQ(a->note_count(), 1u);  // resurrected
 }
 
 TEST_F(ReplicationFixture, StubInstalledEvenWithoutLocalCopy) {
