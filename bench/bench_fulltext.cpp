@@ -39,8 +39,11 @@ int main() {
     // Parallel (sharded) rebuild of the same corpus, 4 workers.
     double par_ms;
     {
+      std::vector<Note> copies;
+      db->ForEachNote([&](const Note& n) { copies.push_back(n); });
       std::vector<const Note*> notes;
-      db->ForEachNote([&](const Note& n) { notes.push_back(&n); });
+      notes.reserve(copies.size());
+      for (const Note& n : copies) notes.push_back(&n);
       indexer::ThreadPool pool(4);
       Stopwatch par;
       const_cast<FullTextIndex*>(db->fulltext())->BuildFrom(notes, &pool);

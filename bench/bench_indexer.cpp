@@ -77,8 +77,11 @@ int main() {
     return w.ElapsedMillis();
   };
   auto rebuild_ft = [&](indexer::ThreadPool* pool) {
+    std::vector<Note> copies;
+    db->ForEachNote([&](const Note& n) { copies.push_back(n); });
     std::vector<const Note*> notes;
-    db->ForEachNote([&](const Note& n) { notes.push_back(&n); });
+    notes.reserve(copies.size());
+    for (const Note& n : copies) notes.push_back(&n);
     Stopwatch w;
     const_cast<FullTextIndex*>(db->fulltext())->BuildFrom(notes, pool);
     return w.ElapsedMillis();

@@ -1,11 +1,16 @@
 // E1 — Note store CRUD throughput vs document size (google-benchmark).
 // The substrate claim: the note store sustains groupware CRUD on
 // semi-structured documents of widely varying size.
+//
+// E16 — Buffer-pool working-set sweep: read latency and cache hit rate
+// as the hot set grows from half the pool to 4× the pool (the paged
+// store's beyond-RAM claim, BM_WorkingSetSweep below).
 
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
 #include "core/database.h"
+#include "storage/note_store.h"
 
 namespace dominodb {
 namespace {
@@ -89,6 +94,111 @@ void BM_DeleteAndPurge(benchmark::State& state) {
   state.counters["stubs"] = static_cast<double>(db->stub_count());
 }
 BENCHMARK(BM_DeleteAndPurge);
+
+// E16: the argument is the working set as a percentage of the buffer
+// pool (50 → the hot set fits twice over; 400 → it is 4× the pool and
+// most reads must go to disk). The pool is deliberately tiny so the
+// sweep exercises real eviction, not the OS page cache.
+void BM_WorkingSetSweep(benchmark::State& state) {
+  const int ratio_pct = static_cast<int>(state.range(0));
+  BenchDir dir("ws_" + std::to_string(ratio_pct));
+  stats::StatRegistry registry;
+  StoreOptions options;
+  options.sync_mode = wal::SyncMode::kNone;
+  options.checkpoint_threshold_bytes = 0;  // manual
+  options.page_size = 4096;
+  options.cache_pages = bench::SmokeMode() ? 16 : 128;
+  options.stats = &registry;
+  DatabaseInfo info;
+  info.replica_id = Unid{0xe16, 1};
+  info.title = "e16";
+  auto store = NoteStore::Open(dir.Sub("db"), options, info);
+  if (!store.ok()) std::abort();
+  Rng rng(16);
+  // ~3 one-KB documents per 4 KiB page; size the document count so the
+  // live data volume is ratio_pct% of the pool.
+  const size_t docs =
+      options.cache_pages * 3 * static_cast<size_t>(ratio_pct) / 100;
+  std::vector<NoteId> ids;
+  for (size_t i = 0; i < docs; ++i) {
+    Note note = SyntheticDoc(&rng, 900);
+    note.StampCreated(Unid{0xe16, i + 2}, static_cast<Micros>(i + 1));
+    if (!(*store)->Put(&note).ok()) std::abort();
+    ids.push_back(note.id());
+  }
+  if (!(*store)->Checkpoint().ok()) std::abort();
+  const uint64_t hits0 = registry.GetCounter("Store.Cache.Hits").value();
+  const uint64_t miss0 = registry.GetCounter("Store.Cache.Misses").value();
+  for (auto _ : state) {
+    auto note = (*store)->Get(ids[rng.Uniform(ids.size())]);
+    if (!note.ok()) state.SkipWithError("read failed");
+    benchmark::DoNotOptimize(note);
+  }
+  const uint64_t hits = registry.GetCounter("Store.Cache.Hits").value() - hits0;
+  const uint64_t misses =
+      registry.GetCounter("Store.Cache.Misses").value() - miss0;
+  state.counters["hit_rate"] =
+      hits + misses > 0
+          ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+          : 0.0;
+  state.counters["docs"] = static_cast<double>(docs);
+  state.counters["pool_pages"] = static_cast<double>(options.cache_pages);
+  state.counters["file_mb"] =
+      static_cast<double>((*store)->pages_size_bytes()) / (1024.0 * 1024.0);
+}
+BENCHMARK(BM_WorkingSetSweep)->Arg(50)->Arg(100)->Arg(200)->Arg(400);
+
+// E16b: online COMPACT — reclaimed volume and full-sweep cost after a
+// bulk purge leaves half the pages dead.
+void BM_CompactAfterPurge(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    BenchDir dir("compact");
+    stats::StatRegistry registry;
+    StoreOptions options;
+    options.sync_mode = wal::SyncMode::kNone;
+    options.checkpoint_threshold_bytes = 0;
+    options.page_size = 4096;
+    options.cache_pages = bench::SmokeMode() ? 16 : 128;
+    options.stats = &registry;
+    DatabaseInfo info;
+    info.replica_id = Unid{0xe16, 0xb};
+    info.title = "e16b";
+    auto store = NoteStore::Open(dir.Sub("db"), options, info);
+    if (!store.ok()) std::abort();
+    Rng rng(17);
+    const int docs = ScaleN(2000, 120);
+    std::vector<NoteId> ids;
+    for (int i = 0; i < docs; ++i) {
+      Note note = SyntheticDoc(&rng, 900);
+      note.StampCreated(Unid{0xe16, static_cast<uint64_t>(i) + 2},
+                        static_cast<Micros>(i + 1));
+      if (!(*store)->Put(&note).ok()) std::abort();
+      ids.push_back(note.id());
+    }
+    if (!(*store)->Checkpoint().ok()) std::abort();
+    for (size_t i = 0; i < ids.size(); i += 2) {
+      if (!(*store)->Erase(ids[i]).ok()) std::abort();
+    }
+    const uint64_t dead = (*store)->dead_bytes();
+    state.ResumeTiming();
+    for (;;) {
+      auto reclaimed = (*store)->CompactStep(16);
+      if (!reclaimed.ok()) state.SkipWithError("compact failed");
+      if (!reclaimed.ok() || *reclaimed == 0) break;
+    }
+    state.PauseTiming();
+    state.counters["dead_mb"] =
+        static_cast<double>(dead) / (1024.0 * 1024.0);
+    state.counters["reclaimed_mb"] =
+        static_cast<double>((*store)->compact_stats().bytes_reclaimed) /
+        (1024.0 * 1024.0);
+    state.counters["pages_freed"] =
+        static_cast<double>((*store)->compact_stats().pages_reclaimed);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_CompactAfterPurge)->Unit(benchmark::kMillisecond);
 
 void BM_UnidLookup(benchmark::State& state) {
   BenchDir dir("unid");

@@ -48,7 +48,7 @@ void ShowViewFor(Database* db, const Principal& who) {
         printf("%*s▼ %s (%zu)\n", row.indent * 2, "", row.category.c_str(),
                row.descendant_count);
       } else {
-        const Note* note = db->FindById(row.entry->note_id);
+        NoteHandle note = db->FindById(row.entry->note_id);
         bool unread = note != nullptr && db->IsUnread(who, note->unid());
         printf("%*s%s %s  — %s\n", (row.indent + 1) * 2, "",
                unread ? "●" : " ", row.entry->ColumnText(1).c_str(),

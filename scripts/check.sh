@@ -9,19 +9,26 @@
 # bench-only code paths (notably the E14 multi-threaded group-commit
 # driver) get race/UB coverage without full-run cost.
 #
+# --crash-matrix upgrades the torn-page recovery tests from their
+# sampled default to the exhaustive sweep (DOMINO_CRASH_MATRIX=1: every
+# checkpoint fault point × every tearable page, every WAL cut offset).
+#
 # When clang++ is on PATH, a static thread-safety pass also runs first:
 # a Clang build of src/ with -Wthread-safety promoted to an error, which
 # checks the GUARDED_BY/REQUIRES annotations on Database, ViewIndex,
 # FullTextIndex and IndexerTask. On GCC-only machines the pass is
 # skipped with a notice (the annotations compile away under GCC).
-# Usage: scripts/check.sh [--bench-smoke] [address|thread|undefined ...]
+# Usage: scripts/check.sh [--bench-smoke] [--crash-matrix] \
+#                         [address|thread|undefined ...]
 set -euo pipefail
 
 BENCH_SMOKE=0
+CRASH_MATRIX=0
 SANITIZERS=()
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
+    --crash-matrix) CRASH_MATRIX=1 ;;
     *) SANITIZERS+=("$arg") ;;
   esac
 done
@@ -50,6 +57,11 @@ for SANITIZER in "${SANITIZERS[@]}"; do
     -DDOMINO_SANITIZE="$SANITIZER"
   cmake --build "$BUILD_DIR" -j"$(nproc)"
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+  if [ "$CRASH_MATRIX" -eq 1 ]; then
+    echo "== check.sh: $SANITIZER exhaustive crash matrix =="
+    DOMINO_CRASH_MATRIX=1 "$BUILD_DIR/tests/pager_test" \
+      --gtest_filter='*CheckpointFaultMatrix*:*CrashMatrixTest*'
+  fi
   if [ "$BENCH_SMOKE" -eq 1 ]; then
     for BENCH in "$BUILD_DIR"/bench/bench_*; do
       [ -x "$BENCH" ] || continue

@@ -72,6 +72,67 @@ Status WritableFile::Close() {
   return Status::Ok();
 }
 
+RandomAccessFile::~RandomAccessFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<RandomAccessFile>> RandomAccessFile::Open(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) return ErrnoStatus("open " + path);
+  return std::unique_ptr<RandomAccessFile>(new RandomAccessFile(fd));
+}
+
+Status RandomAccessFile::Read(uint64_t offset, size_t n, char* out) const {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t got = ::pread(fd_, out + done, n - done,
+                          static_cast<off_t>(offset + done));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("pread");
+    }
+    if (got == 0) {
+      return Status::IOError("short read at offset " +
+                             std::to_string(offset + done));
+    }
+    done += static_cast<size_t>(got);
+  }
+  return Status::Ok();
+}
+
+Status RandomAccessFile::Write(uint64_t offset, std::string_view data) {
+  size_t done = 0;
+  while (done < data.size()) {
+    ssize_t n = ::pwrite(fd_, data.data() + done, data.size() - done,
+                         static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("pwrite");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status RandomAccessFile::Sync() {
+  if (::fsync(fd_) != 0) return ErrnoStatus("fsync");
+  return Status::Ok();
+}
+
+Status RandomAccessFile::Truncate(uint64_t size) {
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    return ErrnoStatus("ftruncate");
+  }
+  return Status::Ok();
+}
+
+Result<uint64_t> RandomAccessFile::Size() const {
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) return ErrnoStatus("fstat");
+  return static_cast<uint64_t>(st.st_size);
+}
+
 Result<std::string> ReadFileToString(const std::string& path) {
   int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
@@ -152,6 +213,19 @@ Result<uint64_t> FileSize(const std::string& path) {
 }
 
 Status TruncateFile(const std::string& path, uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return ErrnoStatus("truncate " + path);
+  }
+  return Status::Ok();
+}
+
+Status SimulateTornWrite(const std::string& path, uint64_t offset) {
+  DOMINO_ASSIGN_OR_RETURN(uint64_t size, FileSize(path));
+  if (offset > size) {
+    return Status::InvalidArgument("torn-write offset beyond file end");
+  }
+  DOMINO_RETURN_IF_ERROR(TruncateFile(path, offset));
+  // Re-extend to the original size; the cut range reads back as zeros.
   if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
     return ErrnoStatus("truncate " + path);
   }

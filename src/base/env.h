@@ -40,6 +40,39 @@ class WritableFile {
   std::string buffer_;
 };
 
+/// Random-access file handle (pread/pwrite) used by the pager's page
+/// file. Reads and writes are positioned and do not share a cursor, so
+/// concurrent readers are safe; writers must be externally serialized
+/// against writers to the same range.
+class RandomAccessFile {
+ public:
+  ~RandomAccessFile();
+
+  RandomAccessFile(const RandomAccessFile&) = delete;
+  RandomAccessFile& operator=(const RandomAccessFile&) = delete;
+
+  /// Opens `path` read/write, creating it if missing.
+  static Result<std::unique_ptr<RandomAccessFile>> Open(
+      const std::string& path);
+
+  /// Reads exactly `n` bytes at `offset` into `out`. Returns
+  /// OutOfRange when the file ends before `offset + n` (a torn or
+  /// never-written page, for the pager).
+  Status Read(uint64_t offset, size_t n, char* out) const;
+
+  /// Writes all of `data` at `offset`, extending the file as needed.
+  Status Write(uint64_t offset, std::string_view data);
+
+  Status Sync();
+  Status Truncate(uint64_t size);
+  Result<uint64_t> Size() const;
+
+ private:
+  explicit RandomAccessFile(int fd) : fd_(fd) {}
+
+  int fd_;
+};
+
 /// Reads the entire file into a string.
 Result<std::string> ReadFileToString(const std::string& path);
 
@@ -55,6 +88,13 @@ Result<uint64_t> FileSize(const std::string& path);
 
 /// Truncates `path` to `size` bytes (crash-injection helper for tests).
 Status TruncateFile(const std::string& path, uint64_t size);
+
+/// Crash-injection helper built on TruncateFile: models a torn sector
+/// write by cutting the file at `offset` and re-extending it to its
+/// original size with zero bytes. The range [offset, old_size) then
+/// reads back as zeros, which fails any CRC covering it — exactly what
+/// a power cut in the middle of an in-place page write leaves behind.
+Status SimulateTornWrite(const std::string& path, uint64_t offset);
 
 }  // namespace dominodb
 

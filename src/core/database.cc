@@ -324,9 +324,9 @@ bool Database::HasPendingIndexWork() const {
 }
 
 Status Database::ApplyIndexEvent(const indexer::NoteChange& change) {
-  const Note* note = change.kind == indexer::ChangeKind::kErased
-                         ? nullptr
-                         : store_->FindPtr(change.id);
+  NoteHandle note = change.kind == indexer::ChangeKind::kErased
+                        ? nullptr
+                        : store_->Find(change.id);
   if (note == nullptr) {
     // Erased, or purged before the drain caught up.
     for (auto& [name, view] : views_) view->Remove(change.id);
@@ -354,8 +354,13 @@ void Database::BackgroundIndexDrain(indexer::IndexerTask* task) {
       registry_->events().Log(stats::Severity::kWarning, "Indexer",
                               "background drain: " + status.message());
     }
-    // Idle-time threshold checkpointing: the pool worker pays for the
-    // snapshot, not a foreground writer.
+    // Idle-time threshold maintenance: the pool worker pays for the
+    // compaction slice and the snapshot, not a foreground writer.
+    Status comp = store_->MaybeCompact();
+    if (!comp.ok()) {
+      registry_->events().Log(stats::Severity::kWarning, "Store",
+                              "background compact: " + comp.message());
+    }
     Status ckpt = store_->MaybeCheckpoint();
     if (!ckpt.ok()) {
       registry_->events().Log(stats::Severity::kWarning, "Store",
@@ -490,7 +495,7 @@ Result<NoteId> Database::CreateNote(Note note) {
 
 Status Database::UpdateNote(Note note) {
   MutationGuard guard(this);
-  const Note* existing = store_->FindPtr(note.id());
+  NoteHandle existing = store_->Find(note.id());
   if (existing == nullptr || existing->deleted()) {
     return Status::NotFound(StrPrintf("note %u", note.id()));
   }
@@ -504,7 +509,7 @@ Status Database::UpdateNote(Note note) {
                   note.id(), existing->sequence(), note.sequence()));
   }
   note.BumpSequence(StampTime());
-  note.StampItemModifications(existing, note.sequence_time());
+  note.StampItemModifications(existing.get(), note.sequence_time());
   note.set_modified_in_file(StampTime());
   DOMINO_RETURN_IF_ERROR(store_->Put(&note));
   return AfterChange(note);
@@ -512,7 +517,7 @@ Status Database::UpdateNote(Note note) {
 
 Status Database::DeleteNote(NoteId id) {
   MutationGuard guard(this);
-  const Note* existing = store_->FindPtr(id);
+  NoteHandle existing = store_->Find(id);
   if (existing == nullptr || existing->deleted()) {
     return Status::NotFound(StrPrintf("note %u", id));
   }
@@ -525,7 +530,7 @@ Status Database::DeleteNote(NoteId id) {
 
 Result<Note> Database::ReadNote(NoteId id) const {
   ReadGuard lock(this);
-  const Note* note = store_->FindPtr(id);
+  NoteHandle note = store_->Find(id);
   if (note == nullptr || note->deleted()) {
     return Status::NotFound(StrPrintf("note %u", id));
   }
@@ -534,7 +539,7 @@ Result<Note> Database::ReadNote(NoteId id) const {
 
 Result<Note> Database::ReadNoteByUnid(const Unid& unid) const {
   ReadGuard lock(this);
-  const Note* note = store_->FindPtrByUnid(unid);
+  NoteHandle note = store_->FindByUnid(unid);
   if (note == nullptr || note->deleted()) {
     return Status::NotFound("unid " + unid.ToString());
   }
@@ -556,7 +561,7 @@ Result<NoteId> Database::CreateNoteAs(const Principal& who, Note note) {
 
 Status Database::UpdateNoteAs(const Principal& who, Note note) {
   MutationGuard guard(this);
-  const Note* existing = store_->FindPtr(note.id());
+  NoteHandle existing = store_->Find(note.id());
   if (existing == nullptr || existing->deleted()) {
     return Status::NotFound(StrPrintf("note %u", note.id()));
   }
@@ -573,7 +578,7 @@ Status Database::UpdateNoteAs(const Principal& who, Note note) {
 
 Status Database::DeleteNoteAs(const Principal& who, NoteId id) {
   MutationGuard guard(this);
-  const Note* existing = store_->FindPtr(id);
+  NoteHandle existing = store_->Find(id);
   if (existing == nullptr || existing->deleted()) {
     return Status::NotFound(StrPrintf("note %u", id));
   }
@@ -598,7 +603,7 @@ Result<Note> Database::ReadNoteAs(const Principal& who, NoteId id) const {
 
 Result<NoteId> Database::CreateResponse(const Unid& parent, Note note) {
   MutationGuard guard(this);
-  const Note* parent_note = store_->FindPtrByUnid(parent);
+  NoteHandle parent_note = store_->FindByUnid(parent);
   if (parent_note == nullptr || parent_note->deleted()) {
     return Status::NotFound("parent " + parent.ToString());
   }
@@ -676,7 +681,7 @@ Status Database::TraverseViewAs(
   std::vector<ViewRow> rows;
   view->Traverse([&](const ViewRow& row) {
     if (row.kind == ViewRow::Kind::kDocument) {
-      const Note* note = FindById(row.entry->note_id);
+      NoteHandle note = FindById(row.entry->note_id);
       if (note == nullptr || !CanReadDocument(access, who, *note)) return;
     }
     rows.push_back(row);
@@ -789,7 +794,7 @@ Result<std::vector<Note>> Database::FolderContents(
   const Value* refs = folder.FindValue("$FolderRefs");
   if (refs != nullptr) {
     for (const std::string& ref : refs->texts()) {
-      const Note* note = FindByUnid(Unid::FromString(ref));
+      NoteHandle note = FindByUnid(Unid::FromString(ref));
       if (note != nullptr) out.push_back(*note);
     }
   }
@@ -812,11 +817,15 @@ Status Database::EnsureFullTextIndex() {
   WriteGuard lock(this);
   if (fulltext_ != nullptr) return Status::Ok();
   fulltext_ = std::make_unique<FullTextIndex>(registry_);
-  // The store is frozen while we hold the lock, so pointers into it stay
-  // valid for the duration of the build (notes_ is a node-stable map).
+  // The paged store materializes notes per call rather than keeping them
+  // resident, so the build needs its own stable copies for the pointer
+  // spans BuildFrom shards across workers.
+  std::vector<Note> copies;
+  copies.reserve(store_->total_count());
+  store_->ForEach([&](const Note& note) { copies.push_back(note); });
   std::vector<const Note*> notes;
-  notes.reserve(store_->note_count());
-  store_->ForEach([&](const Note& note) { notes.push_back(&note); });
+  notes.reserve(copies.size());
+  for (const Note& note : copies) notes.push_back(&note);
   fulltext_->BuildFrom(notes, indexer_pool_);
   return Status::Ok();
 }
@@ -842,7 +851,7 @@ Result<std::vector<Note>> Database::SearchAs(const Principal& who,
   DOMINO_ASSIGN_OR_RETURN(auto hits, fulltext_->Search(query));
   std::vector<Note> out;
   for (const FtHit& hit : hits) {
-    const Note* note = store_->FindPtr(hit.note_id);
+    NoteHandle note = store_->Find(hit.note_id);
     if (note != nullptr && !note->deleted() &&
         CanReadDocument(access, who, *note)) {
       out.push_back(*note);
@@ -995,14 +1004,14 @@ std::vector<Database::Change> Database::ChangeSummarySince(
 
 Result<Note> Database::GetAnyByUnid(const Unid& unid) const {
   ReadGuard lock(this);
-  const Note* note = store_->FindPtrByUnid(unid);
+  NoteHandle note = store_->FindByUnid(unid);
   if (note == nullptr) return Status::NotFound("unid " + unid.ToString());
   return *note;
 }
 
 Status Database::InstallRemoteNote(Note note) {
   MutationGuard guard(this);
-  const Note* local = store_->FindPtrByUnid(note.unid());
+  NoteHandle local = store_->FindByUnid(note.unid());
   note.set_id(local != nullptr ? local->id() : kInvalidNoteId);
   note.set_modified_in_file(StampTime());
   DOMINO_RETURN_IF_ERROR(store_->Put(&note));
@@ -1120,6 +1129,20 @@ Status Database::Checkpoint() {
   return store_->Checkpoint();
 }
 
+Status Database::RunCompact() {
+  // Each slice holds the exclusive lock only while it copies a handful of
+  // pages; readers interleave between slices, which is what makes this
+  // the online COMPACT of the paper (§ compaction) rather than the
+  // offline copy-style one.
+  for (;;) {
+    WriteGuard lock(this);
+    DOMINO_ASSIGN_OR_RETURN(size_t reclaimed, store_->CompactStep(8));
+    if (reclaimed == 0) break;
+  }
+  WriteGuard lock(this);
+  return store_->Checkpoint();
+}
+
 // The NoteResolver overrides stay lock-free: parallel rebuild workers
 // call them while the rebuild coordinator holds the exclusive lock, and
 // locked entry points call them re-entrantly. Safe because every mutation
@@ -1128,14 +1151,14 @@ Status Database::Checkpoint() {
 // can legitimately be here. Opted out of the static analysis for exactly
 // that reason.
 
-const Note* Database::FindByUnid(const Unid& unid) const
+NoteHandle Database::FindByUnid(const Unid& unid) const
     NO_THREAD_SAFETY_ANALYSIS {
-  const Note* note = store_->FindPtrByUnid(unid);
+  NoteHandle note = store_->FindByUnid(unid);
   return (note != nullptr && !note->deleted()) ? note : nullptr;
 }
 
-const Note* Database::FindById(NoteId id) const NO_THREAD_SAFETY_ANALYSIS {
-  const Note* note = store_->FindPtr(id);
+NoteHandle Database::FindById(NoteId id) const NO_THREAD_SAFETY_ANALYSIS {
+  NoteHandle note = store_->Find(id);
   return (note != nullptr && !note->deleted()) ? note : nullptr;
 }
 
@@ -1221,6 +1244,7 @@ Status Database::AfterChange(const Note& note) {
   // maintenance, never inside the store's commit path. With an indexer
   // attached the background drain is the (idler) checkpoint hook instead.
   if (indexer_ == nullptr) {
+    DOMINO_RETURN_IF_ERROR(store_->MaybeCompact());
     DOMINO_RETURN_IF_ERROR(store_->MaybeCheckpoint());
   }
   return Status::Ok();

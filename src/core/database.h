@@ -246,6 +246,9 @@ class Database : public NoteResolver {
   // -- Observation / iteration ----------------------------------------------
   void AddObserver(DatabaseObserver* observer);
   void RemoveObserver(DatabaseObserver* observer);
+  /// The `Note&` passed to `fn` is a decode of the on-page image and only
+  /// valid for the duration of the callback — copy it (or re-Find a
+  /// NoteHandle) to keep it.
   void ForEachLiveNote(const std::function<void(const Note&)>& fn) const;
   void ForEachNote(const std::function<void(const Note&)>& fn) const;
 
@@ -257,10 +260,16 @@ class Database : public NoteResolver {
   /// Writes a checkpoint snapshot (fast restart).
   Status Checkpoint();
 
+  /// Online COMPACT: copies live notes out of fragmented pages until no
+  /// reclaimable space remains, then checkpoints so the reclaim is
+  /// durable. Runs in bounded slices, releasing the exclusive lock
+  /// between them so readers interleave with the copy.
+  Status RunCompact();
+
   // -- NoteResolver (for view indexes) ---------------------------------------
   // Lock-free; see the class comment for why this is safe.
-  const Note* FindByUnid(const Unid& unid) const override;
-  const Note* FindById(NoteId id) const override;
+  NoteHandle FindByUnid(const Unid& unid) const override;
+  NoteHandle FindById(NoteId id) const override;
   std::vector<NoteId> ChildrenOf(const Unid& parent) const override;
 
  private:

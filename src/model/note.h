@@ -2,6 +2,7 @@
 #define DOMINODB_MODEL_NOTE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -186,6 +187,12 @@ class Note {
   std::vector<Micros> revisions_;
   std::vector<Item> items_;
 };
+
+/// Owning read handle to a stored note. The paged store decodes notes
+/// out of pinned buffer-pool pages, so borrowed pointers into the store
+/// would dangle across eviction — lookups hand out shared ownership of
+/// the decoded copy instead. Null means "not found".
+using NoteHandle = std::shared_ptr<const Note>;
 
 }  // namespace dominodb
 

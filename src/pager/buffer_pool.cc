@@ -1,0 +1,190 @@
+#include "pager/buffer_pool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace dominodb::pager {
+
+namespace {
+BufferPool::Frame* AsFrame(void* p) {
+  return static_cast<BufferPool::Frame*>(p);
+}
+}  // namespace
+
+PageRef& PageRef::operator=(PageRef&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    other.pool_ = nullptr;
+    other.frame_ = nullptr;
+  }
+  return *this;
+}
+
+PageRef::~PageRef() { Release(); }
+
+void PageRef::Release() {
+  if (frame_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+    frame_ = nullptr;
+  }
+}
+
+uint32_t PageRef::pgno() const { return AsFrame(frame_)->pgno; }
+char* PageRef::data() { return AsFrame(frame_)->data.get(); }
+const char* PageRef::data() const { return AsFrame(frame_)->data.get(); }
+void PageRef::MarkDirty() { pool_->MarkDirtyFrame(frame_); }
+
+BufferPool::BufferPool(Pager* pager, size_t capacity,
+                       stats::StatRegistry* registry)
+    : pager_(pager),
+      capacity_(std::max<size_t>(1, capacity)),
+      hits_(&registry->GetCounter("Store.Cache.Hits")),
+      misses_(&registry->GetCounter("Store.Cache.Misses")),
+      evictions_(&registry->GetCounter("Store.Cache.Evictions")),
+      overruns_(&registry->GetCounter("Store.Cache.CapacityOverruns")),
+      gauge_pages_(&registry->GetGauge("Store.Cache.Pages")),
+      gauge_dirty_(&registry->GetGauge("Store.Cache.DirtyPages")) {}
+
+Result<PageRef> BufferPool::Pin(uint32_t pgno) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = frames_.find(pgno);
+  if (it != frames_.end()) {
+    hits_->Add();
+    lru_.splice(lru_.begin(), lru_, it->second);
+    Frame& frame = *it->second;
+    ++frame.pins;
+    return PageRef(this, &frame);
+  }
+  misses_->Add();
+  lru_.emplace_front();
+  Frame& frame = lru_.front();
+  frame.pgno = pgno;
+  frame.data = std::make_unique<char[]>(pager_->page_size());
+  Status s = pager_->ReadPage(pgno, frame.data.get());
+  if (!s.ok()) {
+    lru_.pop_front();
+    return s;
+  }
+  frame.pins = 1;
+  frames_[pgno] = lru_.begin();
+  gauge_pages_->Set(static_cast<int64_t>(lru_.size()));
+  EvictLocked();
+  return PageRef(this, &frame);
+}
+
+PageRef BufferPool::PinNew(uint32_t pgno, uint8_t type) {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(frames_.find(pgno) == frames_.end());
+  lru_.emplace_front();
+  Frame& frame = lru_.front();
+  frame.pgno = pgno;
+  frame.data = std::make_unique<char[]>(pager_->page_size());
+  std::memset(frame.data.get(), 0, pager_->page_size());
+  frame.data[kPageTypeOffset] = static_cast<char>(type);
+  StoreU32(frame.data.get() + kPageNextOffset, kInvalidPage);
+  frame.pins = 1;
+  frame.dirty = true;
+  ++dirty_;
+  frames_[pgno] = lru_.begin();
+  gauge_pages_->Set(static_cast<int64_t>(lru_.size()));
+  gauge_dirty_->Set(static_cast<int64_t>(dirty_));
+  EvictLocked();
+  return PageRef(this, &frame);
+}
+
+void BufferPool::Discard(uint32_t pgno) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = frames_.find(pgno);
+  if (it == frames_.end()) return;
+  assert(it->second->pins == 0);
+  if (it->second->dirty) --dirty_;
+  lru_.erase(it->second);
+  frames_.erase(it);
+  gauge_pages_->Set(static_cast<int64_t>(lru_.size()));
+  gauge_dirty_->Set(static_cast<int64_t>(dirty_));
+}
+
+void BufferPool::DiscardAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  frames_.clear();
+  dirty_ = 0;
+  gauge_pages_->Set(0);
+  gauge_dirty_->Set(0);
+}
+
+Status BufferPool::ForEachDirty(
+    const std::function<Status(uint32_t, char*)>& fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Frame*> dirty;
+  dirty.reserve(dirty_);
+  for (Frame& frame : lru_) {
+    if (frame.dirty) dirty.push_back(&frame);
+  }
+  std::sort(dirty.begin(), dirty.end(),
+            [](const Frame* a, const Frame* b) { return a->pgno < b->pgno; });
+  for (Frame* frame : dirty) {
+    DOMINO_RETURN_IF_ERROR(fn(frame->pgno, frame->data.get()));
+  }
+  return Status::Ok();
+}
+
+void BufferPool::MarkAllClean() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Frame& frame : lru_) frame.dirty = false;
+  dirty_ = 0;
+  gauge_dirty_->Set(0);
+  EvictLocked();
+}
+
+size_t BufferPool::frame_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+size_t BufferPool::dirty_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dirty_;
+}
+
+void BufferPool::Unpin(void* frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Frame* f = AsFrame(frame);
+  assert(f->pins > 0);
+  --f->pins;
+  if (f->pins == 0 && !f->dirty && lru_.size() > capacity_) EvictLocked();
+}
+
+void BufferPool::MarkDirtyFrame(void* frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Frame* f = AsFrame(frame);
+  if (!f->dirty) {
+    f->dirty = true;
+    ++dirty_;
+    gauge_dirty_->Set(static_cast<int64_t>(dirty_));
+  }
+}
+
+void BufferPool::EvictLocked() {
+  if (lru_.size() <= capacity_) return;
+  for (auto it = std::prev(lru_.end()); lru_.size() > capacity_;) {
+    Frame& frame = *it;
+    bool at_begin = it == lru_.begin();
+    auto prev = at_begin ? lru_.begin() : std::prev(it);
+    if (frame.pins == 0 && !frame.dirty) {
+      frames_.erase(frame.pgno);
+      lru_.erase(it);
+      evictions_->Add();
+    }
+    if (at_begin) break;
+    it = prev;
+  }
+  gauge_pages_->Set(static_cast<int64_t>(lru_.size()));
+  if (lru_.size() > capacity_) overruns_->Add();
+}
+
+}  // namespace dominodb::pager

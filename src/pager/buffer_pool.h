@@ -1,0 +1,126 @@
+#ifndef DOMINODB_PAGER_BUFFER_POOL_H_
+#define DOMINODB_PAGER_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+#include "pager/pager.h"
+#include "stats/stats.h"
+
+namespace dominodb::pager {
+
+class BufferPool;
+
+/// RAII pin on a buffer-pool frame. While a PageRef is alive the frame
+/// cannot be evicted, so the data pointer stays valid. Mutating the page
+/// (data() writes, MarkDirty) is only legal under the owning store's
+/// writer lock; concurrent readers may hold pins and read freely.
+class PageRef {
+ public:
+  PageRef() = default;
+  PageRef(const PageRef&) = delete;
+  PageRef& operator=(const PageRef&) = delete;
+  PageRef(PageRef&& other) noexcept { *this = std::move(other); }
+  PageRef& operator=(PageRef&& other) noexcept;
+  ~PageRef();
+
+  explicit operator bool() const { return frame_ != nullptr; }
+  uint32_t pgno() const;
+  char* data();
+  const char* data() const;
+  /// Flags the frame for write-back at the next checkpoint. Dirty frames
+  /// are never evicted — the WAL holds the logical ops that produced
+  /// them, so losing them in a crash is safe, but writing them to the
+  /// page file outside the checkpoint protocol would not be.
+  void MarkDirty();
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageRef(BufferPool* pool, void* frame) : pool_(pool), frame_(frame) {}
+
+  BufferPool* pool_ = nullptr;
+  void* frame_ = nullptr;
+};
+
+/// Page cache between the store and the pager: bounded set of in-memory
+/// frames with LRU eviction. Only clean, unpinned frames are evictable;
+/// when every frame is dirty or pinned the pool grows past capacity (and
+/// counts the overrun) rather than violating the write-back protocol.
+/// All bookkeeping is guarded by an internal mutex so shared-lock
+/// readers can pin/unpin concurrently.
+class BufferPool {
+ public:
+  BufferPool(Pager* pager, size_t capacity, stats::StatRegistry* registry);
+
+  /// Pins page `pgno`, reading (and CRC-checking) it on a miss.
+  Result<PageRef> Pin(uint32_t pgno);
+
+  /// Pins a brand-new frame for `pgno` — zeroed, typed, dirty — without
+  /// touching disk. For pages just allocated by the pager.
+  PageRef PinNew(uint32_t pgno, uint8_t type);
+
+  /// Drops the frame for a freed page (must be unpinned).
+  void Discard(uint32_t pgno);
+  /// Drops every frame, dirty or not (recovery adopts a page-image
+  /// snapshot that supersedes all in-memory state). No pins may be live.
+  void DiscardAll();
+
+  /// Invokes `fn(pgno, data)` for every dirty frame in ascending page
+  /// order (checkpoint write-back). `fn` may mutate the buffer (CRC
+  /// stamping). Stops on the first error.
+  Status ForEachDirty(const std::function<Status(uint32_t, char*)>& fn);
+  void MarkAllClean();
+
+  size_t frame_count() const;
+  size_t dirty_count() const;
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const { return hits_->value(); }
+  uint64_t misses() const { return misses_->value(); }
+
+  /// Public only so the implementation can cast PageRef's opaque frame
+  /// pointer; not part of the API.
+  struct Frame {
+    uint32_t pgno = kInvalidPage;
+    std::unique_ptr<char[]> data;
+    int pins = 0;
+    bool dirty = false;
+  };
+
+ private:
+  friend class PageRef;
+
+  using FrameList = std::list<Frame>;
+
+  void Unpin(void* frame);
+  void MarkDirtyFrame(void* frame);
+  /// Evicts clean unpinned frames from the LRU tail until the pool fits
+  /// its capacity or nothing more is evictable. Caller holds mu_.
+  void EvictLocked();
+
+  Pager* const pager_;
+  const size_t capacity_;
+
+  mutable std::mutex mu_;
+  FrameList lru_;  // front = most recently used
+  std::unordered_map<uint32_t, FrameList::iterator> frames_;
+  size_t dirty_ = 0;
+
+  stats::Counter* hits_;
+  stats::Counter* misses_;
+  stats::Counter* evictions_;
+  stats::Counter* overruns_;
+  stats::Gauge* gauge_pages_;
+  stats::Gauge* gauge_dirty_;
+};
+
+}  // namespace dominodb::pager
+
+#endif  // DOMINODB_PAGER_BUFFER_POOL_H_

@@ -1,0 +1,114 @@
+#include "pager/pager.h"
+
+#include <cassert>
+
+#include "base/crc32c.h"
+
+namespace dominodb::pager {
+
+uint16_t LoadU16(const char* p) {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint16_t>(u[0] | u[1] << 8);
+}
+
+uint32_t LoadU32(const char* p) {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(u[i]) << (8 * i);
+  return v;
+}
+
+uint64_t LoadU64(const char* p) {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(u[i]) << (8 * i);
+  return v;
+}
+
+void StoreU16(char* p, uint16_t v) {
+  p[0] = static_cast<char>(v & 0xff);
+  p[1] = static_cast<char>(v >> 8);
+}
+
+void StoreU32(char* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+void StoreU64(char* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path,
+                                           uint32_t page_size) {
+  if (page_size < 64 || (page_size & (page_size - 1)) != 0) {
+    return Status::InvalidArgument("page size must be a power of two >= 64");
+  }
+  DOMINO_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> file,
+                          RandomAccessFile::Open(path));
+  return std::unique_ptr<Pager>(new Pager(std::move(file), page_size));
+}
+
+uint32_t Pager::Allocate() {
+  if (!free_.empty()) {
+    uint32_t pgno = *free_.begin();
+    free_.erase(free_.begin());
+    return pgno;
+  }
+  return page_count_++;
+}
+
+void Pager::Free(uint32_t pgno) {
+  assert(pgno < page_count_);
+  free_.insert(pgno);
+}
+
+Status Pager::ReadPage(uint32_t pgno, char* out) const {
+  Status s = file_->Read(static_cast<uint64_t>(pgno) * page_size_, page_size_,
+                         out);
+  if (!s.ok()) {
+    return Status::Corruption("page " + std::to_string(pgno) +
+                              " unreadable: " + s.ToString());
+  }
+  uint32_t stored = crc32c::Unmask(LoadU32(out + kPageCrcOffset));
+  uint32_t actual = crc32c::Value(
+      std::string_view(out + kPageCrcOffset + 4, page_size_ - 4));
+  if (stored != actual) {
+    return Status::Corruption("page " + std::to_string(pgno) +
+                              " CRC mismatch (torn page)");
+  }
+  return Status::Ok();
+}
+
+Status Pager::WritePage(uint32_t pgno, char* data) {
+  uint32_t crc = crc32c::Value(
+      std::string_view(data + kPageCrcOffset + 4, page_size_ - 4));
+  StoreU32(data + kPageCrcOffset, crc32c::Mask(crc));
+  return file_->Write(static_cast<uint64_t>(pgno) * page_size_,
+                      std::string_view(data, page_size_));
+}
+
+Status Pager::Sync() { return file_->Sync(); }
+
+void Pager::TrimFreeTail() {
+  while (page_count_ > 0 && !free_.empty() &&
+         *free_.rbegin() == page_count_ - 1) {
+    free_.erase(std::prev(free_.end()));
+    --page_count_;
+  }
+}
+
+Status Pager::TruncateToWatermark() {
+  uint64_t want = static_cast<uint64_t>(page_count_) * page_size_;
+  DOMINO_ASSIGN_OR_RETURN(uint64_t have, file_->Size());
+  if (have > want) DOMINO_RETURN_IF_ERROR(file_->Truncate(want));
+  return Status::Ok();
+}
+
+void Pager::SetState(uint32_t page_count,
+                     const std::vector<uint32_t>& free_pages) {
+  page_count_ = page_count;
+  free_.clear();
+  free_.insert(free_pages.begin(), free_pages.end());
+}
+
+}  // namespace dominodb::pager

@@ -1,0 +1,118 @@
+#ifndef DOMINODB_PAGER_PAGER_H_
+#define DOMINODB_PAGER_PAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/env.h"
+#include "base/result.h"
+#include "base/status.h"
+
+namespace dominodb::pager {
+
+/// Page numbers are dense indexes into the page file; page 0 is a real
+/// data page (there is no superblock — durable geometry lives in the
+/// store's meta file, which is written atomically at checkpoint).
+constexpr uint32_t kInvalidPage = 0xFFFFFFFFu;
+
+/// Every page starts with a 16-byte header:
+///
+///   [0..4)   masked crc32c over bytes [4, page_size)
+///   [4]      page type (PageType)
+///   [5]      unused
+///   [6..8)   slot count (bucket pages) — fixed16
+///   [8..10)  free offset / chunk length — fixed16
+///   [10..12) unused
+///   [12..16) next page in chain (overflow) — fixed32, kInvalidPage ends
+constexpr size_t kPageHeaderSize = 16;
+constexpr size_t kPageCrcOffset = 0;
+constexpr size_t kPageTypeOffset = 4;
+constexpr size_t kPageNSlotsOffset = 6;
+constexpr size_t kPageFreeOffOffset = 8;
+constexpr size_t kPageNextOffset = 12;
+
+enum PageType : uint8_t {
+  kPageFree = 0,
+  kPageBucket = 1,    // slotted page of encoded notes
+  kPageIdTable = 2,   // fixed-width note-id table entries
+  kPageOverflow = 3,  // chunk of a note too large for one bucket slot
+};
+
+/// Raw little-endian field accessors for page buffers.
+uint16_t LoadU16(const char* p);
+uint32_t LoadU32(const char* p);
+uint64_t LoadU64(const char* p);
+void StoreU16(char* p, uint16_t v);
+void StoreU32(char* p, uint32_t v);
+void StoreU64(char* p, uint64_t v);
+
+/// The page file: fixed-size pages over a RandomAccessFile, with an
+/// in-memory free list and allocation watermark. Allocation state is
+/// volatile — it becomes durable only when the owning store checkpoints
+/// it into its meta file — so a crash simply rewinds allocation to the
+/// last checkpoint, matching the WAL-replay story for page contents.
+///
+/// ReadPage verifies the page CRC; WritePage stamps it. The pager never
+/// decides *when* to write — the buffer pool holds dirty pages until the
+/// store's checkpoint protocol (WAL page images first) flushes them, so
+/// every in-place write here is redo-protected by the caller.
+class Pager {
+ public:
+  static Result<std::unique_ptr<Pager>> Open(const std::string& path,
+                                             uint32_t page_size);
+
+  uint32_t page_size() const { return page_size_; }
+  uint32_t page_count() const { return page_count_; }
+  size_t free_count() const { return free_.size(); }
+  /// Pages neither free nor beyond the watermark.
+  uint32_t used_count() const {
+    return page_count_ - static_cast<uint32_t>(free_.size());
+  }
+
+  /// Returns a page number to (re)use: lowest free page, else a fresh
+  /// page past the watermark. The caller owns initializing its content.
+  uint32_t Allocate();
+  void Free(uint32_t pgno);
+
+  /// Reads page `pgno` into `out` (page_size bytes) and verifies its
+  /// CRC. A short read or CRC mismatch is Corruption — a torn page.
+  Status ReadPage(uint32_t pgno, char* out) const;
+
+  /// Stamps the CRC into `data` (page_size bytes, mutated in place) and
+  /// writes it at the page's offset.
+  Status WritePage(uint32_t pgno, char* data);
+
+  Status Sync();
+
+  /// Shrinks the allocation state by dropping free pages at the tail of
+  /// the address space (in memory only; pair with TruncateToWatermark
+  /// once the shrunken geometry is durable).
+  void TrimFreeTail();
+  /// Truncates the file to page_count * page_size.
+  Status TruncateToWatermark();
+
+  Result<uint64_t> FileSize() const { return file_->Size(); }
+
+  /// Adopts checkpointed geometry (recovery / meta load).
+  void SetState(uint32_t page_count, const std::vector<uint32_t>& free_pages);
+
+  std::vector<uint32_t> FreePages() const {
+    return std::vector<uint32_t>(free_.begin(), free_.end());
+  }
+
+ private:
+  Pager(std::unique_ptr<RandomAccessFile> file, uint32_t page_size)
+      : file_(std::move(file)), page_size_(page_size) {}
+
+  std::unique_ptr<RandomAccessFile> file_;
+  const uint32_t page_size_;
+  uint32_t page_count_ = 0;  // allocation watermark, in pages
+  std::set<uint32_t> free_;  // ordered so Allocate reuses low pages first
+};
+
+}  // namespace dominodb::pager
+
+#endif  // DOMINODB_PAGER_PAGER_H_

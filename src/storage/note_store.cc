@@ -1,8 +1,11 @@
 #include "storage/note_store.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cstring>
 
 #include "base/coding.h"
+#include "base/crc32c.h"
 #include "base/env.h"
 #include "wal/log_reader.h"
 
@@ -16,6 +19,47 @@ constexpr uint8_t kOpErase = 2;
 constexpr uint8_t kOpInfo = 3;
 
 constexpr char kSnapshotMagic[] = "DSNP1";
+constexpr char kMetaMagic[] = "DMET1";
+constexpr uint8_t kMetaVersion = 1;
+constexpr uint8_t kPagerSnapshotVersion = 1;
+
+// Id-table entry: unid(16) + page(4) + slot(2) + flags(1) + pad(1) +
+// sequence time(8).
+constexpr size_t kIdEntrySize = 32;
+constexpr uint8_t kEntryUsed = 1;
+constexpr uint8_t kEntryDeleted = 2;
+constexpr uint8_t kEntryOverflow = 4;
+
+// A bucket slot costs its length prefix (2) plus its directory word (2)
+// on top of the payload bytes.
+constexpr size_t kSlotOverhead = 4;
+constexpr uint16_t kDeadSlot = 0xFFFF;
+
+using pager::kInvalidPage;
+using pager::kPageHeaderSize;
+using pager::LoadU16;
+using pager::LoadU32;
+using pager::LoadU64;
+using pager::StoreU16;
+using pager::StoreU32;
+using pager::StoreU64;
+
+uint16_t PageNSlots(const char* page) {
+  return LoadU16(page + pager::kPageNSlotsOffset);
+}
+uint16_t PageFreeOff(const char* page) {
+  return LoadU16(page + pager::kPageFreeOffOffset);
+}
+uint32_t PageNext(const char* page) {
+  return LoadU32(page + pager::kPageNextOffset);
+}
+uint8_t PageTypeOf(const char* page) {
+  return static_cast<uint8_t>(page[pager::kPageTypeOffset]);
+}
+// Directory word of slot `i` sits at the page tail, growing downward.
+size_t DirOffset(uint32_t page_size, size_t i) {
+  return page_size - 2 * (i + 1);
+}
 
 }  // namespace
 
@@ -41,7 +85,7 @@ Status DatabaseInfo::DecodeFrom(std::string_view* input, DatabaseInfo* out) {
 }
 
 NoteStore::NoteStore(std::string dir, StoreOptions options)
-    : dir_(std::move(dir)), options_(options) {
+    : dir_(std::move(dir)), options_(std::move(options)) {
   registry_ = options_.stats != nullptr ? options_.stats
                                         : &stats::StatRegistry::Global();
   ctr_docs_added_ = &registry_->GetCounter("Database.Docs.Added");
@@ -52,7 +96,13 @@ NoteStore::NoteStore(std::string dir, StoreOptions options)
   ctr_checkpoints_ = &registry_->GetCounter("Database.Checkpoints");
   ctr_wal_records_ = &registry_->GetCounter("Database.WAL.Records");
   ctr_wal_bytes_ = &registry_->GetCounter("Database.WAL.Bytes");
+  ctr_compact_runs_ = &registry_->GetCounter("Store.Compact.Runs");
+  ctr_compact_pages_ = &registry_->GetCounter("Store.Compact.PagesReclaimed");
+  ctr_compact_bytes_ = &registry_->GetCounter("Store.Compact.BytesReclaimed");
+  ctr_compact_moved_ = &registry_->GetCounter("Store.Compact.NotesMoved");
+  ctr_pages_freed_inline_ = &registry_->GetCounter("Store.Pages.FreedInline");
   gauge_notes_ = &registry_->GetGauge("Database.Docs.Current");
+  gauge_dead_bytes_ = &registry_->GetGauge("Store.DeadBytes");
   hist_commit_micros_ =
       &registry_->GetHistogram("Database.WAL.CommitMicros");
 }
@@ -62,10 +112,53 @@ Result<std::unique_ptr<NoteStore>> NoteStore::Open(
     const DatabaseInfo& default_info) {
   DOMINO_RETURN_IF_ERROR(CreateDirIfMissing(dir));
   std::unique_ptr<NoteStore> store(new NoteStore(dir, options));
-  DOMINO_RETURN_IF_ERROR(store->Recover(default_info));
+
+  // An existing meta file is authoritative for the page size; the pager
+  // must be opened with it before anything else touches pages.
+  std::string meta_blob;
+  bool have_meta = false;
+  uint32_t page_size = options.page_size;
+  auto meta_bytes = ReadFileToString(store->MetaPath());
+  if (meta_bytes.ok()) {
+    std::string_view raw = *meta_bytes;
+    constexpr size_t kMagicLen = sizeof(kMetaMagic) - 1;
+    if (raw.size() < kMagicLen + 4 + 5 ||
+        raw.substr(0, kMagicLen) != kMetaMagic) {
+      return Status::Corruption("notes.meta: bad magic");
+    }
+    std::string_view body = raw.substr(kMagicLen, raw.size() - kMagicLen - 4);
+    std::string_view crc_bytes = raw.substr(raw.size() - 4);
+    uint32_t stored = 0;
+    GetFixed32(&crc_bytes, &stored);
+    if (crc32c::Unmask(stored) != crc32c::Value(body)) {
+      return Status::Corruption("notes.meta: CRC mismatch");
+    }
+    if (static_cast<uint8_t>(body[0]) != kMetaVersion) {
+      return Status::Corruption("notes.meta: unknown version");
+    }
+    std::string_view peek = body.substr(1);
+    if (!GetFixed32(&peek, &page_size)) {
+      return Status::Corruption("notes.meta: truncated");
+    }
+    meta_blob = std::string(body);
+    have_meta = true;
+  } else if (!meta_bytes.status().IsNotFound()) {
+    return meta_bytes.status();
+  }
+  if (page_size > 32768) {
+    // Slot directories and chunk lengths are 16-bit offsets.
+    return Status::InvalidArgument("page size must be <= 32768");
+  }
+
+  DOMINO_ASSIGN_OR_RETURN(store->pager_,
+                          pager::Pager::Open(store->PagesPath(), page_size));
+  store->pool_ = std::make_unique<pager::BufferPool>(
+      store->pager_.get(), options.cache_pages, store->registry_);
+
+  DOMINO_RETURN_IF_ERROR(store->Recover(default_info, meta_blob, have_meta));
   // Fresh = nothing on disk and nothing replayed from the shared log; the
   // seed metadata is then persisted below so the replica id survives.
-  const bool fresh = !FileExists(store->SnapshotPath()) &&
+  const bool fresh = !have_meta && !FileExists(store->SnapshotPath()) &&
                      !FileExists(store->WalPath()) &&
                      store->stats_.recovered_records == 0;
   store->registry_->GetCounter("Database.Opens").Add();
@@ -83,13 +176,24 @@ Result<std::unique_ptr<NoteStore>> NoteStore::Open(
   return store;
 }
 
-Status NoteStore::Recover(const DatabaseInfo& default_info) {
+Status NoteStore::Recover(const DatabaseInfo& default_info,
+                          std::string_view meta_blob, bool have_meta) {
   info_ = default_info;
-  auto snapshot = ReadFileToString(SnapshotPath());
-  if (snapshot.ok()) {
-    DOMINO_RETURN_IF_ERROR(LoadSnapshot(*snapshot));
-  } else if (!snapshot.status().IsNotFound()) {
-    return snapshot.status();
+  if (have_meta) {
+    // Geometry only — no page reads yet. The index rebuild (which walks
+    // id-table pages) waits until after WAL replay: a crash mid-checkpoint
+    // can leave an id-table page torn, and the snapshot record in the log
+    // must repair it before anything reads it.
+    DOMINO_RETURN_IF_ERROR(DecodeMetaBlob(meta_blob));
+  } else {
+    // Pre-pager stores kept a monolithic snapshot; migrate it into pages
+    // (it is deleted once the first checkpoint lands a meta file).
+    auto snapshot = ReadFileToString(SnapshotPath());
+    if (snapshot.ok()) {
+      DOMINO_RETURN_IF_ERROR(LoadLegacySnapshot(*snapshot));
+    } else if (!snapshot.status().IsNotFound()) {
+      return snapshot.status();
+    }
   }
   if (uses_shared_log()) {
     DOMINO_RETURN_IF_ERROR(RecoverFromSharedLog());
@@ -99,17 +203,20 @@ Status NoteStore::Recover(const DatabaseInfo& default_info) {
       wal::LogReader reader(std::move(*log));
       wal::RecordType type;
       std::string_view payload;
+      std::vector<std::pair<wal::RecordType, std::string>> records;
       while (reader.ReadRecord(&type, &payload)) {
-        if (type == wal::RecordType::kData) {
-          DOMINO_RETURN_IF_ERROR(ApplyBatchPayload(payload, true));
-          stats_.recovered_records++;
-        }
+        records.emplace_back(type, std::string(payload));
       }
       stats_.recovered_torn_tail = reader.tail_corrupted();
+      DOMINO_RETURN_IF_ERROR(ReplayRecords(records));
     } else if (!log.status().IsNotFound()) {
       return log.status();
     }
   }
+  // Authoritative index state from the (now repaired) id-table pages.
+  // Replay above maintained counts incrementally; this scan replaces them
+  // with ground truth and is idempotent after a snapshot adoption.
+  DOMINO_RETURN_IF_ERROR(RebuildIndexFromIdTable());
   if (stats_.recovered_records > 0 || stats_.recovered_torn_tail) {
     registry_->GetCounter("Database.WAL.Recovery.Runs").Add();
     registry_->GetCounter("Database.WAL.Recovery.Records")
@@ -129,51 +236,215 @@ Status NoteStore::Recover(const DatabaseInfo& default_info) {
 }
 
 Status NoteStore::RecoverFromSharedLog() {
-  // Collect this stream's records, then apply only the suffix after its
+  // Collect this stream's records, then replay only the suffix after its
   // last checkpoint marker: everything at or before the marker is already
-  // captured in the snapshot loaded above. (The marker is committed right
-  // after its snapshot, so if a crash separates the two, replaying from
-  // the previous marker is still correct — records are whole note states,
-  // and an ordered replay converges on the newest version.)
-  struct Rec {
-    wal::RecordType type;
-    std::string payload;
-  };
-  std::vector<Rec> records;
+  // captured in the meta/page state loaded above.
+  std::vector<std::pair<wal::RecordType, std::string>> records;
   bool torn = false;
   DOMINO_RETURN_IF_ERROR(options_.shared_log->ReplayStream(
       options_.shared_stream,
       [&records](wal::RecordType type, std::string_view payload) {
-        records.push_back(Rec{type, std::string(payload)});
+        records.emplace_back(type, std::string(payload));
         return Status::Ok();
       },
       &torn));
   size_t start = 0;
   for (size_t i = 0; i < records.size(); ++i) {
-    if (records[i].type == wal::RecordType::kCheckpoint) start = i + 1;
+    if (records[i].first == wal::RecordType::kCheckpoint) start = i + 1;
+  }
+  records.erase(records.begin(), records.begin() + start);
+  stats_.recovered_torn_tail = torn;
+  return ReplayRecords(records);
+}
+
+Status NoteStore::ReplayRecords(
+    const std::vector<std::pair<wal::RecordType, std::string>>& records) {
+  // The last kPagerSnapshot supersedes everything before it — and its
+  // page images must go down first, because they are what repairs a page
+  // torn by a crashed in-place checkpoint write (replaying logical ops
+  // through a torn page would fail its CRC check).
+  size_t start = 0;
+  for (size_t i = records.size(); i > 0; --i) {
+    if (records[i - 1].first == wal::RecordType::kPagerSnapshot) {
+      DOMINO_RETURN_IF_ERROR(AdoptPagerSnapshot(records[i - 1].second));
+      start = i;
+      break;
+    }
   }
   for (size_t i = start; i < records.size(); ++i) {
-    if (records[i].type != wal::RecordType::kData) continue;
-    DOMINO_RETURN_IF_ERROR(ApplyBatchPayload(records[i].payload, true));
+    if (records[i].first != wal::RecordType::kData) continue;
+    DOMINO_RETURN_IF_ERROR(ApplyBatchPayload(records[i].second, true));
     stats_.recovered_records++;
   }
-  stats_.recovered_torn_tail = torn;
   return Status::Ok();
 }
 
-std::string NoteStore::EncodeSnapshot() const {
-  std::string out(kSnapshotMagic);
-  info_.EncodeTo(&out);
+// -- Meta / snapshot encoding ---------------------------------------------
+
+std::string NoteStore::EncodeMetaBlob() const {
+  std::string out;
+  out.push_back(static_cast<char>(kMetaVersion));
+  PutFixed32(&out, pager_->page_size());
+  PutFixed32(&out, pager_->page_count());
   PutFixed32(&out, next_id_);
-  PutVarint64(&out, notes_.size());
-  for (const auto& [id, note] : notes_) {
-    std::string encoded = note.EncodeToString();
-    PutLengthPrefixed(&out, encoded);
+  PutFixed32(&out, fill_page_);
+  std::string info;
+  info_.EncodeTo(&info);
+  PutLengthPrefixed(&out, info);
+  std::vector<uint32_t> free_pages = pager_->FreePages();
+  PutVarint64(&out, free_pages.size());
+  for (uint32_t pg : free_pages) PutFixed32(&out, pg);
+  PutVarint64(&out, id_table_pages_.size());
+  for (uint32_t pg : id_table_pages_) PutFixed32(&out, pg);
+  PutVarint64(&out, dead_bytes_.size());
+  for (const auto& [pg, bytes] : dead_bytes_) {
+    PutFixed32(&out, pg);
+    PutVarint64(&out, bytes);
   }
   return out;
 }
 
-Status NoteStore::LoadSnapshot(std::string_view data) {
+Status NoteStore::DecodeMetaBlob(std::string_view input) {
+  if (input.empty() || static_cast<uint8_t>(input[0]) != kMetaVersion) {
+    return Status::Corruption("pager meta: unknown version");
+  }
+  input.remove_prefix(1);
+  uint32_t page_size = 0;
+  uint32_t page_count = 0;
+  uint32_t next_id = 0;
+  uint32_t fill_page = 0;
+  std::string_view info_bytes;
+  if (!GetFixed32(&input, &page_size) || !GetFixed32(&input, &page_count) ||
+      !GetFixed32(&input, &next_id) || !GetFixed32(&input, &fill_page) ||
+      !GetLengthPrefixed(&input, &info_bytes)) {
+    return Status::Corruption("pager meta: truncated header");
+  }
+  if (page_size != pager_->page_size()) {
+    return Status::Corruption("pager meta: page size mismatch");
+  }
+  std::string_view info_cursor = info_bytes;
+  DOMINO_RETURN_IF_ERROR(DatabaseInfo::DecodeFrom(&info_cursor, &info_));
+  uint64_t n = 0;
+  if (!GetVarint64(&input, &n)) return Status::Corruption("pager meta: free");
+  std::vector<uint32_t> free_pages(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!GetFixed32(&input, &free_pages[i])) {
+      return Status::Corruption("pager meta: free list truncated");
+    }
+  }
+  if (!GetVarint64(&input, &n)) {
+    return Status::Corruption("pager meta: id table");
+  }
+  std::vector<uint32_t> table(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!GetFixed32(&input, &table[i])) {
+      return Status::Corruption("pager meta: id table truncated");
+    }
+  }
+  if (!GetVarint64(&input, &n)) {
+    return Status::Corruption("pager meta: dead bytes");
+  }
+  std::map<uint32_t, uint64_t> dead;
+  uint64_t dead_total = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t pg = 0;
+    uint64_t bytes = 0;
+    if (!GetFixed32(&input, &pg) || !GetVarint64(&input, &bytes)) {
+      return Status::Corruption("pager meta: dead bytes truncated");
+    }
+    dead[pg] = bytes;
+    dead_total += bytes;
+  }
+  pager_->SetState(page_count, free_pages);
+  next_id_ = next_id;
+  fill_page_ = fill_page;
+  id_table_pages_ = std::move(table);
+  dead_bytes_ = std::move(dead);
+  dead_total_ = dead_total;
+  gauge_dead_bytes_->Set(static_cast<int64_t>(dead_total_));
+  return Status::Ok();
+}
+
+std::string NoteStore::EncodePagerSnapshot() {
+  std::string out;
+  out.push_back(static_cast<char>(kPagerSnapshotVersion));
+  PutLengthPrefixed(&out, EncodeMetaBlob());
+  std::vector<std::pair<uint32_t, std::string>> images;
+  pool_->ForEachDirty([&](uint32_t pgno, char* data) {
+    images.emplace_back(pgno, std::string(data, pager_->page_size()));
+    return Status::Ok();
+  }).ok();
+  PutVarint64(&out, images.size());
+  for (auto& [pgno, image] : images) {
+    PutFixed32(&out, pgno);
+    PutLengthPrefixed(&out, image);
+  }
+  return out;
+}
+
+Status NoteStore::AdoptPagerSnapshot(std::string_view payload) {
+  if (payload.empty() ||
+      static_cast<uint8_t>(payload[0]) != kPagerSnapshotVersion) {
+    return Status::Corruption("pager snapshot: unknown version");
+  }
+  payload.remove_prefix(1);
+  std::string_view meta_blob;
+  uint64_t image_count = 0;
+  if (!GetLengthPrefixed(&payload, &meta_blob) ||
+      !GetVarint64(&payload, &image_count)) {
+    return Status::Corruption("pager snapshot: truncated");
+  }
+  // Everything buffered so far (including logical ops replayed before
+  // this record) is superseded by the images + meta.
+  pool_->DiscardAll();
+  std::string scratch;
+  for (uint64_t i = 0; i < image_count; ++i) {
+    uint32_t pgno = 0;
+    std::string_view image;
+    if (!GetFixed32(&payload, &pgno) || !GetLengthPrefixed(&payload, &image) ||
+        image.size() != pager_->page_size()) {
+      return Status::Corruption("pager snapshot: truncated image");
+    }
+    scratch.assign(image);
+    DOMINO_RETURN_IF_ERROR(pager_->WritePage(pgno, scratch.data()));
+  }
+  DOMINO_RETURN_IF_ERROR(pager_->Sync());
+  DOMINO_RETURN_IF_ERROR(DecodeMetaBlob(meta_blob));
+  return RebuildIndexFromIdTable();
+}
+
+Status NoteStore::RebuildIndexFromIdTable() {
+  unid_index_.clear();
+  live_count_ = 0;
+  stub_count_ = 0;
+  const size_t per_page = EntriesPerPage();
+  for (size_t ti = 0; ti < id_table_pages_.size(); ++ti) {
+    DOMINO_ASSIGN_OR_RETURN(pager::PageRef ref,
+                            pool_->Pin(id_table_pages_[ti]));
+    if (PageTypeOf(ref.data()) != pager::kPageIdTable) {
+      return Status::Corruption("id-table page has wrong type");
+    }
+    for (size_t i = 0; i < per_page; ++i) {
+      const char* p = ref.data() + kPageHeaderSize + i * kIdEntrySize;
+      uint8_t flags = static_cast<uint8_t>(p[22]);
+      if ((flags & kEntryUsed) == 0) continue;
+      NoteId id = static_cast<NoteId>(ti * per_page + i + 1);
+      Unid unid;
+      unid.hi = LoadU64(p);
+      unid.lo = LoadU64(p + 8);
+      unid_index_[unid] = id;
+      if (flags & kEntryDeleted) {
+        ++stub_count_;
+      } else {
+        ++live_count_;
+      }
+      if (id >= next_id_) next_id_ = id + 1;
+    }
+  }
+  return Status::Ok();
+}
+
+Status NoteStore::LoadLegacySnapshot(std::string_view data) {
   if (data.size() < sizeof(kSnapshotMagic) - 1 ||
       data.substr(0, sizeof(kSnapshotMagic) - 1) != kSnapshotMagic) {
     return Status::Corruption("snapshot: bad magic");
@@ -193,18 +464,257 @@ Status NoteStore::LoadSnapshot(std::string_view data) {
     }
     Note note;
     DOMINO_RETURN_IF_ERROR(Note::DecodeFromString(encoded, &note));
-    IndexNote(note);
-    notes_[note.id()] = std::move(note);
+    DOMINO_RETURN_IF_ERROR(ApplyNote(std::move(note)).status());
   }
   return Status::Ok();
 }
 
+// -- Id-table access -------------------------------------------------------
+
+size_t NoteStore::EntriesPerPage() const {
+  return (pager_->page_size() - kPageHeaderSize) / kIdEntrySize;
+}
+
+Result<pager::PageRef> NoteStore::IdTablePageFor(NoteId id,
+                                                 size_t* slot_in_page) const {
+  const size_t per_page = EntriesPerPage();
+  const size_t index = static_cast<size_t>(id - 1);
+  const size_t ti = index / per_page;
+  *slot_in_page = index % per_page;
+  if (ti >= id_table_pages_.size()) {
+    return Status::NotFound("note id beyond id table");
+  }
+  return pool_->Pin(id_table_pages_[ti]);
+}
+
+Status NoteStore::EnsureIdCapacity(NoteId id) {
+  const size_t per_page = EntriesPerPage();
+  const size_t ti = static_cast<size_t>(id - 1) / per_page;
+  while (id_table_pages_.size() <= ti) {
+    uint32_t pgno = pager_->Allocate();
+    pool_->PinNew(pgno, pager::kPageIdTable);
+    id_table_pages_.push_back(pgno);
+  }
+  return Status::Ok();
+}
+
+Result<NoteStore::IdEntry> NoteStore::ReadEntry(NoteId id) const {
+  if (id == kInvalidNoteId) return IdEntry{};
+  size_t slot = 0;
+  auto ref_or = IdTablePageFor(id, &slot);
+  if (!ref_or.ok()) {
+    if (ref_or.status().IsNotFound()) return IdEntry{};
+    return ref_or.status();
+  }
+  const char* p = ref_or->data() + kPageHeaderSize + slot * kIdEntrySize;
+  IdEntry entry;
+  entry.unid.hi = LoadU64(p);
+  entry.unid.lo = LoadU64(p + 8);
+  entry.page = LoadU32(p + 16);
+  entry.slot = LoadU16(p + 20);
+  entry.flags = static_cast<uint8_t>(p[22]);
+  entry.seq_time = static_cast<Micros>(LoadU64(p + 24));
+  return entry;
+}
+
+Status NoteStore::WriteEntry(NoteId id, const IdEntry& entry) {
+  DOMINO_RETURN_IF_ERROR(EnsureIdCapacity(id));
+  size_t slot = 0;
+  DOMINO_ASSIGN_OR_RETURN(pager::PageRef ref, IdTablePageFor(id, &slot));
+  char* p = ref.data() + kPageHeaderSize + slot * kIdEntrySize;
+  StoreU64(p, entry.unid.hi);
+  StoreU64(p + 8, entry.unid.lo);
+  StoreU32(p + 16, entry.page);
+  StoreU16(p + 20, entry.slot);
+  p[22] = static_cast<char>(entry.flags);
+  p[23] = 0;
+  StoreU64(p + 24, static_cast<uint64_t>(entry.seq_time));
+  ref.MarkDirty();
+  return Status::Ok();
+}
+
+// -- Note placement --------------------------------------------------------
+
+Status NoteStore::PlaceSlot(std::string_view encoded, uint32_t* page,
+                            uint16_t* slot) {
+  const uint32_t page_size = pager_->page_size();
+  pager::PageRef ref;
+  if (fill_page_ != kInvalidPage) {
+    DOMINO_ASSIGN_OR_RETURN(ref, pool_->Pin(fill_page_));
+    const uint16_t nslots = PageNSlots(ref.data());
+    const uint16_t free_off = PageFreeOff(ref.data());
+    const size_t needed = encoded.size() + kSlotOverhead;
+    if (free_off + needed > DirOffset(page_size, nslots)) {
+      ref.Release();  // full — start a fresh fill page
+      fill_page_ = kInvalidPage;
+    }
+  }
+  if (fill_page_ == kInvalidPage) {
+    uint32_t pgno = pager_->Allocate();
+    ref = pool_->PinNew(pgno, pager::kPageBucket);
+    StoreU16(ref.data() + pager::kPageFreeOffOffset,
+             static_cast<uint16_t>(kPageHeaderSize));
+    fill_page_ = pgno;
+  }
+  char* data = ref.data();
+  const uint16_t nslots = PageNSlots(data);
+  const uint16_t free_off = PageFreeOff(data);
+  StoreU16(data + free_off, static_cast<uint16_t>(encoded.size()));
+  std::memcpy(data + free_off + 2, encoded.data(), encoded.size());
+  StoreU16(data + DirOffset(page_size, nslots), free_off);
+  StoreU16(data + pager::kPageNSlotsOffset, static_cast<uint16_t>(nslots + 1));
+  StoreU16(data + pager::kPageFreeOffOffset,
+           static_cast<uint16_t>(free_off + 2 + encoded.size()));
+  ref.MarkDirty();
+  *page = fill_page_;
+  *slot = nslots;
+  return Status::Ok();
+}
+
+Status NoteStore::PlaceNote(std::string_view encoded, IdEntry* entry) {
+  const uint32_t page_size = pager_->page_size();
+  const size_t inline_max = page_size - kPageHeaderSize - kSlotOverhead;
+  if (encoded.size() <= inline_max) {
+    entry->flags &= static_cast<uint8_t>(~kEntryOverflow);
+    return PlaceSlot(encoded, &entry->page, &entry->slot);
+  }
+  // Oversized note: spill into an overflow chain, one chunk per page.
+  const size_t chunk_max = page_size - kPageHeaderSize;
+  uint32_t first = kInvalidPage;
+  pager::PageRef prev;
+  size_t off = 0;
+  while (off < encoded.size()) {
+    const size_t chunk = std::min(chunk_max, encoded.size() - off);
+    uint32_t pgno = pager_->Allocate();
+    pager::PageRef ref = pool_->PinNew(pgno, pager::kPageOverflow);
+    StoreU16(ref.data() + pager::kPageFreeOffOffset,
+             static_cast<uint16_t>(chunk));
+    std::memcpy(ref.data() + kPageHeaderSize, encoded.data() + off, chunk);
+    ref.MarkDirty();
+    if (first == kInvalidPage) {
+      first = pgno;
+    } else {
+      StoreU32(prev.data() + pager::kPageNextOffset, pgno);
+      prev.MarkDirty();
+    }
+    prev = std::move(ref);
+    off += chunk;
+  }
+  entry->page = first;
+  entry->slot = 0;
+  entry->flags |= kEntryOverflow;
+  return Status::Ok();
+}
+
+Status NoteStore::KillLocation(const IdEntry& entry) {
+  if (entry.flags & kEntryOverflow) {
+    uint32_t pgno = entry.page;
+    while (pgno != kInvalidPage) {
+      uint32_t next = kInvalidPage;
+      {
+        DOMINO_ASSIGN_OR_RETURN(pager::PageRef ref, pool_->Pin(pgno));
+        if (PageTypeOf(ref.data()) != pager::kPageOverflow) {
+          return Status::Corruption("overflow chain hits non-overflow page");
+        }
+        next = PageNext(ref.data());
+      }
+      pool_->Discard(pgno);
+      pager_->Free(pgno);
+      ctr_pages_freed_inline_->Add();
+      pgno = next;
+    }
+    return Status::Ok();
+  }
+  bool whole_dead = true;
+  {
+    DOMINO_ASSIGN_OR_RETURN(pager::PageRef ref, pool_->Pin(entry.page));
+    char* data = ref.data();
+    const uint32_t page_size = pager_->page_size();
+    const uint16_t nslots = PageNSlots(data);
+    if (PageTypeOf(data) != pager::kPageBucket || entry.slot >= nslots) {
+      return Status::Corruption("bad slot reference in id table");
+    }
+    const size_t dir = DirOffset(page_size, entry.slot);
+    const uint16_t off = LoadU16(data + dir);
+    if (off == kDeadSlot) {
+      return Status::Corruption("double kill of bucket slot");
+    }
+    const uint16_t len = LoadU16(data + off);
+    StoreU16(data + dir, kDeadSlot);
+    ref.MarkDirty();
+    dead_bytes_[entry.page] += len + kSlotOverhead;
+    dead_total_ += len + kSlotOverhead;
+    for (uint16_t i = 0; i < nslots && whole_dead; ++i) {
+      if (LoadU16(data + DirOffset(page_size, i)) != kDeadSlot) {
+        whole_dead = false;
+      }
+    }
+  }
+  if (whole_dead) {
+    // Last live slot died: reclaim the page without waiting for COMPACT.
+    dead_total_ -= dead_bytes_[entry.page];
+    dead_bytes_.erase(entry.page);
+    pool_->Discard(entry.page);
+    pager_->Free(entry.page);
+    if (fill_page_ == entry.page) fill_page_ = kInvalidPage;
+    ctr_pages_freed_inline_->Add();
+  }
+  gauge_dead_bytes_->Set(static_cast<int64_t>(dead_total_));
+  return Status::Ok();
+}
+
+Result<Note> NoteStore::ReadNoteAt(const IdEntry& entry) const {
+  const uint32_t page_size = pager_->page_size();
+  std::string buffer;
+  std::string_view encoded;
+  if (entry.flags & kEntryOverflow) {
+    uint32_t pgno = entry.page;
+    while (pgno != kInvalidPage) {
+      DOMINO_ASSIGN_OR_RETURN(pager::PageRef ref, pool_->Pin(pgno));
+      if (PageTypeOf(ref.data()) != pager::kPageOverflow) {
+        return Status::Corruption("overflow chain hits non-overflow page");
+      }
+      const uint16_t chunk = PageFreeOff(ref.data());
+      if (chunk > page_size - kPageHeaderSize ||
+          buffer.size() + chunk > (1ull << 30)) {
+        return Status::Corruption("overflow chunk out of bounds");
+      }
+      buffer.append(ref.data() + kPageHeaderSize, chunk);
+      pgno = PageNext(ref.data());
+    }
+    encoded = buffer;
+    Note note;
+    DOMINO_RETURN_IF_ERROR(Note::DecodeFromString(encoded, &note));
+    return note;
+  }
+  DOMINO_ASSIGN_OR_RETURN(pager::PageRef ref, pool_->Pin(entry.page));
+  const char* data = ref.data();
+  const uint16_t nslots = PageNSlots(data);
+  if (PageTypeOf(data) != pager::kPageBucket || entry.slot >= nslots) {
+    return Status::Corruption("bad slot reference in id table");
+  }
+  const uint16_t off = LoadU16(data + DirOffset(page_size, entry.slot));
+  if (off == kDeadSlot || off < kPageHeaderSize || off + 2 > page_size) {
+    return Status::Corruption("dead or out-of-bounds slot");
+  }
+  const uint16_t len = LoadU16(data + off);
+  if (off + 2 + len > page_size) {
+    return Status::Corruption("slot overruns page");
+  }
+  Note note;
+  DOMINO_RETURN_IF_ERROR(
+      Note::DecodeFromString(std::string_view(data + off + 2, len), &note));
+  return note;
+}
+
+// -- Reads -----------------------------------------------------------------
+
 Result<Note> NoteStore::Get(NoteId id) const {
-  auto it = notes_.find(id);
-  if (it == notes_.end()) {
+  DOMINO_ASSIGN_OR_RETURN(IdEntry entry, ReadEntry(id));
+  if ((entry.flags & kEntryUsed) == 0) {
     return Status::NotFound("note id " + std::to_string(id));
   }
-  return it->second;
+  return ReadNoteAt(entry);
 }
 
 Result<Note> NoteStore::GetByUnid(const Unid& unid) const {
@@ -215,29 +725,97 @@ Result<Note> NoteStore::GetByUnid(const Unid& unid) const {
   return Get(it->second);
 }
 
-const Note* NoteStore::FindPtr(NoteId id) const {
-  auto it = notes_.find(id);
-  return it == notes_.end() ? nullptr : &it->second;
+bool NoteStore::Contains(NoteId id) const {
+  auto entry = ReadEntry(id);
+  return entry.ok() && (entry->flags & kEntryUsed) != 0;
 }
 
-const Note* NoteStore::FindPtrByUnid(const Unid& unid) const {
+NoteHandle NoteStore::Find(NoteId id) const {
+  auto note = Get(id);
+  if (!note.ok()) return nullptr;
+  return std::make_shared<const Note>(std::move(*note));
+}
+
+NoteHandle NoteStore::FindByUnid(const Unid& unid) const {
   auto it = unid_index_.find(unid);
-  return it == unid_index_.end() ? nullptr : FindPtr(it->second);
+  return it == unid_index_.end() ? nullptr : Find(it->second);
 }
 
 void NoteStore::ForEach(const std::function<void(const Note&)>& fn) const {
-  for (const auto& [id, note] : notes_) fn(note);
+  const size_t per_page = EntriesPerPage();
+  for (size_t ti = 0; ti < id_table_pages_.size(); ++ti) {
+    // Decode the page's entries up front so `fn` callbacks that pin other
+    // pages do not contend with a long-held table pin.
+    std::vector<std::pair<NoteId, IdEntry>> used;
+    {
+      auto ref_or = pool_->Pin(id_table_pages_[ti]);
+      if (!ref_or.ok()) continue;
+      for (size_t i = 0; i < per_page; ++i) {
+        const char* p = ref_or->data() + kPageHeaderSize + i * kIdEntrySize;
+        if ((static_cast<uint8_t>(p[22]) & kEntryUsed) == 0) continue;
+        IdEntry entry;
+        entry.unid.hi = LoadU64(p);
+        entry.unid.lo = LoadU64(p + 8);
+        entry.page = LoadU32(p + 16);
+        entry.slot = LoadU16(p + 20);
+        entry.flags = static_cast<uint8_t>(p[22]);
+        entry.seq_time = static_cast<Micros>(LoadU64(p + 24));
+        used.emplace_back(static_cast<NoteId>(ti * per_page + i + 1), entry);
+      }
+    }
+    for (const auto& [id, entry] : used) {
+      auto note = ReadNoteAt(entry);
+      if (note.ok()) fn(*note);
+    }
+  }
 }
 
-void NoteStore::IndexNote(const Note& note) {
-  unid_index_[note.unid()] = note.id();
-  if (note.deleted()) ++stub_count_;
-  if (note.id() >= next_id_) next_id_ = note.id() + 1;
+// -- Apply (shared by live commits and recovery replay) --------------------
+
+Result<std::pair<bool, bool>> NoteStore::ApplyNote(Note&& note) {
+  const NoteId id = note.id();
+  DOMINO_ASSIGN_OR_RETURN(IdEntry old_entry, ReadEntry(id));
+  const bool existed = (old_entry.flags & kEntryUsed) != 0;
+  const bool was_live = existed && (old_entry.flags & kEntryDeleted) == 0;
+  if (existed) {
+    DOMINO_RETURN_IF_ERROR(KillLocation(old_entry));
+    if (!(old_entry.unid == note.unid())) {
+      unid_index_.erase(old_entry.unid);
+    }
+    if (old_entry.flags & kEntryDeleted) {
+      --stub_count_;
+    } else {
+      --live_count_;
+    }
+  }
+  std::string encoded = note.EncodeToString();
+  IdEntry entry;
+  entry.unid = note.unid();
+  entry.flags = kEntryUsed;
+  if (note.deleted()) entry.flags |= kEntryDeleted;
+  entry.seq_time = note.sequence_time();
+  DOMINO_RETURN_IF_ERROR(PlaceNote(encoded, &entry));
+  DOMINO_RETURN_IF_ERROR(WriteEntry(id, entry));
+  unid_index_[note.unid()] = id;
+  if (note.deleted()) {
+    ++stub_count_;
+  } else {
+    ++live_count_;
+  }
+  if (id >= next_id_) next_id_ = id + 1;
+  return std::make_pair(existed, was_live);
 }
 
-void NoteStore::UnindexNote(const Note& note) {
-  unid_index_.erase(note.unid());
-  if (note.deleted()) --stub_count_;
+Status NoteStore::ApplyErase(NoteId id, const IdEntry& entry) {
+  DOMINO_RETURN_IF_ERROR(KillLocation(entry));
+  DOMINO_RETURN_IF_ERROR(WriteEntry(id, IdEntry{}));
+  unid_index_.erase(entry.unid);
+  if (entry.flags & kEntryDeleted) {
+    --stub_count_;
+  } else {
+    --live_count_;
+  }
+  return Status::Ok();
 }
 
 Status NoteStore::ApplyBatchPayload(std::string_view payload,
@@ -260,10 +838,7 @@ Status NoteStore::ApplyBatchPayload(std::string_view payload,
         }
         Note note;
         DOMINO_RETURN_IF_ERROR(Note::DecodeFromString(encoded, &note));
-        auto it = notes_.find(note.id());
-        if (it != notes_.end()) UnindexNote(it->second);
-        IndexNote(note);
-        notes_[note.id()] = std::move(note);
+        DOMINO_RETURN_IF_ERROR(ApplyNote(std::move(note)).status());
         break;
       }
       case kOpErase: {
@@ -271,10 +846,9 @@ Status NoteStore::ApplyBatchPayload(std::string_view payload,
         if (!GetFixed32(&input, &id)) {
           return Status::Corruption("batch: truncated erase");
         }
-        auto it = notes_.find(id);
-        if (it != notes_.end()) {
-          UnindexNote(it->second);
-          notes_.erase(it);
+        DOMINO_ASSIGN_OR_RETURN(IdEntry entry, ReadEntry(id));
+        if (entry.flags & kEntryUsed) {
+          DOMINO_RETURN_IF_ERROR(ApplyErase(id, entry));
         }
         break;
       }
@@ -326,6 +900,8 @@ Status NoteStore::MaybeCheckpoint() {
   return Checkpoint();
 }
 
+// -- Writes ----------------------------------------------------------------
+
 Status NoteStore::Put(Note* note) {
   if (note->id() == kInvalidNoteId) note->set_id(AllocateId());
   if (note->unid().IsNull()) {
@@ -337,13 +913,8 @@ Status NoteStore::Put(Note* note) {
   std::string encoded = note->EncodeToString();
   PutLengthPrefixed(&payload, encoded);
   DOMINO_RETURN_IF_ERROR(CommitPayload(payload));
-  auto it = notes_.find(note->id());
-  const bool existed = it != notes_.end();
-  const bool was_live = existed && !it->second.deleted();
-  if (existed) UnindexNote(it->second);
-  IndexNote(*note);
-  notes_[note->id()] = *note;
-  CountPut(existed, was_live, note->deleted());
+  DOMINO_ASSIGN_OR_RETURN(auto outcome, ApplyNote(Note(*note)));
+  CountPut(outcome.first, outcome.second, note->deleted());
   return Status::Ok();
 }
 
@@ -377,20 +948,15 @@ Status NoteStore::PutBatch(std::vector<Note>* batch) {
   }
   DOMINO_RETURN_IF_ERROR(CommitPayload(payload));
   for (const Note& note : *batch) {
-    auto it = notes_.find(note.id());
-    const bool existed = it != notes_.end();
-    const bool was_live = existed && !it->second.deleted();
-    if (existed) UnindexNote(it->second);
-    IndexNote(note);
-    notes_[note.id()] = note;
-    CountPut(existed, was_live, note.deleted());
+    DOMINO_ASSIGN_OR_RETURN(auto outcome, ApplyNote(Note(note)));
+    CountPut(outcome.first, outcome.second, note.deleted());
   }
   return Status::Ok();
 }
 
 Status NoteStore::Erase(NoteId id) {
-  auto it = notes_.find(id);
-  if (it == notes_.end()) {
+  DOMINO_ASSIGN_OR_RETURN(IdEntry entry, ReadEntry(id));
+  if ((entry.flags & kEntryUsed) == 0) {
     return Status::NotFound("note id " + std::to_string(id));
   }
   std::string payload;
@@ -399,18 +965,26 @@ Status NoteStore::Erase(NoteId id) {
   PutFixed32(&payload, id);
   DOMINO_RETURN_IF_ERROR(CommitPayload(payload));
   ctr_docs_erased_->Add();
-  if (!it->second.deleted()) gauge_notes_->Add(-1);
-  UnindexNote(it->second);
-  notes_.erase(it);
-  return Status::Ok();
+  if ((entry.flags & kEntryDeleted) == 0) gauge_notes_->Add(-1);
+  return ApplyErase(id, entry);
 }
 
 Result<size_t> NoteStore::PurgeStubs(Micros now) {
+  // Stub eligibility lives entirely in the id table (deleted flag +
+  // sequence time), so the purge scan never faults bucket pages in.
   std::vector<NoteId> victims;
-  Micros cutoff = now - info_.purge_interval;
-  for (const auto& [id, note] : notes_) {
-    if (note.deleted() && note.sequence_time() < cutoff) {
-      victims.push_back(id);
+  const Micros cutoff = now - info_.purge_interval;
+  const size_t per_page = EntriesPerPage();
+  for (size_t ti = 0; ti < id_table_pages_.size(); ++ti) {
+    DOMINO_ASSIGN_OR_RETURN(pager::PageRef ref,
+                            pool_->Pin(id_table_pages_[ti]));
+    for (size_t i = 0; i < per_page; ++i) {
+      const char* p = ref.data() + kPageHeaderSize + i * kIdEntrySize;
+      const uint8_t flags = static_cast<uint8_t>(p[22]);
+      if ((flags & kEntryUsed) == 0 || (flags & kEntryDeleted) == 0) continue;
+      if (static_cast<Micros>(LoadU64(p + 24)) < cutoff) {
+        victims.push_back(static_cast<NoteId>(ti * per_page + i + 1));
+      }
     }
   }
   for (NoteId id : victims) {
@@ -432,8 +1006,60 @@ Status NoteStore::UpdateInfo(const DatabaseInfo& info) {
   return Status::Ok();
 }
 
+// -- Checkpoint ------------------------------------------------------------
+
+Status NoteStore::Fault(std::string_view point) {
+  if (options_.checkpoint_fault) return options_.checkpoint_fault(point);
+  return Status::Ok();
+}
+
 Status NoteStore::Checkpoint() {
-  DOMINO_RETURN_IF_ERROR(WriteFileAtomic(SnapshotPath(), EncodeSnapshot()));
+  // Drop free pages at the tail of the address space from the geometry
+  // now (so the meta we log is already trimmed); the file itself is only
+  // truncated after the checkpoint commits — those pages are free in the
+  // new state and the old state is gone, so the truncation harms nothing.
+  pager_->TrimFreeTail();
+  std::string snapshot = EncodePagerSnapshot();
+
+  // 1. One atomic record carrying meta + every dirty page image. Once it
+  //    is durable, any torn in-place write below is repairable.
+  if (uses_shared_log()) {
+    DOMINO_RETURN_IF_ERROR(options_.shared_log->Commit(
+        options_.shared_stream, wal::RecordType::kPagerSnapshot, snapshot));
+    DOMINO_RETURN_IF_ERROR(options_.shared_log->SyncAll());
+  } else {
+    DOMINO_RETURN_IF_ERROR(
+        wal_->AppendRecord(wal::RecordType::kPagerSnapshot, snapshot));
+    DOMINO_RETURN_IF_ERROR(wal_->Sync());
+  }
+  DOMINO_RETURN_IF_ERROR(Fault("pager:after_log"));
+
+  // 2. Write the dirty pages in place.
+  const size_t total_dirty = pool_->dirty_count();
+  size_t written = 0;
+  DOMINO_RETURN_IF_ERROR(
+      pool_->ForEachDirty([&](uint32_t pgno, char* data) -> Status {
+        DOMINO_RETURN_IF_ERROR(pager_->WritePage(pgno, data));
+        ++written;
+        if (written == (total_dirty + 1) / 2) {
+          DOMINO_RETURN_IF_ERROR(Fault("pager:mid_pages"));
+        }
+        return Status::Ok();
+      }));
+  DOMINO_RETURN_IF_ERROR(pager_->Sync());
+  DOMINO_RETURN_IF_ERROR(Fault("pager:after_pages"));
+
+  // 3. Atomically publish the new geometry. Layout: magic + blob +
+  //    masked CRC over the blob.
+  std::string blob = EncodeMetaBlob();
+  std::string meta(kMetaMagic);
+  meta.append(blob);
+  PutFixed32(&meta, crc32c::Mask(crc32c::Value(blob)));
+  DOMINO_RETURN_IF_ERROR(WriteFileAtomic(MetaPath(), meta));
+  DOMINO_RETURN_IF_ERROR(Fault("pager:after_meta"));
+  DOMINO_RETURN_IF_ERROR(RemoveFileIfExists(SnapshotPath()));
+
+  // 4. Truncate the WAL obligation.
   if (uses_shared_log()) {
     // Marker first (recovery skips everything at or before it), then
     // advance this stream's low-water mark so segments every stream has
@@ -444,7 +1070,7 @@ Status NoteStore::Checkpoint() {
         options_.shared_log->AdvanceCheckpoint(options_.shared_stream));
     shared_bytes_since_checkpoint_ = 0;
   } else {
-    // Start a fresh WAL; the snapshot now carries all state.
+    // Start a fresh WAL; the page file + meta now carry all state.
     wal_.reset();
     DOMINO_RETURN_IF_ERROR(RemoveFileIfExists(WalPath()));
     DOMINO_ASSIGN_OR_RETURN(wal_,
@@ -452,14 +1078,95 @@ Status NoteStore::Checkpoint() {
                                                  options_.sync_mode,
                                                  registry_));
   }
+  pool_->MarkAllClean();
+  DOMINO_RETURN_IF_ERROR(pager_->TruncateToWatermark());
   stats_.checkpoints++;
   ctr_checkpoints_->Add();
   return Status::Ok();
 }
 
+// -- COMPACT ---------------------------------------------------------------
+
+Result<size_t> NoteStore::CompactStep(size_t max_pages) {
+  std::vector<uint32_t> candidates;
+  for (const auto& [pg, bytes] : dead_bytes_) {
+    if (pg == fill_page_) continue;
+    candidates.push_back(pg);
+    if (candidates.size() >= max_pages) break;
+  }
+  size_t reclaimed = 0;
+  uint64_t bytes_reclaimed = 0;
+  uint64_t moved = 0;
+  for (uint32_t pg : candidates) {
+    const uint64_t dead = dead_bytes_[pg];
+    // Copy out the live slots, then free the husk before re-placing so
+    // the allocator may immediately reuse the page. In-memory only —
+    // durability comes from the next checkpoint, and a crash before it
+    // simply replays the WAL onto the pre-compaction page state.
+    std::vector<std::string> live;
+    {
+      DOMINO_ASSIGN_OR_RETURN(pager::PageRef ref, pool_->Pin(pg));
+      const char* data = ref.data();
+      if (PageTypeOf(data) != pager::kPageBucket) {
+        return Status::Corruption("compact candidate is not a bucket page");
+      }
+      const uint32_t page_size = pager_->page_size();
+      const uint16_t nslots = PageNSlots(data);
+      for (uint16_t i = 0; i < nslots; ++i) {
+        const uint16_t off = LoadU16(data + DirOffset(page_size, i));
+        if (off == kDeadSlot) continue;
+        const uint16_t len = LoadU16(data + off);
+        live.emplace_back(data + off + 2, len);
+      }
+    }
+    dead_total_ -= dead;
+    dead_bytes_.erase(pg);
+    pool_->Discard(pg);
+    pager_->Free(pg);
+    for (const std::string& encoded : live) {
+      // An encoded note starts with its fixed32 id.
+      const NoteId id = LoadU32(encoded.data());
+      DOMINO_ASSIGN_OR_RETURN(IdEntry entry, ReadEntry(id));
+      if ((entry.flags & kEntryUsed) == 0 || entry.page != pg) {
+        return Status::Corruption("compact: id table disagrees with slot");
+      }
+      DOMINO_RETURN_IF_ERROR(PlaceSlot(encoded, &entry.page, &entry.slot));
+      DOMINO_RETURN_IF_ERROR(WriteEntry(id, entry));
+      ++moved;
+    }
+    ++reclaimed;
+    bytes_reclaimed += dead;
+  }
+  if (reclaimed > 0) {
+    compact_stats_.runs++;
+    compact_stats_.pages_reclaimed += reclaimed;
+    compact_stats_.bytes_reclaimed += bytes_reclaimed;
+    compact_stats_.notes_moved += moved;
+    ctr_compact_runs_->Add();
+    ctr_compact_pages_->Add(reclaimed);
+    ctr_compact_bytes_->Add(bytes_reclaimed);
+    ctr_compact_moved_->Add(moved);
+    gauge_dead_bytes_->Set(static_cast<int64_t>(dead_total_));
+  }
+  return reclaimed;
+}
+
+Status NoteStore::MaybeCompact() {
+  if (options_.compact_threshold_bytes == 0) return Status::Ok();
+  if (dead_total_ <= options_.compact_threshold_bytes) return Status::Ok();
+  return CompactStep(16).status();
+}
+
+uint64_t NoteStore::dead_bytes() const { return dead_total_; }
+
 uint64_t NoteStore::wal_size_bytes() const {
   if (uses_shared_log()) return shared_bytes_since_checkpoint_;
   auto size = FileSize(WalPath());
+  return size.ok() ? *size : 0;
+}
+
+uint64_t NoteStore::pages_size_bytes() const {
+  auto size = pager_->FileSize();
   return size.ok() ? *size : 0;
 }
 

@@ -13,6 +13,8 @@
 #include "base/status.h"
 #include "model/note.h"
 #include "model/unid.h"
+#include "pager/buffer_pool.h"
+#include "pager/pager.h"
 #include "stats/stats.h"
 #include "wal/log_writer.h"
 #include "wal/shared_log.h"
@@ -51,6 +53,24 @@ struct StoreOptions {
   /// Registry receiving the `Database.*` and `WAL.*` stats of this store;
   /// null → the process-wide StatRegistry::Global().
   stats::StatRegistry* stats = nullptr;
+
+  // -- Paged storage ------------------------------------------------------
+  /// Size of one page in `notes.pages` (power of two ≥ 64). Fixed at
+  /// creation; an existing store's meta file is authoritative.
+  uint32_t page_size = 4096;
+  /// Buffer-pool capacity in pages. The working set this many pages can
+  /// hold is the only part of the database that must fit in RAM.
+  size_t cache_pages = 4096;
+  /// MaybeCompact() runs an incremental COMPACT slice once the dead
+  /// bytes left behind by updates, erases and purges exceed this volume
+  /// (0 disables background compaction).
+  uint64_t compact_threshold_bytes = 8ull << 20;
+  /// Test-only crash injection: when set, invoked at named points inside
+  /// Checkpoint() ("pager:after_log", "pager:mid_pages",
+  /// "pager:after_pages", "pager:after_meta"); a non-OK return aborts the
+  /// checkpoint there, leaving the partially-written on-disk state for
+  /// recovery tests to chew on.
+  std::function<Status(std::string_view)> checkpoint_fault;
 };
 
 struct StoreStats {
@@ -61,13 +81,40 @@ struct StoreStats {
   bool recovered_torn_tail = false;
 };
 
-/// The NSF-equivalent: the authoritative per-database note table with
-/// write-ahead-logged durability, a UNID index, deletion stubs and stub
-/// purging. Crash recovery = load last checkpoint snapshot + replay WAL;
-/// a torn WAL tail is ignored (committed-prefix semantics).
+/// Space reclaimed by COMPACT (cumulative since open).
+struct CompactStats {
+  uint64_t runs = 0;
+  uint64_t pages_reclaimed = 0;
+  uint64_t bytes_reclaimed = 0;
+  uint64_t notes_moved = 0;
+};
+
+/// The NSF-equivalent: the authoritative per-database note container.
 ///
-/// Not thread-safe; the owning Database serializes access (Notes serializes
-/// note updates per database too).
+/// Layout (PR 6): notes live in fixed-size pages in `notes.pages` —
+/// slotted bucket pages for encoded notes (with overflow chains for
+/// oversized ones) plus a paged note-ID table mapping note id →
+/// {UNID, page, slot, flags, sequence time} — accessed through a
+/// Pager + BufferPool, so databases larger than RAM serve from a bounded
+/// working set. Durable geometry (page count, free list, id-table pages)
+/// lives in `notes.meta`, written atomically at checkpoint.
+///
+/// Durability: logical ops commit to the WAL exactly as before (same
+/// record format); page mutations stay in the buffer pool until
+/// Checkpoint(), which first logs one atomic kPagerSnapshot record
+/// containing every dirty page image, then writes the pages in place —
+/// so a torn in-place write is always repaired from the logged images.
+/// Crash recovery = adopt meta + replay WAL (images first if a snapshot
+/// record is present, then the logical suffix).
+///
+/// Compaction: updates and erases leave dead slot bytes behind;
+/// CompactStep() copies the live slots of the deadest pages into fresh
+/// pages and frees the husks. The owning Database slices it under brief
+/// writer locks so readers interleave (the online Domino COMPACT).
+///
+/// Writes are single-threaded (the owning Database holds its writer
+/// lock); concurrent shared-lock readers are safe — the buffer pool
+/// synchronizes its own bookkeeping internally.
 class NoteStore {
  public:
   /// Opens (or creates) a store in directory `dir`. `default_info` seeds
@@ -85,22 +132,23 @@ class NoteStore {
   Result<Note> Get(NoteId id) const;
   /// Fetches by UNID (stubs included).
   Result<Note> GetByUnid(const Unid& unid) const;
-  bool Contains(NoteId id) const { return notes_.count(id) != 0; }
+  bool Contains(NoteId id) const;
   bool ContainsUnid(const Unid& unid) const {
     return unid_index_.count(unid) != 0;
   }
 
-  /// Borrowed pointer to the stored note (stubs included); nullptr when
-  /// absent. Invalidated by the next write to the same id.
-  const Note* FindPtr(NoteId id) const;
-  const Note* FindPtrByUnid(const Unid& unid) const;
+  /// Owning handle to the stored note (stubs included); null when absent
+  /// or unreadable. The handle is a decoded copy, so it stays valid
+  /// across evictions, compaction and later writes.
+  NoteHandle Find(NoteId id) const;
+  NoteHandle FindByUnid(const Unid& unid) const;
 
   /// Visits every note (including deletion stubs) in note-id order.
   void ForEach(const std::function<void(const Note&)>& fn) const;
 
-  size_t note_count() const { return notes_.size() - stub_count_; }
+  size_t note_count() const { return live_count_; }
   size_t stub_count() const { return stub_count_; }
-  size_t total_count() const { return notes_.size(); }
+  size_t total_count() const { return live_count_ + stub_count_; }
 
   // -- Writes -----------------------------------------------------------
   /// Inserts or replaces `note` (keyed by note id; assigns the next id if
@@ -126,11 +174,14 @@ class NoteStore {
   const DatabaseInfo& info() const { return info_; }
   Status UpdateInfo(const DatabaseInfo& info);
 
-  /// Writes a snapshot and truncates this store's WAL obligation: a
-  /// private log is deleted outright; on a shared log the store commits a
-  /// checkpoint marker and advances its low-water mark (segments below
-  /// every stream's mark are physically dropped). Recovery cost then
-  /// restarts from zero (E7 measures the tradeoff).
+  /// Makes all in-memory page state durable and truncates this store's
+  /// WAL obligation. Protocol: (1) append one atomic kPagerSnapshot
+  /// record — meta + every dirty page image — to the log and sync it;
+  /// (2) write the dirty pages in place and sync the page file; (3)
+  /// atomically replace `notes.meta`; (4) reset the private log (or
+  /// commit a checkpoint marker and advance the shared-log low-water
+  /// mark). A crash anywhere in between recovers: the logged images
+  /// repair any torn in-place write.
   Status Checkpoint();
 
   /// Checkpoints iff the WAL obligation exceeds
@@ -139,30 +190,98 @@ class NoteStore {
   /// commit path, so a single Put cannot stall on a full snapshot.
   Status MaybeCheckpoint();
 
+  // -- COMPACT ----------------------------------------------------------
+  /// One bounded compaction slice: rewrites up to `max_pages` of the
+  /// bucket pages carrying dead bytes, moving their live notes into the
+  /// current fill page and freeing the husks. Returns the number of
+  /// pages reclaimed (0 = nothing left to do). Requires the writer lock;
+  /// crash-safe because nothing touches disk until the next checkpoint.
+  Result<size_t> CompactStep(size_t max_pages);
+
+  /// Runs one CompactStep slice when accumulated dead bytes exceed
+  /// `compact_threshold_bytes` (the background COMPACT task hook).
+  Status MaybeCompact();
+
+  /// Dead bytes currently reclaimable by COMPACT.
+  uint64_t dead_bytes() const;
+
   const StoreStats& stats() const { return stats_; }
+  const CompactStats& compact_stats() const { return compact_stats_; }
   uint64_t wal_size_bytes() const;
+  /// Size of the page file in bytes.
+  uint64_t pages_size_bytes() const;
+  uint32_t page_size() const { return pager_->page_size(); }
 
  private:
   NoteStore(std::string dir, StoreOptions options);
 
+  struct IdEntry {
+    Unid unid;
+    uint32_t page = pager::kInvalidPage;
+    uint16_t slot = 0;
+    uint8_t flags = 0;
+    Micros seq_time = 0;
+  };
+
   std::string WalPath() const { return dir_ + "/notes.wal"; }
   std::string SnapshotPath() const { return dir_ + "/notes.snap"; }
+  std::string MetaPath() const { return dir_ + "/notes.meta"; }
+  std::string PagesPath() const { return dir_ + "/notes.pages"; }
 
   bool uses_shared_log() const { return options_.shared_log != nullptr; }
 
-  Status Recover(const DatabaseInfo& default_info);
+  Status Recover(const DatabaseInfo& default_info, std::string_view meta_blob,
+                 bool have_meta);
   /// Shared-log recovery: demultiplexes this store's stream and replays
-  /// the records after its last checkpoint marker.
+  /// the suffix after its last checkpoint marker.
   Status RecoverFromSharedLog();
-  Status LoadSnapshot(std::string_view data);
-  std::string EncodeSnapshot() const;
+  /// Ordered replay of one stream's record suffix: adopt the last
+  /// kPagerSnapshot (if any) first — its images repair torn pages — then
+  /// apply the kData records that follow it.
+  Status ReplayRecords(
+      const std::vector<std::pair<wal::RecordType, std::string>>& records);
+  Status LoadLegacySnapshot(std::string_view data);
   Status ApplyBatchPayload(std::string_view payload, bool from_recovery);
   Status CommitPayload(const std::string& payload);
 
-  void IndexNote(const Note& note);
-  void UnindexNote(const Note& note);
+  // -- Meta / snapshot encoding -----------------------------------------
+  std::string EncodeMetaBlob() const;
+  Status DecodeMetaBlob(std::string_view input);
+  std::string EncodePagerSnapshot();
+  Status AdoptPagerSnapshot(std::string_view payload);
+  /// Rebuilds unid_index_, live/stub counts and next_id_ by scanning the
+  /// id-table pages (never touches bucket pages, so opening a database
+  /// far larger than the buffer pool stays cheap).
+  Status RebuildIndexFromIdTable();
+
+  // -- Id-table access ---------------------------------------------------
+  size_t EntriesPerPage() const;
+  /// Pins the id-table page holding `id` (NotFound beyond the table).
+  Result<pager::PageRef> IdTablePageFor(NoteId id, size_t* slot_in_page) const;
+  /// Grows the id table until it covers `id`.
+  Status EnsureIdCapacity(NoteId id);
+  /// Absent ids decode as an all-zero entry (flags == 0, i.e. unused).
+  Result<IdEntry> ReadEntry(NoteId id) const;
+  Status WriteEntry(NoteId id, const IdEntry& entry);
+
+  // -- Note placement ----------------------------------------------------
+  /// Appends `encoded` into the current fill page (allocating one when
+  /// needed), or spills to an overflow chain; fills in entry location.
+  Status PlaceNote(std::string_view encoded, IdEntry* entry);
+  Status PlaceSlot(std::string_view encoded, uint32_t* page, uint16_t* slot);
+  /// Releases the bytes behind an entry's location (slot kill or
+  /// overflow-chain free) and updates dead-byte accounting; frees the
+  /// page outright when its last live slot dies.
+  Status KillLocation(const IdEntry& entry);
+  Result<Note> ReadNoteAt(const IdEntry& entry) const;
+  /// Installs one note version; returns {existed, was_live} for stats.
+  Result<std::pair<bool, bool>> ApplyNote(Note&& note);
+  /// Removes an entry that is known to be in use.
+  Status ApplyErase(NoteId id, const IdEntry& entry);
+
   /// Registry accounting for one committed Put.
   void CountPut(bool existed, bool was_live, bool now_deleted);
+  Status Fault(std::string_view point);
 
   std::string dir_;
   StoreOptions options_;
@@ -172,11 +291,24 @@ class NoteStore {
   /// Shared-log mode: payload bytes committed since the last checkpoint
   /// (the store's WAL obligation, driving MaybeCheckpoint).
   uint64_t shared_bytes_since_checkpoint_ = 0;
-  std::map<NoteId, Note> notes_;
+
+  std::unique_ptr<pager::Pager> pager_;
+  std::unique_ptr<pager::BufferPool> pool_;
+  /// Id-table page numbers, in table order (entry index → page).
+  std::vector<uint32_t> id_table_pages_;
+  /// Bucket page currently accepting new slots.
+  uint32_t fill_page_ = pager::kInvalidPage;
+  /// Dead (reclaimable) payload bytes per bucket page — COMPACT's work
+  /// queue. Ordered so compaction scans low pages first.
+  std::map<uint32_t, uint64_t> dead_bytes_;
+  uint64_t dead_total_ = 0;
+
   std::unordered_map<Unid, NoteId> unid_index_;
   NoteId next_id_ = 1;
+  size_t live_count_ = 0;
   size_t stub_count_ = 0;
   StoreStats stats_;
+  CompactStats compact_stats_;
 
   // Server-wide stat hooks (see StoreOptions::stats).
   stats::StatRegistry* registry_;
@@ -188,7 +320,13 @@ class NoteStore {
   stats::Counter* ctr_checkpoints_;
   stats::Counter* ctr_wal_records_;
   stats::Counter* ctr_wal_bytes_;
+  stats::Counter* ctr_compact_runs_;
+  stats::Counter* ctr_compact_pages_;
+  stats::Counter* ctr_compact_bytes_;
+  stats::Counter* ctr_compact_moved_;
+  stats::Counter* ctr_pages_freed_inline_;
   stats::Gauge* gauge_notes_;
+  stats::Gauge* gauge_dead_bytes_;
   stats::Histogram* hist_commit_micros_;
 };
 

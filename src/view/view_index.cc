@@ -68,11 +68,11 @@ std::optional<ViewEntry> ViewIndex::EvalNoteAgainst(
       bool children = selection.selects_all_children();
       bool descendants = selection.selects_all_descendants();
       if (children || descendants) {
-        const Note* ancestor = resolver->FindByUnid(note.parent_unid());
+        NoteHandle ancestor = resolver->FindByUnid(note.parent_unid());
         for (int depth = 0;
              ancestor != nullptr && depth < kMaxResponseDepth; ++depth) {
           formula::EvalContext actx;
-          actx.note = ancestor;
+          actx.note = ancestor.get();
           actx.clock = clock_;
           ++tally->selection_evals;
           auto m = selection.Matches(actx);
@@ -154,7 +154,7 @@ void ViewIndex::PlaceEntry(ViewEntry entry, const NoteResolver* resolver) {
   bool placed_as_response = false;
   if (design_.show_response_hierarchy() && entry.is_response &&
       resolver != nullptr) {
-    const Note* parent = resolver->FindByUnid(entry.parent_unid);
+    NoteHandle parent = resolver->FindByUnid(entry.parent_unid);
     if (parent != nullptr && row_of_note_.count(parent->id()) != 0) {
       loc.is_response_row = true;
       loc.parent = entry.parent_unid;
@@ -208,7 +208,7 @@ Status ViewIndex::UpdateOne(const Note& note, const NoteResolver* resolver,
   if (needs_response_walk_ && resolver != nullptr &&
       depth < kMaxResponseDepth) {
     for (NoteId child_id : resolver->ChildrenOf(note.unid())) {
-      const Note* child = resolver->FindById(child_id);
+      NoteHandle child = resolver->FindById(child_id);
       if (child != nullptr) {
         DOMINO_RETURN_IF_ERROR(UpdateOne(*child, resolver, depth + 1));
       }
@@ -240,10 +240,12 @@ Status ViewIndex::Rebuild(
   auto depth_of = [&](const Note& n) {
     int depth = 0;
     const Note* cursor = &n;
+    NoteHandle holder;  // keeps the current ancestor alive for the walk
     while (cursor->IsResponse() && resolver != nullptr &&
            depth < kMaxResponseDepth) {
-      cursor = resolver->FindByUnid(cursor->parent_unid());
-      if (cursor == nullptr) break;
+      holder = resolver->FindByUnid(cursor->parent_unid());
+      if (holder == nullptr) break;
+      cursor = holder.get();
       ++depth;
     }
     return depth;

@@ -36,10 +36,12 @@ namespace dominodb {
 class NoteResolver {
  public:
   virtual ~NoteResolver() = default;
-  /// Live note by UNID (nullptr when absent or a deletion stub).
-  virtual const Note* FindByUnid(const Unid& unid) const = 0;
-  /// Live note by id (nullptr when absent or a deletion stub).
-  virtual const Note* FindById(NoteId id) const = 0;
+  /// Live note by UNID (null when absent or a deletion stub). Handles
+  /// own their note — the paged store evicts and compacts pages under
+  /// the shared lock, so borrowed pointers into storage would dangle.
+  virtual NoteHandle FindByUnid(const Unid& unid) const = 0;
+  /// Live note by id (null when absent or a deletion stub).
+  virtual NoteHandle FindById(NoteId id) const = 0;
   /// Note ids of direct responses of `parent`.
   virtual std::vector<NoteId> ChildrenOf(const Unid& parent) const = 0;
 };

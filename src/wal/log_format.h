@@ -20,6 +20,12 @@ namespace dominodb::wal {
 enum class RecordType : uint8_t {
   kData = 1,     // a committed batch (payload = batch encoding)
   kCheckpoint = 2,  // marker: state up to here is captured in the snapshot
+  // Atomic page-image checkpoint: payload = pager meta + the full image
+  // of every dirty page about to be written in place. Because the record
+  // is CRC-framed it is either wholly durable or invisible, so a crash
+  // in the middle of the in-place page writes that follow is repaired by
+  // replaying the images (torn-page safety for the paged note store).
+  kPagerSnapshot = 3,
 };
 
 constexpr uint64_t kMaxRecordPayload = 1ull << 30;  // sanity bound, 1 GiB

@@ -17,7 +17,8 @@ bool LogReader::ReadRecord(RecordType* type, std::string_view* payload) {
   }
   auto record_type = static_cast<RecordType>(probe.front());
   if (record_type != RecordType::kData &&
-      record_type != RecordType::kCheckpoint) {
+      record_type != RecordType::kCheckpoint &&
+      record_type != RecordType::kPagerSnapshot) {
     tail_corrupted_ = true;
     return false;
   }

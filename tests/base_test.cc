@@ -2,12 +2,14 @@
 
 #include "base/clock.h"
 #include "base/coding.h"
+#include "base/env.h"
 #include "base/result.h"
 #include "base/crc32c.h"
 #include "base/hash.h"
 #include "base/rng.h"
 #include "base/status.h"
 #include "base/string_util.h"
+#include "tests/test_util.h"
 
 namespace dominodb {
 namespace {
@@ -271,6 +273,55 @@ TEST(HashTest, Fnv1aStable) {
   EXPECT_EQ(Fnv1a64("abc"), Fnv1a64("abc"));
   EXPECT_NE(Fnv1a64("abc"), Fnv1a64("abd"));
   EXPECT_NE(Fnv1a64("abc", 1), Fnv1a64("abc", 2));
+}
+
+TEST(RandomAccessFileTest, ReadWriteAtOffsets) {
+  testing_util::ScratchDir dir;
+  std::string path = dir.Sub("raf");
+  ASSERT_OK_AND_ASSIGN(auto file, RandomAccessFile::Open(path));
+  ASSERT_OK(file->Write(0, "hello world"));
+  ASSERT_OK(file->Write(6, "pager"));  // overwrite in place
+  char buf[11];
+  ASSERT_OK(file->Read(0, sizeof(buf), buf));
+  EXPECT_EQ(std::string(buf, sizeof(buf)), "hello pager");
+  ASSERT_OK_AND_ASSIGN(uint64_t size, file->Size());
+  EXPECT_EQ(size, 11u);
+  // Writes past EOF extend the file; the gap reads back as zeros.
+  ASSERT_OK(file->Write(20, "x"));
+  char hole[1] = {'q'};
+  ASSERT_OK(file->Read(15, 1, hole));
+  EXPECT_EQ(hole[0], '\0');
+  // Reading past EOF is an error, not silence.
+  EXPECT_FALSE(file->Read(21, 1, hole).ok());
+  ASSERT_OK(file->Truncate(5));
+  ASSERT_OK_AND_ASSIGN(uint64_t shrunk, file->Size());
+  EXPECT_EQ(shrunk, 5u);
+  ASSERT_OK(file->Sync());
+}
+
+TEST(RandomAccessFileTest, ReopenSeesDurableBytes) {
+  testing_util::ScratchDir dir;
+  std::string path = dir.Sub("raf");
+  {
+    ASSERT_OK_AND_ASSIGN(auto file, RandomAccessFile::Open(path));
+    ASSERT_OK(file->Write(0, "persist"));
+    ASSERT_OK(file->Sync());
+  }
+  ASSERT_OK_AND_ASSIGN(auto file, RandomAccessFile::Open(path));
+  char buf[7];
+  ASSERT_OK(file->Read(0, sizeof(buf), buf));
+  EXPECT_EQ(std::string(buf, sizeof(buf)), "persist");
+}
+
+TEST(SimulateTornWriteTest, ZeroesTailKeepsSize) {
+  testing_util::ScratchDir dir;
+  std::string path = dir.Sub("torn");
+  ASSERT_OK(WriteFileAtomic(path, std::string(64, 'a')));
+  ASSERT_OK(SimulateTornWrite(path, 16));
+  ASSERT_OK_AND_ASSIGN(std::string contents, ReadFileToString(path));
+  ASSERT_EQ(contents.size(), 64u);  // same length — only the tail is lost
+  EXPECT_EQ(contents.substr(0, 16), std::string(16, 'a'));
+  EXPECT_EQ(contents.substr(16), std::string(48, '\0'));
 }
 
 }  // namespace

@@ -19,16 +19,18 @@ class MapResolver : public NoteResolver {
   }
   void Remove(NoteId id) { notes_.erase(id); }
 
-  const Note* FindByUnid(const Unid& unid) const override {
+  NoteHandle FindByUnid(const Unid& unid) const override {
     for (const auto& [id, note] : notes_) {
-      if (note.unid() == unid && !note.deleted()) return &note;
+      if (note.unid() == unid && !note.deleted()) {
+        return std::make_shared<const Note>(note);
+      }
     }
     return nullptr;
   }
-  const Note* FindById(NoteId id) const override {
+  NoteHandle FindById(NoteId id) const override {
     auto it = notes_.find(id);
-    return it != notes_.end() && !it->second.deleted() ? &it->second
-                                                       : nullptr;
+    if (it == notes_.end() || it->second.deleted()) return nullptr;
+    return std::make_shared<const Note>(it->second);
   }
   std::vector<NoteId> ChildrenOf(const Unid& parent) const override {
     std::vector<NoteId> out;
