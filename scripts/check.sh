@@ -13,22 +13,29 @@
 # sampled default to the exhaustive sweep (DOMINO_CRASH_MATRIX=1: every
 # checkpoint fault point × every tearable page, every WAL cut offset).
 #
+# --formula-diff re-runs the tree-walker-vs-bytecode-VM differential
+# harness with a much larger generated corpus (DOMINO_FORMULA_DIFF_N)
+# inside each sanitizer build, so engine-divergence hunting also gets
+# ASan/TSan/UBSan coverage.
+#
 # When clang++ is on PATH, a static thread-safety pass also runs first:
 # a Clang build of src/ with -Wthread-safety promoted to an error, which
 # checks the GUARDED_BY/REQUIRES annotations on Database, ViewIndex,
 # FullTextIndex and IndexerTask. On GCC-only machines the pass is
 # skipped with a notice (the annotations compile away under GCC).
 # Usage: scripts/check.sh [--bench-smoke] [--crash-matrix] \
-#                         [address|thread|undefined ...]
+#                         [--formula-diff] [address|thread|undefined ...]
 set -euo pipefail
 
 BENCH_SMOKE=0
 CRASH_MATRIX=0
+FORMULA_DIFF=0
 SANITIZERS=()
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
     --crash-matrix) CRASH_MATRIX=1 ;;
+    --formula-diff) FORMULA_DIFF=1 ;;
     *) SANITIZERS+=("$arg") ;;
   esac
 done
@@ -61,6 +68,10 @@ for SANITIZER in "${SANITIZERS[@]}"; do
     echo "== check.sh: $SANITIZER exhaustive crash matrix =="
     DOMINO_CRASH_MATRIX=1 "$BUILD_DIR/tests/pager_test" \
       --gtest_filter='*CheckpointFaultMatrix*:*CrashMatrixTest*'
+  fi
+  if [ "$FORMULA_DIFF" -eq 1 ]; then
+    echo "== check.sh: $SANITIZER formula differential harness (10k) =="
+    DOMINO_FORMULA_DIFF_N=10000 "$BUILD_DIR/tests/formula_diff_test"
   fi
   if [ "$BENCH_SMOKE" -eq 1 ]; then
     for BENCH in "$BUILD_DIR"/bench/bench_*; do

@@ -867,10 +867,12 @@ Result<std::vector<Note>> Database::FormulaSearch(
   std::vector<Note> out;
   formula::EvalContext ctx;
   BindFormulaServices(&ctx);
+  // One compiled program, one VM register file, every note in the store.
+  formula::BatchEvaluator eval(f);
   store_->ForEach([&](const Note& note) {
     if (note.deleted() || note.note_class() != NoteClass::kDocument) return;
     ctx.note = &note;
-    auto matched = f.Matches(ctx);
+    auto matched = eval.Matches(ctx);
     if (matched.ok() && *matched) out.push_back(note);
   });
   return out;

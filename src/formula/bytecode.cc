@@ -1,0 +1,445 @@
+#include "formula/bytecode.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "base/string_util.h"
+#include "formula/eval.h"
+#include "stats/stats.h"
+
+namespace dominodb::formula {
+
+namespace {
+
+// Error text must match the tree-walker byte for byte — the differential
+// harness compares failure messages, not just success values. These mirror
+// EvalError (eval.cc) and FnError (functions.cc).
+Status EvalErrorStatus(size_t offset, const std::string& what) {
+  return Status::InvalidArgument(
+      StrPrintf("formula eval: %s (offset %zu)", what.c_str(), offset));
+}
+
+Status FnErrorStatus(const Expr& e, const std::string& what) {
+  return Status::InvalidArgument(
+      StrPrintf("@%s: %s (offset %zu)", e.name.c_str(), what.c_str(),
+                e.offset));
+}
+
+/// Mirrors functions.cc FieldNameOf for the @IsAvailable compile path.
+std::string FieldNameOf(const Expr& arg) {
+  if (arg.kind == ExprKind::kFieldRef) return arg.name;
+  if (arg.kind == ExprKind::kLiteral && arg.literal.is_text()) {
+    return arg.literal.AsText();
+  }
+  return {};
+}
+
+/// One AST→bytecode pass. Registers are allocated stack-style: every
+/// expression saves the watermark, allocates scratch above it, and restores
+/// on exit, so register pressure equals expression depth, not size.
+class Compiler {
+ public:
+  explicit Compiler(Chunk* chunk) : chunk_(*chunk) {}
+
+  bool Compile(const Program& program) {
+    uint16_t result = Alloc();  // register 0 carries every statement's value
+    if (program.statements.empty()) {
+      Emit({Op::kMove, 0, result, AddConst(Value()), 0, 0});
+    }
+    std::vector<size_t> to_halt;
+    for (size_t i = 0; i < program.statements.size(); ++i) {
+      CompileInto(*program.statements[i], result);
+      // @Return unwinds to the epilogue between statements (the walker
+      // checks `returned_` once per statement, not per node).
+      if (i + 1 < program.statements.size()) {
+        to_halt.push_back(Emit({Op::kJumpIfReturned, 0, 0, 0, 0, 0}));
+      }
+    }
+    for (size_t at : to_halt) PatchJump(at);
+    Emit({Op::kHalt, 0, 0, result, 0, 0});
+    return !failed_;
+  }
+
+ private:
+  // -- Pools --------------------------------------------------------------
+
+  uint16_t Alloc() {
+    if (next_reg_ >= kConstBit) {
+      failed_ = true;
+      return 0;
+    }
+    uint16_t r = next_reg_++;
+    chunk_.num_registers = std::max(chunk_.num_registers, next_reg_);
+    return r;
+  }
+
+  uint16_t AddConst(Value v) {
+    if (chunk_.consts.size() >= kConstBit) {
+      failed_ = true;
+      return kConstBit;
+    }
+    chunk_.consts.push_back(std::move(v));
+    return static_cast<uint16_t>(kConstBit | (chunk_.consts.size() - 1));
+  }
+
+  uint32_t AddName(const std::string& name) {
+    chunk_.names.push_back(NameRef{ToLower(name), name});
+    return static_cast<uint32_t>(chunk_.names.size() - 1);
+  }
+
+  uint32_t AddCall(const FunctionDef* def, const Expr* expr) {
+    chunk_.calls.push_back(CallSite{def, expr});
+    return static_cast<uint32_t>(chunk_.calls.size() - 1);
+  }
+
+  uint32_t AddError(Status s) {
+    chunk_.errors.push_back(std::move(s));
+    return static_cast<uint32_t>(chunk_.errors.size() - 1);
+  }
+
+  size_t Emit(Instr in) {
+    chunk_.code.push_back(in);
+    return chunk_.code.size() - 1;
+  }
+
+  void PatchJump(size_t at) {
+    chunk_.code[at].imm = static_cast<uint32_t>(chunk_.code.size());
+  }
+
+  // -- Constant folding ---------------------------------------------------
+  //
+  // Folding must be invisible to the differential harness: a subtree folds
+  // only when the walker would compute the same value with no side effects
+  // and no possibility of error. Anything that can fail at runtime
+  // (division by zero, unknown functions, argc mismatches) stays as code —
+  // returning nullopt here, never a compile-time error.
+
+  std::optional<Value> TryFold(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kLiteral:
+        return e.literal;
+      case ExprKind::kUnary: {
+        auto v = TryFold(*e.children[0]);
+        if (!v) return std::nullopt;
+        if (e.op == TokenType::kBang) return BoolValue(!v->AsBool());
+        return ApplyUnaryNeg(*v);
+      }
+      case ExprKind::kBinary:
+        return TryFoldBinary(e);
+      case ExprKind::kCall:
+        return TryFoldCall(e);
+      default:
+        // Assignments and SELECT have side effects; never fold.
+        return std::nullopt;
+    }
+  }
+
+  std::optional<Value> TryFoldBinary(const Expr& e) {
+    if (e.op == TokenType::kColon) {
+      // Walk the left-leaning ':' spine iteratively — literal lists parse
+      // into chains deep enough to overflow the stack if we recurse
+      // (tests/robustness_test.cc HugeListFormula).
+      std::vector<const Expr*> spine;
+      const Expr* node = &e;
+      while (node->kind == ExprKind::kBinary &&
+             node->op == TokenType::kColon) {
+        spine.push_back(node);
+        node = node->children[0].get();
+      }
+      auto acc = TryFold(*node);
+      if (!acc) return std::nullopt;
+      for (auto it = spine.rbegin(); it != spine.rend(); ++it) {
+        auto rhs = TryFold(*(*it)->children[1]);
+        if (!rhs) return std::nullopt;
+        acc = ConcatLists(*acc, *rhs);
+      }
+      return acc;
+    }
+    if (e.op == TokenType::kAmp || e.op == TokenType::kPipe) {
+      auto a = TryFold(*e.children[0]);
+      if (!a) return std::nullopt;
+      bool lhs = a->AsBool();
+      // Short-circuit: the walker never evaluates the rhs here, so the
+      // fold is safe even when the rhs would error.
+      if (e.op == TokenType::kAmp && !lhs) return BoolValue(false);
+      if (e.op == TokenType::kPipe && lhs) return BoolValue(true);
+      auto b = TryFold(*e.children[1]);
+      if (!b) return std::nullopt;
+      return BoolValue(b->AsBool());
+    }
+    auto a = TryFold(*e.children[0]);
+    if (!a) return std::nullopt;
+    auto b = TryFold(*e.children[1]);
+    if (!b) return std::nullopt;
+    Result<Value> r = ApplyBinaryOp(e.op, *a, *b, e.offset);
+    if (!r.ok()) return std::nullopt;  // keep the error at runtime
+    return std::move(*r);
+  }
+
+  std::optional<Value> TryFoldCall(const Expr& e) {
+    if (!e.children.empty()) return std::nullopt;
+    const FunctionDef* def = FindFunction(e.name);
+    // Only fold once the walker's own checks are known to pass.
+    if (def == nullptr || def->min_args > 0) return std::nullopt;
+    std::string key = ToLower(e.name);
+    if (key == "true" || key == "yes" || key == "all" || key == "success") {
+      return BoolValue(true);
+    }
+    if (key == "false" || key == "no") return BoolValue(false);
+    if (key == "pi") return Value::Number(3.14159265358979323846);
+    if (key == "newline") return Value::Text("\n");
+    return std::nullopt;
+  }
+
+  // -- Code generation ----------------------------------------------------
+
+  /// Compiles `e` as an operand: a constant-pool slot when it folds,
+  /// otherwise a freshly allocated register.
+  uint16_t CompileOperand(const Expr& e) {
+    if (auto v = TryFold(e)) return AddConst(std::move(*v));
+    uint16_t dst = Alloc();
+    CompileNoFold(e, dst);
+    return dst;
+  }
+
+  /// Compiles `e` so its value lands in register `dst` (branch arms and
+  /// statement results need a common home).
+  void CompileInto(const Expr& e, uint16_t dst) {
+    if (auto v = TryFold(e)) {
+      Emit({Op::kMove, 0, dst, AddConst(std::move(*v)), 0, 0});
+      return;
+    }
+    CompileNoFold(e, dst);
+  }
+
+  void CompileNoFold(const Expr& e, uint16_t dst) {
+    if (failed_) return;
+    switch (e.kind) {
+      case ExprKind::kLiteral:
+        Emit({Op::kMove, 0, dst, AddConst(e.literal), 0, 0});
+        return;
+      case ExprKind::kFieldRef:
+        Emit({Op::kLoadName, 0, dst, 0, 0, AddName(e.name)});
+        return;
+      case ExprKind::kUnary: {
+        uint16_t save = next_reg_;
+        uint16_t src = CompileOperand(*e.children[0]);
+        next_reg_ = save;
+        Emit({e.op == TokenType::kBang ? Op::kNot : Op::kNeg, 0, dst, src, 0,
+              0});
+        return;
+      }
+      case ExprKind::kBinary:
+        CompileBinary(e, dst);
+        return;
+      case ExprKind::kCall:
+        CompileCall(e, dst);
+        return;
+      case ExprKind::kAssignTemp:
+      case ExprKind::kAssignDefault:
+      case ExprKind::kAssignField: {
+        uint16_t save = next_reg_;
+        uint16_t src = CompileOperand(*e.children[0]);
+        next_reg_ = save;
+        Op op = e.kind == ExprKind::kAssignTemp    ? Op::kStoreTemp
+                : e.kind == ExprKind::kAssignDefault ? Op::kStoreDefault
+                                                     : Op::kStoreField;
+        Emit({op, 0, dst, src, 0, AddName(e.name)});
+        return;
+      }
+      case ExprKind::kSelect: {
+        uint16_t save = next_reg_;
+        uint16_t src = CompileOperand(*e.children[0]);
+        next_reg_ = save;
+        Emit({Op::kSelect, 0, dst, src, 0, 0});
+        return;
+      }
+    }
+    failed_ = true;  // unreachable: all kinds handled
+  }
+
+  void CompileBinary(const Expr& e, uint16_t dst) {
+    if (e.op == TokenType::kAmp || e.op == TokenType::kPipe) {
+      uint16_t save = next_reg_;
+      uint16_t lhs = CompileOperand(*e.children[0]);
+      next_reg_ = save;
+      bool is_and = e.op == TokenType::kAmp;
+      size_t skip = Emit({is_and ? Op::kJumpIfFalse : Op::kJumpIfTrue, 0, 0,
+                          lhs, 0, 0});
+      uint16_t rhs = CompileOperand(*e.children[1]);
+      next_reg_ = save;
+      Emit({Op::kToBool, 0, dst, rhs, 0, 0});
+      size_t done = Emit({Op::kJump, 0, 0, 0, 0, 0});
+      PatchJump(skip);
+      Emit({Op::kMove, 0, dst, AddConst(BoolValue(!is_and)), 0, 0});
+      PatchJump(done);
+      return;
+    }
+    if (e.op == TokenType::kColon) {
+      // Iterative spine walk, same shape as the walker and TryFoldBinary.
+      std::vector<const Expr*> spine;
+      const Expr* node = &e;
+      while (node->kind == ExprKind::kBinary &&
+             node->op == TokenType::kColon) {
+        spine.push_back(node);
+        node = node->children[0].get();
+      }
+      CompileInto(*node, dst);
+      for (auto it = spine.rbegin(); it != spine.rend(); ++it) {
+        uint16_t save = next_reg_;
+        uint16_t rhs = CompileOperand(*(*it)->children[1]);
+        next_reg_ = save;
+        Emit({Op::kConcat, 0, dst, dst, rhs, 0});
+      }
+      return;
+    }
+    uint16_t save = next_reg_;
+    uint16_t a = CompileOperand(*e.children[0]);
+    uint16_t b = CompileOperand(*e.children[1]);
+    next_reg_ = save;
+    Emit({Op::kBinary, static_cast<uint8_t>(e.op), dst, a, b,
+          static_cast<uint32_t>(e.offset)});
+  }
+
+  void CompileCall(const Expr& e, uint16_t dst) {
+    const FunctionDef* def = FindFunction(e.name);
+    // The walker validates lazily, at evaluation time — a bad call in a
+    // dead @If branch never errors. kFail sits exactly where the node
+    // would have evaluated, carrying the walker's message.
+    if (def == nullptr) {
+      Emit({Op::kFail, 0, 0, 0, 0,
+            AddError(EvalErrorStatus(e.offset,
+                                     "unknown @function: @" + e.name))});
+      return;
+    }
+    int argc = static_cast<int>(e.children.size());
+    if (argc < def->min_args ||
+        (def->max_args >= 0 && argc > def->max_args)) {
+      Emit({Op::kFail, 0, 0, 0, 0,
+            AddError(EvalErrorStatus(
+                e.offset, StrPrintf("@%s: wrong argument count %d",
+                                    e.name.c_str(), argc)))});
+      return;
+    }
+    if (def->lazy) {
+      CompileLazy(e, def, dst);
+      return;
+    }
+    if (argc > 255) {  // kCall's argc is a uint8; nobody writes this formula
+      failed_ = true;
+      return;
+    }
+    uint16_t save = next_reg_;
+    uint16_t argbase = next_reg_;
+    for (const ExprPtr& child : e.children) {
+      uint16_t r = Alloc();
+      CompileInto(*child, r);
+    }
+    next_reg_ = save;
+    Emit({Op::kCall, static_cast<uint8_t>(argc), dst, argbase, 0,
+          AddCall(def, &e)});
+  }
+
+  void CompileLazy(const Expr& e, const FunctionDef* def, uint16_t dst) {
+    std::string key = ToLower(e.name);
+    if (key == "if") {
+      CompileIf(e, dst);
+      return;
+    }
+    if (key == "do") {
+      // last = each child in sequence; @Return breaks out of the sequence
+      // but not (yet) out of the enclosing statement.
+      std::vector<size_t> breaks;
+      for (size_t i = 0; i < e.children.size(); ++i) {
+        CompileInto(*e.children[i], dst);
+        if (i + 1 < e.children.size()) {
+          breaks.push_back(Emit({Op::kJumpIfReturned, 0, 0, 0, 0, 0}));
+        }
+      }
+      for (size_t at : breaks) PatchJump(at);
+      return;
+    }
+    if (key == "return") {
+      uint16_t src;
+      if (e.children.empty()) {
+        src = AddConst(Value::Number(1));
+      } else {
+        uint16_t save = next_reg_;
+        src = CompileOperand(*e.children[0]);
+        next_reg_ = save;
+      }
+      // Sets the returned flag and falls through: the walker finishes the
+      // surrounding expression before the per-statement check fires.
+      Emit({Op::kSetReturn, 0, dst, src, 0, 0});
+      return;
+    }
+    if (key == "isavailable" || key == "isunavailable") {
+      std::string field = FieldNameOf(*e.children[0]);
+      if (field.empty()) {
+        Emit({Op::kFail, 0, 0, 0, 0,
+              AddError(FnErrorStatus(e, "expects a field name"))});
+        return;
+      }
+      Emit({Op::kNameAvail, static_cast<uint8_t>(key[2] == 'u'), dst, 0, 0,
+            AddName(field)});
+      return;
+    }
+    // @IsError and any future lazy function: delegate to the walker
+    // implementation, which tree-walks its arguments through the shared
+    // Evaluator — semantics (and rng consumption) stay identical.
+    Emit({Op::kCallLazy, 0, dst, 0, 0, AddCall(def, &e)});
+  }
+
+  void CompileIf(const Expr& e, uint16_t dst) {
+    // Walker-order: FnIf validates arity first, then tests condition
+    // pairs left to right.
+    if (e.children.size() % 2 == 0) {
+      Emit({Op::kFail, 0, 0, 0, 0,
+            AddError(FnErrorStatus(e, "requires an odd number of arguments"))});
+      return;
+    }
+    std::vector<size_t> to_end;
+    bool taken_statically = false;
+    for (size_t i = 0; i + 1 < e.children.size(); i += 2) {
+      const Expr& cond = *e.children[i];
+      const Expr& val = *e.children[i + 1];
+      if (auto c = TryFold(cond)) {
+        if (!c->AsBool()) continue;  // dead branch: eliminated
+        CompileInto(val, dst);       // always taken: rest is dead
+        taken_statically = true;
+        break;
+      }
+      uint16_t save = next_reg_;
+      uint16_t cr = CompileOperand(cond);
+      next_reg_ = save;
+      size_t skip = Emit({Op::kJumpIfFalse, 0, 0, cr, 0, 0});
+      CompileInto(val, dst);
+      to_end.push_back(Emit({Op::kJump, 0, 0, 0, 0, 0}));
+      PatchJump(skip);
+    }
+    if (!taken_statically) CompileInto(*e.children.back(), dst);
+    for (size_t at : to_end) PatchJump(at);
+  }
+
+  Chunk& chunk_;
+  uint16_t next_reg_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace
+
+std::shared_ptr<const CompiledFormula> CompiledFormula::Build(
+    std::shared_ptr<const Program> program, bool selects_all_children,
+    bool selects_all_descendants) {
+  auto cf = std::make_shared<CompiledFormula>();
+  cf->program_ = std::move(program);
+  cf->selects_all_children_ = selects_all_children;
+  cf->selects_all_descendants_ = selects_all_descendants;
+  Compiler compiler(&cf->chunk_);
+  cf->has_chunk_ = compiler.Compile(*cf->program_);
+  if (!cf->has_chunk_) cf->chunk_ = Chunk{};
+  stats::StatRegistry::Global().GetCounter("Formula.BytecodeCompiles").Add();
+  return cf;
+}
+
+}  // namespace dominodb::formula

@@ -1,0 +1,113 @@
+#ifndef DOMINODB_FORMULA_BYTECODE_H_
+#define DOMINODB_FORMULA_BYTECODE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "formula/ast.h"
+#include "model/value.h"
+
+namespace dominodb::formula {
+
+struct FunctionDef;  // eval.h
+
+/// Register-bytecode for the @-formula language. A Program compiles once
+/// into a flat Chunk; the dispatch-loop VM (vm.h) then evaluates it against
+/// any number of documents without touching the AST. The tree-walking
+/// Evaluator stays behind FormulaOptions::use_vm as the differential-testing
+/// oracle — both engines must produce byte-identical results, including
+/// error text (tests/formula_diff_test.cc).
+enum class Op : uint8_t {
+  kMove,           // dst = operand(src1)
+  kLoadName,       // dst = LookupName(names[imm])
+  kStoreTemp,      // SetTemp(names[imm], operand(src1)); dst = value
+  kStoreDefault,   // SetDefault(names[imm], operand(src1)); dst = value
+  kStoreField,     // SetField(names[imm], operand(src1)); dst = value; can fail
+  kSelect,         // SetSelectValue(bool(src1)); dst = BoolValue
+  kToBool,         // dst = BoolValue(operand(src1).AsBool())
+  kNot,            // dst = BoolValue(!operand(src1).AsBool())
+  kNeg,            // dst = ApplyUnaryNeg(operand(src1))
+  kBinary,         // dst = ApplyBinaryOp(TokenType(a), src1, src2, imm=offset)
+  kConcat,         // dst = ConcatLists(src1, src2)   (the ':' operator)
+  kJump,           // pc = imm
+  kJumpIfFalse,    // if (!operand(src1).AsBool()) pc = imm
+  kJumpIfTrue,     // if (operand(src1).AsBool()) pc = imm
+  kJumpIfReturned, // if (ev.returned()) pc = imm   (@Return unwinding)
+  kSetReturn,      // RequestReturn(operand(src1)); dst = value; fall through
+  kNameAvail,      // dst = BoolValue(NameAvailable(names[imm]) ^ (a != 0))
+  kCall,           // dst = calls[imm].fn(regs[src1 .. src1+a))
+  kCallLazy,       // dst = calls[imm].fn(ev, *expr, {}) — tree-walks its args
+  kFail,           // return errors[imm]
+  kHalt,           // return returned ? return_value : operand(src1)
+};
+
+/// Source operands (src1/src2) address the register file, or — with the
+/// high bit set — the constant pool. Folded subtrees thus never occupy a
+/// register and are never copied into one.
+inline constexpr uint16_t kConstBit = 0x8000;
+
+struct Instr {
+  Op op;
+  uint8_t a = 0;       // small immediate: TokenType, argc, negate flag
+  uint16_t dst = 0;
+  uint16_t src1 = 0;
+  uint16_t src2 = 0;
+  uint32_t imm = 0;    // jump target, pool index, source offset
+};
+
+/// An eager @function call site. `expr` stays valid because CompiledFormula
+/// keeps the owning Program alive; the @function implementations take the
+/// call node for error messages (FnError) and lazy evaluation.
+struct CallSite {
+  const FunctionDef* def = nullptr;
+  const Expr* expr = nullptr;
+};
+
+struct NameRef {
+  std::string lowered;   // precomputed key for temp/default maps
+  std::string original;  // preserved spelling for document items / errors
+};
+
+struct Chunk {
+  std::vector<Instr> code;
+  std::vector<Value> consts;
+  std::vector<NameRef> names;
+  std::vector<CallSite> calls;
+  std::vector<Status> errors;  // prebuilt statuses for kFail
+  uint16_t num_registers = 0;
+};
+
+/// An immutable compiled formula: the AST (kept for lazy @functions and the
+/// oracle) plus its bytecode. This is what the compile cache stores, so
+/// UPDALL and view selection share one compiled artifact across notes and
+/// threads. `has_chunk()` is false only when compilation hit a hard limit
+/// (register overflow); callers then fall back to the tree-walker.
+class CompiledFormula {
+ public:
+  static std::shared_ptr<const CompiledFormula> Build(
+      std::shared_ptr<const Program> program, bool selects_all_children,
+      bool selects_all_descendants);
+
+  const Program& program() const { return *program_; }
+  const std::shared_ptr<const Program>& program_ptr() const {
+    return program_;
+  }
+  bool has_chunk() const { return has_chunk_; }
+  const Chunk& chunk() const { return chunk_; }
+  bool selects_all_children() const { return selects_all_children_; }
+  bool selects_all_descendants() const { return selects_all_descendants_; }
+
+ private:
+  std::shared_ptr<const Program> program_;
+  Chunk chunk_;
+  bool has_chunk_ = false;
+  bool selects_all_children_ = false;
+  bool selects_all_descendants_ = false;
+};
+
+}  // namespace dominodb::formula
+
+#endif  // DOMINODB_FORMULA_BYTECODE_H_

@@ -14,6 +14,11 @@ Status EvalError(const Expr& e, const std::string& what) {
       StrPrintf("formula eval: %s (offset %zu)", what.c_str(), e.offset));
 }
 
+Status EvalErrorAt(size_t offset, const std::string& what) {
+  return Status::InvalidArgument(
+      StrPrintf("formula eval: %s (offset %zu)", what.c_str(), offset));
+}
+
 constexpr int64_t kMicrosPerSecond = 1'000'000;
 
 }  // namespace
@@ -95,7 +100,7 @@ Result<Value> Evaluator::EvalStatement(const Expr& e) {
     }
     case ExprKind::kAssignDefault: {
       DOMINO_ASSIGN_OR_RETURN(Value v, Eval(*e.children[0]));
-      defaults_[ToLower(e.name)] = v;
+      SetDefaultVar(ToLower(e.name), v);
       return v;
     }
     case ExprKind::kAssignField: {
@@ -131,24 +136,49 @@ Result<Value> Evaluator::Eval(const Expr& e) {
 }
 
 Value Evaluator::LookupName(const std::string& name) const {
-  std::string key = ToLower(name);
-  if (auto it = temps_.find(key); it != temps_.end()) return it->second;
+  return LookupNameLowered(ToLower(name), name);
+}
+
+Value Evaluator::LookupNameLowered(const std::string& lowered,
+                                   const std::string& original) const {
+  const Value* v = LookupNameRef(lowered, original);
+  return v != nullptr ? *v : Value::Text("");
+}
+
+const Value* Evaluator::LookupNameRef(const std::string& lowered,
+                                      const std::string& original) const {
+  if (auto it = temps_.find(lowered); it != temps_.end()) return &it->second;
   const Note* doc = ctx_.mutable_note ? ctx_.mutable_note : ctx_.note;
   if (doc != nullptr) {
-    if (const Value* v = doc->FindValue(name)) return *v;
+    if (const Value* v = doc->FindValue(original)) return v;
   }
-  if (auto it = defaults_.find(key); it != defaults_.end()) return it->second;
-  return Value::Text("");
+  if (auto it = defaults_.find(lowered); it != defaults_.end()) {
+    return &it->second;
+  }
+  return nullptr;
 }
 
 bool Evaluator::NameAvailable(const std::string& name) const {
-  if (temps_.count(ToLower(name))) return true;
+  return NameAvailableLowered(ToLower(name), name);
+}
+
+bool Evaluator::NameAvailableLowered(const std::string& lowered,
+                                     const std::string& original) const {
+  if (temps_.count(lowered)) return true;
   const Note* doc = ctx_.mutable_note ? ctx_.mutable_note : ctx_.note;
-  return doc != nullptr && doc->HasItem(name);
+  return doc != nullptr && doc->HasItem(original);
 }
 
 void Evaluator::SetTemp(const std::string& name, Value v) {
   temps_[ToLower(name)] = std::move(v);
+}
+
+void Evaluator::SetTempLowered(const std::string& lowered, Value v) {
+  temps_[lowered] = std::move(v);
+}
+
+void Evaluator::SetDefaultVar(const std::string& lowered, Value v) {
+  defaults_[lowered] = std::move(v);
 }
 
 Status Evaluator::SetField(const std::string& name, Value v) {
@@ -165,6 +195,10 @@ Result<Value> Evaluator::EvalUnary(const Expr& e) {
   if (e.op == TokenType::kBang) {
     return BoolValue(!v.AsBool());
   }
+  return ApplyUnaryNeg(v);
+}
+
+Value ApplyUnaryNeg(const Value& v) {
   // Unary minus: negate element-wise; datetimes/text coerce to number.
   std::vector<double> out;
   out.reserve(ListLength(v));
@@ -173,8 +207,6 @@ Result<Value> Evaluator::EvalUnary(const Expr& e) {
   }
   return Value::NumberList(std::move(out));
 }
-
-namespace {
 
 bool CompareSatisfied(TokenType op, int cmp) {
   switch (op) {
@@ -201,6 +233,8 @@ bool CompareSatisfied(TokenType op, int cmp) {
   }
 }
 
+namespace {
+
 bool IsPermuted(TokenType op) {
   switch (op) {
     case TokenType::kPermEqual:
@@ -215,7 +249,9 @@ bool IsPermuted(TokenType op) {
   }
 }
 
-bool IsComparison(TokenType op) {
+}  // namespace
+
+bool IsComparisonOp(TokenType op) {
   switch (op) {
     case TokenType::kEqual:
     case TokenType::kNotEqual:
@@ -228,8 +264,6 @@ bool IsComparison(TokenType op) {
       return IsPermuted(op);
   }
 }
-
-}  // namespace
 
 Result<Value> Evaluator::EvalBinary(const Expr& e) {
   // Short-circuit logical operators.
@@ -263,15 +297,19 @@ Result<Value> Evaluator::EvalBinary(const Expr& e) {
 
   DOMINO_ASSIGN_OR_RETURN(Value a, Eval(*e.children[0]));
   DOMINO_ASSIGN_OR_RETURN(Value b, Eval(*e.children[1]));
+  return ApplyBinaryOp(e.op, a, b, e.offset);
+}
 
-  if (IsComparison(e.op)) {
+Result<Value> ApplyBinaryOp(TokenType op, const Value& a, const Value& b,
+                            size_t offset) {
+  if (IsComparisonOp(op)) {
     // Pairwise comparison: true if ANY pair satisfies. Permuted variants
     // compare every combination instead of aligned pairs.
-    if (IsPermuted(e.op)) {
+    if (IsPermuted(op)) {
       for (size_t i = 0; i < ListLength(a); ++i) {
         Value ea = ElementAt(a, i);
         for (size_t j = 0; j < ListLength(b); ++j) {
-          if (CompareSatisfied(e.op, CompareScalarValues(ea, ElementAt(b, j)))) {
+          if (CompareSatisfied(op, CompareScalarValues(ea, ElementAt(b, j)))) {
             return BoolValue(true);
           }
         }
@@ -281,7 +319,7 @@ Result<Value> Evaluator::EvalBinary(const Expr& e) {
     size_t n = std::max(ListLength(a), ListLength(b));
     for (size_t i = 0; i < n; ++i) {
       if (CompareSatisfied(
-              e.op, CompareScalarValues(ElementAt(a, i), ElementAt(b, i)))) {
+              op, CompareScalarValues(ElementAt(a, i), ElementAt(b, i)))) {
         return BoolValue(true);
       }
     }
@@ -292,7 +330,7 @@ Result<Value> Evaluator::EvalBinary(const Expr& e) {
   size_t n = std::max(ListLength(a), ListLength(b));
 
   // Text concatenation for '+'.
-  if (e.op == TokenType::kPlus &&
+  if (op == TokenType::kPlus &&
       (a.is_text() || b.is_text() || a.is_richtext() || b.is_richtext())) {
     std::vector<std::string> out;
     out.reserve(n);
@@ -304,8 +342,8 @@ Result<Value> Evaluator::EvalBinary(const Expr& e) {
 
   // DateTime arithmetic: datetime ± seconds, datetime - datetime.
   if (a.is_datetime() &&
-      (e.op == TokenType::kPlus || e.op == TokenType::kMinus)) {
-    if (b.is_datetime() && e.op == TokenType::kMinus) {
+      (op == TokenType::kPlus || op == TokenType::kMinus)) {
+    if (b.is_datetime() && op == TokenType::kMinus) {
       std::vector<double> out;
       for (size_t i = 0; i < n; ++i) {
         out.push_back(static_cast<double>(ElementAt(a, i).AsTime() -
@@ -319,11 +357,11 @@ Result<Value> Evaluator::EvalBinary(const Expr& e) {
       Micros shift = static_cast<Micros>(ElementAt(b, i).AsNumber() *
                                          kMicrosPerSecond);
       out.push_back(ElementAt(a, i).AsTime() +
-                    (e.op == TokenType::kPlus ? shift : -shift));
+                    (op == TokenType::kPlus ? shift : -shift));
     }
     return Value::DateTimeList(std::move(out));
   }
-  if (b.is_datetime() && e.op == TokenType::kPlus) {
+  if (b.is_datetime() && op == TokenType::kPlus) {
     std::vector<Micros> out;
     for (size_t i = 0; i < n; ++i) {
       out.push_back(ElementAt(b, i).AsTime() +
@@ -338,7 +376,7 @@ Result<Value> Evaluator::EvalBinary(const Expr& e) {
   for (size_t i = 0; i < n; ++i) {
     double x = ElementAt(a, i).AsNumber();
     double y = ElementAt(b, i).AsNumber();
-    switch (e.op) {
+    switch (op) {
       case TokenType::kPlus:
         out.push_back(x + y);
         break;
@@ -349,11 +387,11 @@ Result<Value> Evaluator::EvalBinary(const Expr& e) {
         out.push_back(x * y);
         break;
       case TokenType::kSlash:
-        if (y == 0) return EvalError(e, "division by zero");
+        if (y == 0) return EvalErrorAt(offset, "division by zero");
         out.push_back(x / y);
         break;
       default:
-        return EvalError(e, "unsupported operator");
+        return EvalErrorAt(offset, "unsupported operator");
     }
   }
   return Value::NumberList(std::move(out));

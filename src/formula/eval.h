@@ -35,12 +35,28 @@ class Evaluator {
   /// Name resolution: temp variables, then the (possibly mutated)
   /// document's fields, then DEFAULT declarations, then empty text.
   Value LookupName(const std::string& name) const;
+  /// Same, with the lower-cased key precomputed (the bytecode VM caches
+  /// lowered names in its name pool so the hot loop skips ToLower).
+  Value LookupNameLowered(const std::string& lowered,
+                          const std::string& original) const;
+  /// Borrowed view of the resolved value, or null when the name resolves
+  /// to nothing (callers substitute the empty-text value). The VM's
+  /// kLoadName copy-assigns through this so a register's existing heap
+  /// buffers are reused instead of reallocated every note.
+  const Value* LookupNameRef(const std::string& lowered,
+                             const std::string& original) const;
 
   /// True if the name resolves to a temp variable or document field
   /// (@IsAvailable semantics: DEFAULTs don't count as available fields).
   bool NameAvailable(const std::string& name) const;
+  bool NameAvailableLowered(const std::string& lowered,
+                            const std::string& original) const;
 
   void SetTemp(const std::string& name, Value v);
+  /// SetTemp with the lower-cased key precomputed (VM hot path).
+  void SetTempLowered(const std::string& lowered, Value v);
+  /// DEFAULT declaration (lowered key, VM + statement evaluator).
+  void SetDefaultVar(const std::string& lowered, Value v);
   /// Writes a document field; fails when no mutable note is bound.
   Status SetField(const std::string& name, Value v);
 
@@ -49,6 +65,11 @@ class Evaluator {
     return_value_ = std::move(v);
   }
   bool returned() const { return returned_; }
+  const Value& return_value() const { return return_value_; }
+  /// The VM's kHalt hands this slot out by pointer (RunInPlace).
+  Value& mutable_return_value() { return return_value_; }
+  /// Records a SELECT statement's value (the VM's kSelect op).
+  void SetSelectValue(bool b) { select_ = b; }
 
  private:
   Result<Value> EvalStatement(const Expr& e);
@@ -84,6 +105,29 @@ Value BoolValue(bool b);
 /// Appends all elements of `v` onto `out` coerced to `out`'s type when
 /// needed (the ':' operator).
 Value ConcatLists(const Value& a, const Value& b);
+
+// -- Operator semantics shared by the tree-walker and the bytecode VM ----
+//
+// Both engines MUST produce identical results (values and error text);
+// the differential harness in tests/formula_diff_test.cc enforces this,
+// so the semantics live here exactly once.
+
+/// Comparisons (pairwise / permuted), arithmetic, text concatenation and
+/// datetime arithmetic — every binary operator except the short-circuit
+/// logical ones and ':' (those compile to control flow / ConcatLists).
+/// `offset` feeds the "formula eval: ... (offset N)" error text.
+Result<Value> ApplyBinaryOp(TokenType op, const Value& a, const Value& b,
+                            size_t offset);
+
+/// Unary minus: element-wise negation with number coercion.
+Value ApplyUnaryNeg(const Value& v);
+
+/// True for the (plain or permuted) comparison operators.
+bool IsComparisonOp(TokenType op);
+/// Whether a pairwise comparison outcome (`cmp` = CompareScalarValues)
+/// satisfies `op`. Exposed so the VM's scalar fast path reproduces
+/// ApplyBinaryOp exactly.
+bool CompareSatisfied(TokenType op, int cmp);
 
 /// Registry lookup (functions.cc). Lazy functions receive the call node
 /// and evaluate arguments themselves (@If, @Do, ...).

@@ -16,6 +16,19 @@
 namespace dominodb::formula {
 
 struct Program;
+class CompiledFormula;
+
+/// Engine selection. The default engine is the register-bytecode VM
+/// (bytecode.h/vm.h); the tree-walking interpreter remains available as
+/// the differential-testing oracle and as the fallback for formulas the
+/// compiler declines (register overflow — practically unreachable).
+struct FormulaOptions {
+  bool use_vm = true;
+
+  /// Process-wide default. `DOMINO_FORMULA_VM=0` in the environment turns
+  /// the VM off globally (sanitizer runs, bisecting engine differences).
+  static const FormulaOptions& Default();
+};
 
 /// Everything a formula evaluation may touch. All pointers are borrowed
 /// and may be null (the corresponding @functions then see defaults).
@@ -66,14 +79,24 @@ class Formula {
   /// Runs the statement list, returning the final value. FIELD
   /// assignments mutate ctx.mutable_note if provided.
   Result<Value> Evaluate(const EvalContext& ctx) const;
+  Result<Value> Evaluate(const EvalContext& ctx,
+                         const FormulaOptions& opts) const;
 
   /// Selection semantics: the value of the SELECT statement if present,
   /// otherwise the truthiness of the final value. Used by view selection
   /// and selective replication.
   Result<bool> Matches(const EvalContext& ctx) const;
+  Result<bool> Matches(const EvalContext& ctx,
+                       const FormulaOptions& opts) const;
 
   /// True if the formula source was compiled (non-default object).
-  bool valid() const { return program_ != nullptr; }
+  bool valid() const { return compiled_ != nullptr; }
+
+  /// The shared compiled artifact (bytecode + AST); null on a
+  /// default-constructed Formula.
+  const std::shared_ptr<const CompiledFormula>& compiled() const {
+    return compiled_;
+  }
 
   const std::string& source() const { return source_; }
   bool has_select() const;
@@ -82,19 +105,47 @@ class Formula {
 
   /// SELECT ... | @AllChildren / @AllDescendants: the view engine includes
   /// response documents of selected parents (one level / all levels).
-  bool selects_all_children() const { return selects_all_children_; }
-  bool selects_all_descendants() const { return selects_all_descendants_; }
+  bool selects_all_children() const;
+  bool selects_all_descendants() const;
 
  private:
-  std::shared_ptr<const Program> program_;
+  std::shared_ptr<const CompiledFormula> compiled_;
   std::string source_;
-  bool selects_all_children_ = false;
-  bool selects_all_descendants_ = false;
+};
+
+/// Evaluates one compiled formula over many documents, reusing the VM's
+/// register file (and the Evaluator's allocations the VM feeds) across
+/// notes. UPDALL, view selection and FormulaSearch iterate millions of
+/// notes against the same selection formula — per-note setup is the
+/// dominant cost the bytecode engine removes, so batch paths should hold
+/// one of these instead of calling Formula::Evaluate per note.
+///
+/// Not thread-safe: one BatchEvaluator per worker thread (the underlying
+/// Formula/CompiledFormula is shared and immutable).
+class BatchEvaluator {
+ public:
+  explicit BatchEvaluator(const Formula& formula);
+  BatchEvaluator(const Formula& formula, const FormulaOptions& opts);
+  ~BatchEvaluator();
+  BatchEvaluator(BatchEvaluator&&) noexcept;
+  BatchEvaluator& operator=(BatchEvaluator&&) noexcept;
+
+  /// Same semantics as Formula::Evaluate / Formula::Matches.
+  Result<Value> Evaluate(const EvalContext& ctx);
+  Result<bool> Matches(const EvalContext& ctx);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 /// Convenience: compile + evaluate in one call (examples, tests).
 Result<Value> EvaluateFormula(std::string_view source,
                               const EvalContext& ctx);
+
+/// Drops every cached compiled formula (benchmarks measuring cold-compile
+/// cost; tests asserting cache behavior).
+void ClearCompileCache();
 
 }  // namespace dominodb::formula
 

@@ -49,11 +49,35 @@ std::vector<Micros> AsTimeList(const Value& v) {
 template <typename Fn>
 Value MapText(const Value& v, Fn fn) {
   std::vector<std::string> out;
+  // Already-text values iterate in place; the generic path below pays an
+  // ElementAt + AsText copy per element before fn's own copy.
+  if (v.is_text() && !v.texts().empty()) {
+    out.reserve(v.texts().size());
+    for (const std::string& s : v.texts()) out.push_back(fn(s));
+    return Value::TextList(std::move(out));
+  }
   out.reserve(ListLength(v));
   for (size_t i = 0; i < ListLength(v); ++i) {
     out.push_back(fn(ElementAt(v, i).AsText()));
   }
   return Value::TextList(std::move(out));
+}
+
+/// True if `fn` holds for any element of `v` coerced to text. Borrows the
+/// strings of an already-text value instead of materializing a copy of
+/// the whole list (the hot path for @Contains/@Begins/@Ends predicates).
+template <typename Fn>
+bool AnyText(const Value& v, Fn fn) {
+  if (v.is_text() && !v.texts().empty()) {
+    for (const std::string& s : v.texts()) {
+      if (fn(s)) return true;
+    }
+    return false;
+  }
+  for (size_t i = 0; i < ListLength(v); ++i) {
+    if (fn(ElementAt(v, i).AsText())) return true;
+  }
+  return false;
 }
 
 template <typename Fn>
@@ -241,14 +265,17 @@ Result<Value> FnTrim(Evaluator&, const Expr&, const Args& a) {
 }
 
 Result<Value> FnContains(Evaluator&, const Expr&, const Args& a) {
-  for (const std::string& hay : AsTextList(a[0])) {
+  bool found = AnyText(a[0], [&](const std::string& hay) {
     for (size_t k = 1; k < a.size(); ++k) {
-      for (const std::string& needle : AsTextList(a[k])) {
-        if (ContainsIgnoreCase(hay, needle)) return BoolValue(true);
+      if (AnyText(a[k], [&](const std::string& needle) {
+            return ContainsIgnoreCase(hay, needle);
+          })) {
+        return true;
       }
     }
-  }
-  return BoolValue(false);
+    return false;
+  });
+  return BoolValue(found);
 }
 
 Result<Value> FnBegins(Evaluator&, const Expr&, const Args& a) {

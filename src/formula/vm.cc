@@ -1,0 +1,245 @@
+#include "formula/vm.h"
+
+#include "formula/eval.h"
+
+namespace dominodb::formula {
+
+namespace {
+
+/// The batch hot path is scalar-number arithmetic and comparisons
+/// (selection predicates over one note after another). These helpers let
+/// the VM keep such values unboxed through a register's existing heap
+/// buffer instead of paying an allocation per operation — an optimization
+/// the tree-walker cannot make because every node returns a fresh Value.
+
+inline bool ScalarNum(const Value& v, double* x) {
+  if (!v.is_number() || v.numbers().size() != 1) return false;
+  *x = v.numbers()[0];
+  return true;
+}
+
+/// Writes a one-element number into `out`, reusing its buffer when the
+/// register already holds numbers (the steady state across a batch).
+inline void StoreNum(Value* out, double x) {
+  if (out->is_number()) {
+    std::vector<double>& nums = out->mutable_numbers();
+    if (nums.size() == 1) {
+      nums[0] = x;
+    } else {
+      nums.assign(1, x);
+    }
+    return;
+  }
+  *out = Value::Number(x);
+}
+
+/// Scalar-number × scalar-number fast path, bit-identical to
+/// ApplyBinaryOp for the cases it accepts (comparison = Sign(x - y) as in
+/// CompareValues; division by zero falls through so the generic path
+/// raises the canonical error). Returns false to defer to ApplyBinaryOp.
+inline bool FastBinary(TokenType op, const Value& a, const Value& b,
+                       Value* out) {
+  if (IsComparisonOp(op)) {
+    // For one-element operands the pairwise and permuted loops both
+    // reduce to a single CompareScalarValues of the operands themselves
+    // (ElementAt of a size-1 non-richtext value is an exact copy).
+    double x, y;
+    if (ScalarNum(a, &x) && ScalarNum(b, &y)) {
+      // Matches Sign(x - y) in CompareValues, including NaN (both
+      // comparisons false -> 0 -> "equal") and infinities.
+      int cmp = x < y ? -1 : (x > y ? 1 : 0);
+      StoreNum(out, CompareSatisfied(op, cmp) ? 1 : 0);
+      return true;
+    }
+    if (a.size() != 1 || b.size() != 1 || a.is_richtext() ||
+        b.is_richtext()) {
+      return false;
+    }
+    StoreNum(out, CompareSatisfied(op, CompareScalarValues(a, b)) ? 1 : 0);
+    return true;
+  }
+  if (op == TokenType::kPlus && a.is_text() && b.is_text() &&
+      a.texts().size() == 1 && b.texts().size() == 1) {
+    // Scalar text concatenation (the generic path pays an ElementAt copy
+    // and an AsText copy per side). Build aside first: out may alias a
+    // or b.
+    const std::string& sa = a.texts()[0];
+    const std::string& sb = b.texts()[0];
+    std::string joined;
+    joined.reserve(sa.size() + sb.size());
+    joined.append(sa).append(sb);
+    if (out->is_text() && out->mutable_texts().size() == 1) {
+      out->mutable_texts()[0] = std::move(joined);
+    } else {
+      *out = Value::Text(std::move(joined));
+    }
+    return true;
+  }
+  double x, y;
+  if (!ScalarNum(a, &x) || !ScalarNum(b, &y)) return false;
+  double r;
+  switch (op) {
+    case TokenType::kPlus:
+      r = x + y;
+      break;
+    case TokenType::kMinus:
+      r = x - y;
+      break;
+    case TokenType::kStar:
+      r = x * y;
+      break;
+    case TokenType::kSlash:
+      if (y == 0) return false;
+      r = x / y;
+      break;
+    default:
+      return false;
+  }
+  StoreNum(out, r);
+  return true;
+}
+
+}  // namespace
+
+Result<Value> Vm::Run(const Chunk& chunk, Evaluator& ev) {
+  DOMINO_ASSIGN_OR_RETURN(Value * v, RunInPlace(chunk, ev));
+  return std::move(*v);
+}
+
+Result<Value*> Vm::RunInPlace(const Chunk& chunk, Evaluator& ev) {
+  // Registers are written before they are read on every path the compiler
+  // emits, so values surviving from a previous Run are never observed —
+  // keeping them avoids reallocating list payloads across a batch.
+  if (regs_.size() < chunk.num_registers) regs_.resize(chunk.num_registers);
+
+  // Resolves a source operand: register file, or constant pool when the
+  // high bit is set (folded subtrees are never copied into registers).
+  auto val = [&](uint16_t operand) -> const Value& {
+    return (operand & kConstBit) != 0 ? chunk.consts[operand & ~kConstBit]
+                                      : regs_[operand];
+  };
+
+  static const std::vector<Value> kNoArgs;
+
+  size_t pc = 0;
+  for (;;) {
+    const Instr& in = chunk.code[pc++];
+    switch (in.op) {
+      case Op::kMove:
+        regs_[in.dst] = val(in.src1);
+        break;
+      case Op::kLoadName: {
+        const NameRef& n = chunk.names[in.imm];
+        // Copy-assign through the borrowed pointer so the register's
+        // existing buffers are reused across a batch of notes.
+        if (const Value* v = ev.LookupNameRef(n.lowered, n.original)) {
+          regs_[in.dst] = *v;
+        } else {
+          static const Value kEmptyText = Value::Text("");
+          regs_[in.dst] = kEmptyText;
+        }
+        break;
+      }
+      case Op::kStoreTemp: {
+        const NameRef& n = chunk.names[in.imm];
+        Value v = val(in.src1);
+        ev.SetTempLowered(n.lowered, v);
+        regs_[in.dst] = std::move(v);
+        break;
+      }
+      case Op::kStoreDefault: {
+        const NameRef& n = chunk.names[in.imm];
+        Value v = val(in.src1);
+        ev.SetDefaultVar(n.lowered, v);
+        regs_[in.dst] = std::move(v);
+        break;
+      }
+      case Op::kStoreField: {
+        const NameRef& n = chunk.names[in.imm];
+        Value v = val(in.src1);
+        DOMINO_RETURN_IF_ERROR(ev.SetField(n.original, v));
+        regs_[in.dst] = std::move(v);
+        break;
+      }
+      case Op::kSelect: {
+        bool b = val(in.src1).AsBool();
+        ev.SetSelectValue(b);
+        StoreNum(&regs_[in.dst], b ? 1 : 0);
+        break;
+      }
+      case Op::kToBool:
+        StoreNum(&regs_[in.dst], val(in.src1).AsBool() ? 1 : 0);
+        break;
+      case Op::kNot:
+        StoreNum(&regs_[in.dst], val(in.src1).AsBool() ? 0 : 1);
+        break;
+      case Op::kNeg:
+        regs_[in.dst] = ApplyUnaryNeg(val(in.src1));
+        break;
+      case Op::kBinary: {
+        const TokenType op = static_cast<TokenType>(in.a);
+        if (FastBinary(op, val(in.src1), val(in.src2), &regs_[in.dst])) {
+          break;
+        }
+        DOMINO_ASSIGN_OR_RETURN(
+            Value v, ApplyBinaryOp(op, val(in.src1), val(in.src2), in.imm));
+        regs_[in.dst] = std::move(v);
+        break;
+      }
+      case Op::kConcat:
+        regs_[in.dst] = ConcatLists(val(in.src1), val(in.src2));
+        break;
+      case Op::kJump:
+        pc = in.imm;
+        break;
+      case Op::kJumpIfFalse:
+        if (!val(in.src1).AsBool()) pc = in.imm;
+        break;
+      case Op::kJumpIfTrue:
+        if (val(in.src1).AsBool()) pc = in.imm;
+        break;
+      case Op::kJumpIfReturned:
+        if (ev.returned()) pc = in.imm;
+        break;
+      case Op::kSetReturn:
+        regs_[in.dst] = val(in.src1);
+        ev.RequestReturn(regs_[in.dst]);
+        break;
+      case Op::kNameAvail: {
+        const NameRef& n = chunk.names[in.imm];
+        bool avail = ev.NameAvailableLowered(n.lowered, n.original);
+        regs_[in.dst] = BoolValue(in.a != 0 ? !avail : avail);
+        break;
+      }
+      case Op::kCall: {
+        const CallSite& cs = chunk.calls[in.imm];
+        // Copy-assign into the persistent argument buffer (arity must
+        // match exactly — @functions dispatch on args.size()). Both the
+        // argument slots and the registers keep their heap buffers alive
+        // across the batch this way.
+        if (args_.size() != in.a) args_.resize(in.a);
+        for (uint8_t i = 0; i < in.a; ++i) {
+          args_[i] = regs_[in.src1 + i];
+        }
+        DOMINO_ASSIGN_OR_RETURN(Value v, cs.def->fn(ev, *cs.expr, args_));
+        regs_[in.dst] = std::move(v);
+        break;
+      }
+      case Op::kCallLazy: {
+        const CallSite& cs = chunk.calls[in.imm];
+        DOMINO_ASSIGN_OR_RETURN(Value v, cs.def->fn(ev, *cs.expr, kNoArgs));
+        regs_[in.dst] = std::move(v);
+        break;
+      }
+      case Op::kFail:
+        return chunk.errors[in.imm];
+      case Op::kHalt:
+        // Hand the result out in place (the compiler only ever emits a
+        // register operand here); Run moves it, Matches reads through it.
+        if (ev.returned()) return &ev.mutable_return_value();
+        return &regs_[in.src1];
+    }
+  }
+}
+
+}  // namespace dominodb::formula

@@ -1,0 +1,41 @@
+#ifndef DOMINODB_FORMULA_VM_H_
+#define DOMINODB_FORMULA_VM_H_
+
+#include <vector>
+
+#include "base/result.h"
+#include "formula/bytecode.h"
+#include "model/value.h"
+
+namespace dominodb::formula {
+
+class Evaluator;
+
+/// Dispatch-loop VM for compiled formulas. One Vm per evaluation thread;
+/// the register file persists across Run calls so batch evaluation
+/// (BatchEvaluator: UPDALL, view selection, FormulaSearch) pays the
+/// allocation once per batch instead of once per note.
+///
+/// The Evaluator is passed in per run: it owns the per-document state
+/// (temps, DEFAULTs, @Return, SELECT) and is the service object the ~90
+/// eager @function implementations already take — the VM reuses them
+/// unchanged through the chunk's call sites.
+class Vm {
+ public:
+  Result<Value> Run(const Chunk& chunk, Evaluator& ev);
+
+  /// Like Run, but leaves the result in place (register file or the
+  /// evaluator's @Return slot) and returns a borrowed pointer valid until
+  /// the next Run/RunInPlace. Predicate callers (BatchEvaluator::Matches —
+  /// view selection, UPDALL) read AsBool off it without moving the value
+  /// out, so the result register's heap buffers survive across the batch.
+  Result<Value*> RunInPlace(const Chunk& chunk, Evaluator& ev);
+
+ private:
+  std::vector<Value> regs_;
+  std::vector<Value> args_;
+};
+
+}  // namespace dominodb::formula
+
+#endif  // DOMINODB_FORMULA_VM_H_

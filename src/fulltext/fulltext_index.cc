@@ -32,6 +32,8 @@ FullTextIndex::FullTextIndex(stats::StatRegistry* stats) {
   ctr_merges_ = &reg.GetCounter("Database.FullText.Merges");
   ctr_tokens_ = &reg.GetCounter("Database.FullText.Tokens");
   ctr_queries_ = &reg.GetCounter("Database.FullText.Queries");
+  ctr_ooo_inserts_ = &reg.GetCounter("Ft.Index.OutOfOrderInserts");
+  gauge_bytes_per_doc_ = &reg.GetGauge("Ft.Index.BytesPerDoc");
 }
 
 void FullTextIndex::TokenizeNoteInto(const Note& note, IndexShard* shard) {
@@ -82,10 +84,24 @@ void FullTextIndex::TokenizeNoteInto(const Note& note, IndexShard* shard) {
 }
 
 void FullTextIndex::MergeShard(IndexShard* shard) {
-  // First shard into an empty index: adopt the maps wholesale instead of
-  // merging key by key (the common case for a fresh BuildFrom).
-  if (postings_.empty() && field_postings_.empty() && terms_of_doc_.empty()) {
-    postings_ = std::move(shard->postings);
+  // Plain postings always funnel through PostingList::Insert — that is
+  // where the uncompressed per-doc vectors become delta+varint blocks,
+  // and where out-of-id-order arrivals (shards built in physical order
+  // after compaction relocated notes) get spliced back into sorted order.
+  for (auto& [term, pm] : shard->postings) {
+    PostingList& list = postings_[term];
+    posting_bytes_ -= list.byte_size();
+    model_bytes_ -= list.UncompressedModelBytes();
+    for (auto& [doc, posting] : pm) {
+      if (list.Insert(doc, posting.positions)) ctr_ooo_inserts_->Add();
+    }
+    posting_bytes_ += list.byte_size();
+    model_bytes_ += list.UncompressedModelBytes();
+  }
+  // First shard into an empty index: adopt the side maps wholesale
+  // instead of merging key by key (the common case for a fresh
+  // BuildFrom).
+  if (field_postings_.empty() && terms_of_doc_.empty()) {
     field_postings_ = std::move(shard->field_postings);
     terms_of_doc_ = std::move(shard->terms_of_doc);
     for (auto& [id, length] : shard->doc_lengths) doc_lengths_[id] = length;
@@ -94,10 +110,6 @@ void FullTextIndex::MergeShard(IndexShard* shard) {
   }
   // Note ids are disjoint across shards (and RemoveNote precedes any
   // re-index), so merging splices map nodes without key conflicts.
-  for (auto& [term, pm] : shard->postings) {
-    auto [it, inserted] = postings_.try_emplace(term, std::move(pm));
-    if (!inserted) it->second.merge(pm);
-  }
   for (auto& [fkey, fpm] : shard->field_postings) {
     auto [it, inserted] = field_postings_.try_emplace(fkey, std::move(fpm));
     if (!inserted) it->second.merge(fpm);
@@ -107,6 +119,12 @@ void FullTextIndex::MergeShard(IndexShard* shard) {
   }
   for (auto& [id, length] : shard->doc_lengths) doc_lengths_[id] = length;
   for (NoteId id : shard->docs) docs_.insert(id);
+}
+
+void FullTextIndex::RefreshByteStats() {
+  gauge_bytes_per_doc_->Set(
+      docs_.empty() ? 0
+                    : static_cast<int64_t>(posting_bytes_ / docs_.size()));
 }
 
 void FullTextIndex::IndexNote(const Note& note) {
@@ -125,6 +143,7 @@ void FullTextIndex::IndexNote(const Note& note) {
   ++stats_.notes_indexed;
   ctr_docs_indexed_->Add();
   ctr_tokens_->Add(tokens);
+  RefreshByteStats();
 }
 
 void FullTextIndex::BuildFrom(const std::vector<const Note*>& notes,
@@ -166,6 +185,7 @@ void FullTextIndex::BuildFrom(const std::vector<const Note*>& notes,
     ctr_tokens_->Add(shard.tokens);
     MergeShard(&shard);
   }
+  RefreshByteStats();
 }
 
 void FullTextIndex::RemoveNote(NoteId id) {
@@ -181,8 +201,16 @@ void FullTextIndex::RemoveNote(NoteId id) {
     } else {
       auto pit = postings_.find(key);
       if (pit != postings_.end()) {
-        pit->second.erase(id);
-        if (pit->second.empty()) postings_.erase(pit);
+        PostingList& list = pit->second;
+        posting_bytes_ -= list.byte_size();
+        model_bytes_ -= list.UncompressedModelBytes();
+        list.Erase(id);
+        if (list.empty()) {
+          postings_.erase(pit);
+        } else {
+          posting_bytes_ += list.byte_size();
+          model_bytes_ += list.UncompressedModelBytes();
+        }
       }
     }
   }
@@ -191,6 +219,7 @@ void FullTextIndex::RemoveNote(NoteId id) {
   docs_.erase(id);
   ++stats_.notes_removed;
   ctr_docs_removed_->Add();
+  RefreshByteStats();
 }
 
 void FullTextIndex::Clear() {
@@ -199,10 +228,16 @@ void FullTextIndex::Clear() {
   terms_of_doc_.clear();
   doc_lengths_.clear();
   docs_.clear();
+  posting_bytes_ = 0;
+  model_bytes_ = 0;
+  RefreshByteStats();
 }
 
-const FullTextIndex::PostingMap* FullTextIndex::FindTerm(
-    const std::string& term) const {
+size_t FullTextIndex::ByteUsage() const { return posting_bytes_; }
+
+size_t FullTextIndex::UncompressedModelBytes() const { return model_bytes_; }
+
+const PostingList* FullTextIndex::FindTerm(const std::string& term) const {
   auto it = postings_.find(ToLower(term));
   return it == postings_.end() ? nullptr : &it->second;
 }
@@ -215,10 +250,13 @@ FullTextIndex::PostingMap FullTextIndex::MaterializeFieldTerm(
   if (fit == field_postings_.end()) return out;
   auto pit = postings_.find(lowered);
   if (pit == postings_.end()) return out;
+  // The field map is sorted by doc, so one forward cursor pass decodes
+  // each needed posting exactly once.
+  PostingList::Cursor cursor = pit->second.NewCursor();
   for (const auto& [doc, slices] : fit->second) {
-    auto dit = pit->second.find(doc);
-    if (dit == pit->second.end()) continue;
-    const std::vector<uint32_t>& all = dit->second.positions;
+    cursor.SkipTo(doc);
+    if (cursor.doc() != doc) continue;
+    const std::vector<uint32_t>& all = cursor.positions();
     std::vector<uint32_t>& positions = out[doc].positions;
     for (const FieldSlice& slice : slices) {
       if (slice.end > all.size() || slice.begin > slice.end) continue;
@@ -230,8 +268,8 @@ FullTextIndex::PostingMap FullTextIndex::MaterializeFieldTerm(
 }
 
 double FullTextIndex::IdfOf(const std::string& term) const {
-  const PostingMap* pm = FindTerm(term);
-  size_t df = pm != nullptr ? pm->size() : 0;
+  const PostingList* list = FindTerm(term);
+  size_t df = list != nullptr ? list->doc_count() : 0;
   return std::log(1.0 + static_cast<double>(docs_.size()) /
                             static_cast<double>(df + 1));
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <list>
 #include <map>
 #include <memory>
 
@@ -213,35 +214,173 @@ class QParser {
 };
 
 // ------------------------------------------------------------- evaluator --
+//
+// Doc-at-a-time evaluation over compressed posting cursors. Every operator
+// is a ScoreIter producing (doc, score) pairs in ascending doc order; AND
+// leapfrogs its children with SkipTo so conjunctions jump across posting
+// blocks (via the per-block skip entries) instead of materializing and
+// intersecting full score maps. Scores reproduce the old map-based
+// evaluator exactly, including floating-point addition order.
 
-using ScoreMap = std::map<NoteId, double>;
+constexpr uint64_t kEnd = PostingList::kEndDoc;
 
-/// Docs where `terms` occur consecutively, using `lookup` to fetch a
-/// posting map per term. Scores by match count × summed idf.
-ScoreMap EvalConsecutive(
-    const FullTextIndex& index, const std::vector<std::string>& terms,
-    const std::function<const FullTextIndex::PostingMap*(const std::string&)>&
-        lookup) {
-  ScoreMap out;
-  if (terms.empty()) return out;
-  const FullTextIndex::PostingMap* first = lookup(terms[0]);
-  if (first == nullptr) return out;
-  double idf_sum = 0;
-  for (const std::string& t : terms) idf_sum += index.IdfOf(t);
-  for (const auto& [doc, posting] : *first) {
-    size_t matches = 0;
-    for (uint32_t pos : posting.positions) {
-      bool all = true;
-      for (size_t k = 1; k < terms.size(); ++k) {
-        const FullTextIndex::PostingMap* pm = lookup(terms[k]);
-        if (pm == nullptr) {
-          all = false;
+class ScoreIter {
+ public:
+  virtual ~ScoreIter() = default;
+  virtual uint64_t doc() const = 0;        // kEnd when exhausted
+  virtual double score() const = 0;        // valid while doc() < kEnd
+  virtual void Next() = 0;
+  virtual void SkipTo(uint64_t target) = 0;  // first doc >= target
+};
+
+using ScoreIterPtr = std::unique_ptr<ScoreIter>;
+
+class EmptyIter final : public ScoreIter {
+ public:
+  uint64_t doc() const override { return kEnd; }
+  double score() const override { return 0; }
+  void Next() override {}
+  void SkipTo(uint64_t) override {}
+};
+
+/// A single term: score = frequency × idf, straight off the entry header
+/// (positions stay encoded).
+class TermIter final : public ScoreIter {
+ public:
+  TermIter(const PostingList* list, double idf)
+      : cursor_(list), idf_(idf) {}
+
+  uint64_t doc() const override { return cursor_.doc(); }
+  double score() const override {
+    return static_cast<double>(cursor_.freq()) * idf_;
+  }
+  void Next() override { cursor_.Next(); }
+  void SkipTo(uint64_t target) override { cursor_.SkipTo(target); }
+
+ private:
+  PostingList::Cursor cursor_;
+  double idf_;
+};
+
+/// Positions-bearing cursor abstraction shared by the phrase evaluator:
+/// either a compressed-postings cursor (plain terms) or an iterator over a
+/// materialized field-scoped posting map.
+class PosSource {
+ public:
+  virtual ~PosSource() = default;
+  virtual uint64_t doc() const = 0;
+  virtual const std::vector<uint32_t>& positions() const = 0;
+  virtual void Next() = 0;
+  virtual void SkipTo(uint64_t target) = 0;
+};
+
+class ListPosSource final : public PosSource {
+ public:
+  explicit ListPosSource(const PostingList* list) : cursor_(list) {}
+  uint64_t doc() const override { return cursor_.doc(); }
+  const std::vector<uint32_t>& positions() const override {
+    return cursor_.positions();
+  }
+  void Next() override { cursor_.Next(); }
+  void SkipTo(uint64_t target) override { cursor_.SkipTo(target); }
+
+ private:
+  PostingList::Cursor cursor_;
+};
+
+class MapPosSource final : public PosSource {
+ public:
+  explicit MapPosSource(const FullTextIndex::PostingMap* map)
+      : map_(map), it_(map->begin()) {}
+  uint64_t doc() const override {
+    return it_ == map_->end() ? kEnd : it_->first;
+  }
+  const std::vector<uint32_t>& positions() const override {
+    return it_->second.positions;
+  }
+  void Next() override { ++it_; }
+  void SkipTo(uint64_t target) override {
+    if (doc() >= target) return;
+    // target can be the kEnd sentinel (one past the NoteId range); the
+    // narrowing cast would wrap to 0 and rewind the iterator.
+    it_ = target >= kEnd ? map_->end()
+                         : map_->lower_bound(static_cast<NoteId>(target));
+  }
+
+ private:
+  const FullTextIndex::PostingMap* map_;
+  FullTextIndex::PostingMap::const_iterator it_;
+};
+
+/// Docs where the terms occur at consecutive positions ("phrases" and
+/// FIELD ... CONTAINS). Leapfrogs all term cursors to a common doc, then
+/// counts starting positions whose successors line up; docs with zero
+/// matches are skipped entirely (the old evaluator only emitted docs with
+/// matches > 0). Score = match count × summed idf.
+class ConsecutiveIter final : public ScoreIter {
+ public:
+  ConsecutiveIter(std::vector<std::unique_ptr<PosSource>> sources,
+                  double idf_sum)
+      : sources_(std::move(sources)), idf_sum_(idf_sum) {
+    Settle(0);
+  }
+
+  uint64_t doc() const override { return doc_; }
+  double score() const override {
+    return static_cast<double>(matches_) * idf_sum_;
+  }
+  void Next() override {
+    if (doc_ < kEnd) Settle(doc_ + 1);
+  }
+  void SkipTo(uint64_t target) override {
+    if (doc_ < target) Settle(target);
+  }
+
+ private:
+  /// Positions at the first doc >= target where all sources align and at
+  /// least one consecutive run matches.
+  void Settle(uint64_t target) {
+    for (;;) {
+      sources_[0]->SkipTo(target);
+      uint64_t candidate = sources_[0]->doc();
+      if (candidate >= kEnd) {
+        doc_ = kEnd;
+        return;
+      }
+      bool aligned = true;
+      for (size_t k = 1; k < sources_.size(); ++k) {
+        sources_[k]->SkipTo(candidate);
+        if (sources_[k]->doc() != candidate) {
+          // This source is past the candidate (or exhausted): restart the
+          // leapfrog at its doc.
+          if (sources_[k]->doc() >= kEnd) {
+            doc_ = kEnd;
+            return;
+          }
+          target = sources_[k]->doc();
+          aligned = false;
           break;
         }
-        auto dit = pm->find(doc);
-        if (dit == pm->end() ||
-            !std::binary_search(dit->second.positions.begin(),
-                                dit->second.positions.end(),
+      }
+      if (!aligned) continue;
+      matches_ = CountMatches();
+      if (matches_ > 0) {
+        doc_ = candidate;
+        return;
+      }
+      target = candidate + 1;
+    }
+  }
+
+  size_t CountMatches() const {
+    // Identical counting loop to the old EvalConsecutive: for each start
+    // position of the first term, every later term must contain pos + k.
+    size_t matches = 0;
+    for (uint32_t pos : sources_[0]->positions()) {
+      bool all = true;
+      for (size_t k = 1; k < sources_.size(); ++k) {
+        const std::vector<uint32_t>& positions = sources_[k]->positions();
+        if (!std::binary_search(positions.begin(), positions.end(),
                                 pos + static_cast<uint32_t>(k))) {
           all = false;
           break;
@@ -249,75 +388,171 @@ ScoreMap EvalConsecutive(
       }
       if (all) ++matches;
     }
-    if (matches > 0) out[doc] = static_cast<double>(matches) * idf_sum;
+    return matches;
   }
-  return out;
-}
 
-ScoreMap EvalNode(const FullTextIndex& index, const QNode& node) {
+  std::vector<std::unique_ptr<PosSource>> sources_;
+  double idf_sum_ = 0;
+  uint64_t doc_ = kEnd;
+  size_t matches_ = 0;
+};
+
+/// Conjunction: leapfrog both children with SkipTo — this is where block
+/// skip entries pay off, because neither side decodes the doc ranges the
+/// other side rules out.
+class AndIter final : public ScoreIter {
+ public:
+  AndIter(ScoreIterPtr a, ScoreIterPtr b)
+      : a_(std::move(a)), b_(std::move(b)) {
+    Align(0);
+  }
+
+  uint64_t doc() const override { return doc_; }
+  double score() const override { return a_->score() + b_->score(); }
+  void Next() override {
+    if (doc_ < kEnd) Align(doc_ + 1);
+  }
+  void SkipTo(uint64_t target) override {
+    if (doc_ < target) Align(target);
+  }
+
+ private:
+  void Align(uint64_t target) {
+    a_->SkipTo(target);
+    while (a_->doc() < kEnd) {
+      b_->SkipTo(a_->doc());
+      if (b_->doc() == a_->doc()) {
+        doc_ = a_->doc();
+        return;
+      }
+      a_->SkipTo(b_->doc());
+    }
+    doc_ = kEnd;
+  }
+
+  ScoreIterPtr a_, b_;
+  uint64_t doc_ = kEnd;
+};
+
+class OrIter final : public ScoreIter {
+ public:
+  OrIter(ScoreIterPtr a, ScoreIterPtr b)
+      : a_(std::move(a)), b_(std::move(b)) {}
+
+  uint64_t doc() const override { return std::min(a_->doc(), b_->doc()); }
+  double score() const override {
+    uint64_t d = doc();
+    // Matches the map-based merge: lhs score first, then += rhs.
+    if (a_->doc() == d && b_->doc() == d) return a_->score() + b_->score();
+    return a_->doc() == d ? a_->score() : b_->score();
+  }
+  void Next() override {
+    uint64_t d = doc();
+    if (d >= kEnd) return;
+    if (a_->doc() == d) a_->Next();
+    if (b_->doc() == d) b_->Next();
+  }
+  void SkipTo(uint64_t target) override {
+    a_->SkipTo(target);
+    b_->SkipTo(target);
+  }
+
+ private:
+  ScoreIterPtr a_, b_;
+};
+
+/// Complement over the corpus: every indexed doc not matched by the child,
+/// with the old evaluator's flat 0.1 score.
+class NotIter final : public ScoreIter {
+ public:
+  NotIter(ScoreIterPtr child, const std::set<NoteId>& docs)
+      : child_(std::move(child)), docs_(docs), it_(docs.begin()) {
+    Settle();
+  }
+
+  uint64_t doc() const override {
+    return it_ == docs_.end() ? kEnd : *it_;
+  }
+  double score() const override { return 0.1; }
+  void Next() override {
+    if (it_ == docs_.end()) return;
+    ++it_;
+    Settle();
+  }
+  void SkipTo(uint64_t target) override {
+    if (doc() >= target) return;
+    it_ = target >= kEnd ? docs_.end()
+                         : docs_.lower_bound(static_cast<NoteId>(target));
+    Settle();
+  }
+
+ private:
+  void Settle() {
+    while (it_ != docs_.end()) {
+      child_->SkipTo(*it_);
+      if (child_->doc() != *it_) return;
+      ++it_;
+    }
+  }
+
+  ScoreIterPtr child_;
+  const std::set<NoteId>& docs_;
+  std::set<NoteId>::const_iterator it_;
+};
+
+ScoreIterPtr BuildIter(
+    const FullTextIndex& index, const QNode& node,
+    std::list<FullTextIndex::PostingMap>* field_maps) {
   switch (node.kind) {
     case QNode::Kind::kTerm: {
-      ScoreMap out;
-      const FullTextIndex::PostingMap* pm = index.FindTerm(node.term);
-      if (pm == nullptr) return out;
-      double idf = index.IdfOf(node.term);
-      for (const auto& [doc, posting] : *pm) {
-        out[doc] = static_cast<double>(posting.positions.size()) * idf;
-      }
-      return out;
+      const PostingList* list = index.FindTerm(node.term);
+      if (list == nullptr) return std::make_unique<EmptyIter>();
+      return std::make_unique<TermIter>(list, index.IdfOf(node.term));
     }
-    case QNode::Kind::kPhrase:
-      return EvalConsecutive(index, node.phrase,
-                             [&](const std::string& t) {
-                               return index.FindTerm(t);
-                             });
+    case QNode::Kind::kPhrase: {
+      double idf_sum = 0;
+      for (const std::string& t : node.phrase) idf_sum += index.IdfOf(t);
+      std::vector<std::unique_ptr<PosSource>> sources;
+      for (const std::string& t : node.phrase) {
+        const PostingList* list = index.FindTerm(t);
+        if (list == nullptr) return std::make_unique<EmptyIter>();
+        sources.push_back(std::make_unique<ListPosSource>(list));
+      }
+      return std::make_unique<ConsecutiveIter>(std::move(sources), idf_sum);
+    }
     case QNode::Kind::kFieldContains: {
       // Field-scoped postings are stored as slices into the unscoped
       // postings; materialize each distinct term once for this node.
-      std::map<std::string, FullTextIndex::PostingMap> field_maps;
+      // idf uses the unscoped term, as before.
+      double idf_sum = 0;
+      for (const std::string& t : node.phrase) idf_sum += index.IdfOf(t);
+      std::map<std::string, const FullTextIndex::PostingMap*> by_term;
+      std::vector<std::unique_ptr<PosSource>> sources;
       for (const std::string& t : node.phrase) {
-        if (field_maps.find(t) == field_maps.end()) {
-          field_maps.emplace(t, index.MaterializeFieldTerm(node.field, t));
+        auto [it, fresh] = by_term.try_emplace(t, nullptr);
+        if (fresh) {
+          field_maps->push_back(index.MaterializeFieldTerm(node.field, t));
+          it->second = &field_maps->back();
         }
+        if (it->second->empty()) return std::make_unique<EmptyIter>();
+        sources.push_back(std::make_unique<MapPosSource>(it->second));
       }
-      return EvalConsecutive(index, node.phrase,
-                             [&](const std::string& t)
-                                 -> const FullTextIndex::PostingMap* {
-                               auto it = field_maps.find(t);
-                               if (it == field_maps.end() ||
-                                   it->second.empty()) {
-                                 return nullptr;
-                               }
-                               return &it->second;
-                             });
+      return std::make_unique<ConsecutiveIter>(std::move(sources), idf_sum);
     }
-    case QNode::Kind::kAnd: {
-      ScoreMap a = EvalNode(index, *node.children[0]);
-      ScoreMap b = EvalNode(index, *node.children[1]);
-      ScoreMap out;
-      for (const auto& [doc, score] : a) {
-        auto it = b.find(doc);
-        if (it != b.end()) out[doc] = score + it->second;
-      }
-      return out;
-    }
-    case QNode::Kind::kOr: {
-      ScoreMap out = EvalNode(index, *node.children[0]);
-      for (const auto& [doc, score] : EvalNode(index, *node.children[1])) {
-        out[doc] += score;
-      }
-      return out;
-    }
-    case QNode::Kind::kNot: {
-      ScoreMap child = EvalNode(index, *node.children[0]);
-      ScoreMap out;
-      for (NoteId doc : index.all_docs()) {
-        if (child.find(doc) == child.end()) out[doc] = 0.1;
-      }
-      return out;
-    }
+    case QNode::Kind::kAnd:
+      return std::make_unique<AndIter>(
+          BuildIter(index, *node.children[0], field_maps),
+          BuildIter(index, *node.children[1], field_maps));
+    case QNode::Kind::kOr:
+      return std::make_unique<OrIter>(
+          BuildIter(index, *node.children[0], field_maps),
+          BuildIter(index, *node.children[1], field_maps));
+    case QNode::Kind::kNot:
+      return std::make_unique<NotIter>(
+          BuildIter(index, *node.children[0], field_maps),
+          index.all_docs());
   }
-  return {};
+  return std::make_unique<EmptyIter>();
 }
 
 }  // namespace
@@ -329,11 +564,14 @@ Result<std::vector<FtHit>> FullTextIndex::Search(
   DOMINO_ASSIGN_OR_RETURN(auto tokens, LexQuery(query));
   QParser parser(std::move(tokens));
   DOMINO_ASSIGN_OR_RETURN(QNodePtr root, parser.Run());
-  ScoreMap scores = EvalNode(*this, *root);
+  // Materialized FIELD CONTAINS maps must outlive the iterator tree;
+  // std::list keeps their addresses stable as more nodes add maps.
+  std::list<PostingMap> field_maps;
+  ScoreIterPtr root_iter = BuildIter(*this, *root, &field_maps);
   std::vector<FtHit> hits;
-  hits.reserve(scores.size());
-  for (const auto& [doc, score] : scores) {
-    hits.push_back(FtHit{doc, score});
+  for (; root_iter->doc() < PostingList::kEndDoc; root_iter->Next()) {
+    hits.push_back(
+        FtHit{static_cast<NoteId>(root_iter->doc()), root_iter->score()});
   }
   std::sort(hits.begin(), hits.end(), [](const FtHit& a, const FtHit& b) {
     if (a.score != b.score) return a.score > b.score;

@@ -12,7 +12,33 @@ namespace {
 
 constexpr int kMaxResponseDepth = 32;
 
+// Recompiling through Formula::Compile routes the source through the
+// process-wide compile cache, so bundles share one immutable
+// CompiledFormula per distinct source. Falls back to the design's own
+// object when compilation fails (it carries the original error behavior).
+formula::Formula RecompileShared(const formula::Formula& f) {
+  if (!f.valid()) return f;
+  if (auto compiled = formula::Formula::Compile(f.source()); compiled.ok()) {
+    return std::move(*compiled);
+  }
+  return f;
+}
+
 }  // namespace
+
+ViewIndex::EvalBundle::EvalBundle(const ViewDesign& design)
+    : selection(RecompileShared(design.selection())),
+      select_eval(selection) {
+  column_evals.reserve(design.columns().size());
+  for (const ViewColumn& col : design.columns()) {
+    if (col.formula.valid()) {
+      column_evals.emplace_back(
+          formula::BatchEvaluator(RecompileShared(col.formula)));
+    } else {
+      column_evals.emplace_back(std::nullopt);
+    }
+  }
+}
 
 ViewIndex::ViewIndex(ViewDesign design, const Clock* clock,
                      stats::StatRegistry* stats)
@@ -35,16 +61,11 @@ ViewIndex::ViewIndex(ViewDesign design, const Clock* clock,
   needs_response_walk_ = design_.show_response_hierarchy() ||
                          design_.selection().selects_all_children() ||
                          design_.selection().selects_all_descendants();
-  column_formulas_.reserve(design_.columns().size());
-  for (const ViewColumn& col : design_.columns()) {
-    column_formulas_.push_back(col.formula.valid() ? &col.formula : nullptr);
-  }
+  bundle_ = std::make_unique<EvalBundle>(design_);
 }
 
 std::optional<ViewEntry> ViewIndex::EvalNoteAgainst(
-    const Note& note, const NoteResolver* resolver,
-    const formula::Formula& selection,
-    const std::vector<const formula::Formula*>& columns,
+    const Note& note, const NoteResolver* resolver, EvalBundle* bundle,
     ViewStats* tally) const {
   if (note.deleted() || note.note_class() != NoteClass::kDocument) {
     return std::nullopt;
@@ -55,7 +76,7 @@ std::optional<ViewEntry> ViewIndex::EvalNoteAgainst(
     ctx.note = &note;
     ctx.clock = clock_;
     ++tally->selection_evals;
-    auto matched = selection.Matches(ctx);
+    auto matched = bundle->select_eval.Matches(ctx);
     if (!matched.ok()) {
       ++tally->formula_errors;
       return std::nullopt;
@@ -65,8 +86,8 @@ std::optional<ViewEntry> ViewIndex::EvalNoteAgainst(
     } else if (note.IsResponse() && resolver != nullptr) {
       // SELECT ... | @AllChildren / @AllDescendants: responses ride along
       // with a matching parent (one level) or any matching ancestor.
-      bool children = selection.selects_all_children();
-      bool descendants = selection.selects_all_descendants();
+      bool children = bundle->selection.selects_all_children();
+      bool descendants = bundle->selection.selects_all_descendants();
       if (children || descendants) {
         NoteHandle ancestor = resolver->FindByUnid(note.parent_unid());
         for (int depth = 0;
@@ -75,7 +96,7 @@ std::optional<ViewEntry> ViewIndex::EvalNoteAgainst(
           actx.note = ancestor.get();
           actx.clock = clock_;
           ++tally->selection_evals;
-          auto m = selection.Matches(actx);
+          auto m = bundle->select_eval.Matches(actx);
           if (m.ok() && *m) {
             selected = true;
             break;
@@ -97,8 +118,8 @@ std::optional<ViewEntry> ViewIndex::EvalNoteAgainst(
   entry.created = note.created();
   entry.column_values.reserve(design_.columns().size());
   for (size_t i = 0; i < design_.columns().size(); ++i) {
-    const formula::Formula* f = i < columns.size() ? columns[i] : nullptr;
-    if (f == nullptr || !f->valid()) {
+    std::optional<formula::BatchEvaluator>& f = bundle->column_evals[i];
+    if (!f.has_value()) {
       entry.column_values.push_back(Value::Text(""));
       continue;
     }
@@ -129,8 +150,8 @@ void ViewIndex::MergeTally(const ViewStats& tally) {
 Result<std::optional<ViewEntry>> ViewIndex::EvaluateNote(
     const Note& note, const NoteResolver* resolver) {
   ViewStats tally;
-  std::optional<ViewEntry> entry = EvalNoteAgainst(
-      note, resolver, design_.selection(), column_formulas_, &tally);
+  std::optional<ViewEntry> entry =
+      EvalNoteAgainst(note, resolver, bundle_.get(), &tally);
   MergeTally(tally);
   return Result<std::optional<ViewEntry>>(std::move(entry));
 }
@@ -297,32 +318,13 @@ void ViewIndex::RebuildParallel(const std::vector<Note>& notes,
     shard.begin = notes.size() * s / shard_count;
     shard.end = notes.size() * (s + 1) / shard_count;
     tasks.push_back([this, &notes, resolver, &shard, flat] {
-      // Per-worker formula clones. Compile goes through the process-wide
-      // compile cache, so workers share the immutable Program while
-      // owning their Formula wrappers.
-      formula::Formula selection = design_.selection();
-      if (auto compiled =
-              formula::Formula::Compile(design_.selection().source());
-          compiled.ok()) {
-        selection = std::move(*compiled);
-      }
-      std::vector<formula::Formula> col_storage(design_.columns().size());
-      std::vector<const formula::Formula*> columns(design_.columns().size(),
-                                                   nullptr);
-      for (size_t i = 0; i < design_.columns().size(); ++i) {
-        const formula::Formula& col = design_.columns()[i].formula;
-        if (!col.valid()) continue;
-        if (auto compiled = formula::Formula::Compile(col.source());
-            compiled.ok()) {
-          col_storage[i] = std::move(*compiled);
-          columns[i] = &col_storage[i];
-        } else {
-          columns[i] = &col;
-        }
-      }
+      // Per-worker evaluation bundle. Compile goes through the
+      // process-wide compile cache, so workers share the immutable
+      // CompiledFormula while owning their VM register files.
+      EvalBundle bundle(design_);
       for (size_t i = shard.begin; i < shard.end; ++i) {
-        std::optional<ViewEntry> entry = EvalNoteAgainst(
-            notes[i], resolver, selection, columns, &shard.tally);
+        std::optional<ViewEntry> entry =
+            EvalNoteAgainst(notes[i], resolver, &bundle, &shard.tally);
         if (flat) {
           if (entry.has_value()) {
             RowKey key = BuildKey(*entry);

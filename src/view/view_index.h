@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -188,17 +189,29 @@ class ViewIndex {
     ResponseKey resp_key;  // when is_response_row
   };
 
+  /// Per-thread evaluation state: the selection and each column formula
+  /// paired with a formula::BatchEvaluator, so the bytecode VM's register
+  /// file (and the compiled program) is reused across every note a worker
+  /// evaluates instead of being re-set-up per note. One bundle per rebuild
+  /// shard; the serial update path owns one in `bundle_`.
+  struct EvalBundle {
+    explicit EvalBundle(const ViewDesign& design);
+    formula::Formula selection;  // for selects_all_* response flags
+    formula::BatchEvaluator select_eval;
+    // Aligned with design.columns(); nullopt for formula-less columns.
+    std::vector<std::optional<formula::BatchEvaluator>> column_evals;
+  };
+
   /// nullopt = not selected.
   Result<std::optional<ViewEntry>> EvaluateNote(const Note& note,
                                                 const NoteResolver* resolver);
   /// Thread-safe evaluation core shared by the serial path and parallel
-  /// rebuild shards: evaluates against caller-supplied formulas, tallies
-  /// into `tally`, and never touches the index containers or mirrors.
-  std::optional<ViewEntry> EvalNoteAgainst(
-      const Note& note, const NoteResolver* resolver,
-      const formula::Formula& selection,
-      const std::vector<const formula::Formula*>& columns,
-      ViewStats* tally) const;
+  /// rebuild shards: evaluates against the caller's bundle, tallies into
+  /// `tally`, and never touches the index containers or mirrors.
+  std::optional<ViewEntry> EvalNoteAgainst(const Note& note,
+                                           const NoteResolver* resolver,
+                                           EvalBundle* bundle,
+                                           ViewStats* tally) const;
   /// Adds an eval tally to the per-index stats and server-wide mirrors.
   void MergeTally(const ViewStats& tally);
   RowKey BuildKey(const ViewEntry& entry) const;
@@ -220,9 +233,9 @@ class ViewIndex {
   const Clock* clock_;
   std::vector<bool> descending_;  // per sorted column, aligned to key build
   bool needs_response_walk_ = false;
-  // design_.columns()[i].formula or nullptr when the column has none;
-  // the serial-path argument for EvalNoteAgainst.
-  std::vector<const formula::Formula*> column_formulas_;
+  // Serial-path evaluation bundle (incremental updates run one note at a
+  // time under the exclusive lock; rebuild shards build their own).
+  std::unique_ptr<EvalBundle> bundle_;
 
   std::map<RowKey, ViewEntry> rows_;
   std::map<Unid, std::map<ResponseKey, ViewEntry>> responses_;

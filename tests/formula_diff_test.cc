@@ -1,0 +1,368 @@
+// Differential harness: a seeded grammar-based formula generator runs
+// every sample through BOTH engines — the tree-walking interpreter (the
+// oracle) and the register-bytecode VM — and asserts identical results:
+// same value or same error text, same SELECT outcome, and identical
+// FIELD-assignment mutations on the document.
+//
+// The corpus size is DOMINO_FORMULA_DIFF_N (default 600 formulas, each
+// evaluated against several documents). scripts/check.sh --formula-diff
+// raises it and repeats the run inside each sanitizer build.
+
+#include <cstdlib>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "formula/formula.h"
+#include "model/note.h"
+
+namespace dominodb::formula {
+namespace {
+
+int CorpusSize() {
+  const char* env = std::getenv("DOMINO_FORMULA_DIFF_N");
+  if (env != nullptr && *env != '\0') {
+    int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 600;
+}
+
+// -- Grammar-based generator ----------------------------------------------
+
+class FormulaGen {
+ public:
+  explicit FormulaGen(uint64_t seed) : rng_(seed) {}
+
+  /// One formula: 1-4 statements separated by ';'.
+  std::string Formula() {
+    int n = static_cast<int>(rng_.Range(1, 4));
+    std::string out;
+    for (int i = 0; i < n; ++i) {
+      if (i > 0) out += "; ";
+      out += Statement(i == n - 1);
+    }
+    return out;
+  }
+
+ private:
+  std::string Statement(bool last) {
+    switch (rng_.Uniform(last ? 5 : 8)) {
+      // The first five can appear anywhere (including last).
+      case 0:
+        return "SELECT " + Expr(2);
+      case 1:
+        return "@Return(" + Expr(2) + ")";
+      case 2:
+        return "@If(" + Expr(1) + "; @Return(" + Expr(1) + "); " + Expr(1) +
+               ")";
+      case 3:
+      case 4:
+        return Expr(3);
+      // Assignments read better with a statement after them.
+      case 5:
+        return "t" + std::to_string(rng_.Uniform(3)) + " := " + Expr(2);
+      case 6:
+        return "DEFAULT " + FieldName() + " := " + Expr(1);
+      case 7:
+        return "FIELD F" + std::to_string(rng_.Uniform(3)) + " := " + Expr(2);
+    }
+    return "1";
+  }
+
+  std::string Expr(int depth) {
+    if (depth <= 0 || rng_.Uniform(5) == 0) return Terminal();
+    switch (rng_.Uniform(10)) {
+      case 0:
+      case 1: {  // arithmetic / comparison / logical binop
+        static const char* kOps[] = {"+",  "-", "*",  "/", "=",  "<>",
+                                     "<",  ">", "<=", ">=", "&", "|",
+                                     ":"};
+        const char* op = kOps[rng_.Uniform(std::size(kOps))];
+        return "(" + Expr(depth - 1) + " " + op + " " + Expr(depth - 1) +
+               ")";
+      }
+      case 2:
+        return "-(" + Expr(depth - 1) + ")";
+      case 3:
+        return "!(" + Expr(depth - 1) + ")";
+      case 4:
+        return "@If(" + Expr(depth - 1) + "; " + Expr(depth - 1) + "; " +
+               Expr(depth - 1) + ")";
+      default:
+        return Call(depth);
+    }
+  }
+
+  std::string Call(int depth) {
+    // %e = any expr, %t = textish expr, %n = small number literal.
+    static const char* kPatterns[] = {
+        "@UpperCase(%e)",
+        "@LowerCase(%e)",
+        "@ProperCase(%e)",
+        "@Left(%e; %n)",
+        "@Left(%e; %t)",
+        "@Right(%e; %n)",
+        "@Middle(%e; %n; %n)",
+        "@Length(%e)",
+        "@Trim(%e)",
+        "@Contains(%e; %t)",
+        "@Begins(%e; %t)",
+        "@Ends(%e; %t)",
+        "@Word(%e; \" \"; %n)",
+        "@ReplaceSubstring(%e; %t; %t)",
+        "@Repeat(%t; %n)",
+        "@Elements(%e)",
+        "@Subset(%e; %n)",
+        "@Unique(%e)",
+        "@Sort(%e)",
+        "@Member(%t; %e)",
+        "@IsMember(%t; %e)",
+        "@Min(%e; %e)",
+        "@Max(%e; %e)",
+        "@Sum(%e)",
+        "@Average(%e)",
+        "@Abs(%e)",
+        "@Sign(%e)",
+        "@Modulo(%e; %n)",
+        "@Integer(%e)",
+        "@Round(%e)",
+        "@Sqrt(%e)",
+        "@Power(%n; %n)",
+        "@Text(%e)",
+        "@TextToNumber(%e)",
+        "@IsNumber(%e)",
+        "@IsText(%e)",
+        "@IsTime(%e)",
+        "@IsError(%e)",
+        "@IsAvailable(%f)",
+        "@IsUnavailable(%f)",
+        "@Year(@Created)",
+        "@Month(@Modified)",
+        "@Day(@Created)",
+        "@Weekday(@Created)",
+        "@Adjust(@Created; 0; %n; %n; 0; 0; 0)",
+        "@Date(@Created)",
+        "@Created",
+        "@Modified",
+        "@NoteID",
+        "@DocumentUniqueID",
+        "@UserName",
+        "@DbTitle",
+        "@GetField(%t)",
+        "@Do(%e; %e)",
+    };
+    std::string p = kPatterns[rng_.Uniform(std::size(kPatterns))];
+    std::string out;
+    for (size_t i = 0; i < p.size(); ++i) {
+      if (p[i] != '%') {
+        out.push_back(p[i]);
+        continue;
+      }
+      switch (p[++i]) {
+        case 'e':
+          out += Expr(depth - 1);
+          break;
+        case 't':
+          out += TextTerminal();
+          break;
+        case 'n':
+          out += std::to_string(rng_.Range(-2, 6));
+          break;
+        case 'f':
+          out += FieldName();
+          break;
+      }
+    }
+    return out;
+  }
+
+  std::string Terminal() {
+    switch (rng_.Uniform(6)) {
+      case 0:
+        return std::to_string(rng_.Range(-100, 100));
+      case 1: {  // decimal
+        return std::to_string(rng_.Range(0, 99)) + "." +
+               std::to_string(rng_.Range(0, 9));
+      }
+      case 2:
+        return TextTerminal();
+      case 3:  // list literal
+        return TextTerminal() + " : " + TextTerminal();
+      default:
+        return FieldName();
+    }
+  }
+
+  std::string TextTerminal() {
+    static const char* kWords[] = {"\"sales\"",  "\"Quarterly\"", "\"\"",
+                                   "\"a b c\"",  "\"ACME\"",      "\"12\"",
+                                   "\"emea q3\""};
+    return kWords[rng_.Uniform(std::size(kWords))];
+  }
+
+  std::string FieldName() {
+    // Mix of present fields, temp names and always-missing names.
+    static const char* kNames[] = {"Amount", "Quantity", "Subject",
+                                   "Customer", "Tags",   "Form",
+                                   "Scores",  "When",    "Missing",
+                                   "t0",      "t1",      "F0"};
+    return kNames[rng_.Uniform(std::size(kNames))];
+  }
+
+  Rng rng_;
+};
+
+// -- Fixture documents -----------------------------------------------------
+
+Note DiffDoc(uint64_t variant) {
+  Note doc(NoteClass::kDocument);
+  doc.set_id(static_cast<NoteId>(100 + variant));
+  doc.StampCreated(Unid{0x1111 * (variant + 1), 0x2222 + variant},
+                   1'000'000'000 + static_cast<Micros>(variant) * 86'400'000'000);
+  doc.SetText("Form", variant % 2 == 0 ? "Invoice" : "Memo");
+  doc.SetText("Subject", "Quarterly sales target review");
+  doc.SetText("Customer", "Acme Corporation");
+  doc.SetNumber("Amount", 1499.99 + static_cast<double>(variant));
+  doc.SetNumber("Quantity", static_cast<double>(variant % 5));
+  doc.SetTextList("Tags", {"urgent", "q3", "emea", "sales"});
+  doc.SetItem("Scores", Value::NumberList({3, 1, 4, 1, 5}));
+  doc.SetTime("When", 999'000'000'000 + static_cast<Micros>(variant));
+  return doc;
+}
+
+// -- The differential loop -------------------------------------------------
+
+std::string Describe(const Result<Value>& r) {
+  return r.ok() ? "ok" : r.status().ToString();
+}
+
+TEST(FormulaDiff, EnginesAgreeOnGeneratedCorpus) {
+  const int corpus = CorpusSize();
+  FormulaOptions tree_opts;
+  tree_opts.use_vm = false;
+  FormulaOptions vm_opts;
+  vm_opts.use_vm = true;
+
+  int compiled_count = 0;
+  for (int sample = 0; sample < corpus; ++sample) {
+    FormulaGen gen(0x9E3779B97F4A7C15ull + sample);
+    std::string src = gen.Formula();
+    auto compiled = Formula::Compile(src);
+    if (!compiled.ok()) continue;  // both engines share the front end
+    ++compiled_count;
+
+    // One BatchEvaluator per engine across several documents: this is
+    // the production shape (UPDALL) and exercises the VM's register- and
+    // argument-buffer reuse between notes.
+    BatchEvaluator tree_eval(*compiled, tree_opts);
+    BatchEvaluator vm_eval(*compiled, vm_opts);
+    for (uint64_t variant = 0; variant < 3; ++variant) {
+      Note tree_doc = DiffDoc(variant);
+      Note vm_doc = DiffDoc(variant);
+      EvalContext tree_ctx;
+      tree_ctx.note = &tree_doc;
+      tree_ctx.mutable_note = &tree_doc;
+      tree_ctx.username = "diff harness";
+      tree_ctx.db_title = "diffdb";
+      EvalContext vm_ctx = tree_ctx;
+      vm_ctx.note = &vm_doc;
+      vm_ctx.mutable_note = &vm_doc;
+
+      Result<Value> tv = tree_eval.Evaluate(tree_ctx);
+      Result<Value> vv = vm_eval.Evaluate(vm_ctx);
+      ASSERT_EQ(tv.ok(), vv.ok())
+          << "engines disagree on ok-ness\n  formula: " << src
+          << "\n  tree: " << Describe(tv) << "\n  vm:   " << Describe(vv);
+      if (tv.ok()) {
+        ASSERT_EQ(*tv, *vv) << "engines disagree on value\n  formula: "
+                            << src;
+      } else {
+        ASSERT_EQ(tv.status().ToString(), vv.status().ToString())
+            << "engines disagree on error\n  formula: " << src;
+      }
+      // FIELD assignments must land identically.
+      ASSERT_TRUE(tree_doc.EqualsContent(vm_doc))
+          << "engines disagree on note mutation\n  formula: " << src;
+
+      // Selection semantics (SELECT statement or final-value truthiness).
+      Note tree_doc2 = DiffDoc(variant);
+      Note vm_doc2 = DiffDoc(variant);
+      tree_ctx.note = &tree_doc2;
+      tree_ctx.mutable_note = &tree_doc2;
+      vm_ctx.note = &vm_doc2;
+      vm_ctx.mutable_note = &vm_doc2;
+      Result<bool> tm = tree_eval.Matches(tree_ctx);
+      Result<bool> vb = vm_eval.Matches(vm_ctx);
+      ASSERT_EQ(tm.ok(), vb.ok()) << "Matches ok-ness differs\n  formula: "
+                                  << src;
+      if (tm.ok()) {
+        ASSERT_EQ(*tm, *vb) << "Matches outcome differs\n  formula: "
+                            << src;
+      }
+    }
+  }
+  // The grammar is mostly well-formed; if nearly everything failed to
+  // compile the harness is vacuous and should be fixed.
+  EXPECT_GT(compiled_count, corpus / 2)
+      << "generator produced too few compilable formulas";
+}
+
+// A fixed set of regression formulas covering constructs the generator
+// reaches rarely but whose engine parity matters (error paths, @Return
+// inside @If, permuted comparisons, division by zero, list padding).
+TEST(FormulaDiff, HandPickedParityCases) {
+  static const char* kCases[] = {
+      "1 / 0",
+      "\"x\" + 1",
+      "1 : 2 : 3 = 1 : 9",
+      "(1 : 2 : 3) * 2",
+      "@Return(@UpperCase(Subject)); 1 / 0",
+      "@If(Amount > 0; @Return(1); @Return(2)); 3",
+      "FIELD Total := Amount * 1.19; Total",
+      "DEFAULT Missing := 42; Missing + 1",
+      "x := Tags; @Elements(@Unique(x : Tags))",
+      "SELECT Form = \"Invoice\" & Amount > 1000",
+      "SELECT @Contains(Subject; \"sales\" : \"marketing\")",
+      "@TextToNumber(\"nope\")",
+      "@Adjust(@Created; 0; 14; 40; 0; 0; 0)",
+      "@Sort(Tags; \"Descending\")",
+      "@Subset(Tags; -2)",
+      "@Word(Subject; \" \"; 2)",
+      "@Middle(Subject; 4; 100)",
+      "@GetField(\"Amount\") * 2",
+      "@SetField(\"F1\"; 7); F1",
+  };
+  FormulaOptions tree_opts;
+  tree_opts.use_vm = false;
+  FormulaOptions vm_opts;
+  vm_opts.use_vm = true;
+  for (const char* src : kCases) {
+    auto compiled = Formula::Compile(src);
+    ASSERT_TRUE(compiled.ok()) << src;
+    Note tree_doc = DiffDoc(1);
+    Note vm_doc = DiffDoc(1);
+    EvalContext tree_ctx;
+    tree_ctx.note = &tree_doc;
+    tree_ctx.mutable_note = &tree_doc;
+    EvalContext vm_ctx = tree_ctx;
+    vm_ctx.note = &vm_doc;
+    vm_ctx.mutable_note = &vm_doc;
+    Result<Value> tv = compiled->Evaluate(tree_ctx, tree_opts);
+    Result<Value> vv = compiled->Evaluate(vm_ctx, vm_opts);
+    ASSERT_EQ(tv.ok(), vv.ok()) << src << "\n  tree: " << Describe(tv)
+                                << "\n  vm:   " << Describe(vv);
+    if (tv.ok()) {
+      ASSERT_EQ(*tv, *vv) << src;
+    } else {
+      ASSERT_EQ(tv.status().ToString(), vv.status().ToString()) << src;
+    }
+    ASSERT_TRUE(tree_doc.EqualsContent(vm_doc)) << src;
+  }
+}
+
+}  // namespace
+}  // namespace dominodb::formula

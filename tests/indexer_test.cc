@@ -509,18 +509,20 @@ TEST(FieldSliceTest, FieldPostingsMaterializeFromPlainPositions) {
   // slices, not duplicated postings.
   EXPECT_EQ(index.term_count(), 3u);  // alpha, beta, gamma
 
-  const FullTextIndex::PostingMap* plain = index.FindTerm("alpha");
+  const PostingList* plain = index.FindTerm("alpha");
   ASSERT_NE(plain, nullptr);
-  ASSERT_EQ(plain->count(7), 1u);
-  EXPECT_EQ(plain->at(7).positions.size(), 3u);  // 2 in Subject + 1 in Body
+  ASSERT_EQ(plain->doc_count(), 1u);
+  std::vector<uint32_t> plain_positions;
+  ASSERT_TRUE(plain->GetPositions(7, &plain_positions));
+  EXPECT_EQ(plain_positions.size(), 3u);  // 2 in Subject + 1 in Body
 
   FullTextIndex::PostingMap subject =
       index.MaterializeFieldTerm("Subject", "alpha");
   ASSERT_EQ(subject.count(7), 1u);
   EXPECT_EQ(subject.at(7).positions.size(), 2u);
   // The slice references the same stored positions.
-  EXPECT_EQ(subject.at(7).positions[0], plain->at(7).positions[0]);
-  EXPECT_EQ(subject.at(7).positions[1], plain->at(7).positions[1]);
+  EXPECT_EQ(subject.at(7).positions[0], plain_positions[0]);
+  EXPECT_EQ(subject.at(7).positions[1], plain_positions[1]);
 
   FullTextIndex::PostingMap body = index.MaterializeFieldTerm("Body", "alpha");
   ASSERT_EQ(body.count(7), 1u);

@@ -1,0 +1,277 @@
+// Edge-case and differential tests for the delta+varint posting blocks
+// (fulltext/postings.h): empty and single-doc blocks, skip-entry
+// boundaries, the full 32-bit doc-id range, out-of-order inserts (the
+// compaction-reorder regression), and a random-operation differential
+// against the uncompressed map model the blocks replaced.
+
+#include <cstdint>
+#include <initializer_list>
+#include <iterator>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "core/database.h"
+#include "fulltext/postings.h"
+#include "tests/test_util.h"
+
+namespace dominodb {
+namespace {
+
+std::vector<uint32_t> Pos(std::initializer_list<uint32_t> p) { return p; }
+
+/// Drains a cursor into (doc, freq) pairs.
+std::vector<std::pair<uint64_t, uint32_t>> Drain(const PostingList& list) {
+  std::vector<std::pair<uint64_t, uint32_t>> out;
+  for (auto c = list.NewCursor(); !c.at_end(); c.Next()) {
+    out.emplace_back(c.doc(), c.freq());
+  }
+  return out;
+}
+
+TEST(PostingList, EmptyListCursorIsExhausted) {
+  PostingList list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.block_count(), 0u);
+  auto c = list.NewCursor();
+  EXPECT_TRUE(c.at_end());
+  EXPECT_EQ(c.doc(), PostingList::kEndDoc);
+  // SkipTo / Next on an exhausted cursor stay exhausted.
+  c.SkipTo(123);
+  EXPECT_TRUE(c.at_end());
+  c.Next();
+  EXPECT_TRUE(c.at_end());
+  // A null list behaves like an empty one.
+  PostingList::Cursor null_cursor(nullptr);
+  EXPECT_TRUE(null_cursor.at_end());
+}
+
+TEST(PostingList, SingleDocBlock) {
+  PostingList list;
+  EXPECT_FALSE(list.Insert(7, Pos({0, 5, 9})));
+  EXPECT_EQ(list.doc_count(), 1u);
+  EXPECT_EQ(list.block_count(), 1u);
+
+  auto c = list.NewCursor();
+  ASSERT_FALSE(c.at_end());
+  EXPECT_EQ(c.doc(), 7u);
+  EXPECT_EQ(c.freq(), 3u);
+  EXPECT_EQ(c.positions(), Pos({0, 5, 9}));
+  c.Next();
+  EXPECT_TRUE(c.at_end());
+
+  std::vector<uint32_t> got;
+  EXPECT_TRUE(list.GetPositions(7, &got));
+  EXPECT_EQ(got, Pos({0, 5, 9}));
+  EXPECT_FALSE(list.GetPositions(8, &got));
+
+  // Replacing the same doc must not grow the doc count.
+  EXPECT_TRUE(list.Insert(7, Pos({1})));
+  EXPECT_EQ(list.doc_count(), 1u);
+  EXPECT_TRUE(list.GetPositions(7, &got));
+  EXPECT_EQ(got, Pos({1}));
+
+  EXPECT_TRUE(list.Erase(7));
+  EXPECT_TRUE(list.empty());
+  EXPECT_FALSE(list.Erase(7));
+}
+
+TEST(PostingList, SkipToAtBlockBoundaries) {
+  PostingList list;
+  // 5 full blocks of kBlockDocs docs with stride 10: 0, 10, 20, ...
+  const uint32_t n = PostingList::kBlockDocs * 5;
+  for (uint32_t i = 0; i < n; ++i) list.Insert(i * 10, Pos({i}));
+  ASSERT_GE(list.block_count(), 5u);
+
+  // Exact hits on a block's first and last doc, and targets that fall in
+  // the gap between two docs (must land on the next doc).
+  for (uint32_t probe : {0u, 1u, 9u, 10u, (PostingList::kBlockDocs - 1) * 10,
+                         PostingList::kBlockDocs * 10,
+                         PostingList::kBlockDocs * 10 + 1, (n - 1) * 10}) {
+    auto c = list.NewCursor();
+    c.SkipTo(probe);
+    uint64_t expect = (probe + 9) / 10 * 10;  // round up to stride
+    ASSERT_FALSE(c.at_end()) << probe;
+    EXPECT_EQ(c.doc(), expect) << probe;
+  }
+
+  // Past the last doc → end; SkipTo backwards is a no-op.
+  auto c = list.NewCursor();
+  c.SkipTo((n - 1) * 10 + 1);
+  EXPECT_TRUE(c.at_end());
+  auto c2 = list.NewCursor();
+  c2.SkipTo(500);
+  c2.SkipTo(100);
+  EXPECT_EQ(c2.doc(), 500u);
+}
+
+TEST(PostingList, FullThirtyTwoBitDocRange) {
+  PostingList list;
+  // 0xFFFFFFFF is a valid NoteId; kEndDoc sits one past it.
+  list.Insert(0, Pos({1}));
+  list.Insert(0xFFFFFFFEu, Pos({2}));
+  list.Insert(0xFFFFFFFFu, Pos({3}));
+  EXPECT_EQ(list.doc_count(), 3u);
+
+  auto c = list.NewCursor();
+  c.SkipTo(0xFFFFFFFEu);
+  EXPECT_EQ(c.doc(), 0xFFFFFFFEu);
+  c.Next();
+  ASSERT_FALSE(c.at_end());
+  EXPECT_EQ(c.doc(), 0xFFFFFFFFu);
+  EXPECT_EQ(c.positions(), Pos({3}));
+  c.Next();
+  EXPECT_TRUE(c.at_end());
+
+  // Skipping to the sentinel itself exhausts without wrapping to 0.
+  auto c2 = list.NewCursor();
+  c2.SkipTo(PostingList::kEndDoc);
+  EXPECT_TRUE(c2.at_end());
+}
+
+TEST(PostingList, OutOfOrderInsertSplicesIntoSortedBlocks) {
+  // The compaction-reorder regression: after compaction relocates notes,
+  // a rebuild feeds postings in physical order, not id order. Inserts
+  // below the tail must splice, keep blocks sorted, and report
+  // out-of-order so the index can count them.
+  PostingList list;
+  EXPECT_FALSE(list.Insert(100, Pos({1})));
+  EXPECT_FALSE(list.Insert(300, Pos({2})));
+  EXPECT_TRUE(list.Insert(200, Pos({3})));   // splice middle
+  EXPECT_TRUE(list.Insert(50, Pos({4})));    // splice front
+  EXPECT_FALSE(list.Insert(400, Pos({5})));  // append again
+
+  auto drained = Drain(list);
+  ASSERT_EQ(drained.size(), 5u);
+  EXPECT_EQ(drained[0].first, 50u);
+  EXPECT_EQ(drained[1].first, 100u);
+  EXPECT_EQ(drained[2].first, 200u);
+  EXPECT_EQ(drained[3].first, 300u);
+  EXPECT_EQ(drained[4].first, 400u);
+
+  std::vector<uint32_t> got;
+  EXPECT_TRUE(list.GetPositions(200, &got));
+  EXPECT_EQ(got, Pos({3}));
+}
+
+TEST(PostingList, OutOfOrderAcrossManyBlocks) {
+  // Interleave two halves so nearly every insert after the first half is
+  // out of order and lands in an earlier, already-encoded block.
+  PostingList list;
+  const uint32_t n = PostingList::kBlockDocs * 4;
+  for (uint32_t i = 0; i < n; ++i) list.Insert(i * 2, Pos({i}));
+  for (uint32_t i = 0; i < n; ++i) list.Insert(i * 2 + 1, Pos({i, i + 7}));
+  EXPECT_EQ(list.doc_count(), 2u * n);
+
+  auto drained = Drain(list);
+  ASSERT_EQ(drained.size(), 2u * n);
+  for (size_t i = 0; i < drained.size(); ++i) {
+    EXPECT_EQ(drained[i].first, i) << "docs must come back sorted";
+    EXPECT_EQ(drained[i].second, i % 2 == 0 ? 1u : 2u);
+  }
+}
+
+TEST(PostingList, RandomOpsMatchUncompressedModel) {
+  // Differential: a long random mix of inserts (in- and out-of-order),
+  // replacements and erases against the plain map representation.
+  Rng rng(20260808);
+  PostingList list;
+  std::map<NoteId, std::vector<uint32_t>> model;
+  for (int op = 0; op < 4000; ++op) {
+    NoteId doc = static_cast<NoteId>(rng.Uniform(600));
+    if (rng.Uniform(4) == 0 && !model.empty()) {
+      EXPECT_EQ(list.Erase(doc), model.erase(doc) > 0) << "op " << op;
+      continue;
+    }
+    std::vector<uint32_t> positions;
+    uint32_t count = static_cast<uint32_t>(rng.Range(1, 5));
+    uint32_t pos = 0;
+    for (uint32_t i = 0; i < count; ++i) {
+      pos += static_cast<uint32_t>(rng.Range(0, 30));
+      positions.push_back(pos);
+      ++pos;
+    }
+    list.Insert(doc, positions);
+    model[doc] = positions;
+  }
+
+  ASSERT_EQ(list.doc_count(), model.size());
+  auto it = model.begin();
+  for (auto c = list.NewCursor(); !c.at_end(); c.Next(), ++it) {
+    ASSERT_NE(it, model.end());
+    EXPECT_EQ(c.doc(), it->first);
+    EXPECT_EQ(c.freq(), it->second.size());
+    EXPECT_EQ(c.positions(), it->second);
+  }
+  EXPECT_EQ(it, model.end());
+
+  // SkipTo agrees with lower_bound from random positions.
+  for (int probe = 0; probe < 200; ++probe) {
+    uint64_t target = rng.Uniform(700);
+    auto c = list.NewCursor();
+    c.SkipTo(target);
+    auto lb = model.lower_bound(static_cast<NoteId>(target));
+    if (lb == model.end()) {
+      EXPECT_TRUE(c.at_end()) << target;
+    } else {
+      EXPECT_EQ(c.doc(), lb->first) << target;
+    }
+  }
+
+  // The compressed encoding must actually be smaller than the model.
+  EXPECT_LT(list.byte_size(), list.UncompressedModelBytes());
+}
+
+TEST(PostingList, DecodeAfterDatabaseReopenMatches) {
+  // The index is rebuilt from the note store on demand; after a close,
+  // compaction and reopen the store hands notes back in physical order,
+  // which need not be id order. Search results must be identical.
+  testing_util::ScratchDir dir;
+  SimClock clock;
+  Principal who = Principal::User("tester");
+  std::vector<std::vector<NoteId>> before;
+  const char* kQueries[] = {"sales", "sales AND quarterly",
+                            "\"sales target\"", "review OR missingword",
+                            "sales NOT emea"};
+  auto ids_for = [&who](Database& db,
+                        const char* q) -> std::vector<NoteId> {
+    auto hits = db.SearchAs(who, q);
+    EXPECT_TRUE(hits.ok()) << q;
+    std::vector<NoteId> ids;
+    if (hits.ok()) {
+      for (const Note& n : *hits) ids.push_back(n.id());
+    }
+    return ids;
+  };
+  {
+    auto db = *Database::Open(dir.path(), DatabaseOptions(), &clock);
+    Rng rng(7);
+    for (int i = 0; i < 300; ++i) {
+      Note doc(NoteClass::kDocument);
+      doc.SetText("Subject", i % 3 == 0
+                                 ? "quarterly sales target review"
+                                 : "minutes for emea sales sync " +
+                                       std::to_string(i));
+      doc.SetText("Body", rng.Word(3, 8) + " sales " + rng.Word(3, 8));
+      ASSERT_TRUE(db->CreateNote(std::move(doc)).ok());
+    }
+    // Deletions leave holes so compaction relocates survivors.
+    for (NoteId id = 2; id <= 300; id += 3) db->DeleteNote(id).ok();
+    ASSERT_TRUE(db->EnsureFullTextIndex().ok());
+    for (const char* q : kQueries) before.push_back(ids_for(*db, q));
+    ASSERT_TRUE(db->RunCompact().ok());
+  }
+  {
+    auto db = *Database::Open(dir.path(), DatabaseOptions(), &clock);
+    ASSERT_TRUE(db->EnsureFullTextIndex().ok());
+    for (size_t i = 0; i < std::size(kQueries); ++i) {
+      EXPECT_EQ(ids_for(*db, kQueries[i]), before[i]) << kQueries[i];
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dominodb
