@@ -1,27 +1,32 @@
 // E15 — concurrent readers on the Database hot path.
-// Claim: replacing the facade's single recursive mutex with a
-// reader/writer lock lets independent read transactions (view traversal,
-// full-text search, note reads) proceed in parallel; the seed design
-// serialized every operation, so read throughput was flat in the number
-// of reader threads.
+// Claim: MVCC read snapshots mean writers never block readers. Readers
+// pin an epoch and resolve notes through the pre-image overlay, touching
+// no database-wide lock; the earlier designs made readers wait — on one
+// recursive mutex (the seed) or on the writer's exclusive lock hold,
+// WAL fsync included (the reader/writer-lock revision).
 //
-// Method: the same mixed read workload runs under two disciplines —
-//   serialized  every operation wrapped in one global exclusive mutex,
-//               emulating the seed's recursive-mutex facade;
-//   shared      the real Database, readers under the shared lock.
-// Each cell runs readers x writers for a fixed wall-clock slice and
-// reports aggregate reader ops/sec.
+// Two phases:
+//   1. Throughput: the mixed read workload under two disciplines —
+//      serialized (every op inside one global mutex, the seed facade)
+//      vs the real MVCC database. Aggregate reader ops/sec per cell.
+//   2. Hostile writer latency: per-op view-traversal latency (p50/p99)
+//      for 1–8 readers, with the writer idle vs saturating the write
+//      path with updates. A third discipline emulates the previous
+//      reader/writer-lock revision (readers shared, writer exclusive on
+//      one std::shared_mutex) to show what MVCC removed.
 //
 // NOTE on speedups: this container may expose a single CPU. Reader
-// scaling requires physical cores — on one core both disciplines
-// time-slice and the 2/4/8-reader rows show scheduling overhead, not
-// parallelism. The lock-discipline difference is still visible in the
-// 1-writer columns (writers starve readers far less under the shared
-// lock than under the global mutex on multi-core hosts). EXPERIMENTS.md
+// scaling requires physical cores — on one core everything time-slices
+// and the 2/4/8-reader rows show scheduling overhead, not parallelism.
+// The discipline difference survives one core: a blocked reader waits
+// for the writer's whole commit (fsync included) no matter how many
+// cores exist, while an MVCC reader is merely preempted. EXPERIMENTS.md
 // records the numbers with that caveat.
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
+#include <shared_mutex>
 #include <thread>
 #include <vector>
 
@@ -129,13 +134,107 @@ CellResult RunCell(Database* db, const std::vector<NoteId>& ids, int readers,
   return out;
 }
 
+/// Lock discipline for the latency phase. kMvcc is the real database:
+/// readers pin snapshots, no shared lock exists. kRwLock emulates the
+/// previous revision by wrapping every reader op in a shared_lock and
+/// every writer op in a unique_lock on one std::shared_mutex, so a
+/// reader arriving mid-commit waits out the whole commit.
+enum class Discipline { kMvcc, kRwLock };
+
+struct LatencyResult {
+  double p50_us = 0;
+  double p99_us = 0;
+  uint64_t write_ops = 0;
+};
+
+double PercentileUs(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  size_t idx = static_cast<size_t>(q * (sorted.size() - 1));
+  return sorted[idx];
+}
+
+/// Runs `readers` threads doing full view traversals, each op timed, with
+/// an optional saturating update writer. Returns merged p50/p99 µs.
+LatencyResult RunLatencyCell(Database* db, const std::vector<NoteId>& ids,
+                             int readers, bool hostile_writer,
+                             Discipline discipline, double slice_ms,
+                             std::shared_mutex* rw_lock, Rng* seed_rng) {
+  const Principal reader = Principal::User("bench reader");
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> write_ops{0};
+  std::vector<std::vector<double>> samples(readers);
+  std::vector<std::thread> threads;
+
+  for (int r = 0; r < readers; ++r) {
+    threads.emplace_back([&, r] {
+      auto& mine = samples[r];
+      do {
+        const auto start = std::chrono::steady_clock::now();
+        {
+          std::shared_lock<std::shared_mutex> shared;
+          if (discipline == Discipline::kRwLock) {
+            shared = std::shared_lock<std::shared_mutex>(*rw_lock);
+          }
+          size_t rows = 0;
+          db->TraverseViewAs(reader, "all", [&](const ViewRow&) { ++rows; })
+              .ok();
+        }
+        mine.push_back(
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - start)
+                .count());
+      } while (!stop.load(std::memory_order_relaxed));
+    });
+  }
+  if (hostile_writer) {
+    const uint64_t writer_seed = seed_rng->Next();
+    threads.emplace_back([&, writer_seed] {
+      Rng rng(writer_seed);
+      uint64_t local = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::unique_lock<std::shared_mutex> exclusive;
+        if (discipline == Discipline::kRwLock) {
+          exclusive = std::unique_lock<std::shared_mutex>(*rw_lock);
+        }
+        // Update-only so the view row count (and thus traversal cost)
+        // stays constant across cells; the writer still exercises the
+        // full commit path including overlay recording and WAL append.
+        auto note = db->ReadNote(ids[rng.Uniform(ids.size())]);
+        if (note.ok()) {
+          note->SetNumber("Amount", static_cast<double>(local));
+          db->UpdateNote(std::move(*note)).ok();
+        }
+        ++local;
+      }
+      write_ops.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+
+  Stopwatch clock;
+  while (clock.ElapsedMillis() < slice_ms) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true);
+  for (auto& t : threads) t.join();
+
+  std::vector<double> merged;
+  for (auto& s : samples) merged.insert(merged.end(), s.begin(), s.end());
+  std::sort(merged.begin(), merged.end());
+  LatencyResult out;
+  out.p50_us = PercentileUs(merged, 0.50);
+  out.p99_us = PercentileUs(merged, 0.99);
+  out.write_ops = write_ops.load();
+  return out;
+}
+
 }  // namespace
 
 int main() {
   PrintHeader(
       "E15 — concurrent readers vs the seed's one-big-lock facade",
-      "reader/writer locking lets view traversals, searches and note "
-      "reads run in parallel; a global mutex serializes them");
+      "MVCC snapshot readers never block on writers; a global mutex "
+      "serializes everything and a reader/writer lock stalls readers "
+      "behind each commit");
 
   const int kDocs = ScaleN(1500, 80);
   const double kSliceMs = ScaleN(400, 40);
@@ -144,6 +243,12 @@ int main() {
   clock.Set(1'000'000'000);
   DatabaseOptions options;
   options.store.checkpoint_threshold_bytes = 1ull << 30;
+  // Durable commits: each write fsyncs the WAL. That is the realistic
+  // hostile-writer shape — and the window where the disciplines differ
+  // even on one core: during the writer's fsync the CPU is free, so an
+  // MVCC reader keeps traversing while a lock-discipline reader queues
+  // behind the commit.
+  options.store.sync_mode = wal::SyncMode::kEveryCommit;
   auto db = *Database::Open(dir.Sub("db"), options, &clock);
   Rng rng(11);
 
@@ -159,27 +264,52 @@ int main() {
 
   std::mutex big_lock;
   printf("%-9s %-8s %-22s %-22s %-8s\n", "readers", "writers",
-         "serialized (ops/s)", "shared lock (ops/s)", "ratio");
-  double shared_1r_0w = 0;
-  double shared_8r_0w = 0;
+         "serialized (ops/s)", "mvcc (ops/s)", "ratio");
+  double mvcc_1r_0w = 0;
+  double mvcc_8r_0w = 0;
   for (int writers : {0, 1}) {
     for (int readers : {1, 2, 4, 8}) {
       CellResult serial = RunCell(db.get(), ids, readers, writers, kSliceMs,
                                   /*serialize=*/true, &big_lock, &rng);
-      CellResult shared = RunCell(db.get(), ids, readers, writers, kSliceMs,
-                                  /*serialize=*/false, &big_lock, &rng);
-      if (writers == 0 && readers == 1) shared_1r_0w = shared.reader_ops_per_sec;
-      if (writers == 0 && readers == 8) shared_8r_0w = shared.reader_ops_per_sec;
+      CellResult mvcc = RunCell(db.get(), ids, readers, writers, kSliceMs,
+                                /*serialize=*/false, &big_lock, &rng);
+      if (writers == 0 && readers == 1) mvcc_1r_0w = mvcc.reader_ops_per_sec;
+      if (writers == 0 && readers == 8) mvcc_8r_0w = mvcc.reader_ops_per_sec;
       printf("%-9d %-8d %-22.0f %-22.0f %.2fx\n", readers, writers,
-             serial.reader_ops_per_sec, shared.reader_ops_per_sec,
+             serial.reader_ops_per_sec, mvcc.reader_ops_per_sec,
              serial.reader_ops_per_sec > 0
-                 ? shared.reader_ops_per_sec / serial.reader_ops_per_sec
+                 ? mvcc.reader_ops_per_sec / serial.reader_ops_per_sec
                  : 0);
     }
   }
-  if (shared_1r_0w > 0) {
-    printf("\nshared-lock read scaling, 8 readers vs 1 (no writer): %.2fx\n",
-           shared_8r_0w / shared_1r_0w);
+  if (mvcc_1r_0w > 0) {
+    printf("\nmvcc read scaling, 8 readers vs 1 (no writer): %.2fx\n",
+           mvcc_8r_0w / mvcc_1r_0w);
+  }
+
+  // Phase 2 — hostile-writer latency. Per-op view-traversal latency for
+  // snapshot readers with the writer idle vs saturating; the rwlock
+  // column is the emulated previous revision under the same hostile
+  // writer (readers queue behind each exclusive commit).
+  printf("\nhostile-writer traversal latency (microseconds)\n");
+  printf("%-9s %-12s %-12s %-14s %-14s %-10s %-14s %-10s\n", "readers",
+         "idle p50", "idle p99", "hostile p50", "hostile p99", "p99 x",
+         "rwlock p99", "vs mvcc");
+  std::shared_mutex rw_lock;
+  for (int readers : {1, 2, 4, 8}) {
+    LatencyResult idle =
+        RunLatencyCell(db.get(), ids, readers, /*hostile_writer=*/false,
+                       Discipline::kMvcc, kSliceMs, &rw_lock, &rng);
+    LatencyResult hostile =
+        RunLatencyCell(db.get(), ids, readers, /*hostile_writer=*/true,
+                       Discipline::kMvcc, kSliceMs, &rw_lock, &rng);
+    LatencyResult rwlock =
+        RunLatencyCell(db.get(), ids, readers, /*hostile_writer=*/true,
+                       Discipline::kRwLock, kSliceMs, &rw_lock, &rng);
+    printf("%-9d %-12.0f %-12.0f %-14.0f %-14.0f %-10.2f %-14.0f %.2fx\n",
+           readers, idle.p50_us, idle.p99_us, hostile.p50_us, hostile.p99_us,
+           idle.p99_us > 0 ? hostile.p99_us / idle.p99_us : 0, rwlock.p99_us,
+           hostile.p99_us > 0 ? rwlock.p99_us / hostile.p99_us : 0);
   }
 
   EmitStatsSnapshot("bench_concurrency");

@@ -18,24 +18,33 @@
 # inside each sanitizer build, so engine-divergence hunting also gets
 # ASan/TSan/UBSan coverage.
 #
+# --mvcc-stress loops the MVCC snapshot-semantics suite and the
+# multi-reader/writer stress tests (mvcc_test + concurrency_test)
+# DOMINO_MVCC_STRESS_ITERS times (default 20) inside each sanitizer
+# build — snapshot-isolation races are interleaving-sensitive, so one
+# pass per sanitizer is not enough signal.
+#
 # When clang++ is on PATH, a static thread-safety pass also runs first:
 # a Clang build of src/ with -Wthread-safety promoted to an error, which
-# checks the GUARDED_BY/REQUIRES annotations on Database, ViewIndex,
-# FullTextIndex and IndexerTask. On GCC-only machines the pass is
+# checks the GUARDED_BY/REQUIRES annotations on Database, ViewIndex and
+# FullTextIndex. On GCC-only machines the pass is
 # skipped with a notice (the annotations compile away under GCC).
 # Usage: scripts/check.sh [--bench-smoke] [--crash-matrix] \
-#                         [--formula-diff] [address|thread|undefined ...]
+#                         [--formula-diff] [--mvcc-stress] \
+#                         [address|thread|undefined ...]
 set -euo pipefail
 
 BENCH_SMOKE=0
 CRASH_MATRIX=0
 FORMULA_DIFF=0
+MVCC_STRESS=0
 SANITIZERS=()
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
     --crash-matrix) CRASH_MATRIX=1 ;;
     --formula-diff) FORMULA_DIFF=1 ;;
+    --mvcc-stress) MVCC_STRESS=1 ;;
     *) SANITIZERS+=("$arg") ;;
   esac
 done
@@ -72,6 +81,14 @@ for SANITIZER in "${SANITIZERS[@]}"; do
   if [ "$FORMULA_DIFF" -eq 1 ]; then
     echo "== check.sh: $SANITIZER formula differential harness (10k) =="
     DOMINO_FORMULA_DIFF_N=10000 "$BUILD_DIR/tests/formula_diff_test"
+  fi
+  if [ "$MVCC_STRESS" -eq 1 ]; then
+    ITERS="${DOMINO_MVCC_STRESS_ITERS:-20}"
+    echo "== check.sh: $SANITIZER mvcc stress x$ITERS =="
+    "$BUILD_DIR/tests/mvcc_test" --gtest_repeat="$ITERS" \
+      --gtest_break_on_failure
+    "$BUILD_DIR/tests/concurrency_test" --gtest_repeat="$ITERS" \
+      --gtest_break_on_failure
   fi
   if [ "$BENCH_SMOKE" -eq 1 ]; then
     for BENCH in "$BUILD_DIR"/bench/bench_*; do

@@ -1,0 +1,35 @@
+#ifndef DOMINODB_BASE_EPOCH_H_
+#define DOMINODB_BASE_EPOCH_H_
+
+#include <cstdint>
+
+namespace dominodb {
+
+/// Snapshot epoch: a per-database monotonic commit counter. Every commit
+/// batch publishes a new epoch; readers pin one and observe the database
+/// exactly as of that commit. Epoch numbers advance in the same order as
+/// the wal::SharedLog sequence numbers the commits append under — both are
+/// assigned while the single writer holds the database mutation lock.
+using Epoch = uint64_t;
+
+/// "No epoch": used both as the null pin value and as the added-epoch of
+/// entries that predate versioning (visible at every snapshot).
+inline constexpr Epoch kEpochNone = 0;
+
+/// "Never removed" sentinel for versioned entries' removed_epoch.
+inline constexpr Epoch kEpochMax = UINT64_MAX;
+
+/// Pseudo-epoch meaning "read the latest committed state". Strictly below
+/// kEpochMax so entries with removed_epoch == kEpochMax stay visible.
+inline constexpr Epoch kEpochLatest = UINT64_MAX - 1;
+
+/// Half-open visibility interval test: an entry added at `added` and
+/// removed at `removed` (kEpochMax if never) is visible to a reader
+/// pinned at `at` iff it was added at or before `at` and removed after.
+inline constexpr bool EpochVisible(Epoch added, Epoch removed, Epoch at) {
+  return added <= at && at < removed;
+}
+
+}  // namespace dominodb
+
+#endif  // DOMINODB_BASE_EPOCH_H_

@@ -59,23 +59,31 @@ class CAPABILITY("shared_mutex") SharedMutex {
   std::shared_mutex mu_;
 };
 
-/// A virtual capability ("lock role") for structures that are externally
-/// synchronized by a lock they cannot name. The owner's guard acquires the
-/// role together with the real mutex; the owned structure annotates its
-/// entry points with REQUIRES(role) / REQUIRES_SHARED(role), giving static
-/// checking of the "caller synchronizes" contract across module boundaries.
-class CAPABILITY("role") LockRole {
+/// RAII exclusive guard for SharedMutex.
+class SCOPED_CAPABILITY WriterLock {
  public:
-  constexpr LockRole() = default;
-  LockRole(const LockRole&) = delete;
-  LockRole& operator=(const LockRole&) = delete;
+  explicit WriterLock(SharedMutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~WriterLock() RELEASE() { mu_->Unlock(); }
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
 };
 
-/// The role standing for "the owning Database's reader/writer lock". View
-/// indexes, the full-text index and the indexer queue have no mutex of
-/// their own; they require this role instead, and the Database's lock
-/// guards acquire it alongside the real SharedMutex.
-inline constexpr LockRole db_index_lock;
+/// RAII shared guard for SharedMutex.
+class SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex* mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->LockShared();
+  }
+  ~ReaderLock() RELEASE() { mu_->UnlockShared(); }
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
+};
 
 }  // namespace dominodb
 

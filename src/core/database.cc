@@ -3,9 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
-#include <cstdlib>
 #include <limits>
 #include <mutex>
+#include <unordered_set>
+#include <utility>
 
 #include "base/string_util.h"
 #include "core/replication_history.h"
@@ -17,15 +18,14 @@ namespace {
 
 std::atomic<uint64_t> g_open_counter{1};
 
-/// Thread-local lock-ownership token: one entry per database this thread
-/// currently holds. `depth` counts nested guard acquisitions; `exclusive`
-/// is the mode of the outermost (real) acquisition. The vector is tiny —
-/// a thread rarely holds more than one database (a cluster observer
+/// Thread-local write-lock ownership token: one entry per database this
+/// thread currently holds exclusively. `depth` counts nested guard
+/// acquisitions (public mutators call each other). The vector is tiny — a
+/// thread rarely holds more than one database (a cluster observer
 /// applying to a peer holds zero: notifications fire outside the lock).
 struct LockToken {
   const void* db;
   int depth;
-  bool exclusive;
 };
 
 thread_local std::vector<LockToken> t_lock_tokens;
@@ -46,41 +46,58 @@ void PopToken(const void* db) {
   }
 }
 
+/// Thread-local pin token: the snapshot epoch this thread's outermost
+/// ReadTxn pinned on a database. Nested ReadTxns join it, which is what
+/// makes @DbLookup inside FormulaSearch (and any other re-entrant read)
+/// repeatable — every step of the enclosing read resolves at one epoch.
+struct PinToken {
+  const void* db;
+  Epoch epoch;
+  int depth;
+};
+
+thread_local std::vector<PinToken> t_pin_tokens;
+
+PinToken* FindPin(const void* db) {
+  for (PinToken& pin : t_pin_tokens) {
+    if (pin.db == db) return &pin;
+  }
+  return nullptr;
+}
+
+void PopPin(const void* db) {
+  for (auto it = t_pin_tokens.begin(); it != t_pin_tokens.end(); ++it) {
+    if (it->db == db) {
+      t_pin_tokens.erase(it);
+      return;
+    }
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
-// Locking primitives
+// Write lock (writer-writer serialization; readers never come here)
 // ---------------------------------------------------------------------------
 
 void Database::AcquireWrite() const {
   LockToken* token = FindToken(this);
   if (token != nullptr) {
-    if (!token->exclusive) {
-      // A shared→exclusive upgrade on the same thread would self-deadlock
-      // (shared_mutex cannot upgrade in place). Read paths must not call
-      // mutators; fail loudly instead of hanging.
-      std::fprintf(stderr,
-                   "dominodb: forbidden lock upgrade (shared -> exclusive) "
-                   "on database %p\n",
-                   static_cast<const void*>(this));
-      std::abort();
-    }
     ++token->depth;
     return;
   }
   mu_.Lock();
-  t_lock_tokens.push_back({this, 1, true});
+  t_lock_tokens.push_back({this, 1});
 }
 
 bool Database::TryAcquireWrite() const {
   LockToken* token = FindToken(this);
   if (token != nullptr) {
-    if (!token->exclusive) return false;  // never upgrade
     ++token->depth;
     return true;
   }
   if (!mu_.TryLock()) return false;
-  t_lock_tokens.push_back({this, 1, true});
+  t_lock_tokens.push_back({this, 1});
   return true;
 }
 
@@ -92,97 +109,73 @@ void Database::ReleaseWrite() const {
   }
 }
 
-void Database::AcquireRead(bool catch_up) const {
-  LockToken* token = FindToken(this);
-  if (token != nullptr) {
-    ++token->depth;
-    if (catch_up && token->exclusive) {
-      // Re-entrant read under this thread's own mutator: the exclusive
-      // hold already lets us drain, so catch up inline to preserve
-      // read-your-writes for views and full-text.
-      Status status = const_cast<Database*>(this)->FlushIndexesLocked();
+bool Database::ThisThreadHoldsWrite() const {
+  return FindToken(this) != nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot pinning (Database::ReadTxn)
+// ---------------------------------------------------------------------------
+
+Database::ReadTxn::ReadTxn(const Database* db, bool catch_up) : db_(db) {
+  if (db_->ThisThreadHoldsWrite()) {
+    // A read on the thread that holds the write lock (a mutator
+    // re-entering a read path, or @DbLookup inside a formula a writer
+    // evaluates) runs in latest mode: it must see this thread's own
+    // uncommitted writes, not a snapshot that excludes them.
+    epoch_ = kEpochLatest;
+    if (catch_up) {
+      Status status = db_->FlushIndexesInternal();
       if (!status.ok()) {
-        registry_->events().Log(stats::Severity::kWarning, "Indexer",
-                                "read catch-up: " + status.message());
+        db_->registry_->events().Log(stats::Severity::kWarning, "Indexer",
+                                     "read catch-up: " + status.message());
       }
     }
     return;
   }
-  for (;;) {
-    mu_.LockShared();
-    const bool pending =
-        catch_up && indexer_ != nullptr && indexer_->HasPending();
-    if (!pending) break;
-    // Readers may not apply index events under a shared hold, and
-    // upgrading in place deadlocks — so drop the shared hold, drain under
-    // a real exclusive hold, and retry. Once a shared hold observes an
-    // empty queue it stays empty: only writers enqueue, and the shared
-    // hold excludes them.
-    mu_.UnlockShared();
-    mu_.Lock();
-    t_lock_tokens.push_back({this, 1, true});
-    Status status = const_cast<Database*>(this)->FlushIndexesLocked();
+  if (PinToken* pin = FindPin(db_)) {
+    ++pin->depth;
+    epoch_ = pin->epoch;
+  } else {
+    epoch_ = db_->mvcc_.Pin();
+    t_pin_tokens.push_back({db_, epoch_, 1});
+    pinned_ = true;
+  }
+  if (catch_up) {
+    // Bring views / full-text up to the pin. An outer txn may have pinned
+    // with catch_up=false (store-only read) before this nested view read.
+    Status status = db_->CatchUpIndexes(epoch_);
     if (!status.ok()) {
-      registry_->events().Log(stats::Severity::kWarning, "Indexer",
-                              "read catch-up: " + status.message());
+      db_->registry_->events().Log(stats::Severity::kWarning, "Indexer",
+                                   "read catch-up: " + status.message());
     }
-    PopToken(this);
-    mu_.Unlock();
   }
-  t_lock_tokens.push_back({this, 1, false});
 }
 
-void Database::ReleaseRead() const {
-  LockToken* token = FindToken(this);
-  if (--token->depth == 0) {
-    // Guards unwind LIFO, so a token reaching depth 0 here was taken
-    // shared (an exclusive outer frame would still hold depth > 0).
-    PopToken(this);
-    mu_.UnlockShared();
+Database::ReadTxn::~ReadTxn() {
+  if (epoch_ == kEpochLatest) return;  // latest mode never pinned
+  PinToken* pin = FindPin(db_);
+  --pin->depth;
+  if (!pinned_) return;  // nested: the outer txn owns the pin
+  PopPin(db_);
+  db_->mvcc_.Unpin(epoch_);
+  if (db_->mvcc_.pinned_count() == 0) {
+    // Last reader out sweeps the view zombies its pin kept alive, so a
+    // quiescent database carries no versioned residue.
+    db_->ReclaimIndexVersions();
   }
 }
 
 // ---------------------------------------------------------------------------
-// Lock guards
+// Write guards
 // ---------------------------------------------------------------------------
 
-/// Shared hold that first catches up on deferred indexer events — the
-/// guard for every read that consults views or the full-text index.
-class SCOPED_CAPABILITY Database::ReadTxn {
- public:
-  explicit ReadTxn(const Database* db) ACQUIRE_SHARED(db->mu_, db_index_lock)
-      : db_(db) {
-    db_->AcquireRead(/*catch_up=*/true);
-  }
-  ~ReadTxn() RELEASE() { db_->ReleaseRead(); }
-  ReadTxn(const ReadTxn&) = delete;
-  ReadTxn& operator=(const ReadTxn&) = delete;
-
- private:
-  const Database* db_;
-};
-
-/// Plain shared hold for reads that never touch views or full-text.
-class SCOPED_CAPABILITY Database::ReadGuard {
- public:
-  explicit ReadGuard(const Database* db) ACQUIRE_SHARED(db->mu_, db_index_lock)
-      : db_(db) {
-    db_->AcquireRead(/*catch_up=*/false);
-  }
-  ~ReadGuard() RELEASE() { db_->ReleaseRead(); }
-  ReadGuard(const ReadGuard&) = delete;
-  ReadGuard& operator=(const ReadGuard&) = delete;
-
- private:
-  const Database* db_;
-};
-
-/// Exclusive hold for internal state changes that produce no observer
-/// notifications (index attach, unread marks, checkpoints, ...).
+/// Exclusive hold for internal state changes that advance no commit epoch
+/// and produce no observer notifications (index attach, checkpoints,
+/// compaction slices, ...).
 class SCOPED_CAPABILITY Database::WriteGuard {
  public:
-  explicit WriteGuard(const Database* db) ACQUIRE(db->mu_, db_index_lock)
-      : db_(db) {
+  explicit WriteGuard(const Database* db) ACQUIRE(db->mu_) : db_(db) {
     db_->AcquireWrite();
   }
   ~WriteGuard() RELEASE() { db_->ReleaseWrite(); }
@@ -193,20 +186,29 @@ class SCOPED_CAPABILITY Database::WriteGuard {
   const Database* db_;
 };
 
-/// Scope guard for public mutators: holds the exclusive lock and, when
-/// the OUTERMOST guard on this thread releases it, fires the observer
-/// notifications AfterChange queued. Observers therefore never run under
-/// mu_, so a cluster observer may lock a peer database without creating a
-/// lock order between the two databases.
+/// Scope guard for public mutators: holds the write lock, and the
+/// OUTERMOST guard on this thread brackets the commit — it opens the
+/// commit epoch on entry and publishes it on exit, after every nested
+/// sub-mutation has applied and recorded its pre-images. Observer
+/// notifications fire after release, so an observer may lock a peer
+/// database without creating a lock order between the two.
 class SCOPED_CAPABILITY Database::MutationGuard {
  public:
-  explicit MutationGuard(Database* db) ACQUIRE(db->mu_, db_index_lock)
-      : db_(db) {
+  explicit MutationGuard(Database* db) ACQUIRE(db->mu_) : db_(db) {
     db_->AcquireWrite();
-    ++db_->mutation_depth_;
+    if (++db_->mutation_depth_ == 1) {
+      db_->commit_epoch_ = db_->mvcc_.BeginCommit();
+    }
   }
   ~MutationGuard() RELEASE() {
     const bool outermost = --db_->mutation_depth_ == 0;
+    if (outermost) {
+      db_->mvcc_.Publish(db_->commit_epoch_);
+      db_->commit_epoch_ = kEpochNone;
+      // Piggyback view-zombie reclamation on the commit: drops whatever
+      // rows the (possibly advanced) reclaim floor no longer protects.
+      db_->ReclaimIndexVersions();
+    }
     db_->ReleaseWrite();
     if (outermost) db_->DrainNotifications();
   }
@@ -226,7 +228,7 @@ void Database::DrainNotifications() {
   }
   for (;;) {
     {
-      WriteGuard lock(this);
+      MutexLock lock(&notify_mu_);
       if (pending_notify_.empty()) return;
     }
     if (!notify_drain_mu_.try_lock()) {
@@ -243,7 +245,7 @@ void Database::DrainNotifications() {
       std::vector<PendingNotify> batch;
       std::vector<DatabaseObserver*> observers;
       {
-        WriteGuard lock(this);
+        MutexLock lock(&notify_mu_);
         if (pending_notify_.empty()) break;
         batch.swap(pending_notify_);
         observers = observers_;
@@ -263,112 +265,158 @@ void Database::DrainNotifications() {
 }
 
 Database::~Database() {
-  // Stop the background drain before any member is torn down: Close
-  // waits for in-flight pool callbacks, which may still lock mu_ and
-  // touch views/full-text until it returns. Close must run outside the
-  // lock for the same reason.
-  indexer::IndexerTask* task = nullptr;
-  {
-    WriteGuard lock(this);
-    task = indexer_.get();
-  }
+  // Stop the background drain before any member is torn down: Close waits
+  // for in-flight pool callbacks, which may still touch views/full-text
+  // until it returns.
+  std::shared_ptr<indexer::IndexerTask> task = SnapshotIndexer();
   if (task != nullptr) task->Close();
 }
 
+// ---------------------------------------------------------------------------
+// Catalog snapshots
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<ViewIndex> Database::FindViewShared(
+    std::string_view name) const {
+  MutexLock lock(&catalog_mu_);
+  auto it = views_.find(ToLower(name));
+  return it == views_.end() ? nullptr : it->second;
+}
+
+std::vector<std::shared_ptr<ViewIndex>> Database::SnapshotViews() const {
+  MutexLock lock(&catalog_mu_);
+  std::vector<std::shared_ptr<ViewIndex>> out;
+  out.reserve(views_.size());
+  for (const auto& [key, view] : views_) out.push_back(view);
+  return out;
+}
+
+std::shared_ptr<FullTextIndex> Database::SnapshotFulltext() const {
+  MutexLock lock(&catalog_mu_);
+  return fulltext_;
+}
+
+std::shared_ptr<indexer::IndexerTask> Database::SnapshotIndexer() const {
+  MutexLock lock(&catalog_mu_);
+  return indexer_;
+}
+
+// ---------------------------------------------------------------------------
+// Background indexer
+// ---------------------------------------------------------------------------
+
 void Database::AttachIndexer(indexer::ThreadPool* pool) {
   {
-    ReadGuard lock(this);
+    MutexLock lock(&catalog_mu_);
     if (indexer_pool_ == pool) return;
   }
-  // Detach the current task first: flush its events and wait out its
-  // in-flight callbacks so a stale drain never races the replacement.
-  std::unique_ptr<indexer::IndexerTask> old;
+  // Detach the current task first: exclude writers (they enqueue under
+  // the write lock), flush remaining events, then wait out in-flight
+  // callbacks so a stale drain never races the replacement.
+  std::shared_ptr<indexer::IndexerTask> old;
   {
     WriteGuard lock(this);
-    if (indexer_ != nullptr) {
-      FlushIndexesLocked().ok();
-      old = std::move(indexer_);
-    }
+    FlushIndexesInternal().ok();
+    MutexLock cat(&catalog_mu_);
+    old = std::move(indexer_);
+    indexer_ = nullptr;
     indexer_pool_ = nullptr;
   }
   if (old != nullptr) old->Close();
   old.reset();
   WriteGuard lock(this);
+  MutexLock cat(&catalog_mu_);
   indexer_pool_ = pool;
   if (pool != nullptr) {
-    indexer_ = std::make_unique<indexer::IndexerTask>(
+    indexer_ = std::make_shared<indexer::IndexerTask>(
         pool,
         [this](indexer::IndexerTask* task) { BackgroundIndexDrain(task); },
         registry_);
   }
 }
 
-Status Database::FlushIndexes() {
-  WriteGuard lock(this);
-  return FlushIndexesLocked();
-}
+Status Database::FlushIndexes() { return FlushIndexesInternal(); }
 
-Status Database::FlushIndexesLocked() {
-  if (indexer_ == nullptr) return Status::Ok();
+Status Database::FlushIndexesInternal() const {
+  std::shared_ptr<indexer::IndexerTask> task = SnapshotIndexer();
+  if (task == nullptr) return Status::Ok();
   Status status = Status::Ok();
-  indexer_->DrainInline([this, &status](const indexer::NoteChange& change) {
+  task->DrainInline([this, &status](const indexer::NoteChange& change) {
     Status s = ApplyIndexEvent(change);
     if (status.ok() && !s.ok()) status = s;
   });
   return status;
 }
 
-bool Database::HasPendingIndexWork() const {
-  ReadGuard lock(this);
-  return indexer_ != nullptr && indexer_->HasPending();
+Status Database::CatchUpIndexes(Epoch max_epoch) const {
+  std::shared_ptr<indexer::IndexerTask> task = SnapshotIndexer();
+  if (task == nullptr) return Status::Ok();
+  Status status = Status::Ok();
+  task->CatchUp(max_epoch,
+                [this, &status](const indexer::NoteChange& change) {
+                  Status s = ApplyIndexEvent(change);
+                  if (status.ok() && !s.ok()) status = s;
+                });
+  return status;
 }
 
-Status Database::ApplyIndexEvent(const indexer::NoteChange& change) {
-  NoteHandle note = change.kind == indexer::ChangeKind::kErased
-                        ? nullptr
-                        : store_->Find(change.id);
-  if (note == nullptr) {
-    // Erased, or purged before the drain caught up.
-    for (auto& [name, view] : views_) view->Remove(change.id);
-    if (fulltext_ != nullptr) fulltext_->RemoveNote(change.id);
+bool Database::HasPendingIndexWork() const {
+  std::shared_ptr<indexer::IndexerTask> task = SnapshotIndexer();
+  return task != nullptr && task->HasPending();
+}
+
+Status Database::ApplyIndexEvent(const indexer::NoteChange& change) const {
+  std::vector<std::shared_ptr<ViewIndex>> views = SnapshotViews();
+  std::shared_ptr<FullTextIndex> ft = SnapshotFulltext();
+  if (change.kind == indexer::ChangeKind::kErased || change.note == nullptr) {
+    for (const auto& view : views) view->Remove(change.id, change.epoch);
+    if (ft != nullptr) ft->RemoveNote(change.id);
     return Status::Ok();
   }
-  for (auto& [name, view] : views_) {
-    DOMINO_RETURN_IF_ERROR(view->Update(*note, this));
+  for (const auto& view : views) {
+    DOMINO_RETURN_IF_ERROR(view->Update(*change.note, this, change.epoch));
   }
-  if (fulltext_ != nullptr) fulltext_->IndexNote(*note);
+  if (ft != nullptr) ft->IndexNote(*change.note);
   return Status::Ok();
 }
 
 void Database::BackgroundIndexDrain(indexer::IndexerTask* task) {
-  if (!TryAcquireWrite()) {
-    // The database is busy — possibly a rebuild coordinator waiting on
-    // the very pool this callback runs on. Re-arm instead of blocking a
-    // worker; the next enqueue or read-path catch-up drains the queue.
-    task->ClearScheduled();
-    return;
+  {
+    MutexLock lock(&catalog_mu_);
+    if (task != indexer_.get()) return;  // detached while queued
   }
-  if (task == indexer_.get()) {  // else: detached while queued
-    Status status = FlushIndexesLocked();
-    if (!status.ok()) {
-      registry_->events().Log(stats::Severity::kWarning, "Indexer",
-                              "background drain: " + status.message());
-    }
-    // Idle-time threshold maintenance: the pool worker pays for the
-    // compaction slice and the snapshot, not a foreground writer.
-    Status comp = store_->MaybeCompact();
-    if (!comp.ok()) {
-      registry_->events().Log(stats::Severity::kWarning, "Store",
-                              "background compact: " + comp.message());
-    }
-    Status ckpt = store_->MaybeCheckpoint();
-    if (!ckpt.ok()) {
-      registry_->events().Log(stats::Severity::kWarning, "Store",
-                              "background checkpoint: " + ckpt.message());
-    }
+  // Draining needs no database lock: appliers serialize on the indexer's
+  // apply mutex, events carry their note state, and the indexes are
+  // internally synchronized.
+  Status status = Status::Ok();
+  task->DrainInline([this, &status](const indexer::NoteChange& change) {
+    Status s = ApplyIndexEvent(change);
+    if (status.ok() && !s.ok()) status = s;
+  });
+  if (!status.ok()) {
+    registry_->events().Log(stats::Severity::kWarning, "Indexer",
+                            "background drain: " + status.message());
+  }
+  // Idle-time threshold maintenance: store writers serialize on the
+  // write lock, so take it — but never block a pool worker on a busy
+  // database; the next drain retries.
+  if (!TryAcquireWrite()) return;
+  Status comp = store_->MaybeCompact();
+  if (!comp.ok()) {
+    registry_->events().Log(stats::Severity::kWarning, "Store",
+                            "background compact: " + comp.message());
+  }
+  Status ckpt = store_->MaybeCheckpoint();
+  if (!ckpt.ok()) {
+    registry_->events().Log(stats::Severity::kWarning, "Store",
+                            "background checkpoint: " + ckpt.message());
   }
   ReleaseWrite();
 }
+
+// ---------------------------------------------------------------------------
+// Open / design state
+// ---------------------------------------------------------------------------
 
 Result<std::unique_ptr<Database>> Database::Open(
     const std::string& dir, const DatabaseOptions& options,
@@ -402,15 +450,16 @@ Result<std::unique_ptr<Database>> Database::Open(
 
 void Database::LoadDesignState() {
   // Children index + design notes (ACL, views) from the store.
-  std::vector<const Note*> view_notes;
   store_->ForEach([&](const Note& note) {
     if (!note.deleted() && !note.parent_unid().IsNull()) {
+      MutexLock lock(&catalog_mu_);
       children_[note.parent_unid()].insert(note.id());
     }
     if (note.deleted()) return;
     if (note.note_class() == NoteClass::kAcl) {
       auto acl = Acl::FromNote(note);
       if (acl.ok()) {
+        MutexLock lock(&acl_mu_);
         acl_ = std::move(*acl);
         acl_note_id_ = note.id();
       }
@@ -447,47 +496,142 @@ Micros Database::StampTime() {
   return t;
 }
 
-const Acl& Database::acl() const {
-  ReadGuard lock(this);
+// ---------------------------------------------------------------------------
+// Snapshot resolution
+// ---------------------------------------------------------------------------
+
+void Database::RecordPreImage(NoteId id) {
+  mvcc_.Record(id, commit_epoch_, store_->Find(id));
+}
+
+NoteHandle Database::ResolveAt(NoteId id, Epoch at) const {
+  // Fetch the store state BEFORE consulting the overlay: a racing commit
+  // records its pre-image before it touches the store, so whichever
+  // interleaving this read observes, one of the two sources carries the
+  // state at `at` — and Lookup tells us which.
+  NoteHandle current = store_->Find(id);
+  MvccSnapshots::Resolution r = mvcc_.Lookup(id, at);
+  switch (r.verdict) {
+    case MvccSnapshots::Verdict::kUseStore:
+      return current;
+    case MvccSnapshots::Verdict::kVersion:
+      return r.note;
+    case MvccSnapshots::Verdict::kAbsent:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+NoteHandle Database::ResolveUnidAt(const Unid& unid, Epoch at) const {
+  NoteHandle current = store_->FindByUnid(unid);
+  if (current != nullptr) return ResolveAt(current->id(), at);
+  // Not in the store — never existed, or purged after the pin; the
+  // overlay remembers the UNID binding of every recorded pre-image.
+  std::optional<NoteId> id = mvcc_.LookupUnid(unid);
+  if (!id.has_value()) return nullptr;
+  return ResolveAt(*id, at);
+}
+
+void Database::ScanAt(Epoch at,
+                      const std::function<void(const Note&)>& fn) const {
+  if (at == kEpochLatest) {  // latest mode: the store is the truth
+    store_->ForEach(fn);
+    return;
+  }
+  // Pass 1: every note the store still holds, resolved through the
+  // overlay. Pass 2: overlay versions whose note the store purged after
+  // the pin. OverlayIds is taken AFTER the scan so a purge that raced
+  // pass 1 (pre-image recorded before the erase) is guaranteed visible
+  // to pass 2; `seen` keeps the two passes disjoint.
+  std::unordered_set<NoteId> seen;
+  store_->ForEach([&](const Note& note) {
+    seen.insert(note.id());
+    MvccSnapshots::Resolution r = mvcc_.Lookup(note.id(), at);
+    switch (r.verdict) {
+      case MvccSnapshots::Verdict::kUseStore:
+        fn(note);
+        break;
+      case MvccSnapshots::Verdict::kVersion:
+        if (r.note != nullptr) fn(*r.note);
+        break;
+      case MvccSnapshots::Verdict::kAbsent:
+        break;
+    }
+  });
+  for (NoteId id : mvcc_.OverlayIds()) {
+    if (seen.count(id) != 0) continue;
+    MvccSnapshots::Resolution r = mvcc_.Lookup(id, at);
+    if (r.verdict == MvccSnapshots::Verdict::kVersion && r.note != nullptr) {
+      fn(*r.note);
+    }
+  }
+}
+
+void Database::ReclaimIndexVersions() const {
+  const Epoch floor = mvcc_.ReclaimFloor();
+  for (const auto& view : SnapshotViews()) view->ReclaimVersions(floor);
+}
+
+// ---------------------------------------------------------------------------
+// Security
+// ---------------------------------------------------------------------------
+
+Acl Database::acl() const {
+  MutexLock lock(&acl_mu_);
   return acl_;
 }
 
 Status Database::SetAcl(const Acl& acl) {
   MutationGuard guard(this);
   Note note = acl.ToNote();
-  if (acl_note_id_ != kInvalidNoteId) {
-    auto existing = store_->Get(acl_note_id_);
+  NoteId acl_id;
+  {
+    MutexLock lock(&acl_mu_);
+    acl_id = acl_note_id_;
+  }
+  if (acl_id != kInvalidNoteId) {
+    auto existing = store_->Get(acl_id);
     if (existing.ok()) {
-      note.set_id(acl_note_id_);
+      note.set_id(acl_id);
       note.SetReplicationState(existing->oid(), existing->revisions(),
                                existing->created(), false);
       note.BumpSequence(StampTime());
       note.set_modified_in_file(StampTime());
+      RecordPreImage(acl_id);
       DOMINO_RETURN_IF_ERROR(store_->Put(&note));
       return AfterChange(note);
     }
   }
   note.StampCreated(GenerateUnid(), StampTime());
   note.set_modified_in_file(StampTime());
+  note.set_id(store_->AllocateId());
+  RecordPreImage(note.id());
   DOMINO_RETURN_IF_ERROR(store_->Put(&note));
-  acl_note_id_ = note.id();
-  return AfterChange(note);
+  return AfterChange(note);  // ApplyDesignNote records the new acl note id
 }
 
 Status Database::SetAclAs(const Principal& who, const Acl& acl) {
   MutationGuard guard(this);
-  if (!CanChangeAcl(acl_, who)) {
+  if (!CanChangeAcl(this->acl(), who)) {
     return Status::PermissionDenied(who.name + " lacks Manager access");
   }
   return SetAcl(acl);
 }
 
+// ---------------------------------------------------------------------------
+// CRUD
+// ---------------------------------------------------------------------------
+
 Result<NoteId> Database::CreateNote(Note note) {
   MutationGuard guard(this);
-  note.set_id(kInvalidNoteId);
+  // Pre-assign the id so the absent pre-image is on record before the
+  // store sees the note (readers pinned before this commit then resolve
+  // the id to "did not exist").
+  note.set_id(store_->AllocateId());
   note.StampCreated(GenerateUnid(), StampTime());
   note.StampItemModifications(nullptr, note.sequence_time());
   note.set_modified_in_file(StampTime());
+  RecordPreImage(note.id());
   DOMINO_RETURN_IF_ERROR(store_->Put(&note));
   DOMINO_RETURN_IF_ERROR(AfterChange(note));
   return note.id();
@@ -511,6 +655,7 @@ Status Database::UpdateNote(Note note) {
   note.BumpSequence(StampTime());
   note.StampItemModifications(existing.get(), note.sequence_time());
   note.set_modified_in_file(StampTime());
+  RecordPreImage(note.id());
   DOMINO_RETURN_IF_ERROR(store_->Put(&note));
   return AfterChange(note);
 }
@@ -524,13 +669,14 @@ Status Database::DeleteNote(NoteId id) {
   Note stub = *existing;
   stub.MakeStub(StampTime());
   stub.set_modified_in_file(StampTime());
+  RecordPreImage(id);
   DOMINO_RETURN_IF_ERROR(store_->Put(&stub));
   return AfterChange(stub);
 }
 
 Result<Note> Database::ReadNote(NoteId id) const {
-  ReadGuard lock(this);
-  NoteHandle note = store_->Find(id);
+  ReadTxn txn(this, /*catch_up=*/false);
+  NoteHandle note = ResolveAt(id, txn.epoch());
   if (note == nullptr || note->deleted()) {
     return Status::NotFound(StrPrintf("note %u", id));
   }
@@ -538,8 +684,8 @@ Result<Note> Database::ReadNote(NoteId id) const {
 }
 
 Result<Note> Database::ReadNoteByUnid(const Unid& unid) const {
-  ReadGuard lock(this);
-  NoteHandle note = store_->FindByUnid(unid);
+  ReadTxn txn(this, /*catch_up=*/false);
+  NoteHandle note = ResolveUnidAt(unid, txn.epoch());
   if (note == nullptr || note->deleted()) {
     return Status::NotFound("unid " + unid.ToString());
   }
@@ -548,11 +694,12 @@ Result<Note> Database::ReadNoteByUnid(const Unid& unid) const {
 
 Result<NoteId> Database::CreateNoteAs(const Principal& who, Note note) {
   MutationGuard guard(this);
+  const Acl acl_snapshot = acl();
   if (note.note_class() == NoteClass::kDocument) {
-    if (!CanCreateDocuments(acl_, who)) {
+    if (!CanCreateDocuments(acl_snapshot, who)) {
       return Status::PermissionDenied(who.name + " may not create documents");
     }
-  } else if (!CanChangeDesign(acl_, who)) {
+  } else if (!CanChangeDesign(acl_snapshot, who)) {
     return Status::PermissionDenied(who.name + " may not change design");
   }
   note.SetText("$UpdatedBy", who.name);
@@ -565,11 +712,12 @@ Status Database::UpdateNoteAs(const Principal& who, Note note) {
   if (existing == nullptr || existing->deleted()) {
     return Status::NotFound(StrPrintf("note %u", note.id()));
   }
+  const Acl acl_snapshot = acl();
   if (existing->note_class() == NoteClass::kDocument) {
-    if (!CanEditDocument(acl_, who, *existing)) {
+    if (!CanEditDocument(acl_snapshot, who, *existing)) {
       return Status::PermissionDenied(who.name + " may not edit this note");
     }
-  } else if (!CanChangeDesign(acl_, who)) {
+  } else if (!CanChangeDesign(acl_snapshot, who)) {
     return Status::PermissionDenied(who.name + " may not change design");
   }
   note.SetText("$UpdatedBy", who.name);
@@ -582,20 +730,21 @@ Status Database::DeleteNoteAs(const Principal& who, NoteId id) {
   if (existing == nullptr || existing->deleted()) {
     return Status::NotFound(StrPrintf("note %u", id));
   }
+  const Acl acl_snapshot = acl();
   if (existing->note_class() == NoteClass::kDocument) {
-    if (!CanEditDocument(acl_, who, *existing)) {
+    if (!CanEditDocument(acl_snapshot, who, *existing)) {
       return Status::PermissionDenied(who.name + " may not delete this note");
     }
-  } else if (!CanChangeDesign(acl_, who)) {
+  } else if (!CanChangeDesign(acl_snapshot, who)) {
     return Status::PermissionDenied(who.name + " may not change design");
   }
   return DeleteNote(id);
 }
 
 Result<Note> Database::ReadNoteAs(const Principal& who, NoteId id) const {
-  ReadGuard lock(this);
+  ReadTxn txn(this, /*catch_up=*/false);
   DOMINO_ASSIGN_OR_RETURN(Note note, ReadNote(id));
-  if (!CanReadDocument(acl_, who, note)) {
+  if (!CanReadDocument(acl(), who, note)) {
     return Status::PermissionDenied(who.name + " may not read this note");
   }
   return note;
@@ -611,52 +760,58 @@ Result<NoteId> Database::CreateResponse(const Unid& parent, Note note) {
   return CreateNote(std::move(note));
 }
 
+// ---------------------------------------------------------------------------
+// Views
+// ---------------------------------------------------------------------------
+
 Result<ViewIndex*> Database::CreateView(ViewDesign design) {
   MutationGuard guard(this);
   std::string key = ToLower(design.name());
   Note design_note = design.ToNote();
-  auto it = view_note_ids_.find(key);
-  if (it != view_note_ids_.end()) {
-    auto existing = store_->Get(it->second);
+  NoteId existing_id = kInvalidNoteId;
+  {
+    MutexLock lock(&catalog_mu_);
+    auto it = view_note_ids_.find(key);
+    if (it != view_note_ids_.end()) existing_id = it->second;
+  }
+  if (existing_id != kInvalidNoteId) {
+    auto existing = store_->Get(existing_id);
     if (existing.ok()) {
-      design_note.set_id(it->second);
+      design_note.set_id(existing_id);
       design_note.SetReplicationState(existing->oid(), existing->revisions(),
                                       existing->created(), false);
       design_note.BumpSequence(StampTime());
       design_note.set_modified_in_file(StampTime());
-  DOMINO_RETURN_IF_ERROR(store_->Put(&design_note));
+      RecordPreImage(existing_id);
+      DOMINO_RETURN_IF_ERROR(store_->Put(&design_note));
       DOMINO_RETURN_IF_ERROR(AfterChange(design_note));
-      return views_[key].get();
+      return FindViewShared(key).get();
     }
   }
   design_note.StampCreated(GenerateUnid(), StampTime());
   design_note.set_modified_in_file(StampTime());
+  design_note.set_id(store_->AllocateId());
+  RecordPreImage(design_note.id());
   DOMINO_RETURN_IF_ERROR(store_->Put(&design_note));
   DOMINO_RETURN_IF_ERROR(AfterChange(design_note));
-  return views_[key].get();
-}
-
-ViewIndex* Database::FindViewLocked(std::string_view name) const {
-  auto it = views_.find(ToLower(name));
-  return it == views_.end() ? nullptr : it->second.get();
+  return FindViewShared(key).get();
 }
 
 ViewIndex* Database::FindView(std::string_view name) {
   // ReadTxn catches up on deferred index events, so the view callers get
   // reflects every committed write.
   ReadTxn txn(this);
-  return FindViewLocked(name);
+  return FindViewShared(name).get();
 }
 
 const ViewIndex* Database::FindView(std::string_view name) const {
   ReadTxn txn(this);
-  return FindViewLocked(name);
+  return FindViewShared(name).get();
 }
 
 std::vector<std::string> Database::ViewNames() const {
-  ReadGuard lock(this);
   std::vector<std::string> names;
-  for (const auto& [key, view] : views_) {
+  for (const auto& view : SnapshotViews()) {
     names.push_back(view->design().name());
   }
   return names;
@@ -665,24 +820,30 @@ std::vector<std::string> Database::ViewNames() const {
 Status Database::TraverseViewAs(
     const Principal& who, std::string_view view_name,
     const std::function<void(const ViewRow&)>& visit) const {
-  ReadTxn txn(this);  // catches up on deferred index events
+  ReadTxn txn(this);  // pins a snapshot; catches up deferred index events
   // Resolve the principal's level and roles once for the whole pass;
   // re-resolving per row is pure overhead (the E8 hot path).
-  const AccessContext access = ResolveAccess(acl_, who);
+  const AccessContext access = ResolveAccess(acl(), who);
   if (access.level < AccessLevel::kReader) {
     return Status::PermissionDenied(who.name + " lacks Reader access");
   }
-  const ViewIndex* view = FindViewLocked(view_name);
+  std::shared_ptr<ViewIndex> view = FindViewShared(view_name);
   if (view == nullptr) {
     return Status::NotFound("view " + std::string(view_name));
   }
+  const Epoch at = txn.epoch();
   // Collect rows, drop unreadable documents, then prune category rows
-  // left without any visible descendants.
+  // left without any visible descendants. Documents resolve at the pinned
+  // epoch, so the row set and the note contents agree even while writers
+  // commit mid-traversal.
   std::vector<ViewRow> rows;
-  view->Traverse([&](const ViewRow& row) {
+  view->TraverseAt(at, [&](const ViewRow& row) {
     if (row.kind == ViewRow::Kind::kDocument) {
-      NoteHandle note = FindById(row.entry->note_id);
-      if (note == nullptr || !CanReadDocument(access, who, *note)) return;
+      NoteHandle note = ResolveAt(row.entry->note_id, at);
+      if (note == nullptr || note->deleted() ||
+          !CanReadDocument(access, who, *note)) {
+        return;
+      }
     }
     rows.push_back(row);
   });
@@ -705,6 +866,10 @@ Status Database::TraverseViewAs(
   }
   return Status::Ok();
 }
+
+// ---------------------------------------------------------------------------
+// Folders
+// ---------------------------------------------------------------------------
 
 namespace {
 
@@ -788,21 +953,20 @@ Status Database::RemoveFromFolder(const std::string& name,
 
 Result<std::vector<Note>> Database::FolderContents(
     const std::string& name) const {
-  ReadGuard lock(this);
+  ReadTxn txn(this, /*catch_up=*/false);
   DOMINO_ASSIGN_OR_RETURN(Note folder, FindFolderNote(*this, name));
   std::vector<Note> out;
   const Value* refs = folder.FindValue("$FolderRefs");
   if (refs != nullptr) {
     for (const std::string& ref : refs->texts()) {
-      NoteHandle note = FindByUnid(Unid::FromString(ref));
-      if (note != nullptr) out.push_back(*note);
+      NoteHandle note = ResolveUnidAt(Unid::FromString(ref), txn.epoch());
+      if (note != nullptr && !note->deleted()) out.push_back(*note);
     }
   }
   return out;
 }
 
 std::vector<std::string> Database::FolderNames() const {
-  ReadGuard lock(this);
   std::vector<std::string> names;
   ForEachLiveNote([&](const Note& note) {
     if (note.note_class() == NoteClass::kDesign &&
@@ -813,10 +977,17 @@ std::vector<std::string> Database::FolderNames() const {
   return names;
 }
 
+// ---------------------------------------------------------------------------
+// Full-text
+// ---------------------------------------------------------------------------
+
 Status Database::EnsureFullTextIndex() {
-  WriteGuard lock(this);
-  if (fulltext_ != nullptr) return Status::Ok();
-  fulltext_ = std::make_unique<FullTextIndex>(registry_);
+  WriteGuard lock(this);  // exclude writers so the build misses nothing
+  {
+    MutexLock cat(&catalog_mu_);
+    if (fulltext_ != nullptr) return Status::Ok();
+  }
+  auto ft = std::make_shared<FullTextIndex>(registry_);
   // The paged store materializes notes per call rather than keeping them
   // resident, so the build needs its own stable copies for the pointer
   // spans BuildFrom shards across workers.
@@ -826,39 +997,105 @@ Status Database::EnsureFullTextIndex() {
   std::vector<const Note*> notes;
   notes.reserve(copies.size());
   for (const Note& note : copies) notes.push_back(&note);
-  fulltext_->BuildFrom(notes, indexer_pool_);
+  indexer::ThreadPool* pool;
+  {
+    MutexLock cat(&catalog_mu_);
+    pool = indexer_pool_;
+  }
+  ft->BuildFrom(notes, pool);
+  MutexLock cat(&catalog_mu_);
+  fulltext_ = std::move(ft);
   return Status::Ok();
 }
 
 bool Database::HasFullTextIndex() const {
-  ReadGuard lock(this);
-  return fulltext_ != nullptr;
+  return SnapshotFulltext() != nullptr;
 }
 
 const FullTextIndex* Database::fulltext() const {
-  ReadGuard lock(this);
-  return fulltext_.get();
+  return SnapshotFulltext().get();
 }
 
 Result<std::vector<Note>> Database::SearchAs(const Principal& who,
                                              std::string_view query) const {
-  ReadTxn txn(this);  // catches up, so results reflect every write
-  if (fulltext_ == nullptr) {
+  ReadTxn txn(this);  // pins a snapshot; catches up deferred index events
+  std::shared_ptr<FullTextIndex> ft = SnapshotFulltext();
+  if (ft == nullptr) {
     return Status::FailedPrecondition(
         "no full-text index; call EnsureFullTextIndex first");
   }
-  const AccessContext access = ResolveAccess(acl_, who);
-  DOMINO_ASSIGN_OR_RETURN(auto hits, fulltext_->Search(query));
+  const AccessContext access = ResolveAccess(acl(), who);
+  const Epoch at = txn.epoch();
+  DOMINO_ASSIGN_OR_RETURN(auto hits, ft->Search(query));
   std::vector<Note> out;
+  if (at == kEpochLatest) {
+    for (const FtHit& hit : hits) {
+      NoteHandle note = store_->Find(hit.note_id);
+      if (note != nullptr && !note->deleted() &&
+          CanReadDocument(access, who, *note)) {
+        out.push_back(*note);
+      }
+    }
+    return out;
+  }
+  // Snapshot mode. The main index tracks the latest state, so its hits
+  // are only authoritative for notes no commit after `at` rewrote
+  // (kUseStore). Notes with overlay versions — rewritten, deleted or
+  // purged after the pin — are re-searched from their pre-images with a
+  // small side index, so the result SET matches a full search at the pin
+  // (side-index scores use the side corpus statistics; ordering across
+  // the merge is by score then id).
+  struct Scored {
+    double score;
+    Note note;
+  };
+  std::vector<Scored> scored;
   for (const FtHit& hit : hits) {
-    NoteHandle note = store_->Find(hit.note_id);
-    if (note != nullptr && !note->deleted() &&
-        CanReadDocument(access, who, *note)) {
-      out.push_back(*note);
+    NoteHandle current = store_->Find(hit.note_id);
+    MvccSnapshots::Resolution r = mvcc_.Lookup(hit.note_id, at);
+    if (r.verdict != MvccSnapshots::Verdict::kUseStore) continue;
+    if (current != nullptr && !current->deleted() &&
+        CanReadDocument(access, who, *current)) {
+      scored.push_back({hit.score, *current});
     }
   }
+  stats::StatRegistry side_stats;  // keep per-query noise out of Db.* stats
+  FullTextIndex side(&side_stats);
+  bool any_side = false;
+  for (NoteId id : mvcc_.OverlayIds()) {
+    MvccSnapshots::Resolution r = mvcc_.Lookup(id, at);
+    if (r.verdict != MvccSnapshots::Verdict::kVersion || r.note == nullptr) {
+      continue;
+    }
+    side.IndexNote(*r.note);  // skips stubs / non-documents itself
+    any_side = true;
+  }
+  if (any_side) {
+    DOMINO_ASSIGN_OR_RETURN(auto side_hits, side.Search(query));
+    for (const FtHit& hit : side_hits) {
+      MvccSnapshots::Resolution r = mvcc_.Lookup(hit.note_id, at);
+      if (r.verdict != MvccSnapshots::Verdict::kVersion ||
+          r.note == nullptr) {
+        continue;
+      }
+      if (!r.note->deleted() && CanReadDocument(access, who, *r.note)) {
+        scored.push_back({hit.score, *r.note});
+      }
+    }
+  }
+  std::sort(scored.begin(), scored.end(), [](const Scored& a,
+                                             const Scored& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.note.id() < b.note.id();
+  });
+  out.reserve(scored.size());
+  for (Scored& s : scored) out.push_back(std::move(s.note));
   return out;
 }
+
+// ---------------------------------------------------------------------------
+// Formula search / services
+// ---------------------------------------------------------------------------
 
 Result<std::vector<Note>> Database::FormulaSearch(
     std::string_view selection) const {
@@ -867,9 +1104,10 @@ Result<std::vector<Note>> Database::FormulaSearch(
   std::vector<Note> out;
   formula::EvalContext ctx;
   BindFormulaServices(&ctx);
-  // One compiled program, one VM register file, every note in the store.
+  // One compiled program, one VM register file, every note visible at
+  // the pinned snapshot.
   formula::BatchEvaluator eval(f);
-  store_->ForEach([&](const Note& note) {
+  ScanAt(txn.epoch(), [&](const Note& note) {
     if (note.deleted() || note.note_class() != NoteClass::kDocument) return;
     ctx.note = &note;
     auto matched = eval.Matches(ctx);
@@ -927,8 +1165,8 @@ Value ConcatColumn(const std::vector<const ViewEntry*>& entries,
 
 void Database::BindFormulaServices(formula::EvalContext* ctx) const {
   // Title, replica id and clock are immutable after Open — no lock. The
-  // lookup hook locks per call: a fresh shared acquisition from pool or
-  // agent threads, a re-entrant one under FormulaSearch's own ReadTxn.
+  // lookup hook pins per call: a fresh snapshot from pool or agent
+  // threads, the caller's own pin when re-entered under FormulaSearch.
   ctx->clock = clock_;
   ctx->db_title = title();
   ctx->replica_id = replica_id().ToString();
@@ -936,12 +1174,13 @@ void Database::BindFormulaServices(formula::EvalContext* ctx) const {
                           const std::optional<Value>& key,
                           size_t column) -> Result<Value> {
     ReadTxn txn(this);
-    const ViewIndex* view = FindViewLocked(view_name);
+    std::shared_ptr<ViewIndex> view = FindViewShared(view_name);
     if (view == nullptr) {
       return Status::NotFound("@DbLookup/@DbColumn: no view " + view_name);
     }
     std::vector<const ViewEntry*> entries =
-        key.has_value() ? view->FindByKey(*key) : view->Entries();
+        key.has_value() ? view->FindByKeyAt(*key, txn.epoch())
+                        : view->EntriesAt(txn.epoch());
     if (column == 0 || column > view->design().columns().size()) {
       return Status::InvalidArgument(
           "@DbLookup/@DbColumn: bad column index");
@@ -950,38 +1189,48 @@ void Database::BindFormulaServices(formula::EvalContext* ctx) const {
   };
 }
 
+// ---------------------------------------------------------------------------
+// Unread marks
+// ---------------------------------------------------------------------------
+
 void Database::MarkRead(const Principal& who, const Unid& unid) {
-  WriteGuard lock(this);
+  MutexLock lock(&marks_mu_);
   read_marks_[ToLower(who.name)].insert(unid);
 }
 
-bool Database::IsUnreadLocked(const Principal& who, const Unid& unid) const {
+bool Database::IsUnread(const Principal& who, const Unid& unid) const {
+  MutexLock lock(&marks_mu_);
   auto it = read_marks_.find(ToLower(who.name));
   if (it == read_marks_.end()) return true;
   return it->second.count(unid) == 0;
 }
 
-bool Database::IsUnread(const Principal& who, const Unid& unid) const {
-  ReadGuard lock(this);
-  return IsUnreadLocked(who, unid);
-}
-
 size_t Database::UnreadCount(const Principal& who) const {
-  ReadGuard lock(this);
+  ReadTxn txn(this, /*catch_up=*/false);
+  std::set<Unid> read;
+  {
+    MutexLock lock(&marks_mu_);
+    auto it = read_marks_.find(ToLower(who.name));
+    if (it != read_marks_.end()) read = it->second;
+  }
   size_t unread = 0;
-  store_->ForEach([&](const Note& note) {
+  ScanAt(txn.epoch(), [&](const Note& note) {
     if (!note.deleted() && note.note_class() == NoteClass::kDocument &&
-        IsUnreadLocked(who, note.unid())) {
+        read.count(note.unid()) == 0) {
       ++unread;
     }
   });
   return unread;
 }
 
+// ---------------------------------------------------------------------------
+// Replication support
+// ---------------------------------------------------------------------------
+
 std::vector<Oid> Database::ChangesSince(Micros cutoff) const {
-  ReadGuard lock(this);
+  ReadTxn txn(this, /*catch_up=*/false);
   std::vector<Oid> changes;
-  store_->ForEach([&](const Note& note) {
+  ScanAt(txn.epoch(), [&](const Note& note) {
     if (note.modified_in_file() > cutoff) changes.push_back(note.oid());
   });
   return changes;
@@ -989,9 +1238,9 @@ std::vector<Oid> Database::ChangesSince(Micros cutoff) const {
 
 std::vector<Database::Change> Database::ChangeSummarySince(
     Micros cutoff) const {
-  ReadGuard lock(this);
+  ReadTxn txn(this, /*catch_up=*/false);
   std::vector<Change> changes;
-  store_->ForEach([&](const Note& note) {
+  ScanAt(txn.epoch(), [&](const Note& note) {
     if (note.modified_in_file() > cutoff) {
       changes.push_back(Change{note.oid(), note.modified_in_file()});
     }
@@ -1005,8 +1254,8 @@ std::vector<Database::Change> Database::ChangeSummarySince(
 }
 
 Result<Note> Database::GetAnyByUnid(const Unid& unid) const {
-  ReadGuard lock(this);
-  NoteHandle note = store_->FindByUnid(unid);
+  ReadTxn txn(this, /*catch_up=*/false);
+  NoteHandle note = ResolveUnidAt(unid, txn.epoch());
   if (note == nullptr) return Status::NotFound("unid " + unid.ToString());
   return *note;
 }
@@ -1014,14 +1263,15 @@ Result<Note> Database::GetAnyByUnid(const Unid& unid) const {
 Status Database::InstallRemoteNote(Note note) {
   MutationGuard guard(this);
   NoteHandle local = store_->FindByUnid(note.unid());
-  note.set_id(local != nullptr ? local->id() : kInvalidNoteId);
+  note.set_id(local != nullptr ? local->id() : store_->AllocateId());
   note.set_modified_in_file(StampTime());
+  RecordPreImage(note.id());
   DOMINO_RETURN_IF_ERROR(store_->Put(&note));
   return AfterChange(note);
 }
 
 void Database::AttachReplicationHistory(const ReplicationHistory* history) {
-  WriteGuard lock(this);
+  MutexLock lock(&catalog_mu_);
   repl_history_ = history;
 }
 
@@ -1047,9 +1297,13 @@ Result<size_t> Database::PurgeStubs() {
   // Databases with no attached history (never replicate) purge by age
   // alone.
   Micros seen_by_all_peers = std::numeric_limits<Micros>::max();
-  if (repl_history_ != nullptr) {
-    seen_by_all_peers =
-        repl_history_->MinCutoff().value_or(seen_by_all_peers);
+  const ReplicationHistory* history;
+  {
+    MutexLock lock(&catalog_mu_);
+    history = repl_history_;
+  }
+  if (history != nullptr) {
+    seen_by_all_peers = history->MinCutoff().value_or(seen_by_all_peers);
   }
   // Collect ids first: Erase mutates the map under ForEach otherwise.
   std::vector<NoteId> purged;
@@ -1059,20 +1313,30 @@ Result<size_t> Database::PurgeStubs() {
       purged.push_back(note.id());
     }
   });
+  std::shared_ptr<indexer::IndexerTask> task = SnapshotIndexer();
   for (NoteId id : purged) {
+    // Pre-image first: readers pinned before this commit keep resolving
+    // the stub (and its UNID) through the overlay until they unpin.
+    RecordPreImage(id);
     DOMINO_RETURN_IF_ERROR(store_->Erase(id));
-    for (auto& [parent, kids] : children_) kids.erase(id);
-    if (indexer_ != nullptr) {
+    {
+      MutexLock lock(&catalog_mu_);
+      for (auto& [parent, kids] : children_) kids.erase(id);
+    }
+    if (task != nullptr) {
       // Route the erase through the indexer queue so it stays ordered
       // behind any still-pending kChanged for the same note; removing
       // from the indexes synchronously would let such a queued update
       // resurrect the purged note there.
-      indexer_->Enqueue(
-          indexer::NoteChange{id, indexer::ChangeKind::kErased});
+      task->Enqueue(indexer::NoteChange{id, indexer::ChangeKind::kErased,
+                                        commit_epoch_, nullptr});
     } else {
-      for (auto& [name, view] : views_) view->Remove(id);
-      if (fulltext_ != nullptr) fulltext_->RemoveNote(id);
+      for (const auto& view : SnapshotViews()) {
+        view->Remove(id, commit_epoch_);
+      }
+      if (auto ft = SnapshotFulltext()) ft->RemoveNote(id);
     }
+    MutexLock lock(&notify_mu_);
     if (!observers_.empty()) {
       PendingNotify n;
       n.erased_id = id;
@@ -1083,13 +1347,17 @@ Result<size_t> Database::PurgeStubs() {
   return purged.size();
 }
 
+// ---------------------------------------------------------------------------
+// Observation / iteration
+// ---------------------------------------------------------------------------
+
 void Database::AddObserver(DatabaseObserver* observer) {
-  WriteGuard lock(this);
+  MutexLock lock(&notify_mu_);
   observers_.push_back(observer);
 }
 
 void Database::RemoveObserver(DatabaseObserver* observer) {
-  WriteGuard lock(this);
+  MutexLock lock(&notify_mu_);
   for (auto it = observers_.begin(); it != observers_.end(); ++it) {
     if (*it == observer) {
       observers_.erase(it);
@@ -1100,31 +1368,22 @@ void Database::RemoveObserver(DatabaseObserver* observer) {
 
 void Database::ForEachLiveNote(
     const std::function<void(const Note&)>& fn) const {
-  ReadGuard lock(this);
-  store_->ForEach([&](const Note& note) {
+  ReadTxn txn(this, /*catch_up=*/false);
+  ScanAt(txn.epoch(), [&](const Note& note) {
     if (!note.deleted()) fn(note);
   });
 }
 
 void Database::ForEachNote(const std::function<void(const Note&)>& fn) const {
-  ReadGuard lock(this);
-  store_->ForEach(fn);
+  ReadTxn txn(this, /*catch_up=*/false);
+  ScanAt(txn.epoch(), fn);
 }
 
-size_t Database::note_count() const {
-  ReadGuard lock(this);
-  return store_->note_count();
-}
+size_t Database::note_count() const { return store_->note_count(); }
 
-size_t Database::stub_count() const {
-  ReadGuard lock(this);
-  return store_->stub_count();
-}
+size_t Database::stub_count() const { return store_->stub_count(); }
 
-StoreStats Database::store_stats() const {
-  ReadGuard lock(this);
-  return store_->stats();
-}
+StoreStats Database::store_stats() const { return store_->stats(); }
 
 Status Database::Checkpoint() {
   WriteGuard lock(this);
@@ -1132,10 +1391,11 @@ Status Database::Checkpoint() {
 }
 
 Status Database::RunCompact() {
-  // Each slice holds the exclusive lock only while it copies a handful of
-  // pages; readers interleave between slices, which is what makes this
-  // the online COMPACT of the paper (§ compaction) rather than the
-  // offline copy-style one.
+  // Each slice holds the write lock only while it copies a handful of
+  // pages; other writers interleave between slices, and readers never
+  // block at all (they resolve through the store's own page locks and
+  // the overlay). This is the online COMPACT of the paper (§ compaction)
+  // rather than the offline copy-style one.
   for (;;) {
     WriteGuard lock(this);
     DOMINO_ASSIGN_OR_RETURN(size_t reclaimed, store_->CompactStep(8));
@@ -1145,35 +1405,35 @@ Status Database::RunCompact() {
   return store_->Checkpoint();
 }
 
-// The NoteResolver overrides stay lock-free: parallel rebuild workers
-// call them while the rebuild coordinator holds the exclusive lock, and
-// locked entry points call them re-entrantly. Safe because every mutation
-// holds the exclusive lock for its whole duration (see the class
-// comment), so the store and children index are frozen whenever a caller
-// can legitimately be here. Opted out of the static analysis for exactly
-// that reason.
+// ---------------------------------------------------------------------------
+// NoteResolver (latest-state reads for index maintenance)
+// ---------------------------------------------------------------------------
 
-NoteHandle Database::FindByUnid(const Unid& unid) const
-    NO_THREAD_SAFETY_ANALYSIS {
+NoteHandle Database::FindByUnid(const Unid& unid) const {
   NoteHandle note = store_->FindByUnid(unid);
   return (note != nullptr && !note->deleted()) ? note : nullptr;
 }
 
-NoteHandle Database::FindById(NoteId id) const NO_THREAD_SAFETY_ANALYSIS {
+NoteHandle Database::FindById(NoteId id) const {
   NoteHandle note = store_->Find(id);
   return (note != nullptr && !note->deleted()) ? note : nullptr;
 }
 
-std::vector<NoteId> Database::ChildrenOf(const Unid& parent) const
-    NO_THREAD_SAFETY_ANALYSIS {
+std::vector<NoteId> Database::ChildrenOf(const Unid& parent) const {
+  MutexLock lock(&catalog_mu_);
   auto it = children_.find(parent);
   if (it == children_.end()) return {};
   return std::vector<NoteId>(it->second.begin(), it->second.end());
 }
 
+// ---------------------------------------------------------------------------
+// Design application / post-commit bookkeeping
+// ---------------------------------------------------------------------------
+
 Status Database::ApplyDesignNote(const Note& note) {
   if (note.note_class() == NoteClass::kAcl) {
     DOMINO_ASSIGN_OR_RETURN(Acl acl, Acl::FromNote(note));
+    MutexLock lock(&acl_mu_);
     acl_ = std::move(acl);
     acl_note_id_ = note.id();
     return Status::Ok();
@@ -1181,13 +1441,23 @@ Status Database::ApplyDesignNote(const Note& note) {
   if (note.note_class() == NoteClass::kView) {
     DOMINO_ASSIGN_OR_RETURN(ViewDesign design, ViewDesign::FromNote(note));
     std::string key = ToLower(design.name());
+    indexer::ThreadPool* pool;
+    {
+      MutexLock lock(&catalog_mu_);
+      pool = indexer_pool_;
+    }
     auto index =
-        std::make_unique<ViewIndex>(std::move(design), clock_, registry_);
+        std::make_shared<ViewIndex>(std::move(design), clock_, registry_);
     DOMINO_RETURN_IF_ERROR(index->Rebuild(
         [this](const std::function<void(const Note&)>& fn) {
           store_->ForEach(fn);
         },
-        this, indexer_pool_));
+        this, pool));
+    // Swap in only after the rebuild: readers holding the old index via
+    // its shared_ptr keep traversing it; new readers get the new one. A
+    // design change is not snapshot-isolated (matching Domino, where a
+    // view refresh is immediately visible), but it is never torn.
+    MutexLock lock(&catalog_mu_);
     views_[key] = std::move(index);
     view_note_ids_[key] = note.id();
     return Status::Ok();
@@ -1198,6 +1468,7 @@ Status Database::ApplyDesignNote(const Note& note) {
 Status Database::AfterChange(const Note& note) {
   // Response-children index.
   if (!note.parent_unid().IsNull()) {
+    MutexLock lock(&catalog_mu_);
     if (note.deleted()) {
       children_[note.parent_unid()].erase(note.id());
     } else {
@@ -1210,6 +1481,7 @@ Status Database::AfterChange(const Note& note) {
       note.note_class() == NoteClass::kView) {
     if (note.deleted()) {
       if (note.note_class() == NoteClass::kView) {
+        MutexLock lock(&catalog_mu_);
         for (auto it = view_note_ids_.begin(); it != view_note_ids_.end();
              ++it) {
           if (it->second == note.id()) {
@@ -1224,28 +1496,34 @@ Status Database::AfterChange(const Note& note) {
     }
   }
   // Document maintenance defers to the background indexer when attached:
-  // the writer returns as soon as the event is queued, and the pool (or a
-  // read-path catch-up) applies it. Design notes were handled above and
-  // observers stay synchronous — the replicator depends on ordering.
-  if (indexer_ != nullptr && note.note_class() == NoteClass::kDocument) {
-    indexer_->Enqueue(
-        indexer::NoteChange{note.id(), indexer::ChangeKind::kChanged});
+  // the writer returns as soon as the event — carrying the commit epoch
+  // and the note state it produced — is queued; the pool (or a reader
+  // catching up to its pin) applies it. Design notes were handled above.
+  std::shared_ptr<indexer::IndexerTask> task = SnapshotIndexer();
+  if (task != nullptr && note.note_class() == NoteClass::kDocument) {
+    task->Enqueue(indexer::NoteChange{note.id(),
+                                      indexer::ChangeKind::kChanged,
+                                      commit_epoch_,
+                                      std::make_shared<Note>(note)});
   } else {
-    for (auto& [name, view] : views_) {
-      DOMINO_RETURN_IF_ERROR(view->Update(note, this));
+    for (const auto& view : SnapshotViews()) {
+      DOMINO_RETURN_IF_ERROR(view->Update(note, this, commit_epoch_));
     }
-    if (fulltext_ != nullptr) fulltext_->IndexNote(note);
+    if (auto ft = SnapshotFulltext()) ft->IndexNote(note);
   }
-  // Observers fire after the outermost mutator releases mu_ (see
-  // MutationGuard) — a cluster observer locks peer databases, which must
-  // never nest inside our own lock.
-  if (!observers_.empty()) {
-    pending_notify_.push_back(PendingNotify{note, kInvalidNoteId});
+  // Observers fire after the outermost mutator releases the write lock
+  // (see MutationGuard) — a cluster observer locks peer databases, which
+  // must never nest inside our own lock.
+  {
+    MutexLock lock(&notify_mu_);
+    if (!observers_.empty()) {
+      pending_notify_.push_back(PendingNotify{note, kInvalidNoteId});
+    }
   }
   // Threshold checkpointing runs here — after the commit and the index
   // maintenance, never inside the store's commit path. With an indexer
   // attached the background drain is the (idler) checkpoint hook instead.
-  if (indexer_ == nullptr) {
+  if (task == nullptr) {
     DOMINO_RETURN_IF_ERROR(store_->MaybeCompact());
     DOMINO_RETURN_IF_ERROR(store_->MaybeCheckpoint());
   }

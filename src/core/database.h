@@ -12,10 +12,12 @@
 #include <vector>
 
 #include "base/clock.h"
+#include "base/epoch.h"
 #include "base/result.h"
 #include "base/rng.h"
 #include "base/shared_mutex.h"
 #include "base/thread_annotations.h"
+#include "core/mvcc.h"
 #include "formula/formula.h"
 #include "fulltext/fulltext_index.h"
 #include "indexer/indexer_task.h"
@@ -62,31 +64,36 @@ struct DatabaseOptions {
 ///  - principal-checked CRUD (`CreateNoteAs`, ...) enforcing the ACL and
 ///    reader/author fields on every path, as Domino does.
 ///
-/// Threading: a reader/writer lock (std::shared_mutex). Read-only entry
-/// points — note opens, view traversals, full-text and formula search,
-/// change summaries, unread counts — take the lock shared and run
-/// concurrently; mutators (CRUD, replication apply, purge, index flush)
-/// take it exclusive. The mutex is not recursive; re-entrancy (public
-/// methods call each other, and formula services re-enter through
-/// @DbLookup) is handled by a thread-local lock-ownership token: a nested
-/// acquisition on the owning thread only bumps a depth count. Acquiring
-/// shared under this thread's exclusive hold is permitted (a read inside a
-/// mutator); upgrading — requesting exclusive while holding only shared —
-/// is a programming error and aborts rather than deadlocking.
+/// Threading — MVCC read snapshots; writers never block readers:
 ///
-/// Read paths that consult views or the full-text index catch up on
-/// deferred indexer events at lock acquisition: ReadTxn briefly takes the
-/// exclusive lock to drain the queue, then downgrades to shared. Once
-/// shared is held the queue stays empty (events are only enqueued by
-/// writers, which the shared hold excludes), so deferral remains
-/// semantically invisible to readers.
+/// Writers (CRUD, replication apply, purge, compaction slices) serialize
+/// on `mu_`, held exclusively for the duration of the mutation. The lock
+/// is not recursive; re-entrancy (public mutators call each other) is
+/// handled by a thread-local ownership token.
 ///
-/// The NoteResolver overrides are the one lock-free exception: parallel
-/// rebuild workers call them while the rebuild coordinator holds the
-/// exclusive lock. That is safe because every mutation holds the exclusive
-/// lock for its whole duration, so the store is frozen both for workers
-/// (coordinator holds exclusive) and for ordinary readers (shared hold
-/// excludes writers).
+/// Readers do NOT take `mu_` at all. A read pins a snapshot epoch
+/// (Database::ReadTxn): every commit advances the epoch counter and
+/// records pre-images of the notes it overwrites in a short-lived overlay
+/// (core/mvcc.h), so a pinned reader resolves each note to its state at
+/// the pinned epoch — the store's current value when no later commit
+/// touched it, the overlay pre-image otherwise. View and full-text reads
+/// run at the same pinned epoch: view indexes keep superseded rows as
+/// epoch-stamped zombies until no pin needs them, and full-text hits are
+/// filtered/augmented through the overlay. The component locks actually
+/// taken by a read (store, view, full-text internal reader/writer locks;
+/// the tiny mvcc mutex) are held only across short structural sections —
+/// never across WAL fsyncs or formula evaluation — which is what makes
+/// reader latency independent of writer activity.
+///
+/// Deferred index maintenance (AttachIndexer) stays invisible to readers:
+/// index events carry their commit epoch, and ReadTxn catches up the
+/// indexes to its pinned epoch before the first view/full-text read
+/// (appliers serialize on the indexer's apply mutex, not on `mu_`).
+///
+/// Reads on a thread that holds `mu_` (a mutator re-entering a read, or
+/// @DbLookup inside a formula a writer evaluates) run in latest mode: they
+/// see the thread's own uncommitted writes (read-your-writes), with a
+/// pre-read inline index flush.
 class Database : public NoteResolver {
  public:
   static Result<std::unique_ptr<Database>> Open(const std::string& dir,
@@ -97,12 +104,44 @@ class Database : public NoteResolver {
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
+  /// Pins a snapshot epoch for the lifetime of the guard: every read made
+  /// through the database (directly or via formula services) on this
+  /// thread resolves at that epoch, so a multi-step read — traverse a
+  /// view, then open each note; search, then @DbLookup — is repeatable
+  /// even while writers commit concurrently.
+  ///
+  /// Nested ReadTxns on the same thread reuse the outer pin (that is what
+  /// makes @DbLookup inside FormulaSearch repeatable). On a thread that
+  /// holds the write lock the txn runs in latest mode instead of pinning
+  /// (read-your-writes; see class comment). `catch_up` brings the view /
+  /// full-text indexes up to the pinned epoch first — pass false for
+  /// store-only reads that should not wait on index appliers.
+  class ReadTxn {
+   public:
+    explicit ReadTxn(const Database* db, bool catch_up = true);
+    ~ReadTxn();
+    ReadTxn(const ReadTxn&) = delete;
+    ReadTxn& operator=(const ReadTxn&) = delete;
+    /// The pinned epoch (kEpochLatest in latest mode).
+    Epoch epoch() const { return epoch_; }
+
+   private:
+    const Database* db_;
+    Epoch epoch_ = kEpochNone;
+    bool pinned_ = false;  // this txn owns the thread's pin
+  };
+
   // -- Identity ---------------------------------------------------------
-  // DatabaseInfo is immutable after Open, so these need no lock.
-  const Unid& replica_id() const { return store_->info().replica_id; }
-  const std::string& title() const { return store_->info().title; }
-  const DatabaseInfo& info() const { return store_->info(); }
+  // By value: the store returns its info snapshot by value (its internal
+  // lock protects concurrent UpdateInfo), so references would dangle.
+  Unid replica_id() const { return store_->info().replica_id; }
+  std::string title() const { return store_->info().title; }
+  DatabaseInfo info() const { return store_->info(); }
   const Clock* clock() const { return clock_; }
+
+  /// MVCC bookkeeping (pinned epochs, overlay versions) — for stats and
+  /// tests.
+  const MvccSnapshots& mvcc() const { return mvcc_; }
 
   /// The last modified-in-file stamp issued by this database. Everything
   /// written so far carries a stamp ≤ this value; the replicator records
@@ -112,10 +151,9 @@ class Database : public NoteResolver {
   }
 
   // -- Security ---------------------------------------------------------
-  /// Reference into the live ACL. The referent is replaced only under the
-  /// exclusive lock (SetAcl); concurrent use is limited to administrative
-  /// single-threaded contexts.
-  const Acl& acl() const;
+  /// Snapshot of the live ACL (by value: SetAcl replaces the referent
+  /// concurrently).
+  Acl acl() const;
   /// Replaces the ACL (persisted as the ACL note, so it replicates).
   Status SetAcl(const Acl& acl);
   /// Checked variant: `who` must hold Manager access.
@@ -145,14 +183,14 @@ class Database : public NoteResolver {
   // -- Views --------------------------------------------------------------
   /// Persists the design note and builds the index.
   Result<ViewIndex*> CreateView(ViewDesign design);
-  /// nullptr if absent. The returned index is synchronized by this
-  /// database's lock; using it concurrently with writers requires staying
-  /// inside a locked entry point (TraverseViewAs) instead.
+  /// nullptr if absent. The returned index is internally synchronized
+  /// (reads may run concurrently with writers); the pointer stays valid
+  /// until the view's design is replaced or deleted.
   ViewIndex* FindView(std::string_view name);
   const ViewIndex* FindView(std::string_view name) const;
   std::vector<std::string> ViewNames() const;
-  /// Traverses a view, filtering rows the principal may not read
-  /// (document-level security applies to every access path).
+  /// Traverses a view at a pinned snapshot, filtering rows the principal
+  /// may not read (document-level security applies to every access path).
   Status TraverseViewAs(const Principal& who, std::string_view view_name,
                         const std::function<void(const ViewRow&)>& visit) const;
 
@@ -173,10 +211,9 @@ class Database : public NoteResolver {
   /// full-text maintenance runs; a background drain scheduled on the pool
   /// applies them. Full view / full-text rebuilds also use the pool for
   /// data-parallel shard evaluation. Passing nullptr detaches (writes go
-  /// back to synchronous maintenance). Read paths (FindView,
-  /// TraverseViewAs, SearchAs) catch up on pending events first, so
-  /// deferral is semantically invisible: indexes always reflect every
-  /// committed write by the time anyone looks.
+  /// back to synchronous maintenance). Read paths catch up to their
+  /// pinned epoch first, so deferral is semantically invisible: indexes
+  /// reflect every commit a reader can observe by the time it looks.
   void AttachIndexer(indexer::ThreadPool* pool);
   /// Deterministic barrier: applies every pending index event inline.
   /// Afterwards views and the full-text index are byte-identical to what
@@ -189,7 +226,10 @@ class Database : public NoteResolver {
   Status EnsureFullTextIndex();
   bool HasFullTextIndex() const;
   const FullTextIndex* fulltext() const;
-  /// Scored search returning readable notes only.
+  /// Scored search returning readable notes only, evaluated at a pinned
+  /// snapshot (hits from commits after the pin are filtered out; notes
+  /// the pin can still see but later commits re-wrote are re-scored from
+  /// their overlay pre-images).
   Result<std::vector<Note>> SearchAs(const Principal& who,
                                      std::string_view query) const;
 
@@ -199,9 +239,9 @@ class Database : public NoteResolver {
 
   /// Fills the formula context with this database's services: title,
   /// replica id, clock, and the @DbLookup/@DbColumn hook over this
-  /// database's views. The hook takes its own shared lock per call (or
-  /// re-enters the caller's), so bound contexts may be evaluated from any
-  /// thread.
+  /// database's views. The hook opens its own ReadTxn per call (or joins
+  /// the caller's pinned snapshot), so bound contexts may be evaluated
+  /// from any thread.
   void BindFormulaServices(formula::EvalContext* ctx) const;
 
   // -- Unread marks -----------------------------------------------------------
@@ -240,15 +280,16 @@ class Database : public NoteResolver {
 
   /// Purges expired deletion stubs: stubs older than `purge_interval`
   /// AND (when a replication history is attached) already seen by every
-  /// recorded peer. Returns the number removed.
+  /// recorded peer. Returns the number removed. Readers pinned before the
+  /// purge keep seeing the stubs through the overlay until they unpin.
   Result<size_t> PurgeStubs();
 
   // -- Observation / iteration ----------------------------------------------
   void AddObserver(DatabaseObserver* observer);
   void RemoveObserver(DatabaseObserver* observer);
-  /// The `Note&` passed to `fn` is a decode of the on-page image and only
-  /// valid for the duration of the callback — copy it (or re-Find a
-  /// NoteHandle) to keep it.
+  /// The `Note&` passed to `fn` is only valid for the duration of the
+  /// callback — copy it (or re-Find a NoteHandle) to keep it. Both scans
+  /// run at a pinned snapshot (join the caller's pin when nested).
   void ForEachLiveNote(const std::function<void(const Note&)>& fn) const;
   void ForEachNote(const std::function<void(const Note&)>& fn) const;
 
@@ -262,12 +303,13 @@ class Database : public NoteResolver {
 
   /// Online COMPACT: copies live notes out of fragmented pages until no
   /// reclaimable space remains, then checkpoints so the reclaim is
-  /// durable. Runs in bounded slices, releasing the exclusive lock
-  /// between them so readers interleave with the copy.
+  /// durable. Runs in bounded slices, releasing the write lock between
+  /// them so other writers interleave; readers are never blocked.
   Status RunCompact();
 
   // -- NoteResolver (for view indexes) ---------------------------------------
-  // Lock-free; see the class comment for why this is safe.
+  // Latest-state reads backed by the store's / catalog's own locks (index
+  // maintenance always works against the newest state).
   NoteHandle FindByUnid(const Unid& unid) const override;
   NoteHandle FindById(NoteId id) const override;
   std::vector<NoteId> ChildrenOf(const Unid& parent) const override;
@@ -278,56 +320,67 @@ class Database : public NoteResolver {
       : clock_(clock),
         rng_(unid_seed),
         stamp_salt_(static_cast<Micros>(Mix64(unid_seed) % 1000)),
+        mvcc_(registry),
         registry_(registry),
         ctr_stubs_purged_(&registry->GetCounter("Database.Stubs.Purged")) {}
 
   // -- Locking ----------------------------------------------------------
-  // The raw acquire/release primitives behind the guards. Each maintains
-  // the thread-local ownership token that makes the non-recursive
-  // shared_mutex safely re-entrant (see the class comment). Their bodies
-  // juggle lock states the static analysis cannot follow, so they opt out
-  // and carry the net effect in their ACQUIRE/RELEASE annotations.
-  void AcquireWrite() const ACQUIRE(mu_, db_index_lock)
+  // Raw acquire/release for the writer lock. Each maintains the
+  // thread-local ownership token that makes the non-recursive mutex
+  // safely re-entrant for nested mutators. Their bodies juggle lock
+  // states the static analysis cannot follow, so they opt out and carry
+  // the net effect in their ACQUIRE/RELEASE annotations.
+  void AcquireWrite() const ACQUIRE(mu_) NO_THREAD_SAFETY_ANALYSIS;
+  bool TryAcquireWrite() const TRY_ACQUIRE(true, mu_)
       NO_THREAD_SAFETY_ANALYSIS;
-  bool TryAcquireWrite() const TRY_ACQUIRE(true, mu_, db_index_lock)
-      NO_THREAD_SAFETY_ANALYSIS;
-  void ReleaseWrite() const RELEASE(mu_, db_index_lock)
-      NO_THREAD_SAFETY_ANALYSIS;
-  /// `catch_up` additionally drains pending indexer events before the
-  /// shared hold is established (briefly taking the exclusive lock when
-  /// the queue is non-empty).
-  void AcquireRead(bool catch_up) const ACQUIRE_SHARED(mu_, db_index_lock)
-      NO_THREAD_SAFETY_ANALYSIS;
-  void ReleaseRead() const RELEASE_SHARED(mu_, db_index_lock)
-      NO_THREAD_SAFETY_ANALYSIS;
+  void ReleaseWrite() const RELEASE(mu_) NO_THREAD_SAFETY_ANALYSIS;
+  /// True when the calling thread holds the write lock.
+  bool ThisThreadHoldsWrite() const;
 
-  class ReadTxn;        // shared + indexer catch-up (view/full-text reads)
-  class ReadGuard;      // shared, no catch-up (store-only reads)
-  class WriteGuard;     // exclusive, no observer notifications
-  class MutationGuard;  // exclusive + deferred observer notifications
+  class WriteGuard;     // exclusive, no commit epoch (admin/maintenance)
+  class MutationGuard;  // exclusive + commit epoch + deferred notifications
 
   Unid GenerateUnid() REQUIRES(mu_);
   /// Monotonic, replica-distinct sequence/modified-in-file stamp.
   Micros StampTime() REQUIRES(mu_);
+  /// Captures the current state of note `id` (live, stub, or absent) as
+  /// the pre-image for the in-flight commit. Must run before the store
+  /// mutation it protects.
+  void RecordPreImage(NoteId id) REQUIRES(mu_);
   /// Post-commit bookkeeping: children index, views, full-text, observers.
-  Status AfterChange(const Note& note) REQUIRES(mu_, db_index_lock);
-  void LoadDesignState() REQUIRES(mu_, db_index_lock);
-  Status ApplyDesignNote(const Note& note) REQUIRES(mu_, db_index_lock);
-  /// Applies one queued note-change event to views and full-text.
-  Status ApplyIndexEvent(const indexer::NoteChange& change)
-      REQUIRES(mu_, db_index_lock);
-  /// Pool-side drain entry. Never blocks on the database lock: if it's
-  /// busy (a writer, or a rebuild coordinator waiting on this very pool),
-  /// it re-arms the task and leaves the events for the next enqueue or
-  /// read-path catch-up.
+  Status AfterChange(const Note& note) REQUIRES(mu_);
+  void LoadDesignState() REQUIRES(mu_);
+  Status ApplyDesignNote(const Note& note) REQUIRES(mu_);
+  /// Applies one queued note-change event to views and full-text, using
+  /// the note state captured at enqueue time. Runs under the indexer's
+  /// apply mutex — never under mu_.
+  Status ApplyIndexEvent(const indexer::NoteChange& change) const;
+  /// Pool-side drain entry. Applies events without the database lock;
+  /// store threshold maintenance afterwards only if the write lock is
+  /// free.
   void BackgroundIndexDrain(indexer::IndexerTask* task);
-  /// FlushIndexes with the exclusive lock already held.
-  Status FlushIndexesLocked() REQUIRES(mu_, db_index_lock);
-  /// FindView minus locking and catch-up (ReadTxn already caught up).
-  ViewIndex* FindViewLocked(std::string_view name) const
-      REQUIRES_SHARED(mu_, db_index_lock);
-  bool IsUnreadLocked(const Principal& who, const Unid& unid) const
-      REQUIRES_SHARED(mu_);
+  /// Drains every pending index event inline (the FlushIndexes core).
+  Status FlushIndexesInternal() const;
+  /// Applies the pending event prefix a reader pinned at `max_epoch`
+  /// needs.
+  Status CatchUpIndexes(Epoch max_epoch) const;
+
+  // Catalog snapshots (shared_ptr copies under catalog_mu_, so callers
+  // use the indexes without holding any database-wide lock).
+  std::shared_ptr<ViewIndex> FindViewShared(std::string_view name) const;
+  std::vector<std::shared_ptr<ViewIndex>> SnapshotViews() const;
+  std::shared_ptr<FullTextIndex> SnapshotFulltext() const;
+  std::shared_ptr<indexer::IndexerTask> SnapshotIndexer() const;
+
+  /// Physically drops view zombie rows no pinned reader can need.
+  void ReclaimIndexVersions() const;
+
+  // Snapshot resolution (see core/mvcc.h for the protocol).
+  NoteHandle ResolveAt(NoteId id, Epoch at) const;
+  NoteHandle ResolveUnidAt(const Unid& unid, Epoch at) const;
+  /// Visits every note (stubs included) visible at `at`, including notes
+  /// the store has since purged but the overlay still carries.
+  void ScanAt(Epoch at, const std::function<void(const Note&)>& fn) const;
 
   /// One queued post-commit notification: a changed note, or (when
   /// erased_id is set) a physical erase.
@@ -335,51 +388,67 @@ class Database : public NoteResolver {
     Note note;
     NoteId erased_id = kInvalidNoteId;
   };
-  /// Fires queued notifications outside mu_. Reentrant calls from an
-  /// observer's own writes return immediately (the outer drain finishes
-  /// the queue); concurrent callers wait until the queue is empty.
+  /// Fires queued notifications outside all locks. Reentrant calls from
+  /// an observer's own writes return immediately (the outer drain
+  /// finishes the queue); concurrent callers wait until the queue is
+  /// empty.
   void DrainNotifications();
 
-  /// The database reader/writer lock; see the class comment. Mutable so
-  /// const read paths can lock shared (and catch up on index events).
+  /// Writer serialization lock (held exclusively by mutators; readers
+  /// never touch it — see the class comment). Mutable so const
+  /// maintenance paths can serialize.
   mutable SharedMutex mu_;
 
   const Clock* clock_;
   Rng rng_ GUARDED_BY(mu_);
   /// Last issued sequence-time stamp; keeps OID times strictly monotonic
-  /// even under a frozen SimClock. Written under the exclusive lock;
-  /// atomic so last_write_stamp() stays lock-free for the replicator.
+  /// even under a frozen SimClock. Written under the write lock; atomic
+  /// so last_write_stamp() stays lock-free for the replicator.
   std::atomic<Micros> last_stamp_{0};
   /// Per-instance sub-millisecond residue (see StampTime).
   Micros stamp_salt_ = 0;
-  /// Set once in Open (before any concurrency); the pointee's note data
-  /// is mutated only under mu_, which the REQUIRES annotations on every
-  /// mutating helper enforce. DatabaseInfo is immutable after Open.
+  /// Set once in Open (before any concurrency); internally synchronized —
+  /// reads take its lock shared, mutators (serialized by mu_) exclusive.
   std::unique_ptr<NoteStore> store_;
-  Acl acl_ GUARDED_BY(mu_);
-  NoteId acl_note_id_ GUARDED_BY(mu_) = kInvalidNoteId;
-  std::map<std::string, std::unique_ptr<ViewIndex>> views_
-      GUARDED_BY(mu_);  // lower name
-  std::unordered_map<std::string, NoteId> view_note_ids_
-      GUARDED_BY(mu_);  // lower name
-  std::unique_ptr<FullTextIndex> fulltext_ GUARDED_BY(mu_);
-  std::unordered_map<Unid, std::set<NoteId>> children_ GUARDED_BY(mu_);
-  std::map<std::string, std::set<Unid>> read_marks_
-      GUARDED_BY(mu_);  // user → read unids
-  std::vector<DatabaseObserver*> observers_ GUARDED_BY(mu_);
-  /// Server-owned purge clamp; null when the database never replicates.
-  const ReplicationHistory* repl_history_ GUARDED_BY(mu_) = nullptr;
+  /// Snapshot epochs + pre-image overlay. Mutable: const read paths pin.
+  mutable MvccSnapshots mvcc_;
 
-  // Post-commit notification queue and its drain state.
-  std::vector<PendingNotify> pending_notify_ GUARDED_BY(mu_);
+  /// ACL state (replaced by SetAcl / replicated design notes).
+  mutable Mutex acl_mu_;
+  Acl acl_ GUARDED_BY(acl_mu_);
+  NoteId acl_note_id_ GUARDED_BY(acl_mu_) = kInvalidNoteId;
+
+  /// Index catalog + response-children index. A leaf lock: held only to
+  /// copy out shared_ptrs / id sets, never while calling into an index
+  /// or the store.
+  mutable Mutex catalog_mu_;
+  std::map<std::string, std::shared_ptr<ViewIndex>> views_
+      GUARDED_BY(catalog_mu_);  // lower name
+  std::unordered_map<std::string, NoteId> view_note_ids_
+      GUARDED_BY(catalog_mu_);  // lower name
+  std::shared_ptr<FullTextIndex> fulltext_ GUARDED_BY(catalog_mu_);
+  std::unordered_map<Unid, std::set<NoteId>> children_
+      GUARDED_BY(catalog_mu_);
+  indexer::ThreadPool* indexer_pool_ GUARDED_BY(catalog_mu_) = nullptr;
+  std::shared_ptr<indexer::IndexerTask> indexer_ GUARDED_BY(catalog_mu_);
+  /// Server-owned purge clamp; null when the database never replicates.
+  const ReplicationHistory* repl_history_ GUARDED_BY(catalog_mu_) = nullptr;
+
+  /// Unread marks.
+  mutable Mutex marks_mu_;
+  std::map<std::string, std::set<Unid>> read_marks_
+      GUARDED_BY(marks_mu_);  // user → read unids
+
+  // Observers, the post-commit notification queue and its drain state.
+  mutable Mutex notify_mu_;
+  std::vector<DatabaseObserver*> observers_ GUARDED_BY(notify_mu_);
+  std::vector<PendingNotify> pending_notify_ GUARDED_BY(notify_mu_);
   std::mutex notify_drain_mu_;  // one active drainer at a time
   std::atomic<std::thread::id> notify_drainer_{};
-  int mutation_depth_ GUARDED_BY(mu_) = 0;  // nested MutationGuards
 
-  /// Shared worker pool (owned by the server) and this database's
-  /// background change queue. Null until AttachIndexer.
-  indexer::ThreadPool* indexer_pool_ GUARDED_BY(mu_) = nullptr;
-  std::unique_ptr<indexer::IndexerTask> indexer_ GUARDED_BY(mu_);
+  int mutation_depth_ GUARDED_BY(mu_) = 0;  // nested MutationGuards
+  /// Epoch of the in-flight commit (set by the outermost MutationGuard).
+  Epoch commit_epoch_ GUARDED_BY(mu_) = kEpochNone;
 
   /// Registry handed down to the store, views and full-text index.
   stats::StatRegistry* registry_;

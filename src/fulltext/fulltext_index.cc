@@ -128,10 +128,15 @@ void FullTextIndex::RefreshByteStats() {
 }
 
 void FullTextIndex::IndexNote(const Note& note) {
+  WriterLock lock(&mu_);
+  IndexNoteLocked(note);
+}
+
+void FullTextIndex::IndexNoteLocked(const Note& note) {
   // Re-indexing a known document is an incremental merge into the
   // postings (the GTR-style "index merge").
   const bool merge = terms_of_doc_.count(note.id()) != 0;
-  RemoveNote(note.id());
+  RemoveNoteLocked(note.id());
   if (note.deleted() || note.note_class() != NoteClass::kDocument) return;
   if (merge) ctr_merges_->Add();
 
@@ -148,10 +153,14 @@ void FullTextIndex::IndexNote(const Note& note) {
 
 void FullTextIndex::BuildFrom(const std::vector<const Note*>& notes,
                               indexer::ThreadPool* pool) {
-  Clear();
+  // Exclusive for the whole rebuild; workers only touch their own shards,
+  // so holding the lock across RunAndWait is safe (they never re-enter
+  // this index).
+  WriterLock lock(&mu_);
+  ClearLocked();
   if (pool == nullptr) {
     for (const Note* note : notes) {
-      if (note != nullptr) IndexNote(*note);
+      if (note != nullptr) IndexNoteLocked(*note);
     }
     return;
   }
@@ -189,6 +198,11 @@ void FullTextIndex::BuildFrom(const std::vector<const Note*>& notes,
 }
 
 void FullTextIndex::RemoveNote(NoteId id) {
+  WriterLock lock(&mu_);
+  RemoveNoteLocked(id);
+}
+
+void FullTextIndex::RemoveNoteLocked(NoteId id) {
   auto it = terms_of_doc_.find(id);
   if (it == terms_of_doc_.end()) return;
   for (const std::string& key : it->second) {
@@ -223,6 +237,11 @@ void FullTextIndex::RemoveNote(NoteId id) {
 }
 
 void FullTextIndex::Clear() {
+  WriterLock lock(&mu_);
+  ClearLocked();
+}
+
+void FullTextIndex::ClearLocked() {
   postings_.clear();
   field_postings_.clear();
   terms_of_doc_.clear();
@@ -233,9 +252,25 @@ void FullTextIndex::Clear() {
   RefreshByteStats();
 }
 
-size_t FullTextIndex::ByteUsage() const { return posting_bytes_; }
+size_t FullTextIndex::doc_count() const {
+  ReaderLock lock(&mu_);
+  return doc_lengths_.size();
+}
 
-size_t FullTextIndex::UncompressedModelBytes() const { return model_bytes_; }
+size_t FullTextIndex::term_count() const {
+  ReaderLock lock(&mu_);
+  return postings_.size();
+}
+
+size_t FullTextIndex::ByteUsage() const {
+  ReaderLock lock(&mu_);
+  return posting_bytes_;
+}
+
+size_t FullTextIndex::UncompressedModelBytes() const {
+  ReaderLock lock(&mu_);
+  return model_bytes_;
+}
 
 const PostingList* FullTextIndex::FindTerm(const std::string& term) const {
   auto it = postings_.find(ToLower(term));

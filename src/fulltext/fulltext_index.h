@@ -29,12 +29,12 @@ struct FtHit {
 };
 
 struct FtStats {
-  uint64_t notes_indexed = 0;
-  uint64_t notes_removed = 0;
-  uint64_t tokens_indexed = 0;
-  /// Atomic: Search is const and runs under the owning database's SHARED
-  /// lock, so concurrent queries bump this from multiple threads. The
-  /// other fields mutate only under the exclusive lock.
+  /// All fields are relaxed atomics: maintenance mutates them under the
+  /// index's exclusive lock, but stats readers peek without locking, and
+  /// concurrent Search calls bump `queries` under the shared lock.
+  std::atomic<uint64_t> notes_indexed{0};
+  std::atomic<uint64_t> notes_removed{0};
+  std::atomic<uint64_t> tokens_indexed{0};
   std::atomic<uint64_t> queries{0};
 };
 
@@ -43,10 +43,14 @@ struct FtStats {
 /// query language supports terms, "phrases", AND/OR/NOT, parentheses and
 /// `FIELD name CONTAINS term`.
 ///
-/// Threading: no internal lock. The owning Database synchronizes access
-/// with its reader/writer lock, expressed here through the `db_index_lock`
-/// role: index maintenance requires it exclusive, Search shared (which is
-/// why FtStats::queries is atomic). Standalone use needs no locking.
+/// Threading: an internal reader/writer lock is taken at the public entry
+/// points — maintenance (IndexNote/RemoveNote/Clear/BuildFrom) exclusive,
+/// Search shared for its whole run. The evaluator-internals section below
+/// (FindTerm, MaterializeFieldTerm, all_docs, IdfOf) is deliberately
+/// lock-free: those are called from inside Search's query evaluation,
+/// which already holds the shared lock, and re-acquiring a shared lock on
+/// the same thread is undefined. External callers of the internals must
+/// not race them with mutators. Standalone use needs no extra locking.
 class FullTextIndex {
  public:
   /// `stats` (nullable → the global registry) receives the server-wide
@@ -55,9 +59,9 @@ class FullTextIndex {
 
   /// Adds or re-indexes a note (deletion stubs are removed). Only
   /// kDocument notes are indexed.
-  void IndexNote(const Note& note) REQUIRES(db_index_lock);
-  void RemoveNote(NoteId id) REQUIRES(db_index_lock);
-  void Clear() REQUIRES(db_index_lock);
+  void IndexNote(const Note& note);
+  void RemoveNote(NoteId id);
+  void Clear();
 
   /// Full rebuild (UPDALL-style). With a pool, notes are partitioned into
   /// contiguous shards, each worker tokenizes its shard into shard-local
@@ -66,15 +70,13 @@ class FullTextIndex {
   /// re-tokenizing. Without a pool this is a plain serial loop and
   /// produces bit-identical state.
   void BuildFrom(const std::vector<const Note*>& notes,
-                 indexer::ThreadPool* pool = nullptr)
-      REQUIRES(db_index_lock);
+                 indexer::ThreadPool* pool = nullptr);
 
   /// Runs a query; results are sorted by descending TF-IDF score.
-  Result<std::vector<FtHit>> Search(std::string_view query) const
-      REQUIRES_SHARED(db_index_lock);
+  Result<std::vector<FtHit>> Search(std::string_view query) const;
 
-  size_t doc_count() const { return doc_lengths_.size(); }
-  size_t term_count() const { return postings_.size(); }
+  size_t doc_count() const;
+  size_t term_count() const;
   const FtStats& stats() const { return stats_; }
 
   /// Actual posting storage footprint in bytes (delta+varint blocks plus
@@ -132,8 +134,16 @@ class FullTextIndex {
   };
 
   static void TokenizeNoteInto(const Note& note, IndexShard* shard);
-  void MergeShard(IndexShard* shard);
-  void RefreshByteStats();
+  void IndexNoteLocked(const Note& note) REQUIRES(mu_);
+  void RemoveNoteLocked(NoteId id) REQUIRES(mu_);
+  void ClearLocked() REQUIRES(mu_);
+  void MergeShard(IndexShard* shard) REQUIRES(mu_);
+  void RefreshByteStats() REQUIRES(mu_);
+
+  /// Guards the containers below. The fields themselves stay unannotated
+  /// so the lock-free evaluator internals (see class comment) compile;
+  /// the REQUIRES on the Locked helpers still pins the write discipline.
+  mutable SharedMutex mu_;
 
   // term → compressed postings. Field-scoped slices live under
   // "field\x1f" + term in field_postings_ and reference positions stored

@@ -559,6 +559,9 @@ ScoreIterPtr BuildIter(
 
 Result<std::vector<FtHit>> FullTextIndex::Search(
     std::string_view query) const {
+  // Shared for the whole run: BuildIter and the iterator tree borrow
+  // posting lists until the hit loop below finishes.
+  ReaderLock lock(&mu_);
   stats_.queries.fetch_add(1, std::memory_order_relaxed);
   ctr_queries_->Add();
   DOMINO_ASSIGN_OR_RETURN(auto tokens, LexQuery(query));

@@ -1,5 +1,7 @@
 #include "indexer/indexer_task.h"
 
+#include <utility>
+
 namespace dominodb::indexer {
 
 IndexerTask::IndexerTask(ThreadPool* pool,
@@ -16,12 +18,12 @@ IndexerTask::IndexerTask(ThreadPool* pool,
 
 IndexerTask::~IndexerTask() { Close(); }
 
-void IndexerTask::Enqueue(const NoteChange& change) {
+void IndexerTask::Enqueue(NoteChange change) {
   bool schedule = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_) return;
-    queue_.push_back(change);
+    queue_.push_back(std::move(change));
     gauge_depth_->Set(static_cast<int64_t>(queue_.size()));
     if (!drain_scheduled_) {
       drain_scheduled_ = true;
@@ -50,26 +52,63 @@ void IndexerTask::Enqueue(const NoteChange& change) {
 
 void IndexerTask::DrainInline(
     const std::function<void(const NoteChange&)>& apply) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (draining_) return;  // reentrant catch-up; the outer drain finishes
-    draining_ = true;
+  DrainUpTo(kEpochMax, apply);
+}
+
+void IndexerTask::CatchUp(
+    Epoch max_epoch, const std::function<void(const NoteChange&)>& apply) {
+  DrainUpTo(max_epoch, apply);
+}
+
+void IndexerTask::DrainUpTo(
+    Epoch max_epoch, const std::function<void(const NoteChange&)>& apply) {
+  if (drain_owner_.load(std::memory_order_relaxed) ==
+      std::this_thread::get_id()) {
+    return;  // reentrant catch-up; the outer drain finishes
   }
   size_t applied = 0;
   for (;;) {
-    std::deque<NoteChange> batch;
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (queue_.empty()) {
-        draining_ = false;
-        drain_scheduled_ = false;
+      // Wait out any in-flight application we depend on (an event stops
+      // being queued the moment an applier peels it — a reader returning
+      // before it lands would see the index torn mid-event), then check
+      // for queued work. The queue is in commit order, so everything at
+      // or below max_epoch is a contiguous front prefix.
+      std::unique_lock<std::mutex> lock(mu_);
+      in_flight_cv_.wait(lock, [&] {
+        return in_flight_epoch_ == kEpochNone ||
+               in_flight_epoch_ > max_epoch;
+      });
+      if (queue_.empty() || queue_.front().epoch > max_epoch) {
+        if (queue_.empty()) drain_scheduled_ = false;
         break;
       }
-      batch.swap(queue_);
-      gauge_depth_->Set(0);
     }
-    for (const NoteChange& change : batch) apply(change);
-    applied += batch.size();
+    // Applicable work exists: serialize on the applier lock and apply one
+    // event. Per-event granularity keeps a catching-up reader's wait
+    // bounded by a single application, not a whole backlog.
+    std::lock_guard<std::mutex> apply_lock(apply_mu_);
+    NoteChange change;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queue_.empty() || queue_.front().epoch > max_epoch) {
+        continue;  // another applier got there first; re-check exit
+      }
+      change = std::move(queue_.front());
+      queue_.pop_front();
+      in_flight_epoch_ = change.epoch;
+      gauge_depth_->Set(static_cast<int64_t>(queue_.size()));
+    }
+    drain_owner_.store(std::this_thread::get_id(),
+                       std::memory_order_relaxed);
+    apply(change);
+    drain_owner_.store(std::thread::id(), std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      in_flight_epoch_ = kEpochNone;
+    }
+    in_flight_cv_.notify_all();
+    ++applied;
   }
   if (applied > 0) {
     ctr_drained_->Add(applied);

@@ -155,12 +155,17 @@ Result<std::unique_ptr<NoteStore>> NoteStore::Open(
   store->pool_ = std::make_unique<pager::BufferPool>(
       store->pager_.get(), options.cache_pages, store->registry_);
 
-  DOMINO_RETURN_IF_ERROR(store->Recover(default_info, meta_blob, have_meta));
+  {
+    // Recovery runs before the store is published, but the helpers it
+    // calls are annotated against the store lock — hold it for real.
+    WriterLock lock(&store->mu_);
+    DOMINO_RETURN_IF_ERROR(store->Recover(default_info, meta_blob, have_meta));
+  }
   // Fresh = nothing on disk and nothing replayed from the shared log; the
   // seed metadata is then persisted below so the replica id survives.
   const bool fresh = !have_meta && !FileExists(store->SnapshotPath()) &&
                      !FileExists(store->WalPath()) &&
-                     store->stats_.recovered_records == 0;
+                     store->stats().recovered_records == 0;
   store->registry_->GetCounter("Database.Opens").Add();
   store->gauge_notes_->Add(static_cast<int64_t>(store->note_count()));
   if (!store->uses_shared_log()) {
@@ -171,7 +176,7 @@ Result<std::unique_ptr<NoteStore>> NoteStore::Open(
   }
   if (fresh) {
     // Persist the seed metadata so the replica id survives reopen.
-    DOMINO_RETURN_IF_ERROR(store->UpdateInfo(store->info_));
+    DOMINO_RETURN_IF_ERROR(store->UpdateInfo(store->info()));
   }
   return store;
 }
@@ -207,7 +212,10 @@ Status NoteStore::Recover(const DatabaseInfo& default_info,
       while (reader.ReadRecord(&type, &payload)) {
         records.emplace_back(type, std::string(payload));
       }
-      stats_.recovered_torn_tail = reader.tail_corrupted();
+      {
+        MutexLock stats_lock(&stats_mu_);
+        stats_.recovered_torn_tail = reader.tail_corrupted();
+      }
       DOMINO_RETURN_IF_ERROR(ReplayRecords(records));
     } else if (!log.status().IsNotFound()) {
       return log.status();
@@ -217,20 +225,25 @@ Status NoteStore::Recover(const DatabaseInfo& default_info,
   // Replay above maintained counts incrementally; this scan replaces them
   // with ground truth and is idempotent after a snapshot adoption.
   DOMINO_RETURN_IF_ERROR(RebuildIndexFromIdTable());
-  if (stats_.recovered_records > 0 || stats_.recovered_torn_tail) {
+  uint64_t recovered_records = 0;
+  bool torn_tail = false;
+  {
+    MutexLock stats_lock(&stats_mu_);
+    recovered_records = stats_.recovered_records;
+    torn_tail = stats_.recovered_torn_tail;
+  }
+  if (recovered_records > 0 || torn_tail) {
     registry_->GetCounter("Database.WAL.Recovery.Runs").Add();
     registry_->GetCounter("Database.WAL.Recovery.Records")
-        .Add(stats_.recovered_records);
-    if (stats_.recovered_torn_tail) {
+        .Add(recovered_records);
+    if (torn_tail) {
       registry_->GetCounter("Database.WAL.Recovery.TornTails").Add();
     }
     registry_->events().Log(
-        stats_.recovered_torn_tail ? stats::Severity::kWarning
-                                   : stats::Severity::kNormal,
+        torn_tail ? stats::Severity::kWarning : stats::Severity::kNormal,
         "Store",
-        "WAL recovery ran: replayed " +
-            std::to_string(stats_.recovered_records) + " record(s)" +
-            (stats_.recovered_torn_tail ? ", torn tail discarded" : ""));
+        "WAL recovery ran: replayed " + std::to_string(recovered_records) +
+            " record(s)" + (torn_tail ? ", torn tail discarded" : ""));
   }
   return Status::Ok();
 }
@@ -253,7 +266,10 @@ Status NoteStore::RecoverFromSharedLog() {
     if (records[i].first == wal::RecordType::kCheckpoint) start = i + 1;
   }
   records.erase(records.begin(), records.begin() + start);
-  stats_.recovered_torn_tail = torn;
+  {
+    MutexLock stats_lock(&stats_mu_);
+    stats_.recovered_torn_tail = torn;
+  }
   return ReplayRecords(records);
 }
 
@@ -274,6 +290,7 @@ Status NoteStore::ReplayRecords(
   for (size_t i = start; i < records.size(); ++i) {
     if (records[i].first != wal::RecordType::kData) continue;
     DOMINO_RETURN_IF_ERROR(ApplyBatchPayload(records[i].second, true));
+    MutexLock stats_lock(&stats_mu_);
     stats_.recovered_records++;
   }
   return Status::Ok();
@@ -709,7 +726,7 @@ Result<Note> NoteStore::ReadNoteAt(const IdEntry& entry) const {
 
 // -- Reads -----------------------------------------------------------------
 
-Result<Note> NoteStore::Get(NoteId id) const {
+Result<Note> NoteStore::GetCore(NoteId id) const {
   DOMINO_ASSIGN_OR_RETURN(IdEntry entry, ReadEntry(id));
   if ((entry.flags & kEntryUsed) == 0) {
     return Status::NotFound("note id " + std::to_string(id));
@@ -717,56 +734,88 @@ Result<Note> NoteStore::Get(NoteId id) const {
   return ReadNoteAt(entry);
 }
 
-Result<Note> NoteStore::GetByUnid(const Unid& unid) const {
-  auto it = unid_index_.find(unid);
-  if (it == unid_index_.end()) {
-    return Status::NotFound("unid " + unid.ToString());
-  }
-  return Get(it->second);
-}
-
-bool NoteStore::Contains(NoteId id) const {
-  auto entry = ReadEntry(id);
-  return entry.ok() && (entry->flags & kEntryUsed) != 0;
-}
-
-NoteHandle NoteStore::Find(NoteId id) const {
-  auto note = Get(id);
+NoteHandle NoteStore::FindCore(NoteId id) const {
+  auto note = GetCore(id);
   if (!note.ok()) return nullptr;
   return std::make_shared<const Note>(std::move(*note));
 }
 
-NoteHandle NoteStore::FindByUnid(const Unid& unid) const {
+Result<Note> NoteStore::Get(NoteId id) const {
+  ReaderLock lock(&mu_);
+  return GetCore(id);
+}
+
+Result<Note> NoteStore::GetByUnid(const Unid& unid) const {
+  ReaderLock lock(&mu_);
   auto it = unid_index_.find(unid);
-  return it == unid_index_.end() ? nullptr : Find(it->second);
+  if (it == unid_index_.end()) {
+    return Status::NotFound("unid " + unid.ToString());
+  }
+  return GetCore(it->second);
+}
+
+bool NoteStore::Contains(NoteId id) const {
+  ReaderLock lock(&mu_);
+  auto entry = ReadEntry(id);
+  return entry.ok() && (entry->flags & kEntryUsed) != 0;
+}
+
+bool NoteStore::ContainsUnid(const Unid& unid) const {
+  ReaderLock lock(&mu_);
+  return unid_index_.count(unid) != 0;
+}
+
+NoteHandle NoteStore::Find(NoteId id) const {
+  ReaderLock lock(&mu_);
+  return FindCore(id);
+}
+
+NoteHandle NoteStore::FindByUnid(const Unid& unid) const {
+  ReaderLock lock(&mu_);
+  auto it = unid_index_.find(unid);
+  return it == unid_index_.end() ? nullptr : FindCore(it->second);
 }
 
 void NoteStore::ForEach(const std::function<void(const Note&)>& fn) const {
   const size_t per_page = EntriesPerPage();
-  for (size_t ti = 0; ti < id_table_pages_.size(); ++ti) {
-    // Decode the page's entries up front so `fn` callbacks that pin other
-    // pages do not contend with a long-held table pin.
-    std::vector<std::pair<NoteId, IdEntry>> used;
+  size_t table_pages = 0;
+  {
+    ReaderLock lock(&mu_);
+    table_pages = id_table_pages_.size();
+  }
+  for (size_t ti = 0; ti < table_pages; ++ti) {
+    // Entry decode AND note reads happen under one shared hold (an entry
+    // read without its note would go stale if a writer moved the note in
+    // between); `fn` then runs with no lock held, so callbacks may
+    // re-enter store reads without self-deadlocking on the shared lock.
+    std::vector<Note> batch;
     {
-      auto ref_or = pool_->Pin(id_table_pages_[ti]);
-      if (!ref_or.ok()) continue;
-      for (size_t i = 0; i < per_page; ++i) {
-        const char* p = ref_or->data() + kPageHeaderSize + i * kIdEntrySize;
-        if ((static_cast<uint8_t>(p[22]) & kEntryUsed) == 0) continue;
-        IdEntry entry;
-        entry.unid.hi = LoadU64(p);
-        entry.unid.lo = LoadU64(p + 8);
-        entry.page = LoadU32(p + 16);
-        entry.slot = LoadU16(p + 20);
-        entry.flags = static_cast<uint8_t>(p[22]);
-        entry.seq_time = static_cast<Micros>(LoadU64(p + 24));
-        used.emplace_back(static_cast<NoteId>(ti * per_page + i + 1), entry);
+      ReaderLock lock(&mu_);
+      if (ti >= id_table_pages_.size()) break;
+      std::vector<IdEntry> used;
+      {
+        auto ref_or = pool_->Pin(id_table_pages_[ti]);
+        if (!ref_or.ok()) continue;
+        for (size_t i = 0; i < per_page; ++i) {
+          const char* p = ref_or->data() + kPageHeaderSize + i * kIdEntrySize;
+          if ((static_cast<uint8_t>(p[22]) & kEntryUsed) == 0) continue;
+          IdEntry entry;
+          entry.unid.hi = LoadU64(p);
+          entry.unid.lo = LoadU64(p + 8);
+          entry.page = LoadU32(p + 16);
+          entry.slot = LoadU16(p + 20);
+          entry.flags = static_cast<uint8_t>(p[22]);
+          entry.seq_time = static_cast<Micros>(LoadU64(p + 24));
+          used.push_back(entry);
+        }
+      }
+      batch.reserve(used.size());
+      for (const IdEntry& entry : used) {
+        auto note = ReadNoteAt(entry);
+        if (note.ok()) batch.push_back(std::move(*note));
       }
     }
-    for (const auto& [id, entry] : used) {
-      auto note = ReadNoteAt(entry);
-      if (note.ok()) fn(*note);
-    }
+    for (const Note& note : batch) fn(note);
   }
 }
 
@@ -869,22 +918,31 @@ Status NoteStore::ApplyBatchPayload(std::string_view payload,
 }
 
 Status NoteStore::CommitPayload(const std::string& payload) {
+  // Deliberately NOT under mu_: the append (and its fsync, under strict
+  // sync modes) must not block concurrent shared-lock readers. Writers
+  // are serialized by the owning Database, so two commits never race.
   auto start = std::chrono::steady_clock::now();
+  uint64_t wal_bytes = 0;
   if (uses_shared_log()) {
     DOMINO_RETURN_IF_ERROR(options_.shared_log->Commit(
         options_.shared_stream, wal::RecordType::kData, payload));
-    shared_bytes_since_checkpoint_ += payload.size();
-    stats_.wal_bytes_written = shared_bytes_since_checkpoint_;
+    wal_bytes = shared_bytes_since_checkpoint_.fetch_add(
+                    payload.size(), std::memory_order_relaxed) +
+                payload.size();
   } else {
     DOMINO_RETURN_IF_ERROR(
         wal_->AppendRecord(wal::RecordType::kData, payload));
-    stats_.wal_bytes_written = wal_->bytes_written();
+    wal_bytes = wal_->bytes_written();
   }
   hist_commit_micros_->Record(static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - start)
           .count()));
-  stats_.wal_records_written++;
+  {
+    MutexLock stats_lock(&stats_mu_);
+    stats_.wal_bytes_written = wal_bytes;
+    stats_.wal_records_written++;
+  }
   ctr_wal_records_->Add();
   ctr_wal_bytes_->Add(payload.size());
   return Status::Ok();
@@ -892,10 +950,10 @@ Status NoteStore::CommitPayload(const std::string& payload) {
 
 Status NoteStore::MaybeCheckpoint() {
   if (options_.checkpoint_threshold_bytes == 0) return Status::Ok();
-  const uint64_t obligation = uses_shared_log()
-                                  ? shared_bytes_since_checkpoint_
-                                  : (wal_ != nullptr ? wal_->bytes_written()
-                                                     : 0);
+  const uint64_t obligation =
+      uses_shared_log()
+          ? shared_bytes_since_checkpoint_.load(std::memory_order_relaxed)
+          : (wal_ != nullptr ? wal_->bytes_written() : 0);
   if (obligation <= options_.checkpoint_threshold_bytes) return Status::Ok();
   return Checkpoint();
 }
@@ -913,8 +971,15 @@ Status NoteStore::Put(Note* note) {
   std::string encoded = note->EncodeToString();
   PutLengthPrefixed(&payload, encoded);
   DOMINO_RETURN_IF_ERROR(CommitPayload(payload));
-  DOMINO_ASSIGN_OR_RETURN(auto outcome, ApplyNote(Note(*note)));
-  CountPut(outcome.first, outcome.second, note->deleted());
+  bool existed = false;
+  bool was_live = false;
+  {
+    WriterLock lock(&mu_);
+    DOMINO_ASSIGN_OR_RETURN(auto outcome, ApplyNote(Note(*note)));
+    existed = outcome.first;
+    was_live = outcome.second;
+  }
+  CountPut(existed, was_live, note->deleted());
   return Status::Ok();
 }
 
@@ -947,6 +1012,7 @@ Status NoteStore::PutBatch(std::vector<Note>* batch) {
     PutLengthPrefixed(&payload, encoded);
   }
   DOMINO_RETURN_IF_ERROR(CommitPayload(payload));
+  WriterLock lock(&mu_);
   for (const Note& note : *batch) {
     DOMINO_ASSIGN_OR_RETURN(auto outcome, ApplyNote(Note(note)));
     CountPut(outcome.first, outcome.second, note.deleted());
@@ -955,15 +1021,23 @@ Status NoteStore::PutBatch(std::vector<Note>* batch) {
 }
 
 Status NoteStore::Erase(NoteId id) {
-  DOMINO_ASSIGN_OR_RETURN(IdEntry entry, ReadEntry(id));
-  if ((entry.flags & kEntryUsed) == 0) {
-    return Status::NotFound("note id " + std::to_string(id));
+  {
+    ReaderLock lock(&mu_);
+    DOMINO_ASSIGN_OR_RETURN(IdEntry entry, ReadEntry(id));
+    if ((entry.flags & kEntryUsed) == 0) {
+      return Status::NotFound("note id " + std::to_string(id));
+    }
   }
   std::string payload;
   PutVarint64(&payload, 1);
   payload.push_back(static_cast<char>(kOpErase));
   PutFixed32(&payload, id);
   DOMINO_RETURN_IF_ERROR(CommitPayload(payload));
+  WriterLock lock(&mu_);
+  // Re-read under the exclusive hold; writers are serialized externally,
+  // so the entry cannot have changed between the check and here.
+  DOMINO_ASSIGN_OR_RETURN(IdEntry entry, ReadEntry(id));
+  if ((entry.flags & kEntryUsed) == 0) return Status::Ok();
   ctr_docs_erased_->Add();
   if ((entry.flags & kEntryDeleted) == 0) gauge_notes_->Add(-1);
   return ApplyErase(id, entry);
@@ -973,17 +1047,22 @@ Result<size_t> NoteStore::PurgeStubs(Micros now) {
   // Stub eligibility lives entirely in the id table (deleted flag +
   // sequence time), so the purge scan never faults bucket pages in.
   std::vector<NoteId> victims;
-  const Micros cutoff = now - info_.purge_interval;
-  const size_t per_page = EntriesPerPage();
-  for (size_t ti = 0; ti < id_table_pages_.size(); ++ti) {
-    DOMINO_ASSIGN_OR_RETURN(pager::PageRef ref,
-                            pool_->Pin(id_table_pages_[ti]));
-    for (size_t i = 0; i < per_page; ++i) {
-      const char* p = ref.data() + kPageHeaderSize + i * kIdEntrySize;
-      const uint8_t flags = static_cast<uint8_t>(p[22]);
-      if ((flags & kEntryUsed) == 0 || (flags & kEntryDeleted) == 0) continue;
-      if (static_cast<Micros>(LoadU64(p + 24)) < cutoff) {
-        victims.push_back(static_cast<NoteId>(ti * per_page + i + 1));
+  {
+    ReaderLock lock(&mu_);
+    const Micros cutoff = now - info_.purge_interval;
+    const size_t per_page = EntriesPerPage();
+    for (size_t ti = 0; ti < id_table_pages_.size(); ++ti) {
+      DOMINO_ASSIGN_OR_RETURN(pager::PageRef ref,
+                              pool_->Pin(id_table_pages_[ti]));
+      for (size_t i = 0; i < per_page; ++i) {
+        const char* p = ref.data() + kPageHeaderSize + i * kIdEntrySize;
+        const uint8_t flags = static_cast<uint8_t>(p[22]);
+        if ((flags & kEntryUsed) == 0 || (flags & kEntryDeleted) == 0) {
+          continue;
+        }
+        if (static_cast<Micros>(LoadU64(p + 24)) < cutoff) {
+          victims.push_back(static_cast<NoteId>(ti * per_page + i + 1));
+        }
       }
     }
   }
@@ -1002,8 +1081,24 @@ Status NoteStore::UpdateInfo(const DatabaseInfo& info) {
   info.EncodeTo(&encoded);
   PutLengthPrefixed(&payload, encoded);
   DOMINO_RETURN_IF_ERROR(CommitPayload(payload));
+  WriterLock lock(&mu_);
   info_ = info;
   return Status::Ok();
+}
+
+DatabaseInfo NoteStore::info() const {
+  ReaderLock lock(&mu_);
+  return info_;
+}
+
+StoreStats NoteStore::stats() const {
+  MutexLock lock(&stats_mu_);
+  return stats_;
+}
+
+CompactStats NoteStore::compact_stats() const {
+  ReaderLock lock(&mu_);
+  return compact_stats_;
 }
 
 // -- Checkpoint ------------------------------------------------------------
@@ -1014,6 +1109,10 @@ Status NoteStore::Fault(std::string_view point) {
 }
 
 Status NoteStore::Checkpoint() {
+  // Exclusive for the whole protocol, fsyncs included: the page images,
+  // meta blob and WAL reset must describe one consistent state. Rare and
+  // threshold-driven, so readers stalling behind it is acceptable.
+  WriterLock lock(&mu_);
   // Drop free pages at the tail of the address space from the geometry
   // now (so the meta we log is already trimmed); the file itself is only
   // truncated after the checkpoint commits — those pages are free in the
@@ -1068,7 +1167,7 @@ Status NoteStore::Checkpoint() {
         options_.shared_stream, wal::RecordType::kCheckpoint, ""));
     DOMINO_RETURN_IF_ERROR(
         options_.shared_log->AdvanceCheckpoint(options_.shared_stream));
-    shared_bytes_since_checkpoint_ = 0;
+    shared_bytes_since_checkpoint_.store(0, std::memory_order_relaxed);
   } else {
     // Start a fresh WAL; the page file + meta now carry all state.
     wal_.reset();
@@ -1080,7 +1179,10 @@ Status NoteStore::Checkpoint() {
   }
   pool_->MarkAllClean();
   DOMINO_RETURN_IF_ERROR(pager_->TruncateToWatermark());
-  stats_.checkpoints++;
+  {
+    MutexLock stats_lock(&stats_mu_);
+    stats_.checkpoints++;
+  }
   ctr_checkpoints_->Add();
   return Status::Ok();
 }
@@ -1088,6 +1190,7 @@ Status NoteStore::Checkpoint() {
 // -- COMPACT ---------------------------------------------------------------
 
 Result<size_t> NoteStore::CompactStep(size_t max_pages) {
+  WriterLock lock(&mu_);
   std::vector<uint32_t> candidates;
   for (const auto& [pg, bytes] : dead_bytes_) {
     if (pg == fill_page_) continue;
@@ -1153,14 +1256,19 @@ Result<size_t> NoteStore::CompactStep(size_t max_pages) {
 
 Status NoteStore::MaybeCompact() {
   if (options_.compact_threshold_bytes == 0) return Status::Ok();
-  if (dead_total_ <= options_.compact_threshold_bytes) return Status::Ok();
+  if (dead_bytes() <= options_.compact_threshold_bytes) return Status::Ok();
   return CompactStep(16).status();
 }
 
-uint64_t NoteStore::dead_bytes() const { return dead_total_; }
+uint64_t NoteStore::dead_bytes() const {
+  ReaderLock lock(&mu_);
+  return dead_total_;
+}
 
 uint64_t NoteStore::wal_size_bytes() const {
-  if (uses_shared_log()) return shared_bytes_since_checkpoint_;
+  if (uses_shared_log()) {
+    return shared_bytes_since_checkpoint_.load(std::memory_order_relaxed);
+  }
   auto size = FileSize(WalPath());
   return size.ok() ? *size : 0;
 }

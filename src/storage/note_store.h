@@ -1,6 +1,7 @@
 #ifndef DOMINODB_STORAGE_NOTE_STORE_H_
 #define DOMINODB_STORAGE_NOTE_STORE_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -10,7 +11,9 @@
 
 #include "base/clock.h"
 #include "base/result.h"
+#include "base/shared_mutex.h"
 #include "base/status.h"
+#include "base/thread_annotations.h"
 #include "model/note.h"
 #include "model/unid.h"
 #include "pager/buffer_pool.h"
@@ -112,9 +115,15 @@ struct CompactStats {
 /// pages and frees the husks. The owning Database slices it under brief
 /// writer locks so readers interleave (the online Domino COMPACT).
 ///
-/// Writes are single-threaded (the owning Database holds its writer
-/// lock); concurrent shared-lock readers are safe — the buffer pool
-/// synchronizes its own bookkeeping internally.
+/// Threading: the store carries its own reader/writer lock. Public reads
+/// take it shared; the apply step of every write, Checkpoint and
+/// CompactStep take it exclusive — so MVCC readers can resolve notes
+/// without any database-level lock while a writer commits. The WAL
+/// append + fsync of a commit happens OUTSIDE the exclusive section
+/// (writers are serialized by the owning Database, so commits cannot
+/// race each other, and readers never touch the log). Checkpoint is the
+/// one operation that holds the exclusive lock across disk syncs; it is
+/// rare and threshold-driven.
 class NoteStore {
  public:
   /// Opens (or creates) a store in directory `dir`. `default_info` seeds
@@ -133,9 +142,7 @@ class NoteStore {
   /// Fetches by UNID (stubs included).
   Result<Note> GetByUnid(const Unid& unid) const;
   bool Contains(NoteId id) const;
-  bool ContainsUnid(const Unid& unid) const {
-    return unid_index_.count(unid) != 0;
-  }
+  bool ContainsUnid(const Unid& unid) const;
 
   /// Owning handle to the stored note (stubs included); null when absent
   /// or unreadable. The handle is a decoded copy, so it stays valid
@@ -144,11 +151,18 @@ class NoteStore {
   NoteHandle FindByUnid(const Unid& unid) const;
 
   /// Visits every note (including deletion stubs) in note-id order.
+  /// The internal lock is held shared per id-table page, NOT across `fn`
+  /// callbacks, so callbacks may freely re-enter store reads; notes
+  /// committed concurrently with the scan may or may not be visited.
   void ForEach(const std::function<void(const Note&)>& fn) const;
 
-  size_t note_count() const { return live_count_; }
-  size_t stub_count() const { return stub_count_; }
-  size_t total_count() const { return live_count_ + stub_count_; }
+  size_t note_count() const {
+    return live_count_.load(std::memory_order_relaxed);
+  }
+  size_t stub_count() const {
+    return stub_count_.load(std::memory_order_relaxed);
+  }
+  size_t total_count() const { return note_count() + stub_count(); }
 
   // -- Writes -----------------------------------------------------------
   /// Inserts or replaces `note` (keyed by note id; assigns the next id if
@@ -168,10 +182,12 @@ class NoteStore {
   Result<size_t> PurgeStubs(Micros now);
 
   /// Allocates a fresh local note id without writing anything.
-  NoteId AllocateId() { return next_id_++; }
+  NoteId AllocateId() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   // -- Metadata / maintenance -------------------------------------------
-  const DatabaseInfo& info() const { return info_; }
+  DatabaseInfo info() const;
   Status UpdateInfo(const DatabaseInfo& info);
 
   /// Makes all in-memory page state durable and truncates this store's
@@ -205,8 +221,8 @@ class NoteStore {
   /// Dead bytes currently reclaimable by COMPACT.
   uint64_t dead_bytes() const;
 
-  const StoreStats& stats() const { return stats_; }
-  const CompactStats& compact_stats() const { return compact_stats_; }
+  StoreStats stats() const;
+  CompactStats compact_stats() const;
   uint64_t wal_size_bytes() const;
   /// Size of the page file in bytes.
   uint64_t pages_size_bytes() const;
@@ -231,53 +247,61 @@ class NoteStore {
   bool uses_shared_log() const { return options_.shared_log != nullptr; }
 
   Status Recover(const DatabaseInfo& default_info, std::string_view meta_blob,
-                 bool have_meta);
+                 bool have_meta) REQUIRES(mu_);
   /// Shared-log recovery: demultiplexes this store's stream and replays
   /// the suffix after its last checkpoint marker.
-  Status RecoverFromSharedLog();
+  Status RecoverFromSharedLog() REQUIRES(mu_);
   /// Ordered replay of one stream's record suffix: adopt the last
   /// kPagerSnapshot (if any) first — its images repair torn pages — then
   /// apply the kData records that follow it.
   Status ReplayRecords(
-      const std::vector<std::pair<wal::RecordType, std::string>>& records);
-  Status LoadLegacySnapshot(std::string_view data);
-  Status ApplyBatchPayload(std::string_view payload, bool from_recovery);
+      const std::vector<std::pair<wal::RecordType, std::string>>& records)
+      REQUIRES(mu_);
+  Status LoadLegacySnapshot(std::string_view data) REQUIRES(mu_);
+  Status ApplyBatchPayload(std::string_view payload, bool from_recovery)
+      REQUIRES(mu_);
   Status CommitPayload(const std::string& payload);
 
   // -- Meta / snapshot encoding -----------------------------------------
-  std::string EncodeMetaBlob() const;
-  Status DecodeMetaBlob(std::string_view input);
-  std::string EncodePagerSnapshot();
-  Status AdoptPagerSnapshot(std::string_view payload);
+  std::string EncodeMetaBlob() const REQUIRES(mu_);
+  Status DecodeMetaBlob(std::string_view input) REQUIRES(mu_);
+  std::string EncodePagerSnapshot() REQUIRES(mu_);
+  Status AdoptPagerSnapshot(std::string_view payload) REQUIRES(mu_);
   /// Rebuilds unid_index_, live/stub counts and next_id_ by scanning the
   /// id-table pages (never touches bucket pages, so opening a database
   /// far larger than the buffer pool stays cheap).
-  Status RebuildIndexFromIdTable();
+  Status RebuildIndexFromIdTable() REQUIRES(mu_);
+
+  // -- Lock-free read cores (caller holds mu_ at least shared) ----------
+  Result<Note> GetCore(NoteId id) const REQUIRES_SHARED(mu_);
+  NoteHandle FindCore(NoteId id) const REQUIRES_SHARED(mu_);
 
   // -- Id-table access ---------------------------------------------------
   size_t EntriesPerPage() const;
   /// Pins the id-table page holding `id` (NotFound beyond the table).
-  Result<pager::PageRef> IdTablePageFor(NoteId id, size_t* slot_in_page) const;
+  Result<pager::PageRef> IdTablePageFor(NoteId id, size_t* slot_in_page) const
+      REQUIRES_SHARED(mu_);
   /// Grows the id table until it covers `id`.
-  Status EnsureIdCapacity(NoteId id);
+  Status EnsureIdCapacity(NoteId id) REQUIRES(mu_);
   /// Absent ids decode as an all-zero entry (flags == 0, i.e. unused).
-  Result<IdEntry> ReadEntry(NoteId id) const;
-  Status WriteEntry(NoteId id, const IdEntry& entry);
+  Result<IdEntry> ReadEntry(NoteId id) const REQUIRES_SHARED(mu_);
+  Status WriteEntry(NoteId id, const IdEntry& entry) REQUIRES(mu_);
 
   // -- Note placement ----------------------------------------------------
   /// Appends `encoded` into the current fill page (allocating one when
   /// needed), or spills to an overflow chain; fills in entry location.
-  Status PlaceNote(std::string_view encoded, IdEntry* entry);
-  Status PlaceSlot(std::string_view encoded, uint32_t* page, uint16_t* slot);
+  Status PlaceNote(std::string_view encoded, IdEntry* entry) REQUIRES(mu_);
+  Status PlaceSlot(std::string_view encoded, uint32_t* page, uint16_t* slot)
+      REQUIRES(mu_);
   /// Releases the bytes behind an entry's location (slot kill or
   /// overflow-chain free) and updates dead-byte accounting; frees the
   /// page outright when its last live slot dies.
-  Status KillLocation(const IdEntry& entry);
-  Result<Note> ReadNoteAt(const IdEntry& entry) const;
+  Status KillLocation(const IdEntry& entry) REQUIRES(mu_);
+  Result<Note> ReadNoteAt(const IdEntry& entry) const REQUIRES_SHARED(mu_);
   /// Installs one note version; returns {existed, was_live} for stats.
-  Result<std::pair<bool, bool>> ApplyNote(Note&& note);
+  Result<std::pair<bool, bool>> ApplyNote(Note&& note) REQUIRES(mu_);
   /// Removes an entry that is known to be in use.
-  Status ApplyErase(NoteId id, const IdEntry& entry);
+  Status ApplyErase(NoteId id, const IdEntry& entry) REQUIRES(mu_);
 
   /// Registry accounting for one committed Put.
   void CountPut(bool existed, bool was_live, bool now_deleted);
@@ -285,30 +309,43 @@ class NoteStore {
 
   std::string dir_;
   StoreOptions options_;
-  DatabaseInfo info_;
-  /// Private log; null when the store runs on the shared log.
+
+  /// The store's reader/writer lock (see the class comment). Also
+  /// serializes BufferPool::Discard against reader pins: readers only
+  /// hold pins while holding mu_ shared, and every Discard runs under
+  /// mu_ exclusive.
+  mutable SharedMutex mu_;
+
+  DatabaseInfo info_ GUARDED_BY(mu_);
+  /// Private log; null when the store runs on the shared log. The log
+  /// itself is NOT guarded by mu_: commits append outside the exclusive
+  /// section, relying on the owning Database serializing all writers
+  /// (readers never touch it).
   std::unique_ptr<wal::LogWriter> wal_;
   /// Shared-log mode: payload bytes committed since the last checkpoint
   /// (the store's WAL obligation, driving MaybeCheckpoint).
-  uint64_t shared_bytes_since_checkpoint_ = 0;
+  std::atomic<uint64_t> shared_bytes_since_checkpoint_{0};
 
   std::unique_ptr<pager::Pager> pager_;
   std::unique_ptr<pager::BufferPool> pool_;
   /// Id-table page numbers, in table order (entry index → page).
-  std::vector<uint32_t> id_table_pages_;
+  std::vector<uint32_t> id_table_pages_ GUARDED_BY(mu_);
   /// Bucket page currently accepting new slots.
-  uint32_t fill_page_ = pager::kInvalidPage;
+  uint32_t fill_page_ GUARDED_BY(mu_) = pager::kInvalidPage;
   /// Dead (reclaimable) payload bytes per bucket page — COMPACT's work
   /// queue. Ordered so compaction scans low pages first.
-  std::map<uint32_t, uint64_t> dead_bytes_;
-  uint64_t dead_total_ = 0;
+  std::map<uint32_t, uint64_t> dead_bytes_ GUARDED_BY(mu_);
+  uint64_t dead_total_ GUARDED_BY(mu_) = 0;
 
-  std::unordered_map<Unid, NoteId> unid_index_;
-  NoteId next_id_ = 1;
-  size_t live_count_ = 0;
-  size_t stub_count_ = 0;
-  StoreStats stats_;
-  CompactStats compact_stats_;
+  std::unordered_map<Unid, NoteId> unid_index_ GUARDED_BY(mu_);
+  std::atomic<NoteId> next_id_{1};
+  std::atomic<size_t> live_count_{0};
+  std::atomic<size_t> stub_count_{0};
+  /// Guards the StoreStats struct (plain fields read by stats() while a
+  /// writer commits).
+  mutable Mutex stats_mu_;
+  StoreStats stats_ GUARDED_BY(stats_mu_);
+  CompactStats compact_stats_ GUARDED_BY(mu_);
 
   // Server-wide stat hooks (see StoreOptions::stats).
   stats::StatRegistry* registry_;

@@ -139,9 +139,12 @@ std::optional<ViewEntry> ViewIndex::EvalNoteAgainst(
 }
 
 void ViewIndex::MergeTally(const ViewStats& tally) {
-  stats_.selection_evals += tally.selection_evals;
-  stats_.column_evals += tally.column_evals;
-  stats_.formula_errors += tally.formula_errors;
+  {
+    MutexLock lock(&stats_mu_);
+    stats_.selection_evals += tally.selection_evals;
+    stats_.column_evals += tally.column_evals;
+    stats_.formula_errors += tally.formula_errors;
+  }
   if (tally.selection_evals > 0) ctr_selection_evals_->Add(tally.selection_evals);
   if (tally.column_evals > 0) ctr_column_evals_->Add(tally.column_evals);
   if (tally.formula_errors > 0) ctr_formula_errors_->Add(tally.formula_errors);
@@ -159,6 +162,7 @@ Result<std::optional<ViewEntry>> ViewIndex::EvaluateNote(
 ViewIndex::RowKey ViewIndex::BuildKey(const ViewEntry& entry) const {
   RowKey key;
   key.id = entry.note_id;
+  key.added = entry.added_epoch;
   size_t sorted_idx = 0;
   for (size_t i = 0; i < design_.columns().size(); ++i) {
     if (design_.columns()[i].sort == ColumnSort::kNone) continue;
@@ -169,7 +173,8 @@ ViewIndex::RowKey ViewIndex::BuildKey(const ViewEntry& entry) const {
   return key;
 }
 
-void ViewIndex::PlaceEntry(ViewEntry entry, const NoteResolver* resolver) {
+void ViewIndex::PlaceEntryLocked(ViewEntry entry,
+                                 const NoteResolver* resolver) {
   const NoteId id = entry.note_id;
   Location loc;
   bool placed_as_response = false;
@@ -179,7 +184,8 @@ void ViewIndex::PlaceEntry(ViewEntry entry, const NoteResolver* resolver) {
     if (parent != nullptr && row_of_note_.count(parent->id()) != 0) {
       loc.is_response_row = true;
       loc.parent = entry.parent_unid;
-      loc.resp_key = ResponseKey{entry.created, entry.note_id};
+      loc.resp_key =
+          ResponseKey{entry.created, entry.note_id, entry.added_epoch};
       responses_[entry.parent_unid][loc.resp_key] = std::move(entry);
       placed_as_response = true;
     }
@@ -190,14 +196,25 @@ void ViewIndex::PlaceEntry(ViewEntry entry, const NoteResolver* resolver) {
     rows_[loc.main_key] = std::move(entry);
   }
   row_of_note_[id] = loc;
-  ++stats_.inserts;
+  {
+    MutexLock lock(&stats_mu_);
+    ++stats_.inserts;
+  }
   ctr_inserts_->Add();
 }
 
-void ViewIndex::RemoveLocation(NoteId id) {
-  auto it = row_of_note_.find(id);
-  if (it == row_of_note_.end()) return;
-  const Location& loc = it->second;
+ViewEntry* ViewIndex::EntryAtLocked(const Location& loc) {
+  if (loc.is_response_row) {
+    auto parent_it = responses_.find(loc.parent);
+    if (parent_it == responses_.end()) return nullptr;
+    auto it = parent_it->second.find(loc.resp_key);
+    return it == parent_it->second.end() ? nullptr : &it->second;
+  }
+  auto it = rows_.find(loc.main_key);
+  return it == rows_.end() ? nullptr : &it->second;
+}
+
+void ViewIndex::ErasePhysicalLocked(const Location& loc) {
   if (loc.is_response_row) {
     auto parent_it = responses_.find(loc.parent);
     if (parent_it != responses_.end()) {
@@ -207,22 +224,51 @@ void ViewIndex::RemoveLocation(NoteId id) {
   } else {
     rows_.erase(loc.main_key);
   }
+}
+
+void ViewIndex::RemoveLocationLocked(NoteId id, Epoch epoch) {
+  auto it = row_of_note_.find(id);
+  if (it == row_of_note_.end()) return;
+  Location loc = it->second;
   row_of_note_.erase(it);
-  ++stats_.removes;
+  if (epoch == kEpochNone) {
+    ErasePhysicalLocked(loc);
+  } else if (ViewEntry* entry = EntryAtLocked(loc)) {
+    // Versioned removal: the row stays put as a zombie so readers pinned
+    // before `epoch` still see it; ReclaimVersions drops it later.
+    entry->removed_epoch = epoch;
+    zombies_.push_back(Zombie{epoch, std::move(loc)});
+  }
+  {
+    MutexLock lock(&stats_mu_);
+    ++stats_.removes;
+  }
   ctr_removes_->Add();
 }
 
-Status ViewIndex::Update(const Note& note, const NoteResolver* resolver) {
+Status ViewIndex::Update(const Note& note, const NoteResolver* resolver,
+                         Epoch epoch) {
   ctr_updates_->Add();
-  return UpdateOne(note, resolver, 0);
+  return UpdateOne(note, resolver, 0, epoch);
 }
 
 Status ViewIndex::UpdateOne(const Note& note, const NoteResolver* resolver,
-                            int depth) {
-  RemoveLocation(note.id());
+                            int depth, Epoch epoch) {
+  {
+    WriterLock lock(&mu_);
+    RemoveLocationLocked(note.id(), epoch);
+  }
+  // Evaluation runs unlocked: a column formula may re-enter a view read
+  // (@DbLookup), which must not deadlock against our own exclusive hold.
+  // Mutators are serialized by the owning Database, so the gap between
+  // the removal above and the placement below is invisible to snapshot
+  // readers (they see the zombie); only latest-mode reads — which run on
+  // the writer's own thread — could observe it.
   DOMINO_ASSIGN_OR_RETURN(auto entry_opt, EvaluateNote(note, resolver));
   if (entry_opt.has_value()) {
-    PlaceEntry(std::move(*entry_opt), resolver);
+    entry_opt->added_epoch = epoch;
+    WriterLock lock(&mu_);
+    PlaceEntryLocked(std::move(*entry_opt), resolver);
   }
   // Membership/placement of responses depends on this note; re-evaluate
   // the known children (recursively through UpdateOne's own walk).
@@ -231,19 +277,48 @@ Status ViewIndex::UpdateOne(const Note& note, const NoteResolver* resolver,
     for (NoteId child_id : resolver->ChildrenOf(note.unid())) {
       NoteHandle child = resolver->FindById(child_id);
       if (child != nullptr) {
-        DOMINO_RETURN_IF_ERROR(UpdateOne(*child, resolver, depth + 1));
+        DOMINO_RETURN_IF_ERROR(UpdateOne(*child, resolver, depth + 1, epoch));
       }
     }
   }
   return Status::Ok();
 }
 
-void ViewIndex::Remove(NoteId id) { RemoveLocation(id); }
+void ViewIndex::Remove(NoteId id, Epoch epoch) {
+  WriterLock lock(&mu_);
+  RemoveLocationLocked(id, epoch);
+}
 
-void ViewIndex::Clear() {
+void ViewIndex::ReclaimVersions(Epoch floor) {
+  WriterLock lock(&mu_);
+  // Zombies are queued in commit order, so the reclaimable prefix is
+  // contiguous. A zombie removed at epoch R is only needed by pins < R.
+  while (!zombies_.empty() && zombies_.front().removed <= floor) {
+    ErasePhysicalLocked(zombies_.front().loc);
+    zombies_.pop_front();
+  }
+}
+
+size_t ViewIndex::zombie_count() const {
+  ReaderLock lock(&mu_);
+  return zombies_.size();
+}
+
+void ViewIndex::ClearLocked() {
   rows_.clear();
   responses_.clear();
   row_of_note_.clear();
+  zombies_.clear();
+}
+
+void ViewIndex::Clear() {
+  WriterLock lock(&mu_);
+  ClearLocked();
+}
+
+size_t ViewIndex::size() const {
+  ReaderLock lock(&mu_);
+  return row_of_note_.size();
 }
 
 Status ViewIndex::Rebuild(
@@ -252,7 +327,10 @@ Status ViewIndex::Rebuild(
     const NoteResolver* resolver, indexer::ThreadPool* pool) {
   auto start = std::chrono::steady_clock::now();
   Clear();
-  ++stats_.rebuilds;
+  {
+    MutexLock lock(&stats_mu_);
+    ++stats_.rebuilds;
+  }
   ctr_rebuilds_->Add();
   // Parents must be indexed before their responses so placement works.
   // Collect and order by response depth.
@@ -278,8 +356,10 @@ Status ViewIndex::Rebuild(
   if (pool == nullptr) {
     for (const Note& note : notes) {
       // Depth 32 suppresses the response re-walk; ordering already
-      // guarantees parents were indexed first.
-      DOMINO_RETURN_IF_ERROR(UpdateOne(note, resolver, kMaxResponseDepth));
+      // guarantees parents were indexed first. Rebuilt entries are
+      // unversioned — visible at every epoch (see header).
+      DOMINO_RETURN_IF_ERROR(
+          UpdateOne(note, resolver, kMaxResponseDepth, kEpochNone));
     }
   } else {
     RebuildParallel(notes, resolver, pool);
@@ -348,9 +428,10 @@ void ViewIndex::RebuildParallel(const std::vector<Note>& notes,
   if (!flat) {
     // Serial placement in global depth order (shards are contiguous
     // slices of the depth-sorted note list).
+    WriterLock lock(&mu_);
     for (Shard& shard : shards) {
       for (std::optional<ViewEntry>& entry : shard.entries) {
-        if (entry.has_value()) PlaceEntry(std::move(*entry), resolver);
+        if (entry.has_value()) PlaceEntryLocked(std::move(*entry), resolver);
       }
     }
     return;
@@ -358,39 +439,59 @@ void ViewIndex::RebuildParallel(const std::vector<Note>& notes,
   // K-way merge of the pre-sorted shards straight into the ordered map.
   // Keys are globally unique (note id tiebreak) and appended in ascending
   // order, so every emplace_hint at end() is O(1).
-  std::vector<size_t> heads(shards.size(), 0);
-  for (;;) {
-    size_t best = shards.size();
-    for (size_t s = 0; s < shards.size(); ++s) {
-      if (heads[s] >= shards[s].rows.size()) continue;
-      if (best == shards.size() ||
-          shards[s].rows[heads[s]].key < shards[best].rows[heads[best]].key) {
-        best = s;
+  uint64_t inserted = 0;
+  {
+    WriterLock lock(&mu_);
+    std::vector<size_t> heads(shards.size(), 0);
+    for (;;) {
+      size_t best = shards.size();
+      for (size_t s = 0; s < shards.size(); ++s) {
+        if (heads[s] >= shards[s].rows.size()) continue;
+        if (best == shards.size() ||
+            shards[s].rows[heads[s]].key <
+                shards[best].rows[heads[best]].key) {
+          best = s;
+        }
       }
+      if (best == shards.size()) break;
+      ShardRow& row = shards[best].rows[heads[best]++];
+      const NoteId id = row.entry.note_id;
+      Location loc;
+      loc.is_response_row = false;
+      loc.main_key = row.key;
+      rows_.emplace_hint(rows_.end(), std::move(row.key),
+                         std::move(row.entry));
+      row_of_note_[id] = std::move(loc);
+      ++inserted;
     }
-    if (best == shards.size()) break;
-    ShardRow& row = shards[best].rows[heads[best]++];
-    const NoteId id = row.entry.note_id;
-    Location loc;
-    loc.is_response_row = false;
-    loc.main_key = row.key;
-    rows_.emplace_hint(rows_.end(), std::move(row.key),
-                       std::move(row.entry));
-    row_of_note_[id] = std::move(loc);
-    ++stats_.inserts;
-    ctr_inserts_->Add();
+  }
+  if (inserted > 0) {
+    {
+      MutexLock lock(&stats_mu_);
+      stats_.inserts += inserted;
+    }
+    ctr_inserts_->Add(inserted);
   }
 }
 
-std::vector<const ViewEntry*> ViewIndex::Entries() const {
+std::vector<const ViewEntry*> ViewIndex::EntriesLocked(Epoch at) const {
   std::vector<const ViewEntry*> out;
   out.reserve(rows_.size());
-  for (const auto& [key, entry] : rows_) out.push_back(&entry);
+  for (const auto& [key, entry] : rows_) {
+    if (EpochVisible(entry.added_epoch, entry.removed_epoch, at)) {
+      out.push_back(&entry);
+    }
+  }
   return out;
 }
 
+std::vector<const ViewEntry*> ViewIndex::EntriesAt(Epoch at) const {
+  ReaderLock lock(&mu_);
+  return EntriesLocked(at);
+}
+
 void ViewIndex::EmitEntryAndResponses(
-    const ViewEntry& entry, int indent,
+    const ViewEntry& entry, int indent, Epoch at,
     const std::function<void(const ViewRow&)>& visit) const {
   ViewRow row;
   row.kind = ViewRow::Kind::kDocument;
@@ -400,18 +501,32 @@ void ViewIndex::EmitEntryAndResponses(
   auto it = responses_.find(entry.unid);
   if (it == responses_.end()) return;
   for (const auto& [key, resp] : it->second) {
-    EmitEntryAndResponses(resp, indent + 1, visit);
+    if (!EpochVisible(resp.added_epoch, resp.removed_epoch, at)) continue;
+    EmitEntryAndResponses(resp, indent + 1, at, visit);
   }
 }
 
-void ViewIndex::Traverse(
-    const std::function<void(const ViewRow&)>& visit) const {
+size_t ViewIndex::CountOfLocked(const ViewEntry& entry, Epoch at) const {
+  size_t n = 1;
+  auto it = responses_.find(entry.unid);
+  if (it != responses_.end()) {
+    for (const auto& [key, resp] : it->second) {
+      if (!EpochVisible(resp.added_epoch, resp.removed_epoch, at)) continue;
+      n += CountOfLocked(resp, at);
+    }
+  }
+  return n;
+}
+
+void ViewIndex::TraverseAt(
+    Epoch at, const std::function<void(const ViewRow&)>& visit) const {
+  ReaderLock lock(&mu_);
   // Category columns, in definition order.
   std::vector<size_t> cat_cols;
   for (size_t i = 0; i < design_.columns().size(); ++i) {
     if (design_.columns()[i].categorized) cat_cols.push_back(i);
   }
-  std::vector<const ViewEntry*> list = Entries();
+  std::vector<const ViewEntry*> list = EntriesLocked(at);
 
   // Render each entry's category-column text exactly once up front; the
   // category-break and run-count loops below otherwise re-render the same
@@ -428,17 +543,6 @@ void ViewIndex::Traverse(
       }
     }
   }
-
-  // Count of documents under an entry including nested responses.
-  std::function<size_t(const ViewEntry&)> count_of =
-      [&](const ViewEntry& e) -> size_t {
-    size_t n = 1;
-    auto it = responses_.find(e.unid);
-    if (it != responses_.end()) {
-      for (const auto& [key, resp] : it->second) n += count_of(resp);
-    }
-    return n;
-  };
 
   std::vector<std::string> open_categories(cat_cols.size());
   bool first = true;
@@ -465,7 +569,7 @@ void ViewIndex::Traverse(
           }
         }
         if (!same) break;
-        docs += count_of(*list[j]);
+        docs += CountOfLocked(*list[j], at);
       }
       ViewRow row;
       row.kind = ViewRow::Kind::kCategory;
@@ -475,16 +579,19 @@ void ViewIndex::Traverse(
       visit(row);
     }
     first = false;
-    EmitEntryAndResponses(*list[i], static_cast<int>(cat_cols.size()),
+    EmitEntryAndResponses(*list[i], static_cast<int>(cat_cols.size()), at,
                           visit);
   }
 }
 
-std::vector<const ViewEntry*> ViewIndex::FindByKey(const Value& key) const {
+std::vector<const ViewEntry*> ViewIndex::FindByKeyAt(const Value& key,
+                                                     Epoch at) const {
+  ReaderLock lock(&mu_);
   std::vector<const ViewEntry*> out;
   if (descending_.empty()) {
     // No sorted column: fall back to comparing the first column's value.
     for (const auto& [rk, entry] : rows_) {
+      if (!EpochVisible(entry.added_epoch, entry.removed_epoch, at)) continue;
       if (!entry.column_values.empty() &&
           CompareValues(entry.column_values[0], key) == 0) {
         out.push_back(&entry);
@@ -499,9 +606,17 @@ std::vector<const ViewEntry*> ViewIndex::FindByKey(const Value& key) const {
   probe.id = 0;
   for (auto it = rows_.lower_bound(probe); it != rows_.end(); ++it) {
     if (!StartsWith(it->first.collation_key, prefix)) break;
+    if (!EpochVisible(it->second.added_epoch, it->second.removed_epoch, at)) {
+      continue;
+    }
     out.push_back(&it->second);
   }
   return out;
+}
+
+ViewStats ViewIndex::stats() const {
+  MutexLock lock(&stats_mu_);
+  return stats_;
 }
 
 }  // namespace dominodb

@@ -2,16 +2,19 @@
 #define DOMINODB_VIEW_VIEW_INDEX_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
 #include "base/clock.h"
+#include "base/epoch.h"
 #include "base/result.h"
 #include "base/shared_mutex.h"
 #include "base/thread_annotations.h"
@@ -47,13 +50,18 @@ class NoteResolver {
   virtual std::vector<NoteId> ChildrenOf(const Unid& parent) const = 0;
 };
 
-/// One indexed document in a view.
+/// One indexed document in a view. An entry is one *version* of a note's
+/// row: visible to snapshot readers pinned in [added_epoch, removed_epoch)
+/// (see EpochVisible). Unversioned standalone use leaves the defaults —
+/// added kEpochNone (always visible), removed kEpochMax (never removed).
 struct ViewEntry {
   NoteId note_id = kInvalidNoteId;
   Unid unid;
   Unid parent_unid;
   bool is_response = false;
   Micros created = 0;
+  Epoch added_epoch = kEpochNone;
+  Epoch removed_epoch = kEpochMax;
   std::vector<Value> column_values;
 
   /// Display text of column `i` ("" when out of range).
@@ -106,10 +114,26 @@ struct ViewStats {
 /// at top level. `SELECT ... | @AllChildren/@AllDescendants` includes
 /// responses whose (an)cestor matches the selection.
 ///
-/// Threading: no internal lock. The owning Database synchronizes access
-/// with its reader/writer lock, expressed here through the `db_index_lock`
-/// role: mutators require it exclusive, read paths shared. Standalone use
-/// (tests, benches, a single-threaded tool) needs no locking at all.
+/// MVCC: mutators carry the commit epoch of the change. Instead of
+/// physically erasing the superseded row, Update/Remove stamp its
+/// removed_epoch and keep it as a "zombie" so snapshot readers pinned
+/// before the commit still traverse it; the replacement row carries the
+/// commit epoch as its added_epoch. Read paths take an `at` epoch (the
+/// plain overloads read the latest state) and filter by EpochVisible.
+/// ReclaimVersions(floor) physically drops zombies no pinned reader can
+/// need. Passing kEpochNone (the default) to a mutator keeps the old
+/// unversioned behavior — immediate physical removal.
+///
+/// Threading: an internal reader/writer lock guards the containers.
+/// Mutators hold it exclusive only around structural steps — formula
+/// evaluation runs unlocked (the owning Database serializes writers, and
+/// a formula that re-enters a view read, e.g. @DbLookup in a column
+/// formula, must not deadlock against our own exclusive hold). Read
+/// paths hold it shared for the whole call, including visit callbacks;
+/// callbacks must not mutate this view. Returned ViewEntry pointers stay
+/// valid while the caller's epoch is pinned: node-based maps never move
+/// surviving entries, and reclamation only drops versions below the
+/// oldest pin. Standalone single-threaded use needs no external locking.
 class ViewIndex {
  public:
   /// `stats` (nullable → the global registry) receives the server-wide
@@ -121,11 +145,20 @@ class ViewIndex {
 
   /// Re-evaluates a single changed note (and, when response semantics are
   /// in play, its known descendants). Deletion stubs remove the entry.
-  Status Update(const Note& note, const NoteResolver* resolver)
-      REQUIRES(db_index_lock);
+  /// `epoch`: commit epoch of the change (kEpochNone = unversioned).
+  Status Update(const Note& note, const NoteResolver* resolver,
+                Epoch epoch = kEpochNone);
 
   /// Removes a note by id (physical purge path).
-  void Remove(NoteId id) REQUIRES(db_index_lock);
+  /// `epoch`: commit epoch of the purge (kEpochNone = unversioned).
+  void Remove(NoteId id, Epoch epoch = kEpochNone);
+
+  /// Physically erases every zombie version with removed_epoch <= floor
+  /// (min over pinned reader epochs, else the committed epoch).
+  void ReclaimVersions(Epoch floor);
+
+  /// Zombie versions currently retained for pinned readers.
+  size_t zombie_count() const;
 
   /// Drops everything and re-indexes the whole database. `for_each_note`
   /// must invoke its callback once per note. Used on view creation and by
@@ -140,53 +173,79 @@ class ViewIndex {
   /// re-sort); response-hierarchy views place serially in depth order.
   /// The result — rows, hierarchy, and ViewStats counters — is identical
   /// to the serial path.
+  /// Rebuild resets ALL versions — a rebuild is a design change, and
+  /// design changes are not snapshot-isolated (the Database swaps in a
+  /// freshly built index instead; pinned readers keep the old one via
+  /// shared ownership). Rebuilt entries are visible at every epoch.
   Status Rebuild(
       const std::function<void(const std::function<void(const Note&)>&)>&
           for_each_note,
-      const NoteResolver* resolver, indexer::ThreadPool* pool = nullptr)
-      REQUIRES(db_index_lock);
+      const NoteResolver* resolver, indexer::ThreadPool* pool = nullptr);
 
-  void Clear() REQUIRES(db_index_lock);
+  void Clear();
 
-  size_t size() const { return row_of_note_.size(); }
+  /// Latest live entry count (zombie versions excluded).
+  size_t size() const;
 
   /// Top-level entries in collation order (responses excluded when the
-  /// hierarchy is shown).
-  std::vector<const ViewEntry*> Entries() const
-      REQUIRES_SHARED(db_index_lock);
+  /// hierarchy is shown), as visible at snapshot `at`.
+  std::vector<const ViewEntry*> EntriesAt(Epoch at) const;
+  std::vector<const ViewEntry*> Entries() const {
+    return EntriesAt(kEpochLatest);
+  }
 
-  /// Full traversal with category rows and response indenting.
-  void Traverse(const std::function<void(const ViewRow&)>& visit) const
-      REQUIRES_SHARED(db_index_lock);
+  /// Full traversal with category rows and response indenting, as
+  /// visible at snapshot `at`.
+  void TraverseAt(Epoch at,
+                  const std::function<void(const ViewRow&)>& visit) const;
+  void Traverse(const std::function<void(const ViewRow&)>& visit) const {
+    TraverseAt(kEpochLatest, visit);
+  }
 
-  /// Entries whose first sorted column equals `key`.
-  std::vector<const ViewEntry*> FindByKey(const Value& key) const
-      REQUIRES_SHARED(db_index_lock);
+  /// Entries whose first sorted column equals `key`, visible at `at`.
+  std::vector<const ViewEntry*> FindByKeyAt(const Value& key,
+                                            Epoch at) const;
+  std::vector<const ViewEntry*> FindByKey(const Value& key) const {
+    return FindByKeyAt(key, kEpochLatest);
+  }
 
-  const ViewStats& stats() const { return stats_; }
-  ViewStats* mutable_stats() { return &stats_; }
+  ViewStats stats() const;
 
  private:
   struct RowKey {
     std::string collation_key;
     NoteId id = kInvalidNoteId;
+    // Version tie-break: two versions of one note may share the same
+    // collation key (an update that left sorted columns untouched), so
+    // the added epoch keeps them as distinct rows.
+    Epoch added = kEpochNone;
 
     bool operator<(const RowKey& other) const {
       if (int c = collation_key.compare(other.collation_key); c != 0) {
         return c < 0;
       }
-      return id < other.id;
+      if (id != other.id) return id < other.id;
+      return added < other.added;
     }
   };
 
-  // Responses sort by (created, id) under their parent.
-  using ResponseKey = std::pair<Micros, NoteId>;
+  // Responses sort by (created, id) under their parent; the added epoch
+  // again disambiguates coexisting versions.
+  using ResponseKey = std::tuple<Micros, NoteId, Epoch>;
 
   struct Location {
     bool is_response_row = false;
     RowKey main_key;       // when !is_response_row
     Unid parent;           // when is_response_row
     ResponseKey resp_key;  // when is_response_row
+  };
+
+  /// A version stamped out by commit `removed`, retained until no pinned
+  /// reader can need it. The deque is in non-decreasing `removed` order
+  /// (commits are serialized), so reclamation pops from the front.
+  struct Zombie {
+    Epoch removed = kEpochNone;
+    Location loc;
   };
 
   /// Per-thread evaluation state: the selection and each column formula
@@ -202,7 +261,7 @@ class ViewIndex {
     std::vector<std::optional<formula::BatchEvaluator>> column_evals;
   };
 
-  /// nullopt = not selected.
+  /// nullopt = not selected. Runs with no lock held (see class comment).
   Result<std::optional<ViewEntry>> EvaluateNote(const Note& note,
                                                 const NoteResolver* resolver);
   /// Thread-safe evaluation core shared by the serial path and parallel
@@ -218,29 +277,49 @@ class ViewIndex {
   /// Inserts an evaluated entry (response placement or main row) and
   /// records its location. Parents must already be placed for response
   /// nesting to engage.
-  void PlaceEntry(ViewEntry entry, const NoteResolver* resolver);
-  void RemoveLocation(NoteId id);
+  void PlaceEntryLocked(ViewEntry entry, const NoteResolver* resolver)
+      REQUIRES(mu_);
+  /// Versioned (epoch != kEpochNone): stamps the current row's
+  /// removed_epoch and queues it as a zombie. Unversioned: erases it.
+  void RemoveLocationLocked(NoteId id, Epoch epoch) REQUIRES(mu_);
+  /// Physically erases the entry at `loc` from rows_/responses_.
+  void ErasePhysicalLocked(const Location& loc) REQUIRES(mu_);
+  ViewEntry* EntryAtLocked(const Location& loc) REQUIRES(mu_);
+  void ClearLocked() REQUIRES(mu_);
+  std::vector<const ViewEntry*> EntriesLocked(Epoch at) const
+      REQUIRES_SHARED(mu_);
+  /// Documents under `entry` (itself included) visible at `at`.
+  size_t CountOfLocked(const ViewEntry& entry, Epoch at) const
+      REQUIRES_SHARED(mu_);
   Status UpdateOne(const Note& note, const NoteResolver* resolver,
-                   int depth);
+                   int depth, Epoch epoch);
   void RebuildParallel(const std::vector<Note>& notes,
                        const NoteResolver* resolver,
                        indexer::ThreadPool* pool);
-  void EmitEntryAndResponses(const ViewEntry& entry, int indent,
+  void EmitEntryAndResponses(const ViewEntry& entry, int indent, Epoch at,
                              const std::function<void(const ViewRow&)>& visit)
-      const;
+      const REQUIRES_SHARED(mu_);
 
   ViewDesign design_;
   const Clock* clock_;
   std::vector<bool> descending_;  // per sorted column, aligned to key build
   bool needs_response_walk_ = false;
-  // Serial-path evaluation bundle (incremental updates run one note at a
-  // time under the exclusive lock; rebuild shards build their own).
+  // Serial-path evaluation bundle. NOT guarded by mu_: evaluation runs
+  // unlocked, relying on the owning Database serializing all mutators
+  // (standalone use is single-threaded).
   std::unique_ptr<EvalBundle> bundle_;
 
-  std::map<RowKey, ViewEntry> rows_;
-  std::map<Unid, std::map<ResponseKey, ViewEntry>> responses_;
-  std::unordered_map<NoteId, Location> row_of_note_;
-  ViewStats stats_;
+  /// Guards the index containers (see class comment for the discipline).
+  mutable SharedMutex mu_;
+
+  std::map<RowKey, ViewEntry> rows_ GUARDED_BY(mu_);
+  std::map<Unid, std::map<ResponseKey, ViewEntry>> responses_
+      GUARDED_BY(mu_);
+  std::unordered_map<NoteId, Location> row_of_note_ GUARDED_BY(mu_);
+  std::deque<Zombie> zombies_ GUARDED_BY(mu_);
+  /// Guards the ViewStats tallies (bumped from unlocked eval phases).
+  mutable Mutex stats_mu_;
+  ViewStats stats_ GUARDED_BY(stats_mu_);
 
   // Server-wide mirrors of ViewStats (dotted Domino stat names).
   stats::Counter* ctr_selection_evals_;

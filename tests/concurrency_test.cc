@@ -1,8 +1,11 @@
-// Multi-reader/multi-writer stress over the Database shared lock: view
-// traversals, full-text searches and @DbLookup-re-entrant formula
-// evaluation proceed concurrently with mutations and purges. Primarily a
-// TSan target (scripts/check.sh runs the suite under all sanitizers),
-// but the final consistency checks catch lost updates under any build.
+// Multi-reader/multi-writer stress over the Database: view traversals,
+// full-text searches and @DbLookup-re-entrant formula evaluation proceed
+// concurrently with mutations and purges. Readers pin MVCC snapshot
+// epochs and never take the database lock (tests/mvcc_test.cc checks the
+// snapshot semantics themselves); writers serialize on the exclusive
+// lock. Primarily a TSan target (scripts/check.sh runs the suite under
+// all sanitizers), but the final consistency checks catch lost updates
+// under any build.
 
 #include <gtest/gtest.h>
 
@@ -128,23 +131,27 @@ TEST_F(ConcurrencyFixture, ReadersProceedWhileWritersMutate) {
 
   for (int r = 0; r < kReaders; ++r) {
     threads.emplace_back([&, r] {
-      while (!stop.load(std::memory_order_relaxed)) {
+      // do-while: each reader completes at least one pass even when the
+      // writers (no longer slowed by readers) finish first.
+      do {
         size_t rows = 0;
         EXPECT_OK(db_->TraverseViewAs(reader, "all",
                                       [&](const ViewRow&) { ++rows; }));
         EXPECT_OK(db_->SearchAs(reader, "lotus OR anchor").status());
-        // Re-entrant shared acquisition: the selection's @DbLookup
-        // re-enters this database's lock on this same thread.
+        // Re-entrant read: the selection's @DbLookup joins this thread's
+        // pinned snapshot mid-scan.
         auto looked = db_->FormulaSearch(
             "SELECT @DbLookup(\"\"; \"Rates\"; \"EUR\"; 2) > 1");
         EXPECT_OK(looked.status());
-        if (looked.ok()) EXPECT_GE(looked->size(), 1u);
+        if (looked.ok()) {
+          EXPECT_GE(looked->size(), 1u);
+        }
         EXPECT_OK(db_->ReadNote(anchor_id_).status());
         (void)db_->UnreadCount(reader);
         (void)db_->ChangeSummarySince(0);
         if (r % 2 == 0) (void)db_->note_count();
         read_ops.fetch_add(1, std::memory_order_relaxed);
-      }
+      } while (!stop.load(std::memory_order_relaxed));
     });
   }
 
@@ -170,9 +177,9 @@ TEST_F(ConcurrencyFixture, ReadersProceedWhileWritersMutate) {
 
 TEST_F(ConcurrencyFixture, LookupFormulaCatchesUpOnPendingIndexWork) {
   // Agent-style evaluation: the formula itself runs outside any lock and
-  // @DbLookup acquires the shared lock per call. The lookup's ReadTxn
-  // must catch up on deferred index maintenance first, so a Rate
-  // document whose view update is still queued is found anyway.
+  // @DbLookup pins a snapshot per call. The lookup's ReadTxn must catch
+  // up on deferred index maintenance first, so a Rate document whose
+  // view update is still queued is found anyway.
   db_->AttachIndexer(&pool_);
   Note gbp(NoteClass::kDocument);
   gbp.SetText("Form", "Rate");

@@ -324,6 +324,38 @@ TEST_F(ServerStatsFixture, DeadMailFiresThresholdEvent) {
   EXPECT_EQ(hub_->CheckThresholds(), 0u);  // latched
 }
 
+TEST_F(ServerStatsFixture, MvccStatsShowUpInShowStat) {
+  DatabaseOptions options;
+  ASSERT_OK_AND_ASSIGN(Database * db, hub_->OpenDatabase("app.nsf", options));
+  ASSERT_OK_AND_ASSIGN(NoteId id, db->CreateNote(MakeDoc("Memo", "v1")));
+  {
+    Database::ReadTxn txn(db);
+    // A pinned reader plus a commit after the pin → one pinned epoch and
+    // a live overlay version, visible through the server's registry.
+    ASSERT_OK_AND_ASSIGN(Note note, db->ReadNote(id));
+    note.SetText("Subject", "v2");
+    ASSERT_OK(db->UpdateNote(std::move(note)));
+    const stats::Gauge* pinned = hub_stats_.FindGauge("Db.Mvcc.PinnedEpochs");
+    const stats::Gauge* live = hub_stats_.FindGauge("Db.Mvcc.LiveVersions");
+    ASSERT_NE(pinned, nullptr);
+    ASSERT_NE(live, nullptr);
+    EXPECT_EQ(pinned->value(), 1);
+    EXPECT_GE(live->value(), 1);
+    std::string show = hub_->ShowStat("Db.Mvcc.*");
+    EXPECT_NE(show.find("Db.Mvcc.PinnedEpochs = 1"), std::string::npos);
+    EXPECT_NE(show.find("Db.Mvcc.LiveVersions"), std::string::npos);
+    EXPECT_NE(show.find("Db.Mvcc.ReclaimedVersions"), std::string::npos);
+    EXPECT_NE(show.find("Db.Mvcc.OldestPinAgeMicros"), std::string::npos);
+  }
+  // Unpinned: gauges return to zero, the reclaim counter moved.
+  EXPECT_EQ(hub_stats_.FindGauge("Db.Mvcc.PinnedEpochs")->value(), 0);
+  EXPECT_EQ(hub_stats_.FindGauge("Db.Mvcc.LiveVersions")->value(), 0);
+  const stats::Counter* reclaimed =
+      hub_stats_.FindCounter("Db.Mvcc.ReclaimedVersions");
+  ASSERT_NE(reclaimed, nullptr);
+  EXPECT_GT(reclaimed->value(), 0u);
+}
+
 TEST_F(ServerStatsFixture, SnapshotDiffBracketsAWorkload) {
   DatabaseOptions options;
   ASSERT_OK_AND_ASSIGN(Database * db, hub_->OpenDatabase("app.nsf", options));
