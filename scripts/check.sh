@@ -18,6 +18,13 @@
 # inside each sanitizer build, so engine-divergence hunting also gets
 # ASan/TSan/UBSan coverage.
 #
+# --workload-smoke executes the E17 NotesBench-style macro workload
+# driver (bench_workload) with its tiny-N smoke sweep inside each
+# sanitizer build. The driver exits non-zero on any end-of-run invariant
+# violation (undrained mail.boxes, mail accounting mismatch, leaked MVCC
+# versions, diverged replicas), so this doubles as a cross-subsystem
+# consistency check, not just a crash test.
+#
 # --mvcc-stress loops the MVCC snapshot-semantics suite and the
 # multi-reader/writer stress tests (mvcc_test + concurrency_test)
 # DOMINO_MVCC_STRESS_ITERS times (default 20) inside each sanitizer
@@ -29,12 +36,13 @@
 # checks the GUARDED_BY/REQUIRES annotations on Database, ViewIndex and
 # FullTextIndex. On GCC-only machines the pass is
 # skipped with a notice (the annotations compile away under GCC).
-# Usage: scripts/check.sh [--bench-smoke] [--crash-matrix] \
-#                         [--formula-diff] [--mvcc-stress] \
-#                         [address|thread|undefined ...]
+# Usage: scripts/check.sh [--bench-smoke] [--workload-smoke] \
+#                         [--crash-matrix] [--formula-diff] \
+#                         [--mvcc-stress] [address|thread|undefined ...]
 set -euo pipefail
 
 BENCH_SMOKE=0
+WORKLOAD_SMOKE=0
 CRASH_MATRIX=0
 FORMULA_DIFF=0
 MVCC_STRESS=0
@@ -42,6 +50,7 @@ SANITIZERS=()
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
+    --workload-smoke) WORKLOAD_SMOKE=1 ;;
     --crash-matrix) CRASH_MATRIX=1 ;;
     --formula-diff) FORMULA_DIFF=1 ;;
     --mvcc-stress) MVCC_STRESS=1 ;;
@@ -89,6 +98,10 @@ for SANITIZER in "${SANITIZERS[@]}"; do
       --gtest_break_on_failure
     "$BUILD_DIR/tests/concurrency_test" --gtest_repeat="$ITERS" \
       --gtest_break_on_failure
+  fi
+  if [ "$WORKLOAD_SMOKE" -eq 1 ]; then
+    echo "== check.sh: $SANITIZER workload-smoke bench_workload =="
+    DOMINO_BENCH_SMOKE=1 "$BUILD_DIR/bench/bench_workload"
   fi
   if [ "$BENCH_SMOKE" -eq 1 ]; then
     for BENCH in "$BUILD_DIR"/bench/bench_*; do

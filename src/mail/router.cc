@@ -45,15 +45,23 @@ Router::Router(std::string server_name, Database* mailbox,
   ctr_forwarded_ = &reg.GetCounter("Mail.Forwarded");
   ctr_dead_ = &reg.GetCounter("Mail.Dead");
   ctr_hops_ = &reg.GetCounter("Mail.Hops.Total");
+  ctr_retries_ = &reg.GetCounter("Mail.Transfer.Retries");
 }
 
-void Router::DeadLetter(const std::string& user, size_t copies) {
+void Router::DeadLetter(const std::string& user, const std::string& reason,
+                        size_t copies) {
   stats_.dead_lettered += copies;
   ctr_dead_->Add(copies);
   registry_->events().Log(
       stats::Severity::kWarning, "Router",
-      "mail undeliverable on " + server_name_ + ": " + user,
+      "mail undeliverable on " + server_name_ + ": " + user + " (" +
+          reason + ")",
       mailbox_->clock() != nullptr ? mailbox_->clock()->Now() : 0);
+}
+
+void Router::InjectDeliveryFaultForTesting(const std::string& user,
+                                           Status status) {
+  delivery_fault_ = std::make_pair(ToLower(user), std::move(status));
 }
 
 void Router::AttachMailFile(const std::string& user, Database* mail_file) {
@@ -76,15 +84,15 @@ Status Router::Submit(Note message) {
   }
   stats_.submitted += 1;
   ctr_submitted_->Add();
-  return mailbox_->CreateNote(std::move(message)).ok()
-             ? Status::Ok()
-             : Status::IOError("mail.box write failed");
+  // Surface the store's real status: callers must be able to tell an IO
+  // failure from a rejected memo.
+  return mailbox_->CreateNote(std::move(message)).status();
 }
 
 Status Router::DeliverLocal(const std::string& user, const Note& message) {
   auto it = mail_files_.find(ToLower(user));
   if (it == mail_files_.end()) {
-    DeadLetter(user);
+    DeadLetter(user, "no mail file on " + server_name_);
     return Status::Ok();  // dead letter; routing continues
   }
   Note copy = message;
@@ -92,7 +100,19 @@ Status Router::DeliverLocal(const std::string& user, const Note& message) {
                                     ? mailbox_->clock()->Now()
                                     : 0);
   copy.SetText("DeliveredBy", server_name_);
-  DOMINO_RETURN_IF_ERROR(it->second->CreateNote(std::move(copy)).status());
+  Status put;
+  if (delivery_fault_.has_value() && delivery_fault_->first == ToLower(user)) {
+    put = delivery_fault_->second;
+    delivery_fault_.reset();
+  } else {
+    put = it->second->CreateNote(std::move(copy)).status();
+  }
+  if (!put.ok()) {
+    // The mail file refused the copy; retrying cannot help, so the copy
+    // dead-letters with the store's reason and the status propagates.
+    DeadLetter(user, put.message());
+    return put;
+  }
   stats_.delivered += 1;
   stats_.hops_total += static_cast<uint64_t>(message.GetNumber("$Hops"));
   ctr_delivered_->Add();
@@ -109,6 +129,11 @@ Result<size_t> Router::RunOnce(const std::map<std::string, Router*>& peers) {
     }
   });
 
+  // First mail-file write failure of the pass; surfaced after every
+  // message has been given its chance (one sick mail file must not stall
+  // the rest of the queue).
+  Status first_error;
+
   for (const Note& message : pending) {
     const Value* send_to = message.FindValue("SendTo");
     std::vector<std::string> recipients =
@@ -120,7 +145,7 @@ Result<size_t> Router::RunOnce(const std::map<std::string, Router*>& peers) {
     for (const std::string& user : recipients) {
       auto home = directory_->HomeServerOf(user);
       if (!home.ok()) {
-        DeadLetter(user);
+        DeadLetter(user, home.status().message());
         continue;
       }
       if (EqualsIgnoreCase(*home, server_name_)) {
@@ -130,15 +155,22 @@ Result<size_t> Router::RunOnce(const std::map<std::string, Router*>& peers) {
       }
     }
 
+    // Recipient copies still owed after this pass (transient transfer
+    // failures only — every other outcome is delivery or a dead letter).
+    std::vector<std::string> retry_users;
+
     for (const std::string& user : local_users) {
-      DOMINO_RETURN_IF_ERROR(DeliverLocal(user, message));
+      Status delivered = DeliverLocal(user, message);
+      if (!delivered.ok() && first_error.ok()) first_error = delivered;
     }
 
     for (const auto& [destination, users] : remote) {
       std::string hop = NextHopFor(destination);
       auto peer_it = peers.find(hop);
       if (peer_it == peers.end()) {
-        DeadLetter("(no route to " + destination + ")", users.size());
+        DeadLetter("(no route to " + destination + ")",
+                   "next hop " + hop + " is not a known router",
+                   users.size());
         continue;
       }
       Note copy = message;
@@ -146,17 +178,44 @@ Result<size_t> Router::RunOnce(const std::map<std::string, Router*>& peers) {
       copy.SetNumber("$Hops", message.GetNumber("$Hops") + 1);
       std::string encoded = copy.EncodeToString();
       if (net_ != nullptr) {
-        DOMINO_RETURN_IF_ERROR(
-            net_->Transfer(server_name_, hop, encoded.size() + 16));
+        Status sent = net_->Transfer(server_name_, hop, encoded.size() + 16);
+        if (!sent.ok()) {
+          // The link ate the transfer (partition, flap, injected fault):
+          // transient, so these copies stay queued for the next pass.
+          stats_.transfer_retries += 1;
+          ctr_retries_->Add();
+          retry_users.insert(retry_users.end(), users.begin(), users.end());
+          continue;
+        }
       }
-      DOMINO_RETURN_IF_ERROR(
-          peer_it->second->mailbox()->CreateNote(std::move(copy)).status());
+      Status enqueued =
+          peer_it->second->mailbox()->CreateNote(std::move(copy)).status();
+      if (!enqueued.ok()) {
+        // The peer's mail.box refused the copy: permanent for this pass's
+        // purposes — dead-letter with the real reason and surface it.
+        for (const std::string& user : users) {
+          DeadLetter(user, enqueued.message());
+        }
+        if (first_error.ok()) first_error = enqueued;
+        continue;
+      }
       stats_.forwarded += 1;
       ctr_forwarded_->Add();
     }
 
-    DOMINO_RETURN_IF_ERROR(mailbox_->DeleteNote(message.id()));
+    if (retry_users.empty()) {
+      DOMINO_RETURN_IF_ERROR(mailbox_->DeleteNote(message.id()));
+    } else if (retry_users.size() != recipients.size()) {
+      // Partial progress: rewrite the queued memo's recipient list to the
+      // remainder, so the retry pass cannot re-deliver the copies that
+      // already landed (the duplicate-delivery bug this replaces).
+      Note requeued = message;
+      requeued.SetTextList("SendTo", retry_users);
+      DOMINO_RETURN_IF_ERROR(mailbox_->UpdateNote(std::move(requeued)));
+    }
+    // else: no recipient progressed; the memo is left untouched.
   }
+  if (!first_error.ok()) return first_error;
   return pending.size();
 }
 

@@ -2,7 +2,9 @@
 #define DOMINODB_MAIL_ROUTER_H_
 
 #include <map>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/result.h"
@@ -34,8 +36,11 @@ struct MailStats {
   uint64_t submitted = 0;
   uint64_t delivered = 0;     // copies placed into mail files
   uint64_t forwarded = 0;     // copies handed to another server
-  uint64_t dead_lettered = 0; // unknown recipients
+  uint64_t dead_lettered = 0; // unknown recipients + permanent failures
   uint64_t hops_total = 0;    // sum of per-message hop counts at delivery
+  /// Transient transfer failures (the SimNet link ate the message) that
+  /// left the affected copies queued for the next RunOnce pass.
+  uint64_t transfer_retries = 0;
 };
 
 /// The router task of one server: drains the server's mail.box, delivering
@@ -58,22 +63,43 @@ class Router {
   void SetNextHop(const std::string& destination,
                   const std::string& next_hop);
 
-  /// Client submission into this server's mail.box.
+  /// Client submission into this server's mail.box. A mail.box write
+  /// failure surfaces the store's real status (not a generic error).
   Status Submit(Note message);
 
   /// Processes every pending message once. `peers` maps server names to
   /// their routers (the transport is the shared SimNet). Returns the
-  /// number of messages processed.
+  /// number of messages processed (retained-for-retry messages count as
+  /// processed, so drain loops keep polling while work remains).
+  ///
+  /// Failure handling, per recipient copy:
+  ///  - transient transfer failures (the link dropped the message) keep
+  ///    exactly the undelivered copies queued — the memo's recipient list
+  ///    is rewritten to the remainder, so a resumed transfer can never
+  ///    duplicate a delivery that already happened;
+  ///  - permanent failures (unknown recipient, no route, a mail-file
+  ///    write error) dead-letter the copy with the failing user and the
+  ///    real reason. The first store failure's status is surfaced as the
+  ///    call's error after the pass completes.
   Result<size_t> RunOnce(const std::map<std::string, Router*>& peers);
+
+  /// Test-only: forces the next local delivery for `user` to fail with
+  /// `status` (cleared once it fires) — stands in for a store-level
+  /// write failure, which the paged store offers no seam to inject.
+  void InjectDeliveryFaultForTesting(const std::string& user, Status status);
 
   const MailStats& stats() const { return stats_; }
   Database* mailbox() { return mailbox_; }
   const std::string& server_name() const { return server_name_; }
 
  private:
+  /// Delivers one copy into the user's local mail file. A missing mail
+  /// file dead-letters and returns Ok (routing continues); a store write
+  /// failure dead-letters with the real reason and returns that status.
   Status DeliverLocal(const std::string& user, const Note& message);
   std::string NextHopFor(const std::string& destination) const;
-  void DeadLetter(const std::string& user, size_t copies = 1);
+  void DeadLetter(const std::string& user, const std::string& reason,
+                  size_t copies = 1);
 
   std::string server_name_;
   Database* mailbox_;
@@ -82,6 +108,8 @@ class Router {
   std::map<std::string, Database*> mail_files_;  // lower(user) → db
   std::map<std::string, std::string> next_hops_;
   MailStats stats_;
+  /// Armed by InjectDeliveryFaultForTesting: lower(user) → forced status.
+  std::optional<std::pair<std::string, Status>> delivery_fault_;
 
   // Server-wide mirrors of MailStats (dotted Domino stat names).
   stats::StatRegistry* registry_;
@@ -90,6 +118,7 @@ class Router {
   stats::Counter* ctr_forwarded_;
   stats::Counter* ctr_dead_;
   stats::Counter* ctr_hops_;
+  stats::Counter* ctr_retries_;
 };
 
 }  // namespace dominodb

@@ -175,6 +175,32 @@ Result<size_t> Server::RunRouterOnce(
   return router_->RunOnce(peers);
 }
 
+Result<std::map<std::string, Router*>> Server::RouterPeers(
+    const std::vector<Server*>& fleet) {
+  std::map<std::string, Router*> peers;
+  for (Server* server : fleet) {
+    DOMINO_RETURN_IF_ERROR(server->EnsureMailInfrastructure());
+    peers[server->name()] = server->router();
+  }
+  return peers;
+}
+
+Result<size_t> Server::DrainRouters(const std::vector<Server*>& fleet,
+                                    size_t max_passes) {
+  DOMINO_ASSIGN_OR_RETURN(auto peers, RouterPeers(fleet));
+  size_t passes = 0;
+  while (passes < max_passes) {
+    ++passes;
+    size_t processed = 0;
+    for (Server* server : fleet) {
+      DOMINO_ASSIGN_OR_RETURN(size_t n, server->RunRouterOnce(peers));
+      processed += n;
+    }
+    if (processed == 0) break;
+  }
+  return passes;
+}
+
 Status Server::EnableSharedLog(wal::SharedLogOptions options) {
   if (shared_log_ != nullptr) return Status::Ok();
   if (options.stats == nullptr) options.stats = stats_;

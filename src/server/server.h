@@ -104,6 +104,19 @@ class Server {
   /// Runs this server's router once against the given fleet.
   Result<size_t> RunRouterOnce(const std::map<std::string, Router*>& peers);
 
+  /// Builds the peers map RunRouterOnce expects from a fleet of servers
+  /// (mail infrastructure is ensured on each).
+  static Result<std::map<std::string, Router*>> RouterPeers(
+      const std::vector<Server*>& fleet);
+
+  /// Runs every server's router in passes until all mail.boxes drain or
+  /// `max_passes` is reached; returns the passes executed. Messages
+  /// retained for transient-transfer retry keep the loop polling, so on
+  /// a flapping network callers advance the sim clock between calls and
+  /// invoke this again.
+  static Result<size_t> DrainRouters(const std::vector<Server*>& fleet,
+                                     size_t max_passes = 10);
+
   // -- Shared transaction log (Domino R5 transaction logging) --------------
   /// Switches this server to ONE shared, sequentially-written transaction
   /// log (under `<base_dir>/txnlog`) that every database opened AFTERWARDS

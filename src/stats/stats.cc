@@ -48,6 +48,7 @@ HistogramSummary Summarize(const Histogram& h) {
   s.sum = h.sum();
   s.p50 = h.Percentile(0.50);
   s.p95 = h.Percentile(0.95);
+  s.p99 = h.Percentile(0.99);
   s.max = h.max();
   return s;
 }
@@ -92,8 +93,11 @@ uint64_t Histogram::Percentile(double p) const {
   for (size_t i = 0; i < kNumBuckets; ++i) {
     seen += bucket_count(i);
     if (seen >= rank) {
-      // The unbounded tail has no meaningful upper bound; report the max.
-      return i + 1 >= kNumBuckets ? max() : BucketUpperBound(i);
+      // A bucket's power-of-two upper bound can overshoot the largest
+      // value actually recorded (a single sample of 5 lands in the
+      // (4, 8] bucket), so clamp to the observed max. The unbounded
+      // tail bucket's ~0 bound clamps the same way.
+      return std::min(BucketUpperBound(i), max());
     }
   }
   return max();
@@ -182,11 +186,12 @@ std::string StatSnapshot::ToJson() const {
     AppendJsonString(&out, name);
     out += StrPrintf(
         ":{\"count\":%llu,\"sum\":%llu,\"p50\":%llu,\"p95\":%llu,"
-        "\"max\":%llu}",
+        "\"p99\":%llu,\"max\":%llu}",
         static_cast<unsigned long long>(h.count),
         static_cast<unsigned long long>(h.sum),
         static_cast<unsigned long long>(h.p50),
         static_cast<unsigned long long>(h.p95),
+        static_cast<unsigned long long>(h.p99),
         static_cast<unsigned long long>(h.max));
   }
   out += StrPrintf("},\"events\":%llu}",
@@ -358,10 +363,11 @@ std::string StatRegistry::ShowStat(const std::string& pattern) const {
   }
   for (const auto& [name, histogram] : histograms_) {
     lines[name] = StrPrintf(
-        "%llu samples, avg %.1f, p95 %llu, max %llu",
+        "%llu samples, avg %.1f, p95 %llu, p99 %llu, max %llu",
         static_cast<unsigned long long>(histogram->count()),
         histogram->Mean(),
         static_cast<unsigned long long>(histogram->Percentile(0.95)),
+        static_cast<unsigned long long>(histogram->Percentile(0.99)),
         static_cast<unsigned long long>(histogram->max()));
   }
   for (const auto& [name, value] : lines) {

@@ -66,8 +66,9 @@ class Histogram {
     return buckets_[i].load(std::memory_order_relaxed);
   }
   double Mean() const;
-  /// Smallest bucket upper bound covering fraction `p` (0..1) of samples;
-  /// 0 when empty. The unbounded tail bucket reports the recorded max.
+  /// Smallest bucket upper bound covering fraction `p` (0..1) of samples,
+  /// clamped to the recorded max so the report never exceeds any observed
+  /// value; 0 when empty. The unbounded tail bucket reports the max.
   uint64_t Percentile(double p) const;
 
   void Reset();
@@ -121,6 +122,7 @@ struct HistogramSummary {
   uint64_t sum = 0;
   uint64_t p50 = 0;
   uint64_t p95 = 0;
+  uint64_t p99 = 0;
   uint64_t max = 0;
 };
 

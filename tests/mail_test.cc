@@ -109,6 +109,123 @@ TEST_F(MailFixture, MultiHopRouting) {
   EXPECT_EQ(memos[0].GetNumber("$Hops"), 2);
 }
 
+TEST_F(MailFixture, MultiHopDeliveryRetriesAcrossFaultyMiddleLink) {
+  // 3-server chain: alpha may not talk to gamma directly, and the middle
+  // link eats every transfer mid-flight until it heals.
+  servers_["alpha"]->router()->SetNextHop("gamma", "beta");
+  net_->SeedFaults(42);
+  FaultProfile faulty;
+  faulty.mid_transfer_probability = 1.0;
+  net_->SetFaultProfile("beta", "gamma", faulty);
+
+  ASSERT_OK(servers_["alpha"]->SendMail("Ada", {"Gil"}, "chain", "body"));
+  RunAllRouters(5);
+
+  // The memo crossed alpha→beta but is stuck retrying on beta→gamma.
+  EXPECT_EQ(InboxCount("gamma", "Gil"), 0u);
+  EXPECT_GT(servers_["beta"]->router()->stats().transfer_retries, 0u);
+  EXPECT_GT(net_->StatsBetween("beta", "gamma").faults, 0u);
+  EXPECT_GT(net_->StatsBetween("beta", "gamma").wasted_bytes, 0u);
+  EXPECT_EQ(servers_["beta"]->router()->stats().dead_lettered, 0u);
+
+  // Link heals: the queued copy delivers on the next passes, exactly once.
+  net_->SetFaultProfile("beta", "gamma", FaultProfile{});
+  RunAllRouters();
+  EXPECT_EQ(InboxCount("gamma", "Gil"), 1u);
+  Database* inbox = servers_["gamma"]->MailFileOf("Gil");
+  ASSERT_OK_AND_ASSIGN(auto memos, inbox->FormulaSearch("SELECT @All"));
+  ASSERT_EQ(memos.size(), 1u);
+  EXPECT_EQ(memos[0].GetNumber("$Hops"), 2);  // alpha→beta, beta→gamma
+  EXPECT_EQ(net_->StatsBetween("alpha", "gamma").messages, 0u);
+  // Every router's mail.box drained; nothing dead-lettered.
+  for (auto& [name, server] : servers_) {
+    EXPECT_EQ(server->router()->mailbox()->note_count(), 0u) << name;
+    EXPECT_EQ(server->router()->stats().dead_lettered, 0u) << name;
+  }
+}
+
+TEST_F(MailFixture, NoDuplicateDeliveryOnResumedTransfer) {
+  // One memo with a local and a remote recipient, where the remote leg
+  // keeps failing: the local copy must not be re-delivered on retry
+  // passes (the queued memo's recipient list shrinks to the remainder).
+  ASSERT_OK(servers_["beta"]->CreateMailFile("Bob").status());
+  net_->SeedFaults(7);
+  FaultProfile faulty;
+  faulty.mid_transfer_probability = 1.0;
+  net_->SetFaultProfile("beta", "gamma", faulty);
+
+  ASSERT_OK(servers_["beta"]->SendMail("Bea", {"Bob", "Gil"}, "split",
+                                       "body"));
+  RunAllRouters(5);
+
+  // The local copy landed exactly once; the remote copy is still queued.
+  EXPECT_EQ(InboxCount("beta", "Bob"), 1u);
+  EXPECT_EQ(InboxCount("gamma", "Gil"), 0u);
+  EXPECT_GT(servers_["beta"]->router()->stats().transfer_retries, 0u);
+  EXPECT_EQ(servers_["beta"]->router()->mailbox()->note_count(), 1u);
+
+  net_->SetFaultProfile("beta", "gamma", FaultProfile{});
+  RunAllRouters();
+  EXPECT_EQ(InboxCount("beta", "Bob"), 1u);  // still exactly one copy
+  EXPECT_EQ(InboxCount("gamma", "Gil"), 1u);
+  EXPECT_EQ(servers_["beta"]->router()->stats().delivered, 1u);
+  EXPECT_EQ(servers_["beta"]->router()->stats().dead_lettered, 0u);
+  EXPECT_EQ(servers_["beta"]->router()->mailbox()->note_count(), 0u);
+}
+
+TEST(RouterFailureTest, DeliveryFailurePropagatesRealStatusAndDeadLetters) {
+  ScratchDir dir;
+  SimClock clock;
+  clock.Set(1'000'000'000);
+  SimNet net(&clock);
+  MailDirectory directory;
+  stats::StatRegistry registry;
+  Server solo("solo", dir.Sub("solo"), &clock, &net, &directory, &registry);
+  ASSERT_OK(solo.EnsureMailInfrastructure());
+  ASSERT_OK(solo.CreateMailFile("alice").status());
+  ASSERT_OK(solo.CreateMailFile("bob").status());
+
+  // Force bob's mail file to refuse the write with a concrete IO status.
+  solo.router()->InjectDeliveryFaultForTesting(
+      "bob", Status::IOError("simulated disk full on bob.nsf"));
+  ASSERT_OK(solo.SendMail("alice", {"alice", "bob"}, "mixed", "body"));
+  std::map<std::string, Router*> peers = {{"solo", solo.router()}};
+  Result<size_t> run = solo.RunRouterOnce(peers);
+
+  // The surfaced status is the store's, not a generic router error.
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kIOError);
+  EXPECT_NE(run.status().message().find("simulated disk full"),
+            std::string::npos);
+
+  // Alice's copy still delivered; bob's copy dead-lettered exactly once,
+  // and the registry counter agrees with the router's MailStats.
+  const MailStats& mail = solo.router()->stats();
+  EXPECT_EQ(mail.delivered, 1u);
+  EXPECT_EQ(mail.dead_lettered, 1u);
+  const stats::Counter* dead = registry.FindCounter("Mail.Dead");
+  ASSERT_NE(dead, nullptr);
+  EXPECT_EQ(dead->value(), mail.dead_lettered);
+  EXPECT_EQ(registry.FindCounter("Mail.Delivered")->value(), mail.delivered);
+
+  // The dead-letter event names the failing user AND the reason.
+  bool event_found = false;
+  for (const stats::Event& e : registry.events().Events()) {
+    if (e.message.find("bob") != std::string::npos &&
+        e.message.find("simulated disk full") != std::string::npos) {
+      event_found = true;
+    }
+  }
+  EXPECT_TRUE(event_found);
+
+  // The memo was consumed (no infinite retry of a permanent failure), and
+  // with the fault cleared the next memo delivers normally.
+  EXPECT_EQ(solo.router()->mailbox()->note_count(), 0u);
+  ASSERT_OK(solo.SendMail("alice", {"bob"}, "again", "body"));
+  ASSERT_OK(solo.RunRouterOnce(peers).status());
+  EXPECT_EQ(solo.MailFileOf("bob")->note_count(), 1u);
+}
+
 TEST_F(MailFixture, UnknownRecipientDeadLetters) {
   ASSERT_OK(servers_["alpha"]->SendMail("Ada", {"Nobody Real"}, "lost",
                                         "body"));

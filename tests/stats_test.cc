@@ -78,11 +78,40 @@ TEST(HistogramTest, CountSumMaxPercentile) {
   EXPECT_DOUBLE_EQ(h.Mean(), 106.0 / 4.0);
   // p50: 2 of 4 samples ≤ bucket of value 2 (upper bound 2).
   EXPECT_EQ(h.Percentile(0.5), 2u);
-  // p100 lands in the bucket of 100 → upper bound 128.
-  EXPECT_EQ(h.Percentile(1.0), 128u);
+  // p100 lands in the bucket of 100 (upper bound 128), but the report is
+  // clamped to the observed max: no percentile may exceed it.
+  EXPECT_EQ(h.Percentile(1.0), 100u);
   h.Reset();
   EXPECT_EQ(h.count(), 0u);
   EXPECT_EQ(h.max(), 0u);
+}
+
+// Regression: a mid-range bucket's power-of-two upper bound used to be
+// reported verbatim, so a single sample of 5 claimed p50 = 8 — a latency
+// the workload never saw.
+TEST(HistogramTest, PercentileNeverExceedsObservedMax) {
+  Histogram single;
+  single.Record(5);  // (4, 8] bucket
+  for (double p : {0.01, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(single.Percentile(p), 5u) << "p=" << p;
+  }
+
+  // Samples sitting exactly on a bucket boundary report the boundary.
+  Histogram boundary;
+  boundary.Record(8);
+  boundary.Record(8);
+  EXPECT_EQ(boundary.Percentile(0.5), 8u);
+  EXPECT_EQ(boundary.Percentile(1.0), 8u);
+
+  // Mixed buckets: low percentiles keep their (exact) bucket bounds, the
+  // top of the distribution clamps to the max.
+  Histogram mixed;
+  for (uint64_t v : {1, 2, 3, 100}) mixed.Record(v);
+  for (double p : {0.25, 0.5, 0.75, 0.95, 0.99, 1.0}) {
+    EXPECT_LE(mixed.Percentile(p), mixed.max()) << "p=" << p;
+  }
+  EXPECT_EQ(mixed.Percentile(0.25), 1u);
+  EXPECT_EQ(mixed.Percentile(1.0), 100u);
 }
 
 TEST(HistogramTest, TailBucketReportsRecordedMax) {
@@ -231,6 +260,37 @@ TEST(StatSnapshotTest, ToJsonEscapesAndStructures) {
   EXPECT_NE(json.find("\"counters\":{\"A.B\":1}"), std::string::npos);
   EXPECT_NE(json.find("\"G\":-4"), std::string::npos);
   EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+}
+
+// The workload driver's SLO tables read p99 out of every report surface:
+// the snapshot struct, the JSON dump, the `show stat` text line, and the
+// merged before/after delta.
+TEST(StatSnapshotTest, P99PresentInEveryReportSurface) {
+  StatRegistry reg;
+  Histogram& h = reg.GetHistogram("Workload.Op.Micros");
+  for (int i = 0; i < 98; ++i) h.Record(4);
+  h.Record(1000);  // the 2% tail
+  h.Record(1000);
+
+  stats::HistogramSummary s = reg.Snapshot().histograms.at(
+      "Workload.Op.Micros");
+  EXPECT_EQ(s.p50, 4u);
+  // Rank 99 of 100 reaches the tail bucket (512, 1024]; the report is
+  // clamped to the observed max of 1000.
+  EXPECT_EQ(s.p99, 1000u);
+  EXPECT_LE(s.p99, s.max);
+
+  std::string json = reg.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"p99\":1000"), std::string::npos);
+
+  std::string show = reg.ShowStat("Workload.*");
+  EXPECT_NE(show.find("p99 1000"), std::string::npos);
+
+  // Merged delta: histogram percentiles take the `after` values.
+  StatSnapshot before;  // empty: everything counts from zero
+  StatSnapshot diff = DiffSnapshots(before, reg.Snapshot());
+  EXPECT_EQ(diff.histograms.at("Workload.Op.Micros").p99, 1000u);
+  EXPECT_EQ(diff.histograms.at("Workload.Op.Micros").count, 100u);
 }
 
 // -- Server integration ----------------------------------------------------
